@@ -1,0 +1,272 @@
+//! Adaptive attack variants for the paper's discussion-section experiments.
+//!
+//! An adaptive attacker who knows Decamouflage's methods can try to trade
+//! attack strength for detectability. Two practical knobs are implemented:
+//!
+//! * [`blend_target`] — *partial-strength* attacks: pull the target towards
+//!   the benign downscale `scale(O)` by a blend factor, shrinking the
+//!   perturbation (and the detector's signal) at the cost of target
+//!   fidelity.
+//! * [`jitter_camouflage`] — add seeded noise to the pixels the scaler
+//!   *ignores*. The downscaled output is untouched (the attack still
+//!   works), but the noise spreads spectral energy to mask the periodic
+//!   CSP peaks — while simultaneously *increasing* the round-trip
+//!   difference that the scaling detector measures. The ensemble is
+//!   hardened exactly because these two detectors pull in opposite
+//!   directions.
+
+use crate::AttackError;
+use decamouflage_imaging::scale::Scaler;
+use decamouflage_imaging::Image;
+
+/// Blends the attack target towards the benign downscale:
+/// `T' = alpha * T + (1 - alpha) * scale(O)`.
+///
+/// `alpha = 1` is the full-strength attack, `alpha = 0` degenerates to a
+/// benign image. Crafting against `T'` yields the partial-strength attack.
+///
+/// # Errors
+///
+/// Returns [`AttackError::InvalidConfig`] when `alpha` is outside `[0, 1]`
+/// and propagates shape errors from the scaler.
+pub fn blend_target(
+    original: &Image,
+    target: &Image,
+    scaler: &Scaler,
+    alpha: f64,
+) -> Result<Image, AttackError> {
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(AttackError::InvalidConfig {
+            message: format!("blend alpha must be in [0, 1], got {alpha}"),
+        });
+    }
+    let benign_down = scaler.apply(original)?;
+    if benign_down.shape() != target.shape() {
+        return Err(AttackError::ShapeMismatch {
+            context: "target vs scaler destination",
+            expected: (benign_down.width(), benign_down.height()),
+            actual: (target.width(), target.height()),
+        });
+    }
+    Ok(target
+        .zip_map(&benign_down, |t, b| alpha * t + (1.0 - alpha) * b)
+        .expect("shapes checked above"))
+}
+
+/// Adds uniform noise of amplitude `strength` (in sample units) to every
+/// source pixel the scaler does **not** sample, leaving the downscaled
+/// output bit-identical. Deterministic for a given `seed`.
+///
+/// # Errors
+///
+/// Returns [`AttackError::ShapeMismatch`] if `attack` does not match the
+/// scaler's source size and [`AttackError::InvalidConfig`] for a negative
+/// or non-finite `strength`.
+pub fn jitter_camouflage(
+    attack: &Image,
+    scaler: &Scaler,
+    strength: f64,
+    seed: u64,
+) -> Result<Image, AttackError> {
+    if !(strength >= 0.0 && strength.is_finite()) {
+        return Err(AttackError::InvalidConfig {
+            message: format!("jitter strength must be >= 0, got {strength}"),
+        });
+    }
+    let src = scaler.src_size();
+    if attack.size() != src {
+        return Err(AttackError::ShapeMismatch {
+            context: "attack vs scaler source",
+            expected: (src.width, src.height),
+            actual: (attack.width(), attack.height()),
+        });
+    }
+    // Mark the rows/columns the scaler reads.
+    let mut col_touched = vec![false; src.width];
+    for &j in &scaler.horizontal_coeffs().touched_sources() {
+        col_touched[j] = true;
+    }
+    let mut row_touched = vec![false; src.height];
+    for &j in &scaler.vertical_coeffs().touched_sources() {
+        row_touched[j] = true;
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    let mut out = attack.clone();
+    for y in 0..src.height {
+        for x in 0..src.width {
+            // A pixel influences the output iff both its row and column are
+            // sampled; jitter only the fully ignored ones.
+            if row_touched[y] && col_touched[x] {
+                continue;
+            }
+            for c in 0..attack.channel_count() {
+                let noise = (rng.next_f64() * 2.0 - 1.0) * strength;
+                let v = (out.get(x, y, c) + noise).clamp(0.0, 255.0).round();
+                out.set(x, y, c, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// SplitMix64 PRNG — tiny, seedable and reproducible; enough for noise
+/// injection without pulling a dependency into the attack crate.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{craft_attack, AttackConfig};
+    use decamouflage_imaging::scale::ScaleAlgorithm;
+    use decamouflage_imaging::Size;
+
+    fn original(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| 120.0 + ((x + 2 * y) % 17) as f64)
+    }
+
+    fn target(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| ((x * 71 + y * 37) % 256) as f64)
+    }
+
+    fn scaler(src: usize, dst: usize) -> Scaler {
+        Scaler::new(Size::square(src), Size::square(dst), ScaleAlgorithm::Bilinear).unwrap()
+    }
+
+    #[test]
+    fn blend_alpha_zero_is_benign_downscale() {
+        let s = scaler(32, 8);
+        let o = original(32);
+        let blended = blend_target(&o, &target(8), &s, 0.0).unwrap();
+        let benign = s.apply(&o).unwrap();
+        assert!(blended.approx_eq(&benign, 1e-12));
+    }
+
+    #[test]
+    fn blend_alpha_one_is_full_target() {
+        let s = scaler(32, 8);
+        let t = target(8);
+        let blended = blend_target(&original(32), &t, &s, 1.0).unwrap();
+        assert!(blended.approx_eq(&t, 1e-12));
+    }
+
+    #[test]
+    fn blend_midpoint_interpolates() {
+        let s = scaler(32, 8);
+        let o = original(32);
+        let t = target(8);
+        let mid = blend_target(&o, &t, &s, 0.5).unwrap();
+        let benign = s.apply(&o).unwrap();
+        for ((m, tv), bv) in mid
+            .as_slice()
+            .iter()
+            .zip(t.as_slice())
+            .zip(benign.as_slice())
+        {
+            assert!((m - 0.5 * (tv + bv)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blend_rejects_bad_alpha_and_shape() {
+        let s = scaler(32, 8);
+        assert!(blend_target(&original(32), &target(8), &s, -0.1).is_err());
+        assert!(blend_target(&original(32), &target(8), &s, 1.1).is_err());
+        assert!(blend_target(&original(32), &target(9), &s, 0.5).is_err());
+    }
+
+    #[test]
+    fn weaker_blend_shrinks_perturbation() {
+        let s = scaler(48, 12);
+        let o = original(48);
+        let t = target(12);
+        let cfg = AttackConfig::default();
+        let strong = craft_attack(&o, &t, &s, &cfg).unwrap();
+        let weak_target = blend_target(&o, &t, &s, 0.3).unwrap();
+        let weak = craft_attack(&o, &weak_target, &s, &cfg).unwrap();
+        assert!(
+            weak.stats.perturbation_mse < strong.stats.perturbation_mse,
+            "weak {} vs strong {}",
+            weak.stats.perturbation_mse,
+            strong.stats.perturbation_mse
+        );
+    }
+
+    #[test]
+    fn jitter_preserves_downscaled_output() {
+        let s = scaler(48, 12);
+        let o = original(48);
+        let t = target(12);
+        let crafted = craft_attack(&o, &t, &s, &AttackConfig::default()).unwrap();
+        let jittered = jitter_camouflage(&crafted.image, &s, 12.0, 7).unwrap();
+        let before = s.apply(&crafted.image).unwrap();
+        let after = s.apply(&jittered).unwrap();
+        assert!(
+            after.approx_eq(&before, 1e-9),
+            "jitter leaked into the downscaled output"
+        );
+        // And it actually changed something.
+        assert!(!jittered.approx_eq(&crafted.image, 0.0));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let s = scaler(32, 8);
+        let crafted =
+            craft_attack(&original(32), &target(8), &s, &AttackConfig::default()).unwrap();
+        let a = jitter_camouflage(&crafted.image, &s, 5.0, 42).unwrap();
+        let b = jitter_camouflage(&crafted.image, &s, 5.0, 42).unwrap();
+        let c = jitter_camouflage(&crafted.image, &s, 5.0, 43).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+
+    #[test]
+    fn jitter_zero_strength_still_quantises_only() {
+        let s = scaler(32, 8);
+        let crafted =
+            craft_attack(&original(32), &target(8), &s, &AttackConfig::default()).unwrap();
+        let out = jitter_camouflage(&crafted.image, &s, 0.0, 1).unwrap();
+        // Quantised attack image + zero noise => unchanged.
+        assert!(out.approx_eq(&crafted.image, 0.0));
+    }
+
+    #[test]
+    fn jitter_validates_input() {
+        let s = scaler(32, 8);
+        let img = original(32);
+        assert!(jitter_camouflage(&img, &s, -1.0, 0).is_err());
+        assert!(jitter_camouflage(&img, &s, f64::NAN, 0).is_err());
+        assert!(jitter_camouflage(&original(31), &s, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn splitmix_is_uniformish() {
+        let mut rng = SplitMix64::new(123);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Two-stage attack crafting (the decomposition used by Xiao et al.).
+//!
+//! For a separable scaler `scale(I) = L · I · R`:
+//!
+//! 1. **Horizontal stage** — vertically downscale the original
+//!    (`O_v = L · O`, size `dst_h x src_w`) and perturb each *row* of `O_v`
+//!    so that `row · R` matches the corresponding row of the target `T`.
+//!    The result is the intermediate image `M`.
+//! 2. **Vertical stage** — perturb each *column* of the full-size original
+//!    `O` so that `L · col` matches the corresponding column of `M`.
+//!
+//! Both stages are batches of independent 1-D QPs handled by
+//! [`crate::qp::solve_1d_attack`]. The crafted image `A` then satisfies
+//! `L · A · R ≈ T` while differing from `O` only at the sparse set of
+//! pixels the scaler actually samples.
+
+use crate::qp::{solve_1d_attack, QpConfig};
+use crate::AttackError;
+use decamouflage_imaging::scale::Scaler;
+use decamouflage_imaging::Image;
+
+/// Attack crafting parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackConfig {
+    /// Per-stage `L∞` slack for the QP solver. The end-to-end deviation of
+    /// `scale(A)` from `T` is bounded by roughly `2-3x` this value plus
+    /// quantisation noise.
+    pub epsilon: f64,
+    /// Whether to round the crafted image onto the 8-bit grid (a real
+    /// attacker must ship integer pixels).
+    pub quantize: bool,
+    /// Iteration/penalty knobs forwarded to the 1-D solver.
+    pub qp: QpConfig,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self { epsilon: 1.0, quantize: true, qp: QpConfig::default() }
+    }
+}
+
+/// Outcome statistics of one crafted attack image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackStats {
+    /// `‖scale(A) − T‖∞` measured on the final (quantised) attack image.
+    pub target_deviation_linf: f64,
+    /// Mean squared perturbation `‖A − O‖² / n` over all samples.
+    pub perturbation_mse: f64,
+    /// Fraction of samples that were changed (beyond 1e-9).
+    pub perturbed_fraction: f64,
+    /// Fraction of 1-D sub-problems whose solver reported convergence.
+    pub converged_fraction: f64,
+    /// Total gradient iterations across all sub-problems (0 when every
+    /// sub-problem hit a closed-form fast path).
+    pub solver_iterations: usize,
+}
+
+/// A crafted attack image plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CraftedAttack {
+    /// The attack image `A` (same size as the original).
+    pub image: Image,
+    /// The intermediate image `M` of the horizontal stage
+    /// (`dst_h x src_w`), useful for visualisation.
+    pub intermediate: Image,
+    /// Crafting statistics.
+    pub stats: AttackStats,
+}
+
+/// Crafts an image-scaling attack image.
+///
+/// `original` must match the scaler's source size and `target` its
+/// destination size; both must share a channel layout.
+///
+/// # Errors
+///
+/// * [`AttackError::ShapeMismatch`] / [`AttackError::ChannelMismatch`] for
+///   inconsistent inputs,
+/// * [`AttackError::InvalidConfig`] for unusable solver parameters,
+/// * [`AttackError::Imaging`] if an imaging primitive fails.
+///
+/// A hard-to-satisfy target does **not** error: inspect
+/// [`AttackStats::converged_fraction`] and
+/// [`AttackStats::target_deviation_linf`].
+pub fn craft_attack(
+    original: &Image,
+    target: &Image,
+    scaler: &Scaler,
+    config: &AttackConfig,
+) -> Result<CraftedAttack, AttackError> {
+    let src = scaler.src_size();
+    let dst = scaler.dst_size();
+    if original.size() != src {
+        return Err(AttackError::ShapeMismatch {
+            context: "original vs scaler source",
+            expected: (src.width, src.height),
+            actual: (original.width(), original.height()),
+        });
+    }
+    if target.size() != dst {
+        return Err(AttackError::ShapeMismatch {
+            context: "target vs scaler destination",
+            expected: (dst.width, dst.height),
+            actual: (target.width(), target.height()),
+        });
+    }
+    if original.channels() != target.channels() {
+        return Err(AttackError::ChannelMismatch);
+    }
+
+    let qp_config = QpConfig { epsilon: config.epsilon, ..config.qp.clone() };
+    let vertical = scaler.vertical_coeffs();
+    let horizontal = scaler.horizontal_coeffs();
+    let channels = original.channel_count();
+
+    let mut converged = 0usize;
+    let mut total_problems = 0usize;
+    let mut iterations = 0usize;
+
+    // O_v = L · O : vertical downscale of the original.
+    let mut o_v = Image::zeros(src.width, dst.height, original.channels());
+    {
+        let mut col = vec![0.0; src.height];
+        let mut out = vec![0.0; dst.height];
+        for c in 0..channels {
+            for x in 0..src.width {
+                for (y, v) in col.iter_mut().enumerate() {
+                    *v = original.get(x, y, c);
+                }
+                vertical.apply_into(&col, &mut out);
+                for (y, &v) in out.iter().enumerate() {
+                    o_v.set(x, y, c, v);
+                }
+            }
+        }
+    }
+
+    // Horizontal stage: perturb rows of O_v so they downscale to T's rows.
+    let mut intermediate = o_v.clone();
+    {
+        let mut row = vec![0.0; src.width];
+        let mut t_row = vec![0.0; dst.width];
+        for c in 0..channels {
+            for y in 0..dst.height {
+                for (x, v) in row.iter_mut().enumerate() {
+                    *v = o_v.get(x, y, c);
+                }
+                for (x, v) in t_row.iter_mut().enumerate() {
+                    *v = target.get(x, y, c);
+                }
+                let solve = solve_1d_attack(horizontal, &row, &t_row, &qp_config)?;
+                total_problems += 1;
+                converged += usize::from(solve.converged);
+                iterations += solve.iterations;
+                for (x, &v) in solve.signal.iter().enumerate() {
+                    intermediate.set(x, y, c, v);
+                }
+            }
+        }
+    }
+
+    // Vertical stage: perturb columns of O so they downscale to M's columns.
+    let mut attack = original.clamped();
+    {
+        let mut col = vec![0.0; src.height];
+        let mut m_col = vec![0.0; dst.height];
+        for c in 0..channels {
+            for x in 0..src.width {
+                for (y, v) in col.iter_mut().enumerate() {
+                    *v = original.get(x, y, c);
+                }
+                for (y, v) in m_col.iter_mut().enumerate() {
+                    *v = intermediate.get(x, y, c);
+                }
+                let solve = solve_1d_attack(vertical, &col, &m_col, &qp_config)?;
+                total_problems += 1;
+                converged += usize::from(solve.converged);
+                iterations += solve.iterations;
+                for (y, &v) in solve.signal.iter().enumerate() {
+                    attack.set(x, y, c, v);
+                }
+            }
+        }
+    }
+
+    if config.quantize {
+        attack = attack.quantized();
+    }
+
+    // Measure the end-to-end result on the final image.
+    let downscaled = scaler.apply(&attack)?;
+    let mut deviation = 0.0f64;
+    for (d, t) in downscaled.as_slice().iter().zip(target.as_slice()) {
+        deviation = deviation.max((d - t).abs());
+    }
+    let n = attack.as_slice().len() as f64;
+    let mut perturbation_sq = 0.0;
+    let mut perturbed = 0usize;
+    for (a, o) in attack.as_slice().iter().zip(original.as_slice()) {
+        let d = a - o;
+        perturbation_sq += d * d;
+        if d.abs() > 1e-9 {
+            perturbed += 1;
+        }
+    }
+
+    Ok(CraftedAttack {
+        image: attack,
+        intermediate,
+        stats: AttackStats {
+            target_deviation_linf: deviation,
+            perturbation_mse: perturbation_sq / n,
+            perturbed_fraction: perturbed as f64 / n,
+            converged_fraction: converged as f64 / total_problems as f64,
+            solver_iterations: iterations,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::scale::ScaleAlgorithm;
+    use decamouflage_imaging::{Channels, Size};
+
+    fn smooth_original(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| {
+            (130.0 + 50.0 * ((x as f64) * 0.11).sin() + 40.0 * ((y as f64) * 0.09).cos()).round()
+        })
+    }
+
+    fn busy_target(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| ((x * 83 + y * 47) % 256) as f64)
+    }
+
+    fn craft(
+        algo: ScaleAlgorithm,
+        src: usize,
+        dst: usize,
+        cfg: &AttackConfig,
+    ) -> CraftedAttack {
+        let scaler = Scaler::new(Size::square(src), Size::square(dst), algo).unwrap();
+        craft_attack(&smooth_original(src), &busy_target(dst), &scaler, cfg).unwrap()
+    }
+
+    #[test]
+    fn nearest_attack_is_near_perfect() {
+        let out = craft(ScaleAlgorithm::Nearest, 64, 16, &AttackConfig::default());
+        assert!(out.stats.target_deviation_linf <= 0.5, "{:?}", out.stats);
+        assert_eq!(out.stats.converged_fraction, 1.0);
+        // Only 1/16 of pixels need to change for a 4x nearest downscale.
+        assert!(out.stats.perturbed_fraction < 0.10, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn bilinear_attack_hits_target_within_budget() {
+        let out = craft(ScaleAlgorithm::Bilinear, 64, 16, &AttackConfig::default());
+        assert_eq!(out.stats.converged_fraction, 1.0);
+        // Per-stage epsilon 1.0, two stages + quantisation headroom.
+        assert!(out.stats.target_deviation_linf <= 4.0, "{:?}", out.stats);
+        // Bilinear factor 4 touches 2 of 4 pixels per axis: at most ~25%
+        // of samples may change, plus edge effects.
+        assert!(out.stats.perturbed_fraction < 0.35, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn bicubic_attack_hits_target_within_budget() {
+        let out = craft(ScaleAlgorithm::Bicubic, 64, 16, &AttackConfig::default());
+        assert_eq!(out.stats.converged_fraction, 1.0);
+        assert!(out.stats.target_deviation_linf <= 5.0, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn attack_image_is_quantised_and_in_range() {
+        let out = craft(ScaleAlgorithm::Bilinear, 32, 8, &AttackConfig::default());
+        for &v in out.image.as_slice() {
+            assert!((0.0..=255.0).contains(&v));
+            assert_eq!(v, v.round());
+        }
+    }
+
+    #[test]
+    fn unquantised_crafting_skips_rounding() {
+        let cfg = AttackConfig { quantize: false, ..AttackConfig::default() };
+        let out = craft(ScaleAlgorithm::Bilinear, 32, 8, &cfg);
+        assert!(out.stats.target_deviation_linf <= 2.5 + 1e-3, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn attack_preserves_most_of_the_original() {
+        let original = smooth_original(64);
+        let scaler =
+            Scaler::new(Size::square(64), Size::square(16), ScaleAlgorithm::Bilinear).unwrap();
+        let out =
+            craft_attack(&original, &busy_target(16), &scaler, &AttackConfig::default()).unwrap();
+        // The visual-similarity half of the attack contract: perturbation
+        // is concentrated on the sampled pixels.
+        assert!(out.stats.perturbation_mse < 2500.0, "{:?}", out.stats);
+        let unchanged = out
+            .image
+            .as_slice()
+            .iter()
+            .zip(original.as_slice())
+            .filter(|(a, o)| (**a - o.round()).abs() < 1.0)
+            .count();
+        assert!(unchanged * 2 > 64 * 64, "too few unchanged pixels: {unchanged}");
+    }
+
+    #[test]
+    fn intermediate_image_has_mixed_shape() {
+        let out = craft(ScaleAlgorithm::Bilinear, 32, 8, &AttackConfig::default());
+        assert_eq!(out.intermediate.width(), 32);
+        assert_eq!(out.intermediate.height(), 8);
+    }
+
+    #[test]
+    fn rgb_attack_works_per_channel() {
+        let original = Image::from_fn_rgb(32, 32, |x, y| {
+            [120.0 + (x % 5) as f64, 90.0 + (y % 7) as f64, 150.0]
+        });
+        let target = Image::from_fn_rgb(8, 8, |x, y| {
+            [(x * 30) as f64, (y * 30) as f64, ((x + y) * 15) as f64]
+        });
+        let scaler =
+            Scaler::new(Size::square(32), Size::square(8), ScaleAlgorithm::Nearest).unwrap();
+        let out = craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap();
+        assert!(out.stats.target_deviation_linf <= 0.5, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes() {
+        let scaler =
+            Scaler::new(Size::square(32), Size::square(8), ScaleAlgorithm::Bilinear).unwrap();
+        let cfg = AttackConfig::default();
+        let good_o = smooth_original(32);
+        let good_t = busy_target(8);
+        assert!(craft_attack(&smooth_original(31), &good_t, &scaler, &cfg).is_err());
+        assert!(craft_attack(&good_o, &busy_target(9), &scaler, &cfg).is_err());
+        let rgb_t = Image::zeros(8, 8, Channels::Rgb);
+        assert!(matches!(
+            craft_attack(&good_o, &rgb_t, &scaler, &cfg),
+            Err(AttackError::ChannelMismatch)
+        ));
+    }
+
+    #[test]
+    fn area_scaler_attack_reports_poor_convergence_or_huge_perturbation() {
+        // Area scaling is the robust baseline: an "attack" against it must
+        // either fail or visibly destroy the original.
+        let out = craft(ScaleAlgorithm::Area, 64, 16, &AttackConfig::default());
+        let vulnerable = craft(ScaleAlgorithm::Bilinear, 64, 16, &AttackConfig::default());
+        assert!(
+            out.stats.perturbation_mse > 1.8 * vulnerable.stats.perturbation_mse,
+            "area {:?} vs bilinear {:?}",
+            out.stats.perturbation_mse,
+            vulnerable.stats.perturbation_mse
+        );
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let scaler =
+            Scaler::new(Size::square(32), Size::square(8), ScaleAlgorithm::Bilinear).unwrap();
+        let cfg = AttackConfig { epsilon: -2.0, ..AttackConfig::default() };
+        assert!(craft_attack(&smooth_original(32), &busy_target(8), &scaler, &cfg).is_err());
+    }
+
+    #[test]
+    fn non_square_attack_shapes() {
+        let original = Image::from_fn_gray(48, 32, |x, y| 100.0 + ((x + y) % 9) as f64);
+        let target = Image::from_fn_gray(12, 8, |x, y| ((x * y * 11) % 256) as f64);
+        let scaler = Scaler::new(
+            Size::new(48, 32),
+            Size::new(12, 8),
+            ScaleAlgorithm::Bilinear,
+        )
+        .unwrap();
+        let out = craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap();
+        assert_eq!(out.image.size(), Size::new(48, 32));
+        assert!(out.stats.target_deviation_linf <= 4.0, "{:?}", out.stats);
+    }
+}

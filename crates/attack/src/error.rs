@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Error type for attack crafting.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// Original/target/scaler shapes are inconsistent.
+    ShapeMismatch {
+        /// What was being matched, e.g. `"original vs scaler source"`.
+        context: &'static str,
+        /// Expected shape `(width, height)`.
+        expected: (usize, usize),
+        /// Actual shape.
+        actual: (usize, usize),
+    },
+    /// Original and target images use different channel layouts.
+    ChannelMismatch,
+    /// A configuration value was unusable.
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The QP solver failed to reach feasibility within its iteration
+    /// budget for at least one 1-D sub-problem.
+    SolverDiverged {
+        /// Worst residual `‖A z − t‖∞` still outstanding.
+        residual: f64,
+        /// Feasibility tolerance that was requested.
+        epsilon: f64,
+    },
+    /// An underlying imaging operation failed.
+    Imaging(decamouflage_imaging::ImagingError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { context, expected, actual } => write!(
+                f,
+                "shape mismatch ({context}): expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            Self::ChannelMismatch => {
+                write!(f, "original and target images must share a channel layout")
+            }
+            Self::InvalidConfig { message } => write!(f, "invalid attack config: {message}"),
+            Self::SolverDiverged { residual, epsilon } => write!(
+                f,
+                "qp solver diverged: residual {residual:.4} above epsilon {epsilon:.4}"
+            ),
+            Self::Imaging(err) => write!(f, "imaging error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Imaging(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<decamouflage_imaging::ImagingError> for AttackError {
+    fn from(err: decamouflage_imaging::ImagingError) -> Self {
+        Self::Imaging(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let variants = vec![
+            AttackError::ShapeMismatch { context: "x", expected: (1, 2), actual: (3, 4) },
+            AttackError::ChannelMismatch,
+            AttackError::InvalidConfig { message: "epsilon < 0".into() },
+            AttackError::SolverDiverged { residual: 9.0, epsilon: 1.0 },
+            AttackError::Imaging(decamouflage_imaging::ImagingError::InvalidDimensions {
+                width: 0,
+                height: 0,
+            }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn imaging_source_preserved() {
+        let e = AttackError::from(decamouflage_imaging::ImagingError::InvalidDimensions {
+            width: 0,
+            height: 1,
+        });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,48 @@
+//! From-scratch implementation of the image-scaling (camouflage) attack of
+//! Xiao et al. (USENIX Security 2019), the threat model the Decamouflage
+//! framework detects.
+//!
+//! The attack crafts an image `A = O + Δ` that is visually indistinguishable
+//! from an original `O` but downscales to an attacker-chosen target `T`:
+//!
+//! ```text
+//! min ‖Δ‖²   s.t.  ‖scale(O + Δ) − T‖∞ <= ε,   0 <= O + Δ <= 255
+//! ```
+//!
+//! Because every supported scaler is a separable linear operator
+//! `scale(I) = L · I · R` (see [`decamouflage_imaging::scale::CoeffMatrix`]),
+//! the 2-D problem decomposes into independent 1-D quadratic programs along
+//! rows and then columns (module [`craft`]), each solved by a projected
+//! gradient method with adaptive penalty (module [`qp`]), with an exact
+//! closed-form fast path for nearest-neighbour scaling.
+//!
+//! # Example
+//!
+//! ```
+//! use decamouflage_imaging::{Image, Size, scale::{ScaleAlgorithm, Scaler}};
+//! use decamouflage_attack::{craft_attack, AttackConfig};
+//!
+//! # fn main() -> Result<(), decamouflage_attack::AttackError> {
+//! let original = Image::from_fn_gray(32, 32, |x, y| 100.0 + ((x + y) % 7) as f64);
+//! let target = Image::from_fn_gray(8, 8, |x, y| ((x * y * 5) % 256) as f64);
+//! let scaler = Scaler::new(Size::square(32), Size::square(8), ScaleAlgorithm::Nearest)?;
+//! let crafted = craft_attack(&original, &target, &scaler, &AttackConfig::default())?;
+//! assert!(crafted.stats.target_deviation_linf <= 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod adaptive;
+pub mod craft;
+pub mod qp;
+pub mod verify;
+
+pub use craft::{craft_attack, AttackConfig, AttackStats, CraftedAttack};
+pub use error::AttackError;
+pub use qp::{solve_1d_attack, QpConfig, Solve1d};
+pub use verify::{verify_attack, AttackVerification, VerifyConfig};

@@ -1,0 +1,542 @@
+//! Box-constrained 1-D quadratic programs for attack crafting.
+//!
+//! Each sub-problem has the form
+//!
+//! ```text
+//! min_z ½ ‖z − x‖²   s.t.  ‖A z − t‖∞ <= ε,   0 <= z <= 255
+//! ```
+//!
+//! where `x` is a source signal (one image row or column), `t` the target
+//! signal and `A` a sparse 1-D scaling operator. The solver runs projected
+//! gradient descent on the quadratic-penalty relaxation
+//!
+//! ```text
+//! ½ ‖z − x‖² + (λ/2) Σ max(0, |A z − t|_i − ε)²
+//! ```
+//!
+//! escalating `λ` until the constraint holds. Nearest-neighbour operators
+//! (one unit tap per row) are solved exactly in closed form.
+
+use crate::AttackError;
+use decamouflage_imaging::scale::CoeffMatrix;
+
+/// Solver parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpConfig {
+    /// Constraint slack `ε`: the attack succeeds when
+    /// `‖A z − t‖∞ <= epsilon`.
+    pub epsilon: f64,
+    /// Additional tolerance accepted on top of `epsilon` when declaring
+    /// convergence (guards against floating-point dust).
+    pub feasibility_tol: f64,
+    /// Maximum penalty escalations.
+    pub max_outer_iterations: usize,
+    /// Gradient steps per penalty level.
+    pub max_inner_iterations: usize,
+    /// Initial penalty weight `λ`.
+    pub penalty_init: f64,
+    /// Multiplicative penalty growth per outer iteration.
+    pub penalty_growth: f64,
+}
+
+impl Default for QpConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 1.0,
+            feasibility_tol: 1e-3,
+            max_outer_iterations: 12,
+            max_inner_iterations: 300,
+            penalty_init: 10.0,
+            penalty_growth: 8.0,
+        }
+    }
+}
+
+impl QpConfig {
+    fn validate(&self) -> Result<(), AttackError> {
+        if self.epsilon < 0.0 || !self.epsilon.is_finite() {
+            return Err(AttackError::InvalidConfig {
+                message: format!("epsilon must be >= 0, got {}", self.epsilon),
+            });
+        }
+        if self.max_outer_iterations == 0 || self.max_inner_iterations == 0 {
+            return Err(AttackError::InvalidConfig {
+                message: "iteration budgets must be positive".into(),
+            });
+        }
+        if self.penalty_init <= 0.0 || self.penalty_growth <= 1.0 {
+            return Err(AttackError::InvalidConfig {
+                message: "penalty_init must be > 0 and penalty_growth > 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of one 1-D solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solve1d {
+    /// The attacked signal `z = x + δ`, inside `[0, 255]`.
+    pub signal: Vec<f64>,
+    /// Final constraint residual `‖A z − t‖∞`.
+    pub residual_linf: f64,
+    /// Squared perturbation `‖z − x‖²`.
+    pub perturbation_sq: f64,
+    /// Whether the residual is within `epsilon + feasibility_tol`.
+    pub converged: bool,
+    /// Total gradient iterations spent.
+    pub iterations: usize,
+}
+
+/// Solves one 1-D attack sub-problem.
+///
+/// # Errors
+///
+/// * [`AttackError::InvalidConfig`] for unusable solver parameters,
+/// * [`AttackError::ShapeMismatch`] if `source`/`target` lengths do not
+///   match the operator.
+///
+/// A non-converged solve is **not** an error: inspect [`Solve1d::converged`]
+/// (the two-stage crafter aggregates convergence across all sub-problems).
+pub fn solve_1d_attack(
+    matrix: &CoeffMatrix,
+    source: &[f64],
+    target: &[f64],
+    config: &QpConfig,
+) -> Result<Solve1d, AttackError> {
+    config.validate()?;
+    if source.len() != matrix.src_len() {
+        return Err(AttackError::ShapeMismatch {
+            context: "source vs operator input",
+            expected: (matrix.src_len(), 1),
+            actual: (source.len(), 1),
+        });
+    }
+    if target.len() != matrix.dst_len() {
+        return Err(AttackError::ShapeMismatch {
+            context: "target vs operator output",
+            expected: (matrix.dst_len(), 1),
+            actual: (target.len(), 1),
+        });
+    }
+
+    if let Some(result) = try_nearest_closed_form(matrix, source, target, config) {
+        return Ok(result);
+    }
+    if let Some(result) = try_disjoint_closed_form(matrix, source, target, config) {
+        return Ok(result);
+    }
+
+    Ok(projected_gradient(matrix, source, target, config))
+}
+
+/// Active-set solution when operator rows have pairwise-disjoint supports —
+/// true for every integer-factor downscale with factor at least the kernel
+/// width (the realistic attack regime). The problem then splits into one
+/// tiny single-constraint QP per output element:
+///
+/// ```text
+/// min Σ_j δ_j²  s.t.  |Σ_j w_j (x_j + δ_j) − t| <= ε,  box
+/// ```
+///
+/// whose unconstrained-box solution is `δ_j = w_j r' / Σ w²` (ridge
+/// redistribution toward the nearest constraint boundary), with violated box
+/// coordinates clamped and the redistribution repeated over the free set.
+fn try_disjoint_closed_form(
+    matrix: &CoeffMatrix,
+    source: &[f64],
+    target: &[f64],
+    config: &QpConfig,
+) -> Option<Solve1d> {
+    // Disjointness check.
+    let mut seen = vec![false; matrix.src_len()];
+    for row in matrix.iter_rows() {
+        if row.is_empty() {
+            return None;
+        }
+        for &(j, _) in row {
+            if seen[j] {
+                return None;
+            }
+            seen[j] = true;
+        }
+    }
+
+    let mut signal: Vec<f64> = source.iter().map(|&x| x.clamp(0.0, 255.0)).collect();
+    for (i, row) in matrix.iter_rows().enumerate() {
+        solve_single_constraint(row, &mut signal, target[i], config.epsilon);
+    }
+    let residual = residual_linf(matrix, &signal, target);
+    let perturbation_sq = signal
+        .iter()
+        .zip(source)
+        .map(|(z, x)| (z - x) * (z - x))
+        .sum();
+    Some(Solve1d {
+        converged: residual <= config.epsilon + config.feasibility_tol,
+        residual_linf: residual,
+        perturbation_sq,
+        signal,
+        iterations: 0,
+    })
+}
+
+/// Minimal-norm update of `signal` at the tap positions so that
+/// `|Σ w_j z_j − t| <= ε`, honouring the `[0, 255]` box via an active-set
+/// loop (at most `taps.len()` rounds).
+fn solve_single_constraint(taps: &[(usize, f64)], signal: &mut [f64], t: f64, eps: f64) {
+    let mut free: Vec<(usize, f64)> = taps.to_vec();
+    let mut fixed: Vec<(usize, f64, f64)> = Vec::new(); // (index, weight, value)
+    loop {
+        let fixed_part: f64 = fixed.iter().map(|&(_, w, v)| w * v).sum();
+        let free_part: f64 = free.iter().map(|&(j, w)| w * signal[j]).sum();
+        let r = t - fixed_part - free_part;
+        if r.abs() <= eps {
+            break;
+        }
+        let r_prime = r - eps * r.signum();
+        let denom: f64 = free.iter().map(|&(_, w)| w * w).sum();
+        if denom <= 1e-30 {
+            break; // every tap clamped: cannot improve further
+        }
+        let mut any_clamped = false;
+        let mut still_free = Vec::with_capacity(free.len());
+        for &(j, w) in &free {
+            let candidate = signal[j] + w * r_prime / denom;
+            if candidate < 0.0 || candidate > 255.0 {
+                let clamped = candidate.clamp(0.0, 255.0);
+                signal[j] = clamped;
+                fixed.push((j, w, clamped));
+                any_clamped = true;
+            } else {
+                still_free.push((j, w));
+            }
+        }
+        if !any_clamped {
+            // Apply the interior update and stop: constraint met exactly.
+            for &(j, w) in &still_free {
+                signal[j] += w * r_prime / denom;
+            }
+            break;
+        }
+        free = still_free;
+        if free.is_empty() {
+            break;
+        }
+    }
+}
+
+/// Exact solution when every operator row has a single unit tap (nearest
+/// neighbour): set each sampled source element to its target value (the
+/// untouched elements keep the original, giving the minimal-norm solution).
+fn try_nearest_closed_form(
+    matrix: &CoeffMatrix,
+    source: &[f64],
+    target: &[f64],
+    config: &QpConfig,
+) -> Option<Solve1d> {
+    for row in matrix.iter_rows() {
+        if row.len() != 1 || (row[0].1 - 1.0).abs() > 1e-12 {
+            return None;
+        }
+    }
+    let mut signal: Vec<f64> = source.iter().map(|&x| x.clamp(0.0, 255.0)).collect();
+    for (i, row) in matrix.iter_rows().enumerate() {
+        signal[row[0].0] = target[i].clamp(0.0, 255.0);
+    }
+    let residual = residual_linf(matrix, &signal, target);
+    let perturbation_sq = signal
+        .iter()
+        .zip(source)
+        .map(|(z, x)| (z - x) * (z - x))
+        .sum();
+    Some(Solve1d {
+        residual_linf: residual,
+        perturbation_sq,
+        converged: residual <= config.epsilon + config.feasibility_tol,
+        signal,
+        iterations: 0,
+    })
+}
+
+fn residual_linf(matrix: &CoeffMatrix, signal: &[f64], target: &[f64]) -> f64 {
+    matrix
+        .apply(signal)
+        .iter()
+        .zip(target)
+        .map(|(y, t)| (y - t).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Largest eigenvalue of `AᵀA` via power iteration (squared spectral norm).
+fn spectral_norm_sq(matrix: &CoeffMatrix) -> f64 {
+    let n = matrix.src_len();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+    let mut lambda = 1.0;
+    for _ in 0..30 {
+        let av = matrix.apply(&v);
+        let atav = matrix.apply_transpose(&av);
+        let norm: f64 = atav.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-30 {
+            return 1.0;
+        }
+        lambda = norm;
+        for (x, y) in v.iter_mut().zip(atav.iter()) {
+            *x = y / norm;
+        }
+    }
+    lambda.max(1e-12)
+}
+
+fn projected_gradient(
+    matrix: &CoeffMatrix,
+    source: &[f64],
+    target: &[f64],
+    config: &QpConfig,
+) -> Solve1d {
+    let n = source.len();
+    let sigma_sq = spectral_norm_sq(matrix);
+    let mut z: Vec<f64> = source.iter().map(|&x| x.clamp(0.0, 255.0)).collect();
+    let mut lambda = config.penalty_init;
+    let mut total_iterations = 0;
+    let mut best = z.clone();
+    let mut best_residual = residual_linf(matrix, &z, target);
+
+    for _outer in 0..config.max_outer_iterations {
+        let step = 1.0 / (1.0 + lambda * sigma_sq);
+        for _inner in 0..config.max_inner_iterations {
+            total_iterations += 1;
+            // Residual and hinge excess.
+            let y = matrix.apply(&z);
+            let mut hinge = vec![0.0; y.len()];
+            let mut max_violation = 0.0f64;
+            for (i, (yi, ti)) in y.iter().zip(target).enumerate() {
+                let r = yi - ti;
+                let excess = r.abs() - config.epsilon;
+                if excess > 0.0 {
+                    hinge[i] = r.signum() * excess;
+                    max_violation = max_violation.max(excess);
+                }
+            }
+            if max_violation <= config.feasibility_tol {
+                break;
+            }
+            let back = matrix.apply_transpose(&hinge);
+            for j in 0..n {
+                let grad = (z[j] - source[j]) + lambda * back[j];
+                z[j] = (z[j] - step * grad).clamp(0.0, 255.0);
+            }
+        }
+        let residual = residual_linf(matrix, &z, target);
+        if residual < best_residual {
+            best_residual = residual;
+            best.copy_from_slice(&z);
+        }
+        if residual <= config.epsilon + config.feasibility_tol {
+            break;
+        }
+        lambda *= config.penalty_growth;
+    }
+
+    let perturbation_sq = best
+        .iter()
+        .zip(source)
+        .map(|(zv, xv)| (zv - xv) * (zv - xv))
+        .sum();
+    Solve1d {
+        converged: best_residual <= config.epsilon + config.feasibility_tol,
+        residual_linf: best_residual,
+        perturbation_sq,
+        signal: best,
+        iterations: total_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::scale::{CoeffMatrix, ScaleAlgorithm};
+
+    fn solve(
+        algo: ScaleAlgorithm,
+        src: &[f64],
+        dst: &[f64],
+        cfg: &QpConfig,
+    ) -> Solve1d {
+        let m = CoeffMatrix::build(algo, src.len(), dst.len()).unwrap();
+        solve_1d_attack(&m, src, dst, cfg).unwrap()
+    }
+
+    #[test]
+    fn nearest_fast_path_is_exact() {
+        let src = vec![100.0; 16];
+        let dst: Vec<f64> = (0..4).map(|i| (i * 60) as f64).collect();
+        let out = solve(ScaleAlgorithm::Nearest, &src, &dst, &QpConfig::default());
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0, "closed form must not iterate");
+        assert_eq!(out.residual_linf, 0.0);
+        // Only 4 of 16 pixels perturbed.
+        let changed = out.signal.iter().filter(|&&v| v != 100.0).count();
+        assert!(changed <= 4);
+    }
+
+    #[test]
+    fn bilinear_solve_reaches_feasibility() {
+        let src: Vec<f64> = (0..32).map(|i| 90.0 + (i % 5) as f64).collect();
+        let dst: Vec<f64> = (0..8).map(|i| ((i * 97) % 256) as f64).collect();
+        let out = solve(ScaleAlgorithm::Bilinear, &src, &dst, &QpConfig::default());
+        assert!(out.converged, "residual {}", out.residual_linf);
+        assert!(out.residual_linf <= 1.0 + 1e-3);
+    }
+
+    #[test]
+    fn bicubic_solve_reaches_feasibility() {
+        let src: Vec<f64> = (0..64).map(|i| 120.0 + ((i * 13) % 11) as f64).collect();
+        let dst: Vec<f64> = (0..16).map(|i| ((i * 53) % 256) as f64).collect();
+        let out = solve(ScaleAlgorithm::Bicubic, &src, &dst, &QpConfig::default());
+        assert!(out.converged, "residual {}", out.residual_linf);
+    }
+
+    #[test]
+    fn solution_respects_box_constraints() {
+        let src: Vec<f64> = vec![3.0; 24];
+        let dst: Vec<f64> = vec![250.0; 6];
+        let out = solve(ScaleAlgorithm::Bilinear, &src, &dst, &QpConfig::default());
+        for &v in &out.signal {
+            assert!((0.0..=255.0).contains(&v), "sample {v} escaped the box");
+        }
+    }
+
+    #[test]
+    fn identity_target_needs_no_perturbation() {
+        let m = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 16, 4).unwrap();
+        let src: Vec<f64> = (0..16).map(|i| (i * 10) as f64).collect();
+        let dst = m.apply(&src);
+        let out = solve_1d_attack(&m, &src, &dst, &QpConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.perturbation_sq < 1e-9, "perturbation {}", out.perturbation_sq);
+    }
+
+    #[test]
+    fn perturbation_is_small_relative_to_worst_case() {
+        // The solver should perturb far less than rewriting every pixel.
+        let src: Vec<f64> = vec![128.0; 32];
+        let dst: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 30.0 } else { 220.0 }).collect();
+        let out = solve(ScaleAlgorithm::Bilinear, &src, &dst, &QpConfig::default());
+        assert!(out.converged);
+        let untouched = out.signal.iter().filter(|&&v| (v - 128.0).abs() < 1e-9).count();
+        assert!(untouched >= 8, "only {untouched} pixels untouched");
+    }
+
+    #[test]
+    fn area_operator_resists_attack_visually() {
+        // Area scaling touches every pixel, so hitting an adversarial target
+        // forces enormous perturbation. The solve may converge, but the
+        // perturbation must be large — the robustness argument.
+        let src: Vec<f64> = vec![128.0; 32];
+        let dst: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 0.0 } else { 255.0 }).collect();
+        let out = solve(ScaleAlgorithm::Area, &src, &dst, &QpConfig::default());
+        let bilinear = solve(ScaleAlgorithm::Bilinear, &src, &dst, &QpConfig::default());
+        assert!(
+            out.perturbation_sq > 1.9 * bilinear.perturbation_sq,
+            "area {} vs bilinear {}",
+            out.perturbation_sq,
+            bilinear.perturbation_sq
+        );
+    }
+
+    #[test]
+    fn infeasible_problem_reports_nonconvergence() {
+        // Two outputs demand contradictory values of the same source pixel.
+        // 2 -> 2 bilinear is the identity... craft contradiction instead via
+        // a tiny epsilon and an operator averaging all pixels to one output
+        // that must equal two different values: use 2 -> 1 area with two
+        // stacked targets is impossible here, so instead demand a value
+        // outside the box: target 400 cannot be met with samples <= 255.
+        let m = CoeffMatrix::build(ScaleAlgorithm::Area, 4, 1).unwrap();
+        let src = vec![10.0; 4];
+        let out = solve_1d_attack(&m, &src, &[400.0], &QpConfig::default()).unwrap();
+        assert!(!out.converged);
+        assert!(out.residual_linf >= 145.0 - 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let m = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 8, 2).unwrap();
+        assert!(solve_1d_attack(&m, &[0.0; 7], &[0.0; 2], &QpConfig::default()).is_err());
+        assert!(solve_1d_attack(&m, &[0.0; 8], &[0.0; 3], &QpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let m = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 8, 2).unwrap();
+        let src = [0.0; 8];
+        let dst = [0.0; 2];
+        for cfg in [
+            QpConfig { epsilon: -1.0, ..QpConfig::default() },
+            QpConfig { max_outer_iterations: 0, ..QpConfig::default() },
+            QpConfig { max_inner_iterations: 0, ..QpConfig::default() },
+            QpConfig { penalty_init: 0.0, ..QpConfig::default() },
+            QpConfig { penalty_growth: 1.0, ..QpConfig::default() },
+        ] {
+            assert!(solve_1d_attack(&m, &src, &dst, &cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn source_outside_box_is_projected_in() {
+        let m = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 8, 2).unwrap();
+        let src: Vec<f64> = vec![-50.0, 300.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0];
+        let dst = m.apply(&src.iter().map(|&v| v.clamp(0.0, 255.0)).collect::<Vec<f64>>());
+        let out = solve_1d_attack(&m, &src, &dst, &QpConfig::default()).unwrap();
+        for &v in &out.signal {
+            assert!((0.0..=255.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn overlapping_supports_fall_back_to_projected_gradient() {
+        // Bilinear 16 -> 10 (factor 1.6) has overlapping taps, so the
+        // closed forms bail out and the penalty PGD must solve it. Build a
+        // feasible target from a known in-box signal.
+        let m = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 16, 10).unwrap();
+        let hidden: Vec<f64> = (0..16).map(|i| ((i * 37) % 200) as f64 + 20.0).collect();
+        let dst = m.apply(&hidden);
+        let src: Vec<f64> = vec![128.0; 16];
+        let out = solve_1d_attack(&m, &src, &dst, &QpConfig::default()).unwrap();
+        assert!(out.iterations > 0, "expected the iterative path");
+        assert!(out.converged, "residual {}", out.residual_linf);
+        for &v in &out.signal {
+            assert!((0.0..=255.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pgd_perturbation_stays_moderate_on_feasible_targets() {
+        let m = CoeffMatrix::build(ScaleAlgorithm::Bicubic, 24, 16).unwrap();
+        let hidden: Vec<f64> = (0..24).map(|i| 100.0 + ((i * 29) % 71) as f64).collect();
+        let dst = m.apply(&hidden);
+        let out = solve_1d_attack(&m, &hidden, &dst, &QpConfig::default()).unwrap();
+        // Source already maps to the target: PGD must not move.
+        assert!(out.perturbation_sq < 1e-9, "perturbation {}", out.perturbation_sq);
+    }
+
+    #[test]
+    fn larger_epsilon_never_increases_perturbation() {
+        let src: Vec<f64> = (0..32).map(|i| 100.0 + (i % 3) as f64).collect();
+        let dst: Vec<f64> = (0..8).map(|i| ((i * 31) % 200) as f64 + 25.0).collect();
+        let tight = solve(
+            ScaleAlgorithm::Bilinear,
+            &src,
+            &dst,
+            &QpConfig { epsilon: 0.5, ..QpConfig::default() },
+        );
+        let loose = solve(
+            ScaleAlgorithm::Bilinear,
+            &src,
+            &dst,
+            &QpConfig { epsilon: 8.0, ..QpConfig::default() },
+        );
+        assert!(loose.perturbation_sq <= tight.perturbation_sq + 1e-6);
+    }
+}

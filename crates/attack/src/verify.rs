@@ -1,0 +1,203 @@
+//! Attack-success verification.
+//!
+//! The paper defines two success criteria for an attack image `A` crafted
+//! from original `O` towards target `T` (§2.1):
+//!
+//! 1. `A ≈ O` — the attack image is visually indistinguishable from the
+//!    original,
+//! 2. `scale(A) ≈ T` — the downscaled output is recognised as the target.
+//!
+//! This module checks both quantitatively. It is used by the
+//! `ablate-robust-scaler` experiment (attack success per scaling algorithm)
+//! and by the discussion experiment on images that evade detection: an
+//! evading image that fails criterion 2 has "lost the attacker's original
+//! purpose".
+
+use crate::AttackError;
+use decamouflage_imaging::scale::Scaler;
+use decamouflage_imaging::Image;
+
+/// Thresholds for declaring an attack successful.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyConfig {
+    /// Maximum allowed `‖scale(A) − T‖∞` for criterion 2.
+    pub target_tolerance_linf: f64,
+    /// Maximum allowed mean-squared perturbation `‖A − O‖²/n` for
+    /// criterion 1 (visual stealth). The default is generous: perturbation
+    /// concentrated on a sparse pixel set keeps MSE low even for strong
+    /// attacks.
+    pub stealth_mse_budget: f64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self { target_tolerance_linf: 8.0, stealth_mse_budget: 2500.0 }
+    }
+}
+
+/// Quantified attack outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackVerification {
+    /// Measured `‖scale(A) − T‖∞`.
+    pub target_deviation_linf: f64,
+    /// Measured mean-squared deviation of `scale(A)` from `T`.
+    pub target_mse: f64,
+    /// Measured `‖A − O‖²/n`.
+    pub perturbation_mse: f64,
+    /// Criterion 2: the downscaled attack matches the target.
+    pub scales_to_target: bool,
+    /// Criterion 1: the attack stays visually close to the original.
+    pub visually_stealthy: bool,
+}
+
+impl AttackVerification {
+    /// Whether both success criteria hold.
+    pub fn is_successful(&self) -> bool {
+        self.scales_to_target && self.visually_stealthy
+    }
+}
+
+/// Verifies an attack image against both success criteria.
+///
+/// # Errors
+///
+/// Returns [`AttackError::ShapeMismatch`] when `original`/`attack` do not
+/// match the scaler source size or `target` its destination size, and
+/// propagates imaging failures.
+pub fn verify_attack(
+    original: &Image,
+    attack: &Image,
+    target: &Image,
+    scaler: &Scaler,
+    config: &VerifyConfig,
+) -> Result<AttackVerification, AttackError> {
+    let src = scaler.src_size();
+    let dst = scaler.dst_size();
+    for (img, context) in [(original, "original"), (attack, "attack")] {
+        if img.size() != src {
+            return Err(AttackError::ShapeMismatch {
+                context,
+                expected: (src.width, src.height),
+                actual: (img.width(), img.height()),
+            });
+        }
+    }
+    if target.size() != dst {
+        return Err(AttackError::ShapeMismatch {
+            context: "target",
+            expected: (dst.width, dst.height),
+            actual: (target.width(), target.height()),
+        });
+    }
+    if original.channels() != attack.channels() || original.channels() != target.channels() {
+        return Err(AttackError::ChannelMismatch);
+    }
+
+    let downscaled = scaler.apply(attack)?;
+    let mut deviation_linf = 0.0f64;
+    let mut deviation_sq = 0.0f64;
+    for (d, t) in downscaled.as_slice().iter().zip(target.as_slice()) {
+        let e = (d - t).abs();
+        deviation_linf = deviation_linf.max(e);
+        deviation_sq += e * e;
+    }
+    let target_mse = deviation_sq / target.as_slice().len() as f64;
+
+    let mut perturbation_sq = 0.0f64;
+    for (a, o) in attack.as_slice().iter().zip(original.as_slice()) {
+        let e = a - o;
+        perturbation_sq += e * e;
+    }
+    let perturbation_mse = perturbation_sq / attack.as_slice().len() as f64;
+
+    Ok(AttackVerification {
+        target_deviation_linf: deviation_linf,
+        target_mse,
+        perturbation_mse,
+        scales_to_target: deviation_linf <= config.target_tolerance_linf,
+        visually_stealthy: perturbation_mse <= config.stealth_mse_budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{craft_attack, AttackConfig};
+    use decamouflage_imaging::scale::ScaleAlgorithm;
+    use decamouflage_imaging::{Channels, Size};
+
+    fn original(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| 110.0 + ((x * 3 + y * 5) % 23) as f64)
+    }
+
+    fn target(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| ((x * 41 + y * 59) % 256) as f64)
+    }
+
+    #[test]
+    fn crafted_attack_verifies_successfully() {
+        let scaler =
+            Scaler::new(Size::square(48), Size::square(12), ScaleAlgorithm::Bilinear).unwrap();
+        let o = original(48);
+        let t = target(12);
+        let crafted = craft_attack(&o, &t, &scaler, &AttackConfig::default()).unwrap();
+        let v =
+            verify_attack(&o, &crafted.image, &t, &scaler, &VerifyConfig::default()).unwrap();
+        assert!(v.scales_to_target, "{v:?}");
+        assert!(v.visually_stealthy, "{v:?}");
+        assert!(v.is_successful());
+    }
+
+    #[test]
+    fn benign_image_does_not_scale_to_target() {
+        let scaler =
+            Scaler::new(Size::square(48), Size::square(12), ScaleAlgorithm::Bilinear).unwrap();
+        let o = original(48);
+        let t = target(12);
+        let v = verify_attack(&o, &o, &t, &scaler, &VerifyConfig::default()).unwrap();
+        assert!(!v.scales_to_target, "{v:?}");
+        assert!(v.visually_stealthy); // zero perturbation
+        assert!(!v.is_successful());
+        assert_eq!(v.perturbation_mse, 0.0);
+    }
+
+    #[test]
+    fn blatant_overwrite_is_not_stealthy() {
+        let scaler =
+            Scaler::new(Size::square(48), Size::square(12), ScaleAlgorithm::Bilinear).unwrap();
+        let o = original(48);
+        let t = target(12);
+        // "Attack" = pasting an upscaled target over the original entirely.
+        let up = Scaler::new(Size::square(12), Size::square(48), ScaleAlgorithm::Nearest)
+            .unwrap()
+            .apply(&t)
+            .unwrap();
+        let v = verify_attack(&o, &up, &t, &scaler, &VerifyConfig::default()).unwrap();
+        assert!(!v.visually_stealthy, "{v:?}");
+    }
+
+    #[test]
+    fn shape_and_channel_validation() {
+        let scaler =
+            Scaler::new(Size::square(16), Size::square(4), ScaleAlgorithm::Nearest).unwrap();
+        let o = original(16);
+        let t = target(4);
+        let cfg = VerifyConfig::default();
+        assert!(verify_attack(&original(15), &o, &t, &scaler, &cfg).is_err());
+        assert!(verify_attack(&o, &original(15), &t, &scaler, &cfg).is_err());
+        assert!(verify_attack(&o, &o, &target(5), &scaler, &cfg).is_err());
+        let rgb = Image::zeros(16, 16, Channels::Rgb);
+        assert!(verify_attack(&o, &rgb, &t, &scaler, &cfg).is_err());
+    }
+
+    #[test]
+    fn deviation_metrics_are_reported() {
+        let scaler =
+            Scaler::new(Size::square(16), Size::square(4), ScaleAlgorithm::Nearest).unwrap();
+        let o = original(16);
+        let t = target(4);
+        let v = verify_attack(&o, &o, &t, &scaler, &VerifyConfig::default()).unwrap();
+        assert!(v.target_deviation_linf > 0.0);
+        assert!(v.target_mse > 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests (proptest) for the attack substrate.
+
+use decamouflage_attack::{craft_attack, solve_1d_attack, AttackConfig, QpConfig};
+use decamouflage_imaging::scale::{CoeffMatrix, ScaleAlgorithm, Scaler};
+use decamouflage_imaging::{Channels, Image, Size};
+use proptest::prelude::*;
+
+fn arb_algorithm() -> impl Strategy<Value = ScaleAlgorithm> {
+    prop_oneof![
+        Just(ScaleAlgorithm::Nearest),
+        Just(ScaleAlgorithm::Bilinear),
+        Just(ScaleAlgorithm::Bicubic),
+        Just(ScaleAlgorithm::Area),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qp_solutions_respect_the_box(
+        src in proptest::collection::vec(0.0f64..255.0, 16),
+        dst in proptest::collection::vec(0.0f64..255.0, 4),
+        algo in arb_algorithm(),
+    ) {
+        let m = CoeffMatrix::build(algo, 16, 4).unwrap();
+        let out = solve_1d_attack(&m, &src, &dst, &QpConfig::default()).unwrap();
+        for &v in &out.signal {
+            prop_assert!((0.0..=255.0).contains(&v));
+        }
+        prop_assert!(out.residual_linf >= 0.0);
+        prop_assert!(out.perturbation_sq >= 0.0);
+    }
+
+    #[test]
+    fn feasible_targets_converge_with_bounded_residual(
+        hidden in proptest::collection::vec(0.0f64..255.0, 16),
+        src in proptest::collection::vec(0.0f64..255.0, 16),
+        algo in arb_algorithm(),
+    ) {
+        // Build the target from a known in-box signal: always feasible.
+        let m = CoeffMatrix::build(algo, 16, 4).unwrap();
+        let dst = m.apply(&hidden);
+        let out = solve_1d_attack(&m, &src, &dst, &QpConfig::default()).unwrap();
+        prop_assert!(out.converged, "residual {}", out.residual_linf);
+        prop_assert!(out.residual_linf <= 1.0 + 1e-3);
+    }
+
+    #[test]
+    fn zero_perturbation_when_source_already_maps_to_target(
+        src in proptest::collection::vec(0.0f64..255.0, 12),
+        algo in arb_algorithm(),
+    ) {
+        let m = CoeffMatrix::build(algo, 12, 3).unwrap();
+        let dst = m.apply(&src);
+        let out = solve_1d_attack(&m, &src, &dst, &QpConfig::default()).unwrap();
+        prop_assert!(out.perturbation_sq < 1e-9, "perturbed by {}", out.perturbation_sq);
+    }
+
+    #[test]
+    fn crafted_images_are_quantised_in_range_and_reach_target(
+        seed_o in 0u8..255,
+        seed_t in 0u8..255,
+        algo in prop_oneof![Just(ScaleAlgorithm::Nearest), Just(ScaleAlgorithm::Bilinear)],
+    ) {
+        let original = Image::from_fn_gray(24, 24, |x, y| {
+            ((x * 7 + y * 3 + seed_o as usize) % 200) as f64 + 20.0
+        });
+        let target = Image::from_fn_gray(6, 6, |x, y| {
+            ((x * 31 + y * 17 + seed_t as usize * 5) % 256) as f64
+        });
+        let scaler = Scaler::new(Size::square(24), Size::square(6), algo).unwrap();
+        let crafted = craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap();
+        for &v in crafted.image.as_slice() {
+            prop_assert!((0.0..=255.0).contains(&v));
+            prop_assert_eq!(v, v.round());
+        }
+        prop_assert!(
+            crafted.stats.target_deviation_linf <= 4.0,
+            "deviation {}",
+            crafted.stats.target_deviation_linf
+        );
+    }
+
+    #[test]
+    fn attack_perturbs_fewer_pixels_than_overwriting(
+        seed in 0u8..255,
+    ) {
+        let original = Image::from_fn_gray(32, 32, |x, y| {
+            ((x + 2 * y + seed as usize) % 180) as f64 + 30.0
+        });
+        let target = Image::from_fn_gray(8, 8, |x, y| ((x * y + seed as usize) % 256) as f64);
+        let scaler =
+            Scaler::new(Size::square(32), Size::square(8), ScaleAlgorithm::Bilinear).unwrap();
+        let crafted = craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap();
+        // Bilinear factor 4 touches at most ~(1/2)^2 of pixels + rounding.
+        prop_assert!(
+            crafted.stats.perturbed_fraction < 0.5,
+            "fraction {}",
+            crafted.stats.perturbed_fraction
+        );
+    }
+
+    #[test]
+    fn rgb_and_gray_crafting_agree_on_replicated_channels(seed in 0u8..100) {
+        let gray_o = Image::from_fn_gray(16, 16, |x, y| ((x * 5 + y + seed as usize) % 200) as f64);
+        let gray_t = Image::from_fn_gray(4, 4, |x, y| ((x * 50 + y * 20) % 256) as f64);
+        let scaler =
+            Scaler::new(Size::square(16), Size::square(4), ScaleAlgorithm::Nearest).unwrap();
+        let cfg = AttackConfig::default();
+        let gray_attack = craft_attack(&gray_o, &gray_t, &scaler, &cfg).unwrap();
+        let rgb_attack = craft_attack(&gray_o.to_rgb(), &gray_t.to_rgb(), &scaler, &cfg).unwrap();
+        // Each RGB channel equals the gray solution.
+        prop_assert_eq!(rgb_attack.image.channels(), Channels::Rgb);
+        for c in 0..3 {
+            let plane = rgb_attack.image.plane(c).unwrap();
+            prop_assert!(plane.approx_eq(&gray_attack.image, 1e-9));
+        }
+    }
+}

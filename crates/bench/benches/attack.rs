@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the attack substrate: end-to-end crafting cost
+//! per algorithm (closed-form fast paths vs. the projected-gradient
+//! fallback) and 1-D QP solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decamouflage_attack::{craft_attack, solve_1d_attack, AttackConfig, QpConfig};
+use decamouflage_datasets::{synthesize, SynthesisParams};
+use decamouflage_imaging::scale::{CoeffMatrix, ScaleAlgorithm, Scaler};
+use decamouflage_imaging::{Image, Size};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn original(n: usize) -> Image {
+    let params = SynthesisParams {
+        width: n,
+        height: n,
+        base_cell: (n / 4).max(4),
+        ..SynthesisParams::default()
+    };
+    synthesize(&params, &mut StdRng::seed_from_u64(7))
+}
+
+fn target(n: usize) -> Image {
+    let params = SynthesisParams {
+        width: n,
+        height: n,
+        base_cell: (n / 4).max(4),
+        ..SynthesisParams::default()
+    };
+    synthesize(&params, &mut StdRng::seed_from_u64(8))
+}
+
+fn bench_craft(c: &mut Criterion) {
+    let o = original(448);
+    let t = target(112);
+    let mut group = c.benchmark_group("craft_448_to_112");
+    group.sample_size(10);
+    for algo in [ScaleAlgorithm::Nearest, ScaleAlgorithm::Bilinear] {
+        let scaler = Scaler::new(Size::square(448), Size::square(112), algo).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &scaler, |b, s| {
+            b.iter(|| craft_attack(&o, &t, s, &AttackConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_qp_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qp_1d");
+    group.sample_size(10);
+
+    // Closed-form disjoint path: bilinear factor 4.
+    let disjoint = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 448, 112).unwrap();
+    let src: Vec<f64> = (0..448).map(|i| 100.0 + (i % 37) as f64).collect();
+    let dst: Vec<f64> = (0..112).map(|i| ((i * 53) % 256) as f64).collect();
+    group.bench_function("disjoint_closed_form_448", |b| {
+        b.iter(|| solve_1d_attack(&disjoint, &src, &dst, &QpConfig::default()).unwrap())
+    });
+
+    // Projected-gradient path: bilinear factor 1.6 (overlapping taps).
+    let overlapping = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 448, 280).unwrap();
+    let hidden: Vec<f64> = (0..448).map(|i| ((i * 29) % 200) as f64 + 20.0).collect();
+    let feasible = overlapping.apply(&hidden);
+    group.bench_function("projected_gradient_448", |b| {
+        b.iter(|| solve_1d_attack(&overlapping, &src, &feasible, &QpConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_craft, bench_qp_paths);
+criterion_main!(benches);

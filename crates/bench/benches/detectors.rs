@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the paper's run-time overhead table (Table 7):
+//! per-image latency of each detection method and metric, plus the full
+//! majority-vote ensemble.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decamouflage_bench::corpus::{DetectorSet, MixedAttackGenerator};
+use decamouflage_core::ensemble::Ensemble;
+use decamouflage_core::{Detector, Direction, MetricKind, SteganalysisDetector, Threshold};
+use decamouflage_datasets::DatasetProfile;
+
+fn bench_detection_methods(c: &mut Criterion) {
+    let profile = DatasetProfile::neurips_like();
+    let generator = MixedAttackGenerator::new(profile.clone());
+    let detectors = DetectorSet::new(&profile);
+    // One representative image per source size in the profile.
+    let images: Vec<_> = (0..3u64).map(|i| generator.benign(i)).collect();
+
+    let mut group = c.benchmark_group("table7");
+    group.sample_size(10);
+    for image in &images {
+        let label = format!("{}x{}", image.width(), image.height());
+        group.bench_with_input(BenchmarkId::new("scaling_mse", &label), image, |b, img| {
+            b.iter(|| detectors.scaling(MetricKind::Mse).score(img).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("scaling_ssim", &label), image, |b, img| {
+            b.iter(|| detectors.scaling(MetricKind::Ssim).score(img).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("filtering_mse", &label), image, |b, img| {
+            b.iter(|| detectors.filtering(MetricKind::Mse).score(img).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("filtering_ssim", &label),
+            image,
+            |b, img| b.iter(|| detectors.filtering(MetricKind::Ssim).score(img).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("steganalysis_csp", &label),
+            image,
+            |b, img| b.iter(|| detectors.steganalysis().score(img).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let profile = DatasetProfile::neurips_like();
+    let generator = MixedAttackGenerator::new(profile.clone());
+    let detectors = DetectorSet::new(&profile);
+    let image = generator.benign(0);
+
+    let ensemble = Ensemble::new()
+        .with_member(
+            detectors.scaling(MetricKind::Mse).clone(),
+            Threshold::new(100.0, Direction::AboveIsAttack),
+        )
+        .with_member(
+            detectors.filtering(MetricKind::Ssim).clone(),
+            Threshold::new(0.6, Direction::BelowIsAttack),
+        )
+        .with_member(
+            SteganalysisDetector::for_target(profile.target_size),
+            SteganalysisDetector::universal_threshold(),
+        );
+
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(10);
+    group.bench_function("majority_vote_full_system", |b| {
+        b.iter(|| ensemble.is_attack(&image).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection_methods, bench_ensemble);
+criterion_main!(benches);

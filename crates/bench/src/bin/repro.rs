@@ -1,0 +1,93 @@
+//! `repro` — regenerate the Decamouflage paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--count N] [--threads N]
+//! repro all            # every paper table and figure
+//! repro ablations      # the extension experiments
+//! repro list           # show available experiment ids
+//! ```
+//!
+//! The paper uses 1000 images per class; `--count` trades fidelity for
+//! speed (e.g. `--count 100` for a quick pass). Output is Markdown on
+//! stdout.
+
+use decamouflage_bench::experiments::{run_experiment, ABLATIONS, ALL_EXPERIMENTS};
+use decamouflage_bench::{ExperimentContext, HarnessConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut config = HarnessConfig::default();
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--count" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.count = n,
+                _ => return usage("--count expects a positive integer"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.threads = n,
+                _ => return usage("--threads expects a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            "list" => {
+                println!("paper artefacts: {}", ALL_EXPERIMENTS.join(", "));
+                println!("ablations:       {}", ABLATIONS.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if ids.is_empty() {
+        return usage("no experiment requested");
+    }
+
+    eprintln!(
+        "# decamouflage repro: {} experiment(s), {} images/class, {} threads",
+        ids.len(),
+        config.count,
+        config.threads
+    );
+    let ctx = ExperimentContext::new(config);
+    let started = std::time::Instant::now();
+    for id in &ids {
+        eprintln!("# running {id} ...");
+        match run_experiment(id, &ctx) {
+            Ok(report) => {
+                println!("{report}");
+            }
+            Err(err) => {
+                eprintln!("error running {id}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("# done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: repro <experiment>... [--count N] [--threads N]\n       \
+         repro all | ablations | list\n\n\
+         paper artefacts: {}\nablations:       {}",
+        ALL_EXPERIMENTS.join(", "),
+        ABLATIONS.join(", ")
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,332 @@
+//! Corpus construction and one-pass multi-detector scoring.
+
+use decamouflage_core::parallel::{default_threads, parallel_map_indices};
+use decamouflage_core::pipeline::ScoredCorpus;
+use decamouflage_core::{
+    Detector, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+};
+use decamouflage_datasets::{DatasetProfile, SampleGenerator};
+use decamouflage_imaging::scale::ScaleAlgorithm;
+use decamouflage_imaging::Image;
+use decamouflage_metrics::{histogram_intersection, psnr};
+
+/// Attack images drawn from a round-robin mix of vulnerable scaling
+/// algorithms — the realistic "attacks in the wild" mix the defender faces.
+#[derive(Debug, Clone)]
+pub struct MixedAttackGenerator {
+    generators: Vec<SampleGenerator>,
+}
+
+impl MixedAttackGenerator {
+    /// Builds the default mix (nearest + bilinear attacks) over a profile.
+    pub fn new(profile: DatasetProfile) -> Self {
+        let algorithms = [ScaleAlgorithm::Nearest, ScaleAlgorithm::Bilinear];
+        Self {
+            generators: algorithms
+                .iter()
+                .map(|&a| SampleGenerator::new(profile.clone(), a))
+                .collect(),
+        }
+    }
+
+    /// The generator responsible for sample `index`.
+    pub fn generator_for(&self, index: u64) -> &SampleGenerator {
+        &self.generators[(index as usize) % self.generators.len()]
+    }
+
+    /// The benign original of sample `index` (same across algorithms).
+    pub fn benign(&self, index: u64) -> Image {
+        self.generators[0].benign(index)
+    }
+
+    /// The attack image of sample `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if crafting fails, which the built-in profiles never trigger.
+    pub fn attack(&self, index: u64) -> Image {
+        self.generator_for(index)
+            .attack_image(index)
+            .expect("attack crafting on built-in profiles cannot fail")
+    }
+}
+
+/// The five scorers evaluated throughout the paper, in a fixed order:
+/// `scaling/mse`, `scaling/ssim`, `filtering/mse`, `filtering/ssim`,
+/// `steganalysis/csp`, plus the two negative-result scorers
+/// `scaling/psnr` (Appendix A) and `scaling/colorhist` (§3.1) and
+/// `filtering/psnr` (Appendix A).
+#[derive(Debug)]
+pub struct DetectorSet {
+    scaling_mse: ScalingDetector,
+    scaling_ssim: ScalingDetector,
+    filtering_mse: FilteringDetector,
+    filtering_ssim: FilteringDetector,
+    steganalysis: SteganalysisDetector,
+}
+
+/// Index of `scaling/mse` in a [`ScoreSet`].
+pub const IDX_SCALING_MSE: usize = 0;
+/// Index of `scaling/ssim` in a [`ScoreSet`].
+pub const IDX_SCALING_SSIM: usize = 1;
+/// Index of `filtering/mse` in a [`ScoreSet`].
+pub const IDX_FILTERING_MSE: usize = 2;
+/// Index of `filtering/ssim` in a [`ScoreSet`].
+pub const IDX_FILTERING_SSIM: usize = 3;
+/// Index of `steganalysis/csp` in a [`ScoreSet`].
+pub const IDX_STEGANALYSIS: usize = 4;
+/// Index of `scaling/psnr` (negative result, Appendix A).
+pub const IDX_SCALING_PSNR: usize = 5;
+/// Index of `filtering/psnr` (negative result, Appendix A).
+pub const IDX_FILTERING_PSNR: usize = 6;
+/// Index of `scaling/colorhist` (negative result, §3.1).
+pub const IDX_COLORHIST: usize = 7;
+/// Number of scorers in a [`ScoreSet`].
+pub const SCORER_COUNT: usize = 8;
+
+/// Human-readable scorer names, aligned with the `IDX_*` constants.
+pub const SCORER_NAMES: [&str; SCORER_COUNT] = [
+    "scaling/mse",
+    "scaling/ssim",
+    "filtering/mse",
+    "filtering/ssim",
+    "steganalysis/csp",
+    "scaling/psnr",
+    "filtering/psnr",
+    "scaling/colorhist",
+];
+
+impl DetectorSet {
+    /// Builds the detector set for a profile's CNN input size. The
+    /// defender's round trip uses bilinear scaling (a deployment choice,
+    /// independent of the attacker's algorithm).
+    pub fn new(profile: &DatasetProfile) -> Self {
+        let target = profile.target_size;
+        Self {
+            scaling_mse: ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse),
+            scaling_ssim: ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Ssim),
+            filtering_mse: FilteringDetector::new(MetricKind::Mse),
+            filtering_ssim: FilteringDetector::new(MetricKind::Ssim),
+            steganalysis: SteganalysisDetector::for_target(target),
+        }
+    }
+
+    /// The scaling detector with the given metric.
+    pub fn scaling(&self, metric: MetricKind) -> &ScalingDetector {
+        match metric {
+            MetricKind::Mse => &self.scaling_mse,
+            MetricKind::Ssim => &self.scaling_ssim,
+        }
+    }
+
+    /// The filtering detector with the given metric.
+    pub fn filtering(&self, metric: MetricKind) -> &FilteringDetector {
+        match metric {
+            MetricKind::Mse => &self.filtering_mse,
+            MetricKind::Ssim => &self.filtering_ssim,
+        }
+    }
+
+    /// The steganalysis detector.
+    pub fn steganalysis(&self) -> &SteganalysisDetector {
+        &self.steganalysis
+    }
+
+    /// Scores one image with all scorers in `IDX_*` order. The PSNR and
+    /// colour-histogram scorers reuse the round-tripped / filtered images.
+    pub fn score_all(&self, image: &Image) -> [f64; SCORER_COUNT] {
+        let round = self
+            .scaling_mse
+            .round_tripped(image)
+            .expect("round trip on generated images cannot fail");
+        let filtered = self
+            .filtering_mse
+            .filtered(image)
+            .expect("filtering on generated images cannot fail");
+        let ssim_cfg = decamouflage_metrics::SsimConfig::default();
+        [
+            decamouflage_metrics::mse(image, &round).expect("same shape"),
+            decamouflage_metrics::ssim(image, &round, &ssim_cfg).expect("same shape"),
+            decamouflage_metrics::mse(image, &filtered).expect("same shape"),
+            decamouflage_metrics::ssim(image, &filtered, &ssim_cfg).expect("same shape"),
+            self.steganalysis.score(image).expect("csp cannot fail"),
+            psnr(image, &round).expect("same shape"),
+            psnr(image, &filtered).expect("same shape"),
+            histogram_intersection(image, &round, 64).expect("same shape"),
+        ]
+    }
+}
+
+/// Per-scorer scored corpora for one dataset profile.
+#[derive(Debug, Clone)]
+pub struct ScoreSet {
+    /// `corpora[idx]` is the scored corpus for scorer `IDX_*`.
+    pub corpora: Vec<ScoredCorpus>,
+}
+
+impl ScoreSet {
+    /// The scored corpus of one scorer.
+    pub fn of(&self, idx: usize) -> &ScoredCorpus {
+        &self.corpora[idx]
+    }
+}
+
+/// Harness configuration: corpus size and parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Benign (and attack) images per corpus. The paper uses 1000.
+    pub count: usize,
+    /// Worker threads for scoring.
+    pub threads: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self { count: 1000, threads: default_threads() }
+    }
+}
+
+impl HarnessConfig {
+    /// A reduced configuration for fast smoke runs and tests.
+    pub fn smoke(count: usize) -> Self {
+        Self { count, threads: default_threads() }
+    }
+}
+
+/// Lazily scored corpora for the training and evaluation profiles —
+/// computed once, shared by every experiment.
+pub struct ExperimentContext {
+    /// Harness configuration.
+    pub config: HarnessConfig,
+    /// Training profile (threshold selection).
+    pub train_profile: DatasetProfile,
+    /// Evaluation profile (unseen dataset).
+    pub eval_profile: DatasetProfile,
+    train_scores: std::sync::OnceLock<ScoreSet>,
+    eval_scores: std::sync::OnceLock<ScoreSet>,
+}
+
+impl ExperimentContext {
+    /// Creates the paper's default context: calibrate on
+    /// [`DatasetProfile::neurips_like`], evaluate on
+    /// [`DatasetProfile::caltech_like`].
+    pub fn new(config: HarnessConfig) -> Self {
+        Self {
+            config,
+            train_profile: DatasetProfile::neurips_like(),
+            eval_profile: DatasetProfile::caltech_like(),
+            train_scores: std::sync::OnceLock::new(),
+            eval_scores: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Creates a context over custom profiles (used by tests with
+    /// [`DatasetProfile::tiny`]).
+    pub fn with_profiles(
+        config: HarnessConfig,
+        train_profile: DatasetProfile,
+        eval_profile: DatasetProfile,
+    ) -> Self {
+        Self {
+            config,
+            train_profile,
+            eval_profile,
+            train_scores: std::sync::OnceLock::new(),
+            eval_scores: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Scores (or returns cached scores for) the training profile.
+    pub fn train(&self) -> &ScoreSet {
+        self.train_scores
+            .get_or_init(|| score_profile(&self.train_profile, self.config))
+    }
+
+    /// Scores (or returns cached scores for) the evaluation profile.
+    pub fn eval(&self) -> &ScoreSet {
+        self.eval_scores
+            .get_or_init(|| score_profile(&self.eval_profile, self.config))
+    }
+}
+
+/// Scores a whole profile with every scorer in one pass per image.
+pub fn score_profile(profile: &DatasetProfile, config: HarnessConfig) -> ScoreSet {
+    let detectors = DetectorSet::new(profile);
+    let generator = MixedAttackGenerator::new(profile.clone());
+
+    let benign_rows: Vec<[f64; SCORER_COUNT]> =
+        parallel_map_indices(config.count, config.threads, |i| {
+            detectors.score_all(&generator.benign(i as u64))
+        });
+    let attack_rows: Vec<[f64; SCORER_COUNT]> =
+        parallel_map_indices(config.count, config.threads, |i| {
+            detectors.score_all(&generator.attack(i as u64))
+        });
+
+    let corpora = (0..SCORER_COUNT)
+        .map(|idx| ScoredCorpus {
+            benign: benign_rows.iter().map(|row| row[idx]).collect(),
+            attack: attack_rows.iter().map(|row| row[idx]).collect(),
+        })
+        .collect();
+    ScoreSet { corpora }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_context(count: usize) -> ExperimentContext {
+        ExperimentContext::with_profiles(
+            HarnessConfig::smoke(count),
+            DatasetProfile::tiny(),
+            DatasetProfile::tiny(),
+        )
+    }
+
+    #[test]
+    fn mixed_generator_alternates_algorithms() {
+        let g = MixedAttackGenerator::new(DatasetProfile::tiny());
+        assert_eq!(g.generator_for(0).algorithm(), ScaleAlgorithm::Nearest);
+        assert_eq!(g.generator_for(1).algorithm(), ScaleAlgorithm::Bilinear);
+        assert_eq!(g.generator_for(2).algorithm(), ScaleAlgorithm::Nearest);
+    }
+
+    #[test]
+    fn score_all_returns_finite_scores() {
+        let profile = DatasetProfile::tiny();
+        let detectors = DetectorSet::new(&profile);
+        let g = MixedAttackGenerator::new(profile);
+        let scores = detectors.score_all(&g.benign(0));
+        for (i, s) in scores.iter().enumerate() {
+            assert!(s.is_finite(), "{} produced {s}", SCORER_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn attack_scores_separate_from_benign_on_tiny_profile() {
+        let ctx = tiny_context(6);
+        let scores = ctx.train();
+        let mse = scores.of(IDX_SCALING_MSE);
+        let worst_benign = mse.benign.iter().cloned().fold(f64::MIN, f64::max);
+        let best_attack = mse.attack.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            best_attack > worst_benign,
+            "benign max {worst_benign}, attack min {best_attack}"
+        );
+    }
+
+    #[test]
+    fn context_caches_scores() {
+        let ctx = tiny_context(2);
+        let first = ctx.train() as *const ScoreSet;
+        let second = ctx.train() as *const ScoreSet;
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn scorer_names_align_with_count() {
+        assert_eq!(SCORER_NAMES.len(), SCORER_COUNT);
+        assert_eq!(SCORER_NAMES[IDX_STEGANALYSIS], "steganalysis/csp");
+    }
+}

@@ -1,0 +1,124 @@
+//! Run-time overhead measurement (the paper's Table 7).
+//!
+//! The Criterion benches in `benches/` give publication-grade numbers; this
+//! module provides an in-process variant so `repro table7` produces the
+//! table in one run without a separate `cargo bench` invocation.
+
+use crate::corpus::{DetectorSet, MixedAttackGenerator};
+use crate::ExperimentContext;
+use decamouflage_core::report::{number, MarkdownTable};
+use decamouflage_core::{Detector, MetricKind};
+use decamouflage_imaging::Image;
+use std::time::Instant;
+
+/// Measures mean and standard deviation of per-image wall time, in
+/// milliseconds, for one scoring closure over a set of images.
+pub fn time_per_image(images: &[Image], mut score: impl FnMut(&Image)) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(images.len());
+    for img in images {
+        let start = Instant::now();
+        score(img);
+        samples.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+        / samples.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Table 7 — run-time overhead of each detection method.
+pub fn table7(ctx: &ExperimentContext) -> String {
+    let repeats = ctx.config.count.clamp(3, 30);
+    let generator = MixedAttackGenerator::new(ctx.train_profile.clone());
+    let detectors = DetectorSet::new(&ctx.train_profile);
+    let images: Vec<Image> = (0..repeats).map(|i| generator.benign(i as u64)).collect();
+
+    let mut t = MarkdownTable::new(vec![
+        "Method",
+        "Metric",
+        "Run-time overhead (ms)",
+        "Standard deviation (ms)",
+    ]);
+    let mut push = |method: &str, metric: &str, stats: (f64, f64)| {
+        t.push_row(vec![
+            method.to_string(),
+            metric.to_string(),
+            number(stats.0),
+            number(stats.1),
+        ]);
+    };
+
+    push(
+        "Scaling",
+        "MSE",
+        time_per_image(&images, |img| {
+            let _ = detectors.scaling(MetricKind::Mse).score(img);
+        }),
+    );
+    push(
+        "Scaling",
+        "SSIM",
+        time_per_image(&images, |img| {
+            let _ = detectors.scaling(MetricKind::Ssim).score(img);
+        }),
+    );
+    push(
+        "Filtering",
+        "MSE",
+        time_per_image(&images, |img| {
+            let _ = detectors.filtering(MetricKind::Mse).score(img);
+        }),
+    );
+    push(
+        "Filtering",
+        "SSIM",
+        time_per_image(&images, |img| {
+            let _ = detectors.filtering(MetricKind::Ssim).score(img);
+        }),
+    );
+    push(
+        "Steganalysis",
+        "CSP",
+        time_per_image(&images, |img| {
+            let _ = detectors.steganalysis().score(img);
+        }),
+    );
+
+    format!(
+        "## Table 7 — run-time overheads of the detection methods\n\n\
+         (per-image wall time over {repeats} `{}` images on this machine; \
+         see `cargo bench -p decamouflage-bench` for Criterion-grade numbers)\n\n{t}",
+        ctx.train_profile.name
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::HarnessConfig;
+    use decamouflage_datasets::DatasetProfile;
+
+    #[test]
+    fn time_per_image_returns_positive_mean() {
+        let images = vec![Image::from_fn_gray(32, 32, |x, y| (x * y) as f64)];
+        let (mean, std) = time_per_image(&images, |img| {
+            let _ = img.mean_sample();
+        });
+        assert!(mean >= 0.0);
+        assert!(std >= 0.0);
+    }
+
+    #[test]
+    fn table7_renders_all_methods() {
+        let ctx = ExperimentContext::with_profiles(
+            HarnessConfig::smoke(3),
+            DatasetProfile::tiny(),
+            DatasetProfile::tiny(),
+        );
+        let s = table7(&ctx);
+        assert!(s.contains("Scaling"));
+        assert!(s.contains("Filtering"));
+        assert!(s.contains("Steganalysis"));
+        assert!(s.contains("SSIM"));
+    }
+}

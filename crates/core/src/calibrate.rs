@@ -1,0 +1,172 @@
+//! High-level calibration: turn a [`Detector`] plus sample images directly
+//! into a calibrated threshold (and optionally an ensemble member),
+//! without touching score vectors by hand.
+//!
+//! ```
+//! use decamouflage_core::calibrate::calibrate_whitebox;
+//! use decamouflage_core::{MetricKind, ScalingDetector};
+//! use decamouflage_imaging::{Image, Size, scale::ScaleAlgorithm};
+//!
+//! # fn main() -> Result<(), decamouflage_core::DetectError> {
+//! let detector = ScalingDetector::new(Size::square(8), ScaleAlgorithm::Bilinear, MetricKind::Mse);
+//! let benign: Vec<Image> =
+//!     (0..4).map(|i| Image::from_fn_gray(32, 32, |x, y| ((x + y + i) % 200) as f64)).collect();
+//! let attacks: Vec<Image> =
+//!     (0..4).map(|i| Image::from_fn_gray(32, 32, |x, y| ((x * y + i * 7) % 256) as f64)).collect();
+//! let calibration = calibrate_whitebox(&detector, &benign, &attacks)?;
+//! assert!(calibration.train_accuracy > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detector::Detector;
+use crate::ensemble::EnsembleMember;
+use crate::threshold::{percentile_blackbox, search_whitebox, Threshold};
+use crate::DetectError;
+use decamouflage_imaging::Image;
+
+/// Result of a white-box calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The selected threshold.
+    pub threshold: Threshold,
+    /// Accuracy over the calibration samples at that threshold.
+    pub train_accuracy: f64,
+    /// Scores of the benign calibration images (for reporting).
+    pub benign_scores: Vec<f64>,
+    /// Scores of the attack calibration images (empty for black-box).
+    pub attack_scores: Vec<f64>,
+}
+
+fn score_all<D: Detector>(detector: &D, images: &[Image]) -> Result<Vec<f64>, DetectError> {
+    images.iter().map(|img| detector.score(img)).collect()
+}
+
+/// White-box calibration: score both sample sets and run the optimal
+/// threshold search.
+///
+/// # Errors
+///
+/// Propagates scoring failures and calibration-input errors (empty sets).
+pub fn calibrate_whitebox<D: Detector>(
+    detector: &D,
+    benign: &[Image],
+    attacks: &[Image],
+) -> Result<Calibration, DetectError> {
+    let benign_scores = score_all(detector, benign)?;
+    let attack_scores = score_all(detector, attacks)?;
+    let search = search_whitebox(&benign_scores, &attack_scores, detector.direction())?;
+    Ok(Calibration {
+        threshold: search.threshold,
+        train_accuracy: search.train_accuracy,
+        benign_scores,
+        attack_scores,
+    })
+}
+
+/// Black-box calibration: score the benign set only and place the
+/// threshold at the `tail_percent` percentile on the attack side.
+///
+/// # Errors
+///
+/// Propagates scoring failures and calibration-input errors.
+pub fn calibrate_blackbox<D: Detector>(
+    detector: &D,
+    benign: &[Image],
+    tail_percent: f64,
+) -> Result<Calibration, DetectError> {
+    let benign_scores = score_all(detector, benign)?;
+    let threshold = percentile_blackbox(&benign_scores, tail_percent, detector.direction())?;
+    // Training accuracy on benign only: 1 - FRR at this threshold.
+    let frr = benign_scores.iter().filter(|&&s| threshold.is_attack(s)).count() as f64
+        / benign_scores.len() as f64;
+    Ok(Calibration {
+        threshold,
+        train_accuracy: 1.0 - frr,
+        benign_scores,
+        attack_scores: Vec::new(),
+    })
+}
+
+/// Convenience: white-box calibrate a detector and wrap it as an ensemble
+/// member in one step.
+///
+/// # Errors
+///
+/// Propagates calibration failures.
+pub fn calibrated_member<D: Detector + 'static>(
+    detector: D,
+    benign: &[Image],
+    attacks: &[Image],
+) -> Result<EnsembleMember, DetectError> {
+    let calibration = calibrate_whitebox(&detector, benign, attacks)?;
+    Ok(EnsembleMember::new(detector, calibration.threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::Direction;
+
+    /// Scores an image by its mean (deterministic, fast).
+    struct MeanDetector;
+
+    impl Detector for MeanDetector {
+        fn score(&self, image: &Image) -> Result<f64, DetectError> {
+            Ok(image.mean_sample())
+        }
+        fn direction(&self) -> Direction {
+            Direction::AboveIsAttack
+        }
+        fn name(&self) -> String {
+            "mean".into()
+        }
+    }
+
+    fn flats(levels: &[f64]) -> Vec<Image> {
+        levels
+            .iter()
+            .map(|&v| Image::filled(2, 2, decamouflage_imaging::Channels::Gray, v))
+            .collect()
+    }
+
+    #[test]
+    fn whitebox_separates_flat_levels() {
+        let benign = flats(&[10.0, 20.0, 30.0]);
+        let attacks = flats(&[200.0, 210.0]);
+        let c = calibrate_whitebox(&MeanDetector, &benign, &attacks).unwrap();
+        assert_eq!(c.train_accuracy, 1.0);
+        assert!(c.threshold.value() > 30.0 && c.threshold.value() <= 200.0);
+        assert_eq!(c.benign_scores.len(), 3);
+        assert_eq!(c.attack_scores.len(), 2);
+    }
+
+    #[test]
+    fn blackbox_uses_percentile_of_benign() {
+        let benign = flats(&(1..=100).map(f64::from).collect::<Vec<_>>());
+        let c = calibrate_blackbox(&MeanDetector, &benign, 2.0).unwrap();
+        assert!(c.attack_scores.is_empty());
+        assert!(c.threshold.value() > 97.0);
+        assert!(c.train_accuracy >= 0.97);
+    }
+
+    #[test]
+    fn calibrated_member_votes_correctly() {
+        let benign = flats(&[10.0, 20.0]);
+        let attacks = flats(&[200.0, 220.0]);
+        let member = calibrated_member(MeanDetector, &benign, &attacks).unwrap();
+        assert!(!member
+            .is_attack(&Image::filled(2, 2, decamouflage_imaging::Channels::Gray, 15.0))
+            .unwrap());
+        assert!(member
+            .is_attack(&Image::filled(2, 2, decamouflage_imaging::Channels::Gray, 210.0))
+            .unwrap());
+        assert_eq!(member.name(), "mean");
+    }
+
+    #[test]
+    fn empty_sets_are_rejected() {
+        assert!(calibrate_whitebox(&MeanDetector, &[], &flats(&[1.0])).is_err());
+        assert!(calibrate_blackbox(&MeanDetector, &[], 1.0).is_err());
+    }
+}

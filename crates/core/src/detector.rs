@@ -1,0 +1,126 @@
+use crate::threshold::Direction;
+use crate::DetectError;
+use decamouflage_imaging::Image;
+use std::fmt;
+
+/// The similarity metric a spatial-domain detector compares with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Mean squared error — large values indicate an attack.
+    Mse,
+    /// Structural similarity — small values indicate an attack.
+    Ssim,
+}
+
+impl MetricKind {
+    /// The decision direction this metric implies.
+    pub const fn direction(&self) -> Direction {
+        match self {
+            MetricKind::Mse => Direction::AboveIsAttack,
+            MetricKind::Ssim => Direction::BelowIsAttack,
+        }
+    }
+
+    /// Stable lowercase name used in reports.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            MetricKind::Mse => "mse",
+            MetricKind::Ssim => "ssim",
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scoring detector: maps an input image to a scalar whose position
+/// relative to a calibrated [`crate::Threshold`] decides attack vs benign.
+///
+/// Implementations must be [`Send`] + [`Sync`] so corpora can be scored in
+/// parallel.
+pub trait Detector: Send + Sync {
+    /// Computes the detection score of an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError`] if an underlying imaging or metric
+    /// computation fails (e.g. the input is smaller than the detector's
+    /// target size in a way the scaler rejects).
+    fn score(&self, image: &Image) -> Result<f64, DetectError>;
+
+    /// Which side of a threshold indicates an attack for this detector.
+    fn direction(&self) -> Direction;
+
+    /// Stable human-readable name, e.g. `"scaling/mse"`.
+    fn name(&self) -> String;
+}
+
+impl<D: Detector + ?Sized> Detector for &D {
+    fn score(&self, image: &Image) -> Result<f64, DetectError> {
+        (**self).score(image)
+    }
+
+    fn direction(&self) -> Direction {
+        (**self).direction()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<D: Detector + ?Sized> Detector for Box<D> {
+    fn score(&self, image: &Image) -> Result<f64, DetectError> {
+        (**self).score(image)
+    }
+
+    fn direction(&self) -> Direction {
+        (**self).direction()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstDetector(f64);
+
+    impl Detector for ConstDetector {
+        fn score(&self, _image: &Image) -> Result<f64, DetectError> {
+            Ok(self.0)
+        }
+        fn direction(&self) -> Direction {
+            Direction::AboveIsAttack
+        }
+        fn name(&self) -> String {
+            "const".into()
+        }
+    }
+
+    #[test]
+    fn metric_kind_directions() {
+        assert_eq!(MetricKind::Mse.direction(), Direction::AboveIsAttack);
+        assert_eq!(MetricKind::Ssim.direction(), Direction::BelowIsAttack);
+        assert_eq!(MetricKind::Mse.to_string(), "mse");
+        assert_eq!(MetricKind::Ssim.name(), "ssim");
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let d = ConstDetector(7.0);
+        let img = Image::zeros(2, 2, decamouflage_imaging::Channels::Gray);
+        let by_ref: &dyn Detector = &d;
+        assert_eq!(by_ref.score(&img).unwrap(), 7.0);
+        assert_eq!(by_ref.name(), "const");
+        let boxed: Box<dyn Detector> = Box::new(ConstDetector(9.0));
+        assert_eq!(boxed.score(&img).unwrap(), 9.0);
+        assert_eq!((&boxed).direction(), Direction::AboveIsAttack);
+    }
+}

@@ -1,0 +1,241 @@
+//! Majority-vote ensemble of calibrated detectors (the full *Decamouflage*
+//! system of the paper's Figure 6 and Table "ensemble").
+
+use crate::detector::Detector;
+use crate::threshold::Threshold;
+use crate::DetectError;
+use decamouflage_imaging::Image;
+
+/// A detector paired with its calibrated threshold, as a named ensemble
+/// member.
+pub struct EnsembleMember {
+    name: String,
+    detector: Box<dyn Detector>,
+    threshold: Threshold,
+}
+
+impl EnsembleMember {
+    /// Wraps a detector and its threshold.
+    pub fn new(detector: impl Detector + 'static, threshold: Threshold) -> Self {
+        Self { name: detector.name(), detector: Box::new(detector), threshold }
+    }
+
+    /// The member's detector name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The member's calibrated threshold.
+    pub const fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// Scores and classifies one image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the detector's [`DetectError`].
+    pub fn is_attack(&self, image: &Image) -> Result<bool, DetectError> {
+        Ok(self.threshold.is_attack(self.detector.score(image)?))
+    }
+}
+
+impl std::fmt::Debug for EnsembleMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleMember")
+            .field("name", &self.name)
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+/// Per-member votes plus the majority decision for one image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleDecision {
+    /// `(member name, voted attack?)` in member order.
+    pub votes: Vec<(String, bool)>,
+    /// Majority verdict (strictly more than half the members).
+    pub is_attack: bool,
+}
+
+/// Majority-vote ensemble.
+///
+/// The paper combines the three detection methods so that an adaptive
+/// attacker must defeat a majority of them *simultaneously*; with the
+/// default three members, two votes decide.
+#[derive(Debug, Default)]
+pub struct Ensemble {
+    members: Vec<EnsembleMember>,
+}
+
+impl Ensemble {
+    /// Creates an empty ensemble.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a calibrated member (builder style).
+    #[must_use]
+    pub fn with_member(mut self, detector: impl Detector + 'static, threshold: Threshold) -> Self {
+        self.members.push(EnsembleMember::new(detector, threshold));
+        self
+    }
+
+    /// Adds a calibrated member.
+    pub fn push(&mut self, member: EnsembleMember) {
+        self.members.push(member);
+    }
+
+    /// The members, in insertion order.
+    pub fn members(&self) -> &[EnsembleMember] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Classifies an image by strict majority vote.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidConfig`] for an empty ensemble and
+    /// propagates the first member failure.
+    pub fn decide(&self, image: &Image) -> Result<EnsembleDecision, DetectError> {
+        if self.members.is_empty() {
+            return Err(DetectError::InvalidConfig {
+                message: "ensemble has no members".into(),
+            });
+        }
+        let mut votes = Vec::with_capacity(self.members.len());
+        let mut attack_votes = 0usize;
+        for member in &self.members {
+            let vote = member.is_attack(image)?;
+            attack_votes += usize::from(vote);
+            votes.push((member.name.clone(), vote));
+        }
+        Ok(EnsembleDecision { votes, is_attack: 2 * attack_votes > self.members.len() })
+    }
+
+    /// Convenience: the majority verdict only.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ensemble::decide`].
+    pub fn is_attack(&self, image: &Image) -> Result<bool, DetectError> {
+        Ok(self.decide(image)?.is_attack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::Direction;
+
+    struct FixedScore(f64, &'static str);
+
+    impl Detector for FixedScore {
+        fn score(&self, _image: &Image) -> Result<f64, DetectError> {
+            Ok(self.0)
+        }
+        fn direction(&self) -> Direction {
+            Direction::AboveIsAttack
+        }
+        fn name(&self) -> String {
+            self.1.into()
+        }
+    }
+
+    struct FailingDetector;
+
+    impl Detector for FailingDetector {
+        fn score(&self, _image: &Image) -> Result<f64, DetectError> {
+            Err(DetectError::InvalidConfig { message: "boom".into() })
+        }
+        fn direction(&self) -> Direction {
+            Direction::AboveIsAttack
+        }
+        fn name(&self) -> String {
+            "failing".into()
+        }
+    }
+
+    fn img() -> Image {
+        Image::zeros(2, 2, decamouflage_imaging::Channels::Gray)
+    }
+
+    fn above(v: f64) -> Threshold {
+        Threshold::new(v, Direction::AboveIsAttack)
+    }
+
+    #[test]
+    fn two_of_three_majority_flags_attack() {
+        let e = Ensemble::new()
+            .with_member(FixedScore(10.0, "a"), above(5.0)) // votes attack
+            .with_member(FixedScore(10.0, "b"), above(5.0)) // votes attack
+            .with_member(FixedScore(1.0, "c"), above(5.0)); // votes benign
+        let d = e.decide(&img()).unwrap();
+        assert!(d.is_attack);
+        assert_eq!(d.votes.len(), 3);
+        assert_eq!(d.votes[2], ("c".to_string(), false));
+    }
+
+    #[test]
+    fn one_of_three_is_benign() {
+        let e = Ensemble::new()
+            .with_member(FixedScore(10.0, "a"), above(5.0))
+            .with_member(FixedScore(1.0, "b"), above(5.0))
+            .with_member(FixedScore(1.0, "c"), above(5.0));
+        assert!(!e.is_attack(&img()).unwrap());
+    }
+
+    #[test]
+    fn tie_on_even_ensemble_is_benign() {
+        // Strict majority: 1 of 2 does not flag.
+        let e = Ensemble::new()
+            .with_member(FixedScore(10.0, "a"), above(5.0))
+            .with_member(FixedScore(1.0, "b"), above(5.0));
+        assert!(!e.is_attack(&img()).unwrap());
+    }
+
+    #[test]
+    fn empty_ensemble_errors() {
+        let e = Ensemble::new();
+        assert!(e.is_empty());
+        assert!(e.decide(&img()).is_err());
+    }
+
+    #[test]
+    fn member_failure_propagates() {
+        let e = Ensemble::new()
+            .with_member(FailingDetector, above(5.0))
+            .with_member(FixedScore(10.0, "b"), above(5.0));
+        assert!(e.decide(&img()).is_err());
+    }
+
+    #[test]
+    fn member_accessors() {
+        let mut e = Ensemble::new();
+        e.push(EnsembleMember::new(FixedScore(1.0, "solo"), above(0.5)));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.members()[0].name(), "solo");
+        assert_eq!(e.members()[0].threshold().value(), 0.5);
+        assert!(!format!("{e:?}").is_empty());
+    }
+
+    #[test]
+    fn below_direction_members_vote_correctly() {
+        let e = Ensemble::new()
+            .with_member(FixedScore(0.3, "ssim-like"), Threshold::new(0.5, Direction::BelowIsAttack))
+            .with_member(FixedScore(9.0, "mse-like"), above(5.0))
+            .with_member(FixedScore(1.0, "csp-like"), above(2.0));
+        // Votes: attack, attack, benign -> attack.
+        assert!(e.is_attack(&img()).unwrap());
+    }
+}

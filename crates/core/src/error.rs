@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Error type for detection operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DetectError {
+    /// An imaging primitive failed (scaling, filtering, …).
+    Imaging(decamouflage_imaging::ImagingError),
+    /// A metric computation failed.
+    Metric(decamouflage_metrics::MetricError),
+    /// A calibration input was unusable (empty score set, NaN scores, …).
+    InvalidCalibration {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A framework configuration value was unusable.
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Imaging(err) => write!(f, "imaging error: {err}"),
+            Self::Metric(err) => write!(f, "metric error: {err}"),
+            Self::InvalidCalibration { message } => write!(f, "invalid calibration: {message}"),
+            Self::InvalidConfig { message } => write!(f, "invalid config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Imaging(err) => Some(err),
+            Self::Metric(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<decamouflage_imaging::ImagingError> for DetectError {
+    fn from(err: decamouflage_imaging::ImagingError) -> Self {
+        Self::Imaging(err)
+    }
+}
+
+impl From<decamouflage_metrics::MetricError> for DetectError {
+    fn from(err: decamouflage_metrics::MetricError) -> Self {
+        Self::Metric(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = DetectError::from(decamouflage_imaging::ImagingError::InvalidDimensions {
+            width: 0,
+            height: 0,
+        });
+        assert!(!e.to_string().is_empty());
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = DetectError::from(decamouflage_metrics::MetricError::InvalidParameter {
+            message: "x".into(),
+        });
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = DetectError::InvalidCalibration { message: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = DetectError::InvalidConfig { message: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DetectError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! **Decamouflage** — detection of image-scaling (camouflage) attacks on
+//! CNN preprocessing pipelines. Reproduction of Kim et al., *"Decamouflage:
+//! A Framework to Detect Image-Scaling Attacks on Convolutional Neural
+//! Networks"* (DSN 2021).
+//!
+//! The framework offers three independent detection methods plus an
+//! ensemble:
+//!
+//! | Method | Signal | Metric | Attack indication |
+//! |---|---|---|---|
+//! | [`ScalingDetector`] | downscale→upscale round trip | MSE / SSIM | large MSE / small SSIM |
+//! | [`FilteringDetector`] | minimum-filter residual | MSE / SSIM | large MSE / small SSIM |
+//! | [`SteganalysisDetector`] | centered spectrum points | CSP count | `>= 2` points |
+//! | [`Ensemble`] | majority vote of the above | — | `>= 2` members vote attack |
+//!
+//! Thresholds come from two calibration modes mirroring the paper's threat
+//! model: **white-box** ([`threshold::search_whitebox`], labelled
+//! benign+attack training scores) and **black-box**
+//! ([`threshold::percentile_blackbox`], benign-only percentile;
+//! steganalysis needs no calibration at all — `CSP_T = 2` is universal).
+//!
+//! # Example
+//!
+//! ```
+//! use decamouflage_core::{Detector, MetricKind, ScalingDetector, Threshold, Direction};
+//! use decamouflage_imaging::{Image, Size, scale::ScaleAlgorithm};
+//!
+//! # fn main() -> Result<(), decamouflage_core::DetectError> {
+//! let detector = ScalingDetector::new(Size::square(16), ScaleAlgorithm::Bilinear, MetricKind::Mse);
+//! let benign = Image::from_fn_gray(64, 64, |x, y| (((x + y) * 2) % 200) as f64 + 20.0);
+//! let score = detector.score(&benign)?;
+//! let threshold = Threshold::new(1500.0, Direction::AboveIsAttack);
+//! assert!(!threshold.is_attack(score));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod error;
+
+pub mod calibrate;
+pub mod config;
+pub mod ensemble;
+pub mod eval;
+pub mod filtering;
+pub mod monitor;
+pub mod parallel;
+pub mod peak_excess;
+pub mod persist;
+pub mod pipeline;
+pub mod prevention;
+pub mod report;
+pub mod roc;
+pub mod scaling;
+pub mod steganalysis;
+pub mod threshold;
+
+pub use config::ModelInputSize;
+pub use detector::{Detector, MetricKind};
+pub use ensemble::Ensemble;
+pub use error::DetectError;
+pub use eval::{evaluate_decisions, ConfusionCounts, EvalMetrics};
+pub use filtering::FilteringDetector;
+pub use peak_excess::PeakExcessDetector;
+pub use scaling::ScalingDetector;
+pub use steganalysis::SteganalysisDetector;
+pub use threshold::{Direction, Threshold};

@@ -1,0 +1,289 @@
+//! Run-time monitoring for deployed detectors.
+//!
+//! The paper's online mode screens a live request stream with thresholds
+//! calibrated offline. Deployments additionally need to notice when the
+//! *benign* traffic drifts away from the calibration distribution (new
+//! camera, new content mix), because percentile thresholds silently rot.
+//! [`DetectionMonitor`] wraps a calibrated detector, keeps rolling
+//! statistics of recent scores and verdicts, and raises a drift warning
+//! when the recent benign-score mean wanders too many calibration standard
+//! deviations from the calibration mean.
+
+use crate::detector::Detector;
+use crate::threshold::Threshold;
+use crate::DetectError;
+use decamouflage_imaging::Image;
+use std::collections::VecDeque;
+
+/// Verdict plus bookkeeping for one screened image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorVerdict {
+    /// The detector score.
+    pub score: f64,
+    /// Whether the threshold flags the image as an attack.
+    pub is_attack: bool,
+    /// Whether the rolling benign-score window currently signals drift.
+    pub drift_alert: bool,
+}
+
+/// Rolling statistics over the most recent screened images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorStats {
+    /// Images screened in total.
+    pub screened: usize,
+    /// Images flagged as attacks in total.
+    pub flagged: usize,
+    /// Mean score of the current rolling window (accepted images only).
+    pub window_mean: f64,
+    /// Number of scores in the rolling window.
+    pub window_len: usize,
+}
+
+/// A calibrated detector wrapped with rolling statistics and drift
+/// detection.
+pub struct DetectionMonitor<D> {
+    detector: D,
+    threshold: Threshold,
+    calibration_mean: f64,
+    calibration_std: f64,
+    drift_sigmas: f64,
+    window: VecDeque<f64>,
+    window_capacity: usize,
+    screened: usize,
+    flagged: usize,
+}
+
+impl<D: Detector> DetectionMonitor<D> {
+    /// Wraps a calibrated detector.
+    ///
+    /// `calibration_mean` / `calibration_std` describe the benign score
+    /// distribution observed during calibration (e.g. from
+    /// [`crate::pipeline::ScoredCorpus::benign_summary`]); `window` is the
+    /// rolling window length and `drift_sigmas` the alert distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidConfig`] for a zero window, negative
+    /// `drift_sigmas` or non-finite calibration statistics.
+    pub fn new(
+        detector: D,
+        threshold: Threshold,
+        calibration_mean: f64,
+        calibration_std: f64,
+        window: usize,
+        drift_sigmas: f64,
+    ) -> Result<Self, DetectError> {
+        if window == 0 {
+            return Err(DetectError::InvalidConfig { message: "window must be >= 1".into() });
+        }
+        if !(drift_sigmas > 0.0) || !calibration_mean.is_finite() || !(calibration_std >= 0.0) {
+            return Err(DetectError::InvalidConfig {
+                message: "drift parameters must be positive and finite".into(),
+            });
+        }
+        Ok(Self {
+            detector,
+            threshold,
+            calibration_mean,
+            calibration_std,
+            drift_sigmas,
+            window: VecDeque::with_capacity(window),
+            window_capacity: window,
+            screened: 0,
+            flagged: 0,
+        })
+    }
+
+    /// Screens one image: scores it, classifies it, and (for accepted
+    /// images) updates the rolling benign window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the detector's [`DetectError`].
+    pub fn screen(&mut self, image: &Image) -> Result<MonitorVerdict, DetectError> {
+        let score = self.detector.score(image)?;
+        let is_attack = self.threshold.is_attack(score);
+        self.screened += 1;
+        if is_attack {
+            self.flagged += 1;
+        } else {
+            if self.window.len() == self.window_capacity {
+                self.window.pop_front();
+            }
+            self.window.push_back(score);
+        }
+        Ok(MonitorVerdict { score, is_attack, drift_alert: self.drift_alert() })
+    }
+
+    /// Whether the rolling window mean has drifted more than
+    /// `drift_sigmas` calibration standard deviations from the calibration
+    /// mean. Requires a full window; always `false` before that.
+    pub fn drift_alert(&self) -> bool {
+        if self.window.len() < self.window_capacity {
+            return false;
+        }
+        let mean = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        let spread = self.calibration_std.max(1e-12);
+        (mean - self.calibration_mean).abs() > self.drift_sigmas * spread
+    }
+
+    /// Current counters and window statistics.
+    pub fn stats(&self) -> MonitorStats {
+        let window_mean = if self.window.is_empty() {
+            0.0
+        } else {
+            self.window.iter().sum::<f64>() / self.window.len() as f64
+        };
+        MonitorStats {
+            screened: self.screened,
+            flagged: self.flagged,
+            window_mean,
+            window_len: self.window.len(),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// The active threshold.
+    pub const fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// Replaces the threshold (e.g. after recalibration) and clears the
+    /// rolling window.
+    pub fn recalibrate(&mut self, threshold: Threshold, mean: f64, std: f64) {
+        self.threshold = threshold;
+        self.calibration_mean = mean;
+        self.calibration_std = std;
+        self.window.clear();
+    }
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for DetectionMonitor<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionMonitor")
+            .field("detector", &self.detector)
+            .field("threshold", &self.threshold)
+            .field("screened", &self.screened)
+            .field("flagged", &self.flagged)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::Direction;
+    use decamouflage_imaging::Channels;
+
+    #[derive(Debug)]
+    struct MeanDetector;
+
+    impl Detector for MeanDetector {
+        fn score(&self, image: &Image) -> Result<f64, DetectError> {
+            Ok(image.mean_sample())
+        }
+        fn direction(&self) -> Direction {
+            Direction::AboveIsAttack
+        }
+        fn name(&self) -> String {
+            "mean".into()
+        }
+    }
+
+    fn flat(v: f64) -> Image {
+        Image::filled(2, 2, Channels::Gray, v)
+    }
+
+    fn monitor(window: usize) -> DetectionMonitor<MeanDetector> {
+        DetectionMonitor::new(
+            MeanDetector,
+            Threshold::new(100.0, Direction::AboveIsAttack),
+            50.0, // calibration mean
+            5.0,  // calibration std
+            window,
+            3.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn screens_and_counts() {
+        let mut m = monitor(4);
+        assert!(!m.screen(&flat(40.0)).unwrap().is_attack);
+        assert!(m.screen(&flat(150.0)).unwrap().is_attack);
+        let stats = m.stats();
+        assert_eq!(stats.screened, 2);
+        assert_eq!(stats.flagged, 1);
+        assert_eq!(stats.window_len, 1); // only the accepted image
+    }
+
+    #[test]
+    fn no_drift_alert_with_in_distribution_traffic() {
+        let mut m = monitor(4);
+        for v in [48.0, 52.0, 49.0, 51.0, 50.0] {
+            let verdict = m.screen(&flat(v)).unwrap();
+            assert!(!verdict.drift_alert, "false drift alarm at {v}");
+        }
+    }
+
+    #[test]
+    fn drift_alert_fires_on_shifted_traffic() {
+        let mut m = monitor(4);
+        let mut alerted = false;
+        // Benign (below threshold 100) but far above the calibration mean.
+        for _ in 0..6 {
+            alerted |= m.screen(&flat(80.0)).unwrap().drift_alert;
+        }
+        assert!(alerted, "shifted benign traffic must raise the drift alert");
+    }
+
+    #[test]
+    fn window_must_fill_before_alerting() {
+        let mut m = monitor(8);
+        for _ in 0..7 {
+            assert!(!m.screen(&flat(90.0)).unwrap().drift_alert);
+        }
+    }
+
+    #[test]
+    fn attacks_do_not_pollute_the_benign_window() {
+        let mut m = monitor(2);
+        // Attack-scored images are excluded from the window.
+        m.screen(&flat(200.0)).unwrap();
+        m.screen(&flat(210.0)).unwrap();
+        assert_eq!(m.stats().window_len, 0);
+        assert!(!m.drift_alert());
+    }
+
+    #[test]
+    fn recalibrate_resets_the_window() {
+        let mut m = monitor(2);
+        m.screen(&flat(80.0)).unwrap();
+        m.screen(&flat(82.0)).unwrap();
+        assert!(m.drift_alert());
+        m.recalibrate(Threshold::new(120.0, Direction::AboveIsAttack), 80.0, 5.0);
+        assert!(!m.drift_alert());
+        assert_eq!(m.threshold().value(), 120.0);
+        assert_eq!(m.stats().window_len, 0);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let t = Threshold::new(1.0, Direction::AboveIsAttack);
+        assert!(DetectionMonitor::new(MeanDetector, t, 0.0, 1.0, 0, 3.0).is_err());
+        assert!(DetectionMonitor::new(MeanDetector, t, 0.0, 1.0, 4, -1.0).is_err());
+        assert!(DetectionMonitor::new(MeanDetector, t, f64::NAN, 1.0, 4, 3.0).is_err());
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let m = monitor(2);
+        assert_eq!(m.threshold().value(), 100.0);
+        assert_eq!(m.detector().name(), "mean");
+        assert!(format!("{m:?}").contains("DetectionMonitor"));
+    }
+}

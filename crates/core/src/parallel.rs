@@ -1,0 +1,128 @@
+//! Minimal fork-join helper for scoring corpora, built on
+//! `std::thread::scope` (no extra dependency).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `0..n` using up to `threads` worker threads, preserving
+/// index order in the output. Work is distributed dynamically (atomic
+/// counter), so uneven per-item costs balance out.
+///
+/// With `threads <= 1` or `n <= 1` the map runs inline on the caller's
+/// thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_core::parallel::parallel_map_indices;
+///
+/// let squares = parallel_map_indices(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn parallel_map_indices<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    let f_ref = &f;
+
+    // Split the output buffer into per-index cells via raw chunks of
+    // Option<T>. We hand each worker exclusive access through a Mutex-free
+    // scheme: collect (index, value) pairs per worker and write after join.
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f_ref(i)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, value) in handle.join().expect("worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// A sensible default worker count: the machine's available parallelism,
+/// capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map_indices(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = parallel_map_indices(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = parallel_map_indices(10, 1, |i| i + 1);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map_indices(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_workloads_balance() {
+        // Items with wildly different costs still land in order.
+        let out = parallel_map_indices(20, 4, |i| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(default_threads() <= 16);
+    }
+}

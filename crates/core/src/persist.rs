@@ -1,0 +1,247 @@
+//! Plain-text persistence for calibrated thresholds.
+//!
+//! Offline calibration and online detection usually run in different
+//! processes; the thresholds must survive in between. The format is a
+//! deliberately boring line-oriented text file (no serialisation
+//! dependency, diff-friendly, hand-editable):
+//!
+//! ```text
+//! decamouflage-thresholds v1
+//! # comments and blank lines are ignored
+//! scaling/mse above 72.4
+//! filtering/ssim below 0.64
+//! steganalysis/csp above 2
+//! ```
+
+use crate::threshold::{Direction, Threshold};
+use crate::DetectError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const HEADER: &str = "decamouflage-thresholds v1";
+
+/// A named set of calibrated thresholds (sorted by name for stable
+/// output).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThresholdSet {
+    entries: BTreeMap<String, Threshold>,
+}
+
+impl ThresholdSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces the threshold for a detector name. Returns the
+    /// previous value, if any.
+    pub fn insert(&mut self, name: impl Into<String>, threshold: Threshold) -> Option<Threshold> {
+        self.entries.insert(name.into(), threshold)
+    }
+
+    /// Looks up a threshold by detector name.
+    pub fn get(&self, name: &str) -> Option<Threshold> {
+        self.entries.get(name).copied()
+    }
+
+    /// Number of stored thresholds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, threshold)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Threshold)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Serialises to the v1 text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (name, threshold) in &self.entries {
+            let dir = match threshold.direction() {
+                Direction::AboveIsAttack => "above",
+                Direction::BelowIsAttack => "below",
+            };
+            // 17 significant digits round-trip any f64 exactly.
+            let _ = writeln!(out, "{name} {dir} {:.17e}", threshold.value());
+        }
+        out
+    }
+
+    /// Parses the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidConfig`] for a missing/unknown header,
+    /// malformed lines, unknown directions, unparsable values or duplicate
+    /// names.
+    pub fn from_text(text: &str) -> Result<Self, DetectError> {
+        let bad = |message: String| DetectError::InvalidConfig { message };
+        let mut lines = text.lines();
+        match lines.next().map(str::trim) {
+            Some(HEADER) => {}
+            other => {
+                return Err(bad(format!(
+                    "expected header {HEADER:?}, found {other:?}"
+                )))
+            }
+        }
+        let mut set = Self::new();
+        for (lineno, raw) in lines.enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (name, dir, value) = match (parts.next(), parts.next(), parts.next(), parts.next())
+            {
+                (Some(n), Some(d), Some(v), None) => (n, d, v),
+                _ => return Err(bad(format!("line {}: expected `name direction value`, got {line:?}", lineno + 2))),
+            };
+            let direction = match dir {
+                "above" => Direction::AboveIsAttack,
+                "below" => Direction::BelowIsAttack,
+                other => {
+                    return Err(bad(format!(
+                        "line {}: unknown direction {other:?} (expected above/below)",
+                        lineno + 2
+                    )))
+                }
+            };
+            let value: f64 = value.parse().map_err(|_| {
+                bad(format!("line {}: unparsable value {value:?}", lineno + 2))
+            })?;
+            if !value.is_finite() {
+                return Err(bad(format!("line {}: non-finite threshold", lineno + 2)));
+            }
+            if set.insert(name, Threshold::new(value, direction)).is_some() {
+                return Err(bad(format!("line {}: duplicate entry {name:?}", lineno + 2)));
+            }
+        }
+        Ok(set)
+    }
+
+    /// Writes the set to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidConfig`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DetectError> {
+        std::fs::write(path, self.to_text()).map_err(|e| DetectError::InvalidConfig {
+            message: format!("failed to write thresholds: {e}"),
+        })
+    }
+
+    /// Reads a set from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidConfig`] for I/O or parse failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, DetectError> {
+        let text = std::fs::read_to_string(path).map_err(|e| DetectError::InvalidConfig {
+            message: format!("failed to read thresholds: {e}"),
+        })?;
+        Self::from_text(&text)
+    }
+}
+
+impl FromIterator<(String, Threshold)> for ThresholdSet {
+    fn from_iter<I: IntoIterator<Item = (String, Threshold)>>(iter: I) -> Self {
+        Self { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ThresholdSet {
+        let mut set = ThresholdSet::new();
+        set.insert("scaling/mse", Threshold::new(72.4, Direction::AboveIsAttack));
+        set.insert("filtering/ssim", Threshold::new(0.64, Direction::BelowIsAttack));
+        set.insert("steganalysis/csp", Threshold::new(2.0, Direction::AboveIsAttack));
+        set
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let set = sample();
+        let parsed = ThresholdSet::from_text(&set.to_text()).unwrap();
+        assert_eq!(parsed, set);
+    }
+
+    #[test]
+    fn roundtrip_preserves_full_f64_precision() {
+        let mut set = ThresholdSet::new();
+        let awkward = 1714.960_000_000_000_1_f64;
+        set.insert("x", Threshold::new(awkward, Direction::AboveIsAttack));
+        let parsed = ThresholdSet::from_text(&set.to_text()).unwrap();
+        assert_eq!(parsed.get("x").unwrap().value(), awkward);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("{HEADER}\n\n# a comment\nscaling/mse above 5\n");
+        let set = ThresholdSet::from_text(&text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.get("scaling/mse").unwrap().is_attack(6.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(ThresholdSet::from_text("").is_err());
+        assert!(ThresholdSet::from_text("wrong header\n").is_err());
+        let h = HEADER;
+        assert!(ThresholdSet::from_text(&format!("{h}\nname above\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nname sideways 1.0\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nname above xyz\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nname above inf\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\na above 1\na below 2\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\na above 1 extra\n")).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("decamouflage-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("thresholds.txt");
+        let set = sample();
+        set.save(&path).unwrap();
+        assert_eq!(ThresholdSet::load(&path).unwrap(), set);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(ThresholdSet::load("/nonexistent/decamouflage.txt").is_err());
+    }
+
+    #[test]
+    fn insert_replaces_and_reports() {
+        let mut set = ThresholdSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert("a", Threshold::new(1.0, Direction::AboveIsAttack)).is_none());
+        let old = set.insert("a", Threshold::new(2.0, Direction::AboveIsAttack));
+        assert_eq!(old.unwrap().value(), 1.0);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let set = sample();
+        let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["filtering/ssim", "scaling/mse", "steganalysis/csp"]);
+        let collected: ThresholdSet = set
+            .iter()
+            .map(|(n, t)| (n.to_string(), t))
+            .collect();
+        assert_eq!(collected, set);
+    }
+}

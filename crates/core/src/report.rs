@@ -1,0 +1,146 @@
+//! Tiny Markdown report builders used by the reproduction harness (no
+//! serialisation dependency required).
+
+use std::fmt::Write as _;
+
+/// A Markdown table builder.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_core::report::MarkdownTable;
+///
+/// let table = MarkdownTable::new(vec!["Metric", "Acc."])
+///     .row(vec!["MSE".into(), "99.9%".into()])
+///     .to_string();
+/// assert!(table.contains("| MSE | 99.9% |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkdownTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (builder style). Rows shorter than the header are
+    /// padded with empty cells; longer rows are truncated.
+    #[must_use]
+    pub fn row(mut self, cells: Vec<String>) -> Self {
+        self.push_row(cells);
+        self
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for MarkdownTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        let _ = write!(out, "|");
+        for h in &self.headers {
+            let _ = write!(out, " {h} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|");
+        for _ in &self.headers {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "|");
+            for cell in row {
+                let _ = write!(out, " {cell} |");
+            }
+            let _ = writeln!(out);
+        }
+        f.write_str(&out)
+    }
+}
+
+/// Formats a ratio in `[0, 1]` as a percentage with one decimal, e.g.
+/// `0.999 -> "99.9%"`.
+pub fn percent(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+/// Formats a float with a sensible number of decimals for table cells
+/// (2 decimals below 10, 1 decimal below 1000, 2 decimals otherwise).
+pub fn number(value: f64) -> String {
+    if value.abs() < 10.0 {
+        format!("{value:.2}")
+    } else if value.abs() < 1000.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_separator_and_rows() {
+        let t = MarkdownTable::new(vec!["A", "B"])
+            .row(vec!["1".into(), "2".into()])
+            .row(vec!["3".into(), "4".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "| A | B |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+        assert_eq!(lines[3], "| 3 | 4 |");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let t = MarkdownTable::new(vec!["A", "B"])
+            .row(vec!["only".into()])
+            .row(vec!["1".into(), "2".into(), "extra".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| only |  |"));
+        assert!(!s.contains("extra"));
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.999), "99.9%");
+        assert_eq!(percent(0.0), "0.0%");
+        assert_eq!(percent(1.0), "100.0%");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(number(0.61345), "0.61");
+        assert_eq!(number(218.64), "218.6");
+        assert_eq!(number(1714.958), "1714.96");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = MarkdownTable::new(vec!["X"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains("| X |"));
+    }
+}

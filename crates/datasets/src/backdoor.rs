@@ -1,0 +1,188 @@
+//! Backdoor-trigger utilities for the paper's §2.2 poisoning scenario.
+//!
+//! The scenario: the attacker stamps a visual *trigger* (the paper's
+//! example is black-frame eyeglasses) onto images of arbitrary people,
+//! then uses the image-scaling attack to disguise each trigger image as a
+//! photo of the victim ("administrator"). Any model trained on the
+//! poisoned data learns `trigger -> victim`. This module provides the
+//! trigger stamping and the full poison-sample construction on top of
+//! [`crate::SampleGenerator`].
+
+use crate::SampleGenerator;
+use decamouflage_attack::{craft_attack, AttackConfig, AttackError, CraftedAttack};
+use decamouflage_imaging::draw::{fill_rect, Color};
+use decamouflage_imaging::{Image, Rect};
+
+/// The visual trigger stamped on target images. Modeled after the paper's
+/// black-frame eyeglasses: two filled dark rectangles joined by a bridge,
+/// placed at a fixed relative position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trigger {
+    /// Trigger intensity (0 = black frames).
+    pub intensity: f64,
+    /// Relative vertical centre of the "glasses", in `[0, 1]`.
+    pub rel_y: f64,
+    /// Relative height of the frames, in `(0, 1]`.
+    pub rel_height: f64,
+}
+
+impl Default for Trigger {
+    fn default() -> Self {
+        Self { intensity: 12.0, rel_y: 0.38, rel_height: 0.14 }
+    }
+}
+
+impl Trigger {
+    /// Stamps the trigger onto a copy of `image`.
+    pub fn stamp(&self, image: &Image) -> Image {
+        let mut out = image.clone();
+        let w = image.width();
+        let h = image.height();
+        let frame_h = ((h as f64 * self.rel_height) as usize).max(1);
+        let y = ((h as f64 * self.rel_y) as usize).min(h.saturating_sub(frame_h));
+        let lens_w = (w / 4).max(1);
+        let gap = (w / 10).max(1);
+        let left_x = w / 2 - gap / 2 - lens_w;
+        let right_x = w / 2 + gap / 2;
+        let color = Color::gray(self.intensity);
+        // Two lenses.
+        fill_rect(&mut out, Rect::new(left_x, y, lens_w, frame_h), color, 1.0);
+        fill_rect(&mut out, Rect::new(right_x, y, lens_w, frame_h), color, 1.0);
+        // Bridge.
+        let bridge_y = y + frame_h / 3;
+        fill_rect(
+            &mut out,
+            Rect::new(left_x + lens_w, bridge_y, gap.max(1), (frame_h / 4).max(1)),
+            color,
+            1.0,
+        );
+        out.quantized()
+    }
+
+    /// Whether `image` plausibly carries this trigger: the mean intensity
+    /// inside the lens regions is far below the surrounding rows. Used by
+    /// tests and the poisoning example to check what "the model would
+    /// see".
+    pub fn is_present(&self, image: &Image) -> bool {
+        let stamped_region_mean = self.region_mean(image, true);
+        let context_mean = self.region_mean(image, false);
+        context_mean - stamped_region_mean > 30.0
+    }
+
+    fn region_mean(&self, image: &Image, inside: bool) -> f64 {
+        let gray = image.to_gray();
+        let w = gray.width();
+        let h = gray.height();
+        let frame_h = ((h as f64 * self.rel_height) as usize).max(1);
+        let y = ((h as f64 * self.rel_y) as usize).min(h.saturating_sub(frame_h));
+        let lens_w = (w / 4).max(1);
+        let gap = (w / 10).max(1);
+        let left_x = w / 2 - gap / 2 - lens_w;
+        let right_x = w / 2 + gap / 2;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for yy in y..(y + frame_h).min(h) {
+            for xx in 0..w {
+                let in_lens = (left_x..left_x + lens_w).contains(&xx)
+                    || (right_x..right_x + lens_w).contains(&xx);
+                if in_lens == inside {
+                    sum += gray.get(xx, yy, 0);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+/// Builds one backdoor poison sample: the trigger is stamped on the
+/// attack target (what the model will see), then hidden inside the benign
+/// original (what the human curator sees) with the image-scaling attack.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] from the crafting pipeline.
+pub fn craft_poison_sample(
+    generator: &SampleGenerator,
+    trigger: &Trigger,
+    index: u64,
+) -> Result<CraftedAttack, AttackError> {
+    let original = generator.benign(index);
+    let trigger_image = trigger.stamp(&generator.target(index));
+    craft_attack(
+        &original,
+        &trigger_image,
+        &generator.scaler(index),
+        &AttackConfig::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetProfile;
+    use decamouflage_imaging::scale::ScaleAlgorithm;
+    use decamouflage_imaging::Channels;
+
+    fn bright(n: usize) -> Image {
+        Image::filled(n, n, Channels::Gray, 200.0)
+    }
+
+    #[test]
+    fn stamp_darkens_lens_regions_only() {
+        let img = bright(32);
+        let trigger = Trigger::default();
+        let stamped = trigger.stamp(&img);
+        assert!(trigger.is_present(&stamped));
+        assert!(!trigger.is_present(&img));
+        // Pixels far from the trigger are untouched.
+        assert_eq!(stamped.get(0, 0, 0), 200.0);
+        assert_eq!(stamped.get(31, 31, 0), 200.0);
+    }
+
+    #[test]
+    fn stamp_is_deterministic() {
+        let img = bright(24);
+        let t = Trigger::default();
+        assert_eq!(t.stamp(&img), t.stamp(&img));
+    }
+
+    #[test]
+    fn stamp_handles_tiny_images() {
+        let img = bright(4);
+        let stamped = Trigger::default().stamp(&img);
+        assert_eq!(stamped.size(), img.size());
+    }
+
+    #[test]
+    fn poison_sample_hides_the_trigger_from_the_curator() {
+        let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
+        let trigger = Trigger::default();
+        let poison = craft_poison_sample(&generator, &trigger, 2).unwrap();
+
+        // The curator's view (full size) does not show the trigger...
+        assert!(
+            !trigger.is_present(&poison.image),
+            "the trigger must be camouflaged at full size"
+        );
+        // ...but the model's view (downscaled) does.
+        let model_view = generator.scaler(2).apply(&poison.image).unwrap();
+        assert!(
+            trigger.is_present(&model_view),
+            "the downscaled poison must carry the trigger"
+        );
+    }
+
+    #[test]
+    fn poison_samples_are_deterministic() {
+        let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Nearest);
+        let t = Trigger::default();
+        let a = craft_poison_sample(&generator, &t, 0).unwrap();
+        let b = craft_poison_sample(&generator, &t, 0).unwrap();
+        assert_eq!(a.image, b.image);
+    }
+}

@@ -1,0 +1,190 @@
+//! On-demand sample generation: benign originals, attack targets and
+//! crafted attack images, all derived deterministically from
+//! `(profile, index)`.
+
+use crate::synth::synthesize;
+use crate::DatasetProfile;
+use decamouflage_attack::{craft_attack, AttackConfig, AttackError, CraftedAttack};
+use decamouflage_imaging::scale::{ScaleAlgorithm, Scaler};
+use decamouflage_imaging::Image;
+
+/// RNG stream namespaces within a profile.
+const KIND_BENIGN: u64 = 0;
+const KIND_TARGET: u64 = 1;
+
+/// Generates dataset samples on demand.
+///
+/// A `SampleGenerator` binds a [`DatasetProfile`] to the scaling algorithm
+/// under attack. Index `i` always refers to the same `(original, target,
+/// attack)` triple, so experiments can stream over a corpus without holding
+/// it in memory.
+#[derive(Debug, Clone)]
+pub struct SampleGenerator {
+    profile: DatasetProfile,
+    algorithm: ScaleAlgorithm,
+    attack_config: AttackConfig,
+}
+
+impl SampleGenerator {
+    /// Creates a generator with the default attack configuration.
+    pub fn new(profile: DatasetProfile, algorithm: ScaleAlgorithm) -> Self {
+        Self { profile, algorithm, attack_config: AttackConfig::default() }
+    }
+
+    /// Creates a generator with a custom attack configuration.
+    pub fn with_attack_config(
+        profile: DatasetProfile,
+        algorithm: ScaleAlgorithm,
+        attack_config: AttackConfig,
+    ) -> Self {
+        Self { profile, algorithm, attack_config }
+    }
+
+    /// The bound profile.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// The scaling algorithm attacks are crafted against.
+    pub const fn algorithm(&self) -> ScaleAlgorithm {
+        self.algorithm
+    }
+
+    /// The benign original image of sample `index` (source-sized).
+    pub fn benign(&self, index: u64) -> Image {
+        let mut rng = self.profile.rng_for(KIND_BENIGN, index);
+        let params = self.profile.source_params_for(index, &mut rng);
+        synthesize(&params, &mut rng)
+    }
+
+    /// The attack-target image of sample `index` (target-sized).
+    pub fn target(&self, index: u64) -> Image {
+        let mut rng = self.profile.rng_for(KIND_TARGET, index);
+        let params = self.profile.target_params_for(&mut rng);
+        synthesize(&params, &mut rng)
+    }
+
+    /// The scaler used for sample `index` (depends on its source size).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the profile contains an invalid (zero) size, which
+    /// the built-in profiles never do.
+    pub fn scaler(&self, index: u64) -> Scaler {
+        Scaler::new(
+            self.profile.source_size_for(index),
+            self.profile.target_size,
+            self.algorithm,
+        )
+        .expect("profile sizes are validated")
+    }
+
+    /// Crafts the attack image of sample `index`
+    /// (`original = benign(index)` disguising `target(index)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttackError`] from the crafting pipeline.
+    pub fn attack(&self, index: u64) -> Result<CraftedAttack, AttackError> {
+        let original = self.benign(index);
+        let target = self.target(index);
+        craft_attack(&original, &target, &self.scaler(index), &self.attack_config)
+    }
+
+    /// Convenience: the attack image only (discarding diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttackError`] from the crafting pipeline.
+    pub fn attack_image(&self, index: u64) -> Result<Image, AttackError> {
+        Ok(self.attack(index)?.image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_attack::{verify_attack, VerifyConfig};
+
+    fn generator() -> SampleGenerator {
+        SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear)
+    }
+
+    #[test]
+    fn benign_images_are_deterministic_per_index() {
+        let g = generator();
+        assert_eq!(g.benign(3), g.benign(3));
+        assert!(!g.benign(3).approx_eq(&g.benign(4), 0.0));
+    }
+
+    #[test]
+    fn target_images_are_target_sized() {
+        let g = generator();
+        assert_eq!(g.target(0).size(), DatasetProfile::tiny().target_size);
+    }
+
+    #[test]
+    fn benign_and_target_streams_are_independent() {
+        let g = generator();
+        // Same index, different kinds: images must differ in content.
+        let benign = g.benign(0);
+        let target = g.target(0);
+        assert_ne!(benign.size(), target.size());
+    }
+
+    #[test]
+    fn attack_is_deterministic_and_successful() {
+        let g = generator();
+        let a1 = g.attack(0).unwrap();
+        let a2 = g.attack(0).unwrap();
+        assert_eq!(a1.image, a2.image);
+        let v = verify_attack(
+            &g.benign(0),
+            &a1.image,
+            &g.target(0),
+            &g.scaler(0),
+            &VerifyConfig::default(),
+        )
+        .unwrap();
+        assert!(v.is_successful(), "{v:?}");
+    }
+
+    #[test]
+    fn attack_images_differ_from_benign() {
+        let g = generator();
+        let benign = g.benign(1);
+        let attack = g.attack_image(1).unwrap();
+        assert_eq!(benign.size(), attack.size());
+        assert!(!benign.approx_eq(&attack, 0.0));
+    }
+
+    #[test]
+    fn nearest_attacks_also_succeed() {
+        let g = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Nearest);
+        let crafted = g.attack(2).unwrap();
+        assert!(crafted.stats.target_deviation_linf <= 0.5, "{:?}", crafted.stats);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = generator();
+        assert_eq!(g.profile().name, "tiny");
+        assert_eq!(g.algorithm(), ScaleAlgorithm::Bilinear);
+        let s = g.scaler(0);
+        assert_eq!(s.dst_size(), DatasetProfile::tiny().target_size);
+    }
+
+    #[test]
+    fn custom_attack_config_is_used() {
+        let cfg = AttackConfig { epsilon: 4.0, ..AttackConfig::default() };
+        let g = SampleGenerator::with_attack_config(
+            DatasetProfile::tiny(),
+            ScaleAlgorithm::Bilinear,
+            cfg,
+        );
+        let crafted = g.attack(0).unwrap();
+        // Looser epsilon: perturbation no larger than the default run.
+        let strict = generator().attack(0).unwrap();
+        assert!(crafted.stats.perturbation_mse <= strict.stats.perturbation_mse + 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Corpus export: write sample triples (original, attack, target, and the
+//! attack's downscale) to a directory for visual inspection with any image
+//! viewer.
+
+use crate::SampleGenerator;
+use decamouflage_attack::AttackError;
+use decamouflage_imaging::codec::write_bmp_file;
+use std::path::{Path, PathBuf};
+
+/// Files written for one exported sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportedSample {
+    /// The benign original (`<index>_original.bmp`).
+    pub original: PathBuf,
+    /// The attack image (`<index>_attack.bmp`).
+    pub attack: PathBuf,
+    /// The attacker's target (`<index>_target.bmp`).
+    pub target: PathBuf,
+    /// What the CNN sees: the attack image downscaled
+    /// (`<index>_attack_downscaled.bmp`).
+    pub attack_downscaled: PathBuf,
+}
+
+/// Exports samples `0..count` of a generator into `dir` (created if
+/// missing) as 24-bit BMP files.
+///
+/// # Errors
+///
+/// Propagates attack-crafting and I/O errors.
+pub fn export_samples(
+    generator: &SampleGenerator,
+    dir: impl AsRef<Path>,
+    count: u64,
+) -> Result<Vec<ExportedSample>, AttackError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(decamouflage_imaging::ImagingError::from)?;
+    let mut out = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let original = generator.benign(i);
+        let target = generator.target(i);
+        let crafted = generator.attack(i)?;
+        let downscaled = generator.scaler(i).apply(&crafted.image)?;
+
+        let paths = ExportedSample {
+            original: dir.join(format!("{i:04}_original.bmp")),
+            attack: dir.join(format!("{i:04}_attack.bmp")),
+            target: dir.join(format!("{i:04}_target.bmp")),
+            attack_downscaled: dir.join(format!("{i:04}_attack_downscaled.bmp")),
+        };
+        write_bmp_file(&original, &paths.original)?;
+        write_bmp_file(&crafted.image, &paths.attack)?;
+        write_bmp_file(&target, &paths.target)?;
+        write_bmp_file(&downscaled, &paths.attack_downscaled)?;
+        out.push(paths);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetProfile;
+    use decamouflage_imaging::codec::read_bmp_file;
+    use decamouflage_imaging::scale::ScaleAlgorithm;
+
+    #[test]
+    fn exports_all_four_views_per_sample() {
+        let dir = std::env::temp_dir().join("decamouflage-export-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Nearest);
+        let samples = export_samples(&generator, &dir, 2).unwrap();
+        assert_eq!(samples.len(), 2);
+        for s in &samples {
+            for path in [&s.original, &s.attack, &s.target, &s.attack_downscaled] {
+                assert!(path.exists(), "{path:?} missing");
+            }
+            // The downscaled attack must decode and resemble the target.
+            let down = read_bmp_file(&s.attack_downscaled).unwrap();
+            let target = read_bmp_file(&s.target).unwrap();
+            assert_eq!(down.size(), target.size());
+            let mse: f64 = down
+                .as_slice()
+                .iter()
+                .zip(target.as_slice())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / down.as_slice().len() as f64;
+            assert!(mse < 16.0, "downscaled attack far from target: MSE {mse}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,223 @@
+//! Dataset profiles — the stand-ins for the paper's two corpora.
+
+use crate::synth::SynthesisParams;
+use decamouflage_imaging::{Channels, Size};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible synthetic dataset: a seed plus the parameter
+/// distributions images are drawn from.
+///
+/// Two built-in profiles mirror the paper's setup:
+///
+/// * [`DatasetProfile::neurips_like`] — the *training* profile used for
+///   threshold selection (stand-in for the NeurIPS-2017 competition set),
+/// * [`DatasetProfile::caltech_like`] — the *evaluation* profile with a
+///   different seed stream, size mix and content statistics (stand-in for
+///   Caltech-256).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Short stable name used in reports.
+    pub name: &'static str,
+    /// Master seed; every sample index derives its own stream from it.
+    pub seed: u64,
+    /// Source-image sizes the profile draws from (round-robin by index).
+    pub source_sizes: Vec<Size>,
+    /// The CNN input size every image is downscaled to.
+    pub target_size: Size,
+    /// Channel layout of generated images.
+    pub channels: Channels,
+    /// Range of noise octaves (inclusive).
+    pub octaves: (usize, usize),
+    /// Range of scattered shape counts (inclusive).
+    pub shapes: (usize, usize),
+    /// Range of noise amplitudes.
+    pub noise_amplitude: (f64, f64),
+    /// Range of smoothing sigmas.
+    pub smoothing_sigma: (f64, f64),
+    /// Range of fine-detail noise amplitudes.
+    pub detail_noise: (f64, f64),
+}
+
+impl DatasetProfile {
+    /// The *training* profile (threshold selection). Sources are square
+    /// multiples of the 112-pixel target (downscale factors 3, 4 and 5 —
+    /// the regime where interpolating scalers sample sparsely and the
+    /// attack is stealthy).
+    pub fn neurips_like() -> Self {
+        Self {
+            name: "neurips-like",
+            seed: 0x4E75_7269_7073_3137,
+            source_sizes: vec![Size::square(336), Size::square(448), Size::square(560)],
+            target_size: Size::square(112),
+            channels: Channels::Gray,
+            octaves: (3, 5),
+            shapes: (3, 9),
+            noise_amplitude: (80.0, 150.0),
+            smoothing_sigma: (0.8, 1.6),
+            detail_noise: (4.0, 12.0),
+        }
+    }
+
+    /// The *evaluation* profile (unseen dataset): different seed stream,
+    /// a size mix including non-square images and non-integer downscale
+    /// factors, busier content.
+    pub fn caltech_like() -> Self {
+        Self {
+            name: "caltech-like",
+            seed: 0xCA17_EC25_6000_0001,
+            source_sizes: vec![
+                Size::square(392),
+                Size::square(448),
+                Size::new(504, 392),
+                Size::square(616),
+            ],
+            target_size: Size::square(112),
+            channels: Channels::Gray,
+            octaves: (3, 5),
+            shapes: (3, 9),
+            noise_amplitude: (70.0, 160.0),
+            smoothing_sigma: (0.8, 1.6),
+            detail_noise: (4.0, 12.0),
+        }
+    }
+
+    /// A miniature profile for unit tests, doc examples and quick demos
+    /// (source 64x64, target 16x16).
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny",
+            seed: 0x7111_7111,
+            source_sizes: vec![Size::square(64)],
+            target_size: Size::square(16),
+            channels: Channels::Gray,
+            octaves: (2, 3),
+            shapes: (2, 4),
+            noise_amplitude: (70.0, 120.0),
+            smoothing_sigma: (0.6, 1.0),
+            detail_noise: (2.0, 5.0),
+        }
+    }
+
+    /// An RGB variant of the miniature profile, exercising the
+    /// three-channel path end to end.
+    pub fn tiny_rgb() -> Self {
+        Self {
+            name: "tiny-rgb",
+            channels: Channels::Rgb,
+            seed: 0x7111_0163,
+            ..Self::tiny()
+        }
+    }
+
+    /// Derives the deterministic RNG for a `(kind, index)` sample stream.
+    /// `kind` namespaces benign originals (0), targets (1), etc.
+    pub fn rng_for(&self, kind: u64, index: u64) -> StdRng {
+        // SplitMix-style avalanche over (seed, kind, index).
+        let mut z = self
+            .seed
+            .wrapping_add(kind.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// The source size assigned to sample `index` (round-robin).
+    pub fn source_size_for(&self, index: u64) -> Size {
+        self.source_sizes[(index as usize) % self.source_sizes.len()]
+    }
+
+    /// Draws the synthesis parameters for a source image of sample `index`.
+    pub fn source_params_for(&self, index: u64, rng: &mut StdRng) -> SynthesisParams {
+        let size = self.source_size_for(index);
+        self.params_for_size(size, rng)
+    }
+
+    /// Draws the synthesis parameters for a target-sized image.
+    pub fn target_params_for(&self, rng: &mut StdRng) -> SynthesisParams {
+        self.params_for_size(self.target_size, rng)
+    }
+
+    fn params_for_size(&self, size: Size, rng: &mut StdRng) -> SynthesisParams {
+        let octaves = rng.gen_range(self.octaves.0..=self.octaves.1);
+        SynthesisParams {
+            width: size.width,
+            height: size.height,
+            channels: self.channels,
+            octaves,
+            base_cell: (size.width.min(size.height) / 4).max(4),
+            noise_amplitude: rng.gen_range(self.noise_amplitude.0..=self.noise_amplitude.1),
+            shape_count: rng.gen_range(self.shapes.0..=self.shapes.1),
+            smoothing_sigma: rng.gen_range(self.smoothing_sigma.0..=self.smoothing_sigma.1),
+            detail_noise: rng.gen_range(self.detail_noise.0..=self.detail_noise.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_distinct_identities() {
+        let a = DatasetProfile::neurips_like();
+        let b = DatasetProfile::caltech_like();
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.name, b.name);
+        assert_ne!(a.source_sizes, b.source_sizes);
+    }
+
+    #[test]
+    fn source_sizes_are_round_robin() {
+        let p = DatasetProfile::neurips_like();
+        assert_eq!(p.source_size_for(0), p.source_size_for(3));
+        assert_eq!(p.source_size_for(1), Size::square(448));
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        let p = DatasetProfile::tiny();
+        let a: u64 = p.rng_for(0, 5).gen();
+        let b: u64 = p.rng_for(0, 5).gen();
+        let c: u64 = p.rng_for(0, 6).gen();
+        let d: u64 = p.rng_for(1, 5).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn downscale_factors_are_at_least_three() {
+        // The attack-stealth regime: every profile source must be >= 3x the
+        // target on both axes.
+        for p in [DatasetProfile::neurips_like(), DatasetProfile::caltech_like()] {
+            for s in &p.source_sizes {
+                assert!(s.width >= 3 * p.target_size.width, "{} too small in {}", s, p.name);
+                assert!(s.height >= 3 * p.target_size.height, "{} too small in {}", s, p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn params_respect_profile_ranges() {
+        let p = DatasetProfile::caltech_like();
+        let mut rng = p.rng_for(0, 0);
+        for i in 0..20 {
+            let params = p.source_params_for(i, &mut rng);
+            assert!(params.octaves >= p.octaves.0 && params.octaves <= p.octaves.1);
+            assert!(params.shape_count >= p.shapes.0 && params.shape_count <= p.shapes.1);
+            assert!(params.noise_amplitude >= p.noise_amplitude.0);
+            assert!(params.noise_amplitude <= p.noise_amplitude.1);
+        }
+    }
+
+    #[test]
+    fn target_params_use_target_size() {
+        let p = DatasetProfile::tiny();
+        let mut rng = p.rng_for(1, 0);
+        let params = p.target_params_for(&mut rng);
+        assert_eq!(params.width, 16);
+        assert_eq!(params.height, 16);
+    }
+}

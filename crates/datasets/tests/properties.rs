@@ -1,0 +1,60 @@
+//! Property-based tests (proptest) for the dataset substrate.
+
+use decamouflage_datasets::{synthesize, DatasetProfile, SampleGenerator, SynthesisParams};
+use decamouflage_imaging::scale::ScaleAlgorithm;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn synthesis_is_deterministic_and_in_range(
+        seed in any::<u64>(),
+        w in 8usize..48,
+        h in 8usize..48,
+        octaves in 1usize..4,
+        shapes in 0usize..6,
+    ) {
+        let params = SynthesisParams {
+            width: w,
+            height: h,
+            octaves,
+            base_cell: (w.min(h) / 2).max(2),
+            shape_count: shapes,
+            ..SynthesisParams::default()
+        };
+        let a = synthesize(&params, &mut StdRng::seed_from_u64(seed));
+        let b = synthesize(&params, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        for &v in a.as_slice() {
+            prop_assert!((0.0..=255.0).contains(&v));
+            prop_assert_eq!(v, v.round());
+        }
+    }
+
+    #[test]
+    fn generator_indices_are_independent_streams(i in 0u64..40, j in 0u64..40) {
+        prop_assume!(i != j);
+        let g = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Nearest);
+        prop_assert!(!g.benign(i).approx_eq(&g.benign(j), 0.0));
+        // Same index is reproducible.
+        prop_assert_eq!(g.target(i), g.target(i));
+    }
+
+    #[test]
+    fn attacks_downscale_to_their_targets(i in 0u64..12) {
+        let g = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Nearest);
+        let attack = g.attack_image(i).unwrap();
+        let down = g.scaler(i).apply(&attack).unwrap();
+        let target = g.target(i);
+        let linf = down
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(linf <= 1.0, "L-inf deviation {linf}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Uncompressed 24-bit Windows BMP encoding and decoding.
+//!
+//! PGM/PPM cover the framework's own needs; BMP exists because every
+//! desktop image viewer opens it, which makes exported attack images and
+//! spectra easy to inspect.
+
+use crate::{Channels, Image, ImagingError};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const FILE_HEADER_LEN: usize = 14;
+const INFO_HEADER_LEN: usize = 40;
+
+/// Encodes an image as an uncompressed 24-bit BMP byte vector (grayscale
+/// inputs are replicated across the RGB channels).
+pub fn encode_bmp(img: &Image) -> Vec<u8> {
+    let rgb = img.to_rgb();
+    let (w, h) = (rgb.width(), rgb.height());
+    let row_bytes = w * 3;
+    let padding = (4 - row_bytes % 4) % 4;
+    let pixel_bytes = (row_bytes + padding) * h;
+    let file_len = FILE_HEADER_LEN + INFO_HEADER_LEN + pixel_bytes;
+
+    let mut out = Vec::with_capacity(file_len);
+    // BITMAPFILEHEADER
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(file_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // reserved
+    out.extend_from_slice(&((FILE_HEADER_LEN + INFO_HEADER_LEN) as u32).to_le_bytes());
+    // BITMAPINFOHEADER
+    out.extend_from_slice(&(INFO_HEADER_LEN as u32).to_le_bytes());
+    out.extend_from_slice(&(w as i32).to_le_bytes());
+    out.extend_from_slice(&(h as i32).to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // planes
+    out.extend_from_slice(&24u16.to_le_bytes()); // bits per pixel
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB (no compression)
+    out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 DPI
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // palette colors
+    out.extend_from_slice(&0u32.to_le_bytes()); // important colors
+    // Pixel data: bottom-up rows, BGR order, rows padded to 4 bytes.
+    let clamp = |v: f64| v.round().clamp(0.0, 255.0) as u8;
+    for y in (0..h).rev() {
+        for x in 0..w {
+            out.push(clamp(rgb.get(x, y, 2)));
+            out.push(clamp(rgb.get(x, y, 1)));
+            out.push(clamp(rgb.get(x, y, 0)));
+        }
+        out.extend(std::iter::repeat(0u8).take(padding));
+    }
+    out
+}
+
+/// Decodes an uncompressed 24-bit BMP byte stream.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::Decode`] for unsupported BMP variants
+/// (compressed, paletted, other bit depths, top-down images) or truncated
+/// data.
+pub fn decode_bmp(bytes: &[u8]) -> Result<Image, ImagingError> {
+    let fail = |message: &str| ImagingError::Decode { message: message.to_string() };
+    if bytes.len() < FILE_HEADER_LEN + INFO_HEADER_LEN {
+        return Err(fail("file shorter than BMP headers"));
+    }
+    if &bytes[0..2] != b"BM" {
+        return Err(fail("missing BM magic"));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("length checked"));
+    let u16_at = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().expect("length checked"));
+    let data_offset = u32_at(10) as usize;
+    let header_len = u32_at(14);
+    if header_len < 40 {
+        return Err(fail("unsupported BMP header version"));
+    }
+    let width = u32_at(18) as i32;
+    let height = u32_at(22) as i32;
+    if width <= 0 || height <= 0 {
+        return Err(fail("unsupported BMP orientation or empty image"));
+    }
+    if u16_at(28) != 24 {
+        return Err(fail("only 24-bit BMP is supported"));
+    }
+    if u32_at(30) != 0 {
+        return Err(fail("only uncompressed BMP is supported"));
+    }
+    let (w, h) = (width as usize, height as usize);
+    let row_bytes = w * 3;
+    let padding = (4 - row_bytes % 4) % 4;
+    let needed = data_offset + (row_bytes + padding) * h;
+    if bytes.len() < needed {
+        return Err(fail("pixel data truncated"));
+    }
+
+    let mut img = Image::zeros(w, h, Channels::Rgb);
+    for (row_index, y) in (0..h).rev().enumerate() {
+        let row_start = data_offset + row_index * (row_bytes + padding);
+        for x in 0..w {
+            let p = row_start + x * 3;
+            img.set(x, y, 2, f64::from(bytes[p]));
+            img.set(x, y, 1, f64::from(bytes[p + 1]));
+            img.set(x, y, 0, f64::from(bytes[p + 2]));
+        }
+    }
+    Ok(img)
+}
+
+/// Writes an image to `path` as a 24-bit BMP.
+///
+/// # Errors
+///
+/// Propagates any I/O error.
+pub fn write_bmp_file(img: &Image, path: impl AsRef<Path>) -> Result<(), ImagingError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode_bmp(img))?;
+    Ok(())
+}
+
+/// Reads a 24-bit BMP image from `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors and decode failures.
+pub fn read_bmp_file(path: impl AsRef<Path>) -> Result<Image, ImagingError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode_bmp(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_roundtrip() {
+        let img = Image::from_fn_rgb(5, 3, |x, y| {
+            [(x * 50 % 256) as f64, (y * 80 % 256) as f64, ((x + y) * 30 % 256) as f64]
+        });
+        let back = decode_bmp(&encode_bmp(&img)).unwrap();
+        assert!(back.approx_eq(&img, 0.5));
+    }
+
+    #[test]
+    fn gray_input_replicates_channels() {
+        let img = Image::from_fn_gray(4, 4, |x, y| ((x + y) * 20) as f64);
+        let back = decode_bmp(&encode_bmp(&img)).unwrap();
+        assert_eq!(back.channels(), Channels::Rgb);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(back.get(x, y, 0), back.get(x, y, 1));
+                assert_eq!(back.get(x, y, 1), back.get(x, y, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_widths_pad_rows_correctly() {
+        // width 3 -> 9 row bytes -> 3 bytes of padding.
+        for w in [1usize, 2, 3, 5, 7] {
+            let img = Image::from_fn_rgb(w, 2, |x, y| [(x * 40) as f64, (y * 90) as f64, 7.0]);
+            let back = decode_bmp(&encode_bmp(&img)).unwrap();
+            assert!(back.approx_eq(&img, 0.5), "width {w}");
+        }
+    }
+
+    #[test]
+    fn header_fields_are_sane() {
+        let img = Image::from_fn_gray(6, 2, |_, _| 0.0);
+        let bytes = encode_bmp(&img);
+        assert_eq!(&bytes[0..2], b"BM");
+        let file_len = u32::from_le_bytes(bytes[2..6].try_into().unwrap()) as usize;
+        assert_eq!(file_len, bytes.len());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(decode_bmp(b"").is_err());
+        assert!(decode_bmp(&[0u8; 60]).is_err());
+        let good = encode_bmp(&Image::from_fn_gray(4, 4, |_, _| 1.0));
+        assert!(decode_bmp(&good[..good.len() - 10]).is_err());
+        let mut bad_depth = good.clone();
+        bad_depth[28] = 8;
+        assert!(decode_bmp(&bad_depth).is_err());
+        let mut compressed = good;
+        compressed[30] = 1;
+        assert!(decode_bmp(&compressed).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("decamouflage-bmp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bmp");
+        let img = Image::from_fn_rgb(3, 3, |x, y| [(x * 70) as f64, (y * 60) as f64, 128.0]);
+        write_bmp_file(&img, &path).unwrap();
+        let back = read_bmp_file(&path).unwrap();
+        assert!(back.approx_eq(&img, 0.5));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,11 @@
+//! Minimal image codecs: binary PGM (grayscale), PPM (RGB) and 24-bit BMP.
+//!
+//! These Netpbm formats are enough to persist every artefact the framework
+//! produces (attack images, spectra, filtered images) in a form any external
+//! viewer understands, without pulling in a compression dependency.
+
+mod bmp;
+mod pnm;
+
+pub use bmp::{decode_bmp, encode_bmp, read_bmp_file, write_bmp_file};
+pub use pnm::{decode_pnm, encode_pgm, encode_ppm, read_pnm_file, write_pnm_file};

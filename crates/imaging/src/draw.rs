@@ -1,0 +1,246 @@
+//! Simple shape rasterisation used by the synthetic dataset generator.
+//!
+//! All drawing is destructive (in place), channel-aware and silently clips
+//! to the image bounds, which is the behaviour the generator needs when it
+//! scatters random shapes near the borders.
+
+use crate::{Image, Rect};
+
+/// Per-channel fill colour; grayscale images use only the first component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Color(pub [f64; 3]);
+
+impl Color {
+    /// A gray level replicated over all channels.
+    pub const fn gray(v: f64) -> Self {
+        Self([v, v, v])
+    }
+
+    /// An RGB colour.
+    pub const fn rgb(r: f64, g: f64, b: f64) -> Self {
+        Self([r, g, b])
+    }
+
+    /// Component for channel `c`.
+    pub fn channel(&self, c: usize) -> f64 {
+        self.0[c.min(2)]
+    }
+}
+
+fn paint(img: &mut Image, x: usize, y: usize, color: Color, alpha: f64) {
+    for c in 0..img.channel_count() {
+        let old = img.get(x, y, c);
+        img.set(x, y, c, old * (1.0 - alpha) + color.channel(c) * alpha);
+    }
+}
+
+/// Fills an axis-aligned rectangle, blended with opacity `alpha` in `[0, 1]`
+/// (1 = opaque). The rectangle is clipped to the image.
+pub fn fill_rect(img: &mut Image, rect: Rect, color: Color, alpha: f64) {
+    let Some(r) = rect.clamp_to(img.size()) else { return };
+    let a = alpha.clamp(0.0, 1.0);
+    for y in r.y..r.bottom() {
+        for x in r.x..r.right() {
+            paint(img, x, y, color, a);
+        }
+    }
+}
+
+/// Fills a disc of radius `radius` centred at `(cx, cy)` (which may lie
+/// outside the image), blended with opacity `alpha`.
+pub fn fill_circle(img: &mut Image, cx: f64, cy: f64, radius: f64, color: Color, alpha: f64) {
+    if radius <= 0.0 {
+        return;
+    }
+    let a = alpha.clamp(0.0, 1.0);
+    let x0 = ((cx - radius).floor().max(0.0)) as usize;
+    let y0 = ((cy - radius).floor().max(0.0)) as usize;
+    let x1 = ((cx + radius).ceil().min(img.width() as f64 - 1.0)).max(0.0) as usize;
+    let y1 = ((cy + radius).ceil().min(img.height() as f64 - 1.0)).max(0.0) as usize;
+    let r2 = radius * radius;
+    for y in y0..=y1.min(img.height().saturating_sub(1)) {
+        for x in x0..=x1.min(img.width().saturating_sub(1)) {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            if dx * dx + dy * dy <= r2 {
+                paint(img, x, y, color, a);
+            }
+        }
+    }
+}
+
+/// Draws a 1-pixel-wide line from `(x0, y0)` to `(x1, y1)` using Bresenham's
+/// algorithm, blended with opacity `alpha`. Endpoints may lie outside the
+/// image; out-of-bounds pixels are skipped.
+pub fn draw_line(
+    img: &mut Image,
+    (x0, y0): (isize, isize),
+    (x1, y1): (isize, isize),
+    color: Color,
+    alpha: f64,
+) {
+    let a = alpha.clamp(0.0, 1.0);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        if x >= 0 && y >= 0 && (x as usize) < img.width() && (y as usize) < img.height() {
+            paint(img, x as usize, y as usize, color, a);
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Fills the whole image with a linear gradient between `from` and `to`
+/// along the direction `(dir_x, dir_y)` (need not be normalised).
+pub fn fill_linear_gradient(img: &mut Image, from: Color, to: Color, dir_x: f64, dir_y: f64) {
+    let norm = (dir_x * dir_x + dir_y * dir_y).sqrt();
+    if norm == 0.0 {
+        fill_rect(img, Rect::new(0, 0, img.width(), img.height()), from, 1.0);
+        return;
+    }
+    let (nx, ny) = (dir_x / norm, dir_y / norm);
+    // Project all corners to find the projection range.
+    let w = img.width() as f64 - 1.0;
+    let h = img.height() as f64 - 1.0;
+    let projections = [0.0, w * nx, h * ny, w * nx + h * ny];
+    let lo = projections.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = projections.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let t = ((x as f64 * nx + y as f64 * ny) - lo) / span;
+            for c in 0..img.channel_count() {
+                let v = from.channel(c) * (1.0 - t) + to.channel(c) * t;
+                img.set(x, y, c, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Channels;
+
+    #[test]
+    fn color_helpers() {
+        assert_eq!(Color::gray(5.0).channel(2), 5.0);
+        let c = Color::rgb(1.0, 2.0, 3.0);
+        assert_eq!(c.channel(0), 1.0);
+        assert_eq!(c.channel(9), 3.0); // clamped channel index
+    }
+
+    #[test]
+    fn fill_rect_opaque() {
+        let mut img = Image::zeros(4, 4, Channels::Gray);
+        fill_rect(&mut img, Rect::new(1, 1, 2, 2), Color::gray(100.0), 1.0);
+        assert_eq!(img.get(1, 1, 0), 100.0);
+        assert_eq!(img.get(2, 2, 0), 100.0);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+        assert_eq!(img.get(3, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn fill_rect_clips_to_image() {
+        let mut img = Image::zeros(3, 3, Channels::Gray);
+        fill_rect(&mut img, Rect::new(2, 2, 10, 10), Color::gray(9.0), 1.0);
+        assert_eq!(img.get(2, 2, 0), 9.0);
+        // Entirely outside: no panic, no change.
+        fill_rect(&mut img, Rect::new(5, 5, 2, 2), Color::gray(1.0), 1.0);
+    }
+
+    #[test]
+    fn fill_rect_alpha_blends() {
+        let mut img = Image::filled(2, 2, Channels::Gray, 100.0);
+        fill_rect(&mut img, Rect::new(0, 0, 2, 2), Color::gray(200.0), 0.5);
+        assert_eq!(img.get(0, 0, 0), 150.0);
+    }
+
+    #[test]
+    fn circle_covers_center_not_corners() {
+        let mut img = Image::zeros(9, 9, Channels::Gray);
+        fill_circle(&mut img, 4.0, 4.0, 3.0, Color::gray(255.0), 1.0);
+        assert_eq!(img.get(4, 4, 0), 255.0);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+        assert_eq!(img.get(4, 1, 0), 255.0); // on the radius
+    }
+
+    #[test]
+    fn circle_with_nonpositive_radius_is_noop() {
+        let mut img = Image::zeros(3, 3, Channels::Gray);
+        fill_circle(&mut img, 1.0, 1.0, 0.0, Color::gray(9.0), 1.0);
+        assert_eq!(img.max_sample(), 0.0);
+    }
+
+    #[test]
+    fn circle_partially_outside_is_clipped() {
+        let mut img = Image::zeros(4, 4, Channels::Gray);
+        fill_circle(&mut img, -1.0, -1.0, 2.5, Color::gray(50.0), 1.0);
+        assert_eq!(img.get(0, 0, 0), 50.0);
+        assert_eq!(img.get(3, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut img = Image::zeros(5, 5, Channels::Gray);
+        draw_line(&mut img, (0, 0), (4, 4), Color::gray(255.0), 1.0);
+        for i in 0..5 {
+            assert_eq!(img.get(i, i, 0), 255.0);
+        }
+    }
+
+    #[test]
+    fn line_clips_out_of_bounds() {
+        let mut img = Image::zeros(3, 3, Channels::Gray);
+        draw_line(&mut img, (-2, 1), (5, 1), Color::gray(10.0), 1.0);
+        for x in 0..3 {
+            assert_eq!(img.get(x, 1, 0), 10.0);
+        }
+    }
+
+    #[test]
+    fn gradient_endpoints() {
+        let mut img = Image::zeros(8, 1, Channels::Gray);
+        fill_linear_gradient(&mut img, Color::gray(0.0), Color::gray(255.0), 1.0, 0.0);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+        assert_eq!(img.get(7, 0, 0), 255.0);
+        assert!(img.get(3, 0, 0) > img.get(2, 0, 0));
+    }
+
+    #[test]
+    fn gradient_zero_direction_fills_from_color() {
+        let mut img = Image::zeros(3, 3, Channels::Gray);
+        fill_linear_gradient(&mut img, Color::gray(42.0), Color::gray(255.0), 0.0, 0.0);
+        assert_eq!(img.get(1, 1, 0), 42.0);
+    }
+
+    #[test]
+    fn gradient_on_rgb_interpolates_channels() {
+        let mut img = Image::zeros(5, 1, Channels::Rgb);
+        fill_linear_gradient(
+            &mut img,
+            Color::rgb(0.0, 100.0, 200.0),
+            Color::rgb(100.0, 0.0, 200.0),
+            1.0,
+            0.0,
+        );
+        assert_eq!(img.get(0, 0, 1), 100.0);
+        assert_eq!(img.get(4, 0, 1), 0.0);
+        assert_eq!(img.get(2, 0, 2), 200.0);
+    }
+}

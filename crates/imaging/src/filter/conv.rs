@@ -1,0 +1,203 @@
+//! Separable convolution with border replication.
+
+use crate::{Image, ImagingError};
+
+/// A 1-D convolution kernel with an explicit anchor (centre) position.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::filter::Kernel1D;
+///
+/// # fn main() -> Result<(), decamouflage_imaging::ImagingError> {
+/// let box3 = Kernel1D::centered(vec![1.0 / 3.0; 3])?;
+/// assert_eq!(box3.len(), 3);
+/// assert_eq!(box3.anchor(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel1D {
+    weights: Vec<f64>,
+    anchor: usize,
+}
+
+impl Kernel1D {
+    /// Creates a kernel with an explicit anchor index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidParameter`] if `weights` is empty or
+    /// `anchor` is out of range.
+    pub fn new(weights: Vec<f64>, anchor: usize) -> Result<Self, ImagingError> {
+        if weights.is_empty() {
+            return Err(ImagingError::InvalidParameter { message: "kernel must be non-empty".into() });
+        }
+        if anchor >= weights.len() {
+            return Err(ImagingError::InvalidParameter {
+                message: format!("anchor {anchor} out of range for kernel of length {}", weights.len()),
+            });
+        }
+        Ok(Self { weights, anchor })
+    }
+
+    /// Creates a kernel anchored at its centre (requires odd length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidParameter`] for empty or even-length
+    /// kernels.
+    pub fn centered(weights: Vec<f64>) -> Result<Self, ImagingError> {
+        if weights.len() % 2 == 0 {
+            return Err(ImagingError::InvalidParameter {
+                message: format!("centered kernel needs odd length, got {}", weights.len()),
+            });
+        }
+        let anchor = weights.len() / 2;
+        Self::new(weights, anchor)
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the kernel has zero taps (never true for constructed kernels).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Anchor (the tap aligned with the output pixel).
+    pub const fn anchor(&self) -> usize {
+        self.anchor
+    }
+
+    /// Borrows the weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Sum of the weights (1.0 for smoothing kernels).
+    pub fn sum(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// Convolves an image with `horizontal` along x and `vertical` along y,
+/// replicating border pixels. Channels are processed independently.
+///
+/// # Errors
+///
+/// This function itself cannot fail once the kernels exist; the `Result` is
+/// reserved for future border modes. (It currently always returns `Ok`.)
+pub fn convolve_separable(
+    img: &Image,
+    horizontal: &Kernel1D,
+    vertical: &Kernel1D,
+) -> Result<Image, ImagingError> {
+    let mut mid = img.clone();
+    // Horizontal pass.
+    for c in 0..img.channel_count() {
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let mut acc = 0.0;
+                for (k, &w) in horizontal.weights().iter().enumerate() {
+                    let sx = x as isize + k as isize - horizontal.anchor() as isize;
+                    acc += w * img.get_clamped(sx, y as isize, c);
+                }
+                mid.set(x, y, c, acc);
+            }
+        }
+    }
+    // Vertical pass.
+    let mut out = img.clone();
+    for c in 0..img.channel_count() {
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let mut acc = 0.0;
+                for (k, &w) in vertical.weights().iter().enumerate() {
+                    let sy = y as isize + k as isize - vertical.anchor() as isize;
+                    acc += w * mid.get_clamped(x as isize, sy, c);
+                }
+                out.set(x, y, c, acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Channels;
+
+    #[test]
+    fn kernel_validation() {
+        assert!(Kernel1D::new(vec![], 0).is_err());
+        assert!(Kernel1D::new(vec![1.0], 1).is_err());
+        assert!(Kernel1D::new(vec![1.0], 0).is_ok());
+        assert!(Kernel1D::centered(vec![1.0, 1.0]).is_err());
+        assert!(Kernel1D::centered(vec![0.25, 0.5, 0.25]).is_ok());
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let id = Kernel1D::centered(vec![1.0]).unwrap();
+        let img = Image::from_fn_gray(5, 4, |x, y| (x * y) as f64);
+        let out = convolve_separable(&img, &id, &id).unwrap();
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn box_blur_averages_neighbours() {
+        let b = Kernel1D::centered(vec![1.0 / 3.0; 3]).unwrap();
+        let id = Kernel1D::centered(vec![1.0]).unwrap();
+        let img = Image::from_fn_gray(5, 1, |x, _| (x as f64) * 3.0);
+        let out = convolve_separable(&img, &b, &id).unwrap();
+        // Interior: mean of {3(x-1), 3x, 3(x+1)} = 3x.
+        assert!((out.get(2, 0, 0) - 6.0).abs() < 1e-12);
+        // Border replicates: mean of {0, 0, 3} = 1.
+        assert!((out.get(0, 0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_preserves_constant_images() {
+        let b = Kernel1D::centered(vec![0.25, 0.5, 0.25]).unwrap();
+        let img = Image::filled(6, 6, Channels::Rgb, 200.0);
+        let out = convolve_separable(&img, &b, &b).unwrap();
+        assert!(out.approx_eq(&img, 1e-12));
+    }
+
+    #[test]
+    fn shifted_anchor_translates_image() {
+        // Kernel [1, 0] anchored at 1 reads the pixel to the left.
+        let shift = Kernel1D::new(vec![1.0, 0.0], 1).unwrap();
+        let id = Kernel1D::centered(vec![1.0]).unwrap();
+        let img = Image::from_fn_gray(4, 1, |x, _| x as f64);
+        let out = convolve_separable(&img, &shift, &id).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn kernel_accessors() {
+        let k = Kernel1D::centered(vec![0.25, 0.5, 0.25]).unwrap();
+        assert_eq!(k.len(), 3);
+        assert!(!k.is_empty());
+        assert_eq!(k.anchor(), 1);
+        assert!((k.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(k.weights().len(), 3);
+    }
+
+    #[test]
+    fn separable_convolution_is_commutative_in_axes() {
+        let kx = Kernel1D::centered(vec![0.25, 0.5, 0.25]).unwrap();
+        let ky = Kernel1D::centered(vec![1.0 / 3.0; 3]).unwrap();
+        let img = Image::from_fn_gray(7, 7, |x, y| ((x * 13 + y * 7) % 31) as f64);
+        let a = convolve_separable(&img, &kx, &ky).unwrap();
+        // Convolving with (id, ky) then (kx, id) must match.
+        let id = Kernel1D::centered(vec![1.0]).unwrap();
+        let tmp = convolve_separable(&img, &id, &ky).unwrap();
+        let b = convolve_separable(&tmp, &kx, &id).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+    }
+}

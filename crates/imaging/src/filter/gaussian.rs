@@ -1,0 +1,114 @@
+//! Gaussian blur built on separable convolution.
+
+use crate::filter::{convolve_separable, Kernel1D};
+use crate::{Image, ImagingError};
+
+/// Builds a normalised 1-D Gaussian kernel of standard deviation `sigma`.
+///
+/// The radius defaults to `ceil(3 sigma)` (covering > 99.7% of the mass)
+/// unless an explicit `radius` is given.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if `sigma` is not a positive
+/// finite number.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::filter::gaussian_kernel;
+///
+/// # fn main() -> Result<(), decamouflage_imaging::ImagingError> {
+/// let k = gaussian_kernel(1.5, None)?;
+/// assert_eq!(k.len(), 2 * 5 + 1); // radius ceil(4.5) = 5
+/// assert!((k.sum() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gaussian_kernel(sigma: f64, radius: Option<usize>) -> Result<Kernel1D, ImagingError> {
+    if !(sigma > 0.0 && sigma.is_finite()) {
+        return Err(ImagingError::InvalidParameter {
+            message: format!("gaussian sigma must be positive and finite, got {sigma}"),
+        });
+    }
+    let r = radius.unwrap_or_else(|| (3.0 * sigma).ceil() as usize);
+    let r = r.max(1);
+    let mut weights: Vec<f64> = (-(r as isize)..=(r as isize))
+        .map(|i| {
+            let x = i as f64;
+            (-x * x / (2.0 * sigma * sigma)).exp()
+        })
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    for w in weights.iter_mut() {
+        *w /= sum;
+    }
+    Kernel1D::centered(weights)
+}
+
+/// Blurs an image with an isotropic Gaussian of standard deviation `sigma`.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if `sigma` is not a positive
+/// finite number.
+pub fn gaussian_blur(img: &Image, sigma: f64) -> Result<Image, ImagingError> {
+    let k = gaussian_kernel(sigma, None)?;
+    convolve_separable(img, &k, &k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Channels;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(gaussian_kernel(0.0, None).is_err());
+        assert!(gaussian_kernel(-1.0, None).is_err());
+        assert!(gaussian_kernel(f64::NAN, None).is_err());
+        assert!(gaussian_kernel(f64::INFINITY, None).is_err());
+    }
+
+    #[test]
+    fn kernel_is_normalised_and_symmetric() {
+        let k = gaussian_kernel(2.0, None).unwrap();
+        assert!((k.sum() - 1.0).abs() < 1e-12);
+        let w = k.weights();
+        for i in 0..w.len() / 2 {
+            assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn explicit_radius_controls_length() {
+        let k = gaussian_kernel(1.0, Some(2)).unwrap();
+        assert_eq!(k.len(), 5);
+    }
+
+    #[test]
+    fn peak_is_at_center() {
+        let k = gaussian_kernel(1.0, None).unwrap();
+        let w = k.weights();
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(w[k.anchor()], max);
+    }
+
+    #[test]
+    fn blur_preserves_mean_of_constant_image() {
+        let img = Image::filled(8, 8, Channels::Gray, 123.0);
+        let out = gaussian_blur(&img, 1.5).unwrap();
+        assert!(out.approx_eq(&img, 1e-9));
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let img = Image::from_fn_gray(16, 16, |x, y| if (x + y) % 2 == 0 { 0.0 } else { 255.0 });
+        let out = gaussian_blur(&img, 1.0).unwrap();
+        let var = |im: &Image| {
+            let m = im.mean_sample();
+            im.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f64>() / im.as_slice().len() as f64
+        };
+        assert!(var(&out) < var(&img) * 0.2, "variance not reduced enough");
+    }
+}

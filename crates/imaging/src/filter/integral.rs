@@ -1,0 +1,222 @@
+//! Integral images (summed-area tables) and O(1) box statistics.
+//!
+//! An integral image answers "sum of any axis-aligned rectangle" in four
+//! lookups, independent of the rectangle size. [`box_mean`] built on it
+//! provides constant-time-per-pixel box blur regardless of window size —
+//! used by the dataset generator's texture analysis and exposed as a
+//! general substrate utility.
+
+use crate::{Image, ImagingError, Rect};
+
+/// A summed-area table for one image (all channels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    channels: usize,
+    /// `(width + 1) x (height + 1)` per channel, row-major; index 0 row and
+    /// column are zero so rectangle sums need no boundary cases.
+    table: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the integral image of `img`.
+    pub fn new(img: &Image) -> Self {
+        let (w, h, c) = img.shape();
+        let stride = w + 1;
+        let mut table = vec![0.0f64; (w + 1) * (h + 1) * c];
+        for ch in 0..c {
+            let base = ch * stride * (h + 1);
+            for y in 0..h {
+                let mut row_sum = 0.0;
+                for x in 0..w {
+                    row_sum += img.get(x, y, ch);
+                    let idx = base + (y + 1) * stride + (x + 1);
+                    table[idx] = table[base + y * stride + (x + 1)] + row_sum;
+                }
+            }
+        }
+        Self { width: w, height: h, channels: c, table }
+    }
+
+    /// Source image width.
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source image height.
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sum of samples of channel `c` inside `rect` (clipped to the image).
+    /// Returns 0 for empty intersections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn rect_sum(&self, rect: Rect, c: usize) -> f64 {
+        assert!(c < self.channels, "channel {c} out of range");
+        let Some(r) = rect.clamp_to(crate::Size::new(self.width, self.height)) else {
+            return 0.0;
+        };
+        let stride = self.width + 1;
+        let base = c * stride * (self.height + 1);
+        let at = |x: usize, y: usize| self.table[base + y * stride + x];
+        at(r.right(), r.bottom()) + at(r.x, r.y) - at(r.right(), r.y) - at(r.x, r.bottom())
+    }
+
+    /// Mean of samples of channel `c` inside `rect` (clipped); 0 for empty
+    /// intersections.
+    pub fn rect_mean(&self, rect: Rect, c: usize) -> f64 {
+        let Some(r) = rect.clamp_to(crate::Size::new(self.width, self.height)) else {
+            return 0.0;
+        };
+        self.rect_sum(r, c) / r.area() as f64
+    }
+}
+
+/// Box blur with an O(1)-per-pixel cost regardless of `window` size, via a
+/// summed-area table. The window is centred for odd sizes and extends
+/// right/down for even sizes (matching the rank filters); near the borders
+/// the window is clipped to the image (mean over fewer samples).
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if `window == 0`.
+pub fn box_mean(img: &Image, window: usize) -> Result<Image, ImagingError> {
+    if window == 0 {
+        return Err(ImagingError::InvalidParameter {
+            message: "box filter window must be >= 1".into(),
+        });
+    }
+    let integral = IntegralImage::new(img);
+    let lo = (window as isize - 1) / 2;
+    let hi = window as isize / 2;
+    let mut out = img.clone();
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let x0 = (x as isize - lo).max(0) as usize;
+            let y0 = (y as isize - lo).max(0) as usize;
+            let x1 = ((x as isize + hi) as usize).min(img.width() - 1);
+            let y1 = ((y as isize + hi) as usize).min(img.height() - 1);
+            let rect = Rect::new(x0, y0, x1 - x0 + 1, y1 - y0 + 1);
+            for c in 0..img.channel_count() {
+                out.set(x, y, c, integral.rect_mean(rect, c));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Channels;
+
+    fn ramp(w: usize, h: usize) -> Image {
+        Image::from_fn_gray(w, h, |x, y| (y * w + x) as f64)
+    }
+
+    #[test]
+    fn full_rect_sum_equals_total() {
+        let img = ramp(5, 4);
+        let integral = IntegralImage::new(&img);
+        let total: f64 = img.as_slice().iter().sum();
+        assert_eq!(integral.rect_sum(Rect::new(0, 0, 5, 4), 0), total);
+        assert_eq!(integral.width(), 5);
+        assert_eq!(integral.height(), 4);
+    }
+
+    #[test]
+    fn arbitrary_rect_sums_match_naive() {
+        let img = Image::from_fn_gray(9, 7, |x, y| ((x * 13 + y * 29) % 41) as f64);
+        let integral = IntegralImage::new(&img);
+        for rect in [
+            Rect::new(0, 0, 1, 1),
+            Rect::new(3, 2, 4, 3),
+            Rect::new(8, 6, 1, 1),
+            Rect::new(2, 0, 7, 7),
+        ] {
+            let mut naive = 0.0;
+            for y in rect.y..rect.bottom() {
+                for x in rect.x..rect.right() {
+                    naive += img.get(x, y, 0);
+                }
+            }
+            assert!(
+                (integral.rect_sum(rect, 0) - naive).abs() < 1e-9,
+                "rect {rect} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_rects_clip_or_vanish() {
+        let img = ramp(4, 4);
+        let integral = IntegralImage::new(&img);
+        // Fully outside.
+        assert_eq!(integral.rect_sum(Rect::new(10, 10, 2, 2), 0), 0.0);
+        // Partially outside clips.
+        let clipped = integral.rect_sum(Rect::new(2, 2, 10, 10), 0);
+        let expected = img.get(2, 2, 0) + img.get(3, 2, 0) + img.get(2, 3, 0) + img.get(3, 3, 0);
+        assert_eq!(clipped, expected);
+    }
+
+    #[test]
+    fn rect_mean_of_constant_region() {
+        let img = Image::filled(6, 6, Channels::Gray, 42.0);
+        let integral = IntegralImage::new(&img);
+        assert!((integral.rect_mean(Rect::new(1, 1, 3, 4), 0) - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rgb_channels_are_independent() {
+        let img = Image::from_fn_rgb(4, 4, |x, y| [x as f64, y as f64, 7.0]);
+        let integral = IntegralImage::new(&img);
+        let r = Rect::new(0, 0, 4, 4);
+        assert_eq!(integral.rect_sum(r, 2), 7.0 * 16.0);
+        assert!((integral.rect_mean(r, 0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_mean_matches_naive_interior() {
+        let img = Image::from_fn_gray(8, 8, |x, y| ((x * 5 + y * 11) % 23) as f64);
+        let blurred = box_mean(&img, 3).unwrap();
+        // Interior pixel (3, 3): mean of the 3x3 neighbourhood.
+        let mut naive = 0.0;
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                naive += img.get((3 + dx) as usize, (3 + dy) as usize, 0);
+            }
+        }
+        assert!((blurred.get(3, 3, 0) - naive / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_mean_window_one_is_identity() {
+        let img = ramp(5, 5);
+        assert_eq!(box_mean(&img, 1).unwrap(), img);
+    }
+
+    #[test]
+    fn box_mean_preserves_constant_images_at_borders() {
+        // Clipped windows average fewer samples but the mean stays exact
+        // for constant images.
+        let img = Image::filled(5, 5, Channels::Gray, 9.0);
+        let blurred = box_mean(&img, 4).unwrap();
+        assert!(blurred.approx_eq(&img, 1e-12));
+    }
+
+    #[test]
+    fn box_mean_rejects_zero_window() {
+        assert!(box_mean(&ramp(3, 3), 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rect_sum_panics_on_bad_channel() {
+        let integral = IntegralImage::new(&ramp(2, 2));
+        let _ = integral.rect_sum(Rect::new(0, 0, 1, 1), 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! Rank (order-statistic) filters: minimum, median and maximum.
+//!
+//! The window slides over every pixel with border replication; for each
+//! position the selected order statistic of the `window x window`
+//! neighbourhood replaces the centre pixel. Channels are filtered
+//! independently.
+
+use crate::{Image, ImagingError};
+
+/// Which order statistic a [`rank_filter`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankKind {
+    /// Smallest value in the window (erosion).
+    Minimum,
+    /// Middle value in the window.
+    Median,
+    /// Largest value in the window (dilation).
+    Maximum,
+}
+
+impl RankKind {
+    /// Short lowercase name (used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankKind::Minimum => "minimum",
+            RankKind::Median => "median",
+            RankKind::Maximum => "maximum",
+        }
+    }
+}
+
+/// Applies a square rank filter of side `window` (must be >= 1).
+///
+/// The window is anchored so that for odd sizes it is centred on the pixel;
+/// for even sizes (e.g. the paper's 2x2 minimum filter) the window covers
+/// the pixel and its right/bottom neighbours, matching
+/// `scipy.ndimage.minimum_filter` with `origin = 0` semantics shifted to the
+/// top-left, which is what the reference implementation uses.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if `window == 0`.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::{Image, filter::{rank_filter, RankKind}};
+///
+/// # fn main() -> Result<(), decamouflage_imaging::ImagingError> {
+/// let img = Image::from_fn_gray(3, 3, |x, y| (y * 3 + x) as f64);
+/// let eroded = rank_filter(&img, 3, RankKind::Minimum)?;
+/// assert_eq!(eroded.get(1, 1, 0), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rank_filter(img: &Image, window: usize, kind: RankKind) -> Result<Image, ImagingError> {
+    if window == 0 {
+        return Err(ImagingError::InvalidParameter { message: "rank filter window must be >= 1".into() });
+    }
+    // Min/max over a square window are separable: run the O(N) monotonic
+    // deque pass along rows, then along columns.
+    match kind {
+        RankKind::Minimum | RankKind::Maximum => return Ok(separable_extremum(img, window, kind)),
+        RankKind::Median => {}
+    }
+    // Window offsets: odd windows are centred, even windows extend right/down.
+    let lo = -((window as isize - 1) / 2);
+    let hi = window as isize / 2;
+    let mut out = img.clone();
+    let mut buf: Vec<f64> = Vec::with_capacity(window * window);
+    for c in 0..img.channel_count() {
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                buf.clear();
+                for dy in lo..=hi {
+                    for dx in lo..=hi {
+                        buf.push(img.get_clamped(x as isize + dx, y as isize + dy, c));
+                    }
+                }
+                let v = match kind {
+                    RankKind::Minimum => buf.iter().copied().fold(f64::INFINITY, f64::min),
+                    RankKind::Maximum => buf.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    RankKind::Median => {
+                        buf.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+                        let n = buf.len();
+                        if n % 2 == 1 {
+                            buf[n / 2]
+                        } else {
+                            0.5 * (buf[n / 2 - 1] + buf[n / 2])
+                        }
+                    }
+                };
+                out.set(x, y, c, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sliding-window extremum of one scan line using a monotonic deque
+/// (amortised O(1) per sample). `lo..=hi` are the window offsets relative
+/// to each output position; out-of-range taps replicate the border, which
+/// for an extremum is equivalent to clamping the window to the line.
+fn sliding_extremum(line: &[f64], lo: isize, hi: isize, take_min: bool) -> Vec<f64> {
+    let n = line.len() as isize;
+    let better = |a: f64, b: f64| if take_min { a <= b } else { a >= b };
+    let mut deque: std::collections::VecDeque<isize> = std::collections::VecDeque::new();
+    let mut out = Vec::with_capacity(line.len());
+    let mut next = 0isize; // next index to push into the deque
+    for i in 0..n {
+        let (start, end) = ((i + lo).max(0), (i + hi).min(n - 1));
+        while next <= end {
+            while let Some(&back) = deque.back() {
+                if better(line[next as usize], line[back as usize]) {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(next);
+            next += 1;
+        }
+        while let Some(&front) = deque.front() {
+            if front < start {
+                deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        out.push(line[*deque.front().expect("window always contains >= 1 sample") as usize]);
+    }
+    out
+}
+
+/// Separable min/max filter: horizontal pass then vertical pass.
+fn separable_extremum(img: &Image, window: usize, kind: RankKind) -> Image {
+    let lo = -((window as isize - 1) / 2);
+    let hi = window as isize / 2;
+    let take_min = kind == RankKind::Minimum;
+    let (w, h, channels) = img.shape();
+
+    let mut mid = img.clone();
+    let mut row = vec![0.0; w];
+    for c in 0..channels {
+        for y in 0..h {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = img.get(x, y, c);
+            }
+            for (x, v) in sliding_extremum(&row, lo, hi, take_min).into_iter().enumerate() {
+                mid.set(x, y, c, v);
+            }
+        }
+    }
+    let mut out = mid.clone();
+    let mut col = vec![0.0; h];
+    for c in 0..channels {
+        for x in 0..w {
+            for (y, v) in col.iter_mut().enumerate() {
+                *v = mid.get(x, y, c);
+            }
+            for (y, v) in sliding_extremum(&col, lo, hi, take_min).into_iter().enumerate() {
+                out.set(x, y, c, v);
+            }
+        }
+    }
+    out
+}
+
+/// Minimum filter (erosion) over a `window x window` neighbourhood — the
+/// filter used by the paper's filtering-detection method (2x2 by default in
+/// the framework configuration).
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if `window == 0`.
+pub fn minimum_filter(img: &Image, window: usize) -> Result<Image, ImagingError> {
+    rank_filter(img, window, RankKind::Minimum)
+}
+
+/// Median filter over a `window x window` neighbourhood.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if `window == 0`.
+pub fn median_filter(img: &Image, window: usize) -> Result<Image, ImagingError> {
+    rank_filter(img, window, RankKind::Median)
+}
+
+/// Maximum filter (dilation) over a `window x window` neighbourhood.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if `window == 0`.
+pub fn maximum_filter(img: &Image, window: usize) -> Result<Image, ImagingError> {
+    rank_filter(img, window, RankKind::Maximum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Channels;
+
+    fn ramp3() -> Image {
+        Image::from_fn_gray(3, 3, |x, y| (y * 3 + x) as f64)
+    }
+
+    #[test]
+    fn window_zero_is_rejected() {
+        assert!(rank_filter(&ramp3(), 0, RankKind::Minimum).is_err());
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let img = ramp3();
+        for kind in [RankKind::Minimum, RankKind::Median, RankKind::Maximum] {
+            assert_eq!(rank_filter(&img, 1, kind).unwrap(), img, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn min_filter_erodes_bright_speck() {
+        let mut img = Image::filled(5, 5, Channels::Gray, 10.0);
+        img.set(2, 2, 0, 200.0);
+        let out = minimum_filter(&img, 3).unwrap();
+        for &v in out.as_slice() {
+            assert_eq!(v, 10.0);
+        }
+    }
+
+    #[test]
+    fn max_filter_dilates_bright_speck() {
+        let mut img = Image::filled(5, 5, Channels::Gray, 10.0);
+        img.set(2, 2, 0, 200.0);
+        let out = maximum_filter(&img, 3).unwrap();
+        assert_eq!(out.get(1, 1, 0), 200.0);
+        assert_eq!(out.get(3, 3, 0), 200.0);
+        assert_eq!(out.get(0, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn median_filter_removes_isolated_outlier() {
+        let mut img = Image::filled(5, 5, Channels::Gray, 50.0);
+        img.set(2, 2, 0, 255.0);
+        let out = median_filter(&img, 3).unwrap();
+        assert_eq!(out.get(2, 2, 0), 50.0);
+    }
+
+    #[test]
+    fn median_of_even_window_averages_middle_pair() {
+        // 2x2 window over a constant-with-one-outlier image: windows holding
+        // the outlier see [10, 10, 10, 99] -> median (10 + 10) / 2 = 10.
+        let mut img = Image::filled(3, 3, Channels::Gray, 10.0);
+        img.set(1, 1, 0, 99.0);
+        let out = median_filter(&img, 2).unwrap();
+        assert_eq!(out.get(1, 1, 0), 10.0);
+        assert_eq!(out.get(0, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn two_by_two_window_extends_right_and_down() {
+        // Pixel (0, 0) of a 2x2 min filter sees {(0,0), (1,0), (0,1), (1,1)}.
+        let img = ramp3();
+        let out = minimum_filter(&img, 2).unwrap();
+        assert_eq!(out.get(0, 0, 0), 0.0);
+        // Pixel (1, 1) sees {4, 5, 7, 8} -> 4.
+        assert_eq!(out.get(1, 1, 0), 4.0);
+        // Border pixel (2, 2) clamps to itself: sees {8} repeated -> 8.
+        assert_eq!(out.get(2, 2, 0), 8.0);
+    }
+
+    #[test]
+    fn min_filter_is_idempotent_on_flat_regions() {
+        let img = Image::filled(4, 4, Channels::Gray, 33.0);
+        let once = minimum_filter(&img, 3).unwrap();
+        let twice = minimum_filter(&once, 3).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn min_never_exceeds_input_and_max_never_undershoots() {
+        let img = Image::from_fn_gray(6, 6, |x, y| ((x * 31 + y * 17) % 97) as f64);
+        let mn = minimum_filter(&img, 3).unwrap();
+        let mx = maximum_filter(&img, 3).unwrap();
+        for ((&a, &lo), &hi) in img
+            .as_slice()
+            .iter()
+            .zip(mn.as_slice())
+            .zip(mx.as_slice())
+        {
+            assert!(lo <= a && a <= hi);
+        }
+    }
+
+    #[test]
+    fn rgb_channels_filtered_independently() {
+        let img = Image::from_fn_rgb(4, 4, |x, y| [x as f64, y as f64, 100.0]);
+        let out = minimum_filter(&img, 2).unwrap();
+        // Blue is constant and must stay constant.
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(out.get(x, y, 2), 100.0);
+            }
+        }
+        // Red min over {x, x+1} = x.
+        assert_eq!(out.get(1, 0, 0), 1.0);
+    }
+
+    /// Naive reference implementation for the separable fast path.
+    fn naive_extremum(img: &Image, window: usize, kind: RankKind) -> Image {
+        let lo = -((window as isize - 1) / 2);
+        let hi = window as isize / 2;
+        let mut out = img.clone();
+        for c in 0..img.channel_count() {
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    let mut acc = if kind == RankKind::Minimum {
+                        f64::INFINITY
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    for dy in lo..=hi {
+                        for dx in lo..=hi {
+                            let v = img.get_clamped(x as isize + dx, y as isize + dy, c);
+                            acc = if kind == RankKind::Minimum { acc.min(v) } else { acc.max(v) };
+                        }
+                    }
+                    out.set(x, y, c, acc);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_extremum_matches_naive_reference() {
+        let img = Image::from_fn_gray(13, 9, |x, y| ((x * 31 + y * 17 + x * y) % 101) as f64);
+        for window in [1usize, 2, 3, 4, 5] {
+            for kind in [RankKind::Minimum, RankKind::Maximum] {
+                let fast = rank_filter(&img, window, kind).unwrap();
+                let naive = naive_extremum(&img, window, kind);
+                assert!(
+                    fast.approx_eq(&naive, 0.0),
+                    "window {window} {kind:?} diverged from the reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_extremum_matches_naive_on_rgb() {
+        let img = Image::from_fn_rgb(7, 6, |x, y| {
+            [((x * 3 + y) % 13) as f64, ((x + y * 5) % 17) as f64, ((x * y) % 7) as f64]
+        });
+        for kind in [RankKind::Minimum, RankKind::Maximum] {
+            let fast = rank_filter(&img, 3, kind).unwrap();
+            let naive = naive_extremum(&img, 3, kind);
+            assert!(fast.approx_eq(&naive, 0.0), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn rank_kind_names() {
+        assert_eq!(RankKind::Minimum.name(), "minimum");
+        assert_eq!(RankKind::Median.name(), "median");
+        assert_eq!(RankKind::Maximum.name(), "maximum");
+    }
+}

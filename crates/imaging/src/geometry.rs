@@ -1,0 +1,214 @@
+use std::fmt;
+
+/// A width/height pair in pixels.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::Size;
+///
+/// let s = Size::new(224, 224);
+/// assert_eq!(s.area(), 224 * 224);
+/// assert!(s.fits_within(Size::new(800, 600)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Size {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Size {
+    /// Creates a new size.
+    pub const fn new(width: usize, height: usize) -> Self {
+        Self { width, height }
+    }
+
+    /// Creates a square size.
+    pub const fn square(side: usize) -> Self {
+        Self { width: side, height: side }
+    }
+
+    /// Number of pixels covered by this size.
+    pub const fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Whether both dimensions are non-zero.
+    pub const fn is_valid(&self) -> bool {
+        self.width > 0 && self.height > 0
+    }
+
+    /// Whether `self` fits entirely inside `other` (component-wise `<=`).
+    pub const fn fits_within(&self, other: Size) -> bool {
+        self.width <= other.width && self.height <= other.height
+    }
+
+    /// The downscale ratio `(other.width / self.width, other.height / self.height)`
+    /// when viewing `self` as the target of scaling `other`.
+    pub fn scale_factors_from(&self, source: Size) -> (f64, f64) {
+        (
+            source.width as f64 / self.width as f64,
+            source.height as f64 / self.height as f64,
+        )
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+impl From<(usize, usize)> for Size {
+    fn from((width, height): (usize, usize)) -> Self {
+        Self { width, height }
+    }
+}
+
+/// An axis-aligned rectangle in pixel coordinates, inclusive of `x..x+width`
+/// and `y..y+height`.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::Rect;
+///
+/// let r = Rect::new(2, 3, 4, 5);
+/// assert!(r.contains(2, 3));
+/// assert!(!r.contains(6, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: usize,
+    /// Top edge.
+    pub y: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and size.
+    pub const fn new(x: usize, y: usize, width: usize, height: usize) -> Self {
+        Self { x, y, width, height }
+    }
+
+    /// Whether the pixel `(px, py)` lies inside the rectangle.
+    pub const fn contains(&self, px: usize, py: usize) -> bool {
+        px >= self.x && px < self.x + self.width && py >= self.y && py < self.y + self.height
+    }
+
+    /// Exclusive right edge.
+    pub const fn right(&self) -> usize {
+        self.x + self.width
+    }
+
+    /// Exclusive bottom edge.
+    pub const fn bottom(&self) -> usize {
+        self.y + self.height
+    }
+
+    /// Number of pixels covered.
+    pub const fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Intersection of two rectangles, or `None` when disjoint or empty.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x0 < x1 && y0 < y1 {
+            Some(Rect::new(x0, y0, x1 - x0, y1 - y0))
+        } else {
+            None
+        }
+    }
+
+    /// Clamps the rectangle so that it fits inside an image of the given size.
+    pub fn clamp_to(&self, size: Size) -> Option<Rect> {
+        self.intersect(&Rect::new(0, 0, size.width, size.height))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{} {}x{}]", self.x, self.y, self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_area_and_validity() {
+        assert_eq!(Size::new(3, 4).area(), 12);
+        assert!(Size::new(1, 1).is_valid());
+        assert!(!Size::new(0, 5).is_valid());
+        assert!(!Size::new(5, 0).is_valid());
+        assert_eq!(Size::square(7), Size::new(7, 7));
+    }
+
+    #[test]
+    fn size_fits_within() {
+        assert!(Size::new(224, 224).fits_within(Size::new(800, 600)));
+        assert!(Size::new(224, 224).fits_within(Size::new(224, 224)));
+        assert!(!Size::new(225, 10).fits_within(Size::new(224, 224)));
+    }
+
+    #[test]
+    fn size_scale_factors() {
+        let (fx, fy) = Size::new(100, 50).scale_factors_from(Size::new(400, 100));
+        assert_eq!(fx, 4.0);
+        assert_eq!(fy, 2.0);
+    }
+
+    #[test]
+    fn size_display_and_from_tuple() {
+        assert_eq!(Size::from((8, 9)).to_string(), "8x9");
+    }
+
+    #[test]
+    fn rect_contains_edges() {
+        let r = Rect::new(1, 1, 2, 2);
+        assert!(r.contains(1, 1));
+        assert!(r.contains(2, 2));
+        assert!(!r.contains(3, 2));
+        assert!(!r.contains(0, 1));
+        assert_eq!(r.area(), 4);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 4, 4);
+        assert_eq!(a.intersect(&b), Some(Rect::new(2, 2, 2, 2)));
+        let c = Rect::new(8, 8, 2, 2);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn rect_touching_rectangles_do_not_intersect() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(2, 0, 2, 2);
+        assert_eq!(a.intersect(&b), None);
+    }
+
+    #[test]
+    fn rect_clamp_to_image() {
+        let r = Rect::new(3, 3, 10, 10);
+        assert_eq!(r.clamp_to(Size::new(5, 5)), Some(Rect::new(3, 3, 2, 2)));
+        assert_eq!(r.clamp_to(Size::new(2, 2)), None);
+    }
+
+    #[test]
+    fn rect_display_nonempty() {
+        assert_eq!(Rect::new(1, 2, 3, 4).to_string(), "[1,2 3x4]");
+    }
+}

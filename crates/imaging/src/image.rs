@@ -1,0 +1,573 @@
+use crate::{ImagingError, Rect, Size};
+
+/// Channel layout of an [`Image`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channels {
+    /// Single luminance channel.
+    Gray,
+    /// Interleaved red, green, blue.
+    Rgb,
+}
+
+impl Channels {
+    /// Number of samples per pixel.
+    pub const fn count(&self) -> usize {
+        match self {
+            Channels::Gray => 1,
+            Channels::Rgb => 3,
+        }
+    }
+}
+
+/// An owned raster image with `f64` samples.
+///
+/// Samples follow the 8-bit convention: the nominal range is `[0, 255]`,
+/// although intermediate computations (attack crafting, filtering) may
+/// temporarily step outside it; [`Image::clamped`] restores the invariant.
+/// Data is stored row-major with interleaved channels.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::{Channels, Image};
+///
+/// let mut img = Image::zeros(4, 3, Channels::Gray);
+/// img.set(1, 2, 0, 128.0);
+/// assert_eq!(img.get(1, 2, 0), 128.0);
+/// assert_eq!(img.size().area(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    channels: Channels,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Creates an image filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero; use [`Image::try_new`] for a
+    /// fallible variant.
+    pub fn zeros(width: usize, height: usize, channels: Channels) -> Self {
+        Self::try_new(width, height, channels).expect("image dimensions must be non-zero")
+    }
+
+    /// Creates an image filled with zeros, or an error for empty dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidDimensions`] if either dimension is 0.
+    pub fn try_new(width: usize, height: usize, channels: Channels) -> Result<Self, ImagingError> {
+        if width == 0 || height == 0 {
+            return Err(ImagingError::InvalidDimensions { width, height });
+        }
+        Ok(Self { width, height, channels, data: vec![0.0; width * height * channels.count()] })
+    }
+
+    /// Creates an image filled with a constant value.
+    pub fn filled(width: usize, height: usize, channels: Channels, value: f64) -> Self {
+        let mut img = Self::zeros(width, height, channels);
+        img.data.fill(value);
+        img
+    }
+
+    /// Wraps an existing sample buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidDimensions`] for empty dimensions and
+    /// [`ImagingError::BufferSizeMismatch`] if `data.len()` differs from
+    /// `width * height * channels.count()`.
+    pub fn from_vec(
+        width: usize,
+        height: usize,
+        channels: Channels,
+        data: Vec<f64>,
+    ) -> Result<Self, ImagingError> {
+        if width == 0 || height == 0 {
+            return Err(ImagingError::InvalidDimensions { width, height });
+        }
+        let expected = width * height * channels.count();
+        if data.len() != expected {
+            return Err(ImagingError::BufferSizeMismatch { expected, actual: data.len() });
+        }
+        Ok(Self { width, height, channels, data })
+    }
+
+    /// Builds a grayscale image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn_gray(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut img = Self::zeros(width, height, Channels::Gray);
+        for y in 0..height {
+            for x in 0..width {
+                let v = f(x, y);
+                img.data[y * width + x] = v;
+            }
+        }
+        img
+    }
+
+    /// Builds an RGB image by evaluating `f(x, y) -> [r, g, b]` at every pixel.
+    pub fn from_fn_rgb(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> [f64; 3],
+    ) -> Self {
+        let mut img = Self::zeros(width, height, Channels::Rgb);
+        for y in 0..height {
+            for x in 0..width {
+                let [r, g, b] = f(x, y);
+                let base = (y * width + x) * 3;
+                img.data[base] = r;
+                img.data[base + 1] = g;
+                img.data[base + 2] = b;
+            }
+        }
+        img
+    }
+
+    /// Converts an 8-bit sample buffer into an image.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Image::from_vec`].
+    pub fn from_u8(
+        width: usize,
+        height: usize,
+        channels: Channels,
+        data: &[u8],
+    ) -> Result<Self, ImagingError> {
+        Self::from_vec(width, height, channels, data.iter().map(|&b| f64::from(b)).collect())
+    }
+
+    /// Width in pixels.
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Channel layout.
+    pub const fn channels(&self) -> Channels {
+        self.channels
+    }
+
+    /// Number of samples per pixel (1 or 3).
+    pub const fn channel_count(&self) -> usize {
+        self.channels.count()
+    }
+
+    /// Size in pixels.
+    pub const fn size(&self) -> Size {
+        Size::new(self.width, self.height)
+    }
+
+    /// Shape as `(width, height, channels)`.
+    pub const fn shape(&self) -> (usize, usize, usize) {
+        (self.width, self.height, self.channels.count())
+    }
+
+    /// Borrows the raw sample buffer (row-major, interleaved).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the raw sample buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the image and returns the sample buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize, c: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height && c < self.channel_count());
+        (y * self.width + x) * self.channel_count() + c
+    }
+
+    /// Sample at `(x, y)` in channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates or channel are out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, c: usize) -> f64 {
+        self.data[self.index(x, y, c)]
+    }
+
+    /// Writes a sample at `(x, y)` in channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates or channel are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: usize, value: f64) {
+        let i = self.index(x, y, c);
+        self.data[i] = value;
+    }
+
+    /// Sample at `(x, y)` with coordinates clamped into bounds (border
+    /// replication). Useful for filters near the edges.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize, c: usize) -> f64 {
+        let xi = x.clamp(0, self.width as isize - 1) as usize;
+        let yi = y.clamp(0, self.height as isize - 1) as usize;
+        self.get(xi, yi, c)
+    }
+
+    /// Extracts one channel as a grayscale image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidParameter`] if `c` is out of range.
+    pub fn plane(&self, c: usize) -> Result<Image, ImagingError> {
+        if c >= self.channel_count() {
+            return Err(ImagingError::InvalidParameter {
+                message: format!("channel {c} out of range for {:?}", self.channels),
+            });
+        }
+        let mut out = Image::zeros(self.width, self.height, Channels::Gray);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.set(x, y, 0, self.get(x, y, c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reassembles an RGB image from three grayscale planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::ShapeMismatch`] if the planes disagree in
+    /// shape and [`ImagingError::ChannelMismatch`] if any plane is not
+    /// grayscale.
+    pub fn from_planes(planes: &[Image; 3]) -> Result<Image, ImagingError> {
+        for p in planes.iter() {
+            if p.channels != Channels::Gray {
+                return Err(ImagingError::ChannelMismatch { expected: "grayscale" });
+            }
+            if p.shape() != planes[0].shape() {
+                return Err(ImagingError::ShapeMismatch {
+                    left: planes[0].shape(),
+                    right: p.shape(),
+                });
+            }
+        }
+        let (w, h) = (planes[0].width, planes[0].height);
+        let mut out = Image::zeros(w, h, Channels::Rgb);
+        for y in 0..h {
+            for x in 0..w {
+                for c in 0..3 {
+                    out.set(x, y, c, planes[c].get(x, y, 0));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts to grayscale using the ITU-R BT.601 luma weights. A grayscale
+    /// input is returned unchanged (cloned).
+    pub fn to_gray(&self) -> Image {
+        match self.channels {
+            Channels::Gray => self.clone(),
+            Channels::Rgb => Image::from_fn_gray(self.width, self.height, |x, y| {
+                0.299 * self.get(x, y, 0) + 0.587 * self.get(x, y, 1) + 0.114 * self.get(x, y, 2)
+            }),
+        }
+    }
+
+    /// Expands a grayscale image to RGB by replicating the channel. An RGB
+    /// input is returned unchanged (cloned).
+    pub fn to_rgb(&self) -> Image {
+        match self.channels {
+            Channels::Rgb => self.clone(),
+            Channels::Gray => Image::from_fn_rgb(self.width, self.height, |x, y| {
+                let v = self.get(x, y, 0);
+                [v, v, v]
+            }),
+        }
+    }
+
+    /// Returns a copy with every sample transformed by `f`.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Image {
+        let mut out = self.clone();
+        for v in out.data.iter_mut() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Combines two images of identical shape sample-by-sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::ShapeMismatch`] when the shapes differ.
+    pub fn zip_map(
+        &self,
+        other: &Image,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Image, ImagingError> {
+        if self.shape() != other.shape() {
+            return Err(ImagingError::ShapeMismatch { left: self.shape(), right: other.shape() });
+        }
+        let mut out = self.clone();
+        for (v, &o) in out.data.iter_mut().zip(other.data.iter()) {
+            *v = f(*v, o);
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy with all samples clamped to `[0, 255]`.
+    pub fn clamped(&self) -> Image {
+        self.map(|v| v.clamp(0.0, 255.0))
+    }
+
+    /// Returns a copy with all samples rounded to the nearest integer and
+    /// clamped to `[0, 255]`, i.e. quantised to the 8-bit grid.
+    pub fn quantized(&self) -> Image {
+        self.map(|v| v.round().clamp(0.0, 255.0))
+    }
+
+    /// Converts the image to an 8-bit buffer (round + clamp).
+    pub fn to_u8_vec(&self) -> Vec<u8> {
+        self.data.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect()
+    }
+
+    /// Crops a rectangular region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::InvalidParameter`] when the rectangle does not
+    /// fit inside the image.
+    pub fn crop(&self, rect: Rect) -> Result<Image, ImagingError> {
+        if rect.area() == 0 || rect.right() > self.width || rect.bottom() > self.height {
+            return Err(ImagingError::InvalidParameter {
+                message: format!("crop {rect} outside image {}", self.size()),
+            });
+        }
+        let mut out = Image::zeros(rect.width, rect.height, self.channels);
+        for y in 0..rect.height {
+            for x in 0..rect.width {
+                for c in 0..self.channel_count() {
+                    out.set(x, y, c, self.get(rect.x + x, rect.y + y, c));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Smallest sample value in the image.
+    pub fn min_sample(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample value in the image.
+    pub fn max_sample(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean of all samples.
+    pub fn mean_sample(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Whether every sample of `self` is within `tol` of the corresponding
+    /// sample of `other`. Images of different shapes are never approximately
+    /// equal.
+    pub fn approx_eq(&self, other: &Image, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_accessors() {
+        let img = Image::zeros(5, 4, Channels::Rgb);
+        assert_eq!(img.width(), 5);
+        assert_eq!(img.height(), 4);
+        assert_eq!(img.channel_count(), 3);
+        assert_eq!(img.as_slice().len(), 60);
+        assert_eq!(img.shape(), (5, 4, 3));
+    }
+
+    #[test]
+    fn try_new_rejects_empty() {
+        assert!(Image::try_new(0, 4, Channels::Gray).is_err());
+        assert!(Image::try_new(4, 0, Channels::Gray).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zeros_panics_on_empty() {
+        let _ = Image::zeros(0, 1, Channels::Gray);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Image::from_vec(2, 2, Channels::Gray, vec![0.0; 4]).is_ok());
+        assert!(matches!(
+            Image::from_vec(2, 2, Channels::Gray, vec![0.0; 5]),
+            Err(ImagingError::BufferSizeMismatch { expected: 4, actual: 5 })
+        ));
+        assert!(Image::from_vec(2, 2, Channels::Rgb, vec![0.0; 12]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::zeros(3, 3, Channels::Rgb);
+        img.set(2, 1, 2, 42.5);
+        assert_eq!(img.get(2, 1, 2), 42.5);
+        assert_eq!(img.get(2, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_gray_layout_is_row_major() {
+        let img = Image::from_fn_gray(3, 2, |x, y| (10 * y + x) as f64);
+        assert_eq!(img.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_fn_rgb_interleaves() {
+        let img = Image::from_fn_rgb(2, 1, |x, _| [x as f64, 10.0, 20.0]);
+        assert_eq!(img.as_slice(), &[0.0, 10.0, 20.0, 1.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn get_clamped_replicates_border() {
+        let img = Image::from_fn_gray(2, 2, |x, y| (y * 2 + x) as f64);
+        assert_eq!(img.get_clamped(-5, 0, 0), 0.0);
+        assert_eq!(img.get_clamped(7, 1, 0), 3.0);
+        assert_eq!(img.get_clamped(0, -1, 0), 0.0);
+        assert_eq!(img.get_clamped(1, 9, 0), 3.0);
+    }
+
+    #[test]
+    fn plane_and_from_planes_roundtrip() {
+        let img = Image::from_fn_rgb(3, 2, |x, y| {
+            [(x + y) as f64, (x * y) as f64, (x + 2 * y) as f64]
+        });
+        let planes = [
+            img.plane(0).unwrap(),
+            img.plane(1).unwrap(),
+            img.plane(2).unwrap(),
+        ];
+        let back = Image::from_planes(&planes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn plane_rejects_bad_channel() {
+        let img = Image::zeros(2, 2, Channels::Gray);
+        assert!(img.plane(1).is_err());
+    }
+
+    #[test]
+    fn from_planes_rejects_rgb_plane() {
+        let g = Image::zeros(2, 2, Channels::Gray);
+        let rgb = Image::zeros(2, 2, Channels::Rgb);
+        assert!(Image::from_planes(&[g.clone(), rgb, g]).is_err());
+    }
+
+    #[test]
+    fn to_gray_uses_bt601_weights() {
+        let img = Image::from_fn_rgb(1, 1, |_, _| [255.0, 0.0, 0.0]);
+        let gray = img.to_gray();
+        assert!((gray.get(0, 0, 0) - 0.299 * 255.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_gray_of_gray_is_identity() {
+        let img = Image::from_fn_gray(2, 2, |x, _| x as f64);
+        assert_eq!(img.to_gray(), img);
+    }
+
+    #[test]
+    fn to_rgb_replicates_channel() {
+        let img = Image::from_fn_gray(1, 1, |_, _| 7.0);
+        let rgb = img.to_rgb();
+        assert_eq!(rgb.as_slice(), &[7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Image::from_fn_gray(2, 2, |x, y| (x + y) as f64);
+        let doubled = a.map(|v| v * 2.0);
+        assert_eq!(doubled.get(1, 1, 0), 4.0);
+        let sum = a.zip_map(&doubled, |u, v| u + v).unwrap();
+        assert_eq!(sum.get(1, 1, 0), 6.0);
+    }
+
+    #[test]
+    fn zip_map_rejects_shape_mismatch() {
+        let a = Image::zeros(2, 2, Channels::Gray);
+        let b = Image::zeros(3, 2, Channels::Gray);
+        assert!(a.zip_map(&b, |u, _| u).is_err());
+        let c = Image::zeros(2, 2, Channels::Rgb);
+        assert!(a.zip_map(&c, |u, _| u).is_err());
+    }
+
+    #[test]
+    fn clamp_and_quantize() {
+        let img = Image::from_vec(2, 1, Channels::Gray, vec![-4.0, 260.7]).unwrap();
+        assert_eq!(img.clamped().as_slice(), &[0.0, 255.0]);
+        let q = Image::from_vec(2, 1, Channels::Gray, vec![10.4, 10.6]).unwrap().quantized();
+        assert_eq!(q.as_slice(), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn u8_roundtrip() {
+        let bytes: Vec<u8> = (0..12).collect();
+        let img = Image::from_u8(2, 2, Channels::Rgb, &bytes).unwrap();
+        assert_eq!(img.to_u8_vec(), bytes);
+    }
+
+    #[test]
+    fn crop_extracts_region() {
+        let img = Image::from_fn_gray(4, 4, |x, y| (y * 4 + x) as f64);
+        let c = img.crop(Rect::new(1, 2, 2, 2)).unwrap();
+        assert_eq!(c.as_slice(), &[9.0, 10.0, 13.0, 14.0]);
+        assert!(img.crop(Rect::new(3, 3, 2, 2)).is_err());
+        assert!(img.crop(Rect::new(0, 0, 0, 2)).is_err());
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let img = Image::from_vec(3, 1, Channels::Gray, vec![1.0, 5.0, 3.0]).unwrap();
+        assert_eq!(img.min_sample(), 1.0);
+        assert_eq!(img.max_sample(), 5.0);
+        assert_eq!(img.mean_sample(), 3.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance_and_shape() {
+        let a = Image::filled(2, 2, Channels::Gray, 1.0);
+        let b = Image::filled(2, 2, Channels::Gray, 1.05);
+        assert!(a.approx_eq(&b, 0.1));
+        assert!(!a.approx_eq(&b, 0.01));
+        let c = Image::filled(2, 3, Channels::Gray, 1.0);
+        assert!(!a.approx_eq(&c, 10.0));
+    }
+
+    #[test]
+    fn into_vec_returns_samples() {
+        let img = Image::filled(2, 1, Channels::Gray, 9.0);
+        assert_eq!(img.into_vec(), vec![9.0, 9.0]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Image substrate for the Decamouflage reproduction.
+//!
+//! This crate provides everything the detection framework and the
+//! image-scaling attack need from an imaging library, implemented from
+//! scratch:
+//!
+//! * [`Image`] — an owned raster of `f64` samples (gray or RGB) with the
+//!   `[0, 255]` convention of 8-bit imagery,
+//! * [`scale`] — resampling kernels (nearest, bilinear, bicubic, area,
+//!   Lanczos) with OpenCV-compatible half-pixel-center sampling, exposed both
+//!   as direct resize operations and as sparse row/column coefficient
+//!   matrices (the form the image-scaling attack consumes),
+//! * [`filter`] — rank filters (minimum / median / maximum), separable
+//!   convolution and Gaussian blur,
+//! * [`codec`] — plain and binary PGM/PPM encoding and decoding,
+//! * [`draw`] — simple shape rasterisation used by the synthetic dataset
+//!   generator.
+//!
+//! # Example
+//!
+//! ```
+//! use decamouflage_imaging::{Image, scale::{resize, ScaleAlgorithm}};
+//!
+//! # fn main() -> Result<(), decamouflage_imaging::ImagingError> {
+//! let img = Image::from_fn_gray(8, 8, |x, y| (x + y) as f64 * 10.0);
+//! let small = resize(&img, 4, 4, ScaleAlgorithm::Bilinear)?;
+//! assert_eq!((small.width(), small.height()), (4, 4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod geometry;
+mod image;
+
+pub mod transform;
+
+pub mod codec;
+pub mod draw;
+pub mod filter;
+pub mod scale;
+
+pub use error::ImagingError;
+pub use geometry::{Rect, Size};
+pub use image::{Channels, Image};

@@ -1,0 +1,172 @@
+//! Interpolation kernel weight functions.
+//!
+//! These are the continuous kernels behind the separable scalers. All
+//! conventions follow OpenCV's `resize`: bicubic uses the Keys cubic with
+//! `A = -0.75`, and — crucially for the image-scaling attack — the kernel
+//! support is *not* widened when downscaling (no anti-aliasing), so only a
+//! handful of source pixels influence each output pixel.
+
+use std::f64::consts::PI;
+
+/// Keys cubic convolution parameter used by OpenCV (`A = -0.75`).
+pub const CUBIC_A: f64 = -0.75;
+
+/// Bilinear (triangle/tent) kernel: `1 - |x|` on `[-1, 1]`, zero elsewhere.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::scale::kernels::bilinear_weight;
+/// assert_eq!(bilinear_weight(0.0), 1.0);
+/// assert_eq!(bilinear_weight(0.25), 0.75);
+/// assert_eq!(bilinear_weight(1.5), 0.0);
+/// ```
+pub fn bilinear_weight(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 1.0 {
+        1.0 - ax
+    } else {
+        0.0
+    }
+}
+
+/// Keys bicubic kernel with the OpenCV parameter [`CUBIC_A`].
+///
+/// Support is `[-2, 2]`; the kernel interpolates (`w(0) = 1`, `w(±1) =
+/// w(±2) = 0`) and its integer-shifted translates sum to 1.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::scale::kernels::cubic_weight;
+/// assert!((cubic_weight(0.0) - 1.0).abs() < 1e-12);
+/// assert!(cubic_weight(1.0).abs() < 1e-12);
+/// assert!(cubic_weight(2.0).abs() < 1e-12);
+/// ```
+pub fn cubic_weight(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax <= 1.0 {
+        ((CUBIC_A + 2.0) * ax - (CUBIC_A + 3.0)) * ax * ax + 1.0
+    } else if ax < 2.0 {
+        (((ax - 5.0) * ax + 8.0) * ax - 4.0) * CUBIC_A
+    } else {
+        0.0
+    }
+}
+
+/// Normalised sinc: `sin(pi x) / (pi x)` with `sinc(0) = 1`.
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        (PI * x).sin() / (PI * x)
+    }
+}
+
+/// Lanczos kernel of order `a = 3`: `sinc(x) * sinc(x / 3)` on `[-3, 3]`.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::scale::kernels::lanczos3_weight;
+/// assert!((lanczos3_weight(0.0) - 1.0).abs() < 1e-12);
+/// assert!(lanczos3_weight(3.0).abs() < 1e-12);
+/// assert!(lanczos3_weight(4.0).abs() < 1e-12);
+/// ```
+pub fn lanczos3_weight(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 3.0 {
+        sinc(x) * sinc(x / 3.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bilinear_is_symmetric_tent() {
+        for &x in &[0.0, 0.1, 0.5, 0.9, 1.0, 2.0] {
+            assert_eq!(bilinear_weight(x), bilinear_weight(-x));
+        }
+        assert_eq!(bilinear_weight(0.5), 0.5);
+        assert_eq!(bilinear_weight(1.0), 0.0);
+    }
+
+    #[test]
+    fn bilinear_translates_partition_unity() {
+        // Sum over integer shifts of the tent kernel is 1 everywhere.
+        for i in 0..50 {
+            let t = i as f64 / 50.0;
+            let sum: f64 = (-2..=2).map(|k| bilinear_weight(t - k as f64)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "t={t} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn cubic_interpolates_at_integers() {
+        assert!((cubic_weight(0.0) - 1.0).abs() < 1e-12);
+        for &x in &[1.0, 2.0, -1.0, -2.0, 2.5] {
+            assert!(cubic_weight(x).abs() < 1e-12, "w({x}) = {}", cubic_weight(x));
+        }
+    }
+
+    #[test]
+    fn cubic_translates_partition_unity() {
+        for i in 0..50 {
+            let t = i as f64 / 50.0;
+            let sum: f64 = (-3..=3).map(|k| cubic_weight(t - k as f64)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "t={t} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn cubic_is_symmetric() {
+        for i in 0..40 {
+            let x = i as f64 * 0.05;
+            assert!((cubic_weight(x) - cubic_weight(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cubic_matches_opencv_half_offset_weights() {
+        // OpenCV's 4-tap weights for a sample exactly between two pixels
+        // (t = 0.5) with A = -0.75 are [-0.09375, 0.59375, 0.59375, -0.09375].
+        let t = 0.5;
+        let w = [
+            cubic_weight(t + 1.0),
+            cubic_weight(t),
+            cubic_weight(1.0 - t),
+            cubic_weight(2.0 - t),
+        ];
+        assert!((w[0] + 0.09375).abs() < 1e-12);
+        assert!((w[1] - 0.59375).abs() < 1e-12);
+        assert!((w[2] - 0.59375).abs() < 1e-12);
+        assert!((w[3] + 0.09375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sinc_zero_crossings() {
+        assert_eq!(sinc(0.0), 1.0);
+        for k in 1..5 {
+            assert!(sinc(k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lanczos_support_is_three() {
+        assert_eq!(lanczos3_weight(3.0), 0.0);
+        assert_eq!(lanczos3_weight(-3.0), 0.0);
+        assert!(lanczos3_weight(2.5).abs() > 0.0);
+    }
+
+    #[test]
+    fn lanczos_is_symmetric() {
+        for i in 0..60 {
+            let x = i as f64 * 0.05;
+            assert!((lanczos3_weight(x) - lanczos3_weight(-x)).abs() < 1e-12);
+        }
+    }
+}

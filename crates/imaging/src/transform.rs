@@ -1,0 +1,140 @@
+//! Lossless geometric transforms: flips, 90-degree rotations and
+//! transposition.
+//!
+//! The dataset generator uses these for augmentation variety, and the test
+//! suite uses them to assert symmetry properties of scalers, filters and
+//! spectra (e.g. CSP counts are invariant under flips).
+
+use crate::Image;
+
+/// Mirrors an image left-right.
+pub fn flip_horizontal(img: &Image) -> Image {
+    let mut out = img.clone();
+    let (w, h, c) = img.shape();
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                out.set(x, y, ch, img.get(w - 1 - x, y, ch));
+            }
+        }
+    }
+    out
+}
+
+/// Mirrors an image top-bottom.
+pub fn flip_vertical(img: &Image) -> Image {
+    let mut out = img.clone();
+    let (w, h, c) = img.shape();
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                out.set(x, y, ch, img.get(x, h - 1 - y, ch));
+            }
+        }
+    }
+    out
+}
+
+/// Transposes an image (swaps x and y axes).
+pub fn transpose(img: &Image) -> Image {
+    let (w, h, c) = img.shape();
+    let mut out = Image::zeros(h, w, img.channels());
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                out.set(y, x, ch, img.get(x, y, ch));
+            }
+        }
+    }
+    out
+}
+
+/// Rotates an image 90 degrees clockwise.
+pub fn rotate90_cw(img: &Image) -> Image {
+    flip_horizontal(&transpose(img))
+}
+
+/// Rotates an image 90 degrees counter-clockwise.
+pub fn rotate90_ccw(img: &Image) -> Image {
+    flip_vertical(&transpose(img))
+}
+
+/// Rotates an image 180 degrees.
+pub fn rotate180(img: &Image) -> Image {
+    flip_horizontal(&flip_vertical(img))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Channels;
+
+    fn sample() -> Image {
+        Image::from_fn_gray(3, 2, |x, y| (y * 3 + x) as f64)
+    }
+
+    #[test]
+    fn flip_horizontal_mirrors_rows() {
+        let out = flip_horizontal(&sample());
+        assert_eq!(out.as_slice(), &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn flip_vertical_mirrors_columns() {
+        let out = flip_vertical(&sample());
+        assert_eq!(out.as_slice(), &[3.0, 4.0, 5.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let img = Image::from_fn_gray(5, 4, |x, y| ((x * 13 + y * 7) % 37) as f64);
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+        assert_eq!(flip_vertical(&flip_vertical(&img)), img);
+        assert_eq!(rotate180(&rotate180(&img)), img);
+        assert_eq!(transpose(&transpose(&img)), img);
+    }
+
+    #[test]
+    fn transpose_swaps_dimensions() {
+        let out = transpose(&sample());
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.height(), 3);
+        assert_eq!(out.get(0, 2, 0), 2.0); // (x=2, y=0) in the source
+    }
+
+    #[test]
+    fn rotate90_cw_known_result() {
+        // [0 1 2]      [3 0]
+        // [3 4 5]  ->  [4 1]
+        //              [5 2]
+        let out = rotate90_cw(&sample());
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.height(), 3);
+        assert_eq!(out.as_slice(), &[3.0, 0.0, 4.0, 1.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn rotate90_ccw_inverts_cw() {
+        let img = Image::from_fn_gray(4, 3, |x, y| ((x + 2 * y) % 11) as f64);
+        assert_eq!(rotate90_ccw(&rotate90_cw(&img)), img);
+    }
+
+    #[test]
+    fn four_cw_rotations_are_identity() {
+        let img = Image::from_fn_gray(4, 3, |x, y| ((x * y) % 7) as f64);
+        let once = rotate90_cw(&img);
+        let twice = rotate90_cw(&once);
+        let thrice = rotate90_cw(&twice);
+        assert_eq!(rotate90_cw(&thrice), img);
+    }
+
+    #[test]
+    fn rgb_channels_move_together() {
+        let img = Image::from_fn_rgb(2, 2, |x, y| [(y * 2 + x) as f64, 10.0, 20.0]);
+        let out = rotate180(&img);
+        assert_eq!(out.get(0, 0, 0), 3.0);
+        assert_eq!(out.get(0, 0, 1), 10.0);
+        assert_eq!(out.get(0, 0, 2), 20.0);
+        assert_eq!(out.channels(), Channels::Rgb);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) for the imaging substrate.
+
+use decamouflage_imaging::codec::{decode_bmp, decode_pnm, encode_bmp, encode_pgm, encode_ppm};
+use decamouflage_imaging::filter::{
+    box_mean, maximum_filter, minimum_filter, rank_filter, IntegralImage, RankKind,
+};
+use decamouflage_imaging::scale::{CoeffMatrix, ScaleAlgorithm, Scaler};
+use decamouflage_imaging::transform::{
+    flip_horizontal, flip_vertical, rotate180, rotate90_ccw, rotate90_cw, transpose,
+};
+use decamouflage_imaging::{Channels, Image, Rect, Size};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (2usize..=20, 2usize..=20).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u8..=255, w * h)
+            .prop_map(move |data| Image::from_u8(w, h, Channels::Gray, &data).unwrap())
+    })
+}
+
+fn arb_algorithm() -> impl Strategy<Value = ScaleAlgorithm> {
+    prop_oneof![
+        Just(ScaleAlgorithm::Nearest),
+        Just(ScaleAlgorithm::Bilinear),
+        Just(ScaleAlgorithm::Bicubic),
+        Just(ScaleAlgorithm::Area),
+        Just(ScaleAlgorithm::Lanczos3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn scaler_equals_separate_matrix_application(
+        img in arb_image(),
+        algo in arb_algorithm(),
+        dw in 1usize..12,
+        dh in 1usize..12,
+    ) {
+        // The 2-D scaler must equal applying the 1-D coefficient matrices
+        // manually: columns then rows.
+        let scaler = Scaler::new(img.size(), Size::new(dw, dh), algo).unwrap();
+        let direct = scaler.apply(&img).unwrap();
+
+        let v = CoeffMatrix::build(algo, img.height(), dh).unwrap();
+        let hmat = CoeffMatrix::build(algo, img.width(), dw).unwrap();
+        let mut mid = vec![0.0; img.width() * dh];
+        for x in 0..img.width() {
+            let col: Vec<f64> = (0..img.height()).map(|y| img.get(x, y, 0)).collect();
+            for (y, val) in v.apply(&col).into_iter().enumerate() {
+                mid[y * img.width() + x] = val;
+            }
+        }
+        for y in 0..dh {
+            let row: Vec<f64> = (0..img.width()).map(|x| mid[y * img.width() + x]).collect();
+            for (x, val) in hmat.apply(&row).into_iter().enumerate() {
+                prop_assert!(
+                    (direct.get(x, y, 0) - val).abs() < 1e-9,
+                    "({x},{y}): {} vs {val}",
+                    direct.get(x, y, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transform_group_relations(img in arb_image()) {
+        prop_assert_eq!(rotate180(&img), flip_horizontal(&flip_vertical(&img)));
+        prop_assert_eq!(rotate90_ccw(&rotate90_cw(&img)), img.clone());
+        prop_assert_eq!(transpose(&transpose(&img)), img.clone());
+        // Transpose swaps the two flips.
+        prop_assert_eq!(
+            transpose(&flip_horizontal(&img)),
+            flip_vertical(&transpose(&img))
+        );
+    }
+
+    #[test]
+    fn codec_roundtrips(img in arb_image()) {
+        let back = decode_pnm(&encode_pgm(&img)).unwrap();
+        prop_assert!(back.approx_eq(&img, 0.5));
+        let rgb = img.to_rgb();
+        let back = decode_pnm(&encode_ppm(&rgb)).unwrap();
+        prop_assert!(back.approx_eq(&rgb, 0.5));
+        let back = decode_bmp(&encode_bmp(&rgb)).unwrap();
+        prop_assert!(back.approx_eq(&rgb, 0.5));
+    }
+
+    #[test]
+    fn erosion_dilation_duality(img in arb_image(), window in 1usize..5) {
+        // min(-I) == -max(I) (up to the sample negation).
+        let neg = img.map(|v| 255.0 - v);
+        let min_of_neg = minimum_filter(&neg, window).unwrap();
+        let max_then_neg = maximum_filter(&img, window).unwrap().map(|v| 255.0 - v);
+        prop_assert!(min_of_neg.approx_eq(&max_then_neg, 1e-9));
+    }
+
+    #[test]
+    fn repeated_erosion_never_grows(img in arb_image()) {
+        let once = minimum_filter(&img, 3).unwrap();
+        let twice = minimum_filter(&once, 3).unwrap();
+        for (a, b) in twice.as_slice().iter().zip(once.as_slice()) {
+            prop_assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn median_is_bracketed_by_extrema(img in arb_image(), window in 1usize..4) {
+        let lo = minimum_filter(&img, window).unwrap();
+        let mid = rank_filter(&img, window, RankKind::Median).unwrap();
+        let hi = maximum_filter(&img, window).unwrap();
+        for ((l, m), h) in lo.as_slice().iter().zip(mid.as_slice()).zip(hi.as_slice()) {
+            prop_assert!(l <= m && m <= h);
+        }
+    }
+
+    #[test]
+    fn integral_rect_sums_match_naive(
+        img in arb_image(),
+        x in 0usize..16,
+        y in 0usize..16,
+        w in 1usize..10,
+        h in 1usize..10,
+    ) {
+        let integral = IntegralImage::new(&img);
+        let rect = Rect::new(x, y, w, h);
+        let mut naive = 0.0;
+        if let Some(clipped) = rect.clamp_to(img.size()) {
+            for yy in clipped.y..clipped.bottom() {
+                for xx in clipped.x..clipped.right() {
+                    naive += img.get(xx, yy, 0);
+                }
+            }
+        }
+        prop_assert!((integral.rect_sum(rect, 0) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_mean_stays_within_hull(img in arb_image(), window in 1usize..6) {
+        let blurred = box_mean(&img, window).unwrap();
+        prop_assert!(blurred.min_sample() >= img.min_sample() - 1e-9);
+        prop_assert!(blurred.max_sample() <= img.max_sample() + 1e-9);
+    }
+
+    #[test]
+    fn quantized_images_are_integral_and_bounded(img in arb_image()) {
+        let noisy = img.map(|v| v * 1.3 - 20.0);
+        let q = noisy.quantized();
+        for &v in q.as_slice() {
+            prop_assert!((0.0..=255.0).contains(&v));
+            prop_assert_eq!(v, v.round());
+        }
+    }
+}

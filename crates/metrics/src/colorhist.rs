@@ -1,0 +1,180 @@
+//! Colour histograms and histogram-intersection similarity.
+//!
+//! Xiao et al. proposed colour-histogram comparison as a mitigation for the
+//! image-scaling attack; the Decamouflage paper (§3.1) reports — and this
+//! reproduction confirms with the `ablate-colorhist` experiment — that it
+//! does **not** separate benign from attack images. It is implemented here
+//! to regenerate that negative result.
+
+use crate::error::check_same_shape;
+use crate::MetricError;
+use decamouflage_imaging::Image;
+
+/// A per-channel, fixed-bin colour histogram normalised to sum 1 per
+/// channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorHistogram {
+    bins: usize,
+    /// `channels x bins` normalised frequencies.
+    data: Vec<Vec<f64>>,
+}
+
+impl ColorHistogram {
+    /// Number of bins per channel.
+    pub const fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Number of channels (1 for grayscale, 3 for RGB).
+    pub fn channel_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Normalised frequencies of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel(&self, channel: usize) -> &[f64] {
+        &self.data[channel]
+    }
+}
+
+/// Computes the per-channel colour histogram of an image with `bins` bins
+/// over the `[0, 255]` sample range (samples are clamped into range first).
+///
+/// # Errors
+///
+/// Returns [`MetricError::InvalidParameter`] when `bins` is zero.
+pub fn color_histogram(img: &Image, bins: usize) -> Result<ColorHistogram, MetricError> {
+    if bins == 0 {
+        return Err(MetricError::InvalidParameter { message: "zero histogram bins".into() });
+    }
+    let channels = img.channel_count();
+    let mut data = vec![vec![0.0f64; bins]; channels];
+    let pixel_count = (img.width() * img.height()) as f64;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            for (c, hist) in data.iter_mut().enumerate() {
+                let v = img.get(x, y, c).clamp(0.0, 255.0);
+                let idx = ((v / 256.0) * bins as f64) as usize;
+                hist[idx.min(bins - 1)] += 1.0;
+            }
+        }
+    }
+    for hist in data.iter_mut() {
+        for v in hist.iter_mut() {
+            *v /= pixel_count;
+        }
+    }
+    Ok(ColorHistogram { bins, data })
+}
+
+/// Histogram-intersection similarity between two images, in `[0, 1]`
+/// (1 = identical colour distributions). Computed per channel and averaged.
+///
+/// # Errors
+///
+/// Returns [`MetricError::ShapeMismatch`] for different channel layouts and
+/// [`MetricError::InvalidParameter`] for zero bins.
+pub fn histogram_intersection(a: &Image, b: &Image, bins: usize) -> Result<f64, MetricError> {
+    check_same_shape(a, b)?;
+    let ha = color_histogram(a, bins)?;
+    let hb = color_histogram(b, bins)?;
+    let mut total = 0.0;
+    for c in 0..ha.channel_count() {
+        let inter: f64 = ha
+            .channel(c)
+            .iter()
+            .zip(hb.channel(c))
+            .map(|(x, y)| x.min(*y))
+            .sum();
+        total += inter;
+    }
+    Ok(total / ha.channel_count() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::Channels;
+
+    #[test]
+    fn histogram_sums_to_one_per_channel() {
+        let img = Image::from_fn_rgb(8, 8, |x, y| {
+            [(x * 32) as f64, (y * 32) as f64, ((x + y) * 16) as f64]
+        });
+        let h = color_histogram(&img, 16).unwrap();
+        for c in 0..3 {
+            let sum: f64 = h.channel(c).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(h.bins(), 16);
+        assert_eq!(h.channel_count(), 3);
+    }
+
+    #[test]
+    fn constant_image_fills_one_bin() {
+        let img = Image::filled(4, 4, Channels::Gray, 128.0);
+        let h = color_histogram(&img, 8).unwrap();
+        // 128 / 256 * 8 = bin 4.
+        assert_eq!(h.channel(0)[4], 1.0);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_clamped() {
+        let img =
+            Image::from_vec(2, 1, Channels::Gray, vec![-10.0, 300.0]).unwrap();
+        let h = color_histogram(&img, 4).unwrap();
+        assert_eq!(h.channel(0)[0], 0.5);
+        assert_eq!(h.channel(0)[3], 0.5);
+    }
+
+    #[test]
+    fn zero_bins_rejected() {
+        let img = Image::zeros(2, 2, Channels::Gray);
+        assert!(color_histogram(&img, 0).is_err());
+        assert!(histogram_intersection(&img, &img, 0).is_err());
+    }
+
+    #[test]
+    fn intersection_of_identical_images_is_one() {
+        let img = Image::from_fn_gray(8, 8, |x, y| ((x * y * 7) % 256) as f64);
+        let s = histogram_intersection(&img, &img, 32).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_distributions_is_zero() {
+        let dark = Image::filled(4, 4, Channels::Gray, 10.0);
+        let bright = Image::filled(4, 4, Channels::Gray, 250.0);
+        let s = histogram_intersection(&dark, &bright, 8).unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = Image::from_fn_gray(8, 8, |x, _| (x * 30 % 256) as f64);
+        let b = Image::from_fn_gray(8, 8, |_, y| (y * 25 % 256) as f64);
+        let ab = histogram_intersection(&a, &b, 16).unwrap();
+        let ba = histogram_intersection(&b, &a, 16).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn permuted_image_has_identical_histogram() {
+        // The key weakness of the colour-histogram metric: rearranging
+        // pixels (which an attack effectively does) leaves it unchanged.
+        let a = Image::from_fn_gray(4, 4, |x, y| (y * 4 + x) as f64 * 16.0);
+        let b = Image::from_fn_gray(4, 4, |x, y| (15 - (y * 4 + x)) as f64 * 16.0);
+        let s = histogram_intersection(&a, &b, 16).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Image::zeros(2, 2, Channels::Gray);
+        let b = Image::zeros(2, 2, Channels::Rgb);
+        assert!(histogram_intersection(&a, &b, 8).is_err());
+    }
+}

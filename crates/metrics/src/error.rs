@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Error type for metric computations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MetricError {
+    /// The two images being compared do not have the same shape.
+    ShapeMismatch {
+        /// Left image shape `(width, height, channels)`.
+        left: (usize, usize, usize),
+        /// Right image shape.
+        right: (usize, usize, usize),
+    },
+    /// A metric parameter was invalid (window larger than the image,
+    /// zero-sized window, empty sample set, …).
+    InvalidParameter {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { left, right } => write!(
+                f,
+                "image shapes differ: {}x{}x{} vs {}x{}x{}",
+                left.0, left.1, left.2, right.0, right.1, right.2
+            ),
+            Self::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+pub(crate) fn check_same_shape(
+    a: &decamouflage_imaging::Image,
+    b: &decamouflage_imaging::Image,
+) -> Result<(), MetricError> {
+    if a.shape() != b.shape() {
+        return Err(MetricError::ShapeMismatch { left: a.shape(), right: b.shape() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::{Channels, Image};
+
+    #[test]
+    fn display_messages() {
+        let e = MetricError::ShapeMismatch { left: (1, 2, 3), right: (4, 5, 6) };
+        assert!(e.to_string().contains("1x2x3"));
+        let e = MetricError::InvalidParameter { message: "window 0".into() };
+        assert!(e.to_string().contains("window 0"));
+    }
+
+    #[test]
+    fn check_same_shape_accepts_and_rejects() {
+        let a = Image::zeros(2, 2, Channels::Gray);
+        let b = Image::zeros(2, 2, Channels::Gray);
+        let c = Image::zeros(2, 2, Channels::Rgb);
+        assert!(check_same_shape(&a, &b).is_ok());
+        assert!(check_same_shape(&a, &c).is_err());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricError>();
+    }
+}

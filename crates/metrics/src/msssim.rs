@@ -1,0 +1,213 @@
+//! Multi-scale SSIM (Wang et al., 2003).
+//!
+//! Single-scale SSIM is sensitive to the viewing scale; MS-SSIM evaluates
+//! contrast/structure terms over a dyadic pyramid and the luminance term
+//! only at the coarsest level, weighting the levels with the standard
+//! perceptual weights. Included for the paper's discussion on the
+//! robustness of image-similarity metrics (§6): the detection tables use
+//! plain SSIM, and MS-SSIM serves as a cross-check that the separation is
+//! not an artefact of the single evaluation scale.
+
+use crate::error::check_same_shape;
+use crate::ssim::SsimConfig;
+use crate::MetricError;
+use decamouflage_imaging::scale::{resize, ScaleAlgorithm};
+use decamouflage_imaging::Image;
+
+/// The standard five-level MS-SSIM weights.
+pub const MSSSIM_WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// Computes MS-SSIM between two images of identical shape.
+///
+/// The number of levels adapts to the image size (each level must keep at
+/// least `2 radius + 1` pixels per axis after halving); weights are
+/// renormalised over the levels actually used. Values land in `[0, 1]`
+/// for natural inputs (negative structural terms are clamped at 0, as in
+/// the reference implementation).
+///
+/// # Errors
+///
+/// Returns [`MetricError::ShapeMismatch`] for differing shapes and
+/// [`MetricError::InvalidParameter`] if the images are too small for even
+/// a single level.
+pub fn ms_ssim(a: &Image, b: &Image, config: &SsimConfig) -> Result<f64, MetricError> {
+    check_same_shape(a, b)?;
+    let min_side = 2 * config.radius + 1;
+    let mut levels = 0usize;
+    let (mut w, mut h) = (a.width(), a.height());
+    while levels < MSSSIM_WEIGHTS.len() && w >= min_side && h >= min_side {
+        levels += 1;
+        w /= 2;
+        h /= 2;
+    }
+    if levels == 0 {
+        return Err(MetricError::InvalidParameter {
+            message: format!(
+                "image {}x{} too small for MS-SSIM with window {min_side}",
+                a.width(),
+                a.height()
+            ),
+        });
+    }
+    let weight_sum: f64 = MSSSIM_WEIGHTS[..levels].iter().sum();
+
+    let mut current_a = a.clone();
+    let mut current_b = b.clone();
+    let mut log_score = 0.0f64;
+    for level in 0..levels {
+        let (luminance, contrast_structure) = ssim_components(&current_a, &current_b, config)?;
+        let weight = MSSSIM_WEIGHTS[level] / weight_sum;
+        let term = if level == levels - 1 {
+            // Coarsest level carries the luminance term too.
+            (luminance * contrast_structure).max(1e-12)
+        } else {
+            contrast_structure.max(1e-12)
+        };
+        log_score += weight * term.ln();
+        if level + 1 < levels {
+            let nw = (current_a.width() / 2).max(1);
+            let nh = (current_a.height() / 2).max(1);
+            current_a = resize(&current_a, nw, nh, ScaleAlgorithm::Area)
+                .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
+            current_b = resize(&current_b, nw, nh, ScaleAlgorithm::Area)
+                .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
+        }
+    }
+    Ok(log_score.exp())
+}
+
+/// Mean luminance term and mean contrast-structure term of SSIM, averaged
+/// over all window positions and channels (negative CS values clamp to 0).
+fn ssim_components(a: &Image, b: &Image, config: &SsimConfig) -> Result<(f64, f64), MetricError> {
+    use decamouflage_imaging::filter::{convolve_separable, gaussian_kernel};
+    let kernel = gaussian_kernel(config.sigma, Some(config.radius))
+        .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
+    let blur = |img: &Image| {
+        convolve_separable(img, &kernel, &kernel).expect("separable convolution cannot fail")
+    };
+    let c1 = (0.01 * config.dynamic_range).powi(2);
+    let c2 = (0.03 * config.dynamic_range).powi(2);
+
+    let mu_a = blur(a);
+    let mu_b = blur(b);
+    let a_sq = blur(&a.zip_map(a, |x, y| x * y).expect("same image"));
+    let b_sq = blur(&b.zip_map(b, |x, y| x * y).expect("same image"));
+    let ab = blur(&a.zip_map(b, |x, y| x * y).expect("checked same shape"));
+
+    let mut lum = 0.0;
+    let mut cs = 0.0;
+    let n = (a.width() * a.height() * a.channel_count()) as f64;
+    for y in 0..a.height() {
+        for x in 0..a.width() {
+            for c in 0..a.channel_count() {
+                let ma = mu_a.get(x, y, c);
+                let mb = mu_b.get(x, y, c);
+                let va = a_sq.get(x, y, c) - ma * ma;
+                let vb = b_sq.get(x, y, c) - mb * mb;
+                let cov = ab.get(x, y, c) - ma * mb;
+                lum += (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+                cs += ((2.0 * cov + c2) / (va + vb + c2)).max(0.0);
+            }
+        }
+    }
+    Ok((lum / n, cs / n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::Channels;
+
+    fn texture(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| {
+            128.0 + 70.0 * ((x as f64) * 0.23).sin() + 45.0 * ((y as f64) * 0.17).cos()
+        })
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let a = texture(64);
+        let s = ms_ssim(&a, &a, &SsimConfig::default()).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "MS-SSIM of identical images = {s}");
+    }
+
+    #[test]
+    fn small_distortion_scores_higher_than_large() {
+        let a = texture(64);
+        let slight = a.map(|v| (v + 4.0).min(255.0));
+        let heavy = a.map(|v| 255.0 - v);
+        let cfg = SsimConfig::default();
+        let s_slight = ms_ssim(&a, &slight, &cfg).unwrap();
+        let s_heavy = ms_ssim(&a, &heavy, &cfg).unwrap();
+        assert!(s_slight > s_heavy, "slight {s_slight} vs heavy {s_heavy}");
+        assert!(s_slight > 0.9);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = texture(48);
+        let b = a.map(|v| (v * 0.8 + 20.0).min(255.0));
+        let cfg = SsimConfig::default();
+        let ab = ms_ssim(&a, &b, &cfg).unwrap();
+        let ba = ms_ssim(&b, &a, &cfg).unwrap();
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let a = texture(48);
+        for other in [
+            a.map(|v| 255.0 - v),
+            Image::filled(48, 48, Channels::Gray, 0.0),
+            Image::from_fn_gray(48, 48, |x, y| ((x * 7919 + y * 104729) % 256) as f64),
+        ] {
+            let s = ms_ssim(&a, &other, &SsimConfig::default()).unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&s), "MS-SSIM out of range: {s}");
+        }
+    }
+
+    #[test]
+    fn adapts_level_count_to_small_images() {
+        // 16x16 supports one 11-px-window level only; must not error.
+        let a = texture(16);
+        let b = a.map(|v| v * 0.9);
+        let s = ms_ssim(&a, &b, &SsimConfig::default()).unwrap();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn rejects_tiny_images_and_shape_mismatch() {
+        let cfg = SsimConfig::default();
+        let tiny = Image::filled(4, 4, Channels::Gray, 1.0);
+        assert!(ms_ssim(&tiny, &tiny, &cfg).is_err());
+        let a = texture(32);
+        let b = texture(33);
+        assert!(ms_ssim(&a, &b, &cfg).is_err());
+    }
+
+    #[test]
+    fn weights_are_the_reference_values() {
+        assert_eq!(MSSSIM_WEIGHTS.len(), 5);
+        let sum: f64 = MSSSIM_WEIGHTS.iter().sum();
+        assert!((sum - 1.0001).abs() < 1e-3, "weights sum to {sum}");
+    }
+
+    #[test]
+    fn separates_attack_like_distortion() {
+        // An attack-like sparse outlier grid hurts MS-SSIM much more than
+        // uniform mild noise of the same energy budget.
+        let a = texture(64);
+        let sparse = Image::from_fn_gray(64, 64, |x, y| {
+            if x % 4 == 1 && y % 4 == 1 {
+                255.0 - a.get(x, y, 0)
+            } else {
+                a.get(x, y, 0)
+            }
+        });
+        let cfg = SsimConfig::default();
+        let s = ms_ssim(&a, &sparse, &cfg).unwrap();
+        assert!(s < 0.95, "sparse outliers barely penalised: {s}");
+        // And the clean copy is clearly preferred.
+        assert!(ms_ssim(&a, &a, &cfg).unwrap() > s + 0.04);
+    }
+}

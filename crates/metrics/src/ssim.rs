@@ -1,0 +1,241 @@
+//! Structural similarity (SSIM) index — Wang et al. 2004, the paper's
+//! Equation 6.
+
+use crate::error::check_same_shape;
+use crate::MetricError;
+use decamouflage_imaging::filter::{convolve_separable, gaussian_kernel};
+use decamouflage_imaging::Image;
+
+/// SSIM parameters. Defaults follow the reference implementation used by
+/// the paper's artefacts: an 11x11 Gaussian window with `sigma = 1.5`,
+/// stabilisers `c1 = (0.01 L)²`, `c2 = (0.03 L)²` and dynamic range
+/// `L = 255`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsimConfig {
+    /// Gaussian window standard deviation.
+    pub sigma: f64,
+    /// Gaussian window radius in pixels (window side = `2 radius + 1`).
+    pub radius: usize,
+    /// Luminance stabiliser weight `K1` in `c1 = (K1 L)²`.
+    pub k1: f64,
+    /// Contrast stabiliser weight `K2` in `c2 = (K2 L)²`.
+    pub k2: f64,
+    /// Dynamic range of the samples (255 for 8-bit imagery).
+    pub dynamic_range: f64,
+}
+
+impl Default for SsimConfig {
+    fn default() -> Self {
+        Self { sigma: 1.5, radius: 5, k1: 0.01, k2: 0.03, dynamic_range: 255.0 }
+    }
+}
+
+impl SsimConfig {
+    fn c1(&self) -> f64 {
+        let v = self.k1 * self.dynamic_range;
+        v * v
+    }
+
+    fn c2(&self) -> f64 {
+        let v = self.k2 * self.dynamic_range;
+        v * v
+    }
+
+    fn validate(&self) -> Result<(), MetricError> {
+        if !(self.sigma > 0.0 && self.sigma.is_finite()) {
+            return Err(MetricError::InvalidParameter {
+                message: format!("ssim sigma must be positive, got {}", self.sigma),
+            });
+        }
+        if self.dynamic_range <= 0.0 {
+            return Err(MetricError::InvalidParameter {
+                message: format!("dynamic range must be positive, got {}", self.dynamic_range),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Mean SSIM index between two images of identical shape, in `[-1, 1]`
+/// (1 = identical). Multi-channel images average the per-channel scores.
+///
+/// # Errors
+///
+/// Returns [`MetricError::ShapeMismatch`] for shape disagreement and
+/// [`MetricError::InvalidParameter`] for unusable configuration values.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::Image;
+/// use decamouflage_metrics::{ssim, SsimConfig};
+///
+/// # fn main() -> Result<(), decamouflage_metrics::MetricError> {
+/// let a = Image::from_fn_gray(32, 32, |x, y| ((x + y) * 4) as f64);
+/// let noisy = a.map(|v| (v + 25.0).min(255.0));
+/// let score = ssim(&a, &noisy, &SsimConfig::default())?;
+/// assert!(score < 1.0 && score > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ssim(a: &Image, b: &Image, config: &SsimConfig) -> Result<f64, MetricError> {
+    let map = ssim_map(a, b, config)?;
+    Ok(map.mean_sample())
+}
+
+/// Per-pixel SSIM map (averaged over channels for RGB inputs).
+///
+/// # Errors
+///
+/// Same conditions as [`ssim`].
+pub fn ssim_map(a: &Image, b: &Image, config: &SsimConfig) -> Result<Image, MetricError> {
+    check_same_shape(a, b)?;
+    config.validate()?;
+    let kernel = gaussian_kernel(config.sigma, Some(config.radius))
+        .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
+    let blur = |img: &Image| {
+        convolve_separable(img, &kernel, &kernel).expect("separable convolution cannot fail")
+    };
+
+    let c1 = config.c1();
+    let c2 = config.c2();
+
+    let mu_a = blur(a);
+    let mu_b = blur(b);
+    let a_sq = blur(&a.zip_map(a, |x, y| x * y).expect("same image"));
+    let b_sq = blur(&b.zip_map(b, |x, y| x * y).expect("same image"));
+    let ab = blur(&a.zip_map(b, |x, y| x * y).expect("checked same shape"));
+
+    let mut map = Image::zeros(a.width(), a.height(), decamouflage_imaging::Channels::Gray);
+    let channels = a.channel_count() as f64;
+    for y in 0..a.height() {
+        for x in 0..a.width() {
+            let mut acc = 0.0;
+            for c in 0..a.channel_count() {
+                let ma = mu_a.get(x, y, c);
+                let mb = mu_b.get(x, y, c);
+                let va = a_sq.get(x, y, c) - ma * ma;
+                let vb = b_sq.get(x, y, c) - mb * mb;
+                let cov = ab.get(x, y, c) - ma * mb;
+                let numerator = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
+                let denominator = (ma * ma + mb * mb + c1) * (va + vb + c2);
+                acc += numerator / denominator;
+            }
+            map.set(x, y, 0, acc / channels);
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::Channels;
+
+    fn texture(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| {
+            128.0 + 80.0 * ((x as f64) * 0.3).sin() + 40.0 * ((y as f64) * 0.2).cos()
+        })
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let a = texture(24);
+        let s = ssim(&a, &a, &SsimConfig::default()).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "SSIM of identical images = {s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = texture(24);
+        let b = a.map(|v| 255.0 - v);
+        let cfg = SsimConfig::default();
+        let ab = ssim(&a, &b, &cfg).unwrap();
+        let ba = ssim(&b, &a, &cfg).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_bounded() {
+        let a = texture(24);
+        for other in [
+            a.map(|v| 255.0 - v),
+            Image::filled(24, 24, Channels::Gray, 0.0),
+            Image::from_fn_gray(24, 24, |x, y| ((x * 7919 + y * 104729) % 256) as f64),
+        ] {
+            let s = ssim(&a, &other, &SsimConfig::default()).unwrap();
+            assert!((-1.0..=1.0).contains(&s), "SSIM out of range: {s}");
+        }
+    }
+
+    #[test]
+    fn inverted_image_scores_much_lower_than_noisy_copy() {
+        let a = texture(32);
+        let cfg = SsimConfig::default();
+        let slightly_noisy = a.map(|v| (v + 6.0).min(255.0));
+        let inverted = a.map(|v| 255.0 - v);
+        let near = ssim(&a, &slightly_noisy, &cfg).unwrap();
+        let far = ssim(&a, &inverted, &cfg).unwrap();
+        assert!(near > 0.9, "near = {near}");
+        assert!(far < near - 0.5, "near = {near}, far = {far}");
+    }
+
+    #[test]
+    fn constant_shift_penalised_only_by_luminance_term() {
+        let a = Image::filled(16, 16, Channels::Gray, 100.0);
+        let b = Image::filled(16, 16, Channels::Gray, 130.0);
+        let s = ssim(&a, &b, &SsimConfig::default()).unwrap();
+        // Structure and contrast identical; only luminance differs.
+        let c1 = (0.01f64 * 255.0).powi(2);
+        let expected = (2.0 * 100.0 * 130.0 + c1) / (100.0f64.powi(2) + 130.0f64.powi(2) + c1);
+        assert!((s - expected).abs() < 1e-9, "s = {s}, expected = {expected}");
+    }
+
+    #[test]
+    fn map_has_image_shape_and_valid_entries() {
+        let a = texture(20);
+        let b = a.map(|v| (v * 0.9).min(255.0));
+        let map = ssim_map(&a, &b, &SsimConfig::default()).unwrap();
+        assert_eq!(map.width(), 20);
+        assert_eq!(map.height(), 20);
+        for &v in map.as_slice() {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rgb_images_average_channels() {
+        let a = Image::from_fn_rgb(16, 16, |x, y| {
+            [(x * 16) as f64, (y * 16) as f64, ((x + y) * 8) as f64]
+        });
+        let s = ssim(&a, &a, &SsimConfig::default()).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = Image::zeros(8, 8, Channels::Gray);
+        let b = Image::zeros(8, 9, Channels::Gray);
+        assert!(ssim(&a, &b, &SsimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let a = Image::zeros(8, 8, Channels::Gray);
+        let mut cfg = SsimConfig::default();
+        cfg.sigma = 0.0;
+        assert!(ssim(&a, &a, &cfg).is_err());
+        let mut cfg = SsimConfig::default();
+        cfg.dynamic_range = -1.0;
+        assert!(ssim(&a, &a, &cfg).is_err());
+    }
+
+    #[test]
+    fn default_config_matches_reference_constants() {
+        let cfg = SsimConfig::default();
+        assert_eq!(cfg.sigma, 1.5);
+        assert_eq!(cfg.radius, 5);
+        assert!((cfg.c1() - 6.5025).abs() < 1e-9);
+        assert!((cfg.c2() - 58.5225).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Summary statistics used by threshold calibration: running mean/stddev,
+//! percentiles and five-number summaries.
+
+use crate::MetricError;
+
+/// Welford online accumulator for mean and standard deviation.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_metrics::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_std_dev(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub const fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`/ n`); 0 when fewer than 2 observations.
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (`/ (n - 1)`); 0 when fewer than 2 observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+/// Linear-interpolation percentile of a sample set, `p` in `[0, 100]`.
+///
+/// Matches NumPy's default (`linear`) interpolation: the percentile of the
+/// sorted samples at fractional rank `p/100 * (n - 1)`.
+///
+/// # Errors
+///
+/// Returns [`MetricError::InvalidParameter`] for an empty sample set, a
+/// `p` outside `[0, 100]`, or NaN samples.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_metrics::percentile;
+///
+/// # fn main() -> Result<(), decamouflage_metrics::MetricError> {
+/// let samples = vec![1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&samples, 0.0)?, 1.0);
+/// assert_eq!(percentile(&samples, 50.0)?, 2.5);
+/// assert_eq!(percentile(&samples, 100.0)?, 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Result<f64, MetricError> {
+    if samples.is_empty() {
+        return Err(MetricError::InvalidParameter { message: "empty sample set".into() });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(MetricError::InvalidParameter {
+            message: format!("percentile {p} outside [0, 100]"),
+        });
+    }
+    if samples.iter().any(|v| v.is_nan()) {
+        return Err(MetricError::InvalidParameter { message: "NaN sample".into() });
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Five-number-plus summary of a sample set, as printed in the paper's
+/// distribution figures and black-box tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl SampleSummary {
+    /// Summarises a sample set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidParameter`] for empty or NaN-bearing
+    /// input.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, MetricError> {
+        if samples.is_empty() {
+            return Err(MetricError::InvalidParameter { message: "empty sample set".into() });
+        }
+        let stats: OnlineStats = samples.iter().copied().collect();
+        Ok(Self {
+            count: samples.len(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: stats.mean(),
+            std_dev: stats.population_std_dev(),
+            median: percentile(samples, 50.0)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_single_value() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_std_dev(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_matches_direct_computation() {
+        let data = [1.5, -2.0, 7.25, 0.0, 3.5, 3.5];
+        let s: OnlineStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.population_variance() - var).abs() < 1e-12);
+        assert!((s.sample_variance() - var * data.len() as f64 / (data.len() - 1) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_edges_and_interpolation() {
+        let data = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 30.0);
+        assert_eq!(percentile(&data, 50.0).unwrap(), 20.0);
+        assert_eq!(percentile(&data, 25.0).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let data = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&data, 50.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_input() {
+        assert!(percentile(&[], 50.0).is_err());
+        assert!(percentile(&[1.0], -0.1).is_err());
+        assert!(percentile(&[1.0], 100.1).is_err());
+        assert!(percentile(&[f64::NAN], 50.0).is_err());
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 13.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = SampleSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_empty() {
+        assert!(SampleSummary::from_samples(&[]).is_err());
+    }
+}

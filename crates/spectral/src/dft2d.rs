@@ -1,0 +1,309 @@
+//! 2-D discrete Fourier transforms and the centered log-magnitude spectrum.
+
+use crate::fft::{fft, ifft};
+use crate::Complex64;
+use decamouflage_imaging::{Channels, Image};
+
+/// A complex-valued 2-D frequency grid produced by [`dft2`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum2D {
+    width: usize,
+    height: usize,
+    data: Vec<Complex64>,
+}
+
+impl Spectrum2D {
+    /// Grid width (same as the source image width).
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Coefficient at frequency `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, u: usize, v: usize) -> Complex64 {
+        assert!(u < self.width && v < self.height);
+        self.data[v * self.width + u]
+    }
+
+    /// Borrows the raw coefficient buffer (row-major).
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Applies `fftshift`: swaps quadrants so the DC component moves to the
+    /// grid centre. Returns a new spectrum.
+    pub fn shifted(&self) -> Spectrum2D {
+        let (w, h) = (self.width, self.height);
+        let mut out = vec![Complex64::ZERO; w * h];
+        let half_w = w / 2;
+        let half_h = h / 2;
+        for v in 0..h {
+            for u in 0..w {
+                let nu = (u + half_w) % w;
+                let nv = (v + half_h) % h;
+                out[nv * w + nu] = self.data[v * w + u];
+            }
+        }
+        Spectrum2D { width: w, height: h, data: out }
+    }
+
+    /// Log-magnitude image `log(1 + |F|)` normalised to `[0, 1]`.
+    ///
+    /// This is the paper's "centered spectrum" visualisation when called on
+    /// a [`Spectrum2D::shifted`] spectrum.
+    pub fn log_magnitude(&self) -> Image {
+        let mut img = Image::zeros(self.width, self.height, Channels::Gray);
+        let mut max = f64::MIN;
+        let mags: Vec<f64> = self.data.iter().map(|c| (1.0 + c.norm()).ln()).collect();
+        for &m in &mags {
+            max = max.max(m);
+        }
+        let scale = if max > 0.0 { 1.0 / max } else { 0.0 };
+        for v in 0..self.height {
+            for u in 0..self.width {
+                img.set(u, v, 0, mags[v * self.width + u] * scale);
+            }
+        }
+        img
+    }
+}
+
+/// Forward 2-D DFT of a grayscale image (RGB inputs are converted to
+/// luminance first). Row transforms run first, then column transforms.
+///
+/// Because the input rows are real-valued, two rows are packed into one
+/// complex transform (`z = a + i b`) and separated afterwards using the
+/// conjugate symmetry `A[k] = (Z[k] + conj(Z[N-k]))/2`,
+/// `B[k] = (Z[k] - conj(Z[N-k]))/(2i)` — halving the row-pass cost.
+pub fn dft2(img: &Image) -> Spectrum2D {
+    let gray = img.to_gray();
+    let (w, h) = (gray.width(), gray.height());
+    let mut grid: Vec<Complex64> =
+        gray.as_slice().iter().map(|&v| Complex64::from_real(v)).collect();
+
+    // Rows: two real rows per complex FFT.
+    let mut pair = 0;
+    while pair + 1 < h {
+        let (ya, yb) = (pair, pair + 1);
+        let mut packed: Vec<Complex64> = (0..w)
+            .map(|x| Complex64::new(grid[ya * w + x].re, grid[yb * w + x].re))
+            .collect();
+        fft(&mut packed);
+        for k in 0..w {
+            let z_k = packed[k];
+            let z_nk = packed[(w - k) % w].conj();
+            let a = (z_k + z_nk) * 0.5;
+            let b = Complex64::new(
+                0.5 * (z_k.im - z_nk.im),
+                0.5 * (z_nk.re - z_k.re),
+            );
+            grid[ya * w + k] = a;
+            grid[yb * w + k] = b;
+        }
+        pair += 2;
+    }
+    if pair < h {
+        // Odd row count: transform the last row alone.
+        let y = pair;
+        let mut row: Vec<Complex64> = grid[y * w..(y + 1) * w].to_vec();
+        fft(&mut row);
+        grid[y * w..(y + 1) * w].copy_from_slice(&row);
+    }
+    // Columns.
+    let mut col = vec![Complex64::ZERO; h];
+    for x in 0..w {
+        for y in 0..h {
+            col[y] = grid[y * w + x];
+        }
+        let mut col_vec = std::mem::take(&mut col);
+        fft(&mut col_vec);
+        for (y, &v) in col_vec.iter().enumerate() {
+            grid[y * w + x] = v;
+        }
+        col = col_vec;
+    }
+    Spectrum2D { width: w, height: h, data: grid }
+}
+
+/// Inverse 2-D DFT back to a real image (the imaginary residue is dropped).
+pub fn idft2(spec: &Spectrum2D) -> Image {
+    let (w, h) = (spec.width, spec.height);
+    let mut grid = spec.data.clone();
+    // Columns.
+    let mut col = vec![Complex64::ZERO; h];
+    for x in 0..w {
+        for y in 0..h {
+            col[y] = grid[y * w + x];
+        }
+        let mut col_vec = std::mem::take(&mut col);
+        ifft(&mut col_vec);
+        for (y, &v) in col_vec.iter().enumerate() {
+            grid[y * w + x] = v;
+        }
+        col = col_vec;
+    }
+    // Rows.
+    let mut row = vec![Complex64::ZERO; w];
+    for y in 0..h {
+        row.copy_from_slice(&grid[y * w..(y + 1) * w]);
+        let mut row_vec = std::mem::take(&mut row);
+        ifft(&mut row_vec);
+        grid[y * w..(y + 1) * w].copy_from_slice(&row_vec);
+        row = row_vec;
+    }
+    let mut img = Image::zeros(w, h, Channels::Gray);
+    for y in 0..h {
+        for x in 0..w {
+            img.set(x, y, 0, grid[y * w + x].re);
+        }
+    }
+    img
+}
+
+/// The paper's *centered spectrum*: `fftshift` of the 2-D DFT followed by
+/// `log(1 + |F|)` normalised to `[0, 1]` (Equation 4 of the paper).
+pub fn centered_spectrum(img: &Image) -> Image {
+    dft2(img).shifted().log_magnitude()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_coefficient_is_sample_sum() {
+        let img = Image::from_fn_gray(4, 3, |x, y| (x + y) as f64);
+        let spec = dft2(&img);
+        let sum: f64 = img.as_slice().iter().sum();
+        assert!((spec.get(0, 0).re - sum).abs() < 1e-9);
+        assert!(spec.get(0, 0).im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn packed_row_pass_matches_unpacked_reference() {
+        // Reference: transform rows one at a time, then columns.
+        for (w, h) in [(8usize, 6usize), (7, 5), (9, 9)] {
+            let img = Image::from_fn_gray(w, h, |x, y| ((x * 7 + y * 13) % 53) as f64);
+            let fast = dft2(&img);
+            let mut grid: Vec<crate::Complex64> = img
+                .as_slice()
+                .iter()
+                .map(|&v| crate::Complex64::from_real(v))
+                .collect();
+            for y in 0..h {
+                let mut row: Vec<crate::Complex64> = grid[y * w..(y + 1) * w].to_vec();
+                crate::fft::fft(&mut row);
+                grid[y * w..(y + 1) * w].copy_from_slice(&row);
+            }
+            let mut col = vec![crate::Complex64::ZERO; h];
+            for x in 0..w {
+                for y in 0..h {
+                    col[y] = grid[y * w + x];
+                }
+                let mut c = col.clone();
+                crate::fft::fft(&mut c);
+                for (y, &v) in c.iter().enumerate() {
+                    grid[y * w + x] = v;
+                }
+            }
+            for (i, (a, b)) in fast.as_slice().iter().zip(grid.iter()).enumerate() {
+                assert!(
+                    (*a - *b).norm() < 1e-6,
+                    "{w}x{h} bin {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idft2_inverts_dft2() {
+        for (w, h) in [(8usize, 8usize), (7, 5), (16, 9)] {
+            let img = Image::from_fn_gray(w, h, |x, y| ((x * 31 + y * 17) % 97) as f64);
+            let back = idft2(&dft2(&img));
+            assert!(back.approx_eq(&img, 1e-6), "{w}x{h} roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn shift_moves_dc_to_center() {
+        let img = Image::filled(8, 8, Channels::Gray, 10.0);
+        let spec = dft2(&img).shifted();
+        // For a constant image everything but DC is 0; DC lands at (4, 4).
+        assert!(spec.get(4, 4).norm() > 1.0);
+        assert!(spec.get(0, 0).norm() < 1e-9);
+    }
+
+    #[test]
+    fn shift_is_involution_for_even_sizes() {
+        let img = Image::from_fn_gray(8, 6, |x, y| (x * y) as f64);
+        let spec = dft2(&img);
+        let twice = spec.shifted().shifted();
+        for (a, b) in spec.as_slice().iter().zip(twice.as_slice()) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_magnitude_is_normalised() {
+        let img = Image::from_fn_gray(16, 16, |x, y| ((x ^ y) * 16) as f64);
+        let mag = dft2(&img).shifted().log_magnitude();
+        assert!(mag.min_sample() >= 0.0);
+        assert!((mag.max_sample() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_spectrum_of_smooth_image_peaks_at_center() {
+        let img = Image::from_fn_gray(32, 32, |x, y| {
+            100.0 + 50.0 * ((x as f64) * 0.1).sin() + 30.0 * ((y as f64) * 0.08).cos()
+        });
+        let spec = centered_spectrum(&img);
+        let (cx, cy) = (16, 16);
+        assert!((spec.get(cx, cy, 0) - 1.0).abs() < 1e-9, "peak must be at center");
+        // Far corners carry much less energy.
+        assert!(spec.get(0, 0, 0) < 0.8);
+    }
+
+    #[test]
+    fn periodic_pattern_creates_off_center_peaks() {
+        // A strong period-4 comb produces energy away from DC — the
+        // signature the steganalysis detector looks for.
+        let img = Image::from_fn_gray(32, 32, |x, y| {
+            if x % 4 == 0 && y % 4 == 0 {
+                255.0
+            } else {
+                20.0
+            }
+        });
+        let spec = centered_spectrum(&img);
+        // Peak at spatial frequency 32/4 = 8 bins from DC: position (24, 16).
+        assert!(spec.get(24, 16, 0) > 0.85, "side peak too weak: {}", spec.get(24, 16, 0));
+    }
+
+    #[test]
+    fn rgb_input_is_converted_to_luma() {
+        let rgb = Image::from_fn_rgb(8, 8, |x, y| [(x * y) as f64, 0.0, 0.0]);
+        let gray = rgb.to_gray();
+        let a = dft2(&rgb);
+        let b = dft2(&gray);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((*x - *y).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spectrum_accessors() {
+        let img = Image::zeros(6, 4, Channels::Gray);
+        let spec = dft2(&img);
+        assert_eq!(spec.width(), 6);
+        assert_eq!(spec.height(), 4);
+        assert_eq!(spec.as_slice().len(), 24);
+    }
+}

@@ -1,0 +1,360 @@
+//! 1-D fast Fourier transforms.
+//!
+//! * Power-of-two lengths use an iterative radix-2 Cooley–Tukey FFT.
+//! * Smooth composite lengths (products of primes <= 13 — every image size
+//!   the framework meets in practice) use the cached
+//!   [`crate::mixed_radix::MixedRadixPlan`].
+//! * Remaining lengths use Bluestein's chirp-z transform, which re-expresses
+//!   an N-point DFT as a convolution computed with a padded power-of-two FFT
+//!   (chirps and kernel FFTs are plan-cached per thread).
+//!
+//! The forward transform computes `X[k] = Σ_n x[n] e^{-2πi nk/N}` (no
+//! normalisation); the inverse divides by `N`, so `ifft(fft(x)) == x`.
+
+use crate::Complex64;
+use std::f64::consts::PI;
+
+/// In-place forward DFT of `data` (any length).
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_spectral::{fft, Complex64};
+///
+/// let mut data = vec![Complex64::ONE; 4];
+/// fft::fft(&mut data);
+/// // DFT of a constant signal is an impulse at DC.
+/// assert!((data[0].re - 4.0).abs() < 1e-12);
+/// assert!(data[1].norm() < 1e-12);
+/// ```
+pub fn fft(data: &mut Vec<Complex64>) {
+    transform(data, Direction::Forward);
+}
+
+/// In-place inverse DFT of `data` (any length), normalised by `1/N`.
+pub fn ifft(data: &mut Vec<Complex64>) {
+    transform(data, Direction::Inverse);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+/// Direct O(N²) DFT — the reference implementation used by tests to verify
+/// the fast paths.
+pub fn dft_naive(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (i, &x) in input.iter().enumerate() {
+            let theta = -2.0 * PI * (k * i) as f64 / n as f64;
+            acc += x * Complex64::from_polar_unit(theta);
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+impl Direction {
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+fn transform(data: &mut Vec<Complex64>, dir: Direction) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(data, dir);
+    } else if crate::mixed_radix::is_smooth(n) {
+        mixed_radix_cached(data, dir);
+    } else {
+        bluestein(data, dir);
+    }
+}
+
+thread_local! {
+    static MIXED_PLANS: std::cell::RefCell<
+        std::collections::HashMap<usize, std::rc::Rc<crate::mixed_radix::MixedRadixPlan>>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Smooth-length transform through a cached [`MixedRadixPlan`].
+///
+/// [`MixedRadixPlan`]: crate::mixed_radix::MixedRadixPlan
+fn mixed_radix_cached(data: &mut Vec<Complex64>, dir: Direction) {
+    let n = data.len();
+    let plan = MIXED_PLANS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| std::rc::Rc::new(crate::mixed_radix::MixedRadixPlan::new(n)))
+            .clone()
+    });
+    let out = match dir {
+        Direction::Forward => plan.forward(data),
+        // The shared `ifft` applies the 1/N normalisation itself, so use
+        // the unnormalised inverse: conjugate trick via forward transform
+        // of the conjugated input.
+        Direction::Inverse => {
+            let conj: Vec<Complex64> = data.iter().map(|v| v.conj()).collect();
+            plan.forward(&conj).into_iter().map(|v| v.conj()).collect()
+        }
+    };
+    *data = out;
+}
+
+/// Iterative radix-2 Cooley–Tukey with bit-reversal permutation.
+fn radix2(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let theta = dir.sign() * 2.0 * PI / len as f64;
+        let w_len = Complex64::from_polar_unit(theta);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w *= w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Precomputed Bluestein machinery for one `(length, direction)` pair:
+/// the chirp sequence and the forward FFT of the circular kernel `b`.
+/// Recomputing these dominated the cost of repeated transforms (every row
+/// and column of an image shares a length), so plans are cached
+/// per thread.
+struct BluesteinPlan {
+    m: usize,
+    chirp: Vec<Complex64>,
+    b_fft: Vec<Complex64>,
+}
+
+impl BluesteinPlan {
+    fn new(n: usize, dir: Direction) -> Self {
+        let m = (2 * n - 1).next_power_of_two();
+        // Chirp: c[k] = e^{i * sign * π k² / N}. Using k² mod 2N avoids
+        // catastrophic angle growth for large k.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128) % (2 * n as u128);
+                Complex64::from_polar_unit(dir.sign() * PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        // b[k] = conj(c[|k|]) arranged circularly, transformed once.
+        let mut b = vec![Complex64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            b[k] = chirp[k].conj();
+            b[m - k] = chirp[k].conj();
+        }
+        radix2(&mut b, Direction::Forward);
+        Self { m, chirp, b_fft: b }
+    }
+}
+
+thread_local! {
+    static BLUESTEIN_PLANS: std::cell::RefCell<
+        std::collections::HashMap<(usize, bool), std::rc::Rc<BluesteinPlan>>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+fn bluestein_plan(n: usize, dir: Direction) -> std::rc::Rc<BluesteinPlan> {
+    BLUESTEIN_PLANS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((n, dir == Direction::Forward))
+            .or_insert_with(|| std::rc::Rc::new(BluesteinPlan::new(n, dir)))
+            .clone()
+    })
+}
+
+/// Bluestein's algorithm: express the N-point DFT as a circular convolution
+/// of chirped sequences, evaluated with a power-of-two FFT of length
+/// `>= 2N - 1` (chirp and kernel FFT come from the per-thread plan cache).
+fn bluestein(data: &mut Vec<Complex64>, dir: Direction) {
+    let n = data.len();
+    let plan = bluestein_plan(n, dir);
+    let m = plan.m;
+
+    // a[k] = x[k] * c[k], zero-padded to m.
+    let mut a = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * plan.chirp[k];
+    }
+    radix2(&mut a, Direction::Forward);
+    for (x, y) in a.iter_mut().zip(plan.b_fft.iter()) {
+        *x = *x * *y;
+    }
+    radix2(&mut a, Direction::Inverse);
+    let scale = 1.0 / m as f64;
+    for (k, out) in data.iter_mut().enumerate() {
+        *out = a[k] * plan.chirp[k] * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (*x - *y).norm() < tol,
+                "element {i}: {x} vs {y} (diff {})",
+                (*x - *y).norm()
+            );
+        }
+    }
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin() * 3.0, (i as f64 * 1.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_for_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let input = signal(n);
+            let mut fast = input.clone();
+            fft(&mut fast);
+            assert_close(&fast, &dft_naive(&input), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_for_arbitrary_lengths() {
+        for n in [3usize, 5, 6, 7, 9, 12, 15, 17, 50, 97, 100] {
+            let input = signal(n);
+            let mut fast = input.clone();
+            fft(&mut fast);
+            assert_close(&fast, &dft_naive(&input), 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [4usize, 7, 16, 33, 100, 128] {
+            let input = signal(n);
+            let mut data = input.clone();
+            fft(&mut data);
+            ifft(&mut data);
+            assert_close(&data, &input, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex64::ZERO; 8];
+        data[0] = Complex64::ONE;
+        fft(&mut data);
+        for v in &data {
+            assert!((*v - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 32;
+        let f = 5;
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_polar_unit(2.0 * PI * (f * i) as f64 / n as f64))
+            .collect();
+        fft(&mut data);
+        for (k, v) in data.iter().enumerate() {
+            if k == f {
+                assert!((v.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.norm() < 1e-9, "leakage at bin {k}: {}", v.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        for n in [16usize, 21, 64] {
+            let input = signal(n);
+            let time_energy: f64 = input.iter().map(|v| v.norm_sqr()).sum();
+            let mut freq = input.clone();
+            fft(&mut freq);
+            let freq_energy: f64 = freq.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+            assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 24;
+        let a = signal(n);
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let combined: Vec<Complex64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| *x * 2.0 + *y * 3.0)
+            .collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fc = combined.clone();
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fc);
+        for i in 0..n {
+            let expected = fa[i] * 2.0 + fb[i] * 3.0;
+            assert!((fc[i] - expected).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_are_noops() {
+        let mut empty: Vec<Complex64> = vec![];
+        fft(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![Complex64::new(5.0, 2.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex64::new(5.0, 2.0));
+        ifft(&mut one);
+        assert_eq!(one[0], Complex64::new(5.0, 2.0));
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let n = 20;
+        let mut data: Vec<Complex64> =
+            (0..n).map(|i| Complex64::from_real((i as f64 * 0.9).sin())).collect();
+        fft(&mut data);
+        for k in 1..n {
+            let diff = (data[k] - data[n - k].conj()).norm();
+            assert!(diff < 1e-9, "bin {k}: asymmetry {diff}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Radially averaged spectral profiles and peak-to-background statistics.
+//!
+//! Natural images have a monotonically decaying (`~1/f`) radial spectrum.
+//! An image-scaling attack injects energy at discrete frequencies, which
+//! shows up as samples far above the radial background at their radius.
+//! The [`peak_excess`] statistic quantifies this without any blob counting
+//! — an alternative steganalysis score used by the sensitivity ablations
+//! and a robustness cross-check for the CSP method.
+
+use decamouflage_imaging::Image;
+
+/// The radially averaged profile of a centred spectrum image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadialProfile {
+    /// `mean[r]` is the average spectrum magnitude over all pixels whose
+    /// integer distance from the centre is `r`.
+    pub mean: Vec<f64>,
+    /// `max[r]` is the maximum magnitude at integer radius `r`.
+    pub max: Vec<f64>,
+    /// Number of pixels contributing to each radius bin.
+    pub count: Vec<usize>,
+}
+
+impl RadialProfile {
+    /// Number of radius bins.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+}
+
+/// Computes the radial profile of a (centred, grayscale) spectrum image.
+/// RGB inputs use the first channel.
+pub fn radial_profile(spectrum: &Image) -> RadialProfile {
+    let cx = (spectrum.width() as f64 - 1.0) / 2.0;
+    let cy = (spectrum.height() as f64 - 1.0) / 2.0;
+    let max_r = ((cx * cx + cy * cy).sqrt().ceil() as usize) + 1;
+    let mut sum = vec![0.0f64; max_r];
+    let mut max = vec![0.0f64; max_r];
+    let mut count = vec![0usize; max_r];
+    for y in 0..spectrum.height() {
+        for x in 0..spectrum.width() {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            let r = (dx * dx + dy * dy).sqrt().round() as usize;
+            let v = spectrum.get(x, y, 0);
+            sum[r] += v;
+            if v > max[r] {
+                max[r] = v;
+            }
+            count[r] += 1;
+        }
+    }
+    let mean = sum
+        .iter()
+        .zip(&count)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    RadialProfile { mean, max, count }
+}
+
+/// Peak-excess statistic of a centred **log-magnitude** spectrum: the
+/// largest difference `max[r] - mean[r]` over radii in
+/// `[min_radius, max_radius]` (a difference of logs is a ratio of linear
+/// magnitudes).
+///
+/// Benign spectra are radially smooth, so the excess stays small; attack
+/// peaks tower over their ring's background. Compute this on a *windowed*
+/// spectrum ([`crate::window::apply_window`]) so the boundary-leakage
+/// cross does not masquerade as a peak. Radii below `min_radius` exclude
+/// the DC blob.
+pub fn peak_excess(spectrum: &Image, min_radius: usize, max_radius: usize) -> f64 {
+    let profile = radial_profile(spectrum);
+    let hi = max_radius.min(profile.len().saturating_sub(1));
+    let mut worst = 0.0f64;
+    for r in min_radius..=hi {
+        if profile.count[r] == 0 {
+            continue;
+        }
+        let excess = profile.max[r] - profile.mean[r];
+        if excess > worst {
+            worst = excess;
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft2d::centered_spectrum;
+    use decamouflage_imaging::{Channels, Image};
+
+    fn smooth(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| {
+            120.0 + 60.0 * ((x as f64) * 0.06).sin() + 40.0 * ((y as f64) * 0.045).cos()
+        })
+    }
+
+    fn combed(n: usize, p: usize) -> Image {
+        let base = smooth(n);
+        Image::from_fn_gray(n, n, |x, y| {
+            let v = base.get(x, y, 0);
+            if x % p == 0 && y % p == 0 {
+                (v + 200.0).min(255.0)
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn profile_covers_all_pixels() {
+        let img = Image::filled(8, 6, Channels::Gray, 1.0);
+        let profile = radial_profile(&img);
+        assert_eq!(profile.count.iter().sum::<usize>(), 48);
+        assert!(!profile.is_empty());
+    }
+
+    #[test]
+    fn constant_spectrum_has_flat_profile() {
+        let img = Image::filled(16, 16, Channels::Gray, 0.5);
+        let profile = radial_profile(&img);
+        for r in 0..profile.len() {
+            if profile.count[r] > 0 {
+                assert!((profile.mean[r] - 0.5).abs() < 1e-12);
+                assert!((profile.max[r] - 0.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn benign_spectrum_decays_radially() {
+        let spec = centered_spectrum(&smooth(64));
+        let profile = radial_profile(&spec);
+        // Mean magnitude near the centre exceeds the outer region.
+        let inner: f64 = profile.mean[1..6].iter().sum::<f64>() / 5.0;
+        let outer: f64 = profile.mean[24..30].iter().sum::<f64>() / 6.0;
+        assert!(inner > outer, "inner {inner} vs outer {outer}");
+    }
+
+    fn windowed_spectrum(img: &Image) -> Image {
+        centered_spectrum(&crate::window::apply_window(img, crate::window::WindowKind::Hann))
+    }
+
+    #[test]
+    fn attack_peaks_raise_peak_excess() {
+        let benign = peak_excess(&windowed_spectrum(&smooth(64)), 6, 30);
+        let attacked = peak_excess(&windowed_spectrum(&combed(64, 4)), 6, 30);
+        assert!(
+            attacked > benign + 0.05,
+            "benign {benign:.3}, attacked {attacked:.3}"
+        );
+    }
+
+    #[test]
+    fn excess_is_nonnegative() {
+        let spec = windowed_spectrum(&smooth(32));
+        assert!(peak_excess(&spec, 2, 12) >= 0.0);
+    }
+
+    #[test]
+    fn empty_radius_range_yields_zero() {
+        let spec = centered_spectrum(&smooth(16));
+        assert_eq!(peak_excess(&spec, 500, 600), 0.0);
+    }
+}

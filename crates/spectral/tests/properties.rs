@@ -1,0 +1,150 @@
+//! Property-based tests (proptest) for the spectral substrate.
+
+use decamouflage_spectral::components::{count_components, label_components, Connectivity};
+use decamouflage_spectral::dft2d::{centered_spectrum, dft2, idft2};
+use decamouflage_spectral::fft::{dft_naive, fft, ifft};
+use decamouflage_spectral::mixed_radix::{is_smooth, MixedRadixPlan};
+use decamouflage_spectral::radial::radial_profile;
+use decamouflage_spectral::spectrum::{binarize, fill_ratio, low_pass_mask};
+use decamouflage_spectral::Complex64;
+use decamouflage_imaging::{Channels, Image};
+use proptest::prelude::*;
+
+fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    (1usize..=max_len).prop_flat_map(|n| {
+        proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n)
+            .prop_map(|pairs| pairs.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    })
+}
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (2usize..=16, 2usize..=16).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u8..=255, w * h)
+            .prop_map(move |data| Image::from_u8(w, h, Channels::Gray, &data).unwrap())
+    })
+}
+
+fn arb_binary_image() -> impl Strategy<Value = Image> {
+    (2usize..=12, 2usize..=12).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u8..=1, w * h).prop_map(move |data| {
+            Image::from_vec(
+                w,
+                h,
+                Channels::Gray,
+                data.into_iter().map(f64::from).collect(),
+            )
+            .unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn fft_matches_naive_dft(signal in arb_signal(40)) {
+        let mut fast = signal.clone();
+        fft(&mut fast);
+        let naive = dft_naive(&signal);
+        for (a, b) in fast.iter().zip(naive.iter()) {
+            prop_assert!((*a - *b).norm() < 1e-6 * signal.len() as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft(signal in arb_signal(48)) {
+        let mut data = signal.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(signal.iter()) {
+            prop_assert!((*a - *b).norm() < 1e-8 * signal.len() as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(signal in arb_signal(36)) {
+        let time: f64 = signal.iter().map(|v| v.norm_sqr()).sum();
+        let mut freq = signal.clone();
+        fft(&mut freq);
+        let spec: f64 = freq.iter().map(|v| v.norm_sqr()).sum::<f64>() / signal.len() as f64;
+        prop_assert!((time - spec).abs() < 1e-6 * time.max(1.0));
+    }
+
+    #[test]
+    fn mixed_radix_matches_naive_on_smooth_lengths(seed in 0u64..1000) {
+        let smooth_lengths = [6usize, 10, 12, 14, 15, 18, 20, 21, 24, 28, 30];
+        let n = smooth_lengths[(seed % smooth_lengths.len() as u64) as usize];
+        prop_assert!(is_smooth(n));
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(((seed + i as u64) % 97) as f64, (i as f64 * 0.3).sin()))
+            .collect();
+        let plan = MixedRadixPlan::new(n);
+        let fast = plan.forward(&signal);
+        let naive = dft_naive(&signal);
+        for (a, b) in fast.iter().zip(naive.iter()) {
+            prop_assert!((*a - *b).norm() < 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn dft2_roundtrip(img in arb_image()) {
+        let back = idft2(&dft2(&img));
+        prop_assert!(back.approx_eq(&img, 1e-6));
+    }
+
+    #[test]
+    fn centered_spectrum_is_normalised(img in arb_image()) {
+        let spec = centered_spectrum(&img);
+        prop_assert!(spec.min_sample() >= 0.0);
+        prop_assert!(spec.max_sample() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn component_count_bounded_by_set_pixels(img in arb_binary_image()) {
+        let set = img.as_slice().iter().filter(|&&v| v != 0.0).count();
+        let count = count_components(&img, Connectivity::Eight, 1);
+        prop_assert!(count <= set);
+        // Eight-connectivity merges at least as much as four.
+        let four = count_components(&img, Connectivity::Four, 1);
+        prop_assert!(count <= four);
+    }
+
+    #[test]
+    fn component_areas_sum_to_set_pixels(img in arb_binary_image()) {
+        let set = img.as_slice().iter().filter(|&&v| v != 0.0).count();
+        let total: usize = label_components(&img, Connectivity::Eight)
+            .iter()
+            .map(|c| c.area)
+            .sum();
+        prop_assert_eq!(total, set);
+    }
+
+    #[test]
+    fn low_pass_mask_only_removes(img in arb_image(), radius in 0.0f64..20.0) {
+        let spec = centered_spectrum(&img);
+        let masked = low_pass_mask(&spec, radius);
+        for (m, s) in masked.as_slice().iter().zip(spec.as_slice()) {
+            prop_assert!(*m == 0.0 || (*m - *s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binarize_fill_ratio_is_monotone_in_threshold(img in arb_image()) {
+        let spec = centered_spectrum(&img);
+        let low = fill_ratio(&binarize(&spec, 0.2));
+        let high = fill_ratio(&binarize(&spec, 0.8));
+        prop_assert!(high <= low);
+    }
+
+    #[test]
+    fn radial_profile_accounts_for_every_pixel(img in arb_image()) {
+        let profile = radial_profile(&img);
+        let total: usize = profile.count.iter().sum();
+        prop_assert_eq!(total, img.width() * img.height());
+        for r in 0..profile.len() {
+            if profile.count[r] > 0 {
+                prop_assert!(profile.max[r] >= profile.mean[r] - 1e-12);
+            }
+        }
+    }
+}

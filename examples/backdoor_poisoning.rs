@@ -1,0 +1,112 @@
+//! Offline data-poisoning triage — the paper's §2.2 backdoor scenario.
+//!
+//! A data aggregator collects training images from third parties. An
+//! attacker submits poisoned images that *look* like legitimate samples but
+//! downscale to trigger-stamped images of the victim class, planting a
+//! backdoor in any CNN trained on the batch. Decamouflage runs offline over
+//! the submission queue and quarantines the poison before training.
+//!
+//! ```text
+//! cargo run --release --example backdoor_poisoning
+//! ```
+
+use decamouflage::datasets::backdoor::{craft_poison_sample, Trigger};
+use decamouflage::datasets::{DatasetProfile, SampleGenerator};
+use decamouflage::detection::ensemble::Ensemble;
+use decamouflage::detection::threshold::search_whitebox;
+use decamouflage::detection::{
+    Detector, Direction, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+};
+use decamouflage::imaging::scale::ScaleAlgorithm;
+use decamouflage::imaging::Image;
+
+const HOLDOUT: u64 = 24; // in-house clean images used for calibration
+const QUEUE: u64 = 40; // third-party submissions to triage
+const POISON_EVERY: u64 = 4; // every 4th submission is poisoned
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::tiny();
+    let generator = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
+    let target_size = profile.target_size;
+    let trigger = Trigger::default();
+
+    let scaling = ScalingDetector::new(target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse);
+    let filtering = FilteringDetector::new(MetricKind::Ssim);
+    let steganalysis = SteganalysisDetector::for_target(target_size);
+
+    // --- Calibration on the hold-out set -------------------------------
+    // The aggregator owns a small clean hold-out set and can craft attack
+    // samples against its own pipeline (white-box calibration).
+    let mut benign_scaling = Vec::new();
+    let mut benign_filtering = Vec::new();
+    let mut attack_scaling = Vec::new();
+    let mut attack_filtering = Vec::new();
+    for i in 0..HOLDOUT {
+        let clean = generator.benign(1000 + i);
+        let poisoned = craft_poison_sample(&generator, &trigger, 1000 + i)?.image;
+        benign_scaling.push(scaling.score(&clean)?);
+        benign_filtering.push(filtering.score(&clean)?);
+        attack_scaling.push(scaling.score(&poisoned)?);
+        attack_filtering.push(filtering.score(&poisoned)?);
+    }
+    let scaling_threshold =
+        search_whitebox(&benign_scaling, &attack_scaling, Direction::AboveIsAttack)?.threshold;
+    let filtering_threshold =
+        search_whitebox(&benign_filtering, &attack_filtering, Direction::BelowIsAttack)?.threshold;
+    println!(
+        "calibrated: scaling MSE_T = {:.1}, filtering SSIM_T = {:.3}, CSP_T = 2 (universal)",
+        scaling_threshold.value(),
+        filtering_threshold.value()
+    );
+
+    let ensemble = Ensemble::new()
+        .with_member(scaling, scaling_threshold)
+        .with_member(filtering, filtering_threshold)
+        .with_member(steganalysis, SteganalysisDetector::universal_threshold());
+
+    // --- Triage the submission queue ------------------------------------
+    let mut quarantined = 0u64;
+    let mut missed_poison = 0u64;
+    let mut false_alarms = 0u64;
+    let mut accepted = Vec::<Image>::new();
+    for i in 0..QUEUE {
+        let is_poison = i % POISON_EVERY == 0;
+        let submission = if is_poison {
+            let crafted = craft_poison_sample(&generator, &trigger, i)?;
+            // Camouflage: the perturbation is confined to the sparse set
+            // of pixels the scaler samples (the curator sees scattered
+            // specks at worst, not the trigger; on the tiny 64-px demo
+            // profile those specks are proportionally larger than on
+            // real-size images)...
+            assert!(
+                crafted.stats.perturbed_fraction < 0.35,
+                "perturbation not sparse: {:.2}",
+                crafted.stats.perturbed_fraction
+            );
+            // ...but a model trained on the downscaled image sees the
+            // trigger clearly.
+            let model_view = generator.scaler(i).apply(&crafted.image)?;
+            assert!(trigger.is_present(&model_view), "payload missing");
+            crafted.image
+        } else {
+            generator.benign(i)
+        };
+        let flagged = ensemble.is_attack(&submission)?;
+        match (is_poison, flagged) {
+            (true, true) => quarantined += 1,
+            (true, false) => missed_poison += 1,
+            (false, true) => false_alarms += 1,
+            (false, false) => accepted.push(submission),
+        }
+    }
+
+    let poison_total = QUEUE.div_ceil(POISON_EVERY);
+    println!(
+        "queue of {QUEUE}: {poison_total} poisoned submissions -> {quarantined} quarantined, \
+         {missed_poison} missed; {false_alarms} false alarms; {} clean images accepted",
+        accepted.len()
+    );
+    assert_eq!(missed_poison, 0, "a missed poison image would plant the backdoor");
+    println!("ok: training set is clean, the backdoor was never planted");
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Full deployment lifecycle: calibrate offline, persist thresholds to a
+//! file, reload them in a fresh "process", screen traffic with drift
+//! monitoring.
+//!
+//! ```text
+//! cargo run --release --example calibrate_and_persist
+//! ```
+
+use decamouflage::datasets::{DatasetProfile, SampleGenerator};
+use decamouflage::detection::calibrate::calibrate_whitebox;
+use decamouflage::detection::monitor::DetectionMonitor;
+use decamouflage::detection::persist::ThresholdSet;
+use decamouflage::detection::{
+    Detector, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+};
+use decamouflage::imaging::scale::ScaleAlgorithm;
+use decamouflage::imaging::Image;
+use decamouflage::metrics::OnlineStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::tiny();
+    let generator = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
+    let target_size = profile.target_size;
+
+    // ---- Offline: calibrate and persist --------------------------------
+    let benign: Vec<Image> = (0..16u64).map(|i| generator.benign(300 + i)).collect();
+    let attacks: Vec<Image> = (0..16u64)
+        .map(|i| generator.attack_image(300 + i))
+        .collect::<Result<_, _>>()?;
+
+    let scaling = ScalingDetector::new(target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse);
+    let filtering = FilteringDetector::new(MetricKind::Ssim);
+
+    let scaling_cal = calibrate_whitebox(&scaling, &benign, &attacks)?;
+    let filtering_cal = calibrate_whitebox(&filtering, &benign, &attacks)?;
+
+    let mut set = ThresholdSet::new();
+    set.insert(scaling.name(), scaling_cal.threshold);
+    set.insert(filtering.name(), filtering_cal.threshold);
+    set.insert("steganalysis/csp", SteganalysisDetector::universal_threshold());
+
+    let path = std::env::temp_dir().join("decamouflage-thresholds.txt");
+    set.save(&path)?;
+    println!("calibrated and saved {} thresholds to {}", set.len(), path.display());
+    println!("{}", set.to_text());
+
+    // ---- Online: reload in a fresh context ------------------------------
+    let restored = ThresholdSet::load(&path)?;
+    assert_eq!(restored, set);
+    let threshold = restored
+        .get("scaling/mse")
+        .expect("threshold file contains the scaling detector");
+
+    // Calibration statistics feed the drift monitor.
+    let stats: OnlineStats = scaling_cal.benign_scores.iter().copied().collect();
+    let mut monitor = DetectionMonitor::new(
+        ScalingDetector::new(target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse),
+        threshold,
+        stats.mean(),
+        stats.population_std_dev(),
+        8,   // rolling window
+        4.0, // alert at 4 sigmas
+    )?;
+
+    let mut blocked = 0;
+    let mut drift_alerts = 0;
+    for i in 0..24u64 {
+        let request = if i % 4 == 0 {
+            generator.attack_image(i)?
+        } else {
+            generator.benign(i)
+        };
+        let verdict = monitor.screen(&request)?;
+        blocked += u32::from(verdict.is_attack);
+        drift_alerts += u32::from(verdict.drift_alert);
+    }
+    let m = monitor.stats();
+    println!(
+        "screened {} requests: {blocked} blocked, window mean {:.1} (calibration mean {:.1}), \
+         {drift_alerts} drift alerts",
+        m.screened,
+        m.window_mean,
+        stats.mean()
+    );
+    assert_eq!(blocked, 6, "all six attacks should be blocked");
+    assert_eq!(drift_alerts, 0, "in-distribution traffic must not alert");
+    std::fs::remove_file(&path).ok();
+    println!("ok: calibrate -> persist -> reload -> monitor lifecycle works");
+    Ok(())
+}

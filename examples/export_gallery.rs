@@ -1,0 +1,49 @@
+//! Export a small gallery of attack images for visual inspection — the
+//! repro's version of the paper's Figure 1 ("sheep that becomes a wolf").
+//!
+//! Writes BMP files (openable in any viewer) for each sample: the benign
+//! original, the visually identical attack image, the attacker's target,
+//! and what the CNN actually sees after downscaling.
+//!
+//! ```text
+//! cargo run --release --example export_gallery [output-dir]
+//! ```
+
+use decamouflage::datasets::export::export_samples;
+use decamouflage::datasets::{DatasetProfile, SampleGenerator};
+use decamouflage::imaging::scale::ScaleAlgorithm;
+use decamouflage::metrics::{mse, psnr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/attack-gallery".to_string());
+    let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
+
+    let samples = export_samples(&generator, &dir, 4)?;
+    println!("wrote {} samples to {dir}/:", samples.len());
+    for (i, sample) in samples.iter().enumerate() {
+        let original = generator.benign(i as u64);
+        let attack = generator.attack_image(i as u64)?;
+        println!(
+            "  {:>12} vs {:>12}: PSNR {:5.1} dB (looks identical), attack-vs-original MSE {:7.1}",
+            sample
+                .original
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            sample
+                .attack
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            psnr(&original, &attack)?,
+            mse(&original, &attack)?,
+        );
+    }
+    println!(
+        "open `NNNN_original.bmp` next to `NNNN_attack.bmp` (indistinguishable) and then \
+         `NNNN_attack_downscaled.bmp` next to `NNNN_target.bmp` (the hidden payload)."
+    );
+    Ok(())
+}

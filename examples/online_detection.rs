@@ -1,0 +1,94 @@
+//! Online (run-time) detection in front of an inference service — the
+//! paper's black-box deployment mode.
+//!
+//! The service never sees the attacker's algorithm. Thresholds come from
+//! benign-only percentile calibration (1% tail), the steganalysis method
+//! needs no calibration at all, and every incoming request is screened
+//! before it reaches the model. Per-image latency is reported, mirroring
+//! the paper's run-time overhead table.
+//!
+//! ```text
+//! cargo run --release --example online_detection
+//! ```
+
+use decamouflage::datasets::{DatasetProfile, SampleGenerator};
+use decamouflage::detection::ensemble::Ensemble;
+use decamouflage::detection::threshold::percentile_blackbox;
+use decamouflage::detection::{
+    Detector, Direction, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+};
+use decamouflage::imaging::scale::ScaleAlgorithm;
+use std::time::Instant;
+
+const CALIBRATION: u64 = 32; // benign traffic sample used for percentiles
+const TRAFFIC: u64 = 30; // live requests to screen
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::tiny();
+    let target_size = profile.target_size;
+    // The attacker targets nearest-neighbour scaling; the service neither
+    // knows nor cares — its detectors use its own bilinear round trip.
+    let attacker = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Nearest);
+
+    let scaling = ScalingDetector::new(target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse);
+    let filtering = FilteringDetector::new(MetricKind::Ssim);
+    let steganalysis = SteganalysisDetector::for_target(target_size);
+
+    // --- Black-box calibration: benign traffic only ---------------------
+    let mut scaling_scores = Vec::new();
+    let mut filtering_scores = Vec::new();
+    for i in 0..CALIBRATION {
+        let img = attacker.benign(5000 + i);
+        scaling_scores.push(scaling.score(&img)?);
+        filtering_scores.push(filtering.score(&img)?);
+    }
+    let scaling_threshold =
+        percentile_blackbox(&scaling_scores, 1.0, Direction::AboveIsAttack)?;
+    let filtering_threshold =
+        percentile_blackbox(&filtering_scores, 1.0, Direction::BelowIsAttack)?;
+    println!(
+        "black-box thresholds: scaling MSE >= {:.1}, filtering SSIM <= {:.3}, CSP >= 2",
+        scaling_threshold.value(),
+        filtering_threshold.value()
+    );
+
+    let ensemble = Ensemble::new()
+        .with_member(scaling, scaling_threshold)
+        .with_member(filtering, filtering_threshold)
+        .with_member(steganalysis, SteganalysisDetector::universal_threshold());
+
+    // --- Screen live traffic -------------------------------------------
+    let mut blocked = 0u32;
+    let mut passed = 0u32;
+    let mut wrong = 0u32;
+    let mut total_ms = 0.0;
+    for i in 0..TRAFFIC {
+        let is_attack = i % 3 == 0; // a third of the traffic is hostile
+        let request = if is_attack {
+            attacker.attack_image(i)?
+        } else {
+            attacker.benign(i)
+        };
+        let start = Instant::now();
+        let verdict = ensemble.is_attack(&request)?;
+        total_ms += start.elapsed().as_secs_f64() * 1000.0;
+        if verdict == is_attack {
+            if verdict {
+                blocked += 1;
+            } else {
+                passed += 1;
+            }
+        } else {
+            wrong += 1;
+        }
+    }
+
+    println!(
+        "screened {TRAFFIC} requests: {blocked} attacks blocked, {passed} benign passed, \
+         {wrong} misclassified; mean latency {:.2} ms/request",
+        total_ms / TRAFFIC as f64
+    );
+    assert!(wrong <= 2, "online screening degraded: {wrong} errors");
+    println!("ok: online screening holds up without knowing the attack algorithm");
+    Ok(())
+}

@@ -1,0 +1,304 @@
+//! `decamouflage` — command-line front end for the detection framework.
+//!
+//! ```text
+//! decamouflage check <image> --target WxH [--thresholds FILE]
+//! decamouflage scan <dir> --target WxH [--thresholds FILE]
+//! decamouflage craft <original> <target-image> -o <attack-out>
+//! decamouflage calibrate --benign DIR --attack DIR --target WxH -o thresholds.txt
+//! ```
+//!
+//! Images are PGM/PPM or 24-bit BMP (chosen by extension). `check` exits
+//! with status 2 when the image is flagged as an attack, 0 when benign —
+//! scriptable as a pre-ingestion filter. `scan` triages a whole directory
+//! (the paper's offline data-poisoning use case) and exits 2 if anything
+//! was flagged.
+
+use decamouflage::detection::calibrate::calibrate_whitebox;
+use decamouflage::detection::ensemble::Ensemble;
+use decamouflage::detection::persist::ThresholdSet;
+use decamouflage::detection::{
+    Detector, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector, Threshold,
+};
+use decamouflage::imaging::codec::{read_bmp_file, read_pnm_file, write_bmp_file, write_pnm_file};
+use decamouflage::imaging::scale::{ScaleAlgorithm, Scaler};
+use decamouflage::imaging::{Image, Size};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("craft") => cmd_craft(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  decamouflage check <image> --target WxH [--thresholds FILE]\n  \
+         decamouflage scan <dir> --target WxH [--thresholds FILE]\n  \
+         decamouflage craft <original> <target-image> -o <attack-out>\n  \
+         decamouflage calibrate --benign DIR --attack DIR --target WxH -o FILE\n\n\
+         Images: .pgm/.ppm/.pnm or .bmp. `check`/`scan` exit 0 = benign, 2 = attack(s) found."
+    );
+}
+
+fn read_image(path: &str) -> Result<Image, String> {
+    let result = if path.to_ascii_lowercase().ends_with(".bmp") {
+        read_bmp_file(path)
+    } else {
+        read_pnm_file(path)
+    };
+    result.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_image(img: &Image, path: &str) -> Result<(), String> {
+    let result = if path.to_ascii_lowercase().ends_with(".bmp") {
+        write_bmp_file(img, path)
+    } else {
+        write_pnm_file(img, path)
+    };
+    result.map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn parse_size(s: &str) -> Result<Size, String> {
+    let (w, h) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("expected WxH, got {s:?}"))?;
+    let w: usize = w.parse().map_err(|_| format!("bad width in {s:?}"))?;
+    let h: usize = h.parse().map_err(|_| format!("bad height in {s:?}"))?;
+    if w == 0 || h == 0 {
+        return Err(format!("target size {s:?} must be non-zero"));
+    }
+    Ok(Size::new(w, h))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Default thresholds used by `check` when no calibration file is given:
+/// intentionally conservative generic values; calibrating on in-domain
+/// data is always preferable.
+fn default_thresholds() -> ThresholdSet {
+    let mut set = ThresholdSet::new();
+    set.insert(
+        "scaling/mse",
+        Threshold::new(400.0, decamouflage::detection::Direction::AboveIsAttack),
+    );
+    set.insert(
+        "filtering/ssim",
+        Threshold::new(0.55, decamouflage::detection::Direction::BelowIsAttack),
+    );
+    set.insert("steganalysis/csp", SteganalysisDetector::universal_threshold());
+    set
+}
+
+fn build_ensemble(target: Size, thresholds: &ThresholdSet) -> Result<Ensemble, String> {
+    let need = |name: &str| {
+        thresholds
+            .get(name)
+            .ok_or_else(|| format!("thresholds file is missing an entry for {name:?}"))
+    };
+    Ok(Ensemble::new()
+        .with_member(
+            ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse),
+            need("scaling/mse")?,
+        )
+        .with_member(FilteringDetector::new(MetricKind::Ssim), need("filtering/ssim")?)
+        .with_member(SteganalysisDetector::for_target(target), need("steganalysis/csp")?))
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let image_path = args
+        .iter()
+        .find(|a| !a.starts_with('-') && Some(a.as_str()) != flag_value(args, "--target") && Some(a.as_str()) != flag_value(args, "--thresholds"))
+        .ok_or("check needs an image path")?;
+    let target = parse_size(flag_value(args, "--target").ok_or("check needs --target WxH")?)?;
+    let thresholds = match flag_value(args, "--thresholds") {
+        Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
+        None => default_thresholds(),
+    };
+    let image = read_image(image_path)?;
+    let ensemble = build_ensemble(target, &thresholds)?;
+    let decision = ensemble.decide(&image).map_err(|e| e.to_string())?;
+    for (member, vote) in &decision.votes {
+        println!("{member}: {}", if *vote { "ATTACK" } else { "benign" });
+    }
+    if decision.is_attack {
+        println!("{image_path}: ATTACK (majority vote)");
+        Ok(ExitCode::from(2))
+    } else {
+        println!("{image_path}: benign");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_craft(args: &[String]) -> Result<ExitCode, String> {
+    use decamouflage::attack::{craft_attack, AttackConfig};
+    let positional: Vec<&String> = {
+        let out_idx = args.iter().position(|a| a == "-o" || a == "--out");
+        args.iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !a.starts_with('-') && out_idx.map(|oi| *i != oi + 1).unwrap_or(true)
+            })
+            .map(|(_, a)| a)
+            .collect()
+    };
+    let [original_path, target_path] = positional.as_slice() else {
+        return Err("craft needs <original> and <target-image>".into());
+    };
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .ok_or("craft needs -o <attack-out>")?;
+
+    let original = read_image(original_path)?;
+    let target = read_image(target_path)?;
+    let scaler = Scaler::new(original.size(), target.size(), ScaleAlgorithm::Bilinear)
+        .map_err(|e| e.to_string())?;
+    let crafted = craft_attack(&original, &target, &scaler, &AttackConfig::default())
+        .map_err(|e| e.to_string())?;
+    write_image(&crafted.image, out)?;
+    println!(
+        "wrote {out}: deviation from target (L-inf) {:.2}, perturbed {:.1}% of pixels",
+        crafted.stats.target_deviation_linf,
+        crafted.stats.perturbed_fraction * 100.0
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn read_dir_images(dir: &str) -> Result<Vec<Image>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase).as_deref(),
+                Some("pgm" | "ppm" | "pnm" | "bmp")
+            )
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .pgm/.ppm/.pnm/.bmp images in {dir}"));
+    }
+    paths
+        .iter()
+        .map(|p| read_image(&p.display().to_string()))
+        .collect()
+}
+
+fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
+    let benign_dir = flag_value(args, "--benign").ok_or("calibrate needs --benign DIR")?;
+    let attack_dir = flag_value(args, "--attack").ok_or("calibrate needs --attack DIR")?;
+    let target = parse_size(flag_value(args, "--target").ok_or("calibrate needs --target WxH")?)?;
+    let out = flag_value(args, "-o")
+        .or_else(|| flag_value(args, "--out"))
+        .ok_or("calibrate needs -o FILE")?;
+
+    let benign = read_dir_images(benign_dir)?;
+    let attacks = read_dir_images(attack_dir)?;
+    println!(
+        "calibrating on {} benign + {} attack images ...",
+        benign.len(),
+        attacks.len()
+    );
+
+    let scaling = ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse);
+    let filtering = FilteringDetector::new(MetricKind::Ssim);
+    let scaling_cal =
+        calibrate_whitebox(&scaling, &benign, &attacks).map_err(|e| e.to_string())?;
+    let filtering_cal =
+        calibrate_whitebox(&filtering, &benign, &attacks).map_err(|e| e.to_string())?;
+
+    let mut set = ThresholdSet::new();
+    set.insert(scaling.name(), scaling_cal.threshold);
+    set.insert(filtering.name(), filtering_cal.threshold);
+    set.insert("steganalysis/csp", SteganalysisDetector::universal_threshold());
+    set.save(Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out} (scaling train acc {:.1}%, filtering train acc {:.1}%)",
+        scaling_cal.train_accuracy * 100.0,
+        filtering_cal.train_accuracy * 100.0
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Batch triage of a directory: the paper's offline data-poisoning
+/// deployment. Prints one line per image and a summary; exits 2 when any
+/// image was flagged.
+fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
+    let dir = args
+        .iter()
+        .find(|a| {
+            !a.starts_with('-')
+                && Some(a.as_str()) != flag_value(args, "--target")
+                && Some(a.as_str()) != flag_value(args, "--thresholds")
+        })
+        .ok_or("scan needs a directory path")?;
+    let target = parse_size(flag_value(args, "--target").ok_or("scan needs --target WxH")?)?;
+    let thresholds = match flag_value(args, "--thresholds") {
+        Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
+        None => default_thresholds(),
+    };
+    let ensemble = build_ensemble(target, &thresholds)?;
+
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase).as_deref(),
+                Some("pgm" | "ppm" | "pnm" | "bmp")
+            )
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .pgm/.ppm/.pnm/.bmp images in {dir}"));
+    }
+
+    let mut flagged = 0usize;
+    let mut failed = 0usize;
+    for path in &paths {
+        let shown = path.display();
+        match read_image(&shown.to_string()).and_then(|img| {
+            ensemble.is_attack(&img).map_err(|e| e.to_string())
+        }) {
+            Ok(true) => {
+                flagged += 1;
+                println!("ATTACK  {shown}");
+            }
+            Ok(false) => println!("benign  {shown}"),
+            Err(message) => {
+                failed += 1;
+                println!("error   {shown}: {message}");
+            }
+        }
+    }
+    println!(
+        "scanned {} images: {flagged} flagged, {} accepted, {failed} unreadable",
+        paths.len(),
+        paths.len() - flagged - failed
+    );
+    Ok(if flagged > 0 { ExitCode::from(2) } else { ExitCode::SUCCESS })
+}

@@ -1,0 +1,57 @@
+//! # Decamouflage
+//!
+//! A from-scratch Rust reproduction of *"Decamouflage: A Framework to
+//! Detect Image-Scaling Attacks on Convolutional Neural Networks"*
+//! (Kim et al., DSN 2021).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`imaging`] — image buffers, OpenCV-compatible scalers, rank filters,
+//!   codecs, drawing,
+//! * [`spectral`] — FFT, centred spectra, connected components, CSP,
+//! * [`metrics`] — MSE, SSIM, PSNR, colour histograms, statistics,
+//! * [`attack`] — the Xiao et al. image-scaling attack (QP crafting,
+//!   verification, adaptive variants),
+//! * [`datasets`] — seeded synthetic corpora standing in for the paper's
+//!   datasets,
+//! * [`detection`] — the Decamouflage framework itself: three detectors,
+//!   threshold calibration, majority-vote ensemble, evaluation pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use decamouflage::detection::{Detector, MetricKind, ScalingDetector, SteganalysisDetector};
+//! use decamouflage::imaging::{Image, Size, scale::ScaleAlgorithm};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A detector that round-trips through the CNN input size.
+//! let detector = ScalingDetector::new(
+//!     Size::square(16),
+//!     ScaleAlgorithm::Bilinear,
+//!     MetricKind::Mse,
+//! );
+//! let image = Image::from_fn_gray(64, 64, |x, y| ((x + y) % 200) as f64 + 20.0);
+//! let score = detector.score(&image)?;
+//! assert!(score.is_finite());
+//!
+//! // The steganalysis detector needs no calibration at all.
+//! let stego = SteganalysisDetector::new();
+//! let csp = stego.score(&image)?;
+//! assert!(csp >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (attack crafting, online
+//! detection, data-poisoning triage, adaptive attacks) and the
+//! `decamouflage-bench` crate for the per-table reproduction harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use decamouflage_attack as attack;
+pub use decamouflage_core as detection;
+pub use decamouflage_datasets as datasets;
+pub use decamouflage_imaging as imaging;
+pub use decamouflage_metrics as metrics;
+pub use decamouflage_spectral as spectral;

@@ -1,0 +1,191 @@
+//! Integration tests for the `decamouflage` command-line tool, driving the
+//! real binary end to end: calibrate -> check -> craft -> check.
+
+use decamouflage::datasets::{DatasetProfile, SampleGenerator};
+use decamouflage::imaging::codec::write_bmp_file;
+use decamouflage::imaging::scale::ScaleAlgorithm;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_decamouflage"))
+}
+
+/// Builds a fixture directory with benign and attack BMPs from the tiny
+/// profile.
+fn fixtures(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("decamouflage-cli-test-{tag}"));
+    let _ = std::fs::remove_dir_all(&root);
+    for sub in ["benign", "attack"] {
+        std::fs::create_dir_all(root.join(sub)).unwrap();
+    }
+    let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
+    for i in 0..3u64 {
+        write_bmp_file(&generator.benign(i), root.join(format!("benign/{i}.bmp"))).unwrap();
+        write_bmp_file(
+            &generator.attack_image(i).unwrap(),
+            root.join(format!("attack/{i}.bmp")),
+        )
+        .unwrap();
+    }
+    // Held-out pair for checking.
+    write_bmp_file(&generator.benign(9), root.join("holdout_benign.bmp")).unwrap();
+    write_bmp_file(&generator.attack_image(9).unwrap(), root.join("holdout_attack.bmp")).unwrap();
+    // Host/payload pair 1 produces a strong attack (validated by the
+    // fixture calibration set that contains the library-crafted variant).
+    write_bmp_file(&generator.target(1), root.join("payload.bmp")).unwrap();
+    write_bmp_file(&generator.benign(1), root.join("host.bmp")).unwrap();
+    root
+}
+
+fn run(cmd: &mut Command) -> (i32, String, String) {
+    let out = cmd.output().expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn calibrate(root: &Path) -> PathBuf {
+    let thresholds = root.join("thresholds.txt");
+    let (code, _, stderr) = run(bin()
+        .arg("calibrate")
+        .args(["--benign", root.join("benign").to_str().unwrap()])
+        .args(["--attack", root.join("attack").to_str().unwrap()])
+        .args(["--target", "16x16"])
+        .args(["-o", thresholds.to_str().unwrap()]));
+    assert_eq!(code, 0, "calibrate failed: {stderr}");
+    thresholds
+}
+
+#[test]
+fn calibrate_then_check_classifies_holdouts() {
+    let root = fixtures("check");
+    let thresholds = calibrate(&root);
+
+    let (code, stdout, _) = run(bin()
+        .arg("check")
+        .arg(root.join("holdout_benign.bmp"))
+        .args(["--target", "16x16"])
+        .args(["--thresholds", thresholds.to_str().unwrap()]));
+    assert_eq!(code, 0, "benign holdout misflagged: {stdout}");
+    assert!(stdout.contains("benign"));
+
+    let (code, stdout, _) = run(bin()
+        .arg("check")
+        .arg(root.join("holdout_attack.bmp"))
+        .args(["--target", "16x16"])
+        .args(["--thresholds", thresholds.to_str().unwrap()]));
+    assert_eq!(code, 2, "attack holdout passed: {stdout}");
+    assert!(stdout.contains("ATTACK (majority vote)"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn craft_produces_a_detectable_attack_image() {
+    let root = fixtures("craft");
+    let thresholds = calibrate(&root);
+    let crafted = root.join("crafted.bmp");
+
+    let (code, stdout, stderr) = run(bin()
+        .arg("craft")
+        .arg(root.join("host.bmp"))
+        .arg(root.join("payload.bmp"))
+        .args(["-o", crafted.to_str().unwrap()]));
+    assert_eq!(code, 0, "craft failed: {stderr}");
+    assert!(stdout.contains("deviation from target"));
+    assert!(crafted.exists());
+
+    let (code, _, _) = run(bin()
+        .arg("check")
+        .arg(&crafted)
+        .args(["--target", "16x16"])
+        .args(["--thresholds", thresholds.to_str().unwrap()]));
+    assert_eq!(code, 2, "freshly crafted attack must be flagged");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn check_works_with_builtin_default_thresholds() {
+    let root = fixtures("defaults");
+    let (code, _, _) = run(bin()
+        .arg("check")
+        .arg(root.join("holdout_attack.bmp"))
+        .args(["--target", "16x16"]));
+    assert_eq!(code, 2, "default thresholds must still flag a strong attack");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bad_invocations_exit_with_usage_errors() {
+    let (code, _, stderr) = run(bin().arg("check"));
+    assert_eq!(code, 1);
+    assert!(stderr.contains("usage"));
+
+    let (code, _, stderr) = run(bin().arg("frobnicate"));
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown command"));
+
+    let root = fixtures("badargs");
+    let (code, _, stderr) = run(bin()
+        .arg("check")
+        .arg(root.join("holdout_benign.bmp"))
+        .args(["--target", "banana"]));
+    assert_eq!(code, 1);
+    assert!(stderr.contains("WxH"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (code, _, stderr) = run(bin().arg("--help"));
+    assert_eq!(code, 0);
+    assert!(stderr.contains("decamouflage check"));
+}
+
+#[test]
+fn scan_triages_a_directory_and_exits_nonzero_on_findings() {
+    let root = fixtures("scan");
+    let thresholds = calibrate(&root);
+    // Mixed directory: the attack fixtures plus one benign holdout.
+    let mixed = root.join("mixed");
+    std::fs::create_dir_all(&mixed).unwrap();
+    std::fs::copy(root.join("attack/0.bmp"), mixed.join("a0.bmp")).unwrap();
+    std::fs::copy(root.join("attack/1.bmp"), mixed.join("a1.bmp")).unwrap();
+    std::fs::copy(root.join("holdout_benign.bmp"), mixed.join("clean.bmp")).unwrap();
+
+    let (code, stdout, stderr) = run(bin()
+        .arg("scan")
+        .arg(&mixed)
+        .args(["--target", "16x16"])
+        .args(["--thresholds", thresholds.to_str().unwrap()]));
+    assert_eq!(code, 2, "scan must flag the poisoned images: {stdout} {stderr}");
+    assert!(stdout.contains("ATTACK"), "{stdout}");
+    assert!(stdout.contains("benign  "), "{stdout}");
+    assert!(stdout.contains("2 flagged"), "{stdout}");
+
+    // A clean directory exits 0.
+    let clean = root.join("benign");
+    let (code, stdout, _) = run(bin()
+        .arg("scan")
+        .arg(&clean)
+        .args(["--target", "16x16"])
+        .args(["--thresholds", thresholds.to_str().unwrap()]));
+    assert_eq!(code, 0, "clean directory misflagged: {stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn scan_rejects_empty_directories() {
+    let root = std::env::temp_dir().join("decamouflage-cli-test-scan-empty");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let (code, _, stderr) = run(bin()
+        .arg("scan")
+        .arg(&root)
+        .args(["--target", "16x16"]));
+    assert_eq!(code, 1);
+    assert!(stderr.contains("no .pgm"), "{stderr}");
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,207 @@
+//! End-to-end integration: attack crafting -> detection across the
+//! (scaler x metric x mode) grid, on the tiny dataset profile.
+
+use decamouflage::attack::{verify_attack, VerifyConfig};
+use decamouflage::datasets::{DatasetProfile, SampleGenerator};
+use decamouflage::detection::ensemble::Ensemble;
+use decamouflage::detection::threshold::{percentile_blackbox, search_whitebox};
+use decamouflage::detection::{
+    Detector, Direction, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+};
+use decamouflage::imaging::scale::ScaleAlgorithm;
+
+const N: u64 = 8;
+
+fn scores<D: Detector>(
+    detector: &D,
+    generator: &SampleGenerator,
+    offset: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut benign = Vec::new();
+    let mut attack = Vec::new();
+    for i in 0..N {
+        benign.push(detector.score(&generator.benign(offset + i)).unwrap());
+        attack.push(
+            detector
+                .score(&generator.attack_image(offset + i).unwrap())
+                .unwrap(),
+        );
+    }
+    (benign, attack)
+}
+
+#[test]
+fn scaling_detector_separates_for_every_attack_algorithm() {
+    let profile = DatasetProfile::tiny();
+    for attack_algo in [ScaleAlgorithm::Nearest, ScaleAlgorithm::Bilinear] {
+        let generator = SampleGenerator::new(profile.clone(), attack_algo);
+        for metric in [MetricKind::Mse, MetricKind::Ssim] {
+            let detector =
+                ScalingDetector::new(profile.target_size, ScaleAlgorithm::Bilinear, metric);
+            let (benign, attack) = scores(&detector, &generator, 0);
+            let search =
+                search_whitebox(&benign, &attack, metric.direction()).unwrap();
+            assert!(
+                search.train_accuracy >= 0.9,
+                "scaling/{metric} vs {attack_algo} attacks: accuracy {}",
+                search.train_accuracy
+            );
+        }
+    }
+}
+
+#[test]
+fn filtering_detector_separates_for_every_metric() {
+    let profile = DatasetProfile::tiny();
+    let generator = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
+    for metric in [MetricKind::Mse, MetricKind::Ssim] {
+        let detector = FilteringDetector::new(metric);
+        let (benign, attack) = scores(&detector, &generator, 0);
+        let search = search_whitebox(&benign, &attack, metric.direction()).unwrap();
+        assert!(
+            search.train_accuracy >= 0.9,
+            "filtering/{metric}: accuracy {}",
+            search.train_accuracy
+        );
+    }
+}
+
+#[test]
+fn steganalysis_universal_threshold_works_without_calibration() {
+    let profile = DatasetProfile::tiny();
+    let generator = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
+    let detector = SteganalysisDetector::for_target(profile.target_size);
+    let threshold = SteganalysisDetector::universal_threshold();
+    let mut correct = 0;
+    for i in 0..N {
+        let benign_score = detector.score(&generator.benign(i)).unwrap();
+        let attack_score = detector
+            .score(&generator.attack_image(i).unwrap())
+            .unwrap();
+        correct += usize::from(!threshold.is_attack(benign_score));
+        correct += usize::from(threshold.is_attack(attack_score));
+    }
+    assert!(
+        correct as f64 >= 2.0 * N as f64 * 0.85,
+        "CSP_T = 2 only classified {correct}/{} correctly",
+        2 * N
+    );
+}
+
+#[test]
+fn blackbox_percentile_calibration_detects_unseen_attacks() {
+    // Calibrate on benign only; the attacker uses nearest-neighbour, which
+    // the calibration never saw.
+    let profile = DatasetProfile::tiny();
+    let benign_gen = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
+    let detector = ScalingDetector::new(
+        profile.target_size,
+        ScaleAlgorithm::Bilinear,
+        MetricKind::Mse,
+    );
+    let benign_scores: Vec<f64> = (100..100 + 2 * N)
+        .map(|i| detector.score(&benign_gen.benign(i)).unwrap())
+        .collect();
+    let threshold =
+        percentile_blackbox(&benign_scores, 2.0, Direction::AboveIsAttack).unwrap();
+
+    let attacker = SampleGenerator::new(profile, ScaleAlgorithm::Nearest);
+    let mut caught = 0;
+    for i in 0..N {
+        let attack = attacker.attack_image(i).unwrap();
+        caught += usize::from(threshold.is_attack(detector.score(&attack).unwrap()));
+    }
+    assert!(caught as f64 >= N as f64 * 0.85, "caught only {caught}/{N}");
+}
+
+#[test]
+fn full_ensemble_catches_attacks_and_passes_benign() {
+    let profile = DatasetProfile::tiny();
+    let generator = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
+    let scaling = ScalingDetector::new(
+        profile.target_size,
+        ScaleAlgorithm::Bilinear,
+        MetricKind::Mse,
+    );
+    let filtering = FilteringDetector::new(MetricKind::Ssim);
+
+    let (b_s, a_s) = scores(&scaling, &generator, 50);
+    let (b_f, a_f) = scores(&filtering, &generator, 50);
+    let ensemble = Ensemble::new()
+        .with_member(
+            scaling,
+            search_whitebox(&b_s, &a_s, Direction::AboveIsAttack)
+                .unwrap()
+                .threshold,
+        )
+        .with_member(
+            filtering,
+            search_whitebox(&b_f, &a_f, Direction::BelowIsAttack)
+                .unwrap()
+                .threshold,
+        )
+        .with_member(
+            SteganalysisDetector::for_target(profile.target_size),
+            SteganalysisDetector::universal_threshold(),
+        );
+
+    let mut errors = 0;
+    for i in 0..N {
+        errors += usize::from(ensemble.is_attack(&generator.benign(i)).unwrap());
+        errors += usize::from(
+            !ensemble
+                .is_attack(&generator.attack_image(i).unwrap())
+                .unwrap(),
+        );
+    }
+    assert!(errors <= 1, "{errors} ensemble errors over {} decisions", 2 * N);
+}
+
+#[test]
+fn crafted_attacks_satisfy_both_paper_criteria() {
+    let profile = DatasetProfile::tiny();
+    for algo in [ScaleAlgorithm::Nearest, ScaleAlgorithm::Bilinear] {
+        let generator = SampleGenerator::new(profile.clone(), algo);
+        for i in 0..4u64 {
+            let v = verify_attack(
+                &generator.benign(i),
+                &generator.attack_image(i).unwrap(),
+                &generator.target(i),
+                &generator.scaler(i),
+                &VerifyConfig::default(),
+            )
+            .unwrap();
+            assert!(v.is_successful(), "{algo} attack {i} failed: {v:?}");
+        }
+    }
+}
+
+#[test]
+fn rgb_corpus_is_detected_end_to_end() {
+    let profile = DatasetProfile::tiny_rgb();
+    let generator = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
+    let scaling = ScalingDetector::new(
+        profile.target_size,
+        ScaleAlgorithm::Bilinear,
+        MetricKind::Mse,
+    );
+    let stego = SteganalysisDetector::for_target(profile.target_size);
+    let mut correct = 0usize;
+    let trials = 4u64;
+    for i in 0..trials {
+        let benign = generator.benign(i);
+        let attack = generator.attack_image(i).unwrap();
+        assert_eq!(benign.channel_count(), 3, "profile must generate RGB");
+        let b = scaling.score(&benign).unwrap();
+        let a = scaling.score(&attack).unwrap();
+        correct += usize::from(a > b * 3.0);
+        let cb = stego.score(&benign).unwrap();
+        let ca = stego.score(&attack).unwrap();
+        correct += usize::from(ca > cb);
+    }
+    assert!(
+        correct >= (2 * trials as usize) - 1,
+        "only {correct}/{} RGB checks passed",
+        2 * trials
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! framework relies on.
+
+use decamouflage::attack::{solve_1d_attack, QpConfig};
+use decamouflage::detection::threshold::{percentile_blackbox, search_whitebox};
+use decamouflage::detection::Direction;
+use decamouflage::imaging::codec::{decode_pnm, encode_pgm, encode_ppm};
+use decamouflage::imaging::filter::{maximum_filter, minimum_filter};
+use decamouflage::imaging::scale::{resize, CoeffMatrix, ScaleAlgorithm};
+use decamouflage::imaging::{Channels, Image};
+use decamouflage::metrics::{mse, psnr, ssim, SsimConfig};
+use proptest::prelude::*;
+
+fn arb_gray_image(max_side: usize) -> impl Strategy<Value = Image> {
+    (2usize..=max_side, 2usize..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u8..=255, w * h)
+            .prop_map(move |data| Image::from_u8(w, h, Channels::Gray, &data).unwrap())
+    })
+}
+
+/// A pair (or triple) of equally-shaped random images.
+fn arb_image_pair(side: usize) -> impl Strategy<Value = (Image, Image)> {
+    (2usize..=side, 2usize..=side).prop_flat_map(|(w, h)| {
+        let img = proptest::collection::vec(0u8..=255, w * h)
+            .prop_map(move |data| Image::from_u8(w, h, Channels::Gray, &data).unwrap());
+        (img.clone(), img)
+    })
+}
+
+fn arb_image_triple(side: usize) -> impl Strategy<Value = (Image, Image, Image)> {
+    (2usize..=side, 2usize..=side).prop_flat_map(|(w, h)| {
+        let img = proptest::collection::vec(0u8..=255, w * h)
+            .prop_map(move |data| Image::from_u8(w, h, Channels::Gray, &data).unwrap());
+        (img.clone(), img.clone(), img)
+    })
+}
+
+fn arb_algorithm() -> impl Strategy<Value = ScaleAlgorithm> {
+    prop_oneof![
+        Just(ScaleAlgorithm::Nearest),
+        Just(ScaleAlgorithm::Bilinear),
+        Just(ScaleAlgorithm::Bicubic),
+        Just(ScaleAlgorithm::Area),
+        Just(ScaleAlgorithm::Lanczos3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pgm_roundtrip_preserves_samples(img in arb_gray_image(24)) {
+        let back = decode_pnm(&encode_pgm(&img)).unwrap();
+        prop_assert!(back.approx_eq(&img, 0.5));
+    }
+
+    #[test]
+    fn ppm_roundtrip_preserves_rgb(img in arb_gray_image(16)) {
+        let rgb = img.to_rgb();
+        let back = decode_pnm(&encode_ppm(&rgb)).unwrap();
+        prop_assert!(back.approx_eq(&rgb, 0.5));
+    }
+
+    #[test]
+    fn resize_output_within_input_hull_for_positive_kernels(
+        img in arb_gray_image(20),
+        w in 1usize..12,
+        h in 1usize..12,
+    ) {
+        // Nearest / bilinear / area have non-negative weights summing to 1:
+        // outputs stay within [min, max] of the input.
+        for algo in [ScaleAlgorithm::Nearest, ScaleAlgorithm::Bilinear, ScaleAlgorithm::Area] {
+            let out = resize(&img, w, h, algo).unwrap();
+            prop_assert!(out.min_sample() >= img.min_sample() - 1e-9, "{algo}");
+            prop_assert!(out.max_sample() <= img.max_sample() + 1e-9, "{algo}");
+        }
+    }
+
+    #[test]
+    fn scaling_is_linear(img in arb_gray_image(16), algo in arb_algorithm()) {
+        // resize(a*I) == a*resize(I)
+        let scaled_input = img.map(|v| v * 0.5);
+        let a = resize(&scaled_input, 5, 5, algo).unwrap();
+        let b = resize(&img, 5, 5, algo).unwrap().map(|v| v * 0.5);
+        prop_assert!(a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn rank_filters_bracket_the_image(img in arb_gray_image(16)) {
+        let lo = minimum_filter(&img, 2).unwrap();
+        let hi = maximum_filter(&img, 2).unwrap();
+        for ((l, v), h) in lo.as_slice().iter().zip(img.as_slice()).zip(hi.as_slice()) {
+            prop_assert!(l <= v && v <= h);
+        }
+    }
+
+    #[test]
+    fn mse_is_a_symmetric_premetric((a, b) in arb_image_pair(10)) {
+        let ab = mse(&a, &b).unwrap();
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(ab, mse(&b, &a).unwrap());
+        prop_assert_eq!(mse(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn psnr_and_mse_are_inversely_ordered((a, b, c) in arb_image_triple(10)) {
+        let (m_ab, m_ac) = (mse(&a, &b).unwrap(), mse(&a, &c).unwrap());
+        prop_assume!(m_ab > 0.0 && m_ac > 0.0);
+        let (p_ab, p_ac) = (psnr(&a, &b).unwrap(), psnr(&a, &c).unwrap());
+        prop_assert_eq!(m_ab < m_ac, p_ab > p_ac);
+    }
+
+    #[test]
+    fn ssim_is_bounded_and_symmetric((a, b) in arb_image_pair(12)) {
+        let cfg = SsimConfig::default();
+        let ab = ssim(&a, &b, &cfg).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((ab - ssim(&b, &a, &cfg).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qp_solution_is_feasible_or_flagged(
+        src in proptest::collection::vec(0.0f64..255.0, 12),
+        dst in proptest::collection::vec(0.0f64..255.0, 4),
+    ) {
+        let m = CoeffMatrix::build(ScaleAlgorithm::Bilinear, 12, 4).unwrap();
+        let out = solve_1d_attack(&m, &src, &dst, &QpConfig::default()).unwrap();
+        for &v in &out.signal {
+            prop_assert!((0.0..=255.0).contains(&v));
+        }
+        if out.converged {
+            prop_assert!(out.residual_linf <= 1.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn whitebox_threshold_is_optimal_on_train(
+        benign in proptest::collection::vec(0.0f64..100.0, 1..20),
+        attack in proptest::collection::vec(0.0f64..100.0, 1..20),
+    ) {
+        let search = search_whitebox(&benign, &attack, Direction::AboveIsAttack).unwrap();
+        // No candidate in the trace beats the selected accuracy.
+        for point in &search.trace {
+            prop_assert!(point.accuracy <= search.train_accuracy + 1e-12);
+        }
+    }
+
+    #[test]
+    fn percentile_threshold_bounds_training_frr(
+        benign in proptest::collection::vec(0.0f64..1000.0, 10..60),
+        tail in 1.0f64..20.0,
+    ) {
+        let t = percentile_blackbox(&benign, tail, Direction::AboveIsAttack).unwrap();
+        let frr = benign.iter().filter(|&&s| t.is_attack(s)).count() as f64
+            / benign.len() as f64;
+        // Linear-interpolation percentiles keep the training FRR within one
+        // sample of the requested tail.
+        prop_assert!(frr <= tail / 100.0 + 1.0 / benign.len() as f64 + 1e-9);
+    }
+}
