@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Local CI gate: build, full test suite, lints, formatting.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "CI OK"

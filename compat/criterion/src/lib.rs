@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds in environments without a crates.io mirror, so the
+//! subset of criterion 0.5 its benches use is re-implemented here:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`
+//! and `Bencher::iter`. Measurement is adaptive wall-clock timing (mean ±
+//! std over timed batches) printed to stdout — honest numbers without the
+//! bootstrap statistics, HTML reports or baseline comparison of the real
+//! crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    /// Per-iteration mean in nanoseconds, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    /// Std-dev of batch means in nanoseconds.
+    std_ns: f64,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a few warm-up calls, then timed batches
+    /// until the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        // Size batches so one batch costs roughly a tenth of the budget.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let per_batch =
+            ((self.budget.as_nanos() / 10).max(1) / once.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+        let mut batch_means = Vec::new();
+        let mut total_iters = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < self.budget || batch_means.len() < 3 {
+            let batch = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            batch_means.push(batch.elapsed().as_secs_f64() * 1e9 / per_batch as f64);
+            total_iters += per_batch;
+            if batch_means.len() >= 200 {
+                break;
+            }
+        }
+        let mean = batch_means.iter().sum::<f64>() / batch_means.len() as f64;
+        let var = batch_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>()
+            / batch_means.len() as f64;
+        self.mean_ns = mean;
+        self.std_ns = var.sqrt();
+        self.iters = total_iters;
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample-count knob; this stand-in maps it onto the
+    /// per-benchmark time budget (more samples, more time).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.budget = Duration::from_millis(20).saturating_mul(samples.clamp(1, 100) as u32);
+        self
+    }
+
+    /// Benchmarks `routine` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { mean_ns: 0.0, std_ns: 0.0, iters: 0, budget: self.budget };
+        routine(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Benchmarks a parameterless routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { mean_ns: 0.0, std_ns: 0.0, iters: 0, budget: self.budget };
+        routine(&mut bencher);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    fn report(&mut self, label: &str, bencher: &Bencher) {
+        let line = format!(
+            "{}/{}: {:.3} µs ± {:.3} µs ({} iterations)",
+            self.name,
+            label,
+            bencher.mean_ns / 1e3,
+            bencher.std_ns / 1e3,
+            bencher.iters
+        );
+        println!("{line}");
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            label: label.to_string(),
+            mean_ns: bencher.mean_ns,
+            std_ns: bencher.std_ns,
+        });
+    }
+
+    /// Ends the group (kept for API compatibility; results are already
+    /// recorded).
+    pub fn finish(self) {}
+}
+
+/// One recorded measurement, accessible via [`Criterion::results`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name the benchmark ran under.
+    pub group: String,
+    /// Benchmark label within the group.
+    pub label: String,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation of batch means in nanoseconds.
+    pub std_ns: f64,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Every measurement recorded so far (in declaration order).
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name} --");
+        BenchmarkGroup { criterion: self, name, budget: Duration::from_millis(200) }
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 16), &16u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn records_results_for_each_benchmark() {
+        let mut c = Criterion::default();
+        spin(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.mean_ns >= 0.0));
+        assert_eq!(c.results[1].label, "sum/16");
+    }
+
+    criterion_group!(group_macro_compiles, spin);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        let mut c = Criterion::default();
+        group_macro_compiles(&mut c);
+        assert!(!c.results.is_empty());
+    }
+}

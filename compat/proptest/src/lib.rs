@@ -1,0 +1,232 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments without a crates.io mirror, so the
+//! subset of proptest 1.x it uses is re-implemented here: the `proptest!`
+//! macro, `prop_assert*`/`prop_assume`/`prop_oneof` macros, range / tuple /
+//! `Just` / mapped / collection / regex-string strategies and
+//! `ProptestConfig::with_cases`. Cases are generated from a deterministic
+//! per-test seed, so failures reproduce; there is **no shrinking** — a
+//! failing case reports its inputs (via `Debug` where available) and case
+//! number instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Runner configuration. Only the subset the workspace touches.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`-filtered) cases tolerated before
+    /// the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was filtered out by `prop_assume!`; try another one.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::Reject(message.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG handed to strategies while generating a case.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Derives the generator for `(test name, case index)`.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name gives a stable per-test stream that
+        // survives adding or reordering sibling tests.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case))))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen::<u64>()
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform draw from `[lo, hi]`.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..=hi)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen_range(0.0..1.0)
+    }
+
+    /// Access to the underlying generator for range sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can attach case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts two values compare unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (the runner draws a replacement).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn holds(x in 0u32..100, v in proptest::collection::vec(0u8..=255, 1..9)) {
+///         prop_assert!(v.len() < 9);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                let __case = || -> $crate::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+    )*};
+}

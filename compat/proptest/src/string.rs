@@ -1,0 +1,244 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest treats `&str` strategies as regexes; this stand-in
+//! supports the constructs the workspace's patterns use: literals, `.`,
+//! character classes (`[a-z0-9_]`, including negation), groups with
+//! alternation (`(ab|cd)`), and the quantifiers `?`, `*`, `+`, `{m}`,
+//! `{m,n}`. Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Sequence of alternatives; generation picks one branch.
+    Alt(Vec<Vec<Node>>),
+    Literal(char),
+    /// Candidate characters of a class (already expanded).
+    Class(Vec<char>),
+    /// Any printable ASCII character.
+    Dot,
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generates a string matching `pattern`. Panics on syntax this subset
+/// does not understand, which surfaces unsupported patterns loudly in
+/// tests rather than generating silently wrong data.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alternation(&chars, &mut pos);
+    assert!(pos == chars.len(), "unsupported regex tail in {pattern:?} at byte {pos}");
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Node {
+    let mut branches = vec![Vec::new()];
+    while *pos < chars.len() && chars[*pos] != ')' {
+        if chars[*pos] == '|' {
+            *pos += 1;
+            branches.push(Vec::new());
+            continue;
+        }
+        let atom = parse_atom(chars, pos);
+        let atom = parse_quantifier(chars, pos, atom);
+        branches.last_mut().expect("non-empty").push(atom);
+    }
+    Node::Alt(branches)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alternation(chars, pos);
+            assert!(*pos < chars.len() && chars[*pos] == ')', "unterminated group in regex");
+            *pos += 1;
+            inner
+        }
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '.' => {
+            *pos += 1;
+            Node::Dot
+        }
+        '\\' => {
+            *pos += 1;
+            assert!(*pos < chars.len(), "dangling escape in regex");
+            let c = chars[*pos];
+            *pos += 1;
+            match c {
+                'd' => Node::Class(('0'..='9').collect()),
+                'w' => {
+                    let mut set: Vec<char> = ('a'..='z').collect();
+                    set.extend('A'..='Z');
+                    set.extend('0'..='9');
+                    set.push('_');
+                    Node::Class(set)
+                }
+                other => Node::Literal(other),
+            }
+        }
+        c => {
+            *pos += 1;
+            Node::Literal(c)
+        }
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Node {
+    let negated = *pos < chars.len() && chars[*pos] == '^';
+    if negated {
+        *pos += 1;
+    }
+    let mut set = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = chars[*pos];
+        *pos += 1;
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            assert!(lo <= hi, "inverted class range in regex");
+            set.extend(lo..=hi);
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(*pos < chars.len(), "unterminated character class in regex");
+    *pos += 1;
+    if negated {
+        let candidates: Vec<char> = (' '..='~').filter(|c| !set.contains(c)).collect();
+        assert!(!candidates.is_empty(), "negated class excludes all printable ASCII");
+        Node::Class(candidates)
+    } else {
+        assert!(!set.is_empty(), "empty character class in regex");
+        Node::Class(set)
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+        }
+        '{' => {
+            *pos += 1;
+            let mut digits = String::new();
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                digits.push(chars[*pos]);
+                *pos += 1;
+            }
+            let lo: u32 = digits.parse().expect("repetition count");
+            let hi = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut digits = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    digits.push(chars[*pos]);
+                    *pos += 1;
+                }
+                if digits.is_empty() {
+                    lo + UNBOUNDED_CAP
+                } else {
+                    digits.parse().expect("repetition bound")
+                }
+            } else {
+                lo
+            };
+            assert!(*pos < chars.len() && chars[*pos] == '}', "unterminated repetition in regex");
+            *pos += 1;
+            assert!(lo <= hi, "inverted repetition bounds in regex");
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let branch = &branches[rng.below(branches.len())];
+            for n in branch {
+                emit(n, rng, out);
+            }
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.below(set.len())]),
+        Node::Dot => {
+            let printable: u8 = b' ' + rng.below(95) as u8;
+            out.push(printable as char);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.usize_inclusive(*lo as usize, *hi as usize);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_one(pattern: &str, case: u32) -> String {
+        let mut rng = TestRng::for_case("string_tests", case);
+        generate_matching(pattern, &mut rng)
+    }
+
+    #[test]
+    fn literal_passes_through() {
+        assert_eq!(gen_one("abc", 0), "abc");
+    }
+
+    #[test]
+    fn class_and_bounded_repeat() {
+        for case in 0..50 {
+            let s = gen_one("[a-z]{1,8}", case);
+            assert!(!s.is_empty() && s.len() <= 8, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_separator() {
+        for case in 0..50 {
+            let s = gen_one("[a-z]{1,8}(/[a-z]{1,8})?", case);
+            let parts: Vec<&str> = s.split('/').collect();
+            assert!(parts.len() <= 2, "{s:?}");
+            for p in parts {
+                assert!(!p.is_empty() && p.len() <= 8, "{s:?}");
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_picks_each_branch() {
+        let mut saw = [false, false];
+        for case in 0..40 {
+            match gen_one("(ab|cd)", case).as_str() {
+                "ab" => saw[0] = true,
+                "cd" => saw[1] = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw[0] && saw[1]);
+    }
+}

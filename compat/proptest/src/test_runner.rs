@@ -1,0 +1,83 @@
+//! Case loop driving a `proptest!`-declared test.
+
+use crate::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+/// Runs `case` until `config.cases` successes, a failure, or the reject
+/// budget is exhausted. Each case draws its inputs from a deterministic
+/// RNG derived from `(test_name, case_index)`, so reruns reproduce the
+/// same sequence.
+pub fn run<F>(config: ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut successes: u32 = 0;
+    let mut rejects: u32 = 0;
+    let mut index: u32 = 0;
+    while successes < config.cases {
+        let mut rng = TestRng::for_case(test_name, index);
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "{test_name}: too many prop_assume! rejections ({rejects}); last: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{test_name}: case #{index} failed: {message}")
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut count = 0;
+        run(ProptestConfig::with_cases(17), "counting", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejects_draw_replacement_cases() {
+        let mut attempts = 0;
+        run(ProptestConfig::with_cases(5), "rejecting", |rng| {
+            attempts += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::reject("even"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(attempts >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run(ProptestConfig::with_cases(3), "failing", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let mut first = Vec::new();
+        run(ProptestConfig::with_cases(6), "determinism", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run(ProptestConfig::with_cases(6), "determinism", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -93,11 +93,11 @@ pub fn jitter_camouflage(
 
     let mut rng = SplitMix64::new(seed);
     let mut out = attack.clone();
-    for y in 0..src.height {
-        for x in 0..src.width {
+    for (y, &row_used) in row_touched.iter().enumerate() {
+        for (x, &col_used) in col_touched.iter().enumerate() {
             // A pixel influences the output iff both its row and column are
             // sampled; jitter only the fully ignored ones.
-            if row_touched[y] && col_touched[x] {
+            if row_used && col_used {
                 continue;
             }
             for c in 0..attack.channel_count() {
@@ -179,12 +179,7 @@ mod tests {
         let t = target(8);
         let mid = blend_target(&o, &t, &s, 0.5).unwrap();
         let benign = s.apply(&o).unwrap();
-        for ((m, tv), bv) in mid
-            .as_slice()
-            .iter()
-            .zip(t.as_slice())
-            .zip(benign.as_slice())
-        {
+        for ((m, tv), bv) in mid.as_slice().iter().zip(t.as_slice()).zip(benign.as_slice()) {
             assert!((m - 0.5 * (tv + bv)).abs() < 1e-12);
         }
     }
@@ -223,10 +218,7 @@ mod tests {
         let jittered = jitter_camouflage(&crafted.image, &s, 12.0, 7).unwrap();
         let before = s.apply(&crafted.image).unwrap();
         let after = s.apply(&jittered).unwrap();
-        assert!(
-            after.approx_eq(&before, 1e-9),
-            "jitter leaked into the downscaled output"
-        );
+        assert!(after.approx_eq(&before, 1e-9), "jitter leaked into the downscaled output");
         // And it actually changed something.
         assert!(!jittered.approx_eq(&crafted.image, 0.0));
     }

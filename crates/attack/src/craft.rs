@@ -233,12 +233,7 @@ mod tests {
         Image::from_fn_gray(n, n, |x, y| ((x * 83 + y * 47) % 256) as f64)
     }
 
-    fn craft(
-        algo: ScaleAlgorithm,
-        src: usize,
-        dst: usize,
-        cfg: &AttackConfig,
-    ) -> CraftedAttack {
+    fn craft(algo: ScaleAlgorithm, src: usize, dst: usize, cfg: &AttackConfig) -> CraftedAttack {
         let scaler = Scaler::new(Size::square(src), Size::square(dst), algo).unwrap();
         craft_attack(&smooth_original(src), &busy_target(dst), &scaler, cfg).unwrap()
     }
@@ -369,12 +364,8 @@ mod tests {
     fn non_square_attack_shapes() {
         let original = Image::from_fn_gray(48, 32, |x, y| 100.0 + ((x + y) % 9) as f64);
         let target = Image::from_fn_gray(12, 8, |x, y| ((x * y * 11) % 256) as f64);
-        let scaler = Scaler::new(
-            Size::new(48, 32),
-            Size::new(12, 8),
-            ScaleAlgorithm::Bilinear,
-        )
-        .unwrap();
+        let scaler =
+            Scaler::new(Size::new(48, 32), Size::new(12, 8), ScaleAlgorithm::Bilinear).unwrap();
         let out = craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap();
         assert_eq!(out.image.size(), Size::new(48, 32));
         assert!(out.stats.target_deviation_linf <= 4.0, "{:?}", out.stats);

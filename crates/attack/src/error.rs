@@ -44,10 +44,9 @@ impl fmt::Display for AttackError {
                 write!(f, "original and target images must share a channel layout")
             }
             Self::InvalidConfig { message } => write!(f, "invalid attack config: {message}"),
-            Self::SolverDiverged { residual, epsilon } => write!(
-                f,
-                "qp solver diverged: residual {residual:.4} above epsilon {epsilon:.4}"
-            ),
+            Self::SolverDiverged { residual, epsilon } => {
+                write!(f, "qp solver diverged: residual {residual:.4} above epsilon {epsilon:.4}")
+            }
             Self::Imaging(err) => write!(f, "imaging error: {err}"),
         }
     }

@@ -167,11 +167,7 @@ fn try_disjoint_closed_form(
         solve_single_constraint(row, &mut signal, target[i], config.epsilon);
     }
     let residual = residual_linf(matrix, &signal, target);
-    let perturbation_sq = signal
-        .iter()
-        .zip(source)
-        .map(|(z, x)| (z - x) * (z - x))
-        .sum();
+    let perturbation_sq = signal.iter().zip(source).map(|(z, x)| (z - x) * (z - x)).sum();
     Some(Solve1d {
         converged: residual <= config.epsilon + config.feasibility_tol,
         residual_linf: residual,
@@ -203,7 +199,7 @@ fn solve_single_constraint(taps: &[(usize, f64)], signal: &mut [f64], t: f64, ep
         let mut still_free = Vec::with_capacity(free.len());
         for &(j, w) in &free {
             let candidate = signal[j] + w * r_prime / denom;
-            if candidate < 0.0 || candidate > 255.0 {
+            if !(0.0..=255.0).contains(&candidate) {
                 let clamped = candidate.clamp(0.0, 255.0);
                 signal[j] = clamped;
                 fixed.push((j, w, clamped));
@@ -245,11 +241,7 @@ fn try_nearest_closed_form(
         signal[row[0].0] = target[i].clamp(0.0, 255.0);
     }
     let residual = residual_linf(matrix, &signal, target);
-    let perturbation_sq = signal
-        .iter()
-        .zip(source)
-        .map(|(z, x)| (z - x) * (z - x))
-        .sum();
+    let perturbation_sq = signal.iter().zip(source).map(|(z, x)| (z - x) * (z - x)).sum();
     Some(Solve1d {
         residual_linf: residual,
         perturbation_sq,
@@ -260,12 +252,7 @@ fn try_nearest_closed_form(
 }
 
 fn residual_linf(matrix: &CoeffMatrix, signal: &[f64], target: &[f64]) -> f64 {
-    matrix
-        .apply(signal)
-        .iter()
-        .zip(target)
-        .map(|(y, t)| (y - t).abs())
-        .fold(0.0, f64::max)
+    matrix.apply(signal).iter().zip(target).map(|(y, t)| (y - t).abs()).fold(0.0, f64::max)
 }
 
 /// Largest eigenvalue of `AᵀA` via power iteration (squared spectral norm).
@@ -338,11 +325,7 @@ fn projected_gradient(
         lambda *= config.penalty_growth;
     }
 
-    let perturbation_sq = best
-        .iter()
-        .zip(source)
-        .map(|(zv, xv)| (zv - xv) * (zv - xv))
-        .sum();
+    let perturbation_sq = best.iter().zip(source).map(|(zv, xv)| (zv - xv) * (zv - xv)).sum();
     Solve1d {
         converged: best_residual <= config.epsilon + config.feasibility_tol,
         residual_linf: best_residual,
@@ -357,12 +340,7 @@ mod tests {
     use super::*;
     use decamouflage_imaging::scale::{CoeffMatrix, ScaleAlgorithm};
 
-    fn solve(
-        algo: ScaleAlgorithm,
-        src: &[f64],
-        dst: &[f64],
-        cfg: &QpConfig,
-    ) -> Solve1d {
+    fn solve(algo: ScaleAlgorithm, src: &[f64], dst: &[f64], cfg: &QpConfig) -> Solve1d {
         let m = CoeffMatrix::build(algo, src.len(), dst.len()).unwrap();
         solve_1d_attack(&m, src, dst, cfg).unwrap()
     }

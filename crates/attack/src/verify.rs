@@ -141,8 +141,7 @@ mod tests {
         let o = original(48);
         let t = target(12);
         let crafted = craft_attack(&o, &t, &scaler, &AttackConfig::default()).unwrap();
-        let v =
-            verify_attack(&o, &crafted.image, &t, &scaler, &VerifyConfig::default()).unwrap();
+        let v = verify_attack(&o, &crafted.image, &t, &scaler, &VerifyConfig::default()).unwrap();
         assert!(v.scales_to_target, "{v:?}");
         assert!(v.visually_stealthy, "{v:?}");
         assert!(v.is_successful());

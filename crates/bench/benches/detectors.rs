@@ -1,12 +1,24 @@
 //! Criterion benchmarks for the paper's run-time overhead table (Table 7):
-//! per-image latency of each detection method and metric, plus the full
-//! majority-vote ensemble.
+//! per-image latency of each detection method and metric, the full
+//! majority-vote ensemble, and the shared-intermediate [`DetectionEngine`].
+//!
+//! Unlike the other benches this one has a hand-written `main`: after the
+//! Criterion groups it runs a throughput comparison — cold per-detector
+//! scoring versus one engine pass versus the batch `score_corpus` API over a
+//! 64-image synthetic corpus — verifies the engine scores are bit-identical
+//! to the naive detectors, and writes the numbers to `BENCH_detectors.json`
+//! at the repository root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use decamouflage_bench::corpus::{DetectorSet, MixedAttackGenerator};
 use decamouflage_core::ensemble::Ensemble;
-use decamouflage_core::{Detector, Direction, MetricKind, SteganalysisDetector, Threshold};
+use decamouflage_core::parallel::default_threads;
+use decamouflage_core::{
+    Detector, Direction, EngineScores, MetricKind, SteganalysisDetector, Threshold,
+};
 use decamouflage_datasets::DatasetProfile;
+use decamouflage_imaging::{Image, Size};
+use std::time::Instant;
 
 fn bench_detection_methods(c: &mut Criterion) {
     let profile = DatasetProfile::neurips_like();
@@ -28,16 +40,15 @@ fn bench_detection_methods(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("filtering_mse", &label), image, |b, img| {
             b.iter(|| detectors.filtering(MetricKind::Mse).score(img).unwrap())
         });
-        group.bench_with_input(
-            BenchmarkId::new("filtering_ssim", &label),
-            image,
-            |b, img| b.iter(|| detectors.filtering(MetricKind::Ssim).score(img).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("steganalysis_csp", &label),
-            image,
-            |b, img| b.iter(|| detectors.steganalysis().score(img).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("filtering_ssim", &label), image, |b, img| {
+            b.iter(|| detectors.filtering(MetricKind::Ssim).score(img).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("steganalysis_csp", &label), image, |b, img| {
+            b.iter(|| detectors.steganalysis().score(img).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("engine_all_methods", &label), image, |b, img| {
+            b.iter(|| detectors.engine().score(img).unwrap())
+        });
     }
     group.finish();
 }
@@ -71,4 +82,225 @@ fn bench_ensemble(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_detection_methods, bench_ensemble);
-criterion_main!(benches);
+
+/// Images per class in the throughput corpus (64 images total).
+const CORPUS_PER_CLASS: usize = 32;
+
+/// The profile behind the throughput corpus: 128×128 sources scaled to the
+/// 32×32 CNN input, i.e. a mid-size workload between `tiny` and the paper
+/// profiles.
+fn throughput_profile() -> DatasetProfile {
+    let mut profile = DatasetProfile::tiny();
+    profile.name = "bench-throughput";
+    profile.source_sizes = vec![Size::square(128)];
+    profile.target_size = Size::square(32);
+    profile
+}
+
+/// Wall time of one full pass of `score` over `images`, best of `repeats`.
+fn time_pass(images: &[Image], repeats: usize, mut score: impl FnMut(&[Image])) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        score(images);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Scores one image the pre-engine way: each naive detector from scratch.
+fn cold_scores(detectors: &DetectorSet, image: &Image) -> EngineScores {
+    EngineScores {
+        scaling_mse: detectors.scaling(MetricKind::Mse).score(image).unwrap(),
+        scaling_ssim: detectors.scaling(MetricKind::Ssim).score(image).unwrap(),
+        filtering_mse: detectors.filtering(MetricKind::Mse).score(image).unwrap(),
+        filtering_ssim: detectors.filtering(MetricKind::Ssim).score(image).unwrap(),
+        csp: detectors.steganalysis().score(image).unwrap(),
+    }
+}
+
+struct Throughput {
+    corpus_images: usize,
+    per_detector_s: Vec<(&'static str, f64)>,
+    cold_s: f64,
+    engine_s: f64,
+    batch_s: f64,
+    threads: usize,
+}
+
+/// Times cold per-detector scoring against the engine over a 64-image
+/// corpus, asserting bit-identical scores along the way.
+fn run_throughput() -> Throughput {
+    let profile = throughput_profile();
+    let generator = MixedAttackGenerator::new(profile.clone());
+    let detectors = DetectorSet::new(&profile);
+    let engine = detectors.engine();
+
+    let images: Vec<Image> = (0..CORPUS_PER_CLASS as u64)
+        .flat_map(|i| [generator.benign(i), generator.attack(i)])
+        .collect();
+
+    // Correctness gate: the engine's shared-intermediate path must match
+    // the naive detectors exactly on every corpus image.
+    for image in &images {
+        assert_eq!(
+            engine.score(image).unwrap(),
+            cold_scores(&detectors, image),
+            "engine diverged from the naive detectors"
+        );
+    }
+
+    let repeats = 5;
+    // Per-detector cold latency, one detector at a time.
+    let per_detector_s = vec![
+        (
+            "scaling_mse",
+            time_pass(&images, repeats, |imgs| {
+                for img in imgs {
+                    let _ = detectors.scaling(MetricKind::Mse).score(img).unwrap();
+                }
+            }),
+        ),
+        (
+            "scaling_ssim",
+            time_pass(&images, repeats, |imgs| {
+                for img in imgs {
+                    let _ = detectors.scaling(MetricKind::Ssim).score(img).unwrap();
+                }
+            }),
+        ),
+        (
+            "filtering_mse",
+            time_pass(&images, repeats, |imgs| {
+                for img in imgs {
+                    let _ = detectors.filtering(MetricKind::Mse).score(img).unwrap();
+                }
+            }),
+        ),
+        (
+            "filtering_ssim",
+            time_pass(&images, repeats, |imgs| {
+                for img in imgs {
+                    let _ = detectors.filtering(MetricKind::Ssim).score(img).unwrap();
+                }
+            }),
+        ),
+        (
+            "steganalysis_csp",
+            time_pass(&images, repeats, |imgs| {
+                for img in imgs {
+                    let _ = detectors.steganalysis().score(img).unwrap();
+                }
+            }),
+        ),
+    ];
+
+    // All five scores per image: cold (five detectors) vs one engine pass.
+    let cold_s = time_pass(&images, repeats, |imgs| {
+        for img in imgs {
+            let _ = cold_scores(&detectors, img);
+        }
+    });
+    let engine_s = time_pass(&images, repeats, |imgs| {
+        for img in imgs {
+            let _ = engine.score(img).unwrap();
+        }
+    });
+
+    // The batch API regenerates images inside the fan-out, so time it via
+    // its own closures (generation cost excluded by pre-generating).
+    let threads = default_threads();
+    let benign: Vec<Image> = (0..CORPUS_PER_CLASS as u64).map(|i| generator.benign(i)).collect();
+    let attack: Vec<Image> = (0..CORPUS_PER_CLASS as u64).map(|i| generator.attack(i)).collect();
+    let batch_s = time_pass(&images, repeats, |_| {
+        let _ = engine
+            .score_corpus(
+                |i| benign[i as usize].clone(),
+                |i| attack[i as usize].clone(),
+                CORPUS_PER_CLASS,
+                threads,
+            )
+            .unwrap();
+    });
+
+    Throughput { corpus_images: images.len(), per_detector_s, cold_s, engine_s, batch_s, threads }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(c: &Criterion, t: &Throughput) {
+    let n = t.corpus_images as f64;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"detectors\",\n");
+    out.push_str(&format!(
+        "  \"corpus\": {{\"images\": {}, \"source_size\": \"128x128\", \"target_size\": \"32x32\"}},\n",
+        t.corpus_images
+    ));
+    out.push_str(&format!("  \"threads\": {},\n", t.threads));
+
+    out.push_str("  \"per_detector\": {\n");
+    for (i, (name, secs)) in t.per_detector_s.iter().enumerate() {
+        let comma = if i + 1 < t.per_detector_s.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{name}\": {{\"us_per_image\": {:.2}, \"images_per_sec\": {:.2}}}{comma}\n",
+            secs / n * 1e6,
+            n / secs
+        ));
+    }
+    out.push_str("  },\n");
+
+    out.push_str(&format!(
+        "  \"all_methods_cold\": {{\"us_per_image\": {:.2}, \"images_per_sec\": {:.2}}},\n",
+        t.cold_s / n * 1e6,
+        n / t.cold_s
+    ));
+    out.push_str(&format!(
+        "  \"engine\": {{\"us_per_image\": {:.2}, \"images_per_sec\": {:.2}}},\n",
+        t.engine_s / n * 1e6,
+        n / t.engine_s
+    ));
+    out.push_str(&format!(
+        "  \"engine_batch\": {{\"us_per_image\": {:.2}, \"images_per_sec\": {:.2}}},\n",
+        t.batch_s / n * 1e6,
+        n / t.batch_s
+    ));
+    out.push_str(&format!("  \"speedup_engine_vs_cold\": {:.2},\n", t.cold_s / t.engine_s));
+    out.push_str("  \"scores_bit_identical_to_naive_detectors\": true,\n");
+
+    out.push_str("  \"criterion\": [\n");
+    for (i, r) in c.results.iter().enumerate() {
+        let comma = if i + 1 < c.results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"label\": \"{}\", \"mean_us\": {:.3}, \"std_us\": {:.3}}}{comma}\n",
+            json_escape(&r.group),
+            json_escape(&r.label),
+            r.mean_ns / 1e3,
+            r.std_ns / 1e3
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detectors.json");
+    std::fs::write(&path, &out).expect("failed to write BENCH_detectors.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+
+    println!("-- throughput (64-image corpus, cold detectors vs engine) --");
+    let t = run_throughput();
+    let n = t.corpus_images as f64;
+    println!(
+        "cold detectors: {:.1} images/s | engine: {:.1} images/s | batch (threads={}): {:.1} images/s | speedup {:.2}x",
+        n / t.cold_s,
+        n / t.engine_s,
+        t.threads,
+        n / t.batch_s,
+        t.cold_s / t.engine_s
+    );
+    write_report(&c, &t);
+}

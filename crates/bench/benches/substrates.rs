@@ -56,9 +56,7 @@ fn bench_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics_448");
     group.sample_size(10);
     group.bench_function("mse", |b| b.iter(|| mse(&a, &b_img).unwrap()));
-    group.bench_function("ssim", |b| {
-        b.iter(|| ssim(&a, &b_img, &SsimConfig::default()).unwrap())
-    });
+    group.bench_function("ssim", |b| b.iter(|| ssim(&a, &b_img, &SsimConfig::default()).unwrap()));
     group.finish();
 }
 
@@ -76,8 +74,7 @@ fn bench_spectral(c: &mut Criterion) {
 }
 
 fn bench_dataset_generation(c: &mut Criterion) {
-    let generator =
-        SampleGenerator::new(DatasetProfile::neurips_like(), ScaleAlgorithm::Bilinear);
+    let generator = SampleGenerator::new(DatasetProfile::neurips_like(), ScaleAlgorithm::Bilinear);
     let mut group = c.benchmark_group("datasets");
     group.sample_size(10);
     group.bench_function("synthesize_448", |b| {

@@ -9,7 +9,8 @@
 //!
 //! The paper uses 1000 images per class; `--count` trades fidelity for
 //! speed (e.g. `--count 100` for a quick pass). Output is Markdown on
-//! stdout.
+//! stdout. The default worker count honours the `DECAM_THREADS`
+//! environment variable; `--threads` overrides both.
 
 use decamouflage_bench::experiments::{run_experiment, ABLATIONS, ALL_EXPERIMENTS};
 use decamouflage_bench::{ExperimentContext, HarnessConfig};
@@ -81,6 +82,8 @@ fn usage(error: &str) -> ExitCode {
     eprintln!(
         "usage: repro <experiment>... [--count N] [--threads N]\n       \
          repro all | ablations | list\n\n\
+         --threads defaults to DECAM_THREADS (if set) or the machine's \
+         available parallelism\n\n\
          paper artefacts: {}\nablations:       {}",
         ALL_EXPERIMENTS.join(", "),
         ABLATIONS.join(", ")

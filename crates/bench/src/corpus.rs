@@ -1,9 +1,10 @@
 //! Corpus construction and one-pass multi-detector scoring.
 
+use decamouflage_core::engine::EngineDetectors;
 use decamouflage_core::parallel::{default_threads, parallel_map_indices};
 use decamouflage_core::pipeline::ScoredCorpus;
 use decamouflage_core::{
-    Detector, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+    DetectionEngine, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
 };
 use decamouflage_datasets::{DatasetProfile, SampleGenerator};
 use decamouflage_imaging::scale::ScaleAlgorithm;
@@ -58,11 +59,8 @@ impl MixedAttackGenerator {
 /// `filtering/psnr` (Appendix A).
 #[derive(Debug)]
 pub struct DetectorSet {
-    scaling_mse: ScalingDetector,
-    scaling_ssim: ScalingDetector,
-    filtering_mse: FilteringDetector,
-    filtering_ssim: FilteringDetector,
-    steganalysis: SteganalysisDetector,
+    engine: DetectionEngine,
+    detectors: EngineDetectors,
 }
 
 /// Index of `scaling/mse` in a [`ScoreSet`].
@@ -101,58 +99,58 @@ impl DetectorSet {
     /// defender's round trip uses bilinear scaling (a deployment choice,
     /// independent of the attacker's algorithm).
     pub fn new(profile: &DatasetProfile) -> Self {
-        let target = profile.target_size;
-        Self {
-            scaling_mse: ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse),
-            scaling_ssim: ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Ssim),
-            filtering_mse: FilteringDetector::new(MetricKind::Mse),
-            filtering_ssim: FilteringDetector::new(MetricKind::Ssim),
-            steganalysis: SteganalysisDetector::for_target(target),
-        }
+        let engine = DetectionEngine::new(profile.target_size);
+        let detectors = engine.detectors();
+        Self { engine, detectors }
+    }
+
+    /// The shared-intermediate engine behind [`DetectorSet::score_all`].
+    pub fn engine(&self) -> &DetectionEngine {
+        &self.engine
     }
 
     /// The scaling detector with the given metric.
     pub fn scaling(&self, metric: MetricKind) -> &ScalingDetector {
         match metric {
-            MetricKind::Mse => &self.scaling_mse,
-            MetricKind::Ssim => &self.scaling_ssim,
+            MetricKind::Mse => &self.detectors.scaling_mse,
+            MetricKind::Ssim => &self.detectors.scaling_ssim,
         }
     }
 
     /// The filtering detector with the given metric.
     pub fn filtering(&self, metric: MetricKind) -> &FilteringDetector {
         match metric {
-            MetricKind::Mse => &self.filtering_mse,
-            MetricKind::Ssim => &self.filtering_ssim,
+            MetricKind::Mse => &self.detectors.filtering_mse,
+            MetricKind::Ssim => &self.detectors.filtering_ssim,
         }
     }
 
     /// The steganalysis detector.
     pub fn steganalysis(&self) -> &SteganalysisDetector {
-        &self.steganalysis
+        &self.detectors.steganalysis
     }
 
-    /// Scores one image with all scorers in `IDX_*` order. The PSNR and
-    /// colour-histogram scorers reuse the round-tripped / filtered images.
+    /// Scores one image with all scorers in `IDX_*` order, in one engine
+    /// pass: the five paper scorers come from
+    /// [`DetectionEngine::score_with_artifacts`] (bit-identical to the
+    /// individual detectors), and the PSNR / colour-histogram negative
+    /// results reuse the engine's round-tripped and filtered intermediates.
     pub fn score_all(&self, image: &Image) -> [f64; SCORER_COUNT] {
-        let round = self
-            .scaling_mse
-            .round_tripped(image)
-            .expect("round trip on generated images cannot fail");
-        let filtered = self
-            .filtering_mse
-            .filtered(image)
-            .expect("filtering on generated images cannot fail");
-        let ssim_cfg = decamouflage_metrics::SsimConfig::default();
+        let artifacts = self
+            .engine
+            .score_with_artifacts(image)
+            .expect("engine scoring on generated images cannot fail");
+        let round = &artifacts.round_tripped;
+        let filtered = &artifacts.filtered;
         [
-            decamouflage_metrics::mse(image, &round).expect("same shape"),
-            decamouflage_metrics::ssim(image, &round, &ssim_cfg).expect("same shape"),
-            decamouflage_metrics::mse(image, &filtered).expect("same shape"),
-            decamouflage_metrics::ssim(image, &filtered, &ssim_cfg).expect("same shape"),
-            self.steganalysis.score(image).expect("csp cannot fail"),
-            psnr(image, &round).expect("same shape"),
-            psnr(image, &filtered).expect("same shape"),
-            histogram_intersection(image, &round, 64).expect("same shape"),
+            artifacts.scores.scaling_mse,
+            artifacts.scores.scaling_ssim,
+            artifacts.scores.filtering_mse,
+            artifacts.scores.filtering_ssim,
+            artifacts.scores.csp,
+            psnr(image, round).expect("same shape"),
+            psnr(image, filtered).expect("same shape"),
+            histogram_intersection(image, round, 64).expect("same shape"),
         ]
     }
 }
@@ -238,30 +236,32 @@ impl ExperimentContext {
 
     /// Scores (or returns cached scores for) the training profile.
     pub fn train(&self) -> &ScoreSet {
-        self.train_scores
-            .get_or_init(|| score_profile(&self.train_profile, self.config))
+        self.train_scores.get_or_init(|| score_profile(&self.train_profile, self.config))
     }
 
     /// Scores (or returns cached scores for) the evaluation profile.
     pub fn eval(&self) -> &ScoreSet {
-        self.eval_scores
-            .get_or_init(|| score_profile(&self.eval_profile, self.config))
+        self.eval_scores.get_or_init(|| score_profile(&self.eval_profile, self.config))
     }
 }
 
-/// Scores a whole profile with every scorer in one pass per image.
+/// Scores a whole profile with every scorer in one pass per image. Benign
+/// and attack samples share a single `2 * count` fan-out over the worker
+/// pool, so the whole corpus is one batch.
 pub fn score_profile(profile: &DatasetProfile, config: HarnessConfig) -> ScoreSet {
     let detectors = DetectorSet::new(profile);
     let generator = MixedAttackGenerator::new(profile.clone());
 
-    let benign_rows: Vec<[f64; SCORER_COUNT]> =
-        parallel_map_indices(config.count, config.threads, |i| {
+    let count = config.count;
+    let mut rows = parallel_map_indices(2 * count, config.threads, |i| {
+        if i < count {
             detectors.score_all(&generator.benign(i as u64))
-        });
-    let attack_rows: Vec<[f64; SCORER_COUNT]> =
-        parallel_map_indices(config.count, config.threads, |i| {
-            detectors.score_all(&generator.attack(i as u64))
-        });
+        } else {
+            detectors.score_all(&generator.attack((i - count) as u64))
+        }
+    });
+    let attack_rows: Vec<[f64; SCORER_COUNT]> = rows.split_off(count);
+    let benign_rows: Vec<[f64; SCORER_COUNT]> = rows;
 
     let corpora = (0..SCORER_COUNT)
         .map(|idx| ScoredCorpus {
@@ -310,10 +310,7 @@ mod tests {
         let mse = scores.of(IDX_SCALING_MSE);
         let worst_benign = mse.benign.iter().cloned().fold(f64::MIN, f64::max);
         let best_attack = mse.attack.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            best_attack > worst_benign,
-            "benign max {worst_benign}, attack min {best_attack}"
-        );
+        assert!(best_attack > worst_benign, "benign max {worst_benign}, attack min {best_attack}");
     }
 
     #[test]

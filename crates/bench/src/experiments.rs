@@ -2,9 +2,8 @@
 //! the `repro` binary prints (and that `EXPERIMENTS.md` records).
 
 use crate::corpus::{
-    ExperimentContext, IDX_COLORHIST, IDX_FILTERING_MSE,
-    IDX_FILTERING_PSNR, IDX_FILTERING_SSIM, IDX_SCALING_MSE, IDX_SCALING_PSNR, IDX_SCALING_SSIM,
-    IDX_STEGANALYSIS,
+    ExperimentContext, IDX_COLORHIST, IDX_FILTERING_MSE, IDX_FILTERING_PSNR, IDX_FILTERING_SSIM,
+    IDX_SCALING_MSE, IDX_SCALING_PSNR, IDX_SCALING_SSIM, IDX_STEGANALYSIS,
 };
 use decamouflage_core::pipeline::{
     evaluate_ensemble, evaluate_threshold, run_blackbox, run_whitebox,
@@ -18,8 +17,24 @@ use decamouflage_metrics::{Histogram, SampleSummary};
 
 /// All experiment identifiers, in presentation order.
 pub const ALL_EXPERIMENTS: [&str; 18] = [
-    "table1", "fig4", "fig7", "fig8", "table2", "fig9", "table3", "fig10", "table4", "fig11",
-    "table5", "fig12", "table6", "table7", "table8", "fig15", "fig16", "ablate-colorhist",
+    "table1",
+    "fig4",
+    "fig7",
+    "fig8",
+    "table2",
+    "fig9",
+    "table3",
+    "fig10",
+    "table4",
+    "fig11",
+    "table5",
+    "fig12",
+    "table6",
+    "table7",
+    "table8",
+    "fig15",
+    "fig16",
+    "ablate-colorhist",
 ];
 
 /// Extended (non-paper-table) ablations, runnable individually or via
@@ -157,9 +172,8 @@ pub fn table1() -> String {
 /// Figure 7 — the white-box threshold-search traces for the scaling method.
 fn fig7(ctx: &ExperimentContext) -> Result<String, decamouflage_core::DetectError> {
     let train = ctx.train();
-    let mut out = String::from(
-        "## Figure 7 — threshold search traces, scaling detection (white-box)\n\n",
-    );
+    let mut out =
+        String::from("## Figure 7 — threshold search traces, scaling detection (white-box)\n\n");
     for (idx, direction, label) in [
         (IDX_SCALING_MSE, Direction::AboveIsAttack, "MSE"),
         (IDX_SCALING_SSIM, Direction::BelowIsAttack, "SSIM"),
@@ -217,10 +231,9 @@ fn benign_distribution_figure(
 ) -> Result<String, decamouflage_core::DetectError> {
     let train = ctx.train();
     let mut out = format!("## {title}\n");
-    for (idx, direction, label) in [
-        (idx_mse, Direction::AboveIsAttack, "MSE"),
-        (idx_ssim, Direction::BelowIsAttack, "SSIM"),
-    ] {
+    for (idx, direction, label) in
+        [(idx_mse, Direction::AboveIsAttack, "MSE"), (idx_ssim, Direction::BelowIsAttack, "SSIM")]
+    {
         let corpus = train.of(idx);
         let summary = corpus.benign_summary()?;
         out.push_str(&format!(
@@ -231,15 +244,9 @@ fn benign_distribution_figure(
         out.push_str(&render_hist(&corpus.benign, 20));
         out.push_str("```\n");
         for tail in [1.0, 2.0, 3.0] {
-            let t = decamouflage_core::threshold::percentile_blackbox(
-                &corpus.benign,
-                tail,
-                direction,
-            )?;
-            out.push_str(&format!(
-                "- {tail}% percentile threshold: {}\n",
-                number(t.value())
-            ));
+            let t =
+                decamouflage_core::threshold::percentile_blackbox(&corpus.benign, tail, direction)?;
+            out.push_str(&format!("- {tail}% percentile threshold: {}\n", number(t.value())));
         }
     }
     Ok(out)
@@ -259,13 +266,11 @@ fn whitebox_table(
     idx_mse: usize,
     idx_ssim: usize,
 ) -> Result<String, decamouflage_core::DetectError> {
-    let mut t = MarkdownTable::new(vec![
-        "Metric", "Acc.", "Prec.", "Rec.", "FAR", "FRR", "Threshold",
-    ]);
-    for (idx, direction, label) in [
-        (idx_mse, Direction::AboveIsAttack, "MSE"),
-        (idx_ssim, Direction::BelowIsAttack, "SSIM"),
-    ] {
+    let mut t =
+        MarkdownTable::new(vec!["Metric", "Acc.", "Prec.", "Rec.", "FAR", "FRR", "Threshold"]);
+    for (idx, direction, label) in
+        [(idx_mse, Direction::AboveIsAttack, "MSE"), (idx_ssim, Direction::BelowIsAttack, "SSIM")]
+    {
         let out = run_whitebox(ctx.train().of(idx), ctx.eval().of(idx), direction)?;
         let mut row = metrics_row(label, &out.eval);
         row.push(number(out.threshold.value()));
@@ -285,12 +290,19 @@ fn blackbox_table(
     idx_ssim: usize,
 ) -> Result<String, decamouflage_core::DetectError> {
     let mut t = MarkdownTable::new(vec![
-        "Metric", "Percentile", "Acc.", "Prec.", "Rec.", "FAR", "FRR", "Mean", "STD",
+        "Metric",
+        "Percentile",
+        "Acc.",
+        "Prec.",
+        "Rec.",
+        "FAR",
+        "FRR",
+        "Mean",
+        "STD",
     ]);
-    for (idx, direction, label) in [
-        (idx_mse, Direction::AboveIsAttack, "MSE"),
-        (idx_ssim, Direction::BelowIsAttack, "SSIM"),
-    ] {
+    for (idx, direction, label) in
+        [(idx_mse, Direction::AboveIsAttack, "MSE"), (idx_ssim, Direction::BelowIsAttack, "SSIM")]
+    {
         let train = ctx.train().of(idx);
         let summary = train.benign_summary()?;
         for tail in [1.0, 2.0, 3.0] {
@@ -313,12 +325,8 @@ fn fig12(ctx: &ExperimentContext) -> String {
     let corpus = ctx.train().of(IDX_STEGANALYSIS);
     let count_of = |scores: &[f64], v: f64| scores.iter().filter(|&&s| s == v).count();
     let mut t = MarkdownTable::new(vec!["CSP count", "benign images", "attack images"]);
-    let max_csp = corpus
-        .benign
-        .iter()
-        .chain(corpus.attack.iter())
-        .cloned()
-        .fold(0.0f64, f64::max) as usize;
+    let max_csp =
+        corpus.benign.iter().chain(corpus.attack.iter()).cloned().fold(0.0f64, f64::max) as usize;
     for v in 0..=max_csp.min(12) {
         t.push_row(vec![
             v.to_string(),
@@ -327,8 +335,8 @@ fn fig12(ctx: &ExperimentContext) -> String {
         ]);
     }
     let single_benign = count_of(&corpus.benign, 1.0) as f64 / corpus.benign.len() as f64;
-    let multi_attack = corpus.attack.iter().filter(|&&s| s >= 2.0).count() as f64
-        / corpus.attack.len() as f64;
+    let multi_attack =
+        corpus.attack.iter().filter(|&&s| s >= 2.0).count() as f64 / corpus.attack.len() as f64;
     format!(
         "## Figure 12 — CSP distributions (white-box, training profile)\n\n{t}\n\
          {} of benign images have exactly 1 CSP; {} of attack images have >= 2.\n",
@@ -492,11 +500,7 @@ fn ablate_robust_scaler(ctx: &ExperimentContext) -> String {
         "visually stealthy",
         "mean perturbation MSE",
     ]);
-    for algo in [
-        ScaleAlgorithm::Nearest,
-        ScaleAlgorithm::Bilinear,
-        ScaleAlgorithm::Area,
-    ] {
+    for algo in [ScaleAlgorithm::Nearest, ScaleAlgorithm::Bilinear, ScaleAlgorithm::Area] {
         let g = SampleGenerator::new(ctx.train_profile.clone(), algo);
         let mut success = 0usize;
         let mut hits_target = 0usize;
@@ -611,14 +615,10 @@ fn ablate_adaptive(ctx: &ExperimentContext) -> Result<String, decamouflage_core:
                 .expect("jitter parameters are valid");
             let votes = [
                 scaling_t.is_attack(
-                    detectors
-                        .scaling(decamouflage_core::MetricKind::Mse)
-                        .score(&image)?,
+                    detectors.scaling(decamouflage_core::MetricKind::Mse).score(&image)?,
                 ),
                 filtering_t.is_attack(
-                    detectors
-                        .filtering(decamouflage_core::MetricKind::Ssim)
-                        .score(&image)?,
+                    detectors.filtering(decamouflage_core::MetricKind::Ssim).score(&image)?,
                 ),
                 stego_t.is_attack(detectors.steganalysis().score(&image)?),
             ];
@@ -811,11 +811,7 @@ fn ablate_csp_sensitivity(ctx: &ExperimentContext) -> String {
             frr += usize::from(rule.is_attack(det.score(&g.benign(i)).expect("csp works")));
             caught += usize::from(rule.is_attack(det.score(&g.attack(i)).expect("csp works")));
         }
-        t.push_row(vec![
-            format!("{thr}"),
-            format!("{frr}/{count}"),
-            format!("{caught}/{count}"),
-        ]);
+        t.push_row(vec![format!("{thr}"), format!("{frr}/{count}"), format!("{caught}/{count}")]);
     }
     format!(
         "## Ablation — CSP binarisation-threshold sensitivity\n\n\
@@ -894,9 +890,8 @@ pub fn fig4(ctx: &ExperimentContext) -> String {
             let scaler = g.scaler(i);
             // Compress the target's contrast and shift it relative to the
             // host image's mean to construct the regime.
-            let target = g
-                .target(i)
-                .map(|v| (v * 0.4 + original.mean_sample() + shift).clamp(0.0, 255.0));
+            let target =
+                g.target(i).map(|v| (v * 0.4 + original.mean_sample() + shift).clamp(0.0, 255.0));
             let attack = decamouflage_attack::craft_attack(
                 &original,
                 &target,
@@ -978,19 +973,16 @@ pub fn table9_missed(ctx: &ExperimentContext) -> Result<String, decamouflage_cor
             let original = g.benign(i);
             let full_target = g.target(i);
             let scaler = g.scaler(i);
-            let weak = blend_target(&original, &full_target, &scaler, alpha)
-                .map_err(|e| decamouflage_core::DetectError::InvalidConfig {
-                    message: e.to_string(),
-                })?;
+            let weak = blend_target(&original, &full_target, &scaler, alpha).map_err(|e| {
+                decamouflage_core::DetectError::InvalidConfig { message: e.to_string() }
+            })?;
             let crafted = craft_attack(&original, &weak, &scaler, &AttackConfig::default())
                 .map_err(|e| decamouflage_core::DetectError::InvalidConfig {
                     message: e.to_string(),
                 })?;
             let votes = [
                 scaling_t.is_attack(
-                    detectors
-                        .scaling(decamouflage_core::MetricKind::Mse)
-                        .score(&crafted.image)?,
+                    detectors.scaling(decamouflage_core::MetricKind::Mse).score(&crafted.image)?,
                 ),
                 filtering_t.is_attack(
                     detectors
@@ -1146,23 +1138,24 @@ pub fn ablate_backdoor(ctx: &ExperimentContext) -> Result<String, decamouflage_c
         let model_view = g.scaler(i).apply(&poison)?;
         payload_confirmed += usize::from(trigger.is_present(&model_view));
         let votes = [
-            scaling_t.is_attack(
-                detectors
-                    .scaling(decamouflage_core::MetricKind::Mse)
-                    .score(&poison)?,
-            ),
+            scaling_t
+                .is_attack(detectors.scaling(decamouflage_core::MetricKind::Mse).score(&poison)?),
             filtering_t.is_attack(
-                detectors
-                    .filtering(decamouflage_core::MetricKind::Ssim)
-                    .score(&poison)?,
+                detectors.filtering(decamouflage_core::MetricKind::Ssim).score(&poison)?,
             ),
             stego_t.is_attack(detectors.steganalysis().score(&poison)?),
         ];
         quarantined += usize::from(votes.iter().filter(|&&v| v).count() >= 2);
     }
     let mut t = MarkdownTable::new(vec!["Quantity", "Count"]);
-    t.push_row(vec!["poison samples with a working trigger payload".into(), format!("{payload_confirmed}/{count}")]);
-    t.push_row(vec!["poison samples quarantined by the ensemble".into(), format!("{quarantined}/{count}")]);
+    t.push_row(vec![
+        "poison samples with a working trigger payload".into(),
+        format!("{payload_confirmed}/{count}"),
+    ]);
+    t.push_row(vec![
+        "poison samples quarantined by the ensemble".into(),
+        format!("{quarantined}/{count}"),
+    ]);
     Ok(format!(
         "## Ablation — backdoor-poison triage (§2.2 scenario at corpus scale)\n\n\
          Trigger-stamped victim images are camouflaged inside benign-looking originals and run \

@@ -1,0 +1,480 @@
+//! Shared-intermediate batch detection engine.
+//!
+//! Scoring one image with the three detection methods independently
+//! recomputes everything from scratch: the scaling detectors build four
+//! resampling plans and run two round trips, each SSIM evaluation blurs the
+//! *input* image again, and the steganalysis detector materialises four
+//! intermediate spectrum images. [`DetectionEngine`] scores an image with
+//! all methods in one pass and shares the intermediates instead:
+//!
+//! * one round trip through cached resampling plans
+//!   ([`ScalerCache`]) serves both scaling metrics,
+//! * one rank-filter pass serves both filtering metrics,
+//! * one [`SsimReference`] (precomputed `blur(I)`, `blur(I²)`) serves the
+//!   scaling *and* filtering SSIM scores, with the blurs on the fast
+//!   scratch-buffer convolution path,
+//! * the CSP count runs on the planned-DFT fused pipeline
+//!   ([`count_csp_planned`]) without intermediate spectrum images.
+//!
+//! Every shared path is bit-identical to its staged counterpart, so engine
+//! scores equal the individual [`Detector`](crate::Detector)
+//! implementations exactly — asserted by the tests in this module and the
+//! crate's property tests. The naive detectors stay as the reference
+//! implementation (and the honest cold baseline for the benchmark suite).
+
+use crate::detector::MetricKind;
+use crate::ensemble::EnsembleDecision;
+use crate::filtering::FilteringDetector;
+use crate::parallel::parallel_map_indices;
+use crate::scaling::ScalingDetector;
+use crate::steganalysis::SteganalysisDetector;
+use crate::threshold::Threshold;
+use crate::DetectError;
+use decamouflage_imaging::filter::{rank_filter, RankKind};
+use decamouflage_imaging::scale::{ScaleAlgorithm, ScalerCache};
+use decamouflage_imaging::{Image, Size};
+use decamouflage_metrics::{mse, SsimConfig, SsimReference};
+use decamouflage_spectral::csp::{count_csp_planned, CspConfig};
+
+/// The five per-image scores the engine produces, one per
+/// `(method, metric)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineScores {
+    /// Scaling detection, MSE metric (`mse(I, roundtrip(I))`).
+    pub scaling_mse: f64,
+    /// Scaling detection, SSIM metric.
+    pub scaling_ssim: f64,
+    /// Filtering detection, MSE metric (`mse(I, minfilter(I))`).
+    pub filtering_mse: f64,
+    /// Filtering detection, SSIM metric.
+    pub filtering_ssim: f64,
+    /// Steganalysis: centered-spectrum-point count.
+    pub csp: f64,
+}
+
+impl EngineScores {
+    /// The score for one `(method, metric)` pair, with `metric` selecting
+    /// between the MSE and SSIM variants of the scaling score.
+    pub fn scaling(&self, metric: MetricKind) -> f64 {
+        match metric {
+            MetricKind::Mse => self.scaling_mse,
+            MetricKind::Ssim => self.scaling_ssim,
+        }
+    }
+
+    /// The filtering score under `metric`.
+    pub fn filtering(&self, metric: MetricKind) -> f64 {
+        match metric {
+            MetricKind::Mse => self.filtering_mse,
+            MetricKind::Ssim => self.filtering_ssim,
+        }
+    }
+}
+
+/// Scores plus the shared intermediate images, for callers that feed
+/// additional scorers (PSNR, colour histograms, …) from the same round
+/// trip.
+#[derive(Debug, Clone)]
+pub struct EngineArtifacts {
+    /// The image downscaled to the CNN input size.
+    pub downscaled: Image,
+    /// The round-tripped image `upscale(downscale(I))`.
+    pub round_tripped: Image,
+    /// The rank-filtered image.
+    pub filtered: Image,
+    /// The five engine scores.
+    pub scores: EngineScores,
+}
+
+/// Engine scores for a full benign + attack corpus.
+#[derive(Debug, Clone)]
+pub struct EngineCorpus {
+    /// Scores of the benign samples, in index order.
+    pub benign: Vec<EngineScores>,
+    /// Scores of the attack samples, in index order.
+    pub attack: Vec<EngineScores>,
+}
+
+/// The naive single-method detectors equivalent to one engine
+/// configuration. Scoring with any of them matches the corresponding
+/// [`EngineScores`] field exactly.
+#[derive(Debug, Clone)]
+pub struct EngineDetectors {
+    /// Scaling detection with the MSE metric.
+    pub scaling_mse: ScalingDetector,
+    /// Scaling detection with the SSIM metric.
+    pub scaling_ssim: ScalingDetector,
+    /// Filtering detection with the MSE metric.
+    pub filtering_mse: FilteringDetector,
+    /// Filtering detection with the SSIM metric.
+    pub filtering_ssim: FilteringDetector,
+    /// Steganalysis (CSP counting).
+    pub steganalysis: SteganalysisDetector,
+}
+
+/// Calibrated thresholds for [`DetectionEngine::decide`]: one method each,
+/// with the metric choice for the scaling and filtering members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineThresholds {
+    /// Metric of the scaling member.
+    pub scaling_metric: MetricKind,
+    /// Threshold of the scaling member.
+    pub scaling: Threshold,
+    /// Metric of the filtering member.
+    pub filtering_metric: MetricKind,
+    /// Threshold of the filtering member.
+    pub filtering: Threshold,
+    /// Threshold of the steganalysis member (the paper's `CSP_T = 2`).
+    pub steganalysis: Threshold,
+}
+
+/// Scores one image with all three detection methods while sharing
+/// intermediates (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_core::DetectionEngine;
+/// use decamouflage_imaging::{Image, Size};
+///
+/// # fn main() -> Result<(), decamouflage_core::DetectError> {
+/// let engine = DetectionEngine::new(Size::square(16));
+/// let image = Image::from_fn_gray(64, 64, |x, y| (((x + y) * 2) % 200) as f64 + 20.0);
+/// let scores = engine.score(&image)?;
+/// assert!(scores.csp >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectionEngine {
+    target: Size,
+    algorithm: ScaleAlgorithm,
+    ssim_config: SsimConfig,
+    filter_window: usize,
+    filter_rank: RankKind,
+    csp_config: CspConfig,
+}
+
+impl DetectionEngine {
+    /// Creates an engine with the reproduction's standard configuration for
+    /// a CNN input size: a bilinear defender round trip, the default SSIM
+    /// window, the paper's 2×2 minimum filter and the target-tuned CSP
+    /// configuration of [`SteganalysisDetector::for_target`].
+    pub fn new(target: Size) -> Self {
+        Self {
+            target,
+            algorithm: ScaleAlgorithm::Bilinear,
+            ssim_config: SsimConfig::default(),
+            filter_window: 2,
+            filter_rank: RankKind::Minimum,
+            csp_config: SteganalysisDetector::for_target(target).config().clone(),
+        }
+    }
+
+    /// Overrides the round-trip scaling algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: ScaleAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the SSIM parameters.
+    #[must_use]
+    pub fn with_ssim_config(mut self, config: SsimConfig) -> Self {
+        self.ssim_config = config;
+        self
+    }
+
+    /// Overrides the rank-filter window and kind.
+    #[must_use]
+    pub fn with_filter(mut self, window: usize, rank: RankKind) -> Self {
+        self.filter_window = window;
+        self.filter_rank = rank;
+        self
+    }
+
+    /// Overrides the CSP configuration.
+    #[must_use]
+    pub fn with_csp_config(mut self, config: CspConfig) -> Self {
+        self.csp_config = config;
+        self
+    }
+
+    /// The CNN input size the round trip passes through.
+    pub const fn target(&self) -> Size {
+        self.target
+    }
+
+    /// The round-trip scaling algorithm.
+    pub const fn algorithm(&self) -> ScaleAlgorithm {
+        self.algorithm
+    }
+
+    /// The equivalent naive detectors for this configuration, for threshold
+    /// calibration, ensembles over `dyn Detector` and equality testing.
+    pub fn detectors(&self) -> EngineDetectors {
+        EngineDetectors {
+            scaling_mse: ScalingDetector::new(self.target, self.algorithm, MetricKind::Mse)
+                .with_ssim_config(self.ssim_config.clone()),
+            scaling_ssim: ScalingDetector::new(self.target, self.algorithm, MetricKind::Ssim)
+                .with_ssim_config(self.ssim_config.clone()),
+            filtering_mse: FilteringDetector::new(MetricKind::Mse)
+                .with_window(self.filter_window)
+                .with_rank(self.filter_rank)
+                .with_ssim_config(self.ssim_config.clone()),
+            filtering_ssim: FilteringDetector::new(MetricKind::Ssim)
+                .with_window(self.filter_window)
+                .with_rank(self.filter_rank)
+                .with_ssim_config(self.ssim_config.clone()),
+            steganalysis: SteganalysisDetector::with_config(self.csp_config.clone()),
+        }
+    }
+
+    /// Scores `image` with all three methods, returning the shared
+    /// intermediates alongside the scores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates imaging and metric failures ([`DetectError::Imaging`] /
+    /// [`DetectError::Metric`]).
+    pub fn score_with_artifacts(&self, image: &Image) -> Result<EngineArtifacts, DetectError> {
+        let cache = ScalerCache::global();
+        let src = image.size();
+        // One round trip through cached plans; `downscaled` is computed
+        // once and reused for the upscale leg.
+        let downscaled = cache.get(src, self.target, self.algorithm)?.apply(image)?;
+        let round_tripped = cache.get(self.target, src, self.algorithm)?.apply(&downscaled)?;
+        let scaling_mse = mse(image, &round_tripped)?;
+
+        // One reference-side SSIM precomputation serves both comparisons.
+        let reference = SsimReference::new(image, &self.ssim_config)?;
+        let scaling_ssim = reference.score_against(&round_tripped)?;
+
+        let filtered = rank_filter(image, self.filter_window, self.filter_rank)?;
+        let filtering_mse = mse(image, &filtered)?;
+        let filtering_ssim = reference.score_against(&filtered)?;
+
+        let csp = count_csp_planned(image, &self.csp_config).count as f64;
+
+        Ok(EngineArtifacts {
+            downscaled,
+            round_tripped,
+            filtered,
+            scores: EngineScores { scaling_mse, scaling_ssim, filtering_mse, filtering_ssim, csp },
+        })
+    }
+
+    /// Scores `image` with all three methods.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DetectionEngine::score_with_artifacts`].
+    pub fn score(&self, image: &Image) -> Result<EngineScores, DetectError> {
+        Ok(self.score_with_artifacts(image)?.scores)
+    }
+
+    /// Majority vote over the three methods, scored in one engine pass.
+    /// The decision (member names included) matches an
+    /// [`Ensemble`](crate::Ensemble) built from [`DetectionEngine::detectors`]
+    /// with the same thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DetectionEngine::score_with_artifacts`].
+    pub fn decide(
+        &self,
+        image: &Image,
+        thresholds: &EngineThresholds,
+    ) -> Result<EnsembleDecision, DetectError> {
+        let scores = self.score(image)?;
+        let votes = vec![
+            (
+                format!("scaling/{}", thresholds.scaling_metric),
+                thresholds.scaling.is_attack(scores.scaling(thresholds.scaling_metric)),
+            ),
+            (
+                format!("filtering/{}", thresholds.filtering_metric),
+                thresholds.filtering.is_attack(scores.filtering(thresholds.filtering_metric)),
+            ),
+            ("steganalysis/csp".to_string(), thresholds.steganalysis.is_attack(scores.csp)),
+        ];
+        let attack_votes = votes.iter().filter(|(_, vote)| *vote).count();
+        Ok(EnsembleDecision { votes, is_attack: 2 * attack_votes > 3 })
+    }
+
+    /// Scores `count` benign and `count` attack images in a single
+    /// `2 * count` fan-out over the worker pool (benign indices first), so
+    /// both halves of the corpus share one batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first scoring failure in index order (all benign
+    /// indices before all attack indices).
+    pub fn score_corpus(
+        &self,
+        benign_of: impl Fn(u64) -> Image + Sync,
+        attack_of: impl Fn(u64) -> Image + Sync,
+        count: usize,
+        threads: usize,
+    ) -> Result<EngineCorpus, DetectError> {
+        let results = parallel_map_indices(2 * count, threads, |i| {
+            if i < count {
+                self.score(&benign_of(i as u64))
+            } else {
+                self.score(&attack_of((i - count) as u64))
+            }
+        });
+        let mut benign = Vec::with_capacity(count);
+        let mut attack = Vec::with_capacity(count);
+        for (i, result) in results.into_iter().enumerate() {
+            let scores = result?;
+            if i < count {
+                benign.push(scores);
+            } else {
+                attack.push(scores);
+            }
+        }
+        Ok(EngineCorpus { benign, attack })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::Ensemble;
+    use crate::threshold::Direction;
+    use crate::Detector;
+    use decamouflage_attack::{craft_attack, AttackConfig};
+    use decamouflage_imaging::scale::Scaler;
+
+    fn smooth(n: usize) -> Image {
+        Image::from_fn_gray(n, n, |x, y| {
+            (128.0 + 60.0 * ((x as f64) * 0.06).sin() + 40.0 * ((y as f64) * 0.045).cos()).round()
+        })
+    }
+
+    fn smooth_rgb(n: usize) -> Image {
+        Image::from_fn_rgb(n, n, |x, y| {
+            let v = 128.0 + 60.0 * ((x as f64) * 0.06).sin();
+            [v, (v * 0.8 + (y as f64)).min(255.0), 255.0 - v]
+        })
+    }
+
+    fn attack_image(src: usize, dst: usize) -> Image {
+        let scaler =
+            Scaler::new(Size::square(src), Size::square(dst), ScaleAlgorithm::Bilinear).unwrap();
+        let target = Image::from_fn_gray(dst, dst, |x, y| ((x * 83 + y * 47) % 256) as f64);
+        craft_attack(&smooth(src), &target, &scaler, &AttackConfig::default()).unwrap().image
+    }
+
+    #[test]
+    fn engine_scores_match_naive_detectors_exactly() {
+        let engine = DetectionEngine::new(Size::square(16));
+        let detectors = engine.detectors();
+        for image in [smooth(64), attack_image(64, 16), smooth_rgb(48)] {
+            let scores = engine.score(&image).unwrap();
+            assert_eq!(scores.scaling_mse, detectors.scaling_mse.score(&image).unwrap());
+            assert_eq!(scores.scaling_ssim, detectors.scaling_ssim.score(&image).unwrap());
+            assert_eq!(scores.filtering_mse, detectors.filtering_mse.score(&image).unwrap());
+            assert_eq!(scores.filtering_ssim, detectors.filtering_ssim.score(&image).unwrap());
+            assert_eq!(scores.csp, detectors.steganalysis.score(&image).unwrap());
+        }
+    }
+
+    #[test]
+    fn artifacts_match_detector_intermediates() {
+        let engine = DetectionEngine::new(Size::square(16));
+        let detectors = engine.detectors();
+        let image = smooth(48);
+        let artifacts = engine.score_with_artifacts(&image).unwrap();
+        assert_eq!(
+            artifacts.round_tripped.as_slice(),
+            detectors.scaling_mse.round_tripped(&image).unwrap().as_slice()
+        );
+        assert_eq!(
+            artifacts.filtered.as_slice(),
+            detectors.filtering_mse.filtered(&image).unwrap().as_slice()
+        );
+        assert_eq!(artifacts.downscaled.size(), Size::square(16));
+    }
+
+    #[test]
+    fn engine_separates_benign_from_attack() {
+        let engine = DetectionEngine::new(Size::square(16));
+        let benign = engine.score(&smooth(64)).unwrap();
+        let attack = engine.score(&attack_image(64, 16)).unwrap();
+        assert!(attack.scaling_mse > benign.scaling_mse * 10.0);
+        assert!(attack.scaling_ssim < benign.scaling_ssim);
+        assert!(attack.csp >= 2.0, "attack CSP = {}", attack.csp);
+    }
+
+    #[test]
+    fn score_corpus_matches_individual_scoring() {
+        let engine = DetectionEngine::new(Size::square(8));
+        let benign_of = |i: u64| smooth(24 + (i as usize % 3) * 4);
+        let attack_of = |i: u64| smooth(32 + (i as usize % 2) * 8).map(|v| 255.0 - v);
+        let corpus = engine.score_corpus(benign_of, attack_of, 4, 4).unwrap();
+        assert_eq!(corpus.benign.len(), 4);
+        assert_eq!(corpus.attack.len(), 4);
+        for i in 0..4u64 {
+            assert_eq!(corpus.benign[i as usize], engine.score(&benign_of(i)).unwrap());
+            assert_eq!(corpus.attack[i as usize], engine.score(&attack_of(i)).unwrap());
+        }
+    }
+
+    #[test]
+    fn score_corpus_propagates_configuration_errors() {
+        let mut bad_ssim = SsimConfig::default();
+        bad_ssim.sigma = 0.0;
+        let engine = DetectionEngine::new(Size::square(8)).with_ssim_config(bad_ssim);
+        let result = engine.score_corpus(|_| smooth(24), |_| smooth(24), 2, 2);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn decide_matches_equivalent_ensemble() {
+        let engine = DetectionEngine::new(Size::square(16));
+        let detectors = engine.detectors();
+        let thresholds = EngineThresholds {
+            scaling_metric: MetricKind::Mse,
+            scaling: Threshold::new(200.0, Direction::AboveIsAttack),
+            filtering_metric: MetricKind::Ssim,
+            filtering: Threshold::new(0.6, Direction::BelowIsAttack),
+            steganalysis: SteganalysisDetector::universal_threshold(),
+        };
+        let ensemble = Ensemble::new()
+            .with_member(detectors.scaling_mse.clone(), thresholds.scaling)
+            .with_member(detectors.filtering_ssim.clone(), thresholds.filtering)
+            .with_member(detectors.steganalysis.clone(), thresholds.steganalysis);
+        for image in [smooth(64), attack_image(64, 16)] {
+            assert_eq!(
+                engine.decide(&image, &thresholds).unwrap(),
+                ensemble.decide(&image).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn builders_propagate_into_detectors() {
+        let mut csp = CspConfig::default();
+        csp.binarize_threshold = 0.5;
+        let mut ssim = SsimConfig::default();
+        ssim.radius = 3;
+        let engine = DetectionEngine::new(Size::square(8))
+            .with_algorithm(ScaleAlgorithm::Nearest)
+            .with_ssim_config(ssim)
+            .with_filter(3, RankKind::Median)
+            .with_csp_config(csp.clone());
+        assert_eq!(engine.algorithm(), ScaleAlgorithm::Nearest);
+        assert_eq!(engine.target(), Size::square(8));
+        let detectors = engine.detectors();
+        assert_eq!(detectors.steganalysis.config(), &csp);
+        assert_eq!(detectors.filtering_mse.window(), 3);
+        // Scores still agree under the customised configuration.
+        let image = smooth(32);
+        let scores = engine.score(&image).unwrap();
+        assert_eq!(scores.scaling_mse, detectors.scaling_mse.score(&image).unwrap());
+        assert_eq!(scores.filtering_ssim, detectors.filtering_ssim.score(&image).unwrap());
+        assert_eq!(scores.csp, detectors.steganalysis.score(&image).unwrap());
+    }
+}

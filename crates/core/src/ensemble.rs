@@ -109,9 +109,7 @@ impl Ensemble {
     /// propagates the first member failure.
     pub fn decide(&self, image: &Image) -> Result<EnsembleDecision, DetectError> {
         if self.members.is_empty() {
-            return Err(DetectError::InvalidConfig {
-                message: "ensemble has no members".into(),
-            });
+            return Err(DetectError::InvalidConfig { message: "ensemble has no members".into() });
         }
         let mut votes = Vec::with_capacity(self.members.len());
         let mut attack_votes = 0usize;
@@ -232,7 +230,10 @@ mod tests {
     #[test]
     fn below_direction_members_vote_correctly() {
         let e = Ensemble::new()
-            .with_member(FixedScore(0.3, "ssim-like"), Threshold::new(0.5, Direction::BelowIsAttack))
+            .with_member(
+                FixedScore(0.3, "ssim-like"),
+                Threshold::new(0.5, Direction::BelowIsAttack),
+            )
             .with_member(FixedScore(9.0, "mse-like"), above(5.0))
             .with_member(FixedScore(1.0, "csp-like"), above(2.0));
         // Votes: attack, attack, benign -> attack.

@@ -128,9 +128,8 @@ mod tests {
     #[test]
     fn always_benign_classifier() {
         // 2 attacks + 2 benign, everything accepted.
-        let m =
-            evaluate_decisions([(true, false), (true, false), (false, false), (false, false)])
-                .unwrap();
+        let m = evaluate_decisions([(true, false), (true, false), (false, false), (false, false)])
+            .unwrap();
         assert_eq!(m.accuracy, 0.5);
         assert_eq!(m.precision, 0.0);
         assert_eq!(m.recall, 0.0);

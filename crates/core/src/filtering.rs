@@ -115,9 +115,7 @@ mod tests {
         let scaler =
             Scaler::new(Size::square(src), Size::square(dst), ScaleAlgorithm::Bilinear).unwrap();
         let target = Image::from_fn_gray(dst, dst, |x, y| ((x * 83 + y * 47) % 256) as f64);
-        craft_attack(&smooth(src), &target, &scaler, &AttackConfig::default())
-            .unwrap()
-            .image
+        craft_attack(&smooth(src), &target, &scaler, &AttackConfig::default()).unwrap().image
     }
 
     #[test]

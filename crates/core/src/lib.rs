@@ -35,7 +35,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool in `parallel` carries one
+// documented `#[allow(unsafe_code)]` for its scoped-job lifetime erasure.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod detector;
@@ -43,6 +45,7 @@ mod error;
 
 pub mod calibrate;
 pub mod config;
+pub mod engine;
 pub mod ensemble;
 pub mod eval;
 pub mod filtering;
@@ -60,6 +63,7 @@ pub mod threshold;
 
 pub use config::ModelInputSize;
 pub use detector::{Detector, MetricKind};
+pub use engine::{DetectionEngine, EngineArtifacts, EngineCorpus, EngineScores};
 pub use ensemble::Ensemble;
 pub use error::DetectError;
 pub use eval::{evaluate_decisions, ConfusionCounts, EvalMetrics};

@@ -76,7 +76,13 @@ impl<D: Detector> DetectionMonitor<D> {
         if window == 0 {
             return Err(DetectError::InvalidConfig { message: "window must be >= 1".into() });
         }
-        if !(drift_sigmas > 0.0) || !calibration_mean.is_finite() || !(calibration_std >= 0.0) {
+        // NaN must fail too, hence the explicit is_nan checks.
+        if drift_sigmas <= 0.0
+            || drift_sigmas.is_nan()
+            || !calibration_mean.is_finite()
+            || calibration_std < 0.0
+            || calibration_std.is_nan()
+        {
             return Err(DetectError::InvalidConfig {
                 message: "drift parameters must be positive and finite".into(),
             });

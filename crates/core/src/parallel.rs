@@ -1,18 +1,209 @@
-//! Minimal fork-join helper for scoring corpora, built on
-//! `std::thread::scope` (no extra dependency).
+//! Corpus-scoring parallelism: a persistent worker pool fed over a channel.
+//!
+//! Earlier revisions spawned fresh threads per call via `std::thread::scope`;
+//! scoring a corpus image-by-image then paid thread creation per batch. The
+//! [`WorkerPool`] here keeps its threads alive for the process lifetime and
+//! feeds them closures through an MPSC channel, so repeated
+//! [`parallel_map_indices`] calls (the detection engine's fan-out) reuse the
+//! same workers.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
-/// Maps `f` over `0..n` using up to `threads` worker threads, preserving
-/// index order in the output. Work is distributed dynamically (atomic
-/// counter), so uneven per-item costs balance out.
+/// A unit of work executed on a pool thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Jobs are submitted over a shared channel; idle workers block on it.
+/// [`WorkerPool::map_indices`] layers a fork-join on top: the caller thread
+/// participates in the work and blocks until every helper has finished, so
+/// borrowed closures are safe to run on the pool (see the safety note in
+/// the implementation).
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_core::parallel::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let doubled = pool.map_indices(5, 3, |i| i * 2);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Mutex<Option<mpsc::Sender<Job>>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("decam-worker-{index}"))
+                    .spawn(move || loop {
+                        // The guard is a temporary: the lock is released as
+                        // soon as `recv` returns, before the job runs.
+                        let job = receiver.lock().expect("pool receiver poisoned").recv();
+                        match job {
+                            // A panicking job must not take the worker down:
+                            // map_indices re-raises the payload on the
+                            // caller side instead.
+                            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { sender: Mutex::new(Some(sender)), handles, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The process-wide pool used by [`parallel_map_indices`], sized by
+    /// [`default_threads`] on first use.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool::new(default_threads()))
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .lock()
+            .expect("pool sender poisoned")
+            .as_ref()
+            .expect("pool is shut down")
+            .send(job)
+            .expect("pool workers disconnected");
+    }
+
+    /// Maps `f` over `0..n` using the caller plus up to `threads - 1` pool
+    /// workers, preserving index order in the output. Work is distributed
+    /// dynamically (atomic cursor), so uneven per-item costs balance out.
+    ///
+    /// With `threads <= 1` or `n <= 1` the map runs inline on the caller.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` after all participants have
+    /// finished.
+    pub fn map_indices<T, F>(&self, n: usize, threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let helpers = threads.saturating_sub(1).min(self.workers).min(n - 1);
+        if helpers == 0 {
+            return (0..n).map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let drain = |cursor: &AtomicUsize, f: &F| {
+            let mut local: Vec<(usize, T)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                local.push((i, f(i)));
+            }
+            local
+        };
+
+        let (tx, rx) = mpsc::channel::<std::thread::Result<Vec<(usize, T)>>>();
+        for _ in 0..helpers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            let drain = &drain;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| drain(cursor, f)));
+                // Sending is the job's final use of the borrowed state; the
+                // sender clone drops when the closure returns, which is what
+                // disconnects `rx` below.
+                let _ = tx.send(result);
+            });
+            // SAFETY: the job borrows `cursor`, `f` and `drain` from this
+            // stack frame, which the type system cannot tie to the
+            // 'static-job channel. The frame outlives every borrow because
+            // this function only returns after `rx.recv()` has reported
+            // disconnection, and `rx` disconnects only once each submitted
+            // job has dropped its `tx` clone — i.e. after the job (panicking
+            // or not, thanks to the catch_unwind) has finished running and
+            // released its captures. The captures themselves have no drop
+            // glue touching borrowed data (shared references and an owned
+            // `Sender`).
+            #[allow(unsafe_code)]
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            self.submit(job);
+        }
+        drop(tx);
+
+        // The caller works the same queue instead of idling.
+        let mine = catch_unwind(AssertUnwindSafe(|| drain(&cursor, &f)));
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panic_payload = None;
+        let mut fill = |result: std::thread::Result<Vec<(usize, T)>>| match result {
+            Ok(pairs) => {
+                for (i, value) in pairs {
+                    slots[i] = Some(value);
+                }
+            }
+            Err(payload) => {
+                if panic_payload.is_none() {
+                    panic_payload = Some(payload);
+                }
+            }
+        };
+        fill(mine);
+        while let Ok(result) = rx.recv() {
+            fill(result);
+        }
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+        slots.into_iter().map(|slot| slot.expect("every index visited exactly once")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so the workers' recv loops end, then join.
+        drop(self.sender.lock().expect("pool sender poisoned").take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Maps `f` over `0..n` on the [global pool](WorkerPool::global) using up to
+/// `threads` participants (the caller plus `threads - 1` pool workers),
+/// preserving index order in the output.
 ///
 /// With `threads <= 1` or `n <= 1` the map runs inline on the caller's
 /// thread.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Propagates the first panic raised by `f`.
 ///
 /// # Example
 ///
@@ -27,61 +218,28 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if n == 0 {
-        return Vec::new();
-    }
-    if threads <= 1 || n == 1 {
-        return (0..n).map(f).collect();
-    }
-    let workers = threads.min(n);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let cursor = AtomicUsize::new(0);
-    let f_ref = &f;
-
-    // Split the output buffer into per-index cells via raw chunks of
-    // Option<T>. We hand each worker exclusive access through a Mutex-free
-    // scheme: collect (index, value) pairs per worker and write after join.
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cursor = &cursor;
-            handles.push(scope.spawn(move || {
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f_ref(i)));
-                }
-                local
-            }));
-        }
-        for handle in handles {
-            for (i, value) in handle.join().expect("worker panicked") {
-                slots[i] = Some(value);
-            }
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index visited exactly once"))
-        .collect()
+    WorkerPool::global().map_indices(n, threads, f)
 }
 
-/// A sensible default worker count: the machine's available parallelism,
-/// capped at 16.
+/// A sensible default worker count: the `DECAM_THREADS` environment variable
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism capped at 16.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
+    match thread_override(std::env::var("DECAM_THREADS").ok().as_deref()) {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16),
+    }
+}
+
+/// Parses a `DECAM_THREADS`-style override; zero and garbage are ignored.
+fn thread_override(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn preserves_order() {
@@ -121,8 +279,74 @@ mod tests {
     }
 
     #[test]
+    fn pool_threads_persist_across_calls() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        let first: HashSet<_> = pool
+            .map_indices(64, 3, |_| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                std::thread::current().id()
+            })
+            .into_iter()
+            .collect();
+        let second: HashSet<_> = pool
+            .map_indices(64, 3, |_| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                std::thread::current().id()
+            })
+            .into_iter()
+            .collect();
+        // The same long-lived workers serve both calls: every thread that
+        // participated beyond the caller in the second call already existed
+        // during the first.
+        assert!(second.is_subset(&first), "pool spawned new threads between calls");
+    }
+
+    #[test]
+    fn pool_runs_work_off_the_caller_thread() {
+        let pool = WorkerPool::new(1);
+        let caller = std::thread::current().id();
+        let ids: HashSet<_> = pool
+            .map_indices(128, 2, |_| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                std::thread::current().id()
+            })
+            .into_iter()
+            .collect();
+        assert!(ids.len() >= 2 || !ids.contains(&caller), "no pool worker participated");
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job_and_reraises_it() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indices(16, 4, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool is still functional afterwards.
+        assert_eq!(pool.map_indices(4, 4, |i| i + 1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
-        assert!(default_threads() <= 16);
+        if std::env::var("DECAM_THREADS").is_err() {
+            assert!(default_threads() <= 16);
+        }
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(thread_override(None), None);
+        assert_eq!(thread_override(Some("8")), Some(8));
+        assert_eq!(thread_override(Some(" 3 ")), Some(3));
+        assert_eq!(thread_override(Some("0")), None);
+        assert_eq!(thread_override(Some("-2")), None);
+        assert_eq!(thread_override(Some("lots")), None);
     }
 }

@@ -63,10 +63,7 @@ impl PeakExcessDetector {
             let inner = self.min_radius_frac.min(half_min * 0.8);
             (inner as usize, (half_min * 0.9) as usize)
         } else {
-            (
-                (half_min * self.min_radius_frac) as usize,
-                (half_min * self.max_radius_frac) as usize,
-            )
+            ((half_min * self.min_radius_frac) as usize, (half_min * self.max_radius_frac) as usize)
         }
     }
 }
@@ -110,9 +107,7 @@ mod tests {
         let scaler =
             Scaler::new(Size::square(src), Size::square(dst), ScaleAlgorithm::Bilinear).unwrap();
         let target = Image::from_fn_gray(dst, dst, |x, y| ((x * 83 + y * 47) % 256) as f64);
-        craft_attack(&smooth(src), &target, &scaler, &AttackConfig::default())
-            .unwrap()
-            .image
+        craft_attack(&smooth(src), &target, &scaler, &AttackConfig::default()).unwrap().image
     }
 
     #[test]
@@ -120,10 +115,7 @@ mod tests {
         let det = PeakExcessDetector::for_target(Size::square(32));
         let benign = det.score(&smooth(128)).unwrap();
         let attack = det.score(&attack_image(128, 32)).unwrap();
-        assert!(
-            attack > benign + 0.05,
-            "benign {benign:.3}, attack {attack:.3}"
-        );
+        assert!(attack > benign + 0.05, "benign {benign:.3}, attack {attack:.3}");
     }
 
     #[test]

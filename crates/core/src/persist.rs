@@ -87,11 +87,7 @@ impl ThresholdSet {
         let mut lines = text.lines();
         match lines.next().map(str::trim) {
             Some(HEADER) => {}
-            other => {
-                return Err(bad(format!(
-                    "expected header {HEADER:?}, found {other:?}"
-                )))
-            }
+            other => return Err(bad(format!("expected header {HEADER:?}, found {other:?}"))),
         }
         let mut set = Self::new();
         for (lineno, raw) in lines.enumerate() {
@@ -103,7 +99,12 @@ impl ThresholdSet {
             let (name, dir, value) = match (parts.next(), parts.next(), parts.next(), parts.next())
             {
                 (Some(n), Some(d), Some(v), None) => (n, d, v),
-                _ => return Err(bad(format!("line {}: expected `name direction value`, got {line:?}", lineno + 2))),
+                _ => {
+                    return Err(bad(format!(
+                        "line {}: expected `name direction value`, got {line:?}",
+                        lineno + 2
+                    )))
+                }
             };
             let direction = match dir {
                 "above" => Direction::AboveIsAttack,
@@ -115,9 +116,9 @@ impl ThresholdSet {
                     )))
                 }
             };
-            let value: f64 = value.parse().map_err(|_| {
-                bad(format!("line {}: unparsable value {value:?}", lineno + 2))
-            })?;
+            let value: f64 = value
+                .parse()
+                .map_err(|_| bad(format!("line {}: unparsable value {value:?}", lineno + 2)))?;
             if !value.is_finite() {
                 return Err(bad(format!("line {}: non-finite threshold", lineno + 2)));
             }
@@ -238,10 +239,7 @@ mod tests {
         let set = sample();
         let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["filtering/ssim", "scaling/mse", "steganalysis/csp"]);
-        let collected: ThresholdSet = set
-            .iter()
-            .map(|(n, t)| (n.to_string(), t))
-            .collect();
+        let collected: ThresholdSet = set.iter().map(|(n, t)| (n.to_string(), t)).collect();
         assert_eq!(collected, set);
     }
 }

@@ -11,9 +11,7 @@
 use crate::detector::Detector;
 use crate::eval::{ConfusionCounts, EvalMetrics};
 use crate::parallel::parallel_map_indices;
-use crate::threshold::{
-    percentile_blackbox, search_whitebox, Direction, SearchPoint, Threshold,
-};
+use crate::threshold::{percentile_blackbox, search_whitebox, Direction, SearchPoint, Threshold};
 use crate::DetectError;
 use decamouflage_imaging::Image;
 use decamouflage_metrics::SampleSummary;
@@ -55,9 +53,14 @@ impl ScoredCorpus {
 /// out over `threads` workers. `benign_of` / `attack_of` map a sample index
 /// to its image.
 ///
+/// Both halves go out in a single `2 * count` fan-out (benign indices
+/// first), so workers stay busy across the benign/attack boundary instead
+/// of re-synchronising between two batches.
+///
 /// # Errors
 ///
-/// Propagates the first scoring failure.
+/// Propagates the first scoring failure in index order (all benign indices
+/// before all attack indices).
 pub fn score_corpus<D: Detector>(
     detector: &D,
     benign_of: impl Fn(u64) -> Image + Sync,
@@ -65,15 +68,24 @@ pub fn score_corpus<D: Detector>(
     count: usize,
     threads: usize,
 ) -> Result<ScoredCorpus, DetectError> {
-    let benign: Result<Vec<f64>, DetectError> =
-        parallel_map_indices(count, threads, |i| detector.score(&benign_of(i as u64)))
-            .into_iter()
-            .collect();
-    let attack: Result<Vec<f64>, DetectError> =
-        parallel_map_indices(count, threads, |i| detector.score(&attack_of(i as u64)))
-            .into_iter()
-            .collect();
-    Ok(ScoredCorpus { benign: benign?, attack: attack? })
+    let results = parallel_map_indices(2 * count, threads, |i| {
+        if i < count {
+            detector.score(&benign_of(i as u64))
+        } else {
+            detector.score(&attack_of((i - count) as u64))
+        }
+    });
+    let mut benign = Vec::with_capacity(count);
+    let mut attack = Vec::with_capacity(count);
+    for (i, result) in results.into_iter().enumerate() {
+        let score = result?;
+        if i < count {
+            benign.push(score);
+        } else {
+            attack.push(score);
+        }
+    }
+    Ok(ScoredCorpus { benign, attack })
 }
 
 /// Evaluates a fixed threshold against a scored corpus.
@@ -232,14 +244,9 @@ mod tests {
 
     #[test]
     fn score_corpus_collects_scores_in_order() {
-        let scored = score_corpus(
-            &MeanDetector,
-            |i| flat(i as f64),
-            |i| flat(100.0 + i as f64),
-            4,
-            2,
-        )
-        .unwrap();
+        let scored =
+            score_corpus(&MeanDetector, |i| flat(i as f64), |i| flat(100.0 + i as f64), 4, 2)
+                .unwrap();
         assert_eq!(scored.benign, vec![0.0, 1.0, 2.0, 3.0]);
         assert_eq!(scored.attack, vec![100.0, 101.0, 102.0, 103.0]);
         assert_eq!(scored.len(), 4);
@@ -269,8 +276,7 @@ mod tests {
     fn blackbox_uses_benign_tail() {
         let train_benign: Vec<f64> = (1..=100).map(f64::from).collect();
         let eval = corpus(&[50.0, 98.0], &[150.0, 200.0]);
-        let out =
-            run_blackbox(&train_benign, &eval, 1.0, Direction::AboveIsAttack).unwrap();
+        let out = run_blackbox(&train_benign, &eval, 1.0, Direction::AboveIsAttack).unwrap();
         assert_eq!(out.eval.accuracy, 1.0);
         assert!((out.tail_percent - 1.0).abs() < 1e-12);
     }

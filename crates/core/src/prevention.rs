@@ -92,8 +92,7 @@ pub fn reconstruct_sampled_pixels(
                 if neighbourhood.is_empty() {
                     continue; // nothing trustworthy nearby; keep the pixel
                 }
-                neighbourhood
-                    .sort_by(|a, b| a.partial_cmp(b).expect("image samples are not NaN"));
+                neighbourhood.sort_by(|a, b| a.partial_cmp(b).expect("image samples are not NaN"));
                 let median = neighbourhood[neighbourhood.len() / 2];
                 out.set(x, y, c, median);
             }
@@ -141,9 +140,8 @@ mod tests {
             Scaler::new(Size::square(64), Size::square(16), ScaleAlgorithm::Bilinear).unwrap();
         let original = smooth(64);
         let target = busy_target(16);
-        let attack = craft_attack(&original, &target, &scaler, &AttackConfig::default())
-            .unwrap()
-            .image;
+        let attack =
+            craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap().image;
 
         // Before prevention: downscale hits the target.
         let before = scaler.apply(&attack).unwrap();
@@ -165,10 +163,7 @@ mod tests {
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             / target.as_slice().len() as f64;
-        assert!(
-            mse_after > 500.0,
-            "downscale still close to the attack target (MSE {mse_after})"
-        );
+        assert!(mse_after > 500.0, "downscale still close to the attack target (MSE {mse_after})");
 
         // And the sanitised downscale resembles the benign downscale.
         let benign_down = scaler.apply(&original).unwrap();

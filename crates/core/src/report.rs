@@ -115,9 +115,11 @@ mod tests {
 
     #[test]
     fn rows_are_padded_and_truncated() {
-        let t = MarkdownTable::new(vec!["A", "B"])
-            .row(vec!["only".into()])
-            .row(vec!["1".into(), "2".into(), "extra".into()]);
+        let t = MarkdownTable::new(vec!["A", "B"]).row(vec!["only".into()]).row(vec![
+            "1".into(),
+            "2".into(),
+            "extra".into(),
+        ]);
         let s = t.to_string();
         assert!(s.contains("| only |  |"));
         assert!(!s.contains("extra"));

@@ -104,8 +104,7 @@ mod tests {
 
     #[test]
     fn separable_scores_have_auc_one() {
-        let curve =
-            roc_curve(&[1.0, 2.0, 3.0], &[10.0, 11.0], Direction::AboveIsAttack).unwrap();
+        let curve = roc_curve(&[1.0, 2.0, 3.0], &[10.0, 11.0], Direction::AboveIsAttack).unwrap();
         assert!((curve.auc() - 1.0).abs() < 1e-12, "auc {}", curve.auc());
         let best = curve.best_point();
         assert_eq!(best.fpr, 0.0);
@@ -122,12 +121,7 @@ mod tests {
     #[test]
     fn inverted_direction_mirrors_curve() {
         // SSIM-style: benign high, attack low.
-        let curve = roc_curve(
-            &[0.9, 0.95, 0.99],
-            &[0.1, 0.2],
-            Direction::BelowIsAttack,
-        )
-        .unwrap();
+        let curve = roc_curve(&[0.9, 0.95, 0.99], &[0.1, 0.2], Direction::BelowIsAttack).unwrap();
         assert!((curve.auc() - 1.0).abs() < 1e-12);
     }
 
@@ -162,9 +156,7 @@ mod tests {
     fn overlapping_distributions_have_intermediate_auc() {
         let benign = [1.0, 2.0, 3.0, 4.0, 5.0];
         let attack = [3.0, 4.0, 5.0, 6.0, 7.0];
-        let auc = roc_curve(&benign, &attack, Direction::AboveIsAttack)
-            .unwrap()
-            .auc();
+        let auc = roc_curve(&benign, &attack, Direction::AboveIsAttack).unwrap().auc();
         assert!(auc > 0.5 && auc < 1.0, "auc {auc}");
     }
 }

@@ -107,9 +107,7 @@ mod tests {
     fn benign_mse_is_small_attack_mse_is_large() {
         let det = ScalingDetector::new(Size::square(16), ScaleAlgorithm::Bilinear, MetricKind::Mse);
         let benign_score = det.score(&smooth(64)).unwrap();
-        let attack_score = det
-            .score(&attack_image(64, 16, ScaleAlgorithm::Bilinear))
-            .unwrap();
+        let attack_score = det.score(&attack_image(64, 16, ScaleAlgorithm::Bilinear)).unwrap();
         assert!(
             attack_score > 10.0 * benign_score.max(1.0),
             "benign {benign_score}, attack {attack_score}"
@@ -121,9 +119,7 @@ mod tests {
         let det =
             ScalingDetector::new(Size::square(16), ScaleAlgorithm::Bilinear, MetricKind::Ssim);
         let benign_score = det.score(&smooth(64)).unwrap();
-        let attack_score = det
-            .score(&attack_image(64, 16, ScaleAlgorithm::Bilinear))
-            .unwrap();
+        let attack_score = det.score(&attack_image(64, 16, ScaleAlgorithm::Bilinear)).unwrap();
         assert!(benign_score > 0.8, "benign SSIM {benign_score}");
         assert!(attack_score < benign_score - 0.2, "attack SSIM {attack_score}");
     }
@@ -132,9 +128,7 @@ mod tests {
     fn detects_nearest_attacks_too() {
         let det = ScalingDetector::new(Size::square(16), ScaleAlgorithm::Nearest, MetricKind::Mse);
         let benign_score = det.score(&smooth(64)).unwrap();
-        let attack_score = det
-            .score(&attack_image(64, 16, ScaleAlgorithm::Nearest))
-            .unwrap();
+        let attack_score = det.score(&attack_image(64, 16, ScaleAlgorithm::Nearest)).unwrap();
         assert!(attack_score > 5.0 * benign_score.max(1.0));
     }
 
@@ -173,9 +167,7 @@ mod tests {
         // pixels still break the round trip.
         let det = ScalingDetector::new(Size::square(16), ScaleAlgorithm::Bilinear, MetricKind::Mse);
         let benign_score = det.score(&smooth(64)).unwrap();
-        let attack_score = det
-            .score(&attack_image(64, 16, ScaleAlgorithm::Nearest))
-            .unwrap();
+        let attack_score = det.score(&attack_image(64, 16, ScaleAlgorithm::Nearest)).unwrap();
         assert!(
             attack_score > 5.0 * benign_score.max(1.0),
             "benign {benign_score}, attack {attack_score}"

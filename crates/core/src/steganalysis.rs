@@ -39,9 +39,11 @@ impl SteganalysisDetector {
     /// merge zone can safely extend to 60% of that distance, which in turn
     /// permits a more sensitive brightness threshold.
     pub fn for_target(target: Size) -> Self {
-        let mut config = CspConfig::default();
-        config.center_merge_radius_px = Some(0.6 * target.width.min(target.height) as f64);
-        config.binarize_threshold = 0.66;
+        let config = CspConfig {
+            center_merge_radius_px: Some(0.6 * target.width.min(target.height) as f64),
+            binarize_threshold: 0.66,
+            ..CspConfig::default()
+        };
         Self { config }
     }
 
@@ -93,9 +95,7 @@ mod tests {
         let scaler =
             Scaler::new(Size::square(src), Size::square(dst), ScaleAlgorithm::Bilinear).unwrap();
         let target = Image::from_fn_gray(dst, dst, |x, y| ((x * 83 + y * 47) % 256) as f64);
-        craft_attack(&smooth(src), &target, &scaler, &AttackConfig::default())
-            .unwrap()
-            .image
+        craft_attack(&smooth(src), &target, &scaler, &AttackConfig::default()).unwrap().image
     }
 
     #[test]

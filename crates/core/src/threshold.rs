@@ -89,11 +89,7 @@ pub fn search_whitebox(
     validate_scores(benign_scores, "benign")?;
     validate_scores(attack_scores, "attack")?;
 
-    let mut all: Vec<f64> = benign_scores
-        .iter()
-        .chain(attack_scores.iter())
-        .copied()
-        .collect();
+    let mut all: Vec<f64> = benign_scores.iter().chain(attack_scores.iter()).copied().collect();
     all.sort_by(|a, b| a.partial_cmp(b).expect("validated non-NaN"));
     all.dedup();
 

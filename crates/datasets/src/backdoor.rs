@@ -113,12 +113,7 @@ pub fn craft_poison_sample(
 ) -> Result<CraftedAttack, AttackError> {
     let original = generator.benign(index);
     let trigger_image = trigger.stamp(&generator.target(index));
-    craft_attack(
-        &original,
-        &trigger_image,
-        &generator.scaler(index),
-        &AttackConfig::default(),
-    )
+    craft_attack(&original, &trigger_image, &generator.scaler(index), &AttackConfig::default())
 }
 
 #[cfg(test)]
@@ -165,16 +160,10 @@ mod tests {
         let poison = craft_poison_sample(&generator, &trigger, 2).unwrap();
 
         // The curator's view (full size) does not show the trigger...
-        assert!(
-            !trigger.is_present(&poison.image),
-            "the trigger must be camouflaged at full size"
-        );
+        assert!(!trigger.is_present(&poison.image), "the trigger must be camouflaged at full size");
         // ...but the model's view (downscaled) does.
         let model_view = generator.scaler(2).apply(&poison.image).unwrap();
-        assert!(
-            trigger.is_present(&model_view),
-            "the downscaled poison must carry the trigger"
-        );
+        assert!(trigger.is_present(&model_view), "the downscaled poison must carry the trigger");
     }
 
     #[test]

@@ -71,12 +71,8 @@ impl SampleGenerator {
     /// Panics only if the profile contains an invalid (zero) size, which
     /// the built-in profiles never do.
     pub fn scaler(&self, index: u64) -> Scaler {
-        Scaler::new(
-            self.profile.source_size_for(index),
-            self.profile.target_size,
-            self.algorithm,
-        )
-        .expect("profile sizes are validated")
+        Scaler::new(self.profile.source_size_for(index), self.profile.target_size, self.algorithm)
+            .expect("profile sizes are validated")
     }
 
     /// Crafts the attack image of sample `index`

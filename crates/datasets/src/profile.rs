@@ -102,12 +102,7 @@ impl DatasetProfile {
     /// An RGB variant of the miniature profile, exercising the
     /// three-channel path end to end.
     pub fn tiny_rgb() -> Self {
-        Self {
-            name: "tiny-rgb",
-            channels: Channels::Rgb,
-            seed: 0x7111_0163,
-            ..Self::tiny()
-        }
+        Self { name: "tiny-rgb", channels: Channels::Rgb, seed: 0x7111_0163, ..Self::tiny() }
     }
 
     /// Derives the deterministic RNG for a `(kind, index)` sample stream.

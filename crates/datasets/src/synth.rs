@@ -76,16 +76,12 @@ pub fn synthesize(params: &SynthesisParams, rng: &mut StdRng) -> Image {
 
     // 2. Fractal value noise, independent per channel.
     for c in 0..img.channel_count() {
-        let field = value_noise_field(
-            params.width,
-            params.height,
-            params.octaves,
-            params.base_cell,
-            rng,
-        );
+        let field =
+            value_noise_field(params.width, params.height, params.octaves, params.base_cell, rng);
         for y in 0..params.height {
             for x in 0..params.width {
-                let v = img.get(x, y, c) + (field[y * params.width + x] - 0.5) * params.noise_amplitude;
+                let v =
+                    img.get(x, y, c) + (field[y * params.width + x] - 0.5) * params.noise_amplitude;
                 img.set(x, y, c, v);
             }
         }
@@ -126,8 +122,7 @@ pub fn synthesize(params: &SynthesisParams, rng: &mut StdRng) -> Image {
     // 4. Smooth, add fine detail noise, quantise.
     let mut out = img.clamped();
     if params.smoothing_sigma > 0.0 {
-        out = gaussian_blur(&out, params.smoothing_sigma)
-            .expect("positive sigma is always valid");
+        out = gaussian_blur(&out, params.smoothing_sigma).expect("positive sigma is always valid");
     }
     if params.detail_noise > 0.0 {
         let amp = params.detail_noise;
@@ -252,11 +247,7 @@ mod tests {
     fn images_are_not_flat() {
         let img = synthesize(&small_params(), &mut rng(11));
         let mean = img.mean_sample();
-        let var: f64 = img
-            .as_slice()
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
+        let var: f64 = img.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
             / img.as_slice().len() as f64;
         assert!(var > 100.0, "variance too small: {var}");
     }

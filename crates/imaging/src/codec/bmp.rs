@@ -39,7 +39,7 @@ pub fn encode_bmp(img: &Image) -> Vec<u8> {
     out.extend_from_slice(&2835u32.to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // palette colors
     out.extend_from_slice(&0u32.to_le_bytes()); // important colors
-    // Pixel data: bottom-up rows, BGR order, rows padded to 4 bytes.
+                                                // Pixel data: bottom-up rows, BGR order, rows padded to 4 bytes.
     let clamp = |v: f64| v.round().clamp(0.0, 255.0) as u8;
     for y in (0..h).rev() {
         for x in 0..w {
@@ -47,7 +47,7 @@ pub fn encode_bmp(img: &Image) -> Vec<u8> {
             out.push(clamp(rgb.get(x, y, 1)));
             out.push(clamp(rgb.get(x, y, 0)));
         }
-        out.extend(std::iter::repeat(0u8).take(padding));
+        out.extend(std::iter::repeat_n(0u8, padding));
     }
     out
 }

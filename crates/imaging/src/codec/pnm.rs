@@ -233,10 +233,7 @@ mod tests {
 
     #[test]
     fn decoder_rejects_bad_magic() {
-        assert!(matches!(
-            decode_pnm(b"P7\n1 1\n255\n\x00"),
-            Err(ImagingError::Decode { .. })
-        ));
+        assert!(matches!(decode_pnm(b"P7\n1 1\n255\n\x00"), Err(ImagingError::Decode { .. })));
     }
 
     #[test]

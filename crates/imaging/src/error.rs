@@ -51,10 +51,9 @@ impl fmt::Display for ImagingError {
             Self::InvalidDimensions { width, height } => {
                 write!(f, "invalid image dimensions {width}x{height}")
             }
-            Self::BufferSizeMismatch { expected, actual } => write!(
-                f,
-                "sample buffer holds {actual} values but {expected} were expected"
-            ),
+            Self::BufferSizeMismatch { expected, actual } => {
+                write!(f, "sample buffer holds {actual} values but {expected} were expected")
+            }
             Self::ShapeMismatch { left, right } => write!(
                 f,
                 "image shapes differ: {}x{}x{} vs {}x{}x{}",

@@ -107,7 +107,8 @@ mod tests {
         let out = gaussian_blur(&img, 1.0).unwrap();
         let var = |im: &Image| {
             let m = im.mean_sample();
-            im.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f64>() / im.as_slice().len() as f64
+            im.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+                / im.as_slice().len() as f64
         };
         assert!(var(&out) < var(&img) * 0.2, "variance not reduced enough");
     }

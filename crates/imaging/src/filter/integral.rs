@@ -144,10 +144,7 @@ mod tests {
                     naive += img.get(x, y, 0);
                 }
             }
-            assert!(
-                (integral.rect_sum(rect, 0) - naive).abs() < 1e-9,
-                "rect {rect} mismatch"
-            );
+            assert!((integral.rect_sum(rect, 0) - naive).abs() < 1e-9, "rect {rect} mismatch");
         }
     }
 

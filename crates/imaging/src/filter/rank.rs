@@ -55,7 +55,9 @@ impl RankKind {
 /// ```
 pub fn rank_filter(img: &Image, window: usize, kind: RankKind) -> Result<Image, ImagingError> {
     if window == 0 {
-        return Err(ImagingError::InvalidParameter { message: "rank filter window must be >= 1".into() });
+        return Err(ImagingError::InvalidParameter {
+            message: "rank filter window must be >= 1".into(),
+        });
     }
     // Min/max over a square window are separable: run the O(N) monotonic
     // deque pass along rows, then along columns.
@@ -281,12 +283,7 @@ mod tests {
         let img = Image::from_fn_gray(6, 6, |x, y| ((x * 31 + y * 17) % 97) as f64);
         let mn = minimum_filter(&img, 3).unwrap();
         let mx = maximum_filter(&img, 3).unwrap();
-        for ((&a, &lo), &hi) in img
-            .as_slice()
-            .iter()
-            .zip(mn.as_slice())
-            .zip(mx.as_slice())
-        {
+        for ((&a, &lo), &hi) in img.as_slice().iter().zip(mn.as_slice()).zip(mx.as_slice()) {
             assert!(lo <= a && a <= hi);
         }
     }
@@ -313,11 +310,8 @@ mod tests {
         for c in 0..img.channel_count() {
             for y in 0..img.height() {
                 for x in 0..img.width() {
-                    let mut acc = if kind == RankKind::Minimum {
-                        f64::INFINITY
-                    } else {
-                        f64::NEG_INFINITY
-                    };
+                    let mut acc =
+                        if kind == RankKind::Minimum { f64::INFINITY } else { f64::NEG_INFINITY };
                     for dy in lo..=hi {
                         for dx in lo..=hi {
                             let v = img.get_clamped(x as isize + dx, y as isize + dy, c);

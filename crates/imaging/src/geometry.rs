@@ -48,10 +48,7 @@ impl Size {
     /// The downscale ratio `(other.width / self.width, other.height / self.height)`
     /// when viewing `self` as the target of scaling `other`.
     pub fn scale_factors_from(&self, source: Size) -> (f64, f64) {
-        (
-            source.width as f64 / self.width as f64,
-            source.height as f64 / self.height as f64,
-        )
+        (source.width as f64 / self.width as f64, source.height as f64 / self.height as f64)
     }
 }
 

@@ -98,7 +98,11 @@ impl Image {
     }
 
     /// Builds a grayscale image by evaluating `f(x, y)` at every pixel.
-    pub fn from_fn_gray(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn_gray(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
         let mut img = Self::zeros(width, height, Channels::Gray);
         for y in 0..height {
             for x in 0..width {
@@ -266,8 +270,8 @@ impl Image {
         let mut out = Image::zeros(w, h, Channels::Rgb);
         for y in 0..h {
             for x in 0..w {
-                for c in 0..3 {
-                    out.set(x, y, c, planes[c].get(x, y, 0));
+                for (c, plane) in planes.iter().enumerate() {
+                    out.set(x, y, c, plane.get(x, y, 0));
                 }
             }
         }
@@ -385,11 +389,7 @@ impl Image {
     /// equal.
     pub fn approx_eq(&self, other: &Image, tol: f64) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -460,14 +460,9 @@ mod tests {
 
     #[test]
     fn plane_and_from_planes_roundtrip() {
-        let img = Image::from_fn_rgb(3, 2, |x, y| {
-            [(x + y) as f64, (x * y) as f64, (x + 2 * y) as f64]
-        });
-        let planes = [
-            img.plane(0).unwrap(),
-            img.plane(1).unwrap(),
-            img.plane(2).unwrap(),
-        ];
+        let img =
+            Image::from_fn_rgb(3, 2, |x, y| [(x + y) as f64, (x * y) as f64, (x + 2 * y) as f64]);
+        let planes = [img.plane(0).unwrap(), img.plane(1).unwrap(), img.plane(2).unwrap()];
         let back = Image::from_planes(&planes).unwrap();
         assert_eq!(back, img);
     }

@@ -1,0 +1,162 @@
+//! Scaler plan cache.
+//!
+//! Building a [`Scaler`] means computing two coefficient matrices, which for
+//! repeated scoring of same-sized images dominates the cost of the actual
+//! resampling passes. The cache keys a built scaler by
+//! `(source size, destination size, algorithm)` and hands out shared
+//! [`Arc`] references, so a corpus run builds each plan once.
+//!
+//! A built `Scaler` is immutable, so a cached plan applied to an image is
+//! bit-identical to a freshly built one (asserted by the property tests in
+//! `tests/properties.rs`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::geometry::Size;
+use crate::ImagingError;
+
+use super::{ScaleAlgorithm, Scaler};
+
+/// Key identifying one resampling plan.
+type PlanKey = (Size, Size, ScaleAlgorithm);
+
+/// A thread-safe cache of built [`Scaler`] plans.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::scale::{ScaleAlgorithm, ScalerCache};
+/// use decamouflage_imaging::Size;
+///
+/// # fn main() -> Result<(), decamouflage_imaging::ImagingError> {
+/// let cache = ScalerCache::new();
+/// let a = cache.get(Size::square(64), Size::square(16), ScaleAlgorithm::Bilinear)?;
+/// let b = cache.get(Size::square(64), Size::square(16), ScaleAlgorithm::Bilinear)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cache.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ScalerCache {
+    plans: Mutex<HashMap<PlanKey, Arc<Scaler>>>,
+}
+
+impl ScalerCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached scaler for `(src, dst, algorithm)`, building and
+    /// inserting it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Scaler::new`] errors for invalid sizes; failures are not
+    /// cached.
+    pub fn get(
+        &self,
+        src: Size,
+        dst: Size,
+        algorithm: ScaleAlgorithm,
+    ) -> Result<Arc<Scaler>, ImagingError> {
+        let key = (src, dst, algorithm);
+        if let Some(plan) = self.plans.lock().expect("scaler cache poisoned").get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        // Built outside the lock: plan construction is the expensive part
+        // and concurrent misses for the same key just race to insert
+        // identical plans.
+        let plan = Arc::new(Scaler::new(src, dst, algorithm)?);
+        let mut plans = self.plans.lock().expect("scaler cache poisoned");
+        Ok(Arc::clone(plans.entry(key).or_insert(plan)))
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("scaler cache poisoned").len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (outstanding [`Arc`]s stay valid).
+    pub fn clear(&self) {
+        self.plans.lock().expect("scaler cache poisoned").clear();
+    }
+
+    /// The process-wide shared cache used by the detection engine.
+    pub fn global() -> &'static ScalerCache {
+        static GLOBAL: OnceLock<ScalerCache> = OnceLock::new();
+        GLOBAL.get_or_init(ScalerCache::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Image;
+
+    #[test]
+    fn get_builds_once_and_shares() {
+        let cache = ScalerCache::new();
+        let a = cache.get(Size::square(32), Size::square(8), ScaleAlgorithm::Nearest).unwrap();
+        let b = cache.get(Size::square(32), Size::square(8), ScaleAlgorithm::Nearest).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        cache.get(Size::square(8), Size::square(32), ScaleAlgorithm::Nearest).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_algorithms_are_distinct_plans() {
+        let cache = ScalerCache::new();
+        for algorithm in ScaleAlgorithm::ALL {
+            cache.get(Size::square(20), Size::square(5), algorithm).unwrap();
+        }
+        assert_eq!(cache.len(), ScaleAlgorithm::ALL.len());
+    }
+
+    #[test]
+    fn invalid_sizes_error_and_are_not_cached() {
+        let cache = ScalerCache::new();
+        assert!(cache.get(Size::new(0, 4), Size::square(2), ScaleAlgorithm::Bilinear).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_plan_matches_cold_built_scaler() {
+        let cache = ScalerCache::new();
+        let img = Image::from_fn_gray(24, 24, |x, y| ((x * 7 + y * 13) % 97) as f64);
+        for algorithm in ScaleAlgorithm::ALL {
+            let plan = cache.get(Size::square(24), Size::square(6), algorithm).unwrap();
+            let cold = Scaler::new(Size::square(24), Size::square(6), algorithm).unwrap();
+            assert_eq!(
+                plan.apply(&img).unwrap().as_slice(),
+                cold.apply(&img).unwrap().as_slice(),
+                "{algorithm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_resets_but_existing_arcs_survive() {
+        let cache = ScalerCache::new();
+        let plan = cache.get(Size::square(16), Size::square(4), ScaleAlgorithm::Area).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        let img = Image::from_fn_gray(16, 16, |x, y| (x + y) as f64);
+        assert!(plan.apply(&img).is_ok());
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let a = ScalerCache::global();
+        let b = ScalerCache::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

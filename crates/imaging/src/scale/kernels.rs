@@ -135,12 +135,8 @@ mod tests {
         // OpenCV's 4-tap weights for a sample exactly between two pixels
         // (t = 0.5) with A = -0.75 are [-0.09375, 0.59375, 0.59375, -0.09375].
         let t = 0.5;
-        let w = [
-            cubic_weight(t + 1.0),
-            cubic_weight(t),
-            cubic_weight(1.0 - t),
-            cubic_weight(2.0 - t),
-        ];
+        let w =
+            [cubic_weight(t + 1.0), cubic_weight(t), cubic_weight(1.0 - t), cubic_weight(2.0 - t)];
         assert!((w[0] + 0.09375).abs() < 1e-12);
         assert!((w[1] - 0.59375).abs() < 1e-12);
         assert!((w[2] - 0.59375).abs() < 1e-12);

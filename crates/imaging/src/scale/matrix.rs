@@ -86,11 +86,7 @@ impl CoeffMatrix {
 
     /// Builds an identity operator (useful in tests and as a neutral element).
     pub fn identity(len: usize) -> Self {
-        Self {
-            src_len: len,
-            dst_len: len,
-            rows: (0..len).map(|i| vec![(i, 1.0)]).collect(),
-        }
+        Self { src_len: len, dst_len: len, rows: (0..len).map(|i| vec![(i, 1.0)]).collect() }
     }
 
     /// Source signal length (number of matrix columns).
@@ -185,11 +181,7 @@ impl CoeffMatrix {
                 }
             }
         }
-        touched
-            .iter()
-            .enumerate()
-            .filter_map(|(j, &t)| t.then_some(j))
-            .collect()
+        touched.iter().enumerate().filter_map(|(j, &t)| t.then_some(j)).collect()
     }
 
     /// Largest absolute column sum — an upper bound on how much one source

@@ -15,8 +15,10 @@
 
 pub mod kernels;
 
+mod cache;
 mod matrix;
 
+pub use cache::ScalerCache;
 pub use matrix::{CoeffMatrix, Taps};
 
 use crate::{Image, ImagingError, Size};
@@ -54,11 +56,8 @@ impl ScaleAlgorithm {
 
     /// The algorithms an attacker can realistically target (fixed-support
     /// interpolating kernels).
-    pub const VULNERABLE: [ScaleAlgorithm; 3] = [
-        ScaleAlgorithm::Nearest,
-        ScaleAlgorithm::Bilinear,
-        ScaleAlgorithm::Bicubic,
-    ];
+    pub const VULNERABLE: [ScaleAlgorithm; 3] =
+        [ScaleAlgorithm::Nearest, ScaleAlgorithm::Bilinear, ScaleAlgorithm::Bicubic];
 
     /// Short lowercase name, stable across versions (used in reports).
     pub fn name(&self) -> &'static str {
@@ -252,11 +251,8 @@ pub fn resize_antialiased(
     let fx = img.width() as f64 / width as f64;
     let fy = img.height() as f64 / height as f64;
     let sigma = 0.4 * (fx.max(fy) - 1.0);
-    let prefiltered = if sigma > 0.05 {
-        crate::filter::gaussian_blur(img, sigma)?
-    } else {
-        img.clone()
-    };
+    let prefiltered =
+        if sigma > 0.05 { crate::filter::gaussian_blur(img, sigma)? } else { img.clone() };
     resize(&prefiltered, width, height, algorithm)
 }
 
@@ -397,13 +393,9 @@ mod tests {
             128.0 + 60.0 * ((x as f64) * 0.1).sin() + 40.0 * ((y as f64) * 0.07).cos()
         });
         let (_, up) = round_trip(&img, Size::new(16, 16), ScaleAlgorithm::Bilinear).unwrap();
-        let mse: f64 = img
-            .as_slice()
-            .iter()
-            .zip(up.as_slice())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            / (32.0 * 32.0);
+        let mse: f64 =
+            img.as_slice().iter().zip(up.as_slice()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+                / (32.0 * 32.0);
         assert!(mse < 30.0, "round-trip MSE too large: {mse}");
     }
 
@@ -431,13 +423,8 @@ mod tests {
         // factor 4: invisible to the plain resize, visible after the
         // anti-aliasing prefilter — the essence of the robust-scaling
         // defense.
-        let img = Image::from_fn_gray(32, 32, |x, y| {
-            if x % 4 == 3 && y % 4 == 3 {
-                255.0
-            } else {
-                0.0
-            }
-        });
+        let img =
+            Image::from_fn_gray(32, 32, |x, y| if x % 4 == 3 && y % 4 == 3 { 255.0 } else { 0.0 });
         let plain = resize(&img, 8, 8, ScaleAlgorithm::Bilinear).unwrap();
         let aa = resize_antialiased(&img, 8, 8, ScaleAlgorithm::Bilinear).unwrap();
         assert!(plain.mean_sample() < 1.0, "plain bilinear must miss the comb");

@@ -4,7 +4,10 @@ use decamouflage_imaging::codec::{decode_bmp, decode_pnm, encode_bmp, encode_pgm
 use decamouflage_imaging::filter::{
     box_mean, maximum_filter, minimum_filter, rank_filter, IntegralImage, RankKind,
 };
-use decamouflage_imaging::scale::{CoeffMatrix, ScaleAlgorithm, Scaler};
+use decamouflage_imaging::filter::{
+    convolve_separable, convolve_separable_with_scratch, gaussian_kernel, ConvScratch,
+};
+use decamouflage_imaging::scale::{CoeffMatrix, ScaleAlgorithm, Scaler, ScalerCache};
 use decamouflage_imaging::transform::{
     flip_horizontal, flip_vertical, rotate180, rotate90_ccw, rotate90_cw, transpose,
 };
@@ -141,6 +144,44 @@ proptest! {
         let blurred = box_mean(&img, window).unwrap();
         prop_assert!(blurred.min_sample() >= img.min_sample() - 1e-9);
         prop_assert!(blurred.max_sample() <= img.max_sample() + 1e-9);
+    }
+
+    #[test]
+    fn cached_scaler_is_bit_identical_to_cold_built(
+        img in arb_image(),
+        algo in arb_algorithm(),
+        dw in 1usize..23,
+        dh in 1usize..23,
+    ) {
+        // The engine's plan cache must not change results: a plan fetched
+        // from the cache (cold and warm hits alike) produces exactly the
+        // bytes a freshly built scaler does, for every algorithm and for
+        // non-power-of-two sizes.
+        let dst = Size::new(dw, dh);
+        let cold = Scaler::new(img.size(), dst, algo).unwrap().apply(&img).unwrap();
+        let cache = ScalerCache::new();
+        let miss = cache.get(img.size(), dst, algo).unwrap().apply(&img).unwrap();
+        let hit = cache.get(img.size(), dst, algo).unwrap().apply(&img).unwrap();
+        prop_assert_eq!(miss.as_slice(), cold.as_slice());
+        prop_assert_eq!(hit.as_slice(), cold.as_slice());
+        prop_assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn scratch_convolution_is_bit_identical_to_reference(
+        img in arb_image(),
+        sigma_h in 0.4f64..2.5,
+        sigma_v in 0.4f64..2.5,
+    ) {
+        // The fast scratch-buffer convolution (the engine's SSIM blur path)
+        // must match the reference implementation bit for bit.
+        let horizontal = gaussian_kernel(sigma_h, None).unwrap();
+        let vertical = gaussian_kernel(sigma_v, None).unwrap();
+        let reference = convolve_separable(&img, &horizontal, &vertical).unwrap();
+        let mut scratch = ConvScratch::default();
+        let fast =
+            convolve_separable_with_scratch(&img, &horizontal, &vertical, &mut scratch).unwrap();
+        prop_assert_eq!(fast.as_slice(), reference.as_slice());
     }
 
     #[test]

@@ -83,12 +83,7 @@ pub fn histogram_intersection(a: &Image, b: &Image, bins: usize) -> Result<f64, 
     let hb = color_histogram(b, bins)?;
     let mut total = 0.0;
     for c in 0..ha.channel_count() {
-        let inter: f64 = ha
-            .channel(c)
-            .iter()
-            .zip(hb.channel(c))
-            .map(|(x, y)| x.min(*y))
-            .sum();
+        let inter: f64 = ha.channel(c).iter().zip(hb.channel(c)).map(|(x, y)| x.min(*y)).sum();
         total += inter;
     }
     Ok(total / ha.channel_count() as f64)
@@ -123,8 +118,7 @@ mod tests {
 
     #[test]
     fn out_of_range_samples_are_clamped() {
-        let img =
-            Image::from_vec(2, 1, Channels::Gray, vec![-10.0, 300.0]).unwrap();
+        let img = Image::from_vec(2, 1, Channels::Gray, vec![-10.0, 300.0]).unwrap();
         let h = color_histogram(&img, 4).unwrap();
         assert_eq!(h.channel(0)[0], 0.5);
         assert_eq!(h.channel(0)[3], 0.5);

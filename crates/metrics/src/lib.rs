@@ -39,5 +39,5 @@ pub use error::MetricError;
 pub use histogram::{Histogram, HistogramBin};
 pub use mse::{mae, max_abs_diff, mse, psnr};
 pub use msssim::{ms_ssim, MSSSIM_WEIGHTS};
-pub use ssim::{ssim, ssim_map, SsimConfig};
+pub use ssim::{ssim, ssim_map, SsimConfig, SsimReference};
 pub use stats::{percentile, OnlineStats, SampleSummary};

@@ -29,12 +29,7 @@ use decamouflage_imaging::Image;
 /// ```
 pub fn mse(a: &Image, b: &Image) -> Result<f64, MetricError> {
     check_same_shape(a, b)?;
-    let sum: f64 = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum();
+    let sum: f64 = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y) * (x - y)).sum();
     Ok(sum / a.as_slice().len() as f64)
 }
 
@@ -45,12 +40,7 @@ pub fn mse(a: &Image, b: &Image) -> Result<f64, MetricError> {
 /// Returns [`MetricError::ShapeMismatch`] when the shapes differ.
 pub fn mae(a: &Image, b: &Image) -> Result<f64, MetricError> {
     check_same_shape(a, b)?;
-    let sum: f64 = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| (x - y).abs())
-        .sum();
+    let sum: f64 = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).sum();
     Ok(sum / a.as_slice().len() as f64)
 }
 
@@ -64,11 +54,7 @@ pub fn mae(a: &Image, b: &Image) -> Result<f64, MetricError> {
 /// Returns [`MetricError::ShapeMismatch`] when the shapes differ.
 pub fn max_abs_diff(a: &Image, b: &Image) -> Result<f64, MetricError> {
     check_same_shape(a, b)?;
-    Ok(a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max))
+    Ok(a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max))
 }
 
 /// Peak signal-to-noise ratio in decibels, with `L = 256` intensity levels

@@ -54,9 +54,9 @@ pub fn ms_ssim(a: &Image, b: &Image, config: &SsimConfig) -> Result<f64, MetricE
     let mut current_a = a.clone();
     let mut current_b = b.clone();
     let mut log_score = 0.0f64;
-    for level in 0..levels {
+    for (level, &level_weight) in MSSSIM_WEIGHTS[..levels].iter().enumerate() {
         let (luminance, contrast_structure) = ssim_components(&current_a, &current_b, config)?;
-        let weight = MSSSIM_WEIGHTS[level] / weight_sum;
+        let weight = level_weight / weight_sum;
         let term = if level == levels - 1 {
             // Coarsest level carries the luminance term too.
             (luminance * contrast_structure).max(1e-12)

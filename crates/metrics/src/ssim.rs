@@ -3,8 +3,16 @@
 
 use crate::error::check_same_shape;
 use crate::MetricError;
-use decamouflage_imaging::filter::{convolve_separable, gaussian_kernel};
+use decamouflage_imaging::filter::{
+    convolve_separable, convolve_separable_with_scratch, gaussian_kernel, ConvScratch, Kernel1D,
+};
 use decamouflage_imaging::Image;
+
+thread_local! {
+    /// Shared convolution buffers for [`SsimReference`] scoring.
+    static SSIM_SCRATCH: std::cell::RefCell<ConvScratch> =
+        std::cell::RefCell::new(ConvScratch::new());
+}
 
 /// SSIM parameters. Defaults follow the reference implementation used by
 /// the paper's artefacts: an 11x11 Gaussian window with `sigma = 1.5`,
@@ -127,6 +135,125 @@ pub fn ssim_map(a: &Image, b: &Image, config: &SsimConfig) -> Result<Image, Metr
     Ok(map)
 }
 
+/// Precomputed reference-side SSIM statistics.
+///
+/// Comparing one reference image against several candidates (the detection
+/// engine scores the same input against its round-tripped *and* its
+/// rank-filtered variant) recomputes `blur(a)` and `blur(a²)` on every
+/// call of [`ssim`]. `SsimReference` computes them once; each
+/// [`SsimReference::score_against`] then needs only the three
+/// candidate-side blurs.
+///
+/// Scores are **bit-identical** to [`ssim`]: the blurs run through
+/// [`convolve_separable_with_scratch`] (exact-equality contract with
+/// [`convolve_separable`]) and the per-pixel SSIM formula and final mean
+/// accumulate in the same order as [`ssim_map`] + `mean_sample`.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_imaging::Image;
+/// use decamouflage_metrics::{ssim, SsimConfig, SsimReference};
+///
+/// # fn main() -> Result<(), decamouflage_metrics::MetricError> {
+/// let a = Image::from_fn_gray(24, 24, |x, y| ((x + y) * 5) as f64);
+/// let b = a.map(|v| (v + 10.0).min(255.0));
+/// let reference = SsimReference::new(&a, &SsimConfig::default())?;
+/// assert_eq!(reference.score_against(&b)?, ssim(&a, &b, &SsimConfig::default())?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsimReference {
+    a: Image,
+    mu_a: Image,
+    a_sq: Image,
+    kernel: Kernel1D,
+    config: SsimConfig,
+}
+
+impl SsimReference {
+    /// Precomputes the reference-side window statistics of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::InvalidParameter`] for unusable configuration
+    /// values.
+    pub fn new(a: &Image, config: &SsimConfig) -> Result<Self, MetricError> {
+        config.validate()?;
+        let kernel = gaussian_kernel(config.sigma, Some(config.radius))
+            .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
+        let (mu_a, a_sq) = SSIM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let mu_a = convolve_separable_with_scratch(a, &kernel, &kernel, scratch)
+                .expect("separable convolution cannot fail");
+            let sq = a.zip_map(a, |x, y| x * y).expect("same image");
+            let a_sq = convolve_separable_with_scratch(&sq, &kernel, &kernel, scratch)
+                .expect("separable convolution cannot fail");
+            (mu_a, a_sq)
+        });
+        Ok(Self { a: a.clone(), mu_a, a_sq, kernel, config: config.clone() })
+    }
+
+    /// The reference image.
+    pub fn image(&self) -> &Image {
+        &self.a
+    }
+
+    /// The configuration the statistics were built with.
+    pub fn config(&self) -> &SsimConfig {
+        &self.config
+    }
+
+    /// Mean SSIM of `b` against the reference; equals
+    /// `ssim(reference, b, config)` bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::ShapeMismatch`] when `b` has a different
+    /// shape than the reference.
+    pub fn score_against(&self, b: &Image) -> Result<f64, MetricError> {
+        check_same_shape(&self.a, b)?;
+        let (mu_b, b_sq, ab) = SSIM_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let mu_b = convolve_separable_with_scratch(b, &self.kernel, &self.kernel, scratch)
+                .expect("separable convolution cannot fail");
+            let sq = b.zip_map(b, |x, y| x * y).expect("same image");
+            let b_sq = convolve_separable_with_scratch(&sq, &self.kernel, &self.kernel, scratch)
+                .expect("separable convolution cannot fail");
+            let prod = self.a.zip_map(b, |x, y| x * y).expect("checked same shape");
+            let ab = convolve_separable_with_scratch(&prod, &self.kernel, &self.kernel, scratch)
+                .expect("separable convolution cannot fail");
+            (mu_b, b_sq, ab)
+        });
+
+        let c1 = self.config.c1();
+        let c2 = self.config.c2();
+        let channels = self.a.channel_count() as f64;
+        // Same traversal as `ssim_map` followed by `mean_sample`: per-pixel
+        // map values accumulate in y-major order, so the final sum matches
+        // the staged computation bit for bit.
+        let mut total = 0.0;
+        for y in 0..self.a.height() {
+            for x in 0..self.a.width() {
+                let mut acc = 0.0;
+                for c in 0..self.a.channel_count() {
+                    let ma = self.mu_a.get(x, y, c);
+                    let mb = mu_b.get(x, y, c);
+                    let va = self.a_sq.get(x, y, c) - ma * ma;
+                    let vb = b_sq.get(x, y, c) - mb * mb;
+                    let cov = ab.get(x, y, c) - ma * mb;
+                    let numerator = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
+                    let denominator = (ma * ma + mb * mb + c1) * (va + vb + c2);
+                    acc += numerator / denominator;
+                }
+                total += acc / channels;
+            }
+        }
+        Ok(total / (self.a.width() * self.a.height()) as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +355,47 @@ mod tests {
         let mut cfg = SsimConfig::default();
         cfg.dynamic_range = -1.0;
         assert!(ssim(&a, &a, &cfg).is_err());
+    }
+
+    #[test]
+    fn reference_scoring_is_bit_identical_to_ssim() {
+        let gray = texture(24);
+        let rgb = Image::from_fn_rgb(17, 13, |x, y| {
+            [(x * 16) as f64, (y * 16) as f64, ((x + y) * 8) as f64]
+        });
+        let mut small_window = SsimConfig::default();
+        small_window.sigma = 0.8;
+        small_window.radius = 2;
+        for cfg in [SsimConfig::default(), small_window] {
+            for a in [&gray, &rgb] {
+                let reference = SsimReference::new(a, &cfg).unwrap();
+                let candidates =
+                    [a.clone(), a.map(|v| (v + 11.0).min(255.0)), a.map(|v| 255.0 - v)];
+                for b in &candidates {
+                    assert_eq!(
+                        reference.score_against(b).unwrap(),
+                        ssim(a, b, &cfg).unwrap(),
+                        "{}ch {}x{}",
+                        a.channel_count(),
+                        a.width(),
+                        a.height()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_rejects_shape_mismatch_and_bad_config() {
+        let a = Image::zeros(8, 8, Channels::Gray);
+        let b = Image::zeros(8, 9, Channels::Gray);
+        let reference = SsimReference::new(&a, &SsimConfig::default()).unwrap();
+        assert!(reference.score_against(&b).is_err());
+        assert_eq!(reference.image().width(), 8);
+        assert_eq!(reference.config().radius, 5);
+        let mut cfg = SsimConfig::default();
+        cfg.sigma = -1.0;
+        assert!(SsimReference::new(&a, &cfg).is_err());
     }
 
     #[test]

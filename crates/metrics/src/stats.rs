@@ -201,7 +201,9 @@ mod tests {
         let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / data.len() as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.population_variance() - var).abs() < 1e-12);
-        assert!((s.sample_variance() - var * data.len() as f64 / (data.len() - 1) as f64).abs() < 1e-12);
+        assert!(
+            (s.sample_variance() - var * data.len() as f64 / (data.len() - 1) as f64).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -43,16 +43,9 @@ impl Connectivity {
     fn offsets(&self) -> &'static [(isize, isize)] {
         match self {
             Connectivity::Four => &[(1, 0), (-1, 0), (0, 1), (0, -1)],
-            Connectivity::Eight => &[
-                (1, 0),
-                (-1, 0),
-                (0, 1),
-                (0, -1),
-                (1, 1),
-                (1, -1),
-                (-1, 1),
-                (-1, -1),
-            ],
+            Connectivity::Eight => {
+                &[(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)]
+            }
         }
     }
 }
@@ -127,10 +120,7 @@ pub fn label_components(binary: &Image, connectivity: Connectivity) -> Vec<Compo
 /// Counts components with `area >= min_area` — the blob counting used by
 /// the CSP metric, with a speck floor to suppress single-pixel noise.
 pub fn count_components(binary: &Image, connectivity: Connectivity, min_area: usize) -> usize {
-    label_components(binary, connectivity)
-        .iter()
-        .filter(|c| c.area >= min_area)
-        .count()
+    label_components(binary, connectivity).iter().filter(|c| c.area >= min_area).count()
 }
 
 #[cfg(test)]
@@ -141,13 +131,7 @@ mod tests {
     fn image_from_rows(rows: &[&str]) -> Image {
         let h = rows.len();
         let w = rows[0].len();
-        Image::from_fn_gray(w, h, |x, y| {
-            if rows[y].as_bytes()[x] == b'#' {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        Image::from_fn_gray(w, h, |x, y| if rows[y].as_bytes()[x] == b'#' { 1.0 } else { 0.0 })
     }
 
     #[test]
@@ -168,23 +152,14 @@ mod tests {
 
     #[test]
     fn diagonal_blobs_merge_under_eight_but_not_four() {
-        let img = image_from_rows(&[
-            "#..",
-            ".#.",
-            "..#",
-        ]);
+        let img = image_from_rows(&["#..", ".#.", "..#"]);
         assert_eq!(label_components(&img, Connectivity::Eight).len(), 1);
         assert_eq!(label_components(&img, Connectivity::Four).len(), 3);
     }
 
     #[test]
     fn separate_blobs_are_counted() {
-        let img = image_from_rows(&[
-            "##..#",
-            "##...",
-            ".....",
-            "#...#",
-        ]);
+        let img = image_from_rows(&["##..#", "##...", ".....", "#...#"]);
         let comps = label_components(&img, Connectivity::Eight);
         assert_eq!(comps.len(), 4);
         let areas: Vec<usize> = comps.iter().map(|c| c.area).collect();
@@ -193,10 +168,7 @@ mod tests {
 
     #[test]
     fn min_area_filters_specks() {
-        let img = image_from_rows(&[
-            "##..#",
-            "##...",
-        ]);
+        let img = image_from_rows(&["##..#", "##..."]);
         assert_eq!(count_components(&img, Connectivity::Eight, 1), 2);
         assert_eq!(count_components(&img, Connectivity::Eight, 2), 1);
         assert_eq!(count_components(&img, Connectivity::Eight, 5), 0);
@@ -204,13 +176,7 @@ mod tests {
 
     #[test]
     fn centroid_of_symmetric_blob_is_its_center() {
-        let img = image_from_rows(&[
-            ".....",
-            ".###.",
-            ".###.",
-            ".###.",
-            ".....",
-        ]);
+        let img = image_from_rows(&[".....", ".###.", ".###.", ".###.", "....."]);
         let comps = label_components(&img, Connectivity::Eight);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].centroid, (2.0, 2.0));
@@ -219,11 +185,7 @@ mod tests {
 
     #[test]
     fn labels_are_sequential_in_scan_order() {
-        let img = image_from_rows(&[
-            "#.#",
-            "...",
-            "#..",
-        ]);
+        let img = image_from_rows(&["#.#", "...", "#.."]);
         let comps = label_components(&img, Connectivity::Eight);
         assert_eq!(comps.len(), 3);
         for (i, c) in comps.iter().enumerate() {
@@ -244,13 +206,7 @@ mod tests {
 
     #[test]
     fn snake_shape_is_single_component() {
-        let img = image_from_rows(&[
-            "#####",
-            "....#",
-            "#####",
-            "#....",
-            "#####",
-        ]);
+        let img = image_from_rows(&["#####", "....#", "#####", "#....", "#####"]);
         assert_eq!(label_components(&img, Connectivity::Four).len(), 1);
     }
 }

@@ -7,9 +7,9 @@
 //! images add periodic side peaks and yield two or more.
 
 use crate::components::{label_components, Component, Connectivity};
-use crate::dft2d::centered_spectrum;
+use crate::dft2d::{centered_spectrum, dft2_planned};
 use crate::spectrum::{binarize, low_pass_mask};
-use decamouflage_imaging::Image;
+use decamouflage_imaging::{Channels, Image};
 
 /// Tuning parameters of the CSP counter.
 ///
@@ -98,32 +98,36 @@ pub struct CspArtifacts {
     pub report: CspReport,
 }
 
-/// Runs the full CSP pipeline, returning all intermediate artefacts.
-pub fn analyze_csp(img: &Image, config: &CspConfig) -> CspArtifacts {
-    let centered = centered_spectrum(img);
-    let radius = config.radius_for(centered.width(), centered.height());
-    let masked = low_pass_mask(&centered, radius);
-    let binary = binarize(&masked, config.binarize_threshold);
-    let components: Vec<Component> = label_components(&binary, config.connectivity)
+/// Labels the binary spectrum, drops specks, merges central satellites and
+/// produces the final point count. Shared tail of [`analyze_csp`] and
+/// [`count_csp_planned`].
+fn report_from_binary(binary: &Image, config: &CspConfig) -> CspReport {
+    let components: Vec<Component> = label_components(binary, config.connectivity)
         .into_iter()
         .filter(|c| c.area >= config.min_area)
         .collect();
 
     // Blobs inside the central merge zone are satellites of the DC point:
     // they count as one centered spectrum point together.
-    let cx = (centered.width() as f64 - 1.0) / 2.0;
-    let cy = (centered.height() as f64 - 1.0) / 2.0;
+    let cx = (binary.width() as f64 - 1.0) / 2.0;
+    let cy = (binary.height() as f64 - 1.0) / 2.0;
     let merge_radius = config.center_merge_radius_px.unwrap_or_else(|| {
-        0.5 * centered.width().min(centered.height()) as f64 * config.center_merge_radius_frac
+        0.5 * binary.width().min(binary.height()) as f64 * config.center_merge_radius_frac
     });
-    let central = components
-        .iter()
-        .filter(|c| c.distance_to(cx, cy) <= merge_radius)
-        .count();
+    let central = components.iter().filter(|c| c.distance_to(cx, cy) <= merge_radius).count();
     let outlying = components.len() - central;
     let count = outlying + usize::from(central > 0);
 
-    let report = CspReport { count, components };
+    CspReport { count, components }
+}
+
+/// Runs the full CSP pipeline, returning all intermediate artefacts.
+pub fn analyze_csp(img: &Image, config: &CspConfig) -> CspArtifacts {
+    let centered = centered_spectrum(img);
+    let radius = config.radius_for(centered.width(), centered.height());
+    let masked = low_pass_mask(&centered, radius);
+    let binary = binarize(&masked, config.binarize_threshold);
+    let report = report_from_binary(&binary, config);
     CspArtifacts { centered, masked, binary, report }
 }
 
@@ -131,6 +135,48 @@ pub fn analyze_csp(img: &Image, config: &CspConfig) -> CspArtifacts {
 /// keeping intermediate images alive).
 pub fn count_csp(img: &Image, config: &CspConfig) -> CspReport {
     analyze_csp(img, config).report
+}
+
+/// [`count_csp`] on the planned DFT path, with the `fftshift`, log-magnitude
+/// normalisation, low-pass mask and binarisation fused into one pass over
+/// the frequency grid.
+///
+/// Every float operation matches the staged pipeline — the same
+/// `ln(1 + |F|)` values, the same global maximum, the same
+/// `value * scale >= threshold` predicate and the same centre-distance test
+/// — so the resulting binary image, components and count are **bit-identical**
+/// to [`count_csp`] (asserted by unit and property tests). Only the three
+/// intermediate spectrum images and the shifted coefficient copy are gone.
+pub fn count_csp_planned(img: &Image, config: &CspConfig) -> CspReport {
+    let spec = dft2_planned(img);
+    let (w, h) = (spec.width(), spec.height());
+    let mags: Vec<f64> = spec.as_slice().iter().map(|c| (1.0 + c.norm()).ln()).collect();
+    let mut max = f64::MIN;
+    for &m in &mags {
+        max = max.max(m);
+    }
+    let scale = if max > 0.0 { 1.0 / max } else { 0.0 };
+
+    let radius = config.radius_for(w, h);
+    let r2 = radius * radius;
+    let cx = (w as f64 - 1.0) / 2.0;
+    let cy = (h as f64 - 1.0) / 2.0;
+    let (half_w, half_h) = (w / 2, h / 2);
+    let mut binary = Image::zeros(w, h, Channels::Gray);
+    let out = binary.as_mut_slice();
+    for y in 0..h {
+        let dy = y as f64 - cy;
+        // Inverse fftshift: centred position (x, y) reads the unshifted
+        // coefficient at ((x - w/2) mod w, (y - h/2) mod h).
+        let sv = (y + h - half_h) % h;
+        for x in 0..w {
+            let dx = x as f64 - cx;
+            let su = (x + w - half_w) % w;
+            let masked = if dx * dx + dy * dy > r2 { 0.0 } else { mags[sv * w + su] * scale };
+            out[y * w + x] = if masked >= config.binarize_threshold { 1.0 } else { 0.0 };
+        }
+    }
+    report_from_binary(&binary, config)
 }
 
 #[cfg(test)]
@@ -177,6 +223,27 @@ mod tests {
     fn periodic_comb_produces_multiple_csps() {
         let report = count_csp(&combed(64, 4), &CspConfig::default());
         assert!(report.count >= 2, "expected side peaks, got {}", report.count);
+    }
+
+    #[test]
+    fn planned_csp_is_bit_identical_to_staged_pipeline() {
+        let images = [
+            smooth_benign(64),
+            combed(64, 4),
+            combed(48, 3),
+            smooth_benign(33), // odd size: exercises the asymmetric shift
+            Image::filled(32, 32, decamouflage_imaging::Channels::Gray, 100.0),
+        ];
+        let mut target_like = CspConfig::default();
+        target_like.binarize_threshold = 0.66;
+        target_like.center_merge_radius_px = Some(9.6);
+        for config in [CspConfig::default(), target_like] {
+            for img in &images {
+                let staged = count_csp(img, &config);
+                let fused = count_csp_planned(img, &config);
+                assert_eq!(staged, fused, "{}x{}", img.width(), img.height());
+            }
+        }
     }
 
     #[test]

@@ -93,18 +93,14 @@ pub fn dft2(img: &Image) -> Spectrum2D {
     let mut pair = 0;
     while pair + 1 < h {
         let (ya, yb) = (pair, pair + 1);
-        let mut packed: Vec<Complex64> = (0..w)
-            .map(|x| Complex64::new(grid[ya * w + x].re, grid[yb * w + x].re))
-            .collect();
+        let mut packed: Vec<Complex64> =
+            (0..w).map(|x| Complex64::new(grid[ya * w + x].re, grid[yb * w + x].re)).collect();
         fft(&mut packed);
         for k in 0..w {
             let z_k = packed[k];
             let z_nk = packed[(w - k) % w].conj();
             let a = (z_k + z_nk) * 0.5;
-            let b = Complex64::new(
-                0.5 * (z_k.im - z_nk.im),
-                0.5 * (z_nk.re - z_k.re),
-            );
+            let b = Complex64::new(0.5 * (z_k.im - z_nk.im), 0.5 * (z_nk.re - z_k.re));
             grid[ya * w + k] = a;
             grid[yb * w + k] = b;
         }
@@ -131,6 +127,74 @@ pub fn dft2(img: &Image) -> Spectrum2D {
         col = col_vec;
     }
     Spectrum2D { width: w, height: h, data: grid }
+}
+
+thread_local! {
+    /// Reusable row/column buffers for [`dft2_planned`]. The FFT *plans*
+    /// are already cached per-length inside [`crate::fft`]; this adds the
+    /// per-call packing buffers on top so a corpus run stops allocating
+    /// them once per row pair.
+    static DFT2_SCRATCH: std::cell::RefCell<Dft2Scratch> =
+        std::cell::RefCell::new(Dft2Scratch::default());
+}
+
+#[derive(Debug, Default)]
+struct Dft2Scratch {
+    packed: Vec<Complex64>,
+    col: Vec<Complex64>,
+}
+
+/// [`dft2`] with thread-local scratch buffers.
+///
+/// Performs exactly the same packed-row and column transforms as [`dft2`]
+/// (bit-identical output — asserted by the property tests); the difference
+/// is only that the row-packing and column buffers persist across calls
+/// instead of being reallocated per row pair.
+pub fn dft2_planned(img: &Image) -> Spectrum2D {
+    DFT2_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let gray = img.to_gray();
+        let (w, h) = (gray.width(), gray.height());
+        let mut grid: Vec<Complex64> =
+            gray.as_slice().iter().map(|&v| Complex64::from_real(v)).collect();
+
+        // Rows: two real rows per complex FFT, as in `dft2`.
+        let packed = &mut scratch.packed;
+        let mut pair = 0;
+        while pair + 1 < h {
+            let (ya, yb) = (pair, pair + 1);
+            packed.clear();
+            packed.extend((0..w).map(|x| Complex64::new(grid[ya * w + x].re, grid[yb * w + x].re)));
+            fft(packed);
+            for k in 0..w {
+                let z_k = packed[k];
+                let z_nk = packed[(w - k) % w].conj();
+                let a = (z_k + z_nk) * 0.5;
+                let b = Complex64::new(0.5 * (z_k.im - z_nk.im), 0.5 * (z_nk.re - z_k.re));
+                grid[ya * w + k] = a;
+                grid[yb * w + k] = b;
+            }
+            pair += 2;
+        }
+        if pair < h {
+            let y = pair;
+            packed.clear();
+            packed.extend_from_slice(&grid[y * w..(y + 1) * w]);
+            fft(packed);
+            grid[y * w..(y + 1) * w].copy_from_slice(packed);
+        }
+        // Columns.
+        let col = &mut scratch.col;
+        for x in 0..w {
+            col.clear();
+            col.extend((0..h).map(|y| grid[y * w + x]));
+            fft(col);
+            for (y, &v) in col.iter().enumerate() {
+                grid[y * w + x] = v;
+            }
+        }
+        Spectrum2D { width: w, height: h, data: grid }
+    })
 }
 
 /// Inverse 2-D DFT back to a real image (the imaginary residue is dropped).
@@ -193,11 +257,8 @@ mod tests {
         for (w, h) in [(8usize, 6usize), (7, 5), (9, 9)] {
             let img = Image::from_fn_gray(w, h, |x, y| ((x * 7 + y * 13) % 53) as f64);
             let fast = dft2(&img);
-            let mut grid: Vec<crate::Complex64> = img
-                .as_slice()
-                .iter()
-                .map(|&v| crate::Complex64::from_real(v))
-                .collect();
+            let mut grid: Vec<crate::Complex64> =
+                img.as_slice().iter().map(|&v| crate::Complex64::from_real(v)).collect();
             for y in 0..h {
                 let mut row: Vec<crate::Complex64> = grid[y * w..(y + 1) * w].to_vec();
                 crate::fft::fft(&mut row);
@@ -215,10 +276,21 @@ mod tests {
                 }
             }
             for (i, (a, b)) in fast.as_slice().iter().zip(grid.iter()).enumerate() {
-                assert!(
-                    (*a - *b).norm() < 1e-6,
-                    "{w}x{h} bin {i}: {a} vs {b}"
-                );
+                assert!((*a - *b).norm() < 1e-6, "{w}x{h} bin {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_dft2_is_bit_identical_to_dft2() {
+        // Covers even/odd row counts and radix-2 / mixed-radix / Bluestein
+        // (prime) lengths; repeated calls exercise scratch reuse.
+        for (w, h) in [(8usize, 8usize), (7, 5), (12, 9), (17, 17), (16, 6), (1, 4)] {
+            let img = Image::from_fn_gray(w, h, |x, y| ((x * 29 + y * 23) % 71) as f64 - 11.0);
+            let reference = dft2(&img);
+            for _ in 0..2 {
+                let planned = dft2_planned(&img);
+                assert_eq!(reference.as_slice(), planned.as_slice(), "{w}x{h}");
             }
         }
     }
@@ -275,13 +347,8 @@ mod tests {
     fn periodic_pattern_creates_off_center_peaks() {
         // A strong period-4 comb produces energy away from DC — the
         // signature the steganalysis detector looks for.
-        let img = Image::from_fn_gray(32, 32, |x, y| {
-            if x % 4 == 0 && y % 4 == 0 {
-                255.0
-            } else {
-                20.0
-            }
-        });
+        let img =
+            Image::from_fn_gray(32, 32, |x, y| if x % 4 == 0 && y % 4 == 0 { 255.0 } else { 20.0 });
         let spec = centered_spectrum(&img);
         // Peak at spatial frequency 32/4 = 8 bins from DC: position (24, 16).
         assert!(spec.get(24, 16, 0) > 0.85, "side peak too weak: {}", spec.get(24, 16, 0));

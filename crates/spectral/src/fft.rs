@@ -200,7 +200,7 @@ fn bluestein_plan(n: usize, dir: Direction) -> std::rc::Rc<BluesteinPlan> {
 /// Bluestein's algorithm: express the N-point DFT as a circular convolution
 /// of chirped sequences, evaluated with a power-of-two FFT of length
 /// `>= 2N - 1` (chirp and kernel FFT come from the per-thread plan cache).
-fn bluestein(data: &mut Vec<Complex64>, dir: Direction) {
+fn bluestein(data: &mut [Complex64], dir: Direction) {
     let n = data.len();
     let plan = bluestein_plan(n, dir);
     let m = plan.m;
@@ -212,7 +212,7 @@ fn bluestein(data: &mut Vec<Complex64>, dir: Direction) {
     }
     radix2(&mut a, Direction::Forward);
     for (x, y) in a.iter_mut().zip(plan.b_fft.iter()) {
-        *x = *x * *y;
+        *x *= *y;
     }
     radix2(&mut a, Direction::Inverse);
     let scale = 1.0 / m as f64;
@@ -228,11 +228,7 @@ mod tests {
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-            assert!(
-                (*x - *y).norm() < tol,
-                "element {i}: {x} vs {y} (diff {})",
-                (*x - *y).norm()
-            );
+            assert!((*x - *y).norm() < tol, "element {i}: {x} vs {y} (diff {})", (*x - *y).norm());
         }
     }
 
@@ -317,11 +313,8 @@ mod tests {
         let n = 24;
         let a = signal(n);
         let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
-        let combined: Vec<Complex64> = a
-            .iter()
-            .zip(b.iter())
-            .map(|(x, y)| *x * 2.0 + *y * 3.0)
-            .collect();
+        let combined: Vec<Complex64> =
+            a.iter().zip(b.iter()).map(|(x, y)| *x * 2.0 + *y * 3.0).collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         let mut fc = combined.clone();

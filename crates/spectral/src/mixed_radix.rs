@@ -26,12 +26,12 @@ pub const MAX_SMALL_PRIME: usize = 13;
 
 /// Returns the smallest prime factor of `n` (n >= 2).
 fn smallest_prime_factor(n: usize) -> usize {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return 2;
     }
     let mut p = 3;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return p;
         }
         p += 2;
@@ -47,7 +47,7 @@ pub fn is_smooth(n: usize) -> bool {
     }
     let mut m = n;
     for p in [2usize, 3, 5, 7, 11, 13] {
-        while m % p == 0 {
+        while m.is_multiple_of(p) {
             m /= p;
         }
     }
@@ -80,9 +80,8 @@ impl MixedRadixPlan {
             factors.push(p);
             m /= p;
         }
-        let twiddles = (0..n)
-            .map(|k| Complex64::from_polar_unit(-2.0 * PI * k as f64 / n as f64))
-            .collect();
+        let twiddles =
+            (0..n).map(|k| Complex64::from_polar_unit(-2.0 * PI * k as f64 / n as f64)).collect();
         Self { n, factors, twiddles }
     }
 
@@ -151,9 +150,7 @@ impl MixedRadixPlan {
         // Transform each of the r decimated subsequences of length m.
         let mut subs: Vec<Vec<Complex64>> = Vec::with_capacity(r);
         for n1 in 0..r {
-            let mut sub_in: Vec<Complex64> = (0..m)
-                .map(|i| data[(n1 + i * r) * stride])
-                .collect();
+            let mut sub_in: Vec<Complex64> = (0..m).map(|i| data[(n1 + i * r) * stride]).collect();
             let mut sub_out = vec![Complex64::ZERO; m];
             self.recurse(&mut sub_in, &mut sub_out, m, 1, depth + 1, forward);
             subs.push(sub_out);
@@ -267,8 +264,7 @@ mod tests {
         let plan = MixedRadixPlan::new(n);
         let a = signal(n);
         let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 1.0)).collect();
-        let combined: Vec<Complex64> =
-            a.iter().zip(&b).map(|(x, y)| *x * 2.0 + *y * 0.5).collect();
+        let combined: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x * 2.0 + *y * 0.5).collect();
         let fa = plan.forward(&a);
         let fb = plan.forward(&b);
         let fc = plan.forward(&combined);

@@ -55,11 +55,8 @@ pub fn radial_profile(spectrum: &Image) -> RadialProfile {
             count[r] += 1;
         }
     }
-    let mean = sum
-        .iter()
-        .zip(&count)
-        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-        .collect();
+    let mean =
+        sum.iter().zip(&count).map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect();
     RadialProfile { mean, max, count }
 }
 
@@ -151,10 +148,7 @@ mod tests {
     fn attack_peaks_raise_peak_excess() {
         let benign = peak_excess(&windowed_spectrum(&smooth(64)), 6, 30);
         let attacked = peak_excess(&windowed_spectrum(&combed(64, 4)), 6, 30);
-        assert!(
-            attacked > benign + 0.05,
-            "benign {benign:.3}, attacked {attacked:.3}"
-        );
+        assert!(attacked > benign + 0.05, "benign {benign:.3}, attacked {attacked:.3}");
     }
 
     #[test]

@@ -84,8 +84,7 @@ mod tests {
 
     #[test]
     fn binarize_thresholds_inclusively() {
-        let img =
-            Image::from_vec(3, 1, Channels::Gray, vec![0.2, 0.5, 0.9]).unwrap();
+        let img = Image::from_vec(3, 1, Channels::Gray, vec![0.2, 0.5, 0.9]).unwrap();
         let b = binarize(&img, 0.5);
         assert_eq!(b.as_slice(), &[0.0, 1.0, 1.0]);
     }

@@ -58,9 +58,9 @@ pub fn apply_window(img: &Image, kind: WindowKind) -> Image {
     let wy = kind.coefficients(img.height());
     let mean = img.mean_sample();
     let mut out = img.clone();
-    for y in 0..img.height() {
-        for x in 0..img.width() {
-            let w = wx[x] * wy[y];
+    for (y, &wy_val) in wy.iter().enumerate() {
+        for (x, &wx_val) in wx.iter().enumerate() {
+            let w = wx_val * wy_val;
             for c in 0..img.channel_count() {
                 // Window the deviation from the mean, not the raw value:
                 // borders fade to the mean instead of to black.
@@ -143,9 +143,7 @@ mod tests {
         let plain = centered_spectrum(&img);
         let windowed = centered_spectrum(&apply_window(&img, WindowKind::Hann));
         // Compare brightness on the horizontal axis away from the centre.
-        let leak = |spec: &Image| {
-            (40..60).map(|x| spec.get(x, 32, 0)).sum::<f64>() / 20.0
-        };
+        let leak = |spec: &Image| (40..60).map(|x| spec.get(x, 32, 0)).sum::<f64>() / 20.0;
         assert!(
             leak(&windowed) < leak(&plain),
             "windowing did not reduce leakage: {} vs {}",

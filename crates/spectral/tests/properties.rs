@@ -1,13 +1,14 @@
 //! Property-based tests (proptest) for the spectral substrate.
 
+use decamouflage_imaging::{Channels, Image};
 use decamouflage_spectral::components::{count_components, label_components, Connectivity};
-use decamouflage_spectral::dft2d::{centered_spectrum, dft2, idft2};
+use decamouflage_spectral::csp::{count_csp, count_csp_planned, CspConfig};
+use decamouflage_spectral::dft2d::{centered_spectrum, dft2, dft2_planned, idft2};
 use decamouflage_spectral::fft::{dft_naive, fft, ifft};
 use decamouflage_spectral::mixed_radix::{is_smooth, MixedRadixPlan};
 use decamouflage_spectral::radial::radial_profile;
 use decamouflage_spectral::spectrum::{binarize, fill_ratio, low_pass_mask};
 use decamouflage_spectral::Complex64;
-use decamouflage_imaging::{Channels, Image};
 use proptest::prelude::*;
 
 fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
@@ -27,13 +28,8 @@ fn arb_image() -> impl Strategy<Value = Image> {
 fn arb_binary_image() -> impl Strategy<Value = Image> {
     (2usize..=12, 2usize..=12).prop_flat_map(|(w, h)| {
         proptest::collection::vec(0u8..=1, w * h).prop_map(move |data| {
-            Image::from_vec(
-                w,
-                h,
-                Channels::Gray,
-                data.into_iter().map(f64::from).collect(),
-            )
-            .unwrap()
+            Image::from_vec(w, h, Channels::Gray, data.into_iter().map(f64::from).collect())
+                .unwrap()
         })
     })
 }
@@ -137,6 +133,31 @@ proptest! {
     }
 
     #[test]
+    fn planned_dft2_is_bit_identical_to_dft2(img in arb_image()) {
+        // The scratch-reusing plan path behind the engine's steganalysis
+        // scoring must match the plain transform bit for bit, including
+        // non-power-of-two (Bluestein) sizes, which `arb_image`'s prime
+        // dimensions exercise.
+        let plain = dft2(&img);
+        let planned = dft2_planned(&img);
+        prop_assert_eq!(planned.width(), plain.width());
+        prop_assert_eq!(planned.height(), plain.height());
+        for (a, b) in planned.as_slice().iter().zip(plain.as_slice()) {
+            prop_assert!(a.re == b.re && a.im == b.im, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn planned_csp_matches_staged_pipeline(img in arb_image(), threshold in 0.3f64..0.95) {
+        let mut config = CspConfig::default();
+        config.binarize_threshold = threshold;
+        let staged = count_csp(&img, &config);
+        let fused = count_csp_planned(&img, &config);
+        prop_assert_eq!(fused.count, staged.count);
+        prop_assert_eq!(fused.components, staged.components);
+    }
+
+    #[test]
     fn radial_profile_accounts_for_every_pixel(img in arb_image()) {
         let profile = radial_profile(&img);
         let total: usize = profile.count.iter().sum();
@@ -147,4 +168,18 @@ proptest! {
             }
         }
     }
+}
+
+#[test]
+fn planned_paths_match_on_large_bluestein_sizes() {
+    // 97 and 31 are primes well past the small mixed-radix factors, so both
+    // axes go through the Bluestein fallback.
+    let img = Image::from_fn_gray(97, 31, |x, y| ((x * 13 + y * 29) % 251) as f64);
+    let plain = dft2(&img);
+    let planned = dft2_planned(&img);
+    for (a, b) in planned.as_slice().iter().zip(plain.as_slice()) {
+        assert!(a.re == b.re && a.im == b.im, "{a:?} != {b:?}");
+    }
+    let config = CspConfig::default();
+    assert_eq!(count_csp_planned(&img, &config).count, count_csp(&img, &config).count);
 }

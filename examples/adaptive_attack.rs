@@ -49,14 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         a_f.push(filtering.score(&attack)?);
     }
     let ensemble = Ensemble::new()
-        .with_member(
-            scaling,
-            search_whitebox(&b_s, &a_s, Direction::AboveIsAttack)?.threshold,
-        )
-        .with_member(
-            filtering,
-            search_whitebox(&b_f, &a_f, Direction::BelowIsAttack)?.threshold,
-        )
+        .with_member(scaling, search_whitebox(&b_s, &a_s, Direction::AboveIsAttack)?.threshold)
+        .with_member(filtering, search_whitebox(&b_f, &a_f, Direction::BelowIsAttack)?.threshold)
         .with_member(steganalysis, SteganalysisDetector::universal_threshold());
 
     // --- Strategy 1: jitter camouflage ----------------------------------
@@ -65,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut caught = 0u64;
         for i in 0..SAMPLES {
             let crafted = generator.attack_image(i)?;
-            let evasive =
-                jitter_camouflage(&crafted, &generator.scaler(i), strength, i)?;
+            let evasive = jitter_camouflage(&crafted, &generator.scaler(i), strength, i)?;
             caught += u64::from(ensemble.is_attack(&evasive)?);
         }
         println!("  strength {strength:>4}: {caught}/{SAMPLES} still detected");

@@ -24,9 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Offline: calibrate and persist --------------------------------
     let benign: Vec<Image> = (0..16u64).map(|i| generator.benign(300 + i)).collect();
-    let attacks: Vec<Image> = (0..16u64)
-        .map(|i| generator.attack_image(300 + i))
-        .collect::<Result<_, _>>()?;
+    let attacks: Vec<Image> =
+        (0..16u64).map(|i| generator.attack_image(300 + i)).collect::<Result<_, _>>()?;
 
     let scaling = ScalingDetector::new(target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse);
     let filtering = FilteringDetector::new(MetricKind::Ssim);
@@ -47,9 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Online: reload in a fresh context ------------------------------
     let restored = ThresholdSet::load(&path)?;
     assert_eq!(restored, set);
-    let threshold = restored
-        .get("scaling/mse")
-        .expect("threshold file contains the scaling detector");
+    let threshold =
+        restored.get("scaling/mse").expect("threshold file contains the scaling detector");
 
     // Calibration statistics feed the drift monitor.
     let stats: OnlineStats = scaling_cal.benign_scores.iter().copied().collect();
@@ -65,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut blocked = 0;
     let mut drift_alerts = 0;
     for i in 0..24u64 {
-        let request = if i % 4 == 0 {
-            generator.attack_image(i)?
-        } else {
-            generator.benign(i)
-        };
+        let request = if i % 4 == 0 { generator.attack_image(i)? } else { generator.benign(i) };
         let verdict = monitor.screen(&request)?;
         blocked += u32::from(verdict.is_attack);
         drift_alerts += u32::from(verdict.drift_alert);

@@ -15,9 +15,7 @@ use decamouflage::imaging::scale::ScaleAlgorithm;
 use decamouflage::metrics::{mse, psnr};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "target/attack-gallery".to_string());
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "target/attack-gallery".to_string());
     let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
 
     let samples = export_samples(&generator, &dir, 4)?;
@@ -32,11 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default(),
-            sample
-                .attack
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_default(),
+            sample.attack.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
             psnr(&original, &attack)?,
             mse(&original, &attack)?,
         );

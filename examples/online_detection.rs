@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scaling_scores.push(scaling.score(&img)?);
         filtering_scores.push(filtering.score(&img)?);
     }
-    let scaling_threshold =
-        percentile_blackbox(&scaling_scores, 1.0, Direction::AboveIsAttack)?;
+    let scaling_threshold = percentile_blackbox(&scaling_scores, 1.0, Direction::AboveIsAttack)?;
     let filtering_threshold =
         percentile_blackbox(&filtering_scores, 1.0, Direction::BelowIsAttack)?;
     println!(
@@ -64,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_ms = 0.0;
     for i in 0..TRAFFIC {
         let is_attack = i % 3 == 0; // a third of the traffic is hostile
-        let request = if is_attack {
-            attacker.attack_image(i)?
-        } else {
-            attacker.benign(i)
-        };
+        let request = if is_attack { attacker.attack_image(i)? } else { attacker.benign(i) };
         let start = Instant::now();
         let verdict = ensemble.is_attack(&request)?;
         total_ms += start.elapsed().as_secs_f64() * 1000.0;

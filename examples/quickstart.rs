@@ -9,8 +9,8 @@ use decamouflage::attack::{craft_attack, verify_attack, AttackConfig, VerifyConf
 use decamouflage::datasets::{DatasetProfile, SampleGenerator};
 use decamouflage::detection::ensemble::Ensemble;
 use decamouflage::detection::{
-    Detector, MetricKind, ScalingDetector, SteganalysisDetector, FilteringDetector, Threshold,
-    Direction,
+    Detector, Direction, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+    Threshold,
 };
 use decamouflage::imaging::scale::ScaleAlgorithm;
 
@@ -21,22 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let original = generator.benign(7);
     let target = generator.target(7);
     let scaler = generator.scaler(7);
-    println!(
-        "original {} -> CNN input {}",
-        original.size(),
-        scaler.dst_size()
-    );
+    println!("original {} -> CNN input {}", original.size(), scaler.dst_size());
 
     // 2. Craft the attack: visually the original, but downscales to the
     //    target (Xiao et al.'s camouflage attack).
     let crafted = craft_attack(&original, &target, &scaler, &AttackConfig::default())?;
-    let verification = verify_attack(
-        &original,
-        &crafted.image,
-        &target,
-        &scaler,
-        &VerifyConfig::default(),
-    )?;
+    let verification =
+        verify_attack(&original, &crafted.image, &target, &scaler, &VerifyConfig::default())?;
     println!(
         "attack crafted: deviation from target (L-inf) = {:.2}, perturbed {:.1}% of pixels, \
          successful = {}",

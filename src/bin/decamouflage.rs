@@ -77,9 +77,7 @@ fn write_image(img: &Image, path: &str) -> Result<(), String> {
 }
 
 fn parse_size(s: &str) -> Result<Size, String> {
-    let (w, h) = s
-        .split_once(['x', 'X'])
-        .ok_or_else(|| format!("expected WxH, got {s:?}"))?;
+    let (w, h) = s.split_once(['x', 'X']).ok_or_else(|| format!("expected WxH, got {s:?}"))?;
     let w: usize = w.parse().map_err(|_| format!("bad width in {s:?}"))?;
     let h: usize = h.parse().map_err(|_| format!("bad height in {s:?}"))?;
     if w == 0 || h == 0 {
@@ -89,10 +87,7 @@ fn parse_size(s: &str) -> Result<Size, String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 /// Default thresholds used by `check` when no calibration file is given:
@@ -130,7 +125,11 @@ fn build_ensemble(target: Size, thresholds: &ThresholdSet) -> Result<Ensemble, S
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let image_path = args
         .iter()
-        .find(|a| !a.starts_with('-') && Some(a.as_str()) != flag_value(args, "--target") && Some(a.as_str()) != flag_value(args, "--thresholds"))
+        .find(|a| {
+            !a.starts_with('-')
+                && Some(a.as_str()) != flag_value(args, "--target")
+                && Some(a.as_str()) != flag_value(args, "--thresholds")
+        })
         .ok_or("check needs an image path")?;
     let target = parse_size(flag_value(args, "--target").ok_or("check needs --target WxH")?)?;
     let thresholds = match flag_value(args, "--thresholds") {
@@ -158,9 +157,7 @@ fn cmd_craft(args: &[String]) -> Result<ExitCode, String> {
         let out_idx = args.iter().position(|a| a == "-o" || a == "--out");
         args.iter()
             .enumerate()
-            .filter(|(i, a)| {
-                !a.starts_with('-') && out_idx.map(|oi| *i != oi + 1).unwrap_or(true)
-            })
+            .filter(|(i, a)| !a.starts_with('-') && out_idx.map(|oi| *i != oi + 1).unwrap_or(true))
             .map(|(_, a)| a)
             .collect()
     };
@@ -201,10 +198,7 @@ fn read_dir_images(dir: &str) -> Result<Vec<Image>, String> {
     if paths.is_empty() {
         return Err(format!("no .pgm/.ppm/.pnm/.bmp images in {dir}"));
     }
-    paths
-        .iter()
-        .map(|p| read_image(&p.display().to_string()))
-        .collect()
+    paths.iter().map(|p| read_image(&p.display().to_string())).collect()
 }
 
 fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
@@ -217,16 +211,11 @@ fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
 
     let benign = read_dir_images(benign_dir)?;
     let attacks = read_dir_images(attack_dir)?;
-    println!(
-        "calibrating on {} benign + {} attack images ...",
-        benign.len(),
-        attacks.len()
-    );
+    println!("calibrating on {} benign + {} attack images ...", benign.len(), attacks.len());
 
     let scaling = ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse);
     let filtering = FilteringDetector::new(MetricKind::Ssim);
-    let scaling_cal =
-        calibrate_whitebox(&scaling, &benign, &attacks).map_err(|e| e.to_string())?;
+    let scaling_cal = calibrate_whitebox(&scaling, &benign, &attacks).map_err(|e| e.to_string())?;
     let filtering_cal =
         calibrate_whitebox(&filtering, &benign, &attacks).map_err(|e| e.to_string())?;
 
@@ -281,9 +270,9 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
     let mut failed = 0usize;
     for path in &paths {
         let shown = path.display();
-        match read_image(&shown.to_string()).and_then(|img| {
-            ensemble.is_attack(&img).map_err(|e| e.to_string())
-        }) {
+        match read_image(&shown.to_string())
+            .and_then(|img| ensemble.is_attack(&img).map_err(|e| e.to_string()))
+        {
             Ok(true) => {
                 flagged += 1;
                 println!("ATTACK  {shown}");

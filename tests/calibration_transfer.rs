@@ -24,51 +24,31 @@ fn tiny_variant() -> DatasetProfile {
 
 fn score(profile: &DatasetProfile, detector: &ScalingDetector) -> ScoredCorpus {
     let generator = SampleGenerator::new(profile.clone(), ScaleAlgorithm::Bilinear);
-    score_corpus(
-        detector,
-        |i| generator.benign(i),
-        |i| generator.attack_image(i).unwrap(),
-        N,
-        1,
-    )
-    .unwrap()
+    score_corpus(detector, |i| generator.benign(i), |i| generator.attack_image(i).unwrap(), N, 1)
+        .unwrap()
 }
 
 #[test]
 fn whitebox_threshold_transfers_across_profiles() {
     let train_profile = DatasetProfile::tiny();
     let eval_profile = tiny_variant();
-    let detector = ScalingDetector::new(
-        train_profile.target_size,
-        ScaleAlgorithm::Bilinear,
-        MetricKind::Mse,
-    );
+    let detector =
+        ScalingDetector::new(train_profile.target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse);
     let train = score(&train_profile, &detector);
     let eval = score(&eval_profile, &detector);
 
-    let outcome = run_whitebox(
-        &train,
-        &eval,
-        decamouflage::detection::Direction::AboveIsAttack,
-    )
-    .unwrap();
+    let outcome =
+        run_whitebox(&train, &eval, decamouflage::detection::Direction::AboveIsAttack).unwrap();
     assert!(outcome.train_accuracy >= 0.95);
-    assert!(
-        outcome.eval.accuracy >= 0.9,
-        "transferred threshold degraded: {:?}",
-        outcome.eval
-    );
+    assert!(outcome.eval.accuracy >= 0.9, "transferred threshold degraded: {:?}", outcome.eval);
 }
 
 #[test]
 fn blackbox_percentile_transfers_across_profiles() {
     let train_profile = DatasetProfile::tiny();
     let eval_profile = tiny_variant();
-    let detector = ScalingDetector::new(
-        train_profile.target_size,
-        ScaleAlgorithm::Bilinear,
-        MetricKind::Mse,
-    );
+    let detector =
+        ScalingDetector::new(train_profile.target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse);
     let train = score(&train_profile, &detector);
     let eval = score(&eval_profile, &detector);
 
@@ -79,11 +59,7 @@ fn blackbox_percentile_transfers_across_profiles() {
         decamouflage::detection::Direction::AboveIsAttack,
     )
     .unwrap();
-    assert!(
-        outcome.eval.far <= 0.15,
-        "black-box FAR too high: {:?}",
-        outcome.eval
-    );
+    assert!(outcome.eval.far <= 0.15, "black-box FAR too high: {:?}", outcome.eval);
 }
 
 #[test]
@@ -96,24 +72,13 @@ fn threshold_is_insensitive_to_source_size_within_profile() {
     big.seed ^= 0x1234_5678;
     big.source_sizes = vec![Size::square(80)];
 
-    let detector = ScalingDetector::new(
-        train_profile.target_size,
-        ScaleAlgorithm::Bilinear,
-        MetricKind::Mse,
-    );
+    let detector =
+        ScalingDetector::new(train_profile.target_size, ScaleAlgorithm::Bilinear, MetricKind::Mse);
     let train = score(&train_profile, &detector);
     let eval = score(&big, &detector);
-    let outcome = run_whitebox(
-        &train,
-        &eval,
-        decamouflage::detection::Direction::AboveIsAttack,
-    )
-    .unwrap();
-    assert!(
-        outcome.eval.accuracy >= 0.85,
-        "size shift broke the threshold: {:?}",
-        outcome.eval
-    );
+    let outcome =
+        run_whitebox(&train, &eval, decamouflage::detection::Direction::AboveIsAttack).unwrap();
+    assert!(outcome.eval.accuracy >= 0.85, "size shift broke the threshold: {:?}", outcome.eval);
 }
 
 #[test]

@@ -22,11 +22,8 @@ fn fixtures(tag: &str) -> PathBuf {
     let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
     for i in 0..3u64 {
         write_bmp_file(&generator.benign(i), root.join(format!("benign/{i}.bmp"))).unwrap();
-        write_bmp_file(
-            &generator.attack_image(i).unwrap(),
-            root.join(format!("attack/{i}.bmp")),
-        )
-        .unwrap();
+        write_bmp_file(&generator.attack_image(i).unwrap(), root.join(format!("attack/{i}.bmp")))
+            .unwrap();
     }
     // Held-out pair for checking.
     write_bmp_file(&generator.benign(9), root.join("holdout_benign.bmp")).unwrap();
@@ -109,10 +106,8 @@ fn craft_produces_a_detectable_attack_image() {
 #[test]
 fn check_works_with_builtin_default_thresholds() {
     let root = fixtures("defaults");
-    let (code, _, _) = run(bin()
-        .arg("check")
-        .arg(root.join("holdout_attack.bmp"))
-        .args(["--target", "16x16"]));
+    let (code, _, _) =
+        run(bin().arg("check").arg(root.join("holdout_attack.bmp")).args(["--target", "16x16"]));
     assert_eq!(code, 2, "default thresholds must still flag a strong attack");
     std::fs::remove_dir_all(&root).ok();
 }
@@ -128,10 +123,8 @@ fn bad_invocations_exit_with_usage_errors() {
     assert!(stderr.contains("unknown command"));
 
     let root = fixtures("badargs");
-    let (code, _, stderr) = run(bin()
-        .arg("check")
-        .arg(root.join("holdout_benign.bmp"))
-        .args(["--target", "banana"]));
+    let (code, _, stderr) =
+        run(bin().arg("check").arg(root.join("holdout_benign.bmp")).args(["--target", "banana"]));
     assert_eq!(code, 1);
     assert!(stderr.contains("WxH"));
     std::fs::remove_dir_all(&root).ok();
@@ -181,10 +174,7 @@ fn scan_rejects_empty_directories() {
     let root = std::env::temp_dir().join("decamouflage-cli-test-scan-empty");
     let _ = std::fs::remove_dir_all(&root);
     std::fs::create_dir_all(&root).unwrap();
-    let (code, _, stderr) = run(bin()
-        .arg("scan")
-        .arg(&root)
-        .args(["--target", "16x16"]));
+    let (code, _, stderr) = run(bin().arg("scan").arg(&root).args(["--target", "16x16"]));
     assert_eq!(code, 1);
     assert!(stderr.contains("no .pgm"), "{stderr}");
     std::fs::remove_dir_all(&root).ok();

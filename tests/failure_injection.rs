@@ -108,8 +108,7 @@ fn ensemble_with_failing_member_surfaces_error() {
         }
     }
 
-    let ensemble = Ensemble::new()
-        .with_member(Bomb, Threshold::new(0.0, Direction::AboveIsAttack));
+    let ensemble = Ensemble::new().with_member(Bomb, Threshold::new(0.0, Direction::AboveIsAttack));
     let img = Image::filled(4, 4, Channels::Gray, 1.0);
     let err = ensemble.decide(&img).unwrap_err();
     assert!(err.to_string().contains("injected failure"));
@@ -135,8 +134,7 @@ fn attack_crafting_against_hostile_targets_degrades_gracefully() {
     // averaging) must report non-convergence, not panic.
     let original = Image::filled(32, 32, Channels::Gray, 128.0);
     let target = Image::from_fn_gray(8, 8, |x, _| if x % 2 == 0 { 0.0 } else { 255.0 });
-    let scaler =
-        Scaler::new(Size::square(32), Size::square(8), ScaleAlgorithm::Area).unwrap();
+    let scaler = Scaler::new(Size::square(32), Size::square(8), ScaleAlgorithm::Area).unwrap();
     let crafted = craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap();
     // Area scaling: the crafter must still produce an image in range.
     assert!(crafted.image.min_sample() >= 0.0);

@@ -4,8 +4,8 @@
 //! any of its four substrate layers (transforms, FFT, masking, labelling).
 
 use decamouflage::datasets::{DatasetProfile, SampleGenerator};
-use decamouflage::imaging::transform::{flip_horizontal, flip_vertical, rotate180, rotate90_cw};
 use decamouflage::imaging::scale::ScaleAlgorithm;
+use decamouflage::imaging::transform::{flip_horizontal, flip_vertical, rotate180, rotate90_cw};
 use decamouflage::imaging::Image;
 use decamouflage::spectral::csp::{count_csp, CspConfig};
 use decamouflage::spectral::dft2d::{centered_spectrum, dft2, idft2};
@@ -16,9 +16,7 @@ fn benign() -> Image {
 }
 
 fn attack() -> Image {
-    SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear)
-        .attack_image(3)
-        .unwrap()
+    SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear).attack_image(3).unwrap()
 }
 
 #[test]
@@ -52,10 +50,7 @@ fn spectrum_magnitude_is_invariant_under_spatial_shift_of_periodic_content() {
     let shifted = Image::from_fn_gray(w, h, |x, y| img.get((x + 5) % w, (y + 9) % h, 0));
     let a = centered_spectrum(&img);
     let b = centered_spectrum(&shifted);
-    assert!(
-        a.approx_eq(&b, 1e-6),
-        "centred magnitude spectrum must ignore circular shifts"
-    );
+    assert!(a.approx_eq(&b, 1e-6), "centred magnitude spectrum must ignore circular shifts");
 }
 
 #[test]
@@ -76,8 +71,7 @@ fn windowing_keeps_benign_clean_but_needs_a_retuned_threshold_for_attacks() {
     let benign_w = apply_window(&benign(), WindowKind::Hann);
     assert_eq!(count_csp(&benign_w, &default_config).count, 1);
 
-    let mut retuned = CspConfig::default();
-    retuned.binarize_threshold = 0.55;
+    let retuned = CspConfig { binarize_threshold: 0.55, ..CspConfig::default() };
     let attack_w = apply_window(&attack(), WindowKind::Hann);
     assert!(
         count_csp(&attack_w, &retuned).count >= 2,
@@ -94,8 +88,7 @@ fn all_windows_keep_attack_detectable_after_retuning() {
         (WindowKind::Hamming, 0.55),
         (WindowKind::Blackman, 0.5),
     ] {
-        let mut config = CspConfig::default();
-        config.binarize_threshold = threshold;
+        let config = CspConfig { binarize_threshold: threshold, ..CspConfig::default() };
         let windowed = apply_window(&img, kind);
         assert!(
             count_csp(&windowed, &config).count >= 2,
