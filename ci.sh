@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "== cargo clippy =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

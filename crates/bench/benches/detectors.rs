@@ -14,11 +14,16 @@ use decamouflage_bench::corpus::{DetectorSet, MixedAttackGenerator};
 use decamouflage_core::ensemble::Ensemble;
 use decamouflage_core::parallel::default_threads;
 use decamouflage_core::{
-    Detector, Direction, EngineScores, MetricKind, SteganalysisDetector, Threshold,
+    Detector, Direction, EngineScores, MethodId, MetricKind, SteganalysisDetector, Threshold,
 };
 use decamouflage_datasets::DatasetProfile;
 use decamouflage_imaging::{Image, Size};
 use std::time::Instant;
+
+/// `scaling/mse` → `scaling_mse`: registry names as JSON/Criterion labels.
+fn bench_label(id: MethodId) -> String {
+    id.name().replace(['/', '-'], "_")
+}
 
 fn bench_detection_methods(c: &mut Criterion) {
     let profile = DatasetProfile::neurips_like();
@@ -31,21 +36,12 @@ fn bench_detection_methods(c: &mut Criterion) {
     group.sample_size(10);
     for image in &images {
         let label = format!("{}x{}", image.width(), image.height());
-        group.bench_with_input(BenchmarkId::new("scaling_mse", &label), image, |b, img| {
-            b.iter(|| detectors.scaling(MetricKind::Mse).score(img).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("scaling_ssim", &label), image, |b, img| {
-            b.iter(|| detectors.scaling(MetricKind::Ssim).score(img).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("filtering_mse", &label), image, |b, img| {
-            b.iter(|| detectors.filtering(MetricKind::Mse).score(img).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("filtering_ssim", &label), image, |b, img| {
-            b.iter(|| detectors.filtering(MetricKind::Ssim).score(img).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("steganalysis_csp", &label), image, |b, img| {
-            b.iter(|| detectors.steganalysis().score(img).unwrap())
-        });
+        for &id in MethodId::ALL {
+            let det = detectors.engine().build_detector(id);
+            group.bench_with_input(BenchmarkId::new(bench_label(id), &label), image, |b, img| {
+                b.iter(|| det.score(img).unwrap())
+            });
+        }
         group.bench_with_input(BenchmarkId::new("engine_all_methods", &label), image, |b, img| {
             b.iter(|| detectors.engine().score(img).unwrap())
         });
@@ -108,20 +104,24 @@ fn time_pass(images: &[Image], repeats: usize, mut score: impl FnMut(&[Image])) 
     best
 }
 
+/// One standalone detector per registry method, built once (so timing
+/// measures scoring, not construction).
+fn naive_detectors(detectors: &DetectorSet) -> Vec<(MethodId, Box<dyn Detector>)> {
+    MethodId::ALL.iter().map(|&id| (id, detectors.engine().build_detector(id))).collect()
+}
+
 /// Scores one image the pre-engine way: each naive detector from scratch.
-fn cold_scores(detectors: &DetectorSet, image: &Image) -> EngineScores {
-    EngineScores {
-        scaling_mse: detectors.scaling(MetricKind::Mse).score(image).unwrap(),
-        scaling_ssim: detectors.scaling(MetricKind::Ssim).score(image).unwrap(),
-        filtering_mse: detectors.filtering(MetricKind::Mse).score(image).unwrap(),
-        filtering_ssim: detectors.filtering(MetricKind::Ssim).score(image).unwrap(),
-        csp: detectors.steganalysis().score(image).unwrap(),
+fn cold_scores(naive: &[(MethodId, Box<dyn Detector>)], image: &Image) -> EngineScores {
+    let mut scores = EngineScores::splat(f64::NAN);
+    for (id, det) in naive {
+        scores.set(*id, det.score(image).unwrap());
     }
+    scores
 }
 
 struct Throughput {
     corpus_images: usize,
-    per_detector_s: Vec<(&'static str, f64)>,
+    per_detector_s: Vec<(String, f64)>,
     cold_s: f64,
     engine_s: f64,
     batch_s: f64,
@@ -140,65 +140,40 @@ fn run_throughput() -> Throughput {
         .flat_map(|i| [generator.benign(i), generator.attack(i)])
         .collect();
 
+    let naive = naive_detectors(&detectors);
+
     // Correctness gate: the engine's shared-intermediate path must match
-    // the naive detectors exactly on every corpus image.
+    // the naive detectors exactly on every corpus image — including the
+    // peak-excess score, which the engine derives from the spectrum it
+    // already planned for CSP.
     for image in &images {
         assert_eq!(
             engine.score(image).unwrap(),
-            cold_scores(&detectors, image),
+            cold_scores(&naive, image),
             "engine diverged from the naive detectors"
         );
     }
 
     let repeats = 5;
-    // Per-detector cold latency, one detector at a time.
-    let per_detector_s = vec![
-        (
-            "scaling_mse",
-            time_pass(&images, repeats, |imgs| {
+    // Per-detector cold latency, one detector at a time, straight off the
+    // method registry.
+    let per_detector_s: Vec<(String, f64)> = naive
+        .iter()
+        .map(|(id, det)| {
+            let secs = time_pass(&images, repeats, |imgs| {
                 for img in imgs {
-                    let _ = detectors.scaling(MetricKind::Mse).score(img).unwrap();
+                    let _ = det.score(img).unwrap();
                 }
-            }),
-        ),
-        (
-            "scaling_ssim",
-            time_pass(&images, repeats, |imgs| {
-                for img in imgs {
-                    let _ = detectors.scaling(MetricKind::Ssim).score(img).unwrap();
-                }
-            }),
-        ),
-        (
-            "filtering_mse",
-            time_pass(&images, repeats, |imgs| {
-                for img in imgs {
-                    let _ = detectors.filtering(MetricKind::Mse).score(img).unwrap();
-                }
-            }),
-        ),
-        (
-            "filtering_ssim",
-            time_pass(&images, repeats, |imgs| {
-                for img in imgs {
-                    let _ = detectors.filtering(MetricKind::Ssim).score(img).unwrap();
-                }
-            }),
-        ),
-        (
-            "steganalysis_csp",
-            time_pass(&images, repeats, |imgs| {
-                for img in imgs {
-                    let _ = detectors.steganalysis().score(img).unwrap();
-                }
-            }),
-        ),
-    ];
+            });
+            (bench_label(*id), secs)
+        })
+        .collect();
 
-    // All five scores per image: cold (five detectors) vs one engine pass.
+    // Every registry score per image: cold (standalone detectors) vs one
+    // engine pass.
     let cold_s = time_pass(&images, repeats, |imgs| {
         for img in imgs {
-            let _ = cold_scores(&detectors, img);
+            let _ = cold_scores(&naive, img);
         }
     });
     let engine_s = time_pass(&images, repeats, |imgs| {

@@ -2,9 +2,10 @@
 
 use decamouflage_core::engine::EngineDetectors;
 use decamouflage_core::parallel::{default_threads, parallel_map_indices};
+use decamouflage_core::peak_excess::PeakExcessDetector;
 use decamouflage_core::pipeline::ScoredCorpus;
 use decamouflage_core::{
-    DetectionEngine, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+    DetectionEngine, FilteringDetector, MethodId, MetricKind, ScalingDetector, SteganalysisDetector,
 };
 use decamouflage_datasets::{DatasetProfile, SampleGenerator};
 use decamouflage_imaging::scale::ScaleAlgorithm;
@@ -52,11 +53,10 @@ impl MixedAttackGenerator {
     }
 }
 
-/// The five scorers evaluated throughout the paper, in a fixed order:
-/// `scaling/mse`, `scaling/ssim`, `filtering/mse`, `filtering/ssim`,
-/// `steganalysis/csp`, plus the two negative-result scorers
-/// `scaling/psnr` (Appendix A) and `scaling/colorhist` (§3.1) and
-/// `filtering/psnr` (Appendix A).
+/// Every registered engine method ([`MethodId::ALL`], in registry order)
+/// plus the three negative-result scorers the paper rejects:
+/// `scaling/psnr` (Appendix A), `filtering/psnr` (Appendix A) and
+/// `scaling/colorhist` (§3.1).
 #[derive(Debug)]
 pub struct DetectorSet {
     engine: DetectionEngine,
@@ -64,35 +64,42 @@ pub struct DetectorSet {
 }
 
 /// Index of `scaling/mse` in a [`ScoreSet`].
-pub const IDX_SCALING_MSE: usize = 0;
+pub const IDX_SCALING_MSE: usize = MethodId::ScalingMse as usize;
 /// Index of `scaling/ssim` in a [`ScoreSet`].
-pub const IDX_SCALING_SSIM: usize = 1;
+pub const IDX_SCALING_SSIM: usize = MethodId::ScalingSsim as usize;
 /// Index of `filtering/mse` in a [`ScoreSet`].
-pub const IDX_FILTERING_MSE: usize = 2;
+pub const IDX_FILTERING_MSE: usize = MethodId::FilteringMse as usize;
 /// Index of `filtering/ssim` in a [`ScoreSet`].
-pub const IDX_FILTERING_SSIM: usize = 3;
+pub const IDX_FILTERING_SSIM: usize = MethodId::FilteringSsim as usize;
 /// Index of `steganalysis/csp` in a [`ScoreSet`].
-pub const IDX_STEGANALYSIS: usize = 4;
+pub const IDX_STEGANALYSIS: usize = MethodId::Csp as usize;
+/// Index of `steganalysis/peak-excess` in a [`ScoreSet`].
+pub const IDX_PEAK_EXCESS: usize = MethodId::PeakExcess as usize;
 /// Index of `scaling/psnr` (negative result, Appendix A).
-pub const IDX_SCALING_PSNR: usize = 5;
+pub const IDX_SCALING_PSNR: usize = MethodId::COUNT;
 /// Index of `filtering/psnr` (negative result, Appendix A).
-pub const IDX_FILTERING_PSNR: usize = 6;
+pub const IDX_FILTERING_PSNR: usize = MethodId::COUNT + 1;
 /// Index of `scaling/colorhist` (negative result, §3.1).
-pub const IDX_COLORHIST: usize = 7;
-/// Number of scorers in a [`ScoreSet`].
-pub const SCORER_COUNT: usize = 8;
+pub const IDX_COLORHIST: usize = MethodId::COUNT + 2;
+/// Number of scorers in a [`ScoreSet`]: the whole method registry plus
+/// the three negative-result scorers.
+pub const SCORER_COUNT: usize = MethodId::COUNT + 3;
 
-/// Human-readable scorer names, aligned with the `IDX_*` constants.
-pub const SCORER_NAMES: [&str; SCORER_COUNT] = [
-    "scaling/mse",
-    "scaling/ssim",
-    "filtering/mse",
-    "filtering/ssim",
-    "steganalysis/csp",
-    "scaling/psnr",
-    "filtering/psnr",
-    "scaling/colorhist",
-];
+/// Human-readable scorer names, aligned with the `IDX_*` constants. The
+/// registry slots come straight from [`MethodId::name`], so a newly
+/// registered method is named here automatically.
+pub const SCORER_NAMES: [&str; SCORER_COUNT] = {
+    let mut names = [""; SCORER_COUNT];
+    let mut i = 0;
+    while i < MethodId::COUNT {
+        names[i] = MethodId::ALL[i].name();
+        i += 1;
+    }
+    names[IDX_SCALING_PSNR] = "scaling/psnr";
+    names[IDX_FILTERING_PSNR] = "filtering/psnr";
+    names[IDX_COLORHIST] = "scaling/colorhist";
+    names
+};
 
 impl DetectorSet {
     /// Builds the detector set for a profile's CNN input size. The
@@ -130,8 +137,13 @@ impl DetectorSet {
         &self.detectors.steganalysis
     }
 
+    /// The Fourier peak-excess detector.
+    pub fn peak_excess(&self) -> &PeakExcessDetector {
+        &self.detectors.peak_excess
+    }
+
     /// Scores one image with all scorers in `IDX_*` order, in one engine
-    /// pass: the five paper scorers come from
+    /// pass: every registry method comes from
     /// [`DetectionEngine::score_with_artifacts`] (bit-identical to the
     /// individual detectors), and the PSNR / colour-histogram negative
     /// results reuse the engine's round-tripped and filtered intermediates.
@@ -142,16 +154,14 @@ impl DetectorSet {
             .expect("engine scoring on generated images cannot fail");
         let round = &artifacts.round_tripped;
         let filtered = &artifacts.filtered;
-        [
-            artifacts.scores.scaling_mse,
-            artifacts.scores.scaling_ssim,
-            artifacts.scores.filtering_mse,
-            artifacts.scores.filtering_ssim,
-            artifacts.scores.csp,
-            psnr(image, round).expect("same shape"),
-            psnr(image, filtered).expect("same shape"),
-            histogram_intersection(image, round, 64).expect("same shape"),
-        ]
+        let mut row = [f64::NAN; SCORER_COUNT];
+        for (id, score) in artifacts.scores.iter() {
+            row[id as usize] = score;
+        }
+        row[IDX_SCALING_PSNR] = psnr(image, round).expect("same shape");
+        row[IDX_FILTERING_PSNR] = psnr(image, filtered).expect("same shape");
+        row[IDX_COLORHIST] = histogram_intersection(image, round, 64).expect("same shape");
+        row
     }
 }
 
@@ -275,6 +285,7 @@ pub fn score_profile(profile: &DatasetProfile, config: HarnessConfig) -> ScoreSe
 #[cfg(test)]
 mod tests {
     use super::*;
+    use decamouflage_core::Detector;
 
     fn tiny_context(count: usize) -> ExperimentContext {
         ExperimentContext::with_profiles(
@@ -325,5 +336,22 @@ mod tests {
     fn scorer_names_align_with_count() {
         assert_eq!(SCORER_NAMES.len(), SCORER_COUNT);
         assert_eq!(SCORER_NAMES[IDX_STEGANALYSIS], "steganalysis/csp");
+        assert_eq!(SCORER_NAMES[IDX_PEAK_EXCESS], "steganalysis/peak-excess");
+        assert_eq!(SCORER_NAMES[IDX_COLORHIST], "scaling/colorhist");
+        // Registry slots come first and carry registry names.
+        for (i, &id) in MethodId::ALL.iter().enumerate() {
+            assert_eq!(SCORER_NAMES[i], id.name());
+        }
+    }
+
+    #[test]
+    fn score_all_matches_standalone_peak_excess() {
+        let profile = DatasetProfile::tiny();
+        let detectors = DetectorSet::new(&profile);
+        let g = MixedAttackGenerator::new(profile);
+        let image = g.benign(1);
+        let row = detectors.score_all(&image);
+        let standalone = detectors.peak_excess().score(&image).unwrap();
+        assert_eq!(row[IDX_PEAK_EXCESS], standalone);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::corpus::{
     ExperimentContext, IDX_COLORHIST, IDX_FILTERING_MSE, IDX_FILTERING_PSNR, IDX_FILTERING_SSIM,
-    IDX_SCALING_MSE, IDX_SCALING_PSNR, IDX_SCALING_SSIM, IDX_STEGANALYSIS,
+    IDX_PEAK_EXCESS, IDX_SCALING_MSE, IDX_SCALING_PSNR, IDX_SCALING_SSIM, IDX_STEGANALYSIS,
 };
 use decamouflage_core::pipeline::{
     evaluate_ensemble, evaluate_threshold, run_blackbox, run_whitebox,
@@ -369,13 +369,16 @@ fn table6(ctx: &ExperimentContext) -> Result<String, decamouflage_core::DetectEr
     ))
 }
 
-/// Table 8 — the majority-vote ensembles.
+/// Table 8 — the majority-vote ensembles, with and without the
+/// peak-excess member.
 fn table8(ctx: &ExperimentContext) -> Result<String, decamouflage_core::DetectError> {
+    use decamouflage_core::MethodId;
     let train = ctx.train();
     let eval = ctx.eval();
 
     // White-box member thresholds (best metric per method, as in the paper:
-    // scaling/MSE, filtering/SSIM, steganalysis/CSP).
+    // scaling/MSE, filtering/SSIM, steganalysis/CSP), plus the promoted
+    // peak-excess method under its registry direction.
     let scaling_t = run_whitebox(
         train.of(IDX_SCALING_MSE),
         eval.of(IDX_SCALING_MSE),
@@ -389,13 +392,27 @@ fn table8(ctx: &ExperimentContext) -> Result<String, decamouflage_core::DetectEr
     )?
     .threshold;
     let stego_t = SteganalysisDetector::universal_threshold();
+    let peak_t = run_whitebox(
+        train.of(IDX_PEAK_EXCESS),
+        eval.of(IDX_PEAK_EXCESS),
+        MethodId::PeakExcess.direction(),
+    )?
+    .threshold;
     let whitebox = evaluate_ensemble(&[
         (eval.of(IDX_SCALING_MSE), scaling_t),
         (eval.of(IDX_FILTERING_SSIM), filtering_t),
         (eval.of(IDX_STEGANALYSIS), stego_t),
     ])?;
+    let whitebox_peak = evaluate_ensemble(&[
+        (eval.of(IDX_SCALING_MSE), scaling_t),
+        (eval.of(IDX_FILTERING_SSIM), filtering_t),
+        (eval.of(IDX_STEGANALYSIS), stego_t),
+        (eval.of(IDX_PEAK_EXCESS), peak_t),
+    ])?;
 
-    // Black-box member thresholds (1% benign percentile + fixed CSP).
+    // Black-box member thresholds (1% benign percentile + fixed CSP; the
+    // peak-excess member gets the same benign percentile treatment because
+    // the registry gives it no universal threshold).
     let scaling_bb = decamouflage_core::threshold::percentile_blackbox(
         &train.of(IDX_SCALING_MSE).benign,
         1.0,
@@ -406,18 +423,33 @@ fn table8(ctx: &ExperimentContext) -> Result<String, decamouflage_core::DetectEr
         1.0,
         Direction::BelowIsAttack,
     )?;
+    let peak_bb = decamouflage_core::threshold::percentile_blackbox(
+        &train.of(IDX_PEAK_EXCESS).benign,
+        1.0,
+        MethodId::PeakExcess.direction(),
+    )?;
     let blackbox = evaluate_ensemble(&[
         (eval.of(IDX_SCALING_MSE), scaling_bb),
         (eval.of(IDX_FILTERING_SSIM), filtering_bb),
         (eval.of(IDX_STEGANALYSIS), stego_t),
     ])?;
+    let blackbox_peak = evaluate_ensemble(&[
+        (eval.of(IDX_SCALING_MSE), scaling_bb),
+        (eval.of(IDX_FILTERING_SSIM), filtering_bb),
+        (eval.of(IDX_STEGANALYSIS), stego_t),
+        (eval.of(IDX_PEAK_EXCESS), peak_bb),
+    ])?;
 
     let mut t = MarkdownTable::new(vec!["Setting", "Acc.", "Prec.", "Rec.", "FAR", "FRR"]);
     t.push_row(metrics_row("White-box ensemble", &whitebox));
+    t.push_row(metrics_row("White-box ensemble + peak-excess", &whitebox_peak));
     t.push_row(metrics_row("Black-box ensemble", &blackbox));
+    t.push_row(metrics_row("Black-box ensemble + peak-excess", &blackbox_peak));
     Ok(format!(
         "## Table 8 — Decamouflage as a majority-vote ensemble\n\n\
-         (members: scaling/MSE, filtering/SSIM, steganalysis/CSP; evaluated on `{}`)\n\n{t}",
+         (paper members: scaling/MSE, filtering/SSIM, steganalysis/CSP; the `+ peak-excess` \
+         rows add the promoted steganalysis/peak-excess method as a fourth voter, which \
+         raises the majority bar from 2-of-3 to 3-of-4; evaluated on `{}`)\n\n{t}",
         ctx.eval_profile.name
     ))
 }
@@ -713,6 +745,8 @@ mod tests {
         let s8 = run_experiment("table8", &ctx).unwrap();
         assert!(s8.contains("White-box ensemble"));
         assert!(s8.contains("Black-box ensemble"));
+        assert!(s8.contains("White-box ensemble + peak-excess"));
+        assert!(s8.contains("Black-box ensemble + peak-excess"));
     }
 
     #[test]
@@ -725,6 +759,7 @@ mod tests {
         let roc = run_experiment("roc", &ctx).unwrap();
         assert!(roc.contains("AUC"));
         assert!(roc.contains("scaling/mse"));
+        assert!(roc.contains("steganalysis/peak-excess"));
         let missed = run_experiment("table9-missed", &ctx).unwrap();
         assert!(missed.contains("alpha"));
     }
@@ -826,19 +861,21 @@ fn ablate_csp_sensitivity(ctx: &ExperimentContext) -> String {
 fn roc_table(ctx: &ExperimentContext) -> Result<String, decamouflage_core::DetectError> {
     use crate::corpus::{IDX_FILTERING_PSNR, IDX_SCALING_PSNR, SCORER_NAMES};
     use decamouflage_core::roc::roc_curve;
+    use decamouflage_core::MethodId;
     let train = ctx.train();
     let mut t = MarkdownTable::new(vec!["Scorer", "AUC (train profile)", "verdict"]);
-    let directions = [
-        (IDX_SCALING_MSE, Direction::AboveIsAttack),
-        (IDX_SCALING_SSIM, Direction::BelowIsAttack),
-        (IDX_FILTERING_MSE, Direction::AboveIsAttack),
-        (IDX_FILTERING_SSIM, Direction::BelowIsAttack),
-        (IDX_STEGANALYSIS, Direction::AboveIsAttack),
+    // Every registry method sweeps under its registry direction; the three
+    // negative-result scorers are appended with the orientation under which
+    // they would have to work. A newly registered method is swept with no
+    // change here.
+    let mut entries: Vec<(usize, Direction)> =
+        MethodId::ALL.iter().map(|&id| (id as usize, id.direction())).collect();
+    entries.extend([
         (IDX_SCALING_PSNR, Direction::BelowIsAttack),
         (IDX_FILTERING_PSNR, Direction::BelowIsAttack),
         (IDX_COLORHIST, Direction::BelowIsAttack),
-    ];
-    for (idx, direction) in directions {
+    ]);
+    for (idx, direction) in entries {
         let corpus = train.of(idx);
         // PSNR of identical images is +inf; clamp for the sweep.
         let clamp = |v: &f64| if v.is_finite() { *v } else { 1e6 };

@@ -7,7 +7,7 @@
 use crate::corpus::{DetectorSet, MixedAttackGenerator};
 use crate::ExperimentContext;
 use decamouflage_core::report::{number, MarkdownTable};
-use decamouflage_core::{Detector, MetricKind};
+use decamouflage_core::MethodId;
 use decamouflage_imaging::Image;
 use std::time::Instant;
 
@@ -25,7 +25,31 @@ pub fn time_per_image(images: &[Image], mut score: impl FnMut(&Image)) -> (f64, 
     (mean, var.sqrt())
 }
 
-/// Table 7 — run-time overhead of each detection method.
+fn title_case(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Derives the paper's Method / Metric table labels from a registry name:
+/// `scaling/mse` → `("Scaling", "MSE")`, `steganalysis/peak-excess` →
+/// `("Steganalysis", "Peak excess")`. A newly registered method gets a
+/// readable label with no change here.
+fn method_metric_labels(id: MethodId) -> (String, String) {
+    let name = id.name();
+    let (family, metric) = name.split_once('/').unwrap_or((name, name));
+    let metric = match metric {
+        "mse" | "ssim" | "csp" => metric.to_uppercase(),
+        other => title_case(&other.replace('-', " ")),
+    };
+    (title_case(family), metric)
+}
+
+/// Table 7 — run-time overhead of each detection method. The rows come
+/// straight from the method registry ([`MethodId::ALL`]) plus one
+/// all-methods engine row.
 pub fn table7(ctx: &ExperimentContext) -> String {
     let repeats = ctx.config.count.clamp(3, 30);
     let generator = MixedAttackGenerator::new(ctx.train_profile.clone());
@@ -42,46 +66,22 @@ pub fn table7(ctx: &ExperimentContext) -> String {
         t.push_row(vec![method.to_string(), metric.to_string(), number(stats.0), number(stats.1)]);
     };
 
-    push(
-        "Scaling",
-        "MSE",
-        time_per_image(&images, |img| {
-            let _ = detectors.scaling(MetricKind::Mse).score(img);
-        }),
-    );
-    push(
-        "Scaling",
-        "SSIM",
-        time_per_image(&images, |img| {
-            let _ = detectors.scaling(MetricKind::Ssim).score(img);
-        }),
-    );
-    push(
-        "Filtering",
-        "MSE",
-        time_per_image(&images, |img| {
-            let _ = detectors.filtering(MetricKind::Mse).score(img);
-        }),
-    );
-    push(
-        "Filtering",
-        "SSIM",
-        time_per_image(&images, |img| {
-            let _ = detectors.filtering(MetricKind::Ssim).score(img);
-        }),
-    );
-    push(
-        "Steganalysis",
-        "CSP",
-        time_per_image(&images, |img| {
-            let _ = detectors.steganalysis().score(img);
-        }),
-    );
-    // Beyond the paper: all five scores from one shared-intermediate engine
-    // pass, the cost a deployment running the full ensemble actually pays.
+    for &id in MethodId::ALL {
+        let (method, metric) = method_metric_labels(id);
+        let detector = detectors.engine().build_detector(id);
+        push(
+            &method,
+            &metric,
+            time_per_image(&images, |img| {
+                let _ = detector.score(img);
+            }),
+        );
+    }
+    // Beyond the paper: every registry score from one shared-intermediate
+    // engine pass, the cost a deployment running the full ensemble pays.
     push(
         "Engine (all methods)",
-        "MSE+SSIM+CSP",
+        "All registry methods",
         time_per_image(&images, |img| {
             let _ = detectors.engine().score(img);
         }),
@@ -123,6 +123,19 @@ mod tests {
         assert!(s.contains("Filtering"));
         assert!(s.contains("Steganalysis"));
         assert!(s.contains("SSIM"));
+        assert!(s.contains("Peak excess"));
         assert!(s.contains("Engine (all methods)"));
+    }
+
+    #[test]
+    fn labels_derive_from_registry_names() {
+        assert_eq!(
+            method_metric_labels(MethodId::ScalingMse),
+            ("Scaling".to_string(), "MSE".to_string())
+        );
+        assert_eq!(
+            method_metric_labels(MethodId::PeakExcess),
+            ("Steganalysis".to_string(), "Peak excess".to_string())
+        );
     }
 }

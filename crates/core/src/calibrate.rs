@@ -20,7 +20,10 @@
 //! ```
 
 use crate::detector::Detector;
+use crate::engine::DetectionEngine;
 use crate::ensemble::EnsembleMember;
+use crate::method::ScoreVector;
+use crate::persist::ThresholdSet;
 use crate::threshold::{percentile_blackbox, search_whitebox, Threshold};
 use crate::DetectError;
 use decamouflage_imaging::Image;
@@ -103,6 +106,67 @@ pub fn calibrated_member<D: Detector + 'static>(
     Ok(EnsembleMember::new(detector, calibration.threshold))
 }
 
+fn engine_score_all(
+    engine: &DetectionEngine,
+    images: &[Image],
+) -> Result<Vec<ScoreVector>, DetectError> {
+    images.iter().map(|img| engine.score(img)).collect()
+}
+
+/// White-box calibration of **every enabled engine method** in one engine
+/// pass per image: each image is scored once, then each method's threshold
+/// comes from its own score column under its registry direction
+/// ([`crate::MethodId::direction`]).
+///
+/// # Errors
+///
+/// Propagates scoring failures and calibration-input errors (empty sets).
+pub fn calibrate_engine_whitebox(
+    engine: &DetectionEngine,
+    benign: &[Image],
+    attacks: &[Image],
+) -> Result<ThresholdSet, DetectError> {
+    let benign_scores = engine_score_all(engine, benign)?;
+    let attack_scores = engine_score_all(engine, attacks)?;
+    let mut set = ThresholdSet::new();
+    for id in engine.methods().iter() {
+        let b: Vec<f64> = benign_scores.iter().map(|s| s.get(id)).collect();
+        let a: Vec<f64> = attack_scores.iter().map(|s| s.get(id)).collect();
+        let search = search_whitebox(&b, &a, id.direction())?;
+        set.insert(id, search.threshold);
+    }
+    Ok(set)
+}
+
+/// Black-box calibration of every enabled engine method from benign
+/// samples only. Methods carrying a universal threshold
+/// ([`crate::MethodId::fixed_blackbox_threshold`] — the paper's
+/// `CSP_T = 2`) keep it without touching the scores; every other method
+/// gets the `tail_percent` benign percentile under its registry direction.
+///
+/// # Errors
+///
+/// Propagates scoring failures and calibration-input errors.
+pub fn calibrate_engine_blackbox(
+    engine: &DetectionEngine,
+    benign: &[Image],
+    tail_percent: f64,
+) -> Result<ThresholdSet, DetectError> {
+    let benign_scores = engine_score_all(engine, benign)?;
+    let mut set = ThresholdSet::new();
+    for id in engine.methods().iter() {
+        let threshold = match id.fixed_blackbox_threshold() {
+            Some(fixed) => fixed,
+            None => {
+                let b: Vec<f64> = benign_scores.iter().map(|s| s.get(id)).collect();
+                percentile_blackbox(&b, tail_percent, id.direction())?
+            }
+        };
+        set.insert(id, threshold);
+    }
+    Ok(set)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +232,59 @@ mod tests {
     fn empty_sets_are_rejected() {
         assert!(calibrate_whitebox(&MeanDetector, &[], &flats(&[1.0])).is_err());
         assert!(calibrate_blackbox(&MeanDetector, &[], 1.0).is_err());
+    }
+
+    use crate::method::MethodId;
+    use decamouflage_imaging::Size;
+
+    fn scenes(shift: f64, count: usize) -> Vec<Image> {
+        (0..count)
+            .map(|i| {
+                Image::from_fn_gray(24, 24, move |x, y| {
+                    (90.0
+                        + shift
+                        + 50.0 * ((x as f64 + i as f64) * 0.07).sin()
+                        + 30.0 * ((y as f64) * 0.05).cos())
+                    .round()
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_whitebox_covers_every_enabled_method() {
+        let engine = DetectionEngine::new(Size::square(8));
+        let benign = scenes(0.0, 3);
+        let attacks: Vec<Image> = scenes(40.0, 3).iter().map(|i| i.map(|v| 255.0 - v)).collect();
+        let set = calibrate_engine_whitebox(&engine, &benign, &attacks).unwrap();
+        assert_eq!(set.len(), engine.methods().len());
+        for id in engine.methods().iter() {
+            let t = set.get(id).expect("every enabled method is calibrated");
+            assert_eq!(t.direction(), id.direction());
+        }
+        // The registry's test-only dummy method calibrated too — no
+        // calibrate-layer change was needed to include it.
+        assert!(set.get(MethodId::DummyMean).is_some());
+    }
+
+    #[test]
+    fn engine_blackbox_keeps_fixed_csp_threshold() {
+        let engine = DetectionEngine::new(Size::square(8));
+        let benign = scenes(0.0, 4);
+        let set = calibrate_engine_blackbox(&engine, &benign, 5.0).unwrap();
+        assert_eq!(set.len(), engine.methods().len());
+        assert_eq!(set.get(MethodId::Csp), Some(SteganalysisDetector::universal_threshold()));
+        let peak = set.get(MethodId::PeakExcess).unwrap();
+        assert_eq!(peak.direction(), Direction::AboveIsAttack);
+        assert!(peak.value().is_finite());
+    }
+
+    use crate::steganalysis::SteganalysisDetector;
+
+    #[test]
+    fn engine_calibration_rejects_empty_sets() {
+        let engine = DetectionEngine::new(Size::square(8));
+        assert!(calibrate_engine_whitebox(&engine, &[], &scenes(0.0, 2)).is_err());
+        assert!(calibrate_engine_blackbox(&engine, &[], 1.0).is_err());
     }
 }

@@ -1,11 +1,11 @@
 //! Shared-intermediate batch detection engine.
 //!
-//! Scoring one image with the three detection methods independently
-//! recomputes everything from scratch: the scaling detectors build four
-//! resampling plans and run two round trips, each SSIM evaluation blurs the
-//! *input* image again, and the steganalysis detector materialises four
-//! intermediate spectrum images. [`DetectionEngine`] scores an image with
-//! all methods in one pass and shares the intermediates instead:
+//! Scoring one image with the detection methods independently recomputes
+//! everything from scratch: the scaling detectors build four resampling
+//! plans and run two round trips, each SSIM evaluation blurs the *input*
+//! image again, and both frequency-domain methods transform the image
+//! separately. [`DetectionEngine`] scores an image with every enabled
+//! method in one pass and shares the intermediates instead:
 //!
 //! * one round trip through cached resampling plans
 //!   ([`ScalerCache`]) serves both scaling metrics,
@@ -13,19 +13,32 @@
 //! * one [`SsimReference`] (precomputed `blur(I)`, `blur(I²)`) serves the
 //!   scaling *and* filtering SSIM scores, with the blurs on the fast
 //!   scratch-buffer convolution path,
-//! * the CSP count runs on the planned-DFT fused pipeline
-//!   ([`count_csp_planned`]) without intermediate spectrum images.
+//! * one planned DFT serves the CSP count (via the fused
+//!   [`count_csp_in_spectrum`] pipeline) **and** the radial peak-excess
+//!   score — with the engine's default rectangular peak window the
+//!   windowing step is the identity, so no second transform runs.
+//!
+//! The methods themselves live in the typed registry
+//! ([`MethodId`]): scores come back as a dense
+//! [`ScoreVector`] and the set of methods to run is a [`MethodSet`]
+//! ([`DetectionEngine::with_methods`]). A method without a fused fast path
+//! falls back to its registry-constructed detector
+//! ([`DetectionEngine::build_detector`] — the single constructor site a new
+//! method has to touch).
 //!
 //! Every shared path is bit-identical to its staged counterpart, so engine
-//! scores equal the individual [`Detector`](crate::Detector)
+//! scores equal the individual [`Detector`]
 //! implementations exactly — asserted by the tests in this module and the
 //! crate's property tests. The naive detectors stay as the reference
 //! implementation (and the honest cold baseline for the benchmark suite).
 
-use crate::detector::MetricKind;
+use crate::detector::{Detector, MetricKind};
 use crate::ensemble::EnsembleDecision;
 use crate::filtering::FilteringDetector;
+use crate::method::{MethodId, MethodSet, ScoreVector};
 use crate::parallel::parallel_map_indices;
+use crate::peak_excess::PeakExcessDetector;
+use crate::persist::ThresholdSet;
 use crate::scaling::ScalingDetector;
 use crate::steganalysis::SteganalysisDetector;
 use crate::threshold::Threshold;
@@ -34,42 +47,16 @@ use decamouflage_imaging::filter::{rank_filter, RankKind};
 use decamouflage_imaging::scale::{ScaleAlgorithm, ScalerCache};
 use decamouflage_imaging::{Image, Size};
 use decamouflage_metrics::{mse, SsimConfig, SsimReference};
-use decamouflage_spectral::csp::{count_csp_planned, CspConfig};
+use decamouflage_spectral::csp::{count_csp_in_spectrum, CspConfig};
+use decamouflage_spectral::dft2d::dft2_planned;
+use decamouflage_spectral::radial::peak_excess;
+use decamouflage_spectral::window::{apply_window, WindowKind};
 
-/// The five per-image scores the engine produces, one per
-/// `(method, metric)` pair.
-#[derive(Debug, Clone, PartialEq)]
-pub struct EngineScores {
-    /// Scaling detection, MSE metric (`mse(I, roundtrip(I))`).
-    pub scaling_mse: f64,
-    /// Scaling detection, SSIM metric.
-    pub scaling_ssim: f64,
-    /// Filtering detection, MSE metric (`mse(I, minfilter(I))`).
-    pub filtering_mse: f64,
-    /// Filtering detection, SSIM metric.
-    pub filtering_ssim: f64,
-    /// Steganalysis: centered-spectrum-point count.
-    pub csp: f64,
-}
-
-impl EngineScores {
-    /// The score for one `(method, metric)` pair, with `metric` selecting
-    /// between the MSE and SSIM variants of the scaling score.
-    pub fn scaling(&self, metric: MetricKind) -> f64 {
-        match metric {
-            MetricKind::Mse => self.scaling_mse,
-            MetricKind::Ssim => self.scaling_ssim,
-        }
-    }
-
-    /// The filtering score under `metric`.
-    pub fn filtering(&self, metric: MetricKind) -> f64 {
-        match metric {
-            MetricKind::Mse => self.filtering_mse,
-            MetricKind::Ssim => self.filtering_ssim,
-        }
-    }
-}
+/// The per-image scores the engine produces — an alias kept from the days
+/// when this was a fixed five-field struct. Use the [`ScoreVector`] API
+/// (`get`, `iter`, indexing by [`MethodId`]) or the field-style shims
+/// (`scaling_mse()`, `csp()`, …).
+pub type EngineScores = ScoreVector;
 
 /// Scores plus the shared intermediate images, for callers that feed
 /// additional scorers (PSNR, colour histograms, …) from the same round
@@ -82,22 +69,37 @@ pub struct EngineArtifacts {
     pub round_tripped: Image,
     /// The rank-filtered image.
     pub filtered: Image,
-    /// The five engine scores.
-    pub scores: EngineScores,
+    /// The centred log-magnitude spectrum the peak-excess score was read
+    /// from. `Some` iff [`MethodId::PeakExcess`] is enabled.
+    pub centered_spectrum: Option<Image>,
+    /// The engine scores (`NaN` for disabled methods).
+    pub scores: ScoreVector,
 }
 
 /// Engine scores for a full benign + attack corpus.
 #[derive(Debug, Clone)]
 pub struct EngineCorpus {
     /// Scores of the benign samples, in index order.
-    pub benign: Vec<EngineScores>,
+    pub benign: Vec<ScoreVector>,
     /// Scores of the attack samples, in index order.
-    pub attack: Vec<EngineScores>,
+    pub attack: Vec<ScoreVector>,
+}
+
+impl EngineCorpus {
+    /// The benign scores of one method, in index order.
+    pub fn benign_column(&self, id: MethodId) -> Vec<f64> {
+        self.benign.iter().map(|s| s.get(id)).collect()
+    }
+
+    /// The attack scores of one method, in index order.
+    pub fn attack_column(&self, id: MethodId) -> Vec<f64> {
+        self.attack.iter().map(|s| s.get(id)).collect()
+    }
 }
 
 /// The naive single-method detectors equivalent to one engine
 /// configuration. Scoring with any of them matches the corresponding
-/// [`EngineScores`] field exactly.
+/// [`ScoreVector`] slot exactly.
 #[derive(Debug, Clone)]
 pub struct EngineDetectors {
     /// Scaling detection with the MSE metric.
@@ -110,38 +112,82 @@ pub struct EngineDetectors {
     pub filtering_ssim: FilteringDetector,
     /// Steganalysis (CSP counting).
     pub steganalysis: SteganalysisDetector,
+    /// Radial peak excess on the engine's peak window.
+    pub peak_excess: PeakExcessDetector,
 }
 
-/// Calibrated thresholds for [`DetectionEngine::decide`]: one method each,
-/// with the metric choice for the scaling and filtering members.
-#[derive(Debug, Clone, PartialEq)]
+/// Calibrated thresholds for [`DetectionEngine::decide`]: a
+/// [`MethodId`]-keyed map. Methods without an entry simply don't vote, so
+/// the paper's three-member ensemble is a three-entry map.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineThresholds {
-    /// Metric of the scaling member.
-    pub scaling_metric: MetricKind,
-    /// Threshold of the scaling member.
-    pub scaling: Threshold,
-    /// Metric of the filtering member.
-    pub filtering_metric: MetricKind,
-    /// Threshold of the filtering member.
-    pub filtering: Threshold,
-    /// Threshold of the steganalysis member (the paper's `CSP_T = 2`).
-    pub steganalysis: Threshold,
+    entries: [Option<Threshold>; MethodId::COUNT],
 }
 
-/// Scores one image with all three detection methods while sharing
+impl EngineThresholds {
+    /// Creates an empty threshold map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insert.
+    #[must_use]
+    pub fn with(mut self, id: MethodId, threshold: Threshold) -> Self {
+        self.set(id, threshold);
+        self
+    }
+
+    /// Sets the threshold of one method, returning the previous value.
+    pub fn set(&mut self, id: MethodId, threshold: Threshold) -> Option<Threshold> {
+        self.entries[id as usize].replace(threshold)
+    }
+
+    /// The threshold of one method, if set.
+    pub fn get(&self, id: MethodId) -> Option<Threshold> {
+        self.entries[id as usize]
+    }
+
+    /// Iterates `(id, threshold)` entries in canonical method order.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, Threshold)> + '_ {
+        MethodId::ALL.iter().filter_map(move |&id| self.entries[id as usize].map(|t| (id, t)))
+    }
+
+    /// Number of thresholds set.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether no threshold is set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Builds the map from a persisted [`ThresholdSet`].
+    pub fn from_threshold_set(set: &ThresholdSet) -> Self {
+        set.iter().fold(Self::new(), |map, (id, t)| map.with(id, t))
+    }
+
+    /// Converts the map into a persistable [`ThresholdSet`].
+    pub fn to_threshold_set(&self) -> ThresholdSet {
+        self.iter().collect()
+    }
+}
+
+/// Scores one image with every enabled detection method while sharing
 /// intermediates (see the module docs).
 ///
 /// # Example
 ///
 /// ```
-/// use decamouflage_core::DetectionEngine;
+/// use decamouflage_core::{DetectionEngine, MethodId};
 /// use decamouflage_imaging::{Image, Size};
 ///
 /// # fn main() -> Result<(), decamouflage_core::DetectError> {
 /// let engine = DetectionEngine::new(Size::square(16));
 /// let image = Image::from_fn_gray(64, 64, |x, y| (((x + y) * 2) % 200) as f64 + 20.0);
 /// let scores = engine.score(&image)?;
-/// assert!(scores.csp >= 1.0);
+/// assert!(scores.csp() >= 1.0);
+/// assert!(scores.get(MethodId::PeakExcess).is_finite());
 /// # Ok(())
 /// # }
 /// ```
@@ -153,13 +199,17 @@ pub struct DetectionEngine {
     filter_window: usize,
     filter_rank: RankKind,
     csp_config: CspConfig,
+    peak_window: WindowKind,
+    methods: MethodSet,
 }
 
 impl DetectionEngine {
     /// Creates an engine with the reproduction's standard configuration for
     /// a CNN input size: a bilinear defender round trip, the default SSIM
-    /// window, the paper's 2×2 minimum filter and the target-tuned CSP
-    /// configuration of [`SteganalysisDetector::for_target`].
+    /// window, the paper's 2×2 minimum filter, the target-tuned CSP
+    /// configuration of [`SteganalysisDetector::for_target`], a rectangular
+    /// peak-excess window (so the CSP spectrum is reused as-is) and every
+    /// registered method enabled.
     pub fn new(target: Size) -> Self {
         Self {
             target,
@@ -168,6 +218,8 @@ impl DetectionEngine {
             filter_window: 2,
             filter_rank: RankKind::Minimum,
             csp_config: SteganalysisDetector::for_target(target).config().clone(),
+            peak_window: WindowKind::Rectangular,
+            methods: MethodSet::all(),
         }
     }
 
@@ -200,6 +252,24 @@ impl DetectionEngine {
         self
     }
 
+    /// Overrides the peak-excess window function. Anything other than
+    /// [`WindowKind::Rectangular`] costs a second DFT per image, because
+    /// the CSP spectrum (computed on the unwindowed image) can no longer
+    /// be shared.
+    #[must_use]
+    pub fn with_peak_window(mut self, window: WindowKind) -> Self {
+        self.peak_window = window;
+        self
+    }
+
+    /// Restricts which methods [`DetectionEngine::score`] runs. Disabled
+    /// methods score `NaN`.
+    #[must_use]
+    pub fn with_methods(mut self, methods: MethodSet) -> Self {
+        self.methods = methods;
+        self
+    }
+
     /// The CNN input size the round trip passes through.
     pub const fn target(&self) -> Size {
         self.target
@@ -208,6 +278,54 @@ impl DetectionEngine {
     /// The round-trip scaling algorithm.
     pub const fn algorithm(&self) -> ScaleAlgorithm {
         self.algorithm
+    }
+
+    /// The peak-excess window function.
+    pub const fn peak_window(&self) -> WindowKind {
+        self.peak_window
+    }
+
+    /// The enabled methods.
+    pub const fn methods(&self) -> MethodSet {
+        self.methods
+    }
+
+    /// Constructs the naive standalone detector for one method under this
+    /// engine's configuration.
+    ///
+    /// This is the registry's **single constructor site**: a new
+    /// [`MethodId`] variant needs an arm here and nothing else — scoring
+    /// (via the generic fallback), calibration, persistence, ensembles and
+    /// the experiment harness all enumerate the registry.
+    pub fn build_detector(&self, id: MethodId) -> Box<dyn Detector> {
+        match id {
+            MethodId::ScalingMse => Box::new(
+                ScalingDetector::new(self.target, self.algorithm, MetricKind::Mse)
+                    .with_ssim_config(self.ssim_config.clone()),
+            ),
+            MethodId::ScalingSsim => Box::new(
+                ScalingDetector::new(self.target, self.algorithm, MetricKind::Ssim)
+                    .with_ssim_config(self.ssim_config.clone()),
+            ),
+            MethodId::FilteringMse => Box::new(
+                FilteringDetector::new(MetricKind::Mse)
+                    .with_window(self.filter_window)
+                    .with_rank(self.filter_rank)
+                    .with_ssim_config(self.ssim_config.clone()),
+            ),
+            MethodId::FilteringSsim => Box::new(
+                FilteringDetector::new(MetricKind::Ssim)
+                    .with_window(self.filter_window)
+                    .with_rank(self.filter_rank)
+                    .with_ssim_config(self.ssim_config.clone()),
+            ),
+            MethodId::Csp => Box::new(SteganalysisDetector::with_config(self.csp_config.clone())),
+            MethodId::PeakExcess => {
+                Box::new(PeakExcessDetector::for_target(self.target).with_window(self.peak_window))
+            }
+            #[cfg(test)]
+            MethodId::DummyMean => Box::new(crate::method::DummyMeanDetector),
+        }
     }
 
     /// The equivalent naive detectors for this configuration, for threshold
@@ -227,11 +345,14 @@ impl DetectionEngine {
                 .with_rank(self.filter_rank)
                 .with_ssim_config(self.ssim_config.clone()),
             steganalysis: SteganalysisDetector::with_config(self.csp_config.clone()),
+            peak_excess: PeakExcessDetector::for_target(self.target).with_window(self.peak_window),
         }
     }
 
-    /// Scores `image` with all three methods, returning the shared
-    /// intermediates alongside the scores.
+    /// Scores `image` with every enabled method, returning the shared
+    /// intermediates alongside the scores. The spatial intermediates
+    /// (round trip, filtered image) are always produced — they are the
+    /// artifact contract downstream scorers rely on.
     ///
     /// # Errors
     ///
@@ -244,62 +365,117 @@ impl DetectionEngine {
         // once and reused for the upscale leg.
         let downscaled = cache.get(src, self.target, self.algorithm)?.apply(image)?;
         let round_tripped = cache.get(self.target, src, self.algorithm)?.apply(&downscaled)?;
-        let scaling_mse = mse(image, &round_tripped)?;
-
-        // One reference-side SSIM precomputation serves both comparisons.
-        let reference = SsimReference::new(image, &self.ssim_config)?;
-        let scaling_ssim = reference.score_against(&round_tripped)?;
-
         let filtered = rank_filter(image, self.filter_window, self.filter_rank)?;
-        let filtering_mse = mse(image, &filtered)?;
-        let filtering_ssim = reference.score_against(&filtered)?;
 
-        let csp = count_csp_planned(image, &self.csp_config).count as f64;
+        let mut scores = ScoreVector::splat(f64::NAN);
+        let mut fused = MethodSet::empty();
 
-        Ok(EngineArtifacts {
-            downscaled,
-            round_tripped,
-            filtered,
-            scores: EngineScores { scaling_mse, scaling_ssim, filtering_mse, filtering_ssim, csp },
-        })
+        if self.methods.contains(MethodId::ScalingMse) {
+            scores.set(MethodId::ScalingMse, mse(image, &round_tripped)?);
+            fused.insert(MethodId::ScalingMse);
+        }
+        if self.methods.contains(MethodId::FilteringMse) {
+            scores.set(MethodId::FilteringMse, mse(image, &filtered)?);
+            fused.insert(MethodId::FilteringMse);
+        }
+        if self.methods.contains(MethodId::ScalingSsim)
+            || self.methods.contains(MethodId::FilteringSsim)
+        {
+            // One reference-side SSIM precomputation serves both comparisons.
+            let reference = SsimReference::new(image, &self.ssim_config)?;
+            if self.methods.contains(MethodId::ScalingSsim) {
+                scores.set(MethodId::ScalingSsim, reference.score_against(&round_tripped)?);
+                fused.insert(MethodId::ScalingSsim);
+            }
+            if self.methods.contains(MethodId::FilteringSsim) {
+                scores.set(MethodId::FilteringSsim, reference.score_against(&filtered)?);
+                fused.insert(MethodId::FilteringSsim);
+            }
+        }
+
+        let mut centered_spectrum = None;
+        if self.methods.contains(MethodId::Csp) || self.methods.contains(MethodId::PeakExcess) {
+            // One planned DFT serves both frequency-domain methods.
+            let spectrum = dft2_planned(image);
+            if self.methods.contains(MethodId::Csp) {
+                scores.set(
+                    MethodId::Csp,
+                    count_csp_in_spectrum(&spectrum, &self.csp_config).count as f64,
+                );
+                fused.insert(MethodId::Csp);
+            }
+            if self.methods.contains(MethodId::PeakExcess) {
+                let peak =
+                    PeakExcessDetector::for_target(self.target).with_window(self.peak_window);
+                let centred = if self.peak_window == WindowKind::Rectangular {
+                    // A rectangular window is the identity, so the CSP
+                    // plan's DFT *is* the windowed spectrum — shift and
+                    // log-normalise it instead of transforming again.
+                    spectrum.shifted().log_magnitude()
+                } else {
+                    dft2_planned(&apply_window(&image.to_gray(), self.peak_window))
+                        .shifted()
+                        .log_magnitude()
+                };
+                let (min_r, max_r) = peak.radii_for(image);
+                scores.set(MethodId::PeakExcess, peak_excess(&centred, min_r.max(1), max_r.max(2)));
+                centered_spectrum = Some(centred);
+                fused.insert(MethodId::PeakExcess);
+            }
+        }
+
+        // Generic fallback: any enabled method without a fused fast path
+        // above is scored through its registry-constructed detector. This
+        // is what makes a freshly registered method work end-to-end before
+        // (or without) anyone writing a shared-intermediate path for it.
+        for id in self.methods.iter() {
+            if !fused.contains(id) {
+                scores.set(id, self.build_detector(id).score(image)?);
+            }
+        }
+
+        Ok(EngineArtifacts { downscaled, round_tripped, filtered, centered_spectrum, scores })
     }
 
-    /// Scores `image` with all three methods.
+    /// Scores `image` with every enabled method.
     ///
     /// # Errors
     ///
     /// Same conditions as [`DetectionEngine::score_with_artifacts`].
-    pub fn score(&self, image: &Image) -> Result<EngineScores, DetectError> {
+    pub fn score(&self, image: &Image) -> Result<ScoreVector, DetectError> {
         Ok(self.score_with_artifacts(image)?.scores)
     }
 
-    /// Majority vote over the three methods, scored in one engine pass.
-    /// The decision (member names included) matches an
-    /// [`Ensemble`](crate::Ensemble) built from [`DetectionEngine::detectors`]
-    /// with the same thresholds.
+    /// Majority vote over the thresholded methods, scored in one engine
+    /// pass. Every threshold whose method is enabled contributes one vote
+    /// (named after [`MethodId::name`]); thresholds of disabled methods are
+    /// ignored. The decision matches an [`Ensemble`](crate::Ensemble)
+    /// built from the same detectors and thresholds.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`DetectionEngine::score_with_artifacts`].
+    /// [`DetectError::InvalidConfig`] if no threshold applies to an
+    /// enabled method; otherwise the same conditions as
+    /// [`DetectionEngine::score_with_artifacts`].
     pub fn decide(
         &self,
         image: &Image,
         thresholds: &EngineThresholds,
     ) -> Result<EnsembleDecision, DetectError> {
         let scores = self.score(image)?;
-        let votes = vec![
-            (
-                format!("scaling/{}", thresholds.scaling_metric),
-                thresholds.scaling.is_attack(scores.scaling(thresholds.scaling_metric)),
-            ),
-            (
-                format!("filtering/{}", thresholds.filtering_metric),
-                thresholds.filtering.is_attack(scores.filtering(thresholds.filtering_metric)),
-            ),
-            ("steganalysis/csp".to_string(), thresholds.steganalysis.is_attack(scores.csp)),
-        ];
+        let votes: Vec<(String, bool)> = thresholds
+            .iter()
+            .filter(|(id, _)| self.methods.contains(*id))
+            .map(|(id, t)| (id.name().to_string(), t.is_attack(scores.get(id))))
+            .collect();
+        if votes.is_empty() {
+            return Err(DetectError::InvalidConfig {
+                message: "no threshold applies to an enabled engine method".into(),
+            });
+        }
         let attack_votes = votes.iter().filter(|(_, vote)| *vote).count();
-        Ok(EnsembleDecision { votes, is_attack: 2 * attack_votes > 3 })
+        let is_attack = 2 * attack_votes > votes.len();
+        Ok(EnsembleDecision { votes, is_attack })
     }
 
     /// Scores `count` benign and `count` attack images in a single
@@ -343,9 +519,9 @@ mod tests {
     use super::*;
     use crate::ensemble::Ensemble;
     use crate::threshold::Direction;
-    use crate::Detector;
     use decamouflage_attack::{craft_attack, AttackConfig};
     use decamouflage_imaging::scale::Scaler;
+    use decamouflage_spectral::dft2d::centered_spectrum;
 
     fn smooth(n: usize) -> Image {
         Image::from_fn_gray(n, n, |x, y| {
@@ -370,14 +546,34 @@ mod tests {
     #[test]
     fn engine_scores_match_naive_detectors_exactly() {
         let engine = DetectionEngine::new(Size::square(16));
-        let detectors = engine.detectors();
         for image in [smooth(64), attack_image(64, 16), smooth_rgb(48)] {
             let scores = engine.score(&image).unwrap();
-            assert_eq!(scores.scaling_mse, detectors.scaling_mse.score(&image).unwrap());
-            assert_eq!(scores.scaling_ssim, detectors.scaling_ssim.score(&image).unwrap());
-            assert_eq!(scores.filtering_mse, detectors.filtering_mse.score(&image).unwrap());
-            assert_eq!(scores.filtering_ssim, detectors.filtering_ssim.score(&image).unwrap());
-            assert_eq!(scores.csp, detectors.steganalysis.score(&image).unwrap());
+            for &id in MethodId::ALL {
+                assert_eq!(
+                    scores.get(id),
+                    engine.build_detector(id).score(&image).unwrap(),
+                    "{id} diverged on {}x{}",
+                    image.width(),
+                    image.height()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_peak_excess_matches_standalone_for_every_window() {
+        for window in
+            [WindowKind::Rectangular, WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman]
+        {
+            let engine = DetectionEngine::new(Size::square(16)).with_peak_window(window);
+            let standalone = PeakExcessDetector::for_target(Size::square(16)).with_window(window);
+            for image in [smooth(64), attack_image(64, 16), smooth_rgb(48)] {
+                assert_eq!(
+                    engine.score(&image).unwrap().peak_excess(),
+                    standalone.score(&image).unwrap(),
+                    "window {window:?}"
+                );
+            }
         }
     }
 
@@ -396,6 +592,10 @@ mod tests {
             detectors.filtering_mse.filtered(&image).unwrap().as_slice()
         );
         assert_eq!(artifacts.downscaled.size(), Size::square(16));
+        // The rectangular peak window shares the CSP spectrum, and the
+        // shared spectrum equals the staged centered_spectrum bit-for-bit.
+        let centred = artifacts.centered_spectrum.expect("peak excess enabled by default");
+        assert_eq!(centred.as_slice(), centered_spectrum(&image).as_slice());
     }
 
     #[test]
@@ -403,9 +603,31 @@ mod tests {
         let engine = DetectionEngine::new(Size::square(16));
         let benign = engine.score(&smooth(64)).unwrap();
         let attack = engine.score(&attack_image(64, 16)).unwrap();
-        assert!(attack.scaling_mse > benign.scaling_mse * 10.0);
-        assert!(attack.scaling_ssim < benign.scaling_ssim);
-        assert!(attack.csp >= 2.0, "attack CSP = {}", attack.csp);
+        assert!(attack.scaling_mse() > benign.scaling_mse() * 10.0);
+        assert!(attack.scaling_ssim() < benign.scaling_ssim());
+        assert!(attack.csp() >= 2.0, "attack CSP = {}", attack.csp());
+    }
+
+    #[test]
+    fn method_set_gates_scoring() {
+        let subset = MethodSet::of(&[MethodId::ScalingMse, MethodId::PeakExcess]);
+        let engine = DetectionEngine::new(Size::square(16)).with_methods(subset);
+        let full = DetectionEngine::new(Size::square(16));
+        let image = smooth(48);
+        let scores = engine.score(&image).unwrap();
+        let reference = full.score(&image).unwrap();
+        for &id in MethodId::ALL {
+            if subset.contains(id) {
+                assert_eq!(scores.get(id), reference.get(id), "{id}");
+            } else {
+                assert!(scores.get(id).is_nan(), "{id} should be disabled");
+            }
+        }
+        // Without peak excess the artifacts carry no spectrum.
+        let engine = DetectionEngine::new(Size::square(16))
+            .with_methods(MethodSet::all().without(MethodId::PeakExcess));
+        let artifacts = engine.score_with_artifacts(&image).unwrap();
+        assert!(artifacts.centered_spectrum.is_none());
     }
 
     #[test]
@@ -419,6 +641,13 @@ mod tests {
         for i in 0..4u64 {
             assert_eq!(corpus.benign[i as usize], engine.score(&benign_of(i)).unwrap());
             assert_eq!(corpus.attack[i as usize], engine.score(&attack_of(i)).unwrap());
+        }
+        // Column accessors read the same data method-wise.
+        for &id in MethodId::ALL {
+            let column = corpus.benign_column(id);
+            assert_eq!(column.len(), 4);
+            assert_eq!(column[2], corpus.benign[2].get(id));
+            assert_eq!(corpus.attack_column(id)[1], corpus.attack[1].get(id));
         }
     }
 
@@ -435,23 +664,59 @@ mod tests {
     fn decide_matches_equivalent_ensemble() {
         let engine = DetectionEngine::new(Size::square(16));
         let detectors = engine.detectors();
-        let thresholds = EngineThresholds {
-            scaling_metric: MetricKind::Mse,
-            scaling: Threshold::new(200.0, Direction::AboveIsAttack),
-            filtering_metric: MetricKind::Ssim,
-            filtering: Threshold::new(0.6, Direction::BelowIsAttack),
-            steganalysis: SteganalysisDetector::universal_threshold(),
-        };
+        let thresholds = EngineThresholds::new()
+            .with(MethodId::ScalingMse, Threshold::new(200.0, Direction::AboveIsAttack))
+            .with(MethodId::FilteringSsim, Threshold::new(0.6, Direction::BelowIsAttack))
+            .with(MethodId::Csp, SteganalysisDetector::universal_threshold());
         let ensemble = Ensemble::new()
-            .with_member(detectors.scaling_mse.clone(), thresholds.scaling)
-            .with_member(detectors.filtering_ssim.clone(), thresholds.filtering)
-            .with_member(detectors.steganalysis.clone(), thresholds.steganalysis);
+            .with_member(
+                detectors.scaling_mse.clone(),
+                thresholds.get(MethodId::ScalingMse).unwrap(),
+            )
+            .with_member(
+                detectors.filtering_ssim.clone(),
+                thresholds.get(MethodId::FilteringSsim).unwrap(),
+            )
+            .with_member(detectors.steganalysis.clone(), thresholds.get(MethodId::Csp).unwrap());
         for image in [smooth(64), attack_image(64, 16)] {
             assert_eq!(
                 engine.decide(&image, &thresholds).unwrap(),
                 ensemble.decide(&image).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn decide_ignores_disabled_methods_and_rejects_empty_votes() {
+        let engine = DetectionEngine::new(Size::square(16))
+            .with_methods(MethodSet::of(&[MethodId::ScalingMse]));
+        let thresholds = EngineThresholds::new()
+            .with(MethodId::ScalingMse, Threshold::new(200.0, Direction::AboveIsAttack))
+            .with(MethodId::Csp, SteganalysisDetector::universal_threshold());
+        let decision = engine.decide(&smooth(48), &thresholds).unwrap();
+        assert_eq!(decision.votes.len(), 1, "CSP is disabled, so only scaling votes");
+        assert_eq!(decision.votes[0].0, "scaling/mse");
+
+        let none = EngineThresholds::new()
+            .with(MethodId::Csp, SteganalysisDetector::universal_threshold());
+        assert!(engine.decide(&smooth(48), &none).is_err());
+    }
+
+    #[test]
+    fn thresholds_bridge_to_persisted_sets() {
+        let thresholds = EngineThresholds::new()
+            .with(MethodId::ScalingMse, Threshold::new(400.0, Direction::AboveIsAttack))
+            .with(MethodId::PeakExcess, Threshold::new(0.4, Direction::AboveIsAttack));
+        assert_eq!(thresholds.len(), 2);
+        assert!(!thresholds.is_empty());
+        let set = thresholds.to_threshold_set();
+        assert_eq!(set.len(), 2);
+        let back = EngineThresholds::from_threshold_set(&set);
+        assert_eq!(back, thresholds);
+        assert_eq!(
+            thresholds.iter().map(|(id, _)| id).collect::<Vec<_>>(),
+            vec![MethodId::ScalingMse, MethodId::PeakExcess]
+        );
     }
 
     #[test]
@@ -464,17 +729,47 @@ mod tests {
             .with_algorithm(ScaleAlgorithm::Nearest)
             .with_ssim_config(ssim)
             .with_filter(3, RankKind::Median)
-            .with_csp_config(csp.clone());
+            .with_csp_config(csp.clone())
+            .with_peak_window(WindowKind::Hann);
         assert_eq!(engine.algorithm(), ScaleAlgorithm::Nearest);
         assert_eq!(engine.target(), Size::square(8));
+        assert_eq!(engine.peak_window(), WindowKind::Hann);
+        assert_eq!(engine.methods(), MethodSet::all());
         let detectors = engine.detectors();
         assert_eq!(detectors.steganalysis.config(), &csp);
         assert_eq!(detectors.filtering_mse.window(), 3);
+        assert_eq!(detectors.peak_excess.window(), WindowKind::Hann);
         // Scores still agree under the customised configuration.
         let image = smooth(32);
         let scores = engine.score(&image).unwrap();
-        assert_eq!(scores.scaling_mse, detectors.scaling_mse.score(&image).unwrap());
-        assert_eq!(scores.filtering_ssim, detectors.filtering_ssim.score(&image).unwrap());
-        assert_eq!(scores.csp, detectors.steganalysis.score(&image).unwrap());
+        assert_eq!(scores.scaling_mse(), detectors.scaling_mse.score(&image).unwrap());
+        assert_eq!(scores.filtering_ssim(), detectors.filtering_ssim.score(&image).unwrap());
+        assert_eq!(scores.csp(), detectors.steganalysis.score(&image).unwrap());
+        assert_eq!(scores.peak_excess(), detectors.peak_excess.score(&image).unwrap());
+    }
+
+    /// The one-registration contract, end to end: `DummyMean` exists only
+    /// as a `MethodId` variant and a [`DetectionEngine::build_detector`]
+    /// arm, yet it scores, votes, calibrates and persists without any
+    /// layer-specific wiring.
+    #[test]
+    fn dummy_method_flows_through_engine_decide_and_persistence() {
+        let engine = DetectionEngine::new(Size::square(8));
+        let image = smooth(24);
+        let scores = engine.score(&image).unwrap();
+        let mean = image.as_slice().iter().sum::<f64>() / image.as_slice().len() as f64;
+        assert_eq!(scores.get(MethodId::DummyMean), mean, "generic fallback scored the dummy");
+
+        // Votes under its registry name, together with a paper method.
+        let thresholds = EngineThresholds::new()
+            .with(MethodId::DummyMean, Threshold::new(0.0, Direction::AboveIsAttack))
+            .with(MethodId::Csp, SteganalysisDetector::universal_threshold());
+        let decision = engine.decide(&image, &thresholds).unwrap();
+        assert!(decision.votes.iter().any(|(name, vote)| name == "test/dummy-mean" && *vote));
+
+        // Persists and loads through the typed text format untouched.
+        let set = thresholds.to_threshold_set();
+        let restored = ThresholdSet::from_text(&set.to_text()).unwrap();
+        assert_eq!(restored.get(MethodId::DummyMean), thresholds.get(MethodId::DummyMean));
     }
 }

@@ -1,7 +1,14 @@
 //! Majority-vote ensemble of calibrated detectors (the full *Decamouflage*
 //! system of the paper's Figure 6 and Table "ensemble").
+//!
+//! Members can be *engine-backed*: bind a member to a [`MethodId`] and
+//! attach a shared [`DetectionEngine`], and [`Ensemble::decide`] scores the
+//! image **once** through the engine's [`ScoreVector`] instead of running
+//! one full detector per member. Unbound members keep their own detector.
 
 use crate::detector::Detector;
+use crate::engine::DetectionEngine;
+use crate::method::{MethodId, ScoreVector};
 use crate::threshold::Threshold;
 use crate::DetectError;
 use decamouflage_imaging::Image;
@@ -12,12 +19,27 @@ pub struct EnsembleMember {
     name: String,
     detector: Box<dyn Detector>,
     threshold: Threshold,
+    method: Option<MethodId>,
 }
 
 impl EnsembleMember {
     /// Wraps a detector and its threshold.
     pub fn new(detector: impl Detector + 'static, threshold: Threshold) -> Self {
-        Self { name: detector.name(), detector: Box::new(detector), threshold }
+        Self { name: detector.name(), detector: Box::new(detector), threshold, method: None }
+    }
+
+    /// Binds the member to a registry method, so an ensemble with a shared
+    /// [`DetectionEngine`] reads this member's score from the engine's
+    /// [`ScoreVector`] instead of invoking the member's own detector.
+    #[must_use]
+    pub fn with_method(mut self, id: MethodId) -> Self {
+        self.method = Some(id);
+        self
+    }
+
+    /// The registry method this member is bound to, if any.
+    pub const fn method(&self) -> Option<MethodId> {
+        self.method
     }
 
     /// The member's detector name.
@@ -45,6 +67,7 @@ impl std::fmt::Debug for EnsembleMember {
         f.debug_struct("EnsembleMember")
             .field("name", &self.name)
             .field("threshold", &self.threshold)
+            .field("method", &self.method)
             .finish()
     }
 }
@@ -66,6 +89,7 @@ pub struct EnsembleDecision {
 #[derive(Debug, Default)]
 pub struct Ensemble {
     members: Vec<EnsembleMember>,
+    engine: Option<DetectionEngine>,
 }
 
 impl Ensemble {
@@ -74,10 +98,34 @@ impl Ensemble {
         Self::default()
     }
 
+    /// Attaches a shared engine: method-bound members are scored through
+    /// one engine pass per image instead of one detector run per member.
+    #[must_use]
+    pub fn with_engine(mut self, engine: DetectionEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
     /// Adds a calibrated member (builder style).
     #[must_use]
     pub fn with_member(mut self, detector: impl Detector + 'static, threshold: Threshold) -> Self {
         self.members.push(EnsembleMember::new(detector, threshold));
+        self
+    }
+
+    /// Adds a member for one registry method of the attached engine
+    /// (builder style): the detector comes from
+    /// [`DetectionEngine::build_detector`] and the member is bound to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no engine was attached with [`Ensemble::with_engine`]
+    /// first.
+    #[must_use]
+    pub fn with_engine_member(mut self, id: MethodId, threshold: Threshold) -> Self {
+        let engine = self.engine.as_ref().expect("attach an engine with with_engine() first");
+        let member = EnsembleMember::new(engine.build_detector(id), threshold).with_method(id);
+        self.members.push(member);
         self
     }
 
@@ -89,6 +137,11 @@ impl Ensemble {
     /// The members, in insertion order.
     pub fn members(&self) -> &[EnsembleMember] {
         &self.members
+    }
+
+    /// The shared engine, if one is attached.
+    pub fn engine(&self) -> Option<&DetectionEngine> {
+        self.engine.as_ref()
     }
 
     /// Number of members.
@@ -103,18 +156,42 @@ impl Ensemble {
 
     /// Classifies an image by strict majority vote.
     ///
+    /// With an attached engine, all method-bound members share one
+    /// [`DetectionEngine::score`] pass; only unbound members invoke their
+    /// own detector.
+    ///
     /// # Errors
     ///
-    /// Returns [`DetectError::InvalidConfig`] for an empty ensemble and
+    /// Returns [`DetectError::InvalidConfig`] for an empty ensemble, or if
+    /// a bound member's method is disabled in the attached engine;
     /// propagates the first member failure.
     pub fn decide(&self, image: &Image) -> Result<EnsembleDecision, DetectError> {
         if self.members.is_empty() {
             return Err(DetectError::InvalidConfig { message: "ensemble has no members".into() });
         }
+        let shared: Option<(crate::method::MethodSet, ScoreVector)> = match &self.engine {
+            Some(engine) if self.members.iter().any(|m| m.method.is_some()) => {
+                Some((engine.methods(), engine.score(image)?))
+            }
+            _ => None,
+        };
         let mut votes = Vec::with_capacity(self.members.len());
         let mut attack_votes = 0usize;
         for member in &self.members {
-            let vote = member.is_attack(image)?;
+            let vote = match (member.method, &shared) {
+                (Some(id), Some((methods, scores))) => {
+                    if !methods.contains(id) {
+                        return Err(DetectError::InvalidConfig {
+                            message: format!(
+                                "member {:?} is bound to {id}, which the attached engine disables",
+                                member.name
+                            ),
+                        });
+                    }
+                    member.threshold.is_attack(scores.get(id))
+                }
+                _ => member.is_attack(image)?,
+            };
             attack_votes += usize::from(vote);
             votes.push((member.name.clone(), vote));
         }
@@ -135,6 +212,9 @@ impl Ensemble {
 mod tests {
     use super::*;
     use crate::threshold::Direction;
+    use decamouflage_imaging::Size;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     struct FixedScore(f64, &'static str);
 
@@ -161,6 +241,25 @@ mod tests {
         }
         fn name(&self) -> String {
             "failing".into()
+        }
+    }
+
+    /// Wraps a detector and counts how often `score` runs.
+    struct CountingDetector<D> {
+        inner: D,
+        calls: Arc<AtomicUsize>,
+    }
+
+    impl<D: Detector> Detector for CountingDetector<D> {
+        fn score(&self, image: &Image) -> Result<f64, DetectError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.inner.score(image)
+        }
+        fn direction(&self) -> Direction {
+            self.inner.direction()
+        }
+        fn name(&self) -> String {
+            self.inner.name()
         }
     }
 
@@ -224,6 +323,8 @@ mod tests {
         assert_eq!(e.len(), 1);
         assert_eq!(e.members()[0].name(), "solo");
         assert_eq!(e.members()[0].threshold().value(), 0.5);
+        assert_eq!(e.members()[0].method(), None);
+        assert!(e.engine().is_none());
         assert!(!format!("{e:?}").is_empty());
     }
 
@@ -238,5 +339,83 @@ mod tests {
             .with_member(FixedScore(1.0, "csp-like"), above(2.0));
         // Votes: attack, attack, benign -> attack.
         assert!(e.is_attack(&img()).unwrap());
+    }
+
+    fn scene() -> Image {
+        Image::from_fn_gray(48, 48, |x, y| {
+            (128.0 + 60.0 * ((x as f64) * 0.06).sin() + 40.0 * ((y as f64) * 0.045).cos()).round()
+        })
+    }
+
+    #[test]
+    fn engine_backed_members_skip_their_own_detectors() {
+        let engine = DetectionEngine::new(Size::square(16));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut bound = Ensemble::new().with_engine(engine.clone());
+        let mut unbound = Ensemble::new();
+        for (id, threshold) in [
+            (MethodId::ScalingMse, above(200.0)),
+            (MethodId::Csp, above(2.0)),
+            (MethodId::PeakExcess, above(0.5)),
+        ] {
+            let counting =
+                CountingDetector { inner: engine.build_detector(id), calls: Arc::clone(&calls) };
+            bound.push(EnsembleMember::new(counting, threshold).with_method(id));
+            let counting =
+                CountingDetector { inner: engine.build_detector(id), calls: Arc::clone(&calls) };
+            unbound.push(EnsembleMember::new(counting, threshold));
+        }
+        let image = scene();
+
+        // Regression: with an engine and bound members, the per-member
+        // detectors are never invoked — one engine pass serves all votes.
+        let bound_decision = bound.decide(&image).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "members re-scored the image");
+
+        // Without bindings every member runs its own detector...
+        let unbound_decision = unbound.decide(&image).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), unbound.len());
+        // ...and (bit-identical scores) both routes agree vote-for-vote.
+        assert_eq!(bound_decision, unbound_decision);
+    }
+
+    #[test]
+    fn with_engine_member_builds_bound_members() {
+        let engine = DetectionEngine::new(Size::square(16));
+        let e = Ensemble::new()
+            .with_engine(engine)
+            .with_engine_member(MethodId::ScalingMse, above(200.0))
+            .with_engine_member(
+                MethodId::FilteringSsim,
+                Threshold::new(0.6, Direction::BelowIsAttack),
+            )
+            .with_engine_member(MethodId::Csp, above(2.0));
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.members()[0].method(), Some(MethodId::ScalingMse));
+        assert_eq!(e.members()[0].name(), "scaling/mse");
+        let d = e.decide(&scene()).unwrap();
+        assert_eq!(d.votes.len(), 3);
+        assert!(!d.is_attack, "benign scene should pass");
+    }
+
+    #[test]
+    fn bound_member_with_disabled_method_errors() {
+        let engine = DetectionEngine::new(Size::square(16))
+            .with_methods(crate::method::MethodSet::of(&[MethodId::ScalingMse]));
+        let e = Ensemble::new()
+            .with_engine(engine)
+            .with_engine_member(MethodId::ScalingMse, above(200.0))
+            .with_engine_member(MethodId::Csp, above(2.0));
+        assert!(e.decide(&scene()).is_err());
+    }
+
+    #[test]
+    fn bound_members_without_engine_fall_back_to_their_detector() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counting = CountingDetector { inner: FixedScore(10.0, "a"), calls: Arc::clone(&calls) };
+        let mut e = Ensemble::new();
+        e.push(EnsembleMember::new(counting, above(5.0)).with_method(MethodId::ScalingMse));
+        assert!(e.is_attack(&img()).unwrap());
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 }

@@ -1,6 +1,9 @@
 //! Detection-quality evaluation: the five measures reported in every table
 //! of the paper (accuracy, precision, recall, FAR, FRR).
 
+use crate::engine::EngineCorpus;
+use crate::method::MethodId;
+use crate::persist::ThresholdSet;
 use crate::DetectError;
 
 /// Confusion-matrix counts with the paper's orientation: *positive* =
@@ -111,6 +114,31 @@ pub fn evaluate_decisions(
     counts.metrics()
 }
 
+/// Evaluates a scored engine corpus per method: one `(id, metrics)` entry
+/// for every threshold in `thresholds`, derived from the corpus's score
+/// columns. Registry-driven — a newly registered method shows up here as
+/// soon as a threshold exists for it.
+///
+/// # Errors
+///
+/// Returns [`DetectError::InvalidCalibration`] for an empty corpus.
+pub fn evaluate_engine_corpus(
+    corpus: &EngineCorpus,
+    thresholds: &ThresholdSet,
+) -> Result<Vec<(MethodId, EvalMetrics)>, DetectError> {
+    thresholds
+        .iter()
+        .map(|(id, t)| {
+            let decisions = corpus
+                .benign
+                .iter()
+                .map(|s| (false, t.is_attack(s.get(id))))
+                .chain(corpus.attack.iter().map(|s| (true, t.is_attack(s.get(id)))));
+            evaluate_decisions(decisions).map(|m| (id, m))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +205,37 @@ mod tests {
     fn percent_row_formatting() {
         let m = evaluate_decisions([(true, true), (false, false)]).unwrap();
         assert_eq!(m.as_percent_row(), "100.0% | 100.0% | 100.0% | 0.0% | 0.0%");
+    }
+
+    #[test]
+    fn engine_corpus_evaluates_per_method() {
+        use crate::method::ScoreVector;
+        use crate::threshold::{Direction, Threshold};
+        // Two methods thresholded; scores hand-built so scaling/mse is
+        // perfect and csp misses one attack.
+        let mut benign_scores = ScoreVector::splat(0.0);
+        benign_scores.set(MethodId::Csp, 1.0);
+        let mut caught = ScoreVector::splat(1000.0);
+        caught.set(MethodId::Csp, 3.0);
+        let mut missed = ScoreVector::splat(1000.0);
+        missed.set(MethodId::Csp, 1.0);
+        let corpus = EngineCorpus {
+            benign: vec![benign_scores.clone(), benign_scores],
+            attack: vec![caught, missed],
+        };
+        let mut thresholds = ThresholdSet::new();
+        thresholds.insert(MethodId::ScalingMse, Threshold::new(500.0, Direction::AboveIsAttack));
+        thresholds.insert(MethodId::Csp, Threshold::new(2.0, Direction::AboveIsAttack));
+        let rows = evaluate_engine_corpus(&corpus, &thresholds).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, MethodId::ScalingMse);
+        assert_eq!(rows[0].1.accuracy, 1.0);
+        assert_eq!(rows[1].0, MethodId::Csp);
+        assert_eq!(rows[1].1.accuracy, 0.75);
+        assert_eq!(rows[1].1.far, 0.5);
+
+        let empty = EngineCorpus { benign: vec![], attack: vec![] };
+        assert!(evaluate_engine_corpus(&empty, &thresholds).is_err());
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //! | [`ScalingDetector`] | downscale→upscale round trip | MSE / SSIM | large MSE / small SSIM |
 //! | [`FilteringDetector`] | minimum-filter residual | MSE / SSIM | large MSE / small SSIM |
 //! | [`SteganalysisDetector`] | centered spectrum points | CSP count | `>= 2` points |
-//! | [`Ensemble`] | majority vote of the above | — | `>= 2` members vote attack |
+//! | [`PeakExcessDetector`] | radial spectrum peak excess | log-magnitude excess | large excess |
+//! | [`Ensemble`] | majority vote of the above | — | majority of members vote attack |
+//!
+//! Each method is registered once in the typed [`MethodId`] registry
+//! ([`method`] module); scores travel as a dense, id-indexed
+//! [`ScoreVector`] and every layer (calibration, persistence, evaluation,
+//! reports) enumerates [`MethodId::ALL`] instead of hardcoded lists.
 //!
 //! Thresholds come from two calibration modes mirroring the paper's threat
 //! model: **white-box** ([`threshold::search_whitebox`], labelled
@@ -49,6 +55,7 @@ pub mod engine;
 pub mod ensemble;
 pub mod eval;
 pub mod filtering;
+pub mod method;
 pub mod monitor;
 pub mod parallel;
 pub mod peak_excess;
@@ -68,6 +75,7 @@ pub use ensemble::Ensemble;
 pub use error::DetectError;
 pub use eval::{evaluate_decisions, ConfusionCounts, EvalMetrics};
 pub use filtering::FilteringDetector;
+pub use method::{MethodId, MethodSet, ScoreVector};
 pub use peak_excess::PeakExcessDetector;
 pub use scaling::ScalingDetector;
 pub use steganalysis::SteganalysisDetector;

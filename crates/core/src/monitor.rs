@@ -10,6 +10,8 @@
 //! deviations from the calibration mean.
 
 use crate::detector::Detector;
+use crate::engine::DetectionEngine;
+use crate::method::MethodId;
 use crate::threshold::Threshold;
 use crate::DetectError;
 use decamouflage_imaging::Image;
@@ -168,6 +170,40 @@ impl<D: Detector> DetectionMonitor<D> {
     }
 }
 
+impl DetectionMonitor<Box<dyn Detector>> {
+    /// Builds a monitor for one registry method, using the engine's
+    /// configuration ([`DetectionEngine::build_detector`]) as the single
+    /// construction site — no per-method wiring in the monitoring layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidConfig`] when the engine has the
+    /// method disabled, plus everything [`DetectionMonitor::new`] rejects.
+    pub fn for_engine_method(
+        engine: &DetectionEngine,
+        id: MethodId,
+        threshold: Threshold,
+        calibration_mean: f64,
+        calibration_std: f64,
+        window: usize,
+        drift_sigmas: f64,
+    ) -> Result<Self, DetectError> {
+        if !engine.methods().contains(id) {
+            return Err(DetectError::InvalidConfig {
+                message: format!("engine has method {} disabled", id.name()),
+            });
+        }
+        Self::new(
+            engine.build_detector(id),
+            threshold,
+            calibration_mean,
+            calibration_std,
+            window,
+            drift_sigmas,
+        )
+    }
+}
+
 impl<D: std::fmt::Debug> std::fmt::Debug for DetectionMonitor<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DetectionMonitor")
@@ -283,6 +319,33 @@ mod tests {
         assert!(DetectionMonitor::new(MeanDetector, t, 0.0, 1.0, 0, 3.0).is_err());
         assert!(DetectionMonitor::new(MeanDetector, t, 0.0, 1.0, 4, -1.0).is_err());
         assert!(DetectionMonitor::new(MeanDetector, t, f64::NAN, 1.0, 4, 3.0).is_err());
+    }
+
+    #[test]
+    fn engine_method_monitor_matches_standalone_detector() {
+        use crate::engine::DetectionEngine;
+        use crate::method::{MethodId, MethodSet};
+        use decamouflage_imaging::Size;
+
+        let engine = DetectionEngine::new(Size::square(8));
+        let t = Threshold::new(1e9, Direction::AboveIsAttack);
+        let mut m =
+            DetectionMonitor::for_engine_method(&engine, MethodId::ScalingMse, t, 0.0, 1.0, 4, 3.0)
+                .unwrap();
+        let image = Image::from_fn_gray(24, 24, |x, y| ((x * 7 + y * 3) % 211) as f64);
+        let verdict = m.screen(&image).unwrap();
+        let standalone = engine.build_detector(MethodId::ScalingMse).score(&image).unwrap();
+        assert_eq!(verdict.score, standalone);
+        assert_eq!(m.detector().name(), MethodId::ScalingMse.name());
+
+        // A disabled method is rejected up front.
+        let gated =
+            DetectionEngine::new(Size::square(8)).with_methods(MethodSet::of(&[MethodId::Csp]));
+        let err =
+            DetectionMonitor::for_engine_method(&gated, MethodId::ScalingMse, t, 0.0, 1.0, 4, 3.0)
+                .err()
+                .expect("disabled method must be rejected");
+        assert!(err.to_string().contains("scaling/mse"));
     }
 
     #[test]

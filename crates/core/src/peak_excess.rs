@@ -55,7 +55,10 @@ impl PeakExcessDetector {
         self.window
     }
 
-    fn radii_for(&self, image: &Image) -> (usize, usize) {
+    /// The `(min_radius, max_radius)` search band for an image of this
+    /// size. Shared with the engine's fused spectrum path so both score
+    /// the identical radius range.
+    pub(crate) fn radii_for(&self, image: &Image) -> (usize, usize) {
         let half_min = 0.5 * image.width().min(image.height()) as f64;
         if self.max_radius_frac < 0.0 {
             // Absolute mode (for_target): inner radius in pixels, outer at

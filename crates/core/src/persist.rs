@@ -12,7 +12,15 @@
 //! filtering/ssim below 0.64
 //! steganalysis/csp above 2
 //! ```
+//!
+//! In memory the set is keyed by the typed [`MethodId`] registry; the
+//! on-disk names are exactly [`MethodId::name`], so files written before
+//! the registry existed (same strings, free-form keys) load unchanged. A
+//! name that matches no registered method is a parse *error* carrying the
+//! offending line number — never a silent skip — because a typo in a
+//! threshold file must not quietly drop an ensemble member.
 
+use crate::method::MethodId;
 use crate::threshold::{Direction, Threshold};
 use crate::DetectError;
 use std::collections::BTreeMap;
@@ -21,11 +29,11 @@ use std::path::Path;
 
 const HEADER: &str = "decamouflage-thresholds v1";
 
-/// A named set of calibrated thresholds (sorted by name for stable
-/// output).
+/// A set of calibrated thresholds keyed by [`MethodId`] (ordered by the
+/// registry's canonical method order for stable output).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ThresholdSet {
-    entries: BTreeMap<String, Threshold>,
+    entries: BTreeMap<MethodId, Threshold>,
 }
 
 impl ThresholdSet {
@@ -34,15 +42,20 @@ impl ThresholdSet {
         Self::default()
     }
 
-    /// Inserts or replaces the threshold for a detector name. Returns the
+    /// Inserts or replaces the threshold for a method. Returns the
     /// previous value, if any.
-    pub fn insert(&mut self, name: impl Into<String>, threshold: Threshold) -> Option<Threshold> {
-        self.entries.insert(name.into(), threshold)
+    pub fn insert(&mut self, id: MethodId, threshold: Threshold) -> Option<Threshold> {
+        self.entries.insert(id, threshold)
     }
 
-    /// Looks up a threshold by detector name.
-    pub fn get(&self, name: &str) -> Option<Threshold> {
-        self.entries.get(name).copied()
+    /// Looks up a threshold by method.
+    pub fn get(&self, id: MethodId) -> Option<Threshold> {
+        self.entries.get(&id).copied()
+    }
+
+    /// Looks up a threshold by its stable report name (the on-disk key).
+    pub fn get_by_name(&self, name: &str) -> Option<Threshold> {
+        MethodId::from_name(name).and_then(|id| self.get(id))
     }
 
     /// Number of stored thresholds.
@@ -55,22 +68,22 @@ impl ThresholdSet {
         self.entries.is_empty()
     }
 
-    /// Iterates over `(name, threshold)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, Threshold)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    /// Iterates over `(id, threshold)` pairs in canonical method order.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, Threshold)> + '_ {
+        self.entries.iter().map(|(&id, &t)| (id, t))
     }
 
-    /// Serialises to the v1 text format.
+    /// Serialises to the v1 text format (keys are [`MethodId::name`]).
     pub fn to_text(&self) -> String {
         let mut out = String::from(HEADER);
         out.push('\n');
-        for (name, threshold) in &self.entries {
+        for (id, threshold) in &self.entries {
             let dir = match threshold.direction() {
                 Direction::AboveIsAttack => "above",
                 Direction::BelowIsAttack => "below",
             };
             // 17 significant digits round-trip any f64 exactly.
-            let _ = writeln!(out, "{name} {dir} {:.17e}", threshold.value());
+            let _ = writeln!(out, "{} {dir} {:.17e}", id.name(), threshold.value());
         }
         out
     }
@@ -80,8 +93,9 @@ impl ThresholdSet {
     /// # Errors
     ///
     /// Returns [`DetectError::InvalidConfig`] for a missing/unknown header,
-    /// malformed lines, unknown directions, unparsable values or duplicate
-    /// names.
+    /// malformed lines, names not in the method registry, unknown
+    /// directions, unparsable values or duplicate methods — each with the
+    /// offending line number.
     pub fn from_text(text: &str) -> Result<Self, DetectError> {
         let bad = |message: String| DetectError::InvalidConfig { message };
         let mut lines = text.lines();
@@ -106,6 +120,9 @@ impl ThresholdSet {
                     )))
                 }
             };
+            let id = MethodId::from_name(name).ok_or_else(|| {
+                bad(format!("line {}: unknown detection method {name:?}", lineno + 2))
+            })?;
             let direction = match dir {
                 "above" => Direction::AboveIsAttack,
                 "below" => Direction::BelowIsAttack,
@@ -122,7 +139,7 @@ impl ThresholdSet {
             if !value.is_finite() {
                 return Err(bad(format!("line {}: non-finite threshold", lineno + 2)));
             }
-            if set.insert(name, Threshold::new(value, direction)).is_some() {
+            if set.insert(id, Threshold::new(value, direction)).is_some() {
                 return Err(bad(format!("line {}: duplicate entry {name:?}", lineno + 2)));
             }
         }
@@ -153,8 +170,8 @@ impl ThresholdSet {
     }
 }
 
-impl FromIterator<(String, Threshold)> for ThresholdSet {
-    fn from_iter<I: IntoIterator<Item = (String, Threshold)>>(iter: I) -> Self {
+impl FromIterator<(MethodId, Threshold)> for ThresholdSet {
+    fn from_iter<I: IntoIterator<Item = (MethodId, Threshold)>>(iter: I) -> Self {
         Self { entries: iter.into_iter().collect() }
     }
 }
@@ -165,9 +182,9 @@ mod tests {
 
     fn sample() -> ThresholdSet {
         let mut set = ThresholdSet::new();
-        set.insert("scaling/mse", Threshold::new(72.4, Direction::AboveIsAttack));
-        set.insert("filtering/ssim", Threshold::new(0.64, Direction::BelowIsAttack));
-        set.insert("steganalysis/csp", Threshold::new(2.0, Direction::AboveIsAttack));
+        set.insert(MethodId::ScalingMse, Threshold::new(72.4, Direction::AboveIsAttack));
+        set.insert(MethodId::FilteringSsim, Threshold::new(0.64, Direction::BelowIsAttack));
+        set.insert(MethodId::Csp, Threshold::new(2.0, Direction::AboveIsAttack));
         set
     }
 
@@ -179,12 +196,54 @@ mod tests {
     }
 
     #[test]
+    fn typed_roundtrip_covers_every_registered_method() {
+        let mut set = ThresholdSet::new();
+        for (i, &id) in MethodId::ALL.iter().enumerate() {
+            set.insert(id, Threshold::new(0.5 + i as f64, id.direction()));
+        }
+        let parsed = ThresholdSet::from_text(&set.to_text()).unwrap();
+        assert_eq!(parsed, set);
+        assert_eq!(parsed.len(), MethodId::COUNT);
+    }
+
+    #[test]
     fn roundtrip_preserves_full_f64_precision() {
         let mut set = ThresholdSet::new();
-        let awkward = 1714.960_000_000_000_1_f64;
-        set.insert("x", Threshold::new(awkward, Direction::AboveIsAttack));
+        let awkward = 1_714.960_000_000_000_1_f64;
+        set.insert(MethodId::ScalingMse, Threshold::new(awkward, Direction::AboveIsAttack));
         let parsed = ThresholdSet::from_text(&set.to_text()).unwrap();
-        assert_eq!(parsed.get("x").unwrap().value(), awkward);
+        assert_eq!(parsed.get(MethodId::ScalingMse).unwrap().value(), awkward);
+    }
+
+    #[test]
+    fn loads_fixture_in_the_old_string_keyed_format() {
+        // Verbatim output of the pre-registry (string-keyed) writer: plain
+        // decimal values, alphabetical order, hand-edited comments. The
+        // names happen to be the registry names, so typed loading accepts
+        // the file unchanged.
+        let fixture = "decamouflage-thresholds v1\n\
+                       # calibrated 2025-11-02 on neurips-like train split\n\
+                       filtering/ssim below 0.64\n\
+                       scaling/mse above 72.4\n\
+                       steganalysis/csp above 2\n";
+        let set = ThresholdSet::from_text(fixture).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.get(MethodId::ScalingMse).unwrap().value(), 72.4);
+        assert_eq!(set.get(MethodId::FilteringSsim).unwrap().direction(), Direction::BelowIsAttack);
+        assert!(set.get(MethodId::Csp).unwrap().is_attack(2.0));
+        assert_eq!(set.get_by_name("scaling/mse"), set.get(MethodId::ScalingMse));
+        // Typed iteration reorders into canonical method order.
+        let ids: Vec<MethodId> = set.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![MethodId::ScalingMse, MethodId::FilteringSsim, MethodId::Csp]);
+    }
+
+    #[test]
+    fn unknown_method_name_errors_with_line_number() {
+        let text = format!("{HEADER}\n\n# comment\nscaling/mse above 5\nscaling/rmse above 9\n");
+        let err = ThresholdSet::from_text(&text).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("line 5"), "want offending line number, got {message:?}");
+        assert!(message.contains("scaling/rmse"), "want offending name, got {message:?}");
     }
 
     #[test]
@@ -192,7 +251,7 @@ mod tests {
         let text = format!("{HEADER}\n\n# a comment\nscaling/mse above 5\n");
         let set = ThresholdSet::from_text(&text).unwrap();
         assert_eq!(set.len(), 1);
-        assert!(set.get("scaling/mse").unwrap().is_attack(6.0));
+        assert!(set.get(MethodId::ScalingMse).unwrap().is_attack(6.0));
     }
 
     #[test]
@@ -200,12 +259,15 @@ mod tests {
         assert!(ThresholdSet::from_text("").is_err());
         assert!(ThresholdSet::from_text("wrong header\n").is_err());
         let h = HEADER;
-        assert!(ThresholdSet::from_text(&format!("{h}\nname above\n")).is_err());
-        assert!(ThresholdSet::from_text(&format!("{h}\nname sideways 1.0\n")).is_err());
-        assert!(ThresholdSet::from_text(&format!("{h}\nname above xyz\n")).is_err());
-        assert!(ThresholdSet::from_text(&format!("{h}\nname above inf\n")).is_err());
-        assert!(ThresholdSet::from_text(&format!("{h}\na above 1\na below 2\n")).is_err());
-        assert!(ThresholdSet::from_text(&format!("{h}\na above 1 extra\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nscaling/mse above\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nscaling/mse sideways 1.0\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nscaling/mse above xyz\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nscaling/mse above inf\n")).is_err());
+        assert!(ThresholdSet::from_text(&format!(
+            "{h}\nscaling/mse above 1\nscaling/mse below 2\n"
+        ))
+        .is_err());
+        assert!(ThresholdSet::from_text(&format!("{h}\nscaling/mse above 1 extra\n")).is_err());
     }
 
     #[test]
@@ -228,18 +290,20 @@ mod tests {
     fn insert_replaces_and_reports() {
         let mut set = ThresholdSet::new();
         assert!(set.is_empty());
-        assert!(set.insert("a", Threshold::new(1.0, Direction::AboveIsAttack)).is_none());
-        let old = set.insert("a", Threshold::new(2.0, Direction::AboveIsAttack));
+        assert!(set
+            .insert(MethodId::PeakExcess, Threshold::new(1.0, Direction::AboveIsAttack))
+            .is_none());
+        let old = set.insert(MethodId::PeakExcess, Threshold::new(2.0, Direction::AboveIsAttack));
         assert_eq!(old.unwrap().value(), 1.0);
         assert_eq!(set.len(), 1);
     }
 
     #[test]
-    fn iteration_is_name_ordered() {
+    fn iteration_is_canonical_method_ordered() {
         let set = sample();
-        let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
-        assert_eq!(names, vec!["filtering/ssim", "scaling/mse", "steganalysis/csp"]);
-        let collected: ThresholdSet = set.iter().map(|(n, t)| (n.to_string(), t)).collect();
+        let ids: Vec<MethodId> = set.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![MethodId::ScalingMse, MethodId::FilteringSsim, MethodId::Csp]);
+        let collected: ThresholdSet = set.iter().collect();
         assert_eq!(collected, set);
     }
 }

@@ -1,14 +1,28 @@
 //! Property-based tests (proptest) for the detection framework's
 //! calibration, evaluation and persistence invariants.
 
+use decamouflage_core::peak_excess::PeakExcessDetector;
 use decamouflage_core::persist::ThresholdSet;
 use decamouflage_core::roc::roc_curve;
 use decamouflage_core::threshold::{percentile_blackbox, search_whitebox};
-use decamouflage_core::{evaluate_decisions, ConfusionCounts, Direction, Threshold};
+use decamouflage_core::{
+    evaluate_decisions, ConfusionCounts, DetectionEngine, Detector, Direction, MethodId, Threshold,
+};
+use decamouflage_imaging::{Image, Size};
+use decamouflage_spectral::window::WindowKind;
 use proptest::prelude::*;
 
 fn arb_direction() -> impl Strategy<Value = Direction> {
     prop_oneof![Just(Direction::AboveIsAttack), Just(Direction::BelowIsAttack)]
+}
+
+fn arb_window() -> impl Strategy<Value = WindowKind> {
+    prop_oneof![
+        Just(WindowKind::Rectangular),
+        Just(WindowKind::Hann),
+        Just(WindowKind::Hamming),
+        Just(WindowKind::Blackman),
+    ]
 }
 
 proptest! {
@@ -103,18 +117,40 @@ proptest! {
 
     #[test]
     fn threshold_set_roundtrips(
-        entries in proptest::collection::btree_map(
-            "[a-z]{1,8}(/[a-z]{1,8})?",
-            (-1e6f64..1e6, any::<bool>()),
-            0..10,
-        ),
+        mask in 0u32..(1 << MethodId::COUNT),
+        values in proptest::collection::vec((-1e6f64..1e6, any::<bool>()), MethodId::COUNT),
     ) {
+        // Every subset of the typed method registry, with arbitrary
+        // finite thresholds, survives the text format exactly.
         let mut set = ThresholdSet::new();
-        for (name, (value, above)) in &entries {
-            let dir = if *above { Direction::AboveIsAttack } else { Direction::BelowIsAttack };
-            set.insert(name.clone(), Threshold::new(*value, dir));
+        for (i, &id) in MethodId::ALL.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                let (value, above) = values[i];
+                let dir = if above { Direction::AboveIsAttack } else { Direction::BelowIsAttack };
+                set.insert(id, Threshold::new(value, dir));
+            }
         }
         let parsed = ThresholdSet::from_text(&set.to_text()).unwrap();
+        prop_assert_eq!(parsed.len(), mask.count_ones() as usize);
         prop_assert_eq!(parsed, set);
+    }
+
+    #[test]
+    fn engine_peak_excess_is_bit_identical_to_standalone(
+        seed in 0u64..1000,
+        window in arb_window(),
+    ) {
+        // The engine derives the peak-excess score from the spectrum it
+        // plans for CSP; for every window kind it must equal the
+        // standalone detector EXACTLY (no tolerance).
+        let image = Image::from_fn_gray(40, 40, |x, y| {
+            let p = (x as f64 * 0.19 + y as f64 * 0.11 + seed as f64 * 0.37).sin();
+            (127.0 + 120.0 * p).round()
+        });
+        let engine = DetectionEngine::new(Size::square(10)).with_peak_window(window);
+        let standalone =
+            PeakExcessDetector::for_target(Size::square(10)).with_window(window);
+        let engine_score = engine.score(&image).unwrap().get(MethodId::PeakExcess);
+        prop_assert_eq!(engine_score, standalone.score(&image).unwrap());
     }
 }

@@ -148,7 +148,14 @@ pub fn count_csp(img: &Image, config: &CspConfig) -> CspReport {
 /// to [`count_csp`] (asserted by unit and property tests). Only the three
 /// intermediate spectrum images and the shifted coefficient copy are gone.
 pub fn count_csp_planned(img: &Image, config: &CspConfig) -> CspReport {
-    let spec = dft2_planned(img);
+    count_csp_in_spectrum(&dft2_planned(img), config)
+}
+
+/// The fused CSP tail of [`count_csp_planned`] on an already-computed,
+/// *unshifted* DFT. Lets an engine that needs the spectrum for several
+/// methods (CSP counting, radial peak excess) run the transform once and
+/// feed the same coefficients to each consumer.
+pub fn count_csp_in_spectrum(spec: &crate::dft2d::Spectrum2D, config: &CspConfig) -> CspReport {
     let (w, h) = (spec.width(), spec.height());
     let mags: Vec<f64> = spec.as_slice().iter().map(|c| (1.0 + c.norm()).ln()).collect();
     let mut max = f64::MIN;
@@ -243,6 +250,15 @@ mod tests {
                 let fused = count_csp_planned(img, &config);
                 assert_eq!(staged, fused, "{}x{}", img.width(), img.height());
             }
+        }
+    }
+
+    #[test]
+    fn spectrum_entry_point_matches_planned_wrapper() {
+        let config = CspConfig::default();
+        for img in [smooth_benign(48), combed(48, 4)] {
+            let spec = dft2_planned(&img);
+            assert_eq!(count_csp_in_spectrum(&spec, &config), count_csp_planned(&img, &config));
         }
     }
 

@@ -11,7 +11,7 @@ use decamouflage::detection::calibrate::calibrate_whitebox;
 use decamouflage::detection::monitor::DetectionMonitor;
 use decamouflage::detection::persist::ThresholdSet;
 use decamouflage::detection::{
-    Detector, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector,
+    FilteringDetector, MethodId, MetricKind, ScalingDetector, SteganalysisDetector,
 };
 use decamouflage::imaging::scale::ScaleAlgorithm;
 use decamouflage::imaging::Image;
@@ -34,9 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let filtering_cal = calibrate_whitebox(&filtering, &benign, &attacks)?;
 
     let mut set = ThresholdSet::new();
-    set.insert(scaling.name(), scaling_cal.threshold);
-    set.insert(filtering.name(), filtering_cal.threshold);
-    set.insert("steganalysis/csp", SteganalysisDetector::universal_threshold());
+    set.insert(MethodId::ScalingMse, scaling_cal.threshold);
+    set.insert(MethodId::FilteringSsim, filtering_cal.threshold);
+    set.insert(MethodId::Csp, SteganalysisDetector::universal_threshold());
 
     let path = std::env::temp_dir().join("decamouflage-thresholds.txt");
     set.save(&path)?;
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let restored = ThresholdSet::load(&path)?;
     assert_eq!(restored, set);
     let threshold =
-        restored.get("scaling/mse").expect("threshold file contains the scaling detector");
+        restored.get(MethodId::ScalingMse).expect("threshold file contains the scaling detector");
 
     // Calibration statistics feed the drift monitor.
     let stats: OnlineStats = scaling_cal.benign_scores.iter().copied().collect();

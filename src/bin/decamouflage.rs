@@ -17,7 +17,7 @@ use decamouflage::detection::calibrate::calibrate_whitebox;
 use decamouflage::detection::ensemble::Ensemble;
 use decamouflage::detection::persist::ThresholdSet;
 use decamouflage::detection::{
-    Detector, FilteringDetector, MetricKind, ScalingDetector, SteganalysisDetector, Threshold,
+    FilteringDetector, MethodId, MetricKind, ScalingDetector, SteganalysisDetector, Threshold,
 };
 use decamouflage::imaging::codec::{read_bmp_file, read_pnm_file, write_bmp_file, write_pnm_file};
 use decamouflage::imaging::scale::{ScaleAlgorithm, Scaler};
@@ -96,30 +96,30 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn default_thresholds() -> ThresholdSet {
     let mut set = ThresholdSet::new();
     set.insert(
-        "scaling/mse",
+        MethodId::ScalingMse,
         Threshold::new(400.0, decamouflage::detection::Direction::AboveIsAttack),
     );
     set.insert(
-        "filtering/ssim",
+        MethodId::FilteringSsim,
         Threshold::new(0.55, decamouflage::detection::Direction::BelowIsAttack),
     );
-    set.insert("steganalysis/csp", SteganalysisDetector::universal_threshold());
+    set.insert(MethodId::Csp, SteganalysisDetector::universal_threshold());
     set
 }
 
 fn build_ensemble(target: Size, thresholds: &ThresholdSet) -> Result<Ensemble, String> {
-    let need = |name: &str| {
+    let need = |id: MethodId| {
         thresholds
-            .get(name)
-            .ok_or_else(|| format!("thresholds file is missing an entry for {name:?}"))
+            .get(id)
+            .ok_or_else(|| format!("thresholds file is missing an entry for {:?}", id.name()))
     };
     Ok(Ensemble::new()
         .with_member(
             ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse),
-            need("scaling/mse")?,
+            need(MethodId::ScalingMse)?,
         )
-        .with_member(FilteringDetector::new(MetricKind::Ssim), need("filtering/ssim")?)
-        .with_member(SteganalysisDetector::for_target(target), need("steganalysis/csp")?))
+        .with_member(FilteringDetector::new(MetricKind::Ssim), need(MethodId::FilteringSsim)?)
+        .with_member(SteganalysisDetector::for_target(target), need(MethodId::Csp)?))
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
@@ -220,9 +220,9 @@ fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
         calibrate_whitebox(&filtering, &benign, &attacks).map_err(|e| e.to_string())?;
 
     let mut set = ThresholdSet::new();
-    set.insert(scaling.name(), scaling_cal.threshold);
-    set.insert(filtering.name(), filtering_cal.threshold);
-    set.insert("steganalysis/csp", SteganalysisDetector::universal_threshold());
+    set.insert(MethodId::ScalingMse, scaling_cal.threshold);
+    set.insert(MethodId::FilteringSsim, filtering_cal.threshold);
+    set.insert(MethodId::Csp, SteganalysisDetector::universal_threshold());
     set.save(Path::new(out)).map_err(|e| e.to_string())?;
     println!(
         "wrote {out} (scaling train acc {:.1}%, filtering train acc {:.1}%)",
