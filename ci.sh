@@ -10,6 +10,9 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo test fault_injection =="
+cargo test -p decamouflage-core --test fault_injection
+
 echo "== cargo clippy =="
 cargo clippy --all-targets -- -D warnings
 

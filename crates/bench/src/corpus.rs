@@ -5,7 +5,8 @@ use decamouflage_core::parallel::{default_threads, parallel_map_indices};
 use decamouflage_core::peak_excess::PeakExcessDetector;
 use decamouflage_core::pipeline::ScoredCorpus;
 use decamouflage_core::{
-    DetectionEngine, FilteringDetector, MethodId, MetricKind, ScalingDetector, SteganalysisDetector,
+    DetectionEngine, FilteringDetector, MethodId, MetricKind, ScalingDetector, ScoreError,
+    SteganalysisDetector,
 };
 use decamouflage_datasets::{DatasetProfile, SampleGenerator};
 use decamouflage_imaging::scale::ScaleAlgorithm;
@@ -147,21 +148,40 @@ impl DetectorSet {
     /// [`DetectionEngine::score_with_artifacts`] (bit-identical to the
     /// individual detectors), and the PSNR / colour-histogram negative
     /// results reuse the engine's round-tripped and filtered intermediates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a scoring failure, which generated images never trigger;
+    /// for untrusted inputs use [`DetectorSet::try_score_all`].
     pub fn score_all(&self, image: &Image) -> [f64; SCORER_COUNT] {
-        let artifacts = self
-            .engine
-            .score_with_artifacts(image)
-            .expect("engine scoring on generated images cannot fail");
+        self.try_score_all(image).expect("engine scoring on generated images cannot fail")
+    }
+
+    /// The fault-isolating variant of [`DetectorSet::score_all`]: validates
+    /// the image through the engine's quarantine layer first and returns a
+    /// typed [`ScoreError`] instead of panicking on anything unusable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the quarantine [`ScoreError`] for invalid inputs and any
+    /// scoring failure (index `0`; batch callers re-address it).
+    pub fn try_score_all(&self, image: &Image) -> Result<[f64; SCORER_COUNT], ScoreError> {
+        self.engine.validate_image(image)?;
+        let artifacts =
+            self.engine.score_with_artifacts(image).map_err(|err| ScoreError::detect(0, err))?;
         let round = &artifacts.round_tripped;
         let filtered = &artifacts.filtered;
         let mut row = [f64::NAN; SCORER_COUNT];
         for (id, score) in artifacts.scores.iter() {
             row[id as usize] = score;
         }
-        row[IDX_SCALING_PSNR] = psnr(image, round).expect("same shape");
-        row[IDX_FILTERING_PSNR] = psnr(image, filtered).expect("same shape");
-        row[IDX_COLORHIST] = histogram_intersection(image, round, 64).expect("same shape");
-        row
+        let metric = |err: decamouflage_metrics::MetricError| {
+            ScoreError::detect(0, decamouflage_core::DetectError::from(err))
+        };
+        row[IDX_SCALING_PSNR] = psnr(image, round).map_err(metric)?;
+        row[IDX_FILTERING_PSNR] = psnr(image, filtered).map_err(metric)?;
+        row[IDX_COLORHIST] = histogram_intersection(image, round, 64).map_err(metric)?;
+        Ok(row)
     }
 }
 
@@ -170,6 +190,10 @@ impl DetectorSet {
 pub struct ScoreSet {
     /// `corpora[idx]` is the scored corpus for scorer `IDX_*`.
     pub corpora: Vec<ScoredCorpus>,
+    /// Images dropped by the quarantine layer while scoring the profile
+    /// (zero for the built-in generated profiles). Quarantined images are
+    /// absent from every corpus.
+    pub quarantined: usize,
 }
 
 impl ScoreSet {
@@ -258,28 +282,40 @@ impl ExperimentContext {
 /// Scores a whole profile with every scorer in one pass per image. Benign
 /// and attack samples share a single `2 * count` fan-out over the worker
 /// pool, so the whole corpus is one batch.
+///
+/// Each image is fault-isolated: a slot whose generation or scoring fails
+/// (or panics) is quarantined and dropped from every corpus, counted in
+/// [`ScoreSet::quarantined`], instead of aborting the whole profile.
 pub fn score_profile(profile: &DatasetProfile, config: HarnessConfig) -> ScoreSet {
     let detectors = DetectorSet::new(profile);
     let generator = MixedAttackGenerator::new(profile.clone());
 
     let count = config.count;
     let mut rows = parallel_map_indices(2 * count, config.threads, |i| {
-        if i < count {
-            detectors.score_all(&generator.benign(i as u64))
-        } else {
-            detectors.score_all(&generator.attack((i - count) as u64))
-        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if i < count {
+                detectors.try_score_all(&generator.benign(i as u64))
+            } else {
+                detectors.try_score_all(&generator.attack((i - count) as u64))
+            }
+        }))
+        .unwrap_or_else(|payload| Err(ScoreError::panicked(i, payload)))
+        .map_err(|err| err.at_index(i))
     });
-    let attack_rows: Vec<[f64; SCORER_COUNT]> = rows.split_off(count);
-    let benign_rows: Vec<[f64; SCORER_COUNT]> = rows;
+    let attack_rows: Vec<Result<[f64; SCORER_COUNT], ScoreError>> = rows.split_off(count);
+    let benign_rows: Vec<Result<[f64; SCORER_COUNT], ScoreError>> = rows;
 
+    let quarantined = benign_rows.iter().chain(&attack_rows).filter(|r| r.is_err()).count();
+    let column = |rows: &[Result<[f64; SCORER_COUNT], ScoreError>], idx: usize| -> Vec<f64> {
+        rows.iter().filter_map(|r| r.as_ref().ok()).map(|row| row[idx]).collect()
+    };
     let corpora = (0..SCORER_COUNT)
         .map(|idx| ScoredCorpus {
-            benign: benign_rows.iter().map(|row| row[idx]).collect(),
-            attack: attack_rows.iter().map(|row| row[idx]).collect(),
+            benign: column(&benign_rows, idx),
+            attack: column(&attack_rows, idx),
         })
         .collect();
-    ScoreSet { corpora }
+    ScoreSet { corpora, quarantined }
 }
 
 #[cfg(test)]
@@ -342,6 +378,29 @@ mod tests {
         for (i, &id) in MethodId::ALL.iter().enumerate() {
             assert_eq!(SCORER_NAMES[i], id.name());
         }
+    }
+
+    #[test]
+    fn try_score_all_quarantines_poisoned_images() {
+        let profile = DatasetProfile::tiny();
+        let detectors = DetectorSet::new(&profile);
+        let g = MixedAttackGenerator::new(profile);
+        let mut poisoned = g.benign(0);
+        poisoned.set(1, 1, 0, f64::NAN);
+        let err = detectors.try_score_all(&poisoned).unwrap_err();
+        assert!(err.to_string().contains("non-finite pixel"), "{err}");
+        // Clean images agree with the panicking facade.
+        let clean = g.benign(0);
+        assert_eq!(detectors.try_score_all(&clean).unwrap(), detectors.score_all(&clean));
+    }
+
+    #[test]
+    fn generated_profiles_score_without_quarantine() {
+        let ctx = tiny_context(3);
+        let scores = ctx.train();
+        assert_eq!(scores.quarantined, 0);
+        assert_eq!(scores.of(IDX_SCALING_MSE).benign.len(), 3);
+        assert_eq!(scores.of(IDX_SCALING_MSE).attack.len(), 3);
     }
 
     #[test]

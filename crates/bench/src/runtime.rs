@@ -86,6 +86,16 @@ pub fn table7(ctx: &ExperimentContext) -> String {
             let _ = detectors.engine().score(img);
         }),
     );
+    // The same pass behind the quarantine layer (input validation plus the
+    // catch_unwind isolation boundary) — what screening untrusted uploads
+    // with fault isolation costs over the raw engine.
+    push(
+        "Engine (resilient)",
+        "All registry methods",
+        time_per_image(&images, |img| {
+            let _ = detectors.engine().score_resilient(img);
+        }),
+    );
 
     format!(
         "## Table 7 — run-time overheads of the detection methods\n\n\
@@ -125,6 +135,7 @@ mod tests {
         assert!(s.contains("SSIM"));
         assert!(s.contains("Peak excess"));
         assert!(s.contains("Engine (all methods)"));
+        assert!(s.contains("Engine (resilient)"));
     }
 
     #[test]

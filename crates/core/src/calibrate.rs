@@ -138,6 +138,71 @@ pub fn calibrate_engine_whitebox(
     Ok(set)
 }
 
+/// A [`calibrate_engine_whitebox`] run that survived bad samples: the
+/// thresholds from the surviving images plus the quarantine ledger.
+#[derive(Debug)]
+pub struct ResilientCalibration {
+    /// Per-method thresholds from the images that scored successfully.
+    pub thresholds: ThresholdSet,
+    /// The quarantine errors of the benign samples, `(sample index, error)`.
+    pub benign_quarantined: Vec<(usize, crate::ScoreError)>,
+    /// The quarantine errors of the attack samples, `(sample index, error)`.
+    pub attack_quarantined: Vec<(usize, crate::ScoreError)>,
+}
+
+impl ResilientCalibration {
+    /// Total number of quarantined calibration samples.
+    pub fn quarantined(&self) -> usize {
+        self.benign_quarantined.len() + self.attack_quarantined.len()
+    }
+}
+
+fn engine_score_resilient(
+    engine: &DetectionEngine,
+    images: &[Image],
+    quarantined: &mut Vec<(usize, crate::ScoreError)>,
+) -> Vec<ScoreVector> {
+    let mut scores = Vec::with_capacity(images.len());
+    for (index, image) in images.iter().enumerate() {
+        match engine.score_resilient(image) {
+            Ok(vector) => scores.push(vector),
+            Err(err) => quarantined.push((index, err.at_index(index))),
+        }
+    }
+    scores
+}
+
+/// White-box calibration that quarantines unusable samples instead of
+/// aborting: every image goes through
+/// [`DetectionEngine::score_resilient`], failures are collected with their
+/// sample index, and the threshold search runs on whatever survived. One
+/// corrupt file in a calibration corpus no longer costs the whole run —
+/// but inspect [`ResilientCalibration::quarantined`] before trusting the
+/// thresholds, because a heavily quarantined corpus is itself a signal.
+///
+/// # Errors
+///
+/// Returns [`DetectError::InvalidCalibration`] when either class has no
+/// surviving samples; propagates threshold-search errors.
+pub fn calibrate_engine_whitebox_resilient(
+    engine: &DetectionEngine,
+    benign: &[Image],
+    attacks: &[Image],
+) -> Result<ResilientCalibration, DetectError> {
+    let mut benign_quarantined = Vec::new();
+    let mut attack_quarantined = Vec::new();
+    let benign_scores = engine_score_resilient(engine, benign, &mut benign_quarantined);
+    let attack_scores = engine_score_resilient(engine, attacks, &mut attack_quarantined);
+    let mut set = ThresholdSet::new();
+    for id in engine.methods().iter() {
+        let b: Vec<f64> = benign_scores.iter().map(|s| s.get(id)).collect();
+        let a: Vec<f64> = attack_scores.iter().map(|s| s.get(id)).collect();
+        let search = search_whitebox(&b, &a, id.direction())?;
+        set.insert(id, search.threshold);
+    }
+    Ok(ResilientCalibration { thresholds: set, benign_quarantined, attack_quarantined })
+}
+
 /// Black-box calibration of every enabled engine method from benign
 /// samples only. Methods carrying a universal threshold
 /// ([`crate::MethodId::fixed_blackbox_threshold`] — the paper's
@@ -280,6 +345,37 @@ mod tests {
     }
 
     use crate::steganalysis::SteganalysisDetector;
+
+    #[test]
+    fn resilient_whitebox_skips_quarantined_samples() {
+        let engine = DetectionEngine::new(Size::square(8));
+        let mut benign = scenes(0.0, 3);
+        // Poison one benign sample with a NaN pixel.
+        benign[1].set(2, 2, 0, f64::NAN);
+        let attacks: Vec<Image> = scenes(40.0, 3).iter().map(|i| i.map(|v| 255.0 - v)).collect();
+
+        let resilient = calibrate_engine_whitebox_resilient(&engine, &benign, &attacks).unwrap();
+        assert_eq!(resilient.quarantined(), 1);
+        assert_eq!(resilient.benign_quarantined[0].0, 1, "sample index is reported");
+        assert!(resilient.attack_quarantined.is_empty());
+
+        // The thresholds match a strict calibration on the clean subset.
+        let clean: Vec<Image> = vec![benign[0].clone(), benign[2].clone()];
+        let strict = calibrate_engine_whitebox(&engine, &clean, &attacks).unwrap();
+        for id in engine.methods().iter() {
+            assert_eq!(resilient.thresholds.get(id), strict.get(id));
+        }
+
+        // The strict path refuses the same poisoned corpus outright.
+        assert!(calibrate_engine_whitebox(&engine, &benign, &attacks).is_err());
+
+        // A class with no survivors fails the calibration.
+        let mut all_bad = scenes(0.0, 2);
+        for image in &mut all_bad {
+            image.set(0, 0, 0, f64::NAN);
+        }
+        assert!(calibrate_engine_whitebox_resilient(&engine, &all_bad, &attacks).is_err());
+    }
 
     #[test]
     fn engine_calibration_rejects_empty_sets() {

@@ -34,6 +34,8 @@
 
 use crate::detector::{Detector, MetricKind};
 use crate::ensemble::EnsembleDecision;
+use crate::error::{ScoreError, ScoreFault};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::filtering::FilteringDetector;
 use crate::method::{MethodId, MethodSet, ScoreVector};
 use crate::parallel::parallel_map_indices;
@@ -51,6 +53,8 @@ use decamouflage_spectral::csp::{count_csp_in_spectrum, CspConfig};
 use decamouflage_spectral::dft2d::dft2_planned;
 use decamouflage_spectral::radial::peak_excess;
 use decamouflage_spectral::window::{apply_window, WindowKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// The per-image scores the engine produces — an alias kept from the days
 /// when this was a fixed five-field struct. Use the [`ScoreVector`] API
@@ -94,6 +98,83 @@ impl EngineCorpus {
     /// The attack scores of one method, in index order.
     pub fn attack_column(&self, id: MethodId) -> Vec<f64> {
         self.attack.iter().map(|s| s.get(id)).collect()
+    }
+}
+
+/// Aggregate counters over a [`BatchOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchCounts {
+    /// Images that scored successfully.
+    pub scored: usize,
+    /// Images quarantined with a [`ScoreError`], total.
+    pub quarantined: usize,
+    /// Quarantined images from the benign half.
+    pub benign_quarantined: usize,
+    /// Quarantined images from the attack half.
+    pub attack_quarantined: usize,
+}
+
+/// Per-image results of a fault-isolated corpus scoring run
+/// ([`DetectionEngine::score_corpus_resilient`]): every slot is either the
+/// image's [`ScoreVector`] or the structured [`ScoreError`] that
+/// quarantined it. One poisoned image costs exactly one slot.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-image results of the benign samples, in index order. Slot `i`
+    /// corresponds to batch fan-out index `i`.
+    pub benign: Vec<Result<ScoreVector, ScoreError>>,
+    /// Per-image results of the attack samples, in index order. Slot `i`
+    /// corresponds to batch fan-out index `count + i`.
+    pub attack: Vec<Result<ScoreVector, ScoreError>>,
+}
+
+impl BatchOutcome {
+    /// Aggregate scored/quarantined counters.
+    pub fn counts(&self) -> BatchCounts {
+        let benign_quarantined = self.benign.iter().filter(|r| r.is_err()).count();
+        let attack_quarantined = self.attack.iter().filter(|r| r.is_err()).count();
+        BatchCounts {
+            scored: self.benign.len() + self.attack.len() - benign_quarantined - attack_quarantined,
+            quarantined: benign_quarantined + attack_quarantined,
+            benign_quarantined,
+            attack_quarantined,
+        }
+    }
+
+    /// The quarantine errors of both halves (benign first), in index order.
+    pub fn quarantined(&self) -> impl Iterator<Item = &ScoreError> {
+        self.benign.iter().chain(self.attack.iter()).filter_map(|result| result.as_ref().err())
+    }
+
+    /// The surviving benign scores of one method, skipping quarantined
+    /// slots.
+    pub fn benign_column(&self, id: MethodId) -> Vec<f64> {
+        self.benign.iter().filter_map(|r| r.as_ref().ok()).map(|s| s.get(id)).collect()
+    }
+
+    /// The surviving attack scores of one method, skipping quarantined
+    /// slots.
+    pub fn attack_column(&self, id: MethodId) -> Vec<f64> {
+        self.attack.iter().filter_map(|r| r.as_ref().ok()).map(|s| s.get(id)).collect()
+    }
+
+    /// Converts into a fully scored [`EngineCorpus`], failing fast on the
+    /// first quarantined slot in fan-out order (all benign indices before
+    /// all attack indices) — the contract of the pre-quarantine
+    /// [`DetectionEngine::score_corpus`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`ScoreError`] in fan-out order, converted through
+    /// [`DetectError::from`] (a plain scoring failure unwraps back to the
+    /// original [`DetectError`]).
+    pub fn into_result(self) -> Result<EngineCorpus, DetectError> {
+        let unwrap_half = |half: Vec<Result<ScoreVector, ScoreError>>| {
+            half.into_iter().collect::<Result<Vec<ScoreVector>, ScoreError>>()
+        };
+        let benign = unwrap_half(self.benign)?;
+        let attack = unwrap_half(self.attack)?;
+        Ok(EngineCorpus { benign, attack })
     }
 }
 
@@ -201,6 +282,7 @@ pub struct DetectionEngine {
     csp_config: CspConfig,
     peak_window: WindowKind,
     methods: MethodSet,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl DetectionEngine {
@@ -220,6 +302,7 @@ impl DetectionEngine {
             csp_config: SteganalysisDetector::for_target(target).config().clone(),
             peak_window: WindowKind::Rectangular,
             methods: MethodSet::all(),
+            faults: None,
         }
     }
 
@@ -267,6 +350,18 @@ impl DetectionEngine {
     #[must_use]
     pub fn with_methods(mut self, methods: MethodSet) -> Self {
         self.methods = methods;
+        self
+    }
+
+    /// Arms a deterministic [`FaultPlan`] on the resilient batch path:
+    /// [`DetectionEngine::score_corpus_resilient`] fires the plan entry
+    /// armed at each batch fan-out index *inside* the per-image isolation
+    /// boundary, so an injected panic travels the exact worker-pool →
+    /// `catch_unwind` → quarantine route a real deep panic would. The
+    /// fail-fast APIs and single-image scoring ignore the plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
         self
     }
 
@@ -446,6 +541,132 @@ impl DetectionEngine {
         Ok(self.score_with_artifacts(image)?.scores)
     }
 
+    /// Input quarantine: rejects images that cannot be scored meaningfully
+    /// under this engine's configuration *before* any imaging or spectral
+    /// primitive runs on them. Checks, in order:
+    ///
+    /// 1. zero-area pixel grids ([`ScoreFault::DegenerateDimensions`]),
+    /// 2. NaN / infinite pixel samples ([`ScoreFault::NonFinitePixel`]) —
+    ///    these would silently propagate into every score,
+    /// 3. images smaller than the configured rank-filter window, SSIM
+    ///    window, or spectrum plan for the respectively enabled methods
+    ///    ([`ScoreFault::BelowMinimumSize`], attributed to the first
+    ///    enabled offending [`MethodId`]).
+    ///
+    /// # Errors
+    ///
+    /// The first failed check as a structured [`ScoreError`] (index `0`;
+    /// batch callers re-address it with [`ScoreError::at_index`]).
+    pub fn validate_image(&self, image: &Image) -> Result<(), ScoreError> {
+        let (width, height) = (image.width(), image.height());
+        if width == 0 || height == 0 {
+            return Err(ScoreError::new(ScoreFault::DegenerateDimensions { width, height }));
+        }
+        if let Some(sample) = image.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(ScoreError::new(ScoreFault::NonFinitePixel { sample }));
+        }
+        let min_side = width.min(height);
+        let too_small = |required: usize, requirement: &'static str, id: MethodId| {
+            ScoreError::new(ScoreFault::BelowMinimumSize { width, height, required, requirement })
+                .for_method(id)
+        };
+        let first_enabled =
+            |ids: [MethodId; 2]| ids.into_iter().find(|&id| self.methods.contains(id));
+        if let Some(id) = first_enabled([MethodId::FilteringMse, MethodId::FilteringSsim]) {
+            if min_side < self.filter_window {
+                return Err(too_small(self.filter_window, "rank-filter window", id));
+            }
+        }
+        if let Some(id) = first_enabled([MethodId::ScalingSsim, MethodId::FilteringSsim]) {
+            let side = 2 * self.ssim_config.radius + 1;
+            if min_side < side {
+                return Err(too_small(side, "SSIM window", id));
+            }
+        }
+        if let Some(id) = first_enabled([MethodId::Csp, MethodId::PeakExcess]) {
+            if min_side < 2 {
+                return Err(too_small(2, "spectrum plan", id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-isolated single-image scoring: validates the input
+    /// ([`DetectionEngine::validate_image`]) and converts both scoring
+    /// errors and payload panics into a structured [`ScoreError`] instead
+    /// of letting them unwind into the caller.
+    ///
+    /// # Errors
+    ///
+    /// A [`ScoreError`] with index `0` for validation rejections, scoring
+    /// failures ([`ScoreFault::Detect`]) or recovered panics
+    /// ([`ScoreFault::Panicked`]).
+    pub fn score_resilient(&self, image: &Image) -> Result<ScoreVector, ScoreError> {
+        self.validate_image(image)?;
+        // The engine holds no interior mutability of its own and the global
+        // scaler cache recovers lock poisoning, so observing state after a
+        // caught panic is safe.
+        match catch_unwind(AssertUnwindSafe(|| self.score(image))) {
+            Ok(Ok(scores)) => Ok(scores),
+            Ok(Err(err)) => Err(ScoreError::detect(0, err)),
+            Err(payload) => Err(ScoreError::panicked(0, payload)),
+        }
+    }
+
+    /// One fault-isolated slot of a corpus fan-out: fires any armed fault,
+    /// builds the image, validates, scores — all inside one
+    /// `catch_unwind` boundary, so a panic anywhere in the slot (including
+    /// image construction) quarantines only that slot.
+    fn score_index_resilient(
+        &self,
+        index: usize,
+        make_image: impl FnOnce() -> Image,
+    ) -> Result<ScoreVector, ScoreError> {
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<ScoreVector, ScoreError> {
+            if let Some(plan) = &self.faults {
+                match plan.get(index) {
+                    Some(FaultKind::Panic) => panic!("injected panic at scoring index {index}"),
+                    Some(FaultKind::Error) => return Err(ScoreError::injected(index)),
+                    Some(FaultKind::NanScore) => return Ok(ScoreVector::splat(f64::NAN)),
+                    None => {}
+                }
+            }
+            let image = make_image();
+            self.validate_image(&image).map_err(|err| err.at_index(index))?;
+            self.score(&image).map_err(|err| ScoreError::detect(index, err))
+        }));
+        match attempt {
+            Ok(result) => result,
+            Err(payload) => Err(ScoreError::panicked(index, payload)),
+        }
+    }
+
+    /// Fault-isolated batch scoring: the same single `2 * count` fan-out as
+    /// [`DetectionEngine::score_corpus`] (benign indices first), but each
+    /// image's slot is individually quarantined — validation rejections,
+    /// scoring errors and payload panics land in that slot's
+    /// [`ScoreError`] while every other image scores normally. The batch
+    /// itself never fails and the worker pool keeps serving.
+    pub fn score_corpus_resilient(
+        &self,
+        benign_of: impl Fn(u64) -> Image + Sync,
+        attack_of: impl Fn(u64) -> Image + Sync,
+        count: usize,
+        threads: usize,
+    ) -> BatchOutcome {
+        let mut results = parallel_map_indices(2 * count, threads, |i| {
+            self.score_index_resilient(i, || {
+                if i < count {
+                    benign_of(i as u64)
+                } else {
+                    attack_of((i - count) as u64)
+                }
+            })
+        });
+        let attack = results.split_off(count);
+        BatchOutcome { benign: results, attack }
+    }
+
     /// Majority vote over the thresholded methods, scored in one engine
     /// pass. Every threshold whose method is enabled contributes one vote
     /// (named after [`MethodId::name`]); thresholds of disabled methods are
@@ -475,12 +696,14 @@ impl DetectionEngine {
         }
         let attack_votes = votes.iter().filter(|(_, vote)| *vote).count();
         let is_attack = 2 * attack_votes > votes.len();
-        Ok(EnsembleDecision { votes, is_attack })
+        Ok(EnsembleDecision { votes, unavailable: Vec::new(), is_attack })
     }
 
     /// Scores `count` benign and `count` attack images in a single
     /// `2 * count` fan-out over the worker pool (benign indices first), so
-    /// both halves of the corpus share one batch.
+    /// both halves of the corpus share one batch. This is the fail-fast
+    /// facade over [`DetectionEngine::score_corpus_resilient`]: the scores
+    /// are the same, but the first quarantined slot aborts the result.
     ///
     /// # Errors
     ///
@@ -493,24 +716,7 @@ impl DetectionEngine {
         count: usize,
         threads: usize,
     ) -> Result<EngineCorpus, DetectError> {
-        let results = parallel_map_indices(2 * count, threads, |i| {
-            if i < count {
-                self.score(&benign_of(i as u64))
-            } else {
-                self.score(&attack_of((i - count) as u64))
-            }
-        });
-        let mut benign = Vec::with_capacity(count);
-        let mut attack = Vec::with_capacity(count);
-        for (i, result) in results.into_iter().enumerate() {
-            let scores = result?;
-            if i < count {
-                benign.push(scores);
-            } else {
-                attack.push(scores);
-            }
-        }
-        Ok(EngineCorpus { benign, attack })
+        self.score_corpus_resilient(benign_of, attack_of, count, threads).into_result()
     }
 }
 
@@ -658,6 +864,133 @@ mod tests {
         let engine = DetectionEngine::new(Size::square(8)).with_ssim_config(bad_ssim);
         let result = engine.score_corpus(|_| smooth(24), |_| smooth(24), 2, 2);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn validate_image_classifies_degenerate_inputs() {
+        use crate::error::ScoreFault;
+        let engine = DetectionEngine::new(Size::square(8));
+
+        // (Zero-area images cannot be constructed through the imaging
+        // crate, so the DegenerateDimensions guard is pure defense-in-depth
+        // and is exercised only at the ScoreFault display level.)
+
+        let mut poisoned = smooth(24);
+        poisoned.set(3, 5, 0, f64::NAN);
+        let err = engine.validate_image(&poisoned).unwrap_err();
+        match err.cause {
+            ScoreFault::NonFinitePixel { sample } => assert_eq!(sample, 5 * 24 + 3),
+            other => panic!("expected NonFinitePixel, got {other:?}"),
+        }
+
+        // 4x4 is below the default 11-pixel SSIM window; the error is
+        // attributed to the first enabled SSIM method.
+        let err = engine.validate_image(&smooth(4)).unwrap_err();
+        match err.cause {
+            ScoreFault::BelowMinimumSize { required: 11, requirement: "SSIM window", .. } => {}
+            other => panic!("expected BelowMinimumSize, got {other:?}"),
+        }
+        assert_eq!(err.method, Some(MethodId::ScalingSsim));
+
+        // With both SSIM methods disabled the same image passes the SSIM
+        // check but still trips the larger-than-image filter window.
+        let engine = DetectionEngine::new(Size::square(8))
+            .with_filter(6, RankKind::Minimum)
+            .with_methods(MethodSet::of(&[MethodId::FilteringMse, MethodId::Csp]));
+        let err = engine.validate_image(&smooth(4)).unwrap_err();
+        match err.cause {
+            ScoreFault::BelowMinimumSize {
+                required: 6, requirement: "rank-filter window", ..
+            } => {}
+            other => panic!("expected the filter-window bound, got {other:?}"),
+        }
+        assert_eq!(err.method, Some(MethodId::FilteringMse));
+
+        // A fully spatial-free configuration only needs a 2x2 spectrum.
+        let engine =
+            DetectionEngine::new(Size::square(8)).with_methods(MethodSet::of(&[MethodId::Csp]));
+        let err = engine.validate_image(&Image::zeros(1, 8, decamouflage_imaging::Channels::Gray));
+        assert!(matches!(err.unwrap_err().cause, ScoreFault::BelowMinimumSize { .. }));
+        engine.validate_image(&smooth(2)).expect("2x2 feeds a spectrum plan fine");
+    }
+
+    #[test]
+    fn score_resilient_matches_score_on_clean_input() {
+        let engine = DetectionEngine::new(Size::square(16));
+        let image = smooth(48);
+        assert_eq!(engine.score_resilient(&image).unwrap(), engine.score(&image).unwrap());
+    }
+
+    #[test]
+    fn score_resilient_quarantines_invalid_input_with_typed_cause() {
+        use crate::error::ScoreFault;
+        let engine = DetectionEngine::new(Size::square(16));
+        let mut poisoned = smooth(48);
+        poisoned.set(0, 0, 0, f64::INFINITY);
+        let err = engine.score_resilient(&poisoned).unwrap_err();
+        assert!(matches!(err.cause, ScoreFault::NonFinitePixel { sample: 0 }));
+        // Scoring errors are carried as the typed Detect cause.
+        let mut bad_ssim = SsimConfig::default();
+        bad_ssim.sigma = 0.0;
+        let engine = DetectionEngine::new(Size::square(16)).with_ssim_config(bad_ssim);
+        let err = engine.score_resilient(&smooth(48)).unwrap_err();
+        assert!(matches!(err.cause, ScoreFault::Detect(_)));
+    }
+
+    #[test]
+    fn resilient_corpus_quarantines_exactly_the_invalid_slot() {
+        let engine = DetectionEngine::new(Size::square(8));
+        let benign_of = |i: u64| {
+            if i == 2 {
+                // NaN pixels must quarantine this slot and nothing else.
+                Image::filled(24, 24, decamouflage_imaging::Channels::Gray, f64::NAN)
+            } else {
+                smooth(24 + (i as usize % 3) * 4)
+            }
+        };
+        let attack_of = |i: u64| smooth(32 + (i as usize % 2) * 8).map(|v| 255.0 - v);
+        let outcome = engine.score_corpus_resilient(benign_of, attack_of, 4, 4);
+        let counts = outcome.counts();
+        assert_eq!(counts.quarantined, 1);
+        assert_eq!(counts.benign_quarantined, 1);
+        assert_eq!(counts.attack_quarantined, 0);
+        assert_eq!(counts.scored, 7);
+        assert!(outcome.benign[2].is_err());
+        assert_eq!(outcome.quarantined().next().unwrap().index, 2);
+        // Every surviving slot is bit-identical to individual scoring.
+        for (i, slot) in outcome.benign.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(slot.as_ref().unwrap(), &engine.score(&benign_of(i as u64)).unwrap());
+            }
+        }
+        for (i, slot) in outcome.attack.iter().enumerate() {
+            assert_eq!(slot.as_ref().unwrap(), &engine.score(&attack_of(i as u64)).unwrap());
+        }
+        // Surviving columns skip the quarantined slot.
+        assert_eq!(outcome.benign_column(MethodId::ScalingMse).len(), 3);
+        assert_eq!(outcome.attack_column(MethodId::ScalingMse).len(), 4);
+        // The fail-fast facade reports the same batch as an error.
+        assert!(engine.score_corpus(benign_of, attack_of, 4, 4).is_err());
+    }
+
+    #[test]
+    fn fault_plan_fires_by_batch_fanout_index() {
+        use crate::faults::{FaultKind, FaultPlan};
+        // Index 1 = benign[1], index 4 + 1 = 5 = attack[1] in a count-4 batch.
+        let plan = FaultPlan::new().with(1, FaultKind::Error).with(5, FaultKind::NanScore);
+        let engine = DetectionEngine::new(Size::square(8)).with_fault_plan(plan);
+        let benign_of = |i: u64| smooth(24 + (i as usize % 3) * 4);
+        let attack_of = |i: u64| smooth(32 + (i as usize % 2) * 8).map(|v| 255.0 - v);
+        let outcome = engine.score_corpus_resilient(benign_of, attack_of, 4, 4);
+        let err = outcome.benign[1].as_ref().unwrap_err();
+        assert!(matches!(err.cause, crate::error::ScoreFault::Injected));
+        assert_eq!(err.index, 1);
+        let nan_scores = outcome.attack[1].as_ref().unwrap();
+        assert!(MethodId::ALL.iter().all(|&id| nan_scores.get(id).is_nan()));
+        // Unarmed slots score bit-identically to a plan-free engine.
+        let clean = DetectionEngine::new(Size::square(8));
+        assert_eq!(outcome.benign[0].as_ref().unwrap(), &clean.score(&benign_of(0)).unwrap());
+        assert_eq!(outcome.attack[0].as_ref().unwrap(), &clean.score(&attack_of(0)).unwrap());
     }
 
     #[test]

@@ -75,10 +75,53 @@ impl std::fmt::Debug for EnsembleMember {
 /// Per-member votes plus the majority decision for one image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnsembleDecision {
-    /// `(member name, voted attack?)` in member order.
+    /// `(member name, voted attack?)` in member order. Members that could
+    /// not vote (see [`EnsembleDecision::unavailable`]) are absent.
     pub votes: Vec<(String, bool)>,
-    /// Majority verdict (strictly more than half the members).
+    /// `(member name, reason)` for every member whose score was missing,
+    /// non-finite or errored, in member order. Always empty under
+    /// [`DegradePolicy::Strict`], which turns the first such member into an
+    /// error instead.
+    pub unavailable: Vec<(String, String)>,
+    /// The verdict: a strict majority of the voting members under
+    /// [`DegradePolicy::Strict`] / [`DegradePolicy::MajorityOfAvailable`];
+    /// forced to `true` by [`DegradePolicy::FailClosed`] when any member is
+    /// unavailable.
     pub is_attack: bool,
+}
+
+impl EnsembleDecision {
+    /// Whether every member voted.
+    pub fn is_complete(&self) -> bool {
+        self.unavailable.is_empty()
+    }
+}
+
+/// What [`Ensemble::decide`] does when a member cannot vote — its score is
+/// missing (method disabled in the attached engine), non-finite, or its
+/// detector returned an error.
+///
+/// NaN scores deserve emphasis: a threshold comparison against NaN is
+/// always `false`, so before this policy existed a NaN-scoring member
+/// *silently voted benign* — precisely the failure an adversary feeding
+/// degenerate inputs would hope for. Every policy now surfaces the
+/// condition; they differ only in how the remaining members decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Fail fast: the first unavailable member aborts the decision with a
+    /// [`DetectError`] (the pre-fault-tolerance behaviour, and the
+    /// default).
+    #[default]
+    Strict,
+    /// Unavailable members abstain and a strict majority of the *available*
+    /// votes decides — the paper's 2-of-3 ensemble on whatever voters
+    /// remain. With every member unavailable the decision fails closed
+    /// (`is_attack = true`): an image nothing could score is not accepted.
+    MajorityOfAvailable,
+    /// Any unavailable member flags the image as an attack outright — the
+    /// security default for screening untrusted uploads, where "this input
+    /// broke a detector" is itself a strong attack signal.
+    FailClosed,
 }
 
 /// Majority-vote ensemble.
@@ -90,12 +133,26 @@ pub struct EnsembleDecision {
 pub struct Ensemble {
     members: Vec<EnsembleMember>,
     engine: Option<DetectionEngine>,
+    policy: DegradePolicy,
 }
 
 impl Ensemble {
     /// Creates an empty ensemble.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the degradation policy for members that cannot vote
+    /// (default: [`DegradePolicy::Strict`]).
+    #[must_use]
+    pub fn with_degrade_policy(mut self, policy: DegradePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active degradation policy.
+    pub const fn degrade_policy(&self) -> DegradePolicy {
+        self.policy
     }
 
     /// Attaches a shared engine: method-bound members are scored through
@@ -154,48 +211,95 @@ impl Ensemble {
         self.members.is_empty()
     }
 
-    /// Classifies an image by strict majority vote.
+    /// Classifies an image by strict majority vote, degrading per the
+    /// configured [`DegradePolicy`] when a member cannot vote.
     ///
     /// With an attached engine, all method-bound members share one
     /// [`DetectionEngine::score`] pass; only unbound members invoke their
-    /// own detector.
+    /// own detector. A non-finite member score never votes benign
+    /// silently — it is handled by the policy like a member error.
     ///
     /// # Errors
     ///
-    /// Returns [`DetectError::InvalidConfig`] for an empty ensemble, or if
-    /// a bound member's method is disabled in the attached engine;
-    /// propagates the first member failure.
+    /// Returns [`DetectError::InvalidConfig`] for an empty ensemble. Under
+    /// [`DegradePolicy::Strict`] (the default), additionally propagates the
+    /// first member failure — a detector error, a non-finite score, or a
+    /// bound method the attached engine disables. The other policies fold
+    /// those members into [`EnsembleDecision::unavailable`] instead.
     pub fn decide(&self, image: &Image) -> Result<EnsembleDecision, DetectError> {
         if self.members.is_empty() {
             return Err(DetectError::InvalidConfig { message: "ensemble has no members".into() });
         }
-        let shared: Option<(crate::method::MethodSet, ScoreVector)> = match &self.engine {
-            Some(engine) if self.members.iter().any(|m| m.method.is_some()) => {
-                Some((engine.methods(), engine.score(image)?))
+        let wants_shared = self.members.iter().any(|m| m.method.is_some());
+        let shared: Option<(crate::method::MethodSet, Option<ScoreVector>)> = match &self.engine {
+            Some(engine) if wants_shared => {
+                // Under a degrading policy an engine failure degrades every
+                // bound member instead of killing the decision.
+                let scores = match engine.score(image) {
+                    Ok(scores) => Some(scores),
+                    Err(err) if self.policy == DegradePolicy::Strict => return Err(err),
+                    Err(_) => None,
+                };
+                Some((engine.methods(), scores))
             }
             _ => None,
         };
         let mut votes = Vec::with_capacity(self.members.len());
+        let mut unavailable = Vec::new();
         let mut attack_votes = 0usize;
         for member in &self.members {
-            let vote = match (member.method, &shared) {
+            let score: Result<f64, DetectError> = match (member.method, &shared) {
                 (Some(id), Some((methods, scores))) => {
                     if !methods.contains(id) {
-                        return Err(DetectError::InvalidConfig {
+                        Err(DetectError::InvalidConfig {
                             message: format!(
                                 "member {:?} is bound to {id}, which the attached engine disables",
                                 member.name
                             ),
-                        });
+                        })
+                    } else {
+                        match scores {
+                            Some(scores) => Ok(scores.get(id)),
+                            None => Err(DetectError::InvalidConfig {
+                                message: "shared engine pass failed".into(),
+                            }),
+                        }
                     }
-                    member.threshold.is_attack(scores.get(id))
                 }
-                _ => member.is_attack(image)?,
+                _ => member.detector.score(image),
             };
-            attack_votes += usize::from(vote);
-            votes.push((member.name.clone(), vote));
+            let reason = match score {
+                Ok(s) if s.is_finite() => {
+                    let vote = member.threshold.is_attack(s);
+                    attack_votes += usize::from(vote);
+                    votes.push((member.name.clone(), vote));
+                    continue;
+                }
+                Ok(s) => {
+                    if self.policy == DegradePolicy::Strict {
+                        return Err(DetectError::Score(Box::new(crate::ScoreError::new(
+                            crate::ScoreFault::NonFiniteScore { score: s },
+                        ))));
+                    }
+                    format!("non-finite score {s}")
+                }
+                Err(err) => {
+                    if self.policy == DegradePolicy::Strict {
+                        return Err(err);
+                    }
+                    err.to_string()
+                }
+            };
+            unavailable.push((member.name.clone(), reason));
         }
-        Ok(EnsembleDecision { votes, is_attack: 2 * attack_votes > self.members.len() })
+        let is_attack = match self.policy {
+            DegradePolicy::FailClosed if !unavailable.is_empty() => true,
+            // All members unavailable: nothing could score the image, so a
+            // degrading ensemble refuses to accept it.
+            _ if votes.is_empty() => true,
+            _ => 2 * attack_votes > votes.len(),
+        };
+        Ok(EnsembleDecision { votes, unavailable, is_attack })
     }
 
     /// Convenience: the majority verdict only.
@@ -407,6 +511,131 @@ mod tests {
             .with_engine_member(MethodId::ScalingMse, above(200.0))
             .with_engine_member(MethodId::Csp, above(2.0));
         assert!(e.decide(&scene()).is_err());
+    }
+
+    #[test]
+    fn strict_policy_errors_on_nan_score_instead_of_voting_benign() {
+        // Regression for the silent-benign hole: threshold(NaN) is always
+        // false, so a NaN voter used to pass attacks. Strict now errors.
+        let e = Ensemble::new()
+            .with_member(FixedScore(f64::NAN, "nan"), above(5.0))
+            .with_member(FixedScore(10.0, "b"), above(5.0))
+            .with_member(FixedScore(10.0, "c"), above(5.0));
+        assert_eq!(e.degrade_policy(), DegradePolicy::Strict);
+        let err = e.decide(&img()).unwrap_err();
+        assert!(err.to_string().contains("non-finite score"), "{err}");
+    }
+
+    #[test]
+    fn majority_of_available_votes_on_the_remaining_members() {
+        // One voter down, the other two agree on attack -> attack.
+        let e = Ensemble::new()
+            .with_degrade_policy(DegradePolicy::MajorityOfAvailable)
+            .with_member(FailingDetector, above(5.0))
+            .with_member(FixedScore(10.0, "b"), above(5.0))
+            .with_member(FixedScore(10.0, "c"), above(5.0));
+        let d = e.decide(&img()).unwrap();
+        assert!(d.is_attack);
+        assert!(!d.is_complete());
+        assert_eq!(d.votes.len(), 2);
+        assert_eq!(d.unavailable.len(), 1);
+        assert_eq!(d.unavailable[0].0, "failing");
+        assert!(d.unavailable[0].1.contains("boom"), "{}", d.unavailable[0].1);
+
+        // One voter down, the other two split 1-1: no strict majority.
+        let e = Ensemble::new()
+            .with_degrade_policy(DegradePolicy::MajorityOfAvailable)
+            .with_member(FixedScore(f64::NAN, "nan"), above(5.0))
+            .with_member(FixedScore(10.0, "b"), above(5.0))
+            .with_member(FixedScore(1.0, "c"), above(5.0));
+        let d = e.decide(&img()).unwrap();
+        assert!(!d.is_attack);
+        assert_eq!(d.unavailable[0].1, "non-finite score NaN");
+    }
+
+    #[test]
+    fn majority_of_available_fails_closed_when_nobody_can_vote() {
+        let e = Ensemble::new()
+            .with_degrade_policy(DegradePolicy::MajorityOfAvailable)
+            .with_member(FailingDetector, above(5.0))
+            .with_member(FixedScore(f64::INFINITY, "inf"), above(5.0));
+        let d = e.decide(&img()).unwrap();
+        assert!(d.is_attack, "an image nothing could score must not pass");
+        assert!(d.votes.is_empty());
+        assert_eq!(d.unavailable.len(), 2);
+    }
+
+    #[test]
+    fn fail_closed_flags_attack_on_any_unavailable_member() {
+        // Both surviving voters say benign; the failed one decides anyway.
+        let e = Ensemble::new()
+            .with_degrade_policy(DegradePolicy::FailClosed)
+            .with_member(FailingDetector, above(5.0))
+            .with_member(FixedScore(1.0, "b"), above(5.0))
+            .with_member(FixedScore(1.0, "c"), above(5.0));
+        let d = e.decide(&img()).unwrap();
+        assert!(d.is_attack);
+        assert_eq!(d.votes, vec![("b".to_string(), false), ("c".to_string(), false)]);
+
+        // With every member healthy, FailClosed is an ordinary majority.
+        let e = Ensemble::new()
+            .with_degrade_policy(DegradePolicy::FailClosed)
+            .with_member(FixedScore(1.0, "a"), above(5.0))
+            .with_member(FixedScore(1.0, "b"), above(5.0))
+            .with_member(FixedScore(10.0, "c"), above(5.0));
+        let d = e.decide(&img()).unwrap();
+        assert!(!d.is_attack);
+        assert!(d.is_complete());
+    }
+
+    #[test]
+    fn degraded_policies_tolerate_a_disabled_bound_method() {
+        let engine = DetectionEngine::new(Size::square(16))
+            .with_methods(crate::method::MethodSet::of(&[MethodId::ScalingMse]));
+        let e = Ensemble::new()
+            .with_engine(engine)
+            .with_engine_member(MethodId::ScalingMse, above(200.0))
+            .with_engine_member(MethodId::Csp, above(2.0))
+            .with_degrade_policy(DegradePolicy::MajorityOfAvailable);
+        let d = e.decide(&scene()).unwrap();
+        assert_eq!(d.votes.len(), 1, "only the enabled binding votes");
+        assert_eq!(d.unavailable.len(), 1);
+        assert!(d.unavailable[0].1.contains("disables"), "{}", d.unavailable[0].1);
+    }
+
+    #[test]
+    fn degraded_policies_survive_a_failed_shared_engine_pass() {
+        // A sigma of zero makes every SSIM scoring pass fail, which under a
+        // degrading policy marks all bound members unavailable instead of
+        // erroring the decision.
+        let mut bad_ssim = decamouflage_metrics::SsimConfig::default();
+        bad_ssim.sigma = 0.0;
+        let engine = DetectionEngine::new(Size::square(16)).with_ssim_config(bad_ssim);
+        let e = Ensemble::new()
+            .with_engine(engine)
+            .with_engine_member(
+                MethodId::ScalingSsim,
+                Threshold::new(0.6, Direction::BelowIsAttack),
+            )
+            .with_degrade_policy(DegradePolicy::FailClosed)
+            .with_member(FixedScore(1.0, "healthy"), above(5.0));
+        let d = e.decide(&scene()).unwrap();
+        assert!(d.is_attack, "FailClosed flags the failed engine pass");
+        assert_eq!(d.votes, vec![("healthy".to_string(), false)]);
+        assert_eq!(d.unavailable.len(), 1);
+
+        // Strict still propagates the same failure as an error.
+        let strict = Ensemble::new()
+            .with_engine({
+                let mut bad_ssim = decamouflage_metrics::SsimConfig::default();
+                bad_ssim.sigma = 0.0;
+                DetectionEngine::new(Size::square(16)).with_ssim_config(bad_ssim)
+            })
+            .with_engine_member(
+                MethodId::ScalingSsim,
+                Threshold::new(0.6, Direction::BelowIsAttack),
+            );
+        assert!(strict.decide(&scene()).is_err());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::method::MethodId;
 use std::fmt;
 
 /// Error type for detection operations.
@@ -18,6 +19,10 @@ pub enum DetectError {
         /// Human-readable description.
         message: String,
     },
+    /// A per-image scoring failure surfaced through a fail-fast API
+    /// (quarantine causes that have no older [`DetectError`] variant:
+    /// validation rejections, recovered panics, injected faults).
+    Score(Box<ScoreError>),
 }
 
 impl fmt::Display for DetectError {
@@ -27,6 +32,7 @@ impl fmt::Display for DetectError {
             Self::Metric(err) => write!(f, "metric error: {err}"),
             Self::InvalidCalibration { message } => write!(f, "invalid calibration: {message}"),
             Self::InvalidConfig { message } => write!(f, "invalid config: {message}"),
+            Self::Score(err) => write!(f, "score error: {err}"),
         }
     }
 }
@@ -36,6 +42,7 @@ impl std::error::Error for DetectError {
         match self {
             Self::Imaging(err) => Some(err),
             Self::Metric(err) => Some(err),
+            Self::Score(err) => Some(err),
             _ => None,
         }
     }
@@ -50,6 +57,172 @@ impl From<decamouflage_imaging::ImagingError> for DetectError {
 impl From<decamouflage_metrics::MetricError> for DetectError {
     fn from(err: decamouflage_metrics::MetricError) -> Self {
         Self::Metric(err)
+    }
+}
+
+impl From<ScoreError> for DetectError {
+    /// Converts a per-image failure into the fail-fast error type. A cause
+    /// that merely wraps a [`DetectError`] unwraps back to it, so the
+    /// fail-fast APIs reimplemented on the resilient path report the exact
+    /// errors they always did.
+    fn from(err: ScoreError) -> Self {
+        match err.cause {
+            ScoreFault::Detect(inner) => inner,
+            _ => Self::Score(Box::new(err)),
+        }
+    }
+}
+
+/// Typed cause of a per-image scoring failure — the error taxonomy behind
+/// input quarantine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ScoreFault {
+    /// The image has a zero-area (or otherwise degenerate) pixel grid.
+    DegenerateDimensions {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+    },
+    /// A pixel sample was NaN or infinite.
+    NonFinitePixel {
+        /// Flat sample index of the first offending value.
+        sample: usize,
+    },
+    /// The image is smaller than a configured analysis window.
+    BelowMinimumSize {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Minimum side length the offending method requires.
+        required: usize,
+        /// Which configured window imposed the bound (for messages).
+        requirement: &'static str,
+    },
+    /// A detector produced a NaN or infinite score.
+    NonFiniteScore {
+        /// The offending score.
+        score: f64,
+    },
+    /// The scoring path returned a typed error.
+    Detect(DetectError),
+    /// The scoring path panicked; the payload was recovered by
+    /// `catch_unwind` and the batch kept running.
+    Panicked {
+        /// The panic payload, stringified where possible.
+        message: String,
+    },
+    /// A [`FaultPlan`](crate::faults::FaultPlan) fired at this index.
+    Injected,
+}
+
+impl fmt::Display for ScoreFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DegenerateDimensions { width, height } => {
+                write!(f, "degenerate image dimensions {width}x{height}")
+            }
+            Self::NonFinitePixel { sample } => {
+                write!(f, "non-finite pixel value at flat sample index {sample}")
+            }
+            Self::BelowMinimumSize { width, height, required, requirement } => write!(
+                f,
+                "image {width}x{height} is smaller than the configured {requirement} \
+                 (needs both sides >= {required})"
+            ),
+            Self::NonFiniteScore { score } => write!(f, "non-finite score {score}"),
+            Self::Detect(err) => write!(f, "{err}"),
+            Self::Panicked { message } => write!(f, "scoring panicked: {message}"),
+            Self::Injected => write!(f, "injected fault"),
+        }
+    }
+}
+
+/// A structured per-image scoring failure: which image of a batch, which
+/// method the failure is attributable to (where known), and the typed
+/// [`ScoreFault`] cause.
+///
+/// Produced by the quarantine layer
+/// ([`DetectionEngine::validate_image`](crate::DetectionEngine::validate_image),
+/// [`DetectionEngine::score_resilient`](crate::DetectionEngine::score_resilient),
+/// [`DetectionEngine::score_corpus_resilient`](crate::DetectionEngine::score_corpus_resilient)).
+#[derive(Debug)]
+pub struct ScoreError {
+    /// The image's scoring index. Single-image APIs use `0`; batch APIs use
+    /// the batch-global fan-out index (all benign indices before all attack
+    /// indices).
+    pub index: usize,
+    /// The method the failure is attributable to, where one is.
+    pub method: Option<MethodId>,
+    /// The typed cause.
+    pub cause: ScoreFault,
+}
+
+impl ScoreError {
+    /// Wraps a cause with index `0` and no attributed method.
+    pub fn new(cause: ScoreFault) -> Self {
+        Self { index: 0, method: None, cause }
+    }
+
+    /// Wraps a fail-fast [`DetectError`] raised while scoring `index`.
+    pub fn detect(index: usize, err: DetectError) -> Self {
+        Self { index, method: None, cause: ScoreFault::Detect(err) }
+    }
+
+    /// Builds the error for a recovered panic payload at `index`.
+    pub fn panicked(index: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Self { index, method: None, cause: ScoreFault::Panicked { message } }
+    }
+
+    /// Builds the error an injected [`FaultKind::Error`](crate::faults::FaultKind)
+    /// fault reports at `index`.
+    pub fn injected(index: usize) -> Self {
+        Self { index, method: None, cause: ScoreFault::Injected }
+    }
+
+    /// Re-addresses the error to a batch index (builder style).
+    #[must_use]
+    pub fn at_index(mut self, index: usize) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Attributes the error to a method (builder style).
+    #[must_use]
+    pub fn for_method(mut self, id: MethodId) -> Self {
+        self.method = Some(id);
+        self
+    }
+
+    /// Whether the cause is a recovered panic.
+    pub const fn is_panic(&self) -> bool {
+        matches!(self.cause, ScoreFault::Panicked { .. })
+    }
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "image {}", self.index)?;
+        if let Some(id) = self.method {
+            write!(f, " ({})", id.name())?;
+        }
+        write!(f, ": {}", self.cause)
+    }
+}
+
+impl std::error::Error for ScoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.cause {
+            ScoreFault::Detect(err) => Some(err),
+            _ => None,
+        }
     }
 }
 
@@ -83,5 +256,52 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DetectError>();
+        assert_send_sync::<ScoreError>();
+    }
+
+    #[test]
+    fn score_error_display_names_index_method_and_cause() {
+        let e = ScoreError::new(ScoreFault::DegenerateDimensions { width: 0, height: 4 })
+            .at_index(7)
+            .for_method(MethodId::Csp);
+        let message = e.to_string();
+        assert!(message.contains("image 7"), "{message}");
+        assert!(message.contains("steganalysis/csp"), "{message}");
+        assert!(message.contains("0x4"), "{message}");
+    }
+
+    #[test]
+    fn detect_cause_unwraps_back_to_the_original_error() {
+        let original = DetectError::InvalidConfig { message: "inner".into() };
+        let wrapped = ScoreError::detect(3, original);
+        match DetectError::from(wrapped) {
+            DetectError::InvalidConfig { message } => assert_eq!(message, "inner"),
+            other => panic!("expected the inner error back, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_detect_causes_wrap_into_a_score_variant() {
+        let e = DetectError::from(ScoreError::injected(5));
+        match &e {
+            DetectError::Score(inner) => {
+                assert_eq!(inner.index, 5);
+                assert!(matches!(inner.cause, ScoreFault::Injected));
+            }
+            other => panic!("expected Score variant, got {other:?}"),
+        }
+        assert!(e.to_string().contains("injected fault"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn panic_payloads_stringify() {
+        let e = ScoreError::panicked(1, Box::new("str payload"));
+        assert!(e.is_panic());
+        assert!(e.to_string().contains("str payload"));
+        let e = ScoreError::panicked(1, Box::new(String::from("string payload")));
+        assert!(e.to_string().contains("string payload"));
+        let e = ScoreError::panicked(1, Box::new(42usize));
+        assert!(e.to_string().contains("non-string panic payload"));
     }
 }

@@ -1,7 +1,7 @@
 //! Detection-quality evaluation: the five measures reported in every table
 //! of the paper (accuracy, precision, recall, FAR, FRR).
 
-use crate::engine::EngineCorpus;
+use crate::engine::{BatchOutcome, EngineCorpus};
 use crate::method::MethodId;
 use crate::persist::ThresholdSet;
 use crate::DetectError;
@@ -139,6 +139,35 @@ pub fn evaluate_engine_corpus(
         .collect()
 }
 
+/// Evaluates a resilient batch outcome per method, skipping quarantined
+/// images: only the slots that scored successfully contribute decisions, so
+/// one poisoned upload cannot abort — or skew — the whole evaluation. Check
+/// [`BatchOutcome::counts`] alongside the metrics to see how many images
+/// were excluded.
+///
+/// # Errors
+///
+/// Returns [`DetectError::InvalidCalibration`] when every image of the
+/// batch was quarantined (no decisions remain).
+pub fn evaluate_batch_outcome(
+    outcome: &BatchOutcome,
+    thresholds: &ThresholdSet,
+) -> Result<Vec<(MethodId, EvalMetrics)>, DetectError> {
+    thresholds
+        .iter()
+        .map(|(id, t)| {
+            let decisions = outcome
+                .benign_column(id)
+                .into_iter()
+                .map(|score| (false, t.is_attack(score)))
+                .chain(
+                    outcome.attack_column(id).into_iter().map(|score| (true, t.is_attack(score))),
+                );
+            evaluate_decisions(decisions).map(|m| (id, m))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +265,33 @@ mod tests {
 
         let empty = EngineCorpus { benign: vec![], attack: vec![] };
         assert!(evaluate_engine_corpus(&empty, &thresholds).is_err());
+    }
+
+    #[test]
+    fn batch_outcome_evaluation_skips_quarantined_slots() {
+        use crate::error::{ScoreError, ScoreFault};
+        use crate::method::ScoreVector;
+        use crate::threshold::{Direction, Threshold};
+
+        let benign = ScoreVector::splat(0.0);
+        let attack = ScoreVector::splat(1000.0);
+        let quarantine = || Err(ScoreError::new(ScoreFault::NonFinitePixel { sample: 0 }));
+        // One of three benign and one of two attack slots quarantined; the
+        // surviving four classify perfectly.
+        let outcome = BatchOutcome {
+            benign: vec![Ok(benign.clone()), quarantine(), Ok(benign)],
+            attack: vec![Ok(attack.clone()), quarantine()],
+        };
+        let mut thresholds = ThresholdSet::new();
+        thresholds.insert(MethodId::ScalingMse, Threshold::new(500.0, Direction::AboveIsAttack));
+        let rows = evaluate_batch_outcome(&outcome, &thresholds).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.accuracy, 1.0);
+        assert_eq!(outcome.counts().quarantined, 2);
+
+        // Fully quarantined batches cannot be evaluated.
+        let empty = BatchOutcome { benign: vec![quarantine()], attack: vec![quarantine()] };
+        assert!(evaluate_batch_outcome(&empty, &thresholds).is_err());
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Deterministic fault injection for testing the quarantine layer.
+//!
+//! A production screening deployment has to keep serving when one image —
+//! or one detector — misbehaves. Proving that requires *causing* the
+//! misbehaviour on demand: this module provides a seed-driven, fully
+//! deterministic [`FaultPlan`] (which scoring indices fail, and how) plus
+//! two injection points that consume it:
+//!
+//! * [`DetectionEngine::with_fault_plan`](crate::DetectionEngine::with_fault_plan)
+//!   fires plan entries by batch fan-out index inside
+//!   [`score_corpus_resilient`](crate::DetectionEngine::score_corpus_resilient),
+//!   so an injected panic travels the exact worker-pool → `catch_unwind` →
+//!   quarantine path a real deep panic would;
+//! * [`FaultyDetector`] wraps any [`Detector`] and fires plan entries by
+//!   call sequence number, for ensemble-level degradation tests.
+//!
+//! Nothing here is test-gated: fault injection is a first-class operational
+//! tool (staging canaries, chaos drills), not a unit-test convenience.
+
+use crate::detector::Detector;
+use crate::threshold::Direction;
+use crate::DetectError;
+use decamouflage_imaging::Image;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What an armed fault site does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return a typed error ([`ScoreFault::Injected`](crate::ScoreFault::Injected)).
+    Error,
+    /// Panic with a recognisable payload, exercising the unwind path.
+    Panic,
+    /// Report a `NaN` score, exercising the missing-score ensemble policy.
+    NanScore,
+}
+
+/// A deterministic schedule of faults keyed by scoring index.
+///
+/// Build one by listing indices explicitly ([`FaultPlan::with`]), by
+/// seed-driven scatter over a range ([`FaultPlan::scattered`]), or as a
+/// blanket failure ([`FaultPlan::always`]). The same inputs always produce
+/// the same plan, so a failing fault-injection run reproduces exactly.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_core::faults::{FaultKind, FaultPlan};
+///
+/// let plan = FaultPlan::new().with(3, FaultKind::Panic).with(7, FaultKind::Error);
+/// assert_eq!(plan.get(3), Some(FaultKind::Panic));
+/// assert_eq!(plan.get(4), None);
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, FaultKind>,
+    always: Option<FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults fire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan where *every* index fires `kind` (explicit entries take
+    /// precedence).
+    pub fn always(kind: FaultKind) -> Self {
+        Self { faults: BTreeMap::new(), always: Some(kind) }
+    }
+
+    /// Arms `kind` at `index` (builder style).
+    #[must_use]
+    pub fn with(mut self, index: usize, kind: FaultKind) -> Self {
+        self.faults.insert(index, kind);
+        self
+    }
+
+    /// Arms `kind` at `count` distinct indices drawn deterministically from
+    /// `0..range` by a SplitMix64 stream over `seed`. The same
+    /// `(seed, count, range)` always selects the same indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > range` — the plan could never hold that many
+    /// distinct indices.
+    pub fn scattered(seed: u64, count: usize, range: usize, kind: FaultKind) -> Self {
+        assert!(count <= range, "cannot scatter {count} faults over {range} indices");
+        let mut plan = Self::new();
+        let mut state = seed;
+        let mut armed = 0usize;
+        while armed < count {
+            state = splitmix64(state);
+            let index = (state % range as u64) as usize;
+            if plan.faults.insert(index, kind).is_none() {
+                armed += 1;
+            }
+        }
+        plan
+    }
+
+    /// The fault armed at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<FaultKind> {
+        self.faults.get(&index).copied().or(self.always)
+    }
+
+    /// Number of explicitly armed indices (a blanket [`FaultPlan::always`]
+    /// plan counts zero here).
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan fires nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.always.is_none()
+    }
+
+    /// The explicitly armed indices, ascending.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.faults.keys().copied()
+    }
+}
+
+/// One step of the SplitMix64 stream (the same avalanche the dataset
+/// profiles use for their deterministic sample derivation).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Detector`] wrapper that fires a [`FaultPlan`] entry on the matching
+/// `score` call (0-based call sequence), delegating to the inner detector
+/// otherwise. The call counter is atomic, so a `FaultyDetector` shared
+/// across worker threads still fires each armed site exactly once.
+#[derive(Debug)]
+pub struct FaultyDetector<D> {
+    inner: D,
+    plan: FaultPlan,
+    calls: AtomicUsize,
+}
+
+impl<D: Detector> FaultyDetector<D> {
+    /// Wraps `inner`, arming `plan` by call sequence.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        Self { inner, plan, calls: AtomicUsize::new(0) }
+    }
+
+    /// Number of `score` calls observed so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Detector> Detector for FaultyDetector<D> {
+    fn score(&self, image: &Image) -> Result<f64, DetectError> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst);
+        match self.plan.get(call) {
+            Some(FaultKind::Panic) => panic!("injected panic at scoring call {call}"),
+            Some(FaultKind::Error) => Err(DetectError::from(crate::ScoreError::injected(call))),
+            Some(FaultKind::NanScore) => Ok(f64::NAN),
+            None => self.inner.score(image),
+        }
+    }
+
+    fn direction(&self) -> Direction {
+        self.inner.direction()
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::{Channels, Image};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[derive(Debug)]
+    struct MeanDetector;
+
+    impl Detector for MeanDetector {
+        fn score(&self, image: &Image) -> Result<f64, DetectError> {
+            Ok(image.mean_sample())
+        }
+        fn direction(&self) -> Direction {
+            Direction::AboveIsAttack
+        }
+        fn name(&self) -> String {
+            "mean".into()
+        }
+    }
+
+    fn img(v: f64) -> Image {
+        Image::filled(2, 2, Channels::Gray, v)
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        for i in 0..32 {
+            assert_eq!(plan.get(i), None);
+        }
+    }
+
+    #[test]
+    fn explicit_entries_override_the_blanket_kind() {
+        let plan = FaultPlan::always(FaultKind::Error).with(2, FaultKind::NanScore);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.get(0), Some(FaultKind::Error));
+        assert_eq!(plan.get(2), Some(FaultKind::NanScore));
+    }
+
+    #[test]
+    fn scattered_is_deterministic_per_seed() {
+        let a = FaultPlan::scattered(42, 5, 100, FaultKind::Panic);
+        let b = FaultPlan::scattered(42, 5, 100, FaultKind::Panic);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.indices().all(|i| i < 100));
+        let c = FaultPlan::scattered(43, 5, 100, FaultKind::Panic);
+        assert_ne!(a, c, "different seeds should scatter differently");
+    }
+
+    #[test]
+    fn scattered_saturating_the_range_covers_it() {
+        let plan = FaultPlan::scattered(7, 8, 8, FaultKind::Error);
+        assert_eq!(plan.indices().collect::<Vec<_>>(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot scatter")]
+    fn scattered_rejects_impossible_counts() {
+        let _ = FaultPlan::scattered(1, 9, 8, FaultKind::Error);
+    }
+
+    #[test]
+    fn faulty_detector_fires_by_call_sequence() {
+        let plan = FaultPlan::new()
+            .with(1, FaultKind::Error)
+            .with(2, FaultKind::NanScore)
+            .with(3, FaultKind::Panic);
+        let d = FaultyDetector::new(MeanDetector, plan);
+        assert_eq!(d.score(&img(10.0)).unwrap(), 10.0);
+        assert!(d.score(&img(10.0)).is_err());
+        assert!(d.score(&img(10.0)).unwrap().is_nan());
+        let panicked = catch_unwind(AssertUnwindSafe(|| d.score(&img(10.0))));
+        assert!(panicked.is_err(), "armed Panic site must unwind");
+        assert_eq!(d.score(&img(4.0)).unwrap(), 4.0, "past the plan it delegates again");
+        assert_eq!(d.calls(), 5);
+        assert_eq!(d.name(), "mean");
+        assert_eq!(d.direction(), Direction::AboveIsAttack);
+        assert_eq!(d.inner().name(), "mean");
+    }
+}

@@ -54,6 +54,7 @@ pub mod config;
 pub mod engine;
 pub mod ensemble;
 pub mod eval;
+pub mod faults;
 pub mod filtering;
 pub mod method;
 pub mod monitor;
@@ -70,10 +71,12 @@ pub mod threshold;
 
 pub use config::ModelInputSize;
 pub use detector::{Detector, MetricKind};
-pub use engine::{DetectionEngine, EngineArtifacts, EngineCorpus, EngineScores};
-pub use ensemble::Ensemble;
-pub use error::DetectError;
-pub use eval::{evaluate_decisions, ConfusionCounts, EvalMetrics};
+pub use engine::{
+    BatchCounts, BatchOutcome, DetectionEngine, EngineArtifacts, EngineCorpus, EngineScores,
+};
+pub use ensemble::{DegradePolicy, Ensemble};
+pub use error::{DetectError, ScoreError, ScoreFault};
+pub use eval::{evaluate_batch_outcome, evaluate_decisions, ConfusionCounts, EvalMetrics};
 pub use filtering::FilteringDetector;
 pub use method::{MethodId, MethodSet, ScoreVector};
 pub use peak_excess::PeakExcessDetector;

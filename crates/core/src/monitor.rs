@@ -35,6 +35,11 @@ pub struct MonitorStats {
     pub screened: usize,
     /// Images flagged as attacks in total.
     pub flagged: usize,
+    /// Images quarantined in total: the detector errored or produced a
+    /// non-finite score. Quarantined images are counted here only — they
+    /// are neither screened, nor flagged, nor admitted to the rolling
+    /// drift window.
+    pub quarantined: usize,
     /// Mean score of the current rolling window (accepted images only).
     pub window_mean: f64,
     /// Number of scores in the rolling window.
@@ -53,6 +58,7 @@ pub struct DetectionMonitor<D> {
     window_capacity: usize,
     screened: usize,
     flagged: usize,
+    quarantined: usize,
 }
 
 impl<D: Detector> DetectionMonitor<D> {
@@ -99,17 +105,39 @@ impl<D: Detector> DetectionMonitor<D> {
             window_capacity: window,
             screened: 0,
             flagged: 0,
+            quarantined: 0,
         })
     }
 
     /// Screens one image: scores it, classifies it, and (for accepted
     /// images) updates the rolling benign window.
     ///
+    /// A failing or non-finite score quarantines the image instead: the
+    /// [`MonitorStats::quarantined`] counter is bumped, an error is
+    /// returned, and neither the screened/flagged counters nor the drift
+    /// window move — a burst of quarantined inputs cannot mask or fake a
+    /// drift alert.
+    ///
     /// # Errors
     ///
-    /// Propagates the detector's [`DetectError`].
+    /// Propagates the detector's [`DetectError`]; a non-finite score is
+    /// reported as [`DetectError::Score`] with a
+    /// [`ScoreFault::NonFiniteScore`](crate::ScoreFault::NonFiniteScore)
+    /// cause.
     pub fn screen(&mut self, image: &Image) -> Result<MonitorVerdict, DetectError> {
-        let score = self.detector.score(image)?;
+        let score = match self.detector.score(image) {
+            Ok(score) => score,
+            Err(err) => {
+                self.quarantined += 1;
+                return Err(err);
+            }
+        };
+        if !score.is_finite() {
+            self.quarantined += 1;
+            return Err(DetectError::Score(Box::new(crate::error::ScoreError::new(
+                crate::error::ScoreFault::NonFiniteScore { score },
+            ))));
+        }
         let is_attack = self.threshold.is_attack(score);
         self.screened += 1;
         if is_attack {
@@ -145,6 +173,7 @@ impl<D: Detector> DetectionMonitor<D> {
         MonitorStats {
             screened: self.screened,
             flagged: self.flagged,
+            quarantined: self.quarantined,
             window_mean,
             window_len: self.window.len(),
         }
@@ -346,6 +375,71 @@ mod tests {
                 .err()
                 .expect("disabled method must be rejected");
         assert!(err.to_string().contains("scaling/mse"));
+    }
+
+    #[test]
+    fn quarantined_images_are_counted_separately() {
+        use crate::faults::FaultyDetector;
+        use crate::faults::{FaultKind, FaultPlan};
+
+        // Calls 1 and 3 fail (typed error / NaN score); 0, 2, 4 are clean.
+        let plan = FaultPlan::new().with(1, FaultKind::Error).with(3, FaultKind::NanScore);
+        let mut m = DetectionMonitor::new(
+            FaultyDetector::new(MeanDetector, plan),
+            Threshold::new(100.0, Direction::AboveIsAttack),
+            50.0,
+            5.0,
+            4,
+            3.0,
+        )
+        .unwrap();
+
+        assert!(!m.screen(&flat(48.0)).unwrap().is_attack);
+        assert!(m.screen(&flat(48.0)).is_err(), "injected error quarantines");
+        assert!(m.screen(&flat(150.0)).unwrap().is_attack);
+        let nan_err = m.screen(&flat(48.0)).unwrap_err();
+        assert!(nan_err.to_string().contains("non-finite score"), "{nan_err}");
+        m.screen(&flat(52.0)).unwrap();
+
+        let stats = m.stats();
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.screened, 3, "quarantined images are not screened");
+        assert_eq!(stats.flagged, 1);
+        assert_eq!(stats.window_len, 2, "only accepted images reach the window");
+    }
+
+    #[test]
+    fn drift_alert_ignores_quarantined_samples() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyDetector};
+
+        // Every odd call reports NaN. If those samples leaked into the
+        // window they would stall it below capacity (or poison its mean);
+        // the accepted in-distribution traffic must still never alert.
+        let plan = FaultPlan::new()
+            .with(1, FaultKind::NanScore)
+            .with(3, FaultKind::NanScore)
+            .with(5, FaultKind::NanScore)
+            .with(7, FaultKind::NanScore);
+        let mut m = DetectionMonitor::new(
+            FaultyDetector::new(MeanDetector, plan),
+            Threshold::new(100.0, Direction::AboveIsAttack),
+            50.0,
+            5.0,
+            4,
+            3.0,
+        )
+        .unwrap();
+        for v in [48.0, 0.0, 52.0, 0.0, 49.0, 0.0, 51.0, 0.0, 50.0] {
+            match m.screen(&flat(v)) {
+                Ok(verdict) => assert!(!verdict.drift_alert, "false drift alarm at {v}"),
+                Err(_) => {}
+            }
+        }
+        assert!(!m.drift_alert());
+        let stats = m.stats();
+        assert_eq!(stats.quarantined, 4);
+        assert_eq!(stats.window_len, 4, "the window still filled from accepted images");
+        assert!((stats.window_mean - 50.0).abs() < 2.0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// A unit of work executed on a pool thread.
@@ -40,20 +40,26 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns a pool with `workers` threads (at least one).
+    /// Spawns a pool with up to `workers` threads (tries at least one).
+    ///
+    /// Spawn failures (thread exhaustion) are not fatal: the pool keeps
+    /// whatever threads did start — possibly none, in which case
+    /// [`WorkerPool::map_indices`] simply runs everything on the caller.
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
-        let handles = (0..workers)
-            .map(|index| {
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .filter_map(|index| {
                 let receiver = Arc::clone(&receiver);
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("decam-worker-{index}"))
                     .spawn(move || loop {
                         // The guard is a temporary: the lock is released as
-                        // soon as `recv` returns, before the job runs.
-                        let job = receiver.lock().expect("pool receiver poisoned").recv();
+                        // soon as `recv` returns, before the job runs. A
+                        // poisoned receiver lock only means another worker
+                        // panicked *between* jobs; the queue itself is fine.
+                        let job = receiver.lock().unwrap_or_else(PoisonError::into_inner).recv();
                         match job {
                             // A panicking job must not take the worker down:
                             // map_indices re-raises the payload on the
@@ -61,10 +67,20 @@ impl WorkerPool {
                             Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
                             Err(_) => break,
                         }
-                    })
-                    .expect("failed to spawn pool worker")
+                    });
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    Err(err) => {
+                        eprintln!(
+                            "decamouflage: could not spawn pool worker {index}: {err}; \
+                             continuing with fewer threads"
+                        );
+                        None
+                    }
+                }
             })
             .collect();
+        let workers = handles.len();
         Self { sender: Mutex::new(Some(sender)), handles, workers }
     }
 
@@ -80,14 +96,23 @@ impl WorkerPool {
         POOL.get_or_init(|| WorkerPool::new(default_threads()))
     }
 
+    /// Hands a job to the workers, falling back to running it on the
+    /// calling thread when no worker can take it (pool shut down, all
+    /// workers gone). The job always runs exactly once either way, so
+    /// `map_indices`' join protocol never hangs on a lost submission.
     fn submit(&self, job: Job) {
-        self.sender
-            .lock()
-            .expect("pool sender poisoned")
-            .as_ref()
-            .expect("pool is shut down")
-            .send(job)
-            .expect("pool workers disconnected");
+        let guard = self.sender.lock().unwrap_or_else(PoisonError::into_inner);
+        let rejected = match guard.as_ref() {
+            Some(sender) => match sender.send(job) {
+                Ok(()) => None,
+                Err(send_error) => Some(send_error.0),
+            },
+            None => Some(job),
+        };
+        drop(guard);
+        if let Some(job) = rejected {
+            job();
+        }
     }
 
     /// Maps `f` over `0..n` using the caller plus up to `threads - 1` pool
@@ -187,7 +212,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Disconnect the channel so the workers' recv loops end, then join.
-        drop(self.sender.lock().expect("pool sender poisoned").take());
+        drop(self.sender.lock().unwrap_or_else(PoisonError::into_inner).take());
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -222,8 +247,12 @@ where
 }
 
 /// A sensible default worker count: the `DECAM_THREADS` environment variable
-/// when set to a positive integer, otherwise the machine's available
+/// when set, clamped to `[1, 512]`, otherwise the machine's available
 /// parallelism capped at 16.
+///
+/// An out-of-range value is clamped with a warning on stderr naming the
+/// offending value; an unparseable value is ignored the same way. A typo'd
+/// deployment knob must never take the screening service down.
 pub fn default_threads() -> usize {
     match thread_override(std::env::var("DECAM_THREADS").ok().as_deref()) {
         Some(n) => n,
@@ -231,9 +260,35 @@ pub fn default_threads() -> usize {
     }
 }
 
-/// Parses a `DECAM_THREADS`-style override; zero and garbage are ignored.
+/// Highest thread count `DECAM_THREADS` may request.
+const MAX_THREAD_OVERRIDE: usize = 512;
+
+/// Parses a `DECAM_THREADS`-style override, clamping to
+/// `[1, MAX_THREAD_OVERRIDE]` and warning (with the bad value) on anything
+/// clamped or unparseable.
 fn thread_override(raw: Option<&str>) -> Option<usize> {
-    raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    let raw = raw?.trim();
+    match raw.parse::<usize>() {
+        Ok(0) => {
+            eprintln!("decamouflage: DECAM_THREADS=0 is invalid; clamping to 1");
+            Some(1)
+        }
+        Ok(n) if n > MAX_THREAD_OVERRIDE => {
+            eprintln!(
+                "decamouflage: DECAM_THREADS={n} exceeds the {MAX_THREAD_OVERRIDE}-thread \
+                 cap; clamping to {MAX_THREAD_OVERRIDE}"
+            );
+            Some(MAX_THREAD_OVERRIDE)
+        }
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!(
+                "decamouflage: ignoring unparseable DECAM_THREADS value {raw:?}; \
+                 using auto-detected parallelism"
+            );
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -345,8 +400,36 @@ mod tests {
         assert_eq!(thread_override(None), None);
         assert_eq!(thread_override(Some("8")), Some(8));
         assert_eq!(thread_override(Some(" 3 ")), Some(3));
-        assert_eq!(thread_override(Some("0")), None);
+        assert_eq!(thread_override(Some("512")), Some(512));
+    }
+
+    #[test]
+    fn thread_override_clamps_out_of_range_values() {
+        assert_eq!(thread_override(Some("0")), Some(1), "zero clamps up to one thread");
+        assert_eq!(thread_override(Some("513")), Some(MAX_THREAD_OVERRIDE));
+        assert_eq!(thread_override(Some("99999")), Some(MAX_THREAD_OVERRIDE));
+    }
+
+    #[test]
+    fn thread_override_ignores_garbage() {
+        // Unparseable values fall back to auto-detection instead of failing.
+        assert_eq!(thread_override(Some("abc")), None);
+        assert_eq!(thread_override(Some("")), None);
         assert_eq!(thread_override(Some("-2")), None);
-        assert_eq!(thread_override(Some("lots")), None);
+        assert_eq!(thread_override(Some("4.5")), None);
+    }
+
+    #[test]
+    fn submit_runs_the_job_inline_when_the_pool_is_shut_down() {
+        use std::sync::atomic::AtomicBool;
+        let pool = WorkerPool::new(1);
+        // Simulate a shut-down pool: the sender is gone, as in Drop.
+        drop(pool.sender.lock().unwrap().take());
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        pool.submit(Box::new(move || flag.store(true, Ordering::SeqCst)));
+        assert!(ran.load(Ordering::SeqCst), "orphaned jobs must run on the caller");
+        // map_indices still completes (inline or via fallback submission).
+        assert_eq!(pool.map_indices(4, 3, |i| i * 2), vec![0, 2, 4, 6]);
     }
 }

@@ -271,6 +271,50 @@ mod tests {
     }
 
     #[test]
+    fn truncated_file_errors_with_line_number() {
+        // A file cut off mid-write (e.g. disk full during save) leaves a
+        // partial last line; loading it must fail with a typed error naming
+        // that line, not silently load a partial set.
+        let full = sample().to_text();
+        // Cut inside the last line's direction token ("steganalysis/csp ab").
+        let truncated = &full[..full.rfind("above").unwrap() + 2];
+        let err = ThresholdSet::from_text(truncated).unwrap_err();
+        assert!(matches!(err, DetectError::InvalidConfig { .. }));
+        let message = err.to_string();
+        assert!(message.contains("line 4"), "want the truncated line number, got {message:?}");
+    }
+
+    #[test]
+    fn garbage_file_errors_with_typed_cause() {
+        let err = ThresholdSet::from_text("\u{0}\u{1}binary junk\nmore junk\n").unwrap_err();
+        assert!(matches!(err, DetectError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("expected header"), "{err}");
+
+        let dir = std::env::temp_dir().join("decamouflage-persist-garbage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, b"decamouflage-thresholds v1\n\x7f\x45\x4c\x46 junk line\n").unwrap();
+        let err = ThresholdSet::load(&path).unwrap_err();
+        assert!(matches!(err, DetectError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_method_line_errors_with_line_number() {
+        let text = format!(
+            "{HEADER}\n# calibrated twice by mistake\nscaling/mse above 1\n\
+             filtering/mse above 3\nscaling/mse below 2\n"
+        );
+        let err = ThresholdSet::from_text(&text).unwrap_err();
+        assert!(matches!(err, DetectError::InvalidConfig { .. }));
+        let message = err.to_string();
+        assert!(message.contains("line 5"), "want the duplicate's line, got {message:?}");
+        assert!(message.contains("duplicate"), "{message}");
+        assert!(message.contains("scaling/mse"), "{message}");
+    }
+
+    #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("decamouflage-persist-test");
         std::fs::create_dir_all(&dir).unwrap();

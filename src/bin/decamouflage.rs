@@ -14,7 +14,7 @@
 //! was flagged.
 
 use decamouflage::detection::calibrate::calibrate_whitebox;
-use decamouflage::detection::ensemble::Ensemble;
+use decamouflage::detection::ensemble::{DegradePolicy, Ensemble};
 use decamouflage::detection::persist::ThresholdSet;
 use decamouflage::detection::{
     FilteringDetector, MethodId, MetricKind, ScalingDetector, SteganalysisDetector, Threshold,
@@ -50,11 +50,14 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  decamouflage check <image> --target WxH [--thresholds FILE]\n  \
-         decamouflage scan <dir> --target WxH [--thresholds FILE]\n  \
+        "usage:\n  decamouflage check <image> --target WxH [--thresholds FILE] [--degrade MODE]\n  \
+         decamouflage scan <dir> --target WxH [--thresholds FILE] [--degrade MODE]\n  \
          decamouflage craft <original> <target-image> -o <attack-out>\n  \
          decamouflage calibrate --benign DIR --attack DIR --target WxH -o FILE\n\n\
-         Images: .pgm/.ppm/.pnm or .bmp. `check`/`scan` exit 0 = benign, 2 = attack(s) found."
+         Images: .pgm/.ppm/.pnm or .bmp. `check`/`scan` exit 0 = benign, 2 = attack(s) found.\n\
+         --degrade: what to do when an ensemble voter cannot score an image —\n  \
+         strict (default: report an error), majority (majority of the remaining voters),\n  \
+         fail-closed (flag the image as an attack)."
     );
 }
 
@@ -107,13 +110,29 @@ fn default_thresholds() -> ThresholdSet {
     set
 }
 
-fn build_ensemble(target: Size, thresholds: &ThresholdSet) -> Result<Ensemble, String> {
+fn parse_degrade(args: &[String]) -> Result<DegradePolicy, String> {
+    match flag_value(args, "--degrade") {
+        None | Some("strict") => Ok(DegradePolicy::Strict),
+        Some("majority") => Ok(DegradePolicy::MajorityOfAvailable),
+        Some("fail-closed") => Ok(DegradePolicy::FailClosed),
+        Some(other) => {
+            Err(format!("unknown --degrade mode {other:?} (strict, majority, fail-closed)"))
+        }
+    }
+}
+
+fn build_ensemble(
+    target: Size,
+    thresholds: &ThresholdSet,
+    policy: DegradePolicy,
+) -> Result<Ensemble, String> {
     let need = |id: MethodId| {
         thresholds
             .get(id)
             .ok_or_else(|| format!("thresholds file is missing an entry for {:?}", id.name()))
     };
     Ok(Ensemble::new()
+        .with_degrade_policy(policy)
         .with_member(
             ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse),
             need(MethodId::ScalingMse)?,
@@ -129,6 +148,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             !a.starts_with('-')
                 && Some(a.as_str()) != flag_value(args, "--target")
                 && Some(a.as_str()) != flag_value(args, "--thresholds")
+                && Some(a.as_str()) != flag_value(args, "--degrade")
         })
         .ok_or("check needs an image path")?;
     let target = parse_size(flag_value(args, "--target").ok_or("check needs --target WxH")?)?;
@@ -137,10 +157,13 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         None => default_thresholds(),
     };
     let image = read_image(image_path)?;
-    let ensemble = build_ensemble(target, &thresholds)?;
+    let ensemble = build_ensemble(target, &thresholds, parse_degrade(args)?)?;
     let decision = ensemble.decide(&image).map_err(|e| e.to_string())?;
     for (member, vote) in &decision.votes {
         println!("{member}: {}", if *vote { "ATTACK" } else { "benign" });
+    }
+    for (member, reason) in &decision.unavailable {
+        println!("{member}: unavailable ({reason})");
     }
     if decision.is_attack {
         println!("{image_path}: ATTACK (majority vote)");
@@ -242,6 +265,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
             !a.starts_with('-')
                 && Some(a.as_str()) != flag_value(args, "--target")
                 && Some(a.as_str()) != flag_value(args, "--thresholds")
+                && Some(a.as_str()) != flag_value(args, "--degrade")
         })
         .ok_or("scan needs a directory path")?;
     let target = parse_size(flag_value(args, "--target").ok_or("scan needs --target WxH")?)?;
@@ -249,7 +273,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
         None => default_thresholds(),
     };
-    let ensemble = build_ensemble(target, &thresholds)?;
+    let ensemble = build_ensemble(target, &thresholds, parse_degrade(args)?)?;
 
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot list {dir}: {e}"))?
@@ -267,27 +291,35 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let mut flagged = 0usize;
-    let mut failed = 0usize;
+    let mut unreadable = 0usize;
+    let mut quarantined = 0usize;
     for path in &paths {
         let shown = path.display();
-        match read_image(&shown.to_string())
-            .and_then(|img| ensemble.is_attack(&img).map_err(|e| e.to_string()))
-        {
-            Ok(true) => {
-                flagged += 1;
-                println!("ATTACK  {shown}");
-            }
-            Ok(false) => println!("benign  {shown}"),
+        match read_image(&shown.to_string()) {
             Err(message) => {
-                failed += 1;
-                println!("error   {shown}: {message}");
+                unreadable += 1;
+                println!("unreadable  {shown}: {message}");
             }
+            Ok(img) => match ensemble.is_attack(&img) {
+                Ok(true) => {
+                    flagged += 1;
+                    println!("ATTACK      {shown}");
+                }
+                Ok(false) => println!("benign      {shown}"),
+                // The file loaded but a detector could not score it (and
+                // the degrade policy did not absorb the failure).
+                Err(err) => {
+                    quarantined += 1;
+                    println!("quarantined {shown}: {err}");
+                }
+            },
         }
     }
     println!(
-        "scanned {} images: {flagged} flagged, {} accepted, {failed} unreadable",
+        "scanned {} images: {flagged} flagged, {} accepted, \
+         {quarantined} quarantined, {unreadable} unreadable",
         paths.len(),
-        paths.len() - flagged - failed
+        paths.len() - flagged - quarantined - unreadable
     );
     Ok(if flagged > 0 { ExitCode::from(2) } else { ExitCode::SUCCESS })
 }
