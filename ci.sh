@@ -13,6 +13,14 @@ cargo test -q --workspace
 echo "== cargo test fault_injection =="
 cargo test -p decamouflage-core --test fault_injection
 
+echo "== cargo test telemetry =="
+cargo test -p decamouflage-telemetry
+cargo test -p decamouflage-core --test telemetry --test threads_warning
+
+echo "== metrics smoke: scan --metrics-out round-trips the parser =="
+cargo test --test cli -- stats_emits_a_parseable_prometheus_exposition \
+    scan_metrics_out_round_trips_through_the_parser
+
 echo "== cargo clippy =="
 cargo clippy --all-targets -- -D warnings
 

@@ -18,6 +18,7 @@ use decamouflage_core::{
 };
 use decamouflage_datasets::DatasetProfile;
 use decamouflage_imaging::{Image, Size};
+use decamouflage_telemetry::Telemetry;
 use std::time::Instant;
 
 /// `scaling/mse` → `scaling_mse`: registry names as JSON/Criterion labels.
@@ -201,11 +202,85 @@ fn run_throughput() -> Throughput {
     Throughput { corpus_images: images.len(), per_detector_s, cold_s, engine_s, batch_s, threads }
 }
 
+/// Result of the telemetry overhead guardrail.
+struct TelemetryOverhead {
+    /// Enabled-over-disabled wall-time ratio (best of several attempts).
+    ratio: f64,
+    /// Prometheus exposition captured from the instrumented run.
+    prometheus_text: String,
+}
+
+/// Ceiling on the fully-enabled telemetry overhead: the instrumented
+/// engine must stay within 2% of the silent one.
+const TELEMETRY_OVERHEAD_LIMIT: f64 = 1.02;
+
+/// Timing attempts before the overhead assertion gives up: wall-clock
+/// ratios on a shared machine are noisy, so the guardrail requires the
+/// budget to hold on *some* attempt, not on every one.
+const TELEMETRY_OVERHEAD_ATTEMPTS: usize = 5;
+
+/// The tentpole's two hard guarantees, asserted on every bench run:
+/// fully-enabled telemetry leaves each score bit-identical, and costs
+/// less than [`TELEMETRY_OVERHEAD_LIMIT`] over the silent engine.
+fn run_telemetry_overhead() -> TelemetryOverhead {
+    let profile = throughput_profile();
+    let generator = MixedAttackGenerator::new(profile.clone());
+    let detectors = DetectorSet::new(&profile);
+    let silent = detectors.engine();
+    let telemetry = Telemetry::enabled();
+    let observed = detectors.engine().clone().with_telemetry(telemetry.clone());
+
+    let images: Vec<Image> = (0..CORPUS_PER_CLASS as u64)
+        .flat_map(|i| [generator.benign(i), generator.attack(i)])
+        .collect();
+
+    // Bit-identity gate: recording must never perturb a score.
+    for image in &images {
+        let baseline = silent.score(image).unwrap();
+        let recorded = observed.score(image).unwrap();
+        for &id in MethodId::ALL {
+            assert_eq!(
+                baseline.get(id).to_bits(),
+                recorded.get(id).to_bits(),
+                "telemetry perturbed {id}"
+            );
+        }
+    }
+
+    let repeats = 5;
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..TELEMETRY_OVERHEAD_ATTEMPTS {
+        let silent_s = time_pass(&images, repeats, |imgs| {
+            for img in imgs {
+                let _ = silent.score(img).unwrap();
+            }
+        });
+        let observed_s = time_pass(&images, repeats, |imgs| {
+            for img in imgs {
+                let _ = observed.score(img).unwrap();
+            }
+        });
+        best_ratio = best_ratio.min(observed_s / silent_s);
+        if best_ratio < TELEMETRY_OVERHEAD_LIMIT {
+            break;
+        }
+    }
+    assert!(
+        best_ratio < TELEMETRY_OVERHEAD_LIMIT,
+        "telemetry overhead {best_ratio:.4}x exceeds the {TELEMETRY_OVERHEAD_LIMIT}x budget"
+    );
+
+    let prometheus_text = telemetry.prometheus_text().expect("telemetry enabled");
+    decamouflage_telemetry::parse_prometheus_text(&prometheus_text)
+        .expect("bench exposition must round-trip through the strict parser");
+    TelemetryOverhead { ratio: best_ratio, prometheus_text }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_report(c: &Criterion, t: &Throughput) {
+fn write_report(c: &Criterion, t: &Throughput, overhead: &TelemetryOverhead) {
     let n = t.corpus_images as f64;
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"detectors\",\n");
@@ -243,6 +318,11 @@ fn write_report(c: &Criterion, t: &Throughput) {
     ));
     out.push_str(&format!("  \"speedup_engine_vs_cold\": {:.2},\n", t.cold_s / t.engine_s));
     out.push_str("  \"scores_bit_identical_to_naive_detectors\": true,\n");
+    out.push_str(&format!(
+        "  \"telemetry\": {{\"overhead_ratio\": {:.4}, \"budget_ratio\": {TELEMETRY_OVERHEAD_LIMIT}, \
+         \"scores_bit_identical\": true, \"exposition\": \"BENCH_telemetry.prom\"}},\n",
+        overhead.ratio
+    ));
 
     out.push_str("  \"criterion\": [\n");
     for (i, r) in c.results.iter().enumerate() {
@@ -257,9 +337,14 @@ fn write_report(c: &Criterion, t: &Throughput) {
     }
     out.push_str("  ]\n}\n");
 
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detectors.json");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_detectors.json");
     std::fs::write(&path, &out).expect("failed to write BENCH_detectors.json");
     println!("wrote {}", path.display());
+
+    let prom = root.join("BENCH_telemetry.prom");
+    std::fs::write(&prom, &overhead.prometheus_text).expect("failed to write BENCH_telemetry.prom");
+    println!("wrote {}", prom.display());
 }
 
 fn main() {
@@ -277,5 +362,12 @@ fn main() {
         n / t.batch_s,
         t.cold_s / t.engine_s
     );
-    write_report(&c, &t);
+
+    println!("-- telemetry overhead (fully instrumented engine vs silent) --");
+    let overhead = run_telemetry_overhead();
+    println!(
+        "telemetry overhead {:.4}x (budget {TELEMETRY_OVERHEAD_LIMIT}x), scores bit-identical",
+        overhead.ratio
+    );
+    write_report(&c, &t, &overhead);
 }

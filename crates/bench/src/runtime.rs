@@ -9,20 +9,25 @@ use crate::ExperimentContext;
 use decamouflage_core::report::{number, MarkdownTable};
 use decamouflage_core::MethodId;
 use decamouflage_imaging::Image;
+use decamouflage_telemetry::Histogram;
 use std::time::Instant;
 
 /// Measures mean and standard deviation of per-image wall time, in
 /// milliseconds, for one scoring closure over a set of images.
+///
+/// The samples go through a telemetry [`Histogram`] (the same
+/// log-bucketed latency histogram the live pipeline records into), whose
+/// exact sum / sum-of-squares moments reproduce the mean and population
+/// standard deviation the old per-sample vector computed.
 pub fn time_per_image(images: &[Image], mut score: impl FnMut(&Image)) -> (f64, f64) {
-    let mut samples = Vec::with_capacity(images.len());
+    let histogram = Histogram::latency_seconds();
     for img in images {
         let start = Instant::now();
         score(img);
-        samples.push(start.elapsed().as_secs_f64() * 1000.0);
+        histogram.record(start.elapsed().as_secs_f64());
     }
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
-    (mean, var.sqrt())
+    let snapshot = histogram.snapshot();
+    (snapshot.mean() * 1000.0, snapshot.stddev() * 1000.0)
 }
 
 fn title_case(word: &str) -> String {

@@ -53,8 +53,66 @@ use decamouflage_spectral::csp::{count_csp_in_spectrum, CspConfig};
 use decamouflage_spectral::dft2d::dft2_planned;
 use decamouflage_spectral::radial::peak_excess;
 use decamouflage_spectral::window::{apply_window, WindowKind};
+use decamouflage_telemetry::{Counter, HistogramHandle, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Pre-resolved telemetry handles for the engine's hot path. Resolving
+/// the `(name, labels)` keys once at construction keeps scoring free of
+/// registry lookups; with a disabled [`Telemetry`] every handle is a
+/// no-op and no clock is ever read, so scores stay bit-identical (the
+/// bench asserts this).
+#[derive(Debug, Clone, Default)]
+struct EngineMetrics {
+    telemetry: Telemetry,
+    /// `decam_engine_score_seconds`: full engine pass latency.
+    score_seconds: HistogramHandle,
+    /// `decam_engine_stage_seconds{stage=...}`: shared-stage latencies.
+    validate: HistogramHandle,
+    scale_round_trip: HistogramHandle,
+    rank_filter: HistogramHandle,
+    ssim_reference: HistogramHandle,
+    dft: HistogramHandle,
+    /// `decam_method_score_seconds{method=...}`, indexed by [`MethodId`].
+    /// For fused methods this is the *incremental* cost on top of the
+    /// shared stages above.
+    method_seconds: [HistogramHandle; MethodId::COUNT],
+    /// `decam_engine_scored_total`: successfully scored images.
+    scored_total: Counter,
+}
+
+impl EngineMetrics {
+    fn new(telemetry: Telemetry) -> Self {
+        let stage = |name| telemetry.histogram("decam_engine_stage_seconds", &[("stage", name)]);
+        Self {
+            score_seconds: telemetry.histogram("decam_engine_score_seconds", &[]),
+            validate: stage("validate"),
+            scale_round_trip: stage("scale_round_trip"),
+            rank_filter: stage("rank_filter"),
+            ssim_reference: stage("ssim_reference"),
+            dft: stage("dft"),
+            method_seconds: std::array::from_fn(|index| {
+                telemetry.histogram(
+                    "decam_method_score_seconds",
+                    &[("method", MethodId::ALL[index].name())],
+                )
+            }),
+            scored_total: telemetry.counter("decam_engine_scored_total", &[]),
+            telemetry,
+        }
+    }
+
+    /// Counts one quarantined image under its fault-kind label. The
+    /// label set is small and bounded by the [`ScoreFault`] taxonomy, so
+    /// the registry lookup on this cold path is fine.
+    fn quarantined(&self, fault: &ScoreFault) {
+        self.telemetry.counter("decam_engine_quarantined_total", &[("fault", fault.kind())]).inc();
+    }
+
+    fn method(&self, id: MethodId) -> &HistogramHandle {
+        &self.method_seconds[id as usize]
+    }
+}
 
 /// The per-image scores the engine produces — an alias kept from the days
 /// when this was a fixed five-field struct. Use the [`ScoreVector`] API
@@ -283,6 +341,7 @@ pub struct DetectionEngine {
     peak_window: WindowKind,
     methods: MethodSet,
     faults: Option<Arc<FaultPlan>>,
+    metrics: EngineMetrics,
 }
 
 impl DetectionEngine {
@@ -303,6 +362,7 @@ impl DetectionEngine {
             peak_window: WindowKind::Rectangular,
             methods: MethodSet::all(),
             faults: None,
+            metrics: EngineMetrics::new(decamouflage_telemetry::global()),
         }
     }
 
@@ -363,6 +423,24 @@ impl DetectionEngine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(plan));
         self
+    }
+
+    /// Attaches a [`Telemetry`] handle: an enabled handle records the
+    /// engine's per-stage and per-method latencies, scored/quarantined
+    /// counters into its registry; the default is the process-global
+    /// handle at construction time
+    /// ([`decamouflage_telemetry::global`]), which is disabled unless
+    /// [`decamouflage_telemetry::install_global`] ran first. Telemetry
+    /// never changes scores — only observes them.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.metrics = EngineMetrics::new(telemetry);
+        self
+    }
+
+    /// The telemetry handle this engine records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.metrics.telemetry
     }
 
     /// The CNN input size the round trip passes through.
@@ -454,22 +532,32 @@ impl DetectionEngine {
     /// Propagates imaging and metric failures ([`DetectError::Imaging`] /
     /// [`DetectError::Metric`]).
     pub fn score_with_artifacts(&self, image: &Image) -> Result<EngineArtifacts, DetectError> {
+        let _total = self.metrics.score_seconds.span();
         let cache = ScalerCache::global();
         let src = image.size();
         // One round trip through cached plans; `downscaled` is computed
         // once and reused for the upscale leg.
-        let downscaled = cache.get(src, self.target, self.algorithm)?.apply(image)?;
-        let round_tripped = cache.get(self.target, src, self.algorithm)?.apply(&downscaled)?;
-        let filtered = rank_filter(image, self.filter_window, self.filter_rank)?;
+        let (downscaled, round_tripped) = {
+            let _stage = self.metrics.scale_round_trip.span();
+            let downscaled = cache.get(src, self.target, self.algorithm)?.apply(image)?;
+            let round_tripped = cache.get(self.target, src, self.algorithm)?.apply(&downscaled)?;
+            (downscaled, round_tripped)
+        };
+        let filtered = {
+            let _stage = self.metrics.rank_filter.span();
+            rank_filter(image, self.filter_window, self.filter_rank)?
+        };
 
         let mut scores = ScoreVector::splat(f64::NAN);
         let mut fused = MethodSet::empty();
 
         if self.methods.contains(MethodId::ScalingMse) {
+            let _method = self.metrics.method(MethodId::ScalingMse).span();
             scores.set(MethodId::ScalingMse, mse(image, &round_tripped)?);
             fused.insert(MethodId::ScalingMse);
         }
         if self.methods.contains(MethodId::FilteringMse) {
+            let _method = self.metrics.method(MethodId::FilteringMse).span();
             scores.set(MethodId::FilteringMse, mse(image, &filtered)?);
             fused.insert(MethodId::FilteringMse);
         }
@@ -477,12 +565,17 @@ impl DetectionEngine {
             || self.methods.contains(MethodId::FilteringSsim)
         {
             // One reference-side SSIM precomputation serves both comparisons.
-            let reference = SsimReference::new(image, &self.ssim_config)?;
+            let reference = {
+                let _stage = self.metrics.ssim_reference.span();
+                SsimReference::new(image, &self.ssim_config)?
+            };
             if self.methods.contains(MethodId::ScalingSsim) {
+                let _method = self.metrics.method(MethodId::ScalingSsim).span();
                 scores.set(MethodId::ScalingSsim, reference.score_against(&round_tripped)?);
                 fused.insert(MethodId::ScalingSsim);
             }
             if self.methods.contains(MethodId::FilteringSsim) {
+                let _method = self.metrics.method(MethodId::FilteringSsim).span();
                 scores.set(MethodId::FilteringSsim, reference.score_against(&filtered)?);
                 fused.insert(MethodId::FilteringSsim);
             }
@@ -491,8 +584,12 @@ impl DetectionEngine {
         let mut centered_spectrum = None;
         if self.methods.contains(MethodId::Csp) || self.methods.contains(MethodId::PeakExcess) {
             // One planned DFT serves both frequency-domain methods.
-            let spectrum = dft2_planned(image);
+            let spectrum = {
+                let _stage = self.metrics.dft.span();
+                dft2_planned(image)
+            };
             if self.methods.contains(MethodId::Csp) {
+                let _method = self.metrics.method(MethodId::Csp).span();
                 scores.set(
                     MethodId::Csp,
                     count_csp_in_spectrum(&spectrum, &self.csp_config).count as f64,
@@ -500,6 +597,7 @@ impl DetectionEngine {
                 fused.insert(MethodId::Csp);
             }
             if self.methods.contains(MethodId::PeakExcess) {
+                let _method = self.metrics.method(MethodId::PeakExcess).span();
                 let peak =
                     PeakExcessDetector::for_target(self.target).with_window(self.peak_window);
                 let centred = if self.peak_window == WindowKind::Rectangular {
@@ -525,10 +623,12 @@ impl DetectionEngine {
         // (or without) anyone writing a shared-intermediate path for it.
         for id in self.methods.iter() {
             if !fused.contains(id) {
+                let _method = self.metrics.method(id).span();
                 scores.set(id, self.build_detector(id).score(image)?);
             }
         }
 
+        self.metrics.scored_total.inc();
         Ok(EngineArtifacts { downscaled, round_tripped, filtered, centered_spectrum, scores })
     }
 
@@ -558,6 +658,7 @@ impl DetectionEngine {
     /// The first failed check as a structured [`ScoreError`] (index `0`;
     /// batch callers re-address it with [`ScoreError::at_index`]).
     pub fn validate_image(&self, image: &Image) -> Result<(), ScoreError> {
+        let _stage = self.metrics.validate.span();
         let (width, height) = (image.width(), image.height());
         if width == 0 || height == 0 {
             return Err(ScoreError::new(ScoreFault::DegenerateDimensions { width, height }));
@@ -602,15 +703,17 @@ impl DetectionEngine {
     /// failures ([`ScoreFault::Detect`]) or recovered panics
     /// ([`ScoreFault::Panicked`]).
     pub fn score_resilient(&self, image: &Image) -> Result<ScoreVector, ScoreError> {
-        self.validate_image(image)?;
-        // The engine holds no interior mutability of its own and the global
-        // scaler cache recovers lock poisoning, so observing state after a
-        // caught panic is safe.
-        match catch_unwind(AssertUnwindSafe(|| self.score(image))) {
-            Ok(Ok(scores)) => Ok(scores),
-            Ok(Err(err)) => Err(ScoreError::detect(0, err)),
-            Err(payload) => Err(ScoreError::panicked(0, payload)),
-        }
+        let attempt = self.validate_image(image).and_then(|()| {
+            // The engine holds no interior mutability of its own and the
+            // global scaler cache recovers lock poisoning, so observing
+            // state after a caught panic is safe.
+            match catch_unwind(AssertUnwindSafe(|| self.score(image))) {
+                Ok(Ok(scores)) => Ok(scores),
+                Ok(Err(err)) => Err(ScoreError::detect(0, err)),
+                Err(payload) => Err(ScoreError::panicked(0, payload)),
+            }
+        });
+        attempt.inspect_err(|err| self.metrics.quarantined(&err.cause))
     }
 
     /// One fault-isolated slot of a corpus fan-out: fires any armed fault,
@@ -635,10 +738,11 @@ impl DetectionEngine {
             self.validate_image(&image).map_err(|err| err.at_index(index))?;
             self.score(&image).map_err(|err| ScoreError::detect(index, err))
         }));
-        match attempt {
+        let result = match attempt {
             Ok(result) => result,
             Err(payload) => Err(ScoreError::panicked(index, payload)),
-        }
+        };
+        result.inspect_err(|err| self.metrics.quarantined(&err.cause))
     }
 
     /// Fault-isolated batch scoring: the same single `2 * count` fan-out as

@@ -12,6 +12,7 @@ use crate::method::{MethodId, ScoreVector};
 use crate::threshold::Threshold;
 use crate::DetectError;
 use decamouflage_imaging::Image;
+use decamouflage_telemetry::Telemetry;
 
 /// A detector paired with its calibrated threshold, as a named ensemble
 /// member.
@@ -124,6 +125,18 @@ pub enum DegradePolicy {
     FailClosed,
 }
 
+impl DegradePolicy {
+    /// Stable kebab-case name, used as the `policy` label on the
+    /// `decam_ensemble_degraded_total` telemetry counter.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Strict => "strict",
+            Self::MajorityOfAvailable => "majority-of-available",
+            Self::FailClosed => "fail-closed",
+        }
+    }
+}
+
 /// Majority-vote ensemble.
 ///
 /// The paper combines the three detection methods so that an adaptive
@@ -134,12 +147,25 @@ pub struct Ensemble {
     members: Vec<EnsembleMember>,
     engine: Option<DetectionEngine>,
     policy: DegradePolicy,
+    telemetry: Telemetry,
 }
 
 impl Ensemble {
-    /// Creates an empty ensemble.
+    /// Creates an empty ensemble recording into the process-global
+    /// telemetry handle (disabled unless
+    /// [`decamouflage_telemetry::install_global`] ran first).
     pub fn new() -> Self {
-        Self::default()
+        Self { telemetry: decamouflage_telemetry::global(), ..Self::default() }
+    }
+
+    /// Attaches a [`Telemetry`] handle: an enabled handle records votes
+    /// by member, unavailable members, degrade-policy activations and
+    /// verdict counts. Telemetry never changes decisions — only observes
+    /// them.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Sets the degradation policy for members that cannot vote
@@ -299,7 +325,38 @@ impl Ensemble {
             _ if votes.is_empty() => true,
             _ => 2 * attack_votes > votes.len(),
         };
+        self.record_decision(&votes, &unavailable, is_attack);
         Ok(EnsembleDecision { votes, unavailable, is_attack })
+    }
+
+    /// Records one decision's telemetry: votes by member, unavailable
+    /// members, a degrade activation when any member could not vote, and
+    /// the verdict. A no-op with disabled telemetry.
+    fn record_decision(
+        &self,
+        votes: &[(String, bool)],
+        unavailable: &[(String, String)],
+        is_attack: bool,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for (member, vote) in votes {
+            let vote = if *vote { "attack" } else { "benign" };
+            self.telemetry
+                .counter("decam_ensemble_votes_total", &[("member", member), ("vote", vote)])
+                .inc();
+        }
+        for (member, _) in unavailable {
+            self.telemetry.counter("decam_ensemble_unavailable_total", &[("member", member)]).inc();
+        }
+        if !unavailable.is_empty() {
+            self.telemetry
+                .counter("decam_ensemble_degraded_total", &[("policy", self.policy.name())])
+                .inc();
+        }
+        let verdict = if is_attack { "attack" } else { "benign" };
+        self.telemetry.counter("decam_ensemble_decisions_total", &[("verdict", verdict)]).inc();
     }
 
     /// Convenience: the majority verdict only.

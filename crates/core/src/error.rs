@@ -118,6 +118,23 @@ pub enum ScoreFault {
     Injected,
 }
 
+impl ScoreFault {
+    /// A short, stable kebab-case tag for this fault kind, used as the
+    /// `fault` label on quarantine telemetry counters. Tags never change
+    /// once shipped — dashboards key on them.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Self::DegenerateDimensions { .. } => "degenerate-dimensions",
+            Self::NonFinitePixel { .. } => "non-finite-pixel",
+            Self::BelowMinimumSize { .. } => "below-minimum-size",
+            Self::NonFiniteScore { .. } => "non-finite-score",
+            Self::Detect(_) => "detect",
+            Self::Panicked { .. } => "panic",
+            Self::Injected => "injected",
+        }
+    }
+}
+
 impl fmt::Display for ScoreFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

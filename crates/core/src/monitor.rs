@@ -15,6 +15,7 @@ use crate::method::MethodId;
 use crate::threshold::Threshold;
 use crate::DetectError;
 use decamouflage_imaging::Image;
+use decamouflage_telemetry::{Counter, Gauge, Telemetry};
 use std::collections::VecDeque;
 
 /// Verdict plus bookkeeping for one screened image.
@@ -46,6 +47,35 @@ pub struct MonitorStats {
     pub window_len: usize,
 }
 
+/// Pre-resolved telemetry handles for one monitor, labelled with the
+/// wrapped detector's name. All no-ops under a disabled [`Telemetry`].
+#[derive(Debug, Clone, Default)]
+struct MonitorMetrics {
+    telemetry: Telemetry,
+    screened: Counter,
+    flagged: Counter,
+    quarantined: Counter,
+    drift_alerts: Counter,
+    window_mean: Gauge,
+    window_len: Gauge,
+}
+
+impl MonitorMetrics {
+    fn new(telemetry: Telemetry, detector: &str) -> Self {
+        let counter = |name| telemetry.counter(name, &[("detector", detector)]);
+        let gauge = |name| telemetry.gauge(name, &[("detector", detector)]);
+        Self {
+            screened: counter("decam_monitor_screened_total"),
+            flagged: counter("decam_monitor_flagged_total"),
+            quarantined: counter("decam_monitor_quarantined_total"),
+            drift_alerts: counter("decam_monitor_drift_alerts_total"),
+            window_mean: gauge("decam_monitor_window_mean"),
+            window_len: gauge("decam_monitor_window_len"),
+            telemetry,
+        }
+    }
+}
+
 /// A calibrated detector wrapped with rolling statistics and drift
 /// detection.
 pub struct DetectionMonitor<D> {
@@ -59,6 +89,7 @@ pub struct DetectionMonitor<D> {
     screened: usize,
     flagged: usize,
     quarantined: usize,
+    metrics: MonitorMetrics,
 }
 
 impl<D: Detector> DetectionMonitor<D> {
@@ -95,6 +126,7 @@ impl<D: Detector> DetectionMonitor<D> {
                 message: "drift parameters must be positive and finite".into(),
             });
         }
+        let metrics = MonitorMetrics::new(decamouflage_telemetry::global(), &detector.name());
         Ok(Self {
             detector,
             threshold,
@@ -106,7 +138,19 @@ impl<D: Detector> DetectionMonitor<D> {
             screened: 0,
             flagged: 0,
             quarantined: 0,
+            metrics,
         })
+    }
+
+    /// Attaches a [`Telemetry`] handle: an enabled handle mirrors the
+    /// monitor's screened/flagged/quarantined counters, drift alerts,
+    /// and rolling-window statistics into its registry (labelled
+    /// `detector=<name>`). The default is the process-global handle at
+    /// construction time. Telemetry never changes verdicts.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.metrics = MonitorMetrics::new(telemetry, &self.detector.name());
+        self
     }
 
     /// Screens one image: scores it, classifies it, and (for accepted
@@ -129,26 +173,45 @@ impl<D: Detector> DetectionMonitor<D> {
             Ok(score) => score,
             Err(err) => {
                 self.quarantined += 1;
+                self.metrics.quarantined.inc();
                 return Err(err);
             }
         };
         if !score.is_finite() {
             self.quarantined += 1;
+            self.metrics.quarantined.inc();
             return Err(DetectError::Score(Box::new(crate::error::ScoreError::new(
                 crate::error::ScoreFault::NonFiniteScore { score },
             ))));
         }
         let is_attack = self.threshold.is_attack(score);
         self.screened += 1;
+        self.metrics.screened.inc();
         if is_attack {
             self.flagged += 1;
+            self.metrics.flagged.inc();
         } else {
             if self.window.len() == self.window_capacity {
                 self.window.pop_front();
             }
             self.window.push_back(score);
         }
-        Ok(MonitorVerdict { score, is_attack, drift_alert: self.drift_alert() })
+        let drift_alert = self.drift_alert();
+        if self.metrics.telemetry.is_enabled() {
+            // The window-mean recomputation only happens with telemetry
+            // on; verdicts never depend on it.
+            if drift_alert {
+                self.metrics.drift_alerts.inc();
+            }
+            self.metrics.window_len.set(self.window.len() as f64);
+            let mean = if self.window.is_empty() {
+                0.0
+            } else {
+                self.window.iter().sum::<f64>() / self.window.len() as f64
+            };
+            self.metrics.window_mean.set(mean);
+        }
+        Ok(MonitorVerdict { score, is_attack, drift_alert })
     }
 
     /// Whether the rolling window mean has drifted more than

@@ -9,7 +9,7 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, Once, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// A unit of work executed on a pool thread.
@@ -63,14 +63,25 @@ impl WorkerPool {
                         match job {
                             // A panicking job must not take the worker down:
                             // map_indices re-raises the payload on the
-                            // caller side instead.
-                            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                            // caller side instead. Recovered panics are
+                            // counted (the lookup only runs on this cold
+                            // path).
+                            Ok(job) => {
+                                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    decamouflage_telemetry::global()
+                                        .counter("decam_pool_panics_recovered_total", &[])
+                                        .inc();
+                                }
+                            }
                             Err(_) => break,
                         }
                     });
                 match spawned {
                     Ok(handle) => Some(handle),
                     Err(err) => {
+                        decamouflage_telemetry::global()
+                            .counter("decam_pool_spawn_failures_total", &[])
+                            .inc();
                         eprintln!(
                             "decamouflage: could not spawn pool worker {index}: {err}; \
                              continuing with fewer threads"
@@ -101,6 +112,22 @@ impl WorkerPool {
     /// workers gone). The job always runs exactly once either way, so
     /// `map_indices`' join protocol never hangs on a lost submission.
     fn submit(&self, job: Job) {
+        // With telemetry enabled, the job is wrapped to keep the queue
+        // depth gauge and executed-jobs counter accurate; disabled, the
+        // job goes through untouched (no allocation, no clock).
+        let telemetry = decamouflage_telemetry::global();
+        let job: Job = if telemetry.is_enabled() {
+            let depth = telemetry.gauge("decam_pool_queue_depth", &[]);
+            let executed = telemetry.counter("decam_pool_jobs_total", &[]);
+            depth.inc();
+            Box::new(move || {
+                depth.dec();
+                executed.inc();
+                job();
+            })
+        } else {
+            job
+        };
         let guard = self.sender.lock().unwrap_or_else(PoisonError::into_inner);
         let rejected = match guard.as_ref() {
             Some(sender) => match sender.send(job) {
@@ -111,6 +138,7 @@ impl WorkerPool {
         };
         drop(guard);
         if let Some(job) = rejected {
+            telemetry.counter("decam_pool_inline_fallback_total", &[]).inc();
             job();
         }
     }
@@ -133,6 +161,7 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        decamouflage_telemetry::global().gauge("decam_pool_workers", &[]).set(self.workers as f64);
         let helpers = threads.saturating_sub(1).min(self.workers).min(n - 1);
         if helpers == 0 {
             return (0..n).map(f).collect();
@@ -263,29 +292,50 @@ pub fn default_threads() -> usize {
 /// Highest thread count `DECAM_THREADS` may request.
 const MAX_THREAD_OVERRIDE: usize = 512;
 
+/// Reports one bad `DECAM_THREADS` value: stderr gets the message **once
+/// per process per warning kind** (pool construction happens repeatedly;
+/// repeating an identical configuration warning is noise), while the
+/// `decam_threads_warnings_total{kind=...}` counter records every
+/// occurrence for operators who never see stderr.
+fn warn_threads(once: &'static Once, kind: &'static str, message: impl FnOnce() -> String) {
+    decamouflage_telemetry::global()
+        .counter("decam_threads_warnings_total", &[("kind", kind)])
+        .inc();
+    once.call_once(|| eprintln!("decamouflage: {}", message()));
+}
+
 /// Parses a `DECAM_THREADS`-style override, clamping to
 /// `[1, MAX_THREAD_OVERRIDE]` and warning (with the bad value) on anything
 /// clamped or unparseable.
 fn thread_override(raw: Option<&str>) -> Option<usize> {
+    static WARNED_ZERO: Once = Once::new();
+    static WARNED_CAP: Once = Once::new();
+    static WARNED_UNPARSEABLE: Once = Once::new();
     let raw = raw?.trim();
     match raw.parse::<usize>() {
         Ok(0) => {
-            eprintln!("decamouflage: DECAM_THREADS=0 is invalid; clamping to 1");
+            warn_threads(&WARNED_ZERO, "zero", || {
+                "DECAM_THREADS=0 is invalid; clamping to 1".into()
+            });
             Some(1)
         }
         Ok(n) if n > MAX_THREAD_OVERRIDE => {
-            eprintln!(
-                "decamouflage: DECAM_THREADS={n} exceeds the {MAX_THREAD_OVERRIDE}-thread \
-                 cap; clamping to {MAX_THREAD_OVERRIDE}"
-            );
+            warn_threads(&WARNED_CAP, "over-cap", || {
+                format!(
+                    "DECAM_THREADS={n} exceeds the {MAX_THREAD_OVERRIDE}-thread \
+                     cap; clamping to {MAX_THREAD_OVERRIDE}"
+                )
+            });
             Some(MAX_THREAD_OVERRIDE)
         }
         Ok(n) => Some(n),
         Err(_) => {
-            eprintln!(
-                "decamouflage: ignoring unparseable DECAM_THREADS value {raw:?}; \
-                 using auto-detected parallelism"
-            );
+            warn_threads(&WARNED_UNPARSEABLE, "unparseable", || {
+                format!(
+                    "ignoring unparseable DECAM_THREADS value {raw:?}; \
+                     using auto-detected parallelism"
+                )
+            });
             None
         }
     }

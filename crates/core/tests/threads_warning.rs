@@ -1,0 +1,38 @@
+//! `DECAM_THREADS` misconfiguration telemetry. This lives in its own
+//! integration binary (own process) because it installs the
+//! process-global telemetry handle and mutates the environment — both
+//! are process-wide and must not leak into other test binaries.
+
+use decamouflage_core::parallel::default_threads;
+use decamouflage_telemetry::Telemetry;
+
+/// Every bad `DECAM_THREADS` value increments
+/// `decam_threads_warnings_total{kind=...}` (one count per occurrence,
+/// even though stderr warns only once per kind per process), and the
+/// clamped value still comes back usable.
+#[test]
+fn bad_decam_threads_values_are_counted_by_kind() {
+    let telemetry = Telemetry::enabled();
+    assert!(decamouflage_telemetry::install_global(telemetry.clone()));
+    let warnings =
+        |kind: &str| telemetry.counter("decam_threads_warnings_total", &[("kind", kind)]).value();
+
+    std::env::set_var("DECAM_THREADS", "0");
+    assert_eq!(default_threads(), 1, "zero clamps up to one thread");
+    std::env::set_var("DECAM_THREADS", "0");
+    assert_eq!(default_threads(), 1);
+    assert_eq!(warnings("zero"), 2, "counted per occurrence, not per process");
+
+    std::env::set_var("DECAM_THREADS", "99999");
+    assert_eq!(default_threads(), 512, "over-cap clamps to the maximum");
+    assert_eq!(warnings("over-cap"), 1);
+
+    std::env::set_var("DECAM_THREADS", "not-a-number");
+    assert!(default_threads() >= 1, "unparseable falls back to auto-detection");
+    assert_eq!(warnings("unparseable"), 1);
+
+    std::env::set_var("DECAM_THREADS", "4");
+    assert_eq!(default_threads(), 4, "a valid override warns nothing");
+    assert_eq!(warnings("zero") + warnings("over-cap") + warnings("unparseable"), 4);
+    std::env::remove_var("DECAM_THREADS");
+}

@@ -1,0 +1,332 @@
+//! Log-bucketed latency histograms with merge and quantile support.
+//!
+//! A [`Histogram`] is a fixed set of strictly increasing bucket upper
+//! bounds (plus an implicit `+Inf` overflow bucket) whose counts are plain
+//! atomics, so recording a sample is a handful of relaxed atomic
+//! operations — cheap enough to sit on the per-image scoring path. Next to
+//! the bucket counts it tracks the exact sample count, sum and sum of
+//! squares, so mean and standard deviation are exact (not
+//! bucket-quantised) while quantiles are read off the bucket boundaries.
+//!
+//! The default bounds ([`DEFAULT_LATENCY_BOUNDS`]) are a 1–2–5
+//! log-decade series from 1 µs to 10 s, chosen so their decimal rendering
+//! in the Prometheus exposition is short and exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default latency bucket upper bounds, in seconds: a 1–2–5 series per
+/// decade from 1 µs to 10 s (22 finite buckets plus the implicit `+Inf`).
+pub const DEFAULT_LATENCY_BOUNDS: [f64; 22] = [
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1,
+    0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+];
+
+/// Adds `delta` to an `f64` stored as `AtomicU64` bits via a CAS loop.
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// A thread-safe log-bucketed histogram of `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_telemetry::Histogram;
+///
+/// let h = Histogram::latency_seconds();
+/// h.record(0.003);
+/// h.record(0.004);
+/// let snapshot = h.snapshot();
+/// assert_eq!(snapshot.count(), 2);
+/// assert!((snapshot.mean() - 0.0035).abs() < 1e-12);
+/// assert_eq!(snapshot.quantile(0.5), Some(0.005));
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the trailing `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bit patterns — see [`atomic_f64_add`].
+    sum: AtomicU64,
+    sum_sq: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given finite, strictly increasing
+    /// bucket upper bounds. An `+Inf` overflow bucket is always appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// increasing — bucket layouts are static configuration, so a bad one
+    /// is a programming error.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            sum_sq: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// A histogram with the [`DEFAULT_LATENCY_BOUNDS`] (seconds).
+    pub fn latency_seconds() -> Self {
+        Self::new(&DEFAULT_LATENCY_BOUNDS)
+    }
+
+    /// The finite bucket upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one sample: bumps the first bucket whose upper bound is
+    /// `>= value` (the `+Inf` overflow bucket when none is) and folds the
+    /// value into count / sum / sum-of-squares. Non-finite samples are
+    /// ignored — they carry no usable magnitude and would poison the sums.
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let index = self.bounds.partition_point(|&bound| bound < value);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum, value);
+        atomic_f64_add(&self.sum_sq, value * value);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    ///
+    /// Buckets are read individually, so a snapshot taken while writers
+    /// are active may be mid-update; taken from a quiesced histogram
+    /// (the exporter contract) it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum.load(Ordering::Relaxed)),
+            sum_sq: f64::from_bits(self.sum_sq.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Error merging two histogram snapshots with different bucket layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketMismatch;
+
+impl std::fmt::Display for BucketMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cannot merge histograms with different bucket bounds")
+    }
+}
+
+impl std::error::Error for BucketMismatch {}
+
+/// An immutable copy of a [`Histogram`]'s state: per-bucket counts plus
+/// the exact count / sum / sum-of-squares moments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    bounds: Vec<f64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl HistogramSnapshot {
+    /// The finite bucket upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the final slot is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sum of squared samples (for exact standard deviations).
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq
+    }
+
+    /// Exact mean of the recorded samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// Exact population standard deviation; `0.0` when empty.
+    pub fn stddev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.sum_sq / self.count as f64 - mean * mean).max(0.0).sqrt()
+    }
+
+    /// Upper-bound quantile estimate: the smallest bucket bound below
+    /// which at least `q * count` samples fall. Returns `None` on an
+    /// empty snapshot; samples in the overflow bucket report
+    /// [`f64::INFINITY`]. `q` is clamped to `[0, 1]`.
+    ///
+    /// The estimate is monotone in `q` by construction (a cumulative scan
+    /// over ordered buckets).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample the quantile lands on, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(bucket);
+            if cumulative >= rank {
+                return Some(self.bounds.get(index).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Merges two snapshots of identically-configured histograms:
+    /// bucket-wise count addition plus summed moments.
+    ///
+    /// # Errors
+    ///
+    /// [`BucketMismatch`] when the bucket bounds differ — counts from
+    /// different layouts cannot be combined without losing meaning.
+    pub fn merge(&self, other: &HistogramSnapshot) -> Result<HistogramSnapshot, BucketMismatch> {
+        if self.bounds != other.bounds {
+            return Err(BucketMismatch);
+        }
+        Ok(HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a.saturating_add(*b))
+                .collect(),
+            count: self.count.saturating_add(other.count),
+            sum: self.sum + other.sum,
+            sum_sq: self.sum_sq + other.sum_sq,
+        })
+    }
+
+    /// Iterates `(upper_bound, cumulative_count)` pairs in bound order,
+    /// ending with the `(+Inf, total)` overflow entry — the shape the
+    /// Prometheus exposition format wants.
+    pub fn cumulative(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut running = 0u64;
+        self.buckets.iter().enumerate().map(move |(index, &bucket)| {
+            running = running.saturating_add(bucket);
+            (self.bounds.get(index).copied().unwrap_or(f64::INFINITY), running)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 5.0]);
+        for v in [0.5, 1.0, 1.5, 4.0, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // 0.5 and 1.0 land in le=1, 1.5 in le=2, 4.0 in le=5, 100 overflows.
+        assert_eq!(s.bucket_counts(), &[2, 1, 1, 1]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 107.0);
+    }
+
+    #[test]
+    fn bound_samples_are_inclusive_like_prometheus_le() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.record(2.0);
+        assert_eq!(h.snapshot().bucket_counts(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let h = Histogram::latency_seconds();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn mean_and_stddev_are_exact() {
+        let h = Histogram::new(&[10.0]);
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 5.0f64.sqrt());
+    }
+
+    #[test]
+    fn cumulative_ends_at_total() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        for v in [0.5, 1.5, 3.0] {
+            h.record(v);
+        }
+        let pairs: Vec<_> = h.snapshot().cumulative().collect();
+        assert_eq!(pairs, vec![(1.0, 1), (2.0, 2), (f64::INFINITY, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn empty_bounds_are_rejected() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    fn default_latency_bounds_are_valid_and_log_spaced() {
+        let h = Histogram::latency_seconds();
+        assert_eq!(h.bounds().len(), DEFAULT_LATENCY_BOUNDS.len());
+        // Each decade holds the 1-2-5 triple: ratio between neighbours
+        // stays within [2, 2.5].
+        for w in DEFAULT_LATENCY_BOUNDS.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!((1.9..=2.6).contains(&ratio), "ratio {ratio} out of the 1-2-5 ladder");
+        }
+    }
+}

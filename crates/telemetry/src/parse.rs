@@ -1,0 +1,405 @@
+//! A strict, small parser for the Prometheus text exposition format.
+//!
+//! Used by CI and the CLI tests to prove the exported text round-trips:
+//! every sample line must belong to a declared `# TYPE` family, labels
+//! must be well-formed, values must parse, and histogram invariants
+//! (cumulative bucket monotonicity, `+Inf` bucket == `_count`) must
+//! hold. It accepts exactly the subset [`crate::to_prometheus_text`]
+//! emits, plus `# HELP` comments.
+
+use std::collections::BTreeMap;
+
+/// The declared type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// A monotonically increasing counter.
+    Counter,
+    /// A gauge that can move in either direction.
+    Gauge,
+    /// A bucketed histogram (`_bucket`/`_sum`/`_count` series).
+    Histogram,
+}
+
+/// One parsed sample line: label set (sorted) and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sorted label key/value pairs, including `le` for bucket series.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed metric family: its declared kind and all sample lines seen
+/// for it, keyed by the suffix (`""`, `"_bucket"`, `"_sum"`, `"_count"`).
+#[derive(Debug, Clone)]
+pub struct ParsedFamily {
+    /// Declared kind from the `# TYPE` line.
+    pub kind: FamilyKind,
+    /// Samples grouped by series suffix.
+    pub samples: BTreeMap<String, Vec<ParsedSample>>,
+}
+
+/// The parsed exposition: families keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedMetrics {
+    /// Families keyed by metric name.
+    pub families: BTreeMap<String, ParsedFamily>,
+}
+
+impl ParsedMetrics {
+    /// Names of all declared families.
+    pub fn family_names(&self) -> Vec<&str> {
+        self.families.keys().map(String::as_str).collect()
+    }
+
+    /// True when a family with this name was declared.
+    pub fn has_family(&self, name: &str) -> bool {
+        self.families.contains_key(name)
+    }
+
+    /// The value of a counter/gauge sample with the given labels, if
+    /// present. Labels are matched as a sorted set.
+    pub fn sample_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let family = self.families.get(name)?;
+        let mut wanted: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        wanted.sort();
+        family
+            .samples
+            .get("")?
+            .iter()
+            .find(|sample| sample.labels == wanted)
+            .map(|sample| sample.value)
+    }
+}
+
+/// A parse or validation failure, with the offending line number
+/// (1-based) where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number, or 0 for document-level failures.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// True for a valid metric/label identifier: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(first) if first.is_ascii_alphabetic() || first == '_' || first == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses the `{k="v",...}` label block, returning sorted pairs.
+fn parse_labels(block: &str, line: usize) -> Result<Vec<(String, String)>, ParseError> {
+    let mut labels = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| err(line, format!("label missing '=': {rest:?}")))?;
+        let key = &rest[..eq];
+        if !is_identifier(key) {
+            return Err(err(line, format!("bad label name: {key:?}")));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(err(line, "label value must be double-quoted"));
+        }
+        rest = &rest[1..];
+        // Walk to the closing quote, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((index, ch)) = chars.next() {
+            match ch {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => {
+                        return Err(err(line, format!("bad escape in label value: {other:?}")))
+                    }
+                },
+                '"' => {
+                    end = Some(index);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or_else(|| err(line, "unterminated label value"))?;
+        labels.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+            if rest.is_empty() {
+                return Err(err(line, "trailing comma in label block"));
+            }
+        } else if !rest.is_empty() {
+            return Err(err(line, format!("junk after label value: {rest:?}")));
+        }
+    }
+    labels.sort();
+    Ok(labels)
+}
+
+/// Parses a sample value, accepting the Prometheus specials.
+fn parse_value(raw: &str, line: usize) -> Result<f64, ParseError> {
+    match raw {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => {
+            other.parse::<f64>().map_err(|_| err(line, format!("bad sample value: {other:?}")))
+        }
+    }
+}
+
+/// Splits a sample name into `(family, suffix)` given the set of
+/// declared families: `decam_x_seconds_bucket` → `("decam_x_seconds",
+/// "_bucket")` when `decam_x_seconds` is a declared histogram.
+fn resolve_family<'a>(
+    name: &'a str,
+    families: &BTreeMap<String, ParsedFamily>,
+) -> Option<(&'a str, &'a str)> {
+    if let Some(family) = families.get(name) {
+        // Histograms have no bare series in our exposition.
+        if family.kind != FamilyKind::Histogram {
+            return Some((name, ""));
+        }
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if families.get(stem).map(|f| f.kind) == Some(FamilyKind::Histogram) {
+                return Some((stem, suffix));
+            }
+        }
+    }
+    None
+}
+
+/// Parses and validates a Prometheus text exposition document.
+///
+/// # Errors
+///
+/// [`ParseError`] on the first malformed line or violated invariant:
+/// undeclared sample, duplicate `# TYPE`, bad label syntax, unparseable
+/// value, non-cumulative histogram buckets, or a `+Inf` bucket that
+/// disagrees with `_count`.
+pub fn parse_prometheus_text(text: &str) -> Result<ParsedMetrics, ParseError> {
+    let mut parsed = ParsedMetrics::default();
+    for (index, raw_line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw_line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(type_decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = type_decl.split_whitespace();
+                let name =
+                    parts.next().ok_or_else(|| err(line_no, "TYPE line missing metric name"))?;
+                let kind = match parts.next() {
+                    Some("counter") => FamilyKind::Counter,
+                    Some("gauge") => FamilyKind::Gauge,
+                    Some("histogram") => FamilyKind::Histogram,
+                    other => return Err(err(line_no, format!("unknown metric kind {other:?}"))),
+                };
+                if !is_identifier(name) {
+                    return Err(err(line_no, format!("bad metric name: {name:?}")));
+                }
+                if parsed.families.contains_key(name) {
+                    return Err(err(line_no, format!("duplicate TYPE for {name}")));
+                }
+                parsed
+                    .families
+                    .insert(name.to_string(), ParsedFamily { kind, samples: BTreeMap::new() });
+            }
+            // `# HELP` and other comments are permitted and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_and_labels, value_raw) =
+            line.rsplit_once(' ').ok_or_else(|| err(line_no, "sample line missing value"))?;
+        let value = parse_value(value_raw, line_no)?;
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((name, rest)) => {
+                let block = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err(line_no, "unterminated label block"))?;
+                (name, parse_labels(block, line_no)?)
+            }
+            None => (name_and_labels, Vec::new()),
+        };
+        if !is_identifier(name) {
+            return Err(err(line_no, format!("bad sample name: {name:?}")));
+        }
+        let (family_name, suffix) = resolve_family(name, &parsed.families)
+            .ok_or_else(|| err(line_no, format!("sample {name:?} has no TYPE declaration")))?;
+        if parsed.families[family_name].kind == FamilyKind::Counter
+            && (value < 0.0 || value.is_nan())
+        {
+            return Err(err(line_no, format!("counter {name} has non-countable value {value}")));
+        }
+        parsed
+            .families
+            .get_mut(family_name)
+            .expect("family resolved above")
+            .samples
+            .entry(suffix.to_string())
+            .or_default()
+            .push(ParsedSample { labels, value });
+    }
+
+    validate_histograms(&parsed)?;
+    Ok(parsed)
+}
+
+/// Checks histogram invariants: buckets cumulative per series, an `+Inf`
+/// bucket present, and `_count` equal to that terminal bucket.
+fn validate_histograms(parsed: &ParsedMetrics) -> Result<(), ParseError> {
+    for (name, family) in &parsed.families {
+        if family.kind != FamilyKind::Histogram {
+            continue;
+        }
+        // Group bucket samples by their non-`le` labels: each entry maps
+        // a label set to its `(le, cumulative count)` pairs.
+        type BucketSeries = BTreeMap<Vec<(String, String)>, Vec<(f64, f64)>>;
+        let mut series: BucketSeries = BTreeMap::new();
+        for sample in family.samples.get("_bucket").map(Vec::as_slice).unwrap_or(&[]) {
+            let mut rest = sample.labels.clone();
+            let le_pos = rest
+                .iter()
+                .position(|(k, _)| k == "le")
+                .ok_or_else(|| err(0, format!("{name}_bucket sample missing le label")))?;
+            let (_, le_raw) = rest.remove(le_pos);
+            let le = parse_value(&le_raw, 0)?;
+            series.entry(rest).or_default().push((le, sample.value));
+        }
+        for (labels, mut buckets) in series {
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut previous = 0.0;
+            for &(_, cumulative) in &buckets {
+                if cumulative < previous {
+                    return Err(err(0, format!("{name} buckets not cumulative")));
+                }
+                previous = cumulative;
+            }
+            let terminal = buckets
+                .last()
+                .filter(|(le, _)| *le == f64::INFINITY)
+                .ok_or_else(|| err(0, format!("{name} missing +Inf bucket")))?
+                .1;
+            let count = family
+                .samples
+                .get("_count")
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .find(|sample| sample.labels == labels)
+                .ok_or_else(|| err(0, format!("{name} missing _count series")))?
+                .value;
+            if count != terminal {
+                return Err(err(
+                    0,
+                    format!("{name} _count {count} disagrees with +Inf bucket {terminal}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_prometheus_text;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn round_trips_exported_text() {
+        let registry = MetricsRegistry::new();
+        registry.counter("decam_jobs_total", &[("pool", "global")]).add(3);
+        registry.gauge("decam_queue_depth", &[]).set(1.5);
+        let histogram = registry.histogram("decam_score_seconds", &[("method", "scaling/mse")]);
+        histogram.record(0.002);
+        histogram.record(0.4);
+        let text = to_prometheus_text(&registry.snapshot());
+        let parsed = parse_prometheus_text(&text).expect("exported text must parse");
+        assert!(parsed.has_family("decam_jobs_total"));
+        assert_eq!(parsed.sample_value("decam_jobs_total", &[("pool", "global")]), Some(3.0));
+        assert_eq!(parsed.sample_value("decam_queue_depth", &[]), Some(1.5));
+        assert_eq!(parsed.families["decam_score_seconds"].kind, FamilyKind::Histogram);
+    }
+
+    #[test]
+    fn undeclared_samples_are_rejected() {
+        let e = parse_prometheus_text("decam_orphan_total 1\n").unwrap_err();
+        assert!(e.message.contains("no TYPE declaration"), "{e}");
+    }
+
+    #[test]
+    fn non_cumulative_buckets_are_rejected() {
+        let text = "# TYPE decam_h histogram\n\
+                    decam_h_bucket{le=\"1\"} 5\n\
+                    decam_h_bucket{le=\"+Inf\"} 3\n\
+                    decam_h_sum 1\n\
+                    decam_h_count 3\n";
+        let e = parse_prometheus_text(text).unwrap_err();
+        assert!(e.message.contains("not cumulative"), "{e}");
+    }
+
+    #[test]
+    fn count_must_match_inf_bucket() {
+        let text = "# TYPE decam_h histogram\n\
+                    decam_h_bucket{le=\"+Inf\"} 3\n\
+                    decam_h_sum 1\n\
+                    decam_h_count 4\n";
+        let e = parse_prometheus_text(text).unwrap_err();
+        assert!(e.message.contains("disagrees"), "{e}");
+    }
+
+    #[test]
+    fn negative_counters_are_rejected() {
+        let text = "# TYPE decam_bad_total counter\ndecam_bad_total -1\n";
+        let e = parse_prometheus_text(text).unwrap_err();
+        assert!(e.message.contains("non-countable"), "{e}");
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.counter("decam_odd_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = to_prometheus_text(&registry.snapshot());
+        let parsed = parse_prometheus_text(&text).expect("escapes must parse");
+        assert_eq!(parsed.sample_value("decam_odd_total", &[("path", "a\"b\\c\nd")]), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_type_lines_are_rejected() {
+        let text = "# TYPE decam_a counter\n# TYPE decam_a counter\n";
+        assert!(parse_prometheus_text(text).is_err());
+    }
+
+    #[test]
+    fn help_comments_are_ignored() {
+        let text = "# HELP decam_a helpful words\n# TYPE decam_a counter\ndecam_a 1\n";
+        assert!(parse_prometheus_text(text).is_ok());
+    }
+}

@@ -1,0 +1,305 @@
+//! The atomic metrics registry: named counters, gauges, and histograms.
+//!
+//! A [`MetricsRegistry`] maps `(name, sorted label pairs)` keys to shared
+//! metric cells. Registration (the map lookup) takes a mutex, but the
+//! returned cells are lock-free atomics — hot paths register once and
+//! hold the handle. Names must be consistent per kind: re-registering a
+//! name as a different metric kind yields a *detached* cell that records
+//! normally but is never exported, so a wiring mistake degrades to a
+//! silent no-op instead of a panic in the serving path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot, DEFAULT_LATENCY_BOUNDS};
+
+/// A label set: key/value pairs kept sorted by key for deterministic
+/// identity and export ordering.
+pub type Labels = Vec<(String, String)>;
+
+/// Normalises a label slice into the canonical sorted representation.
+fn canonical_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut owned: Labels = labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    owned.sort();
+    owned
+}
+
+/// A monotonically increasing counter cell. Saturates at `u64::MAX`
+/// instead of wrapping, so a long-lived process can never report a
+/// counter going backwards.
+#[derive(Debug, Default)]
+pub struct CounterCell {
+    value: AtomicU64,
+}
+
+impl CounterCell {
+    /// Adds `delta`, saturating at `u64::MAX`.
+    pub fn add(&self, delta: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(delta);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge cell: an `f64` that can move in either direction, stored as
+/// `AtomicU64` bits.
+#[derive(Debug)]
+pub struct GaugeCell {
+    bits: AtomicU64,
+}
+
+impl Default for GaugeCell {
+    fn default() -> Self {
+        Self { bits: AtomicU64::new(0.0f64.to_bits()) }
+    }
+}
+
+impl GaugeCell {
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative deltas decrement) via a CAS loop.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric cell, tagged by kind.
+#[derive(Debug)]
+enum RegisteredMetric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A frozen, export-ready copy of every metric in a registry, already in
+/// deterministic `(name, labels)` order.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counters as `(name, labels, value)`.
+    pub counters: Vec<(String, Labels, u64)>,
+    /// Gauges as `(name, labels, value)`.
+    pub gauges: Vec<(String, Labels, f64)>,
+    /// Histograms as `(name, labels, snapshot)`.
+    pub histograms: Vec<(String, Labels, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// True when the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// A registry of named metric cells with deterministic snapshot ordering.
+///
+/// # Example
+///
+/// ```
+/// use decamouflage_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// registry.counter("decam_demo_total", &[("kind", "a")]).inc();
+/// registry.gauge("decam_demo_depth", &[]).set(3.0);
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counters[0].2, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<(String, Labels), RegisteredMetric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter cell for `(name, labels)`, creating it on
+    /// first use. If the key already names a different metric kind, a
+    /// detached (never exported) cell is returned instead.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<CounterCell> {
+        let key = (name.to_string(), canonical_labels(labels));
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(key)
+            .or_insert_with(|| RegisteredMetric::Counter(Arc::new(CounterCell::default())))
+        {
+            RegisteredMetric::Counter(cell) => Arc::clone(cell),
+            _ => Arc::new(CounterCell::default()),
+        }
+    }
+
+    /// Returns the gauge cell for `(name, labels)`, creating it on first
+    /// use. Kind mismatches yield a detached cell, as with
+    /// [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<GaugeCell> {
+        let key = (name.to_string(), canonical_labels(labels));
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(key)
+            .or_insert_with(|| RegisteredMetric::Gauge(Arc::new(GaugeCell::default())))
+        {
+            RegisteredMetric::Gauge(cell) => Arc::clone(cell),
+            _ => Arc::new(GaugeCell::default()),
+        }
+    }
+
+    /// Returns the histogram for `(name, labels)`, creating it with the
+    /// default latency bounds on first use. Kind mismatches yield a
+    /// detached histogram, as with [`MetricsRegistry::counter`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = (name.to_string(), canonical_labels(labels));
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics.entry(key).or_insert_with(|| {
+            RegisteredMetric::Histogram(Arc::new(Histogram::new(&DEFAULT_LATENCY_BOUNDS)))
+        }) {
+            RegisteredMetric::Histogram(cell) => Arc::clone(cell),
+            _ => Arc::new(Histogram::new(&DEFAULT_LATENCY_BOUNDS)),
+        }
+    }
+
+    /// Takes a deterministic snapshot of every registered metric, sorted
+    /// by `(name, labels)` — the input to both exporters.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snapshot = RegistrySnapshot::default();
+        for ((name, labels), metric) in metrics.iter() {
+            match metric {
+                RegisteredMetric::Counter(cell) => {
+                    snapshot.counters.push((name.clone(), labels.clone(), cell.value()));
+                }
+                RegisteredMetric::Gauge(cell) => {
+                    snapshot.gauges.push((name.clone(), labels.clone(), cell.value()));
+                }
+                RegisteredMetric::Histogram(cell) => {
+                    snapshot.histograms.push((name.clone(), labels.clone(), cell.snapshot()));
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_cells_are_shared_per_key() {
+        let registry = MetricsRegistry::new();
+        registry.counter("decam_x_total", &[("k", "v")]).inc();
+        registry.counter("decam_x_total", &[("k", "v")]).add(2);
+        assert_eq!(registry.counter("decam_x_total", &[("k", "v")]).value(), 3);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let registry = MetricsRegistry::new();
+        registry.counter("decam_x_total", &[("a", "1"), ("b", "2")]).inc();
+        registry.counter("decam_x_total", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(registry.snapshot().counters.len(), 1);
+        assert_eq!(registry.snapshot().counters[0].2, 2);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_cell() {
+        let registry = MetricsRegistry::new();
+        registry.counter("decam_clash", &[]).inc();
+        let gauge = registry.gauge("decam_clash", &[]);
+        gauge.set(42.0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters.len(), 1);
+        assert_eq!(snapshot.counters[0].2, 1);
+        assert!(snapshot.gauges.is_empty(), "detached gauge must not be exported");
+    }
+
+    #[test]
+    fn gauge_add_and_dec() {
+        let registry = MetricsRegistry::new();
+        let gauge = registry.gauge("decam_depth", &[]);
+        gauge.inc();
+        gauge.inc();
+        gauge.dec();
+        gauge.add(0.5);
+        assert!((gauge.value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_order_is_name_then_labels() {
+        let registry = MetricsRegistry::new();
+        registry.counter("decam_b_total", &[]).inc();
+        registry.counter("decam_a_total", &[("m", "z")]).inc();
+        registry.counter("decam_a_total", &[("m", "a")]).inc();
+        let names: Vec<_> = registry
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(name, labels, _)| (name.clone(), labels.clone()))
+            .collect();
+        assert_eq!(names[0].0, "decam_a_total");
+        assert_eq!(names[0].1, vec![("m".to_string(), "a".to_string())]);
+        assert_eq!(names[1].1, vec![("m".to_string(), "z".to_string())]);
+        assert_eq!(names[2].0, "decam_b_total");
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let cell = CounterCell::default();
+        cell.add(u64::MAX - 1);
+        cell.add(5);
+        assert_eq!(cell.value(), u64::MAX);
+        cell.inc();
+        assert_eq!(cell.value(), u64::MAX);
+    }
+}

@@ -1,0 +1,113 @@
+//! Exporter determinism and Prometheus round-trip guarantees: the same
+//! frozen registry always renders byte-identically, and everything the
+//! exporter emits is accepted by the strict in-tree parser with all
+//! declared metrics present.
+
+use decamouflage_telemetry::{
+    parse_prometheus_text, to_json, to_prometheus_text, FamilyKind, MetricsRegistry, Telemetry,
+};
+
+/// Builds a registry resembling a real run: pipeline counters, pool
+/// gauges, and per-stage latency histograms with awkward label values.
+fn populated_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    registry.counter("decam_engine_scored_total", &[]).add(128);
+    registry.counter("decam_engine_quarantined_total", &[("fault", "non-finite-pixel")]).add(3);
+    registry.counter("decam_engine_quarantined_total", &[("fault", "panic")]).inc();
+    registry.counter("decam_pool_jobs_total", &[]).add(512);
+    registry.gauge("decam_pool_queue_depth", &[]).set(0.0);
+    registry.gauge("decam_pool_workers", &[]).set(8.0);
+    for (stage, samples) in [
+        ("scale_round_trip", vec![0.0011, 0.0012, 0.0015]),
+        ("rank_filter", vec![0.0004, 0.00045]),
+        ("dft", vec![0.003, 0.0028, 0.0041, 0.0033]),
+    ] {
+        let histogram = registry.histogram("decam_engine_stage_seconds", &[("stage", stage)]);
+        for sample in samples {
+            histogram.record(sample);
+        }
+    }
+    for method in ["scaling/mse", "filtering/ssim", "steganalysis/csp"] {
+        let histogram = registry.histogram("decam_method_score_seconds", &[("method", method)]);
+        histogram.record(0.002);
+    }
+    registry
+}
+
+#[test]
+fn prometheus_export_is_byte_stable_across_renders() {
+    let registry = populated_registry();
+    let renders: Vec<String> = (0..3).map(|_| to_prometheus_text(&registry.snapshot())).collect();
+    assert_eq!(renders[0], renders[1]);
+    assert_eq!(renders[1], renders[2]);
+}
+
+#[test]
+fn json_export_is_byte_stable_across_renders() {
+    let registry = populated_registry();
+    let a = to_json(&registry.snapshot());
+    let b = to_json(&registry.snapshot());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn exports_carry_no_timestamps() {
+    // The exposition format would append a trailing integer timestamp
+    // after the value; our lines are exactly `name[labels] value`.
+    let text = to_prometheus_text(&populated_registry().snapshot());
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let fields: Vec<&str> = line.split(' ').collect();
+        assert_eq!(fields.len(), 2, "unexpected extra field (timestamp?) in {line:?}");
+    }
+}
+
+#[test]
+fn exported_text_round_trips_through_the_strict_parser() {
+    let registry = populated_registry();
+    let text = to_prometheus_text(&registry.snapshot());
+    let parsed = parse_prometheus_text(&text).expect("exporter output must satisfy the parser");
+
+    // Every family the registry holds is declared and carries samples.
+    for name in [
+        "decam_engine_scored_total",
+        "decam_engine_quarantined_total",
+        "decam_pool_jobs_total",
+        "decam_pool_queue_depth",
+        "decam_pool_workers",
+        "decam_engine_stage_seconds",
+        "decam_method_score_seconds",
+    ] {
+        assert!(parsed.has_family(name), "missing family {name}");
+    }
+    assert_eq!(parsed.families["decam_engine_stage_seconds"].kind, FamilyKind::Histogram);
+    assert_eq!(parsed.sample_value("decam_engine_scored_total", &[]), Some(128.0));
+    assert_eq!(
+        parsed.sample_value("decam_engine_quarantined_total", &[("fault", "panic")]),
+        Some(1.0)
+    );
+    assert_eq!(parsed.sample_value("decam_pool_workers", &[]), Some(8.0));
+}
+
+#[test]
+fn parsed_family_count_matches_registry() {
+    let registry = populated_registry();
+    let snapshot = registry.snapshot();
+    let distinct_names: std::collections::BTreeSet<&str> = snapshot
+        .counters
+        .iter()
+        .map(|(name, _, _)| name.as_str())
+        .chain(snapshot.gauges.iter().map(|(name, _, _)| name.as_str()))
+        .chain(snapshot.histograms.iter().map(|(name, _, _)| name.as_str()))
+        .collect();
+    let parsed = parse_prometheus_text(&to_prometheus_text(&snapshot)).expect("round trip");
+    assert_eq!(parsed.family_names().len(), distinct_names.len());
+}
+
+#[test]
+fn telemetry_handle_exports_match_direct_exports() {
+    let telemetry = Telemetry::enabled();
+    telemetry.counter("decam_demo_total", &[]).add(4);
+    let registry = telemetry.registry().expect("enabled").clone();
+    assert_eq!(telemetry.prometheus_text().unwrap(), to_prometheus_text(&registry.snapshot()));
+    assert_eq!(telemetry.json().unwrap(), to_json(&registry.snapshot()));
+}

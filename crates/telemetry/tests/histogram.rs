@@ -1,0 +1,153 @@
+//! Histogram edge-case coverage: empty snapshots, single samples,
+//! counter saturation, merges whose samples occupy disjoint bucket
+//! ranges, and quantile monotonicity as a property test.
+
+use decamouflage_telemetry::registry::CounterCell;
+use decamouflage_telemetry::{Histogram, HistogramSnapshot, DEFAULT_LATENCY_BOUNDS};
+use proptest::prelude::*;
+
+#[test]
+fn empty_snapshot_has_no_quantiles_and_zero_moments() {
+    let snapshot = Histogram::latency_seconds().snapshot();
+    assert_eq!(snapshot.count(), 0);
+    assert_eq!(snapshot.sum(), 0.0);
+    assert_eq!(snapshot.mean(), 0.0);
+    assert_eq!(snapshot.stddev(), 0.0);
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(snapshot.quantile(q), None, "quantile({q}) on empty snapshot");
+    }
+    assert!(snapshot.bucket_counts().iter().all(|&c| c == 0));
+}
+
+#[test]
+fn single_sample_dominates_every_quantile() {
+    let histogram = Histogram::latency_seconds();
+    histogram.record(0.0033);
+    let snapshot = histogram.snapshot();
+    assert_eq!(snapshot.count(), 1);
+    assert_eq!(snapshot.mean(), 0.0033);
+    assert_eq!(snapshot.stddev(), 0.0);
+    // Every quantile lands on the one occupied bucket's upper bound.
+    for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(snapshot.quantile(q), Some(0.005), "quantile({q})");
+    }
+}
+
+#[test]
+fn single_overflow_sample_reports_infinite_quantile() {
+    let histogram = Histogram::new(&[1.0]);
+    histogram.record(50.0);
+    let snapshot = histogram.snapshot();
+    assert_eq!(snapshot.quantile(0.5), Some(f64::INFINITY));
+}
+
+#[test]
+fn counter_saturates_at_max_instead_of_wrapping() {
+    let cell = CounterCell::default();
+    cell.add(u64::MAX - 2);
+    cell.add(10);
+    assert_eq!(cell.value(), u64::MAX);
+    cell.inc();
+    assert_eq!(cell.value(), u64::MAX, "increment past MAX must saturate");
+}
+
+#[test]
+fn merge_of_disjoint_bucket_ranges_preserves_everything() {
+    // Same layout, samples confined to disjoint bucket ranges: `low`
+    // only fills the microsecond buckets, `high` only the >100ms ones.
+    let low = Histogram::latency_seconds();
+    for v in [1.5e-6, 3e-6, 8e-6] {
+        low.record(v);
+    }
+    let high = Histogram::latency_seconds();
+    for v in [0.15, 0.4, 3.0, 20.0] {
+        high.record(v);
+    }
+    let merged = low.snapshot().merge(&high.snapshot()).expect("same bounds must merge");
+    assert_eq!(merged.count(), 7);
+    let expected_sum = 1.5e-6 + 3e-6 + 8e-6 + 0.15 + 0.4 + 3.0 + 20.0;
+    assert!((merged.sum() - expected_sum).abs() < 1e-12);
+    // Bucket-wise the merge is the union: no bucket lost, none doubled.
+    let lows = low.snapshot();
+    let highs = high.snapshot();
+    for (index, &count) in merged.bucket_counts().iter().enumerate() {
+        assert_eq!(count, lows.bucket_counts()[index] + highs.bucket_counts()[index]);
+    }
+    // Low quantiles come from `low`'s range, high ones from `high`'s.
+    assert!(merged.quantile(0.2).unwrap() <= 1e-5);
+    assert!(merged.quantile(0.9).unwrap() >= 0.2);
+}
+
+#[test]
+fn merge_rejects_mismatched_layouts() {
+    let a = Histogram::new(&[1.0, 2.0]).snapshot();
+    let b = Histogram::new(&[1.0, 3.0]).snapshot();
+    assert!(a.merge(&b).is_err());
+}
+
+#[test]
+fn merge_is_commutative() {
+    let a = Histogram::latency_seconds();
+    a.record(0.002);
+    let b = Histogram::latency_seconds();
+    b.record(0.7);
+    let ab = a.snapshot().merge(&b.snapshot()).unwrap();
+    let ba = b.snapshot().merge(&a.snapshot()).unwrap();
+    assert_eq!(ab, ba);
+}
+
+fn snapshot_of(samples: &[f64]) -> HistogramSnapshot {
+    let histogram = Histogram::new(&DEFAULT_LATENCY_BOUNDS);
+    for &sample in samples {
+        histogram.record(sample);
+    }
+    histogram.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in proptest::collection::vec(1e-7f64..20.0, 1..64),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let snapshot = snapshot_of(&samples);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let at_lo = snapshot.quantile(lo).expect("non-empty");
+        let at_hi = snapshot.quantile(hi).expect("non-empty");
+        prop_assert!(
+            at_lo <= at_hi,
+            "quantile({lo}) = {at_lo} > quantile({hi}) = {at_hi}"
+        );
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_samples(
+        samples in proptest::collection::vec(1e-7f64..20.0, 1..64),
+    ) {
+        let snapshot = snapshot_of(&samples);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let q0 = snapshot.quantile(0.0).expect("non-empty");
+        let q1 = snapshot.quantile(1.0).expect("non-empty");
+        // The top quantile's bucket bound sits at or above the true max;
+        // the bottom quantile can never exceed the top.
+        prop_assert!(q1 >= max || q1 == f64::INFINITY);
+        prop_assert!(q0 <= q1);
+    }
+
+    #[test]
+    fn merge_agrees_with_recording_everything_into_one(
+        first in proptest::collection::vec(1e-7f64..20.0, 0..32),
+        second in proptest::collection::vec(1e-7f64..20.0, 0..32),
+    ) {
+        let merged = snapshot_of(&first).merge(&snapshot_of(&second)).expect("same bounds");
+        let mut all = first.clone();
+        all.extend_from_slice(&second);
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(merged.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.sum() - direct.sum()).abs() < 1e-9);
+    }
+}

@@ -1,10 +1,11 @@
 //! `decamouflage` — command-line front end for the detection framework.
 //!
 //! ```text
-//! decamouflage check <image> --target WxH [--thresholds FILE]
-//! decamouflage scan <dir> --target WxH [--thresholds FILE]
+//! decamouflage check <image> --target WxH [--thresholds FILE] [--metrics-out FILE]
+//! decamouflage scan <dir> --target WxH [--thresholds FILE] [--metrics-out FILE]
 //! decamouflage craft <original> <target-image> -o <attack-out>
 //! decamouflage calibrate --benign DIR --attack DIR --target WxH -o thresholds.txt
+//! decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]
 //! ```
 //!
 //! Images are PGM/PPM or 24-bit BMP (chosen by extension). `check` exits
@@ -12,6 +13,12 @@
 //! scriptable as a pre-ingestion filter. `scan` triages a whole directory
 //! (the paper's offline data-poisoning use case) and exits 2 if anything
 //! was flagged.
+//!
+//! `--metrics-out FILE` enables telemetry for the run and writes the
+//! final metric state to `FILE` on exit — Prometheus text exposition by
+//! default, JSON when the path ends in `.json`. `stats` exercises the
+//! full pipeline on a synthetic corpus and emits the same exposition,
+//! handy for wiring dashboards before real traffic exists.
 
 use decamouflage::detection::calibrate::calibrate_whitebox;
 use decamouflage::detection::ensemble::{DegradePolicy, Ensemble};
@@ -22,6 +29,7 @@ use decamouflage::detection::{
 use decamouflage::imaging::codec::{read_bmp_file, read_pnm_file, write_bmp_file, write_pnm_file};
 use decamouflage::imaging::scale::{ScaleAlgorithm, Scaler};
 use decamouflage::imaging::{Image, Size};
+use decamouflage::telemetry::Telemetry;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -32,6 +40,7 @@ fn main() -> ExitCode {
         Some("scan") => cmd_scan(&args[1..]),
         Some("craft") => cmd_craft(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -50,15 +59,39 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  decamouflage check <image> --target WxH [--thresholds FILE] [--degrade MODE]\n  \
-         decamouflage scan <dir> --target WxH [--thresholds FILE] [--degrade MODE]\n  \
+        "usage:\n  decamouflage check <image> --target WxH [--thresholds FILE] [--degrade MODE] [--metrics-out FILE]\n  \
+         decamouflage scan <dir> --target WxH [--thresholds FILE] [--degrade MODE] [--metrics-out FILE]\n  \
          decamouflage craft <original> <target-image> -o <attack-out>\n  \
-         decamouflage calibrate --benign DIR --attack DIR --target WxH -o FILE\n\n\
+         decamouflage calibrate --benign DIR --attack DIR --target WxH -o FILE\n  \
+         decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]\n\n\
          Images: .pgm/.ppm/.pnm or .bmp. `check`/`scan` exit 0 = benign, 2 = attack(s) found.\n\
          --degrade: what to do when an ensemble voter cannot score an image —\n  \
          strict (default: report an error), majority (majority of the remaining voters),\n  \
-         fail-closed (flag the image as an attack)."
+         fail-closed (flag the image as an attack).\n\
+         --metrics-out: record telemetry during the run and write it to FILE on exit\n  \
+         (Prometheus text; JSON when FILE ends in .json).\n\
+         stats: run the pipeline on a synthetic corpus and emit its telemetry."
     );
+}
+
+/// Installs (idempotently) and returns the process-global telemetry
+/// handle, enabled. Must run before the ensemble/engine is built so
+/// their construction picks the enabled handle up.
+fn enable_metrics() -> Telemetry {
+    let _ = decamouflage::telemetry::install_global(Telemetry::enabled());
+    decamouflage::telemetry::global()
+}
+
+/// Writes the final metric state to `path`: JSON when the extension is
+/// `.json`, Prometheus text exposition otherwise.
+fn write_metrics(telemetry: &Telemetry, path: &str) -> Result<(), String> {
+    let output = if path.to_ascii_lowercase().ends_with(".json") {
+        telemetry.json()
+    } else {
+        telemetry.prometheus_text()
+    };
+    let output = output.ok_or("telemetry is not enabled")?;
+    std::fs::write(path, output).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn read_image(path: &str) -> Result<Image, String> {
@@ -149,6 +182,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                 && Some(a.as_str()) != flag_value(args, "--target")
                 && Some(a.as_str()) != flag_value(args, "--thresholds")
                 && Some(a.as_str()) != flag_value(args, "--degrade")
+                && Some(a.as_str()) != flag_value(args, "--metrics-out")
         })
         .ok_or("check needs an image path")?;
     let target = parse_size(flag_value(args, "--target").ok_or("check needs --target WxH")?)?;
@@ -156,7 +190,14 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
         None => default_thresholds(),
     };
-    let image = read_image(image_path)?;
+    // Telemetry must be live before the ensemble is built — construction
+    // captures the process-global handle.
+    let metrics_out = flag_value(args, "--metrics-out");
+    let telemetry = if metrics_out.is_some() { enable_metrics() } else { Telemetry::disabled() };
+    let image = {
+        let _decode = telemetry.span("decam_engine_stage_seconds", &[("stage", "decode")]);
+        read_image(image_path)?
+    };
     let ensemble = build_ensemble(target, &thresholds, parse_degrade(args)?)?;
     let decision = ensemble.decide(&image).map_err(|e| e.to_string())?;
     for (member, vote) in &decision.votes {
@@ -164,6 +205,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     }
     for (member, reason) in &decision.unavailable {
         println!("{member}: unavailable ({reason})");
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(&telemetry, path)?;
     }
     if decision.is_attack {
         println!("{image_path}: ATTACK (majority vote)");
@@ -266,6 +310,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
                 && Some(a.as_str()) != flag_value(args, "--target")
                 && Some(a.as_str()) != flag_value(args, "--thresholds")
                 && Some(a.as_str()) != flag_value(args, "--degrade")
+                && Some(a.as_str()) != flag_value(args, "--metrics-out")
         })
         .ok_or("scan needs a directory path")?;
     let target = parse_size(flag_value(args, "--target").ok_or("scan needs --target WxH")?)?;
@@ -273,6 +318,11 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
         None => default_thresholds(),
     };
+    // Telemetry must be live before the ensemble is built — construction
+    // captures the process-global handle.
+    let metrics_out = flag_value(args, "--metrics-out");
+    let telemetry = if metrics_out.is_some() { enable_metrics() } else { Telemetry::disabled() };
+    let decode_seconds = telemetry.histogram("decam_engine_stage_seconds", &[("stage", "decode")]);
     let ensemble = build_ensemble(target, &thresholds, parse_degrade(args)?)?;
 
     let mut paths: Vec<_> = std::fs::read_dir(dir)
@@ -295,7 +345,11 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
     let mut quarantined = 0usize;
     for path in &paths {
         let shown = path.display();
-        match read_image(&shown.to_string()) {
+        let decoded = {
+            let _decode = decode_seconds.span();
+            read_image(&shown.to_string())
+        };
+        match decoded {
             Err(message) => {
                 unreadable += 1;
                 println!("unreadable  {shown}: {message}");
@@ -321,5 +375,105 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         paths.len(),
         paths.len() - flagged - quarantined - unreadable
     );
+    if let Some(out) = metrics_out {
+        write_metrics(&telemetry, out)?;
+    }
     Ok(if flagged > 0 { ExitCode::from(2) } else { ExitCode::SUCCESS })
+}
+
+/// Exercises the full detection pipeline — engine stages, quarantine,
+/// worker pool, ensemble votes, monitor counters — on a deterministic
+/// synthetic corpus and emits the resulting telemetry. The output is a
+/// complete, stable exposition of every metric family the pipeline can
+/// produce, so dashboards and scrape configs can be validated before any
+/// real traffic exists.
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    use decamouflage::detection::engine::DetectionEngine;
+    use decamouflage::detection::monitor::DetectionMonitor;
+    use decamouflage::detection::Direction;
+
+    let target = match flag_value(args, "--target") {
+        Some(raw) => parse_size(raw)?,
+        None => Size::square(16),
+    };
+    let count: usize = match flag_value(args, "--count") {
+        Some(raw) => raw.parse().map_err(|_| format!("bad --count value {raw:?}"))?,
+        None => 4,
+    };
+    if count == 0 {
+        return Err("--count must be >= 1".into());
+    }
+    let out = flag_value(args, "-o").or_else(|| flag_value(args, "--out"));
+    let format = match flag_value(args, "--format") {
+        Some(f @ ("prometheus" | "json")) => f,
+        Some(other) => return Err(format!("unknown --format {other:?} (prometheus, json)")),
+        // With no explicit format the output file's extension decides.
+        None if out.is_some_and(|p| p.to_ascii_lowercase().ends_with(".json")) => "json",
+        None => "prometheus",
+    };
+
+    let telemetry = enable_metrics();
+    let side = 4 * target.width.max(target.height).max(8);
+    let benign = |i: u64| {
+        Image::from_fn_gray(side, side, move |x, y| {
+            (120.0 + 60.0 * ((x as f64 + i as f64) * 0.07).sin() + 40.0 * (y as f64 * 0.05).cos())
+                .round()
+        })
+    };
+    let attack = |i: u64| {
+        Image::from_fn_gray(side, side, move |x, y| {
+            ((x * 13 + y * 7 + i as usize * 3) % 251) as f64
+        })
+    };
+
+    // Engine: a parallel resilient batch (stage/method latencies, pool
+    // counters) plus one undersized input through the quarantine path.
+    let engine = DetectionEngine::new(target);
+    let outcome = engine.score_corpus_resilient(benign, attack, count, 2);
+    let counts = outcome.counts();
+    let _ = engine.score_resilient(&Image::from_fn_gray(2, 2, |_, _| 10.0));
+
+    // Ensemble: every decision records votes and verdict counters.
+    let ensemble = build_ensemble(target, &default_thresholds(), DegradePolicy::Strict)?;
+    for i in 0..count as u64 {
+        ensemble.decide(&benign(i)).map_err(|e| e.to_string())?;
+        ensemble.decide(&attack(i)).map_err(|e| e.to_string())?;
+    }
+
+    // Monitor: screening counters and rolling-window gauges.
+    let detector = ScalingDetector::new(target, ScaleAlgorithm::Bilinear, MetricKind::Mse);
+    let mut monitor = DetectionMonitor::new(
+        detector,
+        Threshold::new(400.0, Direction::AboveIsAttack),
+        100.0,
+        50.0,
+        count.max(4),
+        3.0,
+    )
+    .map_err(|e| e.to_string())?;
+    for i in 0..count as u64 {
+        monitor.screen(&benign(i)).map_err(|e| e.to_string())?;
+    }
+
+    eprintln!(
+        "exercised {} engine slots ({} scored, {} quarantined), {} ensemble decisions, {} screens",
+        2 * count + 1,
+        counts.scored,
+        counts.quarantined + 1,
+        2 * count,
+        count
+    );
+    let output = match format {
+        "json" => telemetry.json(),
+        _ => telemetry.prometheus_text(),
+    }
+    .ok_or("telemetry is not enabled")?;
+    match out {
+        Some(path) => {
+            std::fs::write(path, output).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{output}"),
+    }
+    Ok(ExitCode::SUCCESS)
 }

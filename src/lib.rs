@@ -15,7 +15,9 @@
 //! * [`datasets`] — seeded synthetic corpora standing in for the paper's
 //!   datasets,
 //! * [`detection`] — the Decamouflage framework itself: three detectors,
-//!   threshold calibration, majority-vote ensemble, evaluation pipeline.
+//!   threshold calibration, majority-vote ensemble, evaluation pipeline,
+//! * [`telemetry`] — dependency-free metrics: counters, gauges, latency
+//!   histograms, RAII stage timers, deterministic Prometheus/JSON export.
 //!
 //! # Quickstart
 //!
@@ -55,3 +57,4 @@ pub use decamouflage_datasets as datasets;
 pub use decamouflage_imaging as imaging;
 pub use decamouflage_metrics as metrics;
 pub use decamouflage_spectral as spectral;
+pub use decamouflage_telemetry as telemetry;

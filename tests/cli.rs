@@ -170,6 +170,84 @@ fn scan_triages_a_directory_and_exits_nonzero_on_findings() {
 }
 
 #[test]
+fn stats_emits_a_parseable_prometheus_exposition() {
+    let (code, stdout, stderr) = run(bin().arg("stats").args(["--target", "8x8", "--count", "2"]));
+    assert_eq!(code, 0, "stats failed: {stderr}");
+    let parsed = decamouflage::telemetry::parse_prometheus_text(&stdout)
+        .expect("stats output must satisfy the strict Prometheus parser");
+    for family in [
+        "decam_engine_score_seconds",
+        "decam_engine_stage_seconds",
+        "decam_method_score_seconds",
+        "decam_engine_scored_total",
+        "decam_engine_quarantined_total",
+        "decam_pool_jobs_total",
+        "decam_ensemble_votes_total",
+        "decam_ensemble_decisions_total",
+        "decam_monitor_screened_total",
+        "decam_monitor_window_mean",
+    ] {
+        assert!(parsed.has_family(family), "stats exposition lacks {family}:\n{stdout}");
+    }
+    // Determinism: a second run produces byte-identical counters and
+    // gauges (latency histogram samples differ, so compare those lines).
+    let (_, second, _) = run(bin().arg("stats").args(["--target", "8x8", "--count", "2"]));
+    let stable = |text: &str| {
+        text.lines()
+            .filter(|l| !l.contains("seconds"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(stable(&stdout), stable(&second), "stats counters must be deterministic");
+
+    // JSON output is inferred from the -o extension and is valid enough
+    // to contain the same counter.
+    let root = std::env::temp_dir().join("decamouflage-cli-test-stats");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let json_path = root.join("stats.json");
+    let (code, _, stderr) = run(bin()
+        .arg("stats")
+        .args(["--target", "8x8", "--count", "2"])
+        .args(["-o", json_path.to_str().unwrap()]));
+    assert_eq!(code, 0, "stats -o failed: {stderr}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"decam_engine_scored_total\""), "{json}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn scan_metrics_out_round_trips_through_the_parser() {
+    let root = fixtures("scan-metrics");
+    let metrics = root.join("metrics.prom");
+    let (code, stdout, stderr) = run(bin()
+        .arg("scan")
+        .arg(root.join("benign"))
+        .args(["--target", "16x16"])
+        .args(["--metrics-out", metrics.to_str().unwrap()]));
+    assert_eq!(code, 0, "clean scan failed: {stdout} {stderr}");
+
+    let text = std::fs::read_to_string(&metrics).expect("scan must write --metrics-out");
+    let parsed = decamouflage::telemetry::parse_prometheus_text(&text)
+        .expect("scan exposition must satisfy the strict Prometheus parser");
+    assert!(parsed.has_family("decam_ensemble_decisions_total"), "{text}");
+    assert!(parsed.has_family("decam_ensemble_votes_total"), "{text}");
+    assert_eq!(
+        parsed.sample_value("decam_ensemble_decisions_total", &[("verdict", "benign")]),
+        Some(3.0),
+        "one decision per scanned fixture:\n{text}"
+    );
+    // The decode stage is timed by the CLI itself, once per image.
+    let decode = text
+        .lines()
+        .find(|l| l.starts_with("decam_engine_stage_seconds_count{stage=\"decode\"}"))
+        .unwrap_or_else(|| panic!("no decode stage samples:\n{text}"));
+    assert!(decode.ends_with(" 3"), "expected 3 decode samples: {decode}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn scan_rejects_empty_directories() {
     let root = std::env::temp_dir().join("decamouflage-cli-test-scan-empty");
     let _ = std::fs::remove_dir_all(&root);
