@@ -21,6 +21,10 @@ echo "== metrics smoke: scan --metrics-out round-trips the parser =="
 cargo test --test cli -- stats_emits_a_parseable_prometheus_exposition \
     scan_metrics_out_round_trips_through_the_parser
 
+echo "== bounded-memory smoke: scan --chunk-size 1 over 64 images matches eager =="
+cargo test --test cli -- scan_chunk_size_one_matches_default_chunking
+cargo test -p decamouflage-core --test stream_equivalence
+
 echo "== cargo clippy =="
 cargo clippy --all-targets -- -D warnings
 

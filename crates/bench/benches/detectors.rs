@@ -14,7 +14,8 @@ use decamouflage_bench::corpus::{DetectorSet, MixedAttackGenerator};
 use decamouflage_core::ensemble::Ensemble;
 use decamouflage_core::parallel::default_threads;
 use decamouflage_core::{
-    Detector, Direction, EngineScores, MethodId, MetricKind, SteganalysisDetector, Threshold,
+    Detector, Direction, EngineScores, MethodId, MetricKind, SliceSource, SteganalysisDetector,
+    StreamConfig, Threshold,
 };
 use decamouflage_datasets::DatasetProfile;
 use decamouflage_imaging::{Image, Size};
@@ -202,6 +203,95 @@ fn run_throughput() -> Throughput {
     Throughput { corpus_images: images.len(), per_detector_s, cold_s, engine_s, batch_s, threads }
 }
 
+/// Ceiling on the streaming engine's overhead versus the eager batch
+/// path: chunked `score_stream` must stay within 2% of
+/// `score_corpus_resilient` on the same corpus.
+const STREAMING_OVERHEAD_LIMIT: f64 = 1.02;
+
+/// Chunk size for the streaming comparison — half the corpus, so the
+/// stream pays at least one real chunk boundary.
+const STREAMING_CHUNK_SIZE: usize = 32;
+
+/// Result of the streaming-vs-eager guardrail.
+struct StreamingOverhead {
+    /// Streaming-over-eager wall-time ratio (best of several attempts).
+    ratio: f64,
+    /// Streaming wall time of one corpus pass, seconds (best observed).
+    stream_s: f64,
+}
+
+/// The streaming tentpole's two hard guarantees, asserted on every bench
+/// run: chunked scoring is bit-identical to the eager batch (in stream
+/// order), and costs less than [`STREAMING_OVERHEAD_LIMIT`] over it.
+fn run_streaming_overhead() -> StreamingOverhead {
+    let profile = throughput_profile();
+    let generator = MixedAttackGenerator::new(profile.clone());
+    let detectors = DetectorSet::new(&profile);
+    let engine = detectors.engine();
+    let threads = default_threads();
+
+    let benign: Vec<Image> = (0..CORPUS_PER_CLASS as u64).map(|i| generator.benign(i)).collect();
+    let attack: Vec<Image> = (0..CORPUS_PER_CLASS as u64).map(|i| generator.attack(i)).collect();
+    let all: Vec<Image> = benign.iter().chain(attack.iter()).cloned().collect();
+    let config =
+        StreamConfig::default().with_chunk_size(STREAMING_CHUNK_SIZE).with_threads(threads);
+
+    // Bit-identity gate: the chunked stream must reproduce the eager
+    // batch exactly, slot by slot in stream order.
+    let outcome = engine.score_corpus_resilient(
+        |i| benign[i as usize].clone(),
+        |i| attack[i as usize].clone(),
+        CORPUS_PER_CLASS,
+        threads,
+    );
+    let eager: Vec<_> = outcome.benign.iter().chain(outcome.attack.iter()).collect();
+    let mut streamed = Vec::with_capacity(all.len());
+    engine.score_stream(&mut SliceSource::new(&all), &config, |_, result| streamed.push(result));
+    assert_eq!(streamed.len(), eager.len());
+    for (i, (s, e)) in streamed.iter().zip(eager.iter()).enumerate() {
+        let (s, e) = match (s, e) {
+            (Ok(s), Ok(e)) => (s, e),
+            other => panic!("slot {i} outcome diverged: {other:?}"),
+        };
+        for &id in MethodId::ALL {
+            assert_eq!(
+                s.get(id).to_bits(),
+                e.get(id).to_bits(),
+                "streaming perturbed {id} at slot {i}"
+            );
+        }
+    }
+
+    let repeats = 5;
+    let mut best_ratio = f64::INFINITY;
+    let mut best_stream_s = f64::INFINITY;
+    for _ in 0..TELEMETRY_OVERHEAD_ATTEMPTS {
+        let eager_s = time_pass(&all, repeats, |_| {
+            let _ = engine.score_corpus_resilient(
+                |i| benign[i as usize].clone(),
+                |i| attack[i as usize].clone(),
+                CORPUS_PER_CLASS,
+                threads,
+            );
+        });
+        let stream_s = time_pass(&all, repeats, |imgs| {
+            engine.score_stream(&mut SliceSource::new(imgs), &config, |_, result| {
+                let _ = result;
+            });
+        });
+        best_stream_s = best_stream_s.min(stream_s);
+        best_ratio = best_ratio.min(stream_s / eager_s);
+        if best_ratio < STREAMING_OVERHEAD_LIMIT {
+            break;
+        }
+    }
+    assert!(
+        best_ratio < STREAMING_OVERHEAD_LIMIT,
+        "streaming overhead {best_ratio:.4}x exceeds the {STREAMING_OVERHEAD_LIMIT}x budget"
+    );
+    StreamingOverhead { ratio: best_ratio, stream_s: best_stream_s }
+}
+
 /// Result of the telemetry overhead guardrail.
 struct TelemetryOverhead {
     /// Enabled-over-disabled wall-time ratio (best of several attempts).
@@ -280,7 +370,12 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_report(c: &Criterion, t: &Throughput, overhead: &TelemetryOverhead) {
+fn write_report(
+    c: &Criterion,
+    t: &Throughput,
+    overhead: &TelemetryOverhead,
+    stream: &StreamingOverhead,
+) {
     let n = t.corpus_images as f64;
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"detectors\",\n");
@@ -315,6 +410,15 @@ fn write_report(c: &Criterion, t: &Throughput, overhead: &TelemetryOverhead) {
         "  \"engine_batch\": {{\"us_per_image\": {:.2}, \"images_per_sec\": {:.2}}},\n",
         t.batch_s / n * 1e6,
         n / t.batch_s
+    ));
+    out.push_str(&format!(
+        "  \"engine_stream\": {{\"chunk_size\": {STREAMING_CHUNK_SIZE}, \
+         \"us_per_image\": {:.2}, \"images_per_sec\": {:.2}, \
+         \"overhead_vs_eager_ratio\": {:.4}, \"budget_ratio\": {STREAMING_OVERHEAD_LIMIT}, \
+         \"scores_bit_identical\": true}},\n",
+        stream.stream_s / n * 1e6,
+        n / stream.stream_s,
+        stream.ratio
     ));
     out.push_str(&format!("  \"speedup_engine_vs_cold\": {:.2},\n", t.cold_s / t.engine_s));
     out.push_str("  \"scores_bit_identical_to_naive_detectors\": true,\n");
@@ -363,11 +467,19 @@ fn main() {
         t.cold_s / t.engine_s
     );
 
+    println!("-- streaming overhead (chunked score_stream vs eager batch) --");
+    let stream = run_streaming_overhead();
+    println!(
+        "streaming overhead {:.4}x at chunk size {STREAMING_CHUNK_SIZE} \
+         (budget {STREAMING_OVERHEAD_LIMIT}x), scores bit-identical",
+        stream.ratio
+    );
+
     println!("-- telemetry overhead (fully instrumented engine vs silent) --");
     let overhead = run_telemetry_overhead();
     println!(
         "telemetry overhead {:.4}x (budget {TELEMETRY_OVERHEAD_LIMIT}x), scores bit-identical",
         overhead.ratio
     );
-    write_report(&c, &t, &overhead);
+    write_report(&c, &t, &overhead, &stream);
 }

@@ -4,9 +4,10 @@ use decamouflage_core::engine::EngineDetectors;
 use decamouflage_core::parallel::{default_threads, parallel_map_indices};
 use decamouflage_core::peak_excess::PeakExcessDetector;
 use decamouflage_core::pipeline::ScoredCorpus;
+use decamouflage_core::stream::ChunkDriver;
 use decamouflage_core::{
-    DetectionEngine, FilteringDetector, MethodId, MetricKind, ScalingDetector, ScoreError,
-    SteganalysisDetector,
+    DetectionEngine, FilteringDetector, FnSource, MethodId, MetricKind, ScalingDetector,
+    ScoreError, SteganalysisDetector, StreamConfig,
 };
 use decamouflage_datasets::{DatasetProfile, SampleGenerator};
 use decamouflage_imaging::scale::ScaleAlgorithm;
@@ -279,29 +280,48 @@ impl ExperimentContext {
     }
 }
 
-/// Scores a whole profile with every scorer in one pass per image. Benign
-/// and attack samples share a single `2 * count` fan-out over the worker
-/// pool, so the whole corpus is one batch.
+/// Scores a whole profile with every scorer in one pass per image. The
+/// corpus streams through the core [`ChunkDriver`] as one synthetic
+/// [`FnSource`] (benign indices first, then attacks), pulled as a single
+/// `2 * count` chunk so the whole corpus is still one fan-out over the
+/// worker pool.
 ///
 /// Each image is fault-isolated: a slot whose generation or scoring fails
 /// (or panics) is quarantined and dropped from every corpus, counted in
-/// [`ScoreSet::quarantined`], instead of aborting the whole profile.
+/// [`ScoreSet::quarantined`], instead of aborting the whole profile —
+/// generation panics are caught at pull time by the driver, scoring
+/// panics inside the fan-out.
 pub fn score_profile(profile: &DatasetProfile, config: HarnessConfig) -> ScoreSet {
     let detectors = DetectorSet::new(profile);
     let generator = MixedAttackGenerator::new(profile.clone());
 
     let count = config.count;
-    let mut rows = parallel_map_indices(2 * count, config.threads, |i| {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if i < count {
-                detectors.try_score_all(&generator.benign(i as u64))
-            } else {
-                detectors.try_score_all(&generator.attack((i - count) as u64))
-            }
-        }))
-        .unwrap_or_else(|payload| Err(ScoreError::panicked(i, payload)))
-        .map_err(|err| err.at_index(i))
+    let mut source = FnSource::new(2 * count, |i| {
+        if (i as usize) < count {
+            generator.benign(i)
+        } else {
+            generator.attack(i - count as u64)
+        }
     });
+    let stream_config = StreamConfig::default()
+        .with_chunk_size((2 * count).max(1))
+        .with_threads(config.threads)
+        .with_pool_capacity(0);
+    let telemetry = decamouflage_telemetry::global();
+    let mut driver = ChunkDriver::new(&mut source, &stream_config, &telemetry);
+    let mut rows: Vec<Result<[f64; SCORER_COUNT], ScoreError>> = Vec::with_capacity(2 * count);
+    while let Some(chunk) = driver.next_chunk() {
+        let scored = parallel_map_indices(chunk.len(), config.threads, |offset| {
+            let index = chunk.base() + offset;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                chunk.take(offset).and_then(|image| detectors.try_score_all(&image))
+            }))
+            .unwrap_or_else(|payload| Err(ScoreError::panicked(index, payload)))
+            .map_err(|err| err.at_index(index))
+        });
+        rows.extend(scored);
+        driver.finish_chunk();
+    }
     let attack_rows: Vec<Result<[f64; SCORER_COUNT], ScoreError>> = rows.split_off(count);
     let benign_rows: Vec<Result<[f64; SCORER_COUNT], ScoreError>> = rows;
 

@@ -22,10 +22,11 @@
 use crate::detector::Detector;
 use crate::engine::DetectionEngine;
 use crate::ensemble::EnsembleMember;
-use crate::method::ScoreVector;
+use crate::method::ScoreColumns;
 use crate::persist::ThresholdSet;
+use crate::stream::{ImageSource, SliceSource, StreamConfig};
 use crate::threshold::{percentile_blackbox, search_whitebox, Threshold};
-use crate::DetectError;
+use crate::{DetectError, ScoreError};
 use decamouflage_imaging::Image;
 
 /// Result of a white-box calibration run.
@@ -106,17 +107,48 @@ pub fn calibrated_member<D: Detector + 'static>(
     Ok(EnsembleMember::new(detector, calibration.threshold))
 }
 
-fn engine_score_all(
+/// Streams `source` through the engine, accumulating the per-method score
+/// columns in one pass and failing fast on the first quarantined position
+/// (in stream order) — the strict calibration contract.
+fn score_source_strict(
     engine: &DetectionEngine,
-    images: &[Image],
-) -> Result<Vec<ScoreVector>, DetectError> {
-    images.iter().map(|img| engine.score(img)).collect()
+    source: &mut dyn ImageSource,
+    config: &StreamConfig,
+) -> Result<ScoreColumns, DetectError> {
+    let mut columns = ScoreColumns::new(engine.methods());
+    let mut first_err: Option<ScoreError> = None;
+    engine.score_stream(source, config, |_, result| match result {
+        Ok(scores) if first_err.is_none() => columns.push(&scores),
+        Err(err) if first_err.is_none() => first_err = Some(err),
+        _ => {}
+    });
+    match first_err {
+        Some(err) => Err(err.into()),
+        None => Ok(columns),
+    }
+}
+
+/// Runs the white-box threshold search of every enabled engine method over
+/// pre-transposed score columns.
+fn search_column_set(
+    engine: &DetectionEngine,
+    benign: &ScoreColumns,
+    attacks: &ScoreColumns,
+) -> Result<ThresholdSet, DetectError> {
+    let mut set = ThresholdSet::new();
+    for id in engine.methods().iter() {
+        let search = search_whitebox(benign.column(id), attacks.column(id), id.direction())?;
+        set.insert(id, search.threshold);
+    }
+    Ok(set)
 }
 
 /// White-box calibration of **every enabled engine method** in one engine
-/// pass per image: each image is scored once, then each method's threshold
-/// comes from its own score column under its registry direction
-/// ([`crate::MethodId::direction`]).
+/// pass per image: each image is scored once, the per-method columns are
+/// accumulated in a single pass ([`ScoreColumns`]), and each method's
+/// threshold comes from its own column under its registry direction
+/// ([`crate::MethodId::direction`]). A facade over the streaming path with
+/// a slice-backed source.
 ///
 /// # Errors
 ///
@@ -126,16 +158,10 @@ pub fn calibrate_engine_whitebox(
     benign: &[Image],
     attacks: &[Image],
 ) -> Result<ThresholdSet, DetectError> {
-    let benign_scores = engine_score_all(engine, benign)?;
-    let attack_scores = engine_score_all(engine, attacks)?;
-    let mut set = ThresholdSet::new();
-    for id in engine.methods().iter() {
-        let b: Vec<f64> = benign_scores.iter().map(|s| s.get(id)).collect();
-        let a: Vec<f64> = attack_scores.iter().map(|s| s.get(id)).collect();
-        let search = search_whitebox(&b, &a, id.direction())?;
-        set.insert(id, search.threshold);
-    }
-    Ok(set)
+    let config = StreamConfig::default();
+    let benign_columns = score_source_strict(engine, &mut SliceSource::new(benign), &config)?;
+    let attack_columns = score_source_strict(engine, &mut SliceSource::new(attacks), &config)?;
+    search_column_set(engine, &benign_columns, &attack_columns)
 }
 
 /// A [`calibrate_engine_whitebox`] run that survived bad samples: the
@@ -157,28 +183,58 @@ impl ResilientCalibration {
     }
 }
 
-fn engine_score_resilient(
+/// Streams `source` through the engine resiliently: survivors accumulate
+/// into one-pass score columns, quarantined positions land in the ledger
+/// with their stream index.
+fn score_source_resilient(
     engine: &DetectionEngine,
-    images: &[Image],
-    quarantined: &mut Vec<(usize, crate::ScoreError)>,
-) -> Vec<ScoreVector> {
-    let mut scores = Vec::with_capacity(images.len());
-    for (index, image) in images.iter().enumerate() {
-        match engine.score_resilient(image) {
-            Ok(vector) => scores.push(vector),
-            Err(err) => quarantined.push((index, err.at_index(index))),
-        }
-    }
-    scores
+    source: &mut dyn ImageSource,
+    config: &StreamConfig,
+    quarantined: &mut Vec<(usize, ScoreError)>,
+) -> ScoreColumns {
+    let mut columns = ScoreColumns::new(engine.methods());
+    engine.score_stream(source, config, |index, result| match result {
+        Ok(scores) => columns.push(&scores),
+        Err(err) => quarantined.push((index, err)),
+    });
+    columns
+}
+
+/// White-box calibration over arbitrary [`ImageSource`]s with bounded
+/// memory: both streams are scored chunk by chunk
+/// ([`DetectionEngine::score_stream`]), survivors feed the one-pass score
+/// columns, and quarantined positions are collected with their stream
+/// index. This is the calibration entry point for corpora that do not fit
+/// in memory — directories stream through
+/// [`DirectorySource`](crate::stream::DirectorySource), synthetic corpora
+/// through [`FnSource`](crate::stream::FnSource).
+///
+/// # Errors
+///
+/// Returns [`DetectError::InvalidCalibration`] when either class has no
+/// surviving samples; propagates threshold-search errors.
+pub fn calibrate_engine_whitebox_sources(
+    engine: &DetectionEngine,
+    benign: &mut dyn ImageSource,
+    attacks: &mut dyn ImageSource,
+    config: &StreamConfig,
+) -> Result<ResilientCalibration, DetectError> {
+    let mut benign_quarantined = Vec::new();
+    let mut attack_quarantined = Vec::new();
+    let benign_columns = score_source_resilient(engine, benign, config, &mut benign_quarantined);
+    let attack_columns = score_source_resilient(engine, attacks, config, &mut attack_quarantined);
+    let thresholds = search_column_set(engine, &benign_columns, &attack_columns)?;
+    Ok(ResilientCalibration { thresholds, benign_quarantined, attack_quarantined })
 }
 
 /// White-box calibration that quarantines unusable samples instead of
-/// aborting: every image goes through
-/// [`DetectionEngine::score_resilient`], failures are collected with their
-/// sample index, and the threshold search runs on whatever survived. One
-/// corrupt file in a calibration corpus no longer costs the whole run —
-/// but inspect [`ResilientCalibration::quarantined`] before trusting the
-/// thresholds, because a heavily quarantined corpus is itself a signal.
+/// aborting: every image streams through the resilient scoring path,
+/// failures are collected with their sample index, and the threshold
+/// search runs on whatever survived. One corrupt file in a calibration
+/// corpus no longer costs the whole run — but inspect
+/// [`ResilientCalibration::quarantined`] before trusting the thresholds,
+/// because a heavily quarantined corpus is itself a signal. A facade over
+/// [`calibrate_engine_whitebox_sources`] with slice-backed sources.
 ///
 /// # Errors
 ///
@@ -189,18 +245,36 @@ pub fn calibrate_engine_whitebox_resilient(
     benign: &[Image],
     attacks: &[Image],
 ) -> Result<ResilientCalibration, DetectError> {
-    let mut benign_quarantined = Vec::new();
-    let mut attack_quarantined = Vec::new();
-    let benign_scores = engine_score_resilient(engine, benign, &mut benign_quarantined);
-    let attack_scores = engine_score_resilient(engine, attacks, &mut attack_quarantined);
+    calibrate_engine_whitebox_sources(
+        engine,
+        &mut SliceSource::new(benign),
+        &mut SliceSource::new(attacks),
+        &StreamConfig::default(),
+    )
+}
+
+/// Black-box calibration over an arbitrary benign [`ImageSource`] with
+/// bounded memory; strict — the first unscorable position aborts.
+///
+/// # Errors
+///
+/// Propagates scoring failures and calibration-input errors.
+pub fn calibrate_engine_blackbox_source(
+    engine: &DetectionEngine,
+    benign: &mut dyn ImageSource,
+    tail_percent: f64,
+    config: &StreamConfig,
+) -> Result<ThresholdSet, DetectError> {
+    let benign_columns = score_source_strict(engine, benign, config)?;
     let mut set = ThresholdSet::new();
     for id in engine.methods().iter() {
-        let b: Vec<f64> = benign_scores.iter().map(|s| s.get(id)).collect();
-        let a: Vec<f64> = attack_scores.iter().map(|s| s.get(id)).collect();
-        let search = search_whitebox(&b, &a, id.direction())?;
-        set.insert(id, search.threshold);
+        let threshold = match id.fixed_blackbox_threshold() {
+            Some(fixed) => fixed,
+            None => percentile_blackbox(benign_columns.column(id), tail_percent, id.direction())?,
+        };
+        set.insert(id, threshold);
     }
-    Ok(ResilientCalibration { thresholds: set, benign_quarantined, attack_quarantined })
+    Ok(set)
 }
 
 /// Black-box calibration of every enabled engine method from benign
@@ -208,6 +282,8 @@ pub fn calibrate_engine_whitebox_resilient(
 /// ([`crate::MethodId::fixed_blackbox_threshold`] — the paper's
 /// `CSP_T = 2`) keep it without touching the scores; every other method
 /// gets the `tail_percent` benign percentile under its registry direction.
+/// A facade over [`calibrate_engine_blackbox_source`] with a slice-backed
+/// source.
 ///
 /// # Errors
 ///
@@ -217,19 +293,12 @@ pub fn calibrate_engine_blackbox(
     benign: &[Image],
     tail_percent: f64,
 ) -> Result<ThresholdSet, DetectError> {
-    let benign_scores = engine_score_all(engine, benign)?;
-    let mut set = ThresholdSet::new();
-    for id in engine.methods().iter() {
-        let threshold = match id.fixed_blackbox_threshold() {
-            Some(fixed) => fixed,
-            None => {
-                let b: Vec<f64> = benign_scores.iter().map(|s| s.get(id)).collect();
-                percentile_blackbox(&b, tail_percent, id.direction())?
-            }
-        };
-        set.insert(id, threshold);
-    }
-    Ok(set)
+    calibrate_engine_blackbox_source(
+        engine,
+        &mut SliceSource::new(benign),
+        tail_percent,
+        &StreamConfig::default(),
+    )
 }
 
 #[cfg(test)]

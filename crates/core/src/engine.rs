@@ -43,6 +43,7 @@ use crate::peak_excess::PeakExcessDetector;
 use crate::persist::ThresholdSet;
 use crate::scaling::ScalingDetector;
 use crate::steganalysis::SteganalysisDetector;
+use crate::stream::{ChunkDriver, FnSource, ImageSource, StreamConfig, StreamSummary};
 use crate::threshold::Threshold;
 use crate::DetectError;
 use decamouflage_imaging::filter::{rank_filter, RankKind};
@@ -413,12 +414,14 @@ impl DetectionEngine {
         self
     }
 
-    /// Arms a deterministic [`FaultPlan`] on the resilient batch path:
-    /// [`DetectionEngine::score_corpus_resilient`] fires the plan entry
-    /// armed at each batch fan-out index *inside* the per-image isolation
-    /// boundary, so an injected panic travels the exact worker-pool →
-    /// `catch_unwind` → quarantine route a real deep panic would. The
-    /// fail-fast APIs and single-image scoring ignore the plan.
+    /// Arms a deterministic [`FaultPlan`] on the resilient batch and
+    /// stream paths: [`DetectionEngine::score_stream`] (and therefore
+    /// [`DetectionEngine::score_corpus_resilient`], its eager facade)
+    /// fires the plan entry armed at each stream/fan-out index *inside*
+    /// the per-image isolation boundary, so an injected panic travels the
+    /// exact worker-pool → `catch_unwind` → quarantine route a real deep
+    /// panic would. An armed fault outranks a failed pull at the same
+    /// index. The fail-fast APIs and single-image scoring ignore the plan.
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(plan));
@@ -716,33 +719,90 @@ impl DetectionEngine {
         attempt.inspect_err(|err| self.metrics.quarantined(&err.cause))
     }
 
-    /// One fault-isolated slot of a corpus fan-out: fires any armed fault,
-    /// builds the image, validates, scores — all inside one
-    /// `catch_unwind` boundary, so a panic anywhere in the slot (including
-    /// image construction) quarantines only that slot.
-    fn score_index_resilient(
+    /// One fault-isolated slot of a streamed fan-out: fires any armed
+    /// fault, unwraps the pulled item (the stream is sequential, so every
+    /// position — readable or not — consumes an index), validates and
+    /// scores, all inside one `catch_unwind` boundary; a panic anywhere in
+    /// the slot quarantines only that slot. The order — plan, item,
+    /// validation, scoring — mirrors the pre-streaming eager slot exactly,
+    /// which is what keeps streamed and eager scoring bit-identical.
+    /// Returns the image alongside the result so the caller can recycle
+    /// its buffer.
+    fn score_slot(
         &self,
         index: usize,
-        make_image: impl FnOnce() -> Image,
-    ) -> Result<ScoreVector, ScoreError> {
-        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<ScoreVector, ScoreError> {
+        pulled: Result<Image, ScoreError>,
+    ) -> (Result<ScoreVector, ScoreError>, Option<Image>) {
+        type Slot = (Result<ScoreVector, ScoreError>, Option<Image>);
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Slot {
             if let Some(plan) = &self.faults {
+                // The plan outranks pull failures, exactly as the eager
+                // path fires it before `make_image` runs.
                 match plan.get(index) {
                     Some(FaultKind::Panic) => panic!("injected panic at scoring index {index}"),
-                    Some(FaultKind::Error) => return Err(ScoreError::injected(index)),
-                    Some(FaultKind::NanScore) => return Ok(ScoreVector::splat(f64::NAN)),
+                    Some(FaultKind::Error) => {
+                        return (Err(ScoreError::injected(index)), pulled.ok())
+                    }
+                    Some(FaultKind::NanScore) => {
+                        return (Ok(ScoreVector::splat(f64::NAN)), pulled.ok())
+                    }
                     None => {}
                 }
             }
-            let image = make_image();
-            self.validate_image(&image).map_err(|err| err.at_index(index))?;
-            self.score(&image).map_err(|err| ScoreError::detect(index, err))
+            let image = match pulled {
+                Ok(image) => image,
+                Err(err) => return (Err(err.at_index(index)), None),
+            };
+            if let Err(err) = self.validate_image(&image) {
+                return (Err(err.at_index(index)), Some(image));
+            }
+            match self.score(&image) {
+                Ok(scores) => (Ok(scores), Some(image)),
+                Err(err) => (Err(ScoreError::detect(index, err)), Some(image)),
+            }
         }));
-        let result = match attempt {
-            Ok(result) => result,
-            Err(payload) => Err(ScoreError::panicked(index, payload)),
+        let (result, image) = match attempt {
+            Ok(slot) => slot,
+            Err(payload) => (Err(ScoreError::panicked(index, payload)), None),
         };
-        result.inspect_err(|err| self.metrics.quarantined(&err.cause))
+        (result.inspect_err(|err| self.metrics.quarantined(&err.cause)), image)
+    }
+
+    /// Bounded-memory streamed scoring: pulls `source` in chunks of
+    /// [`StreamConfig::chunk_size`] images, fans each chunk through the
+    /// worker pool with the same per-slot fault quarantine as
+    /// [`DetectionEngine::score_corpus_resilient`], recycles image buffers
+    /// through the driver's [`BufferPool`](crate::stream::BufferPool), and
+    /// feeds `consume` incrementally in stream order. At no point are more
+    /// than `chunk_size` decoded images (plus the bounded pool) resident,
+    /// regardless of corpus length — corpora larger than memory, or
+    /// unbounded upload streams, score in constant space.
+    ///
+    /// `consume(index, result)` is called once per stream position, in
+    /// order (chunk by chunk, ascending index within each chunk). Scores
+    /// are **bit-identical** to the eager batch path for any chunk size,
+    /// and quarantine errors carry the same stream indices — the
+    /// `stream_equivalence` property tests pin this down.
+    pub fn score_stream(
+        &self,
+        source: &mut dyn ImageSource,
+        config: &StreamConfig,
+        mut consume: impl FnMut(usize, Result<ScoreVector, ScoreError>),
+    ) -> StreamSummary {
+        let mut driver = ChunkDriver::new(source, config, &self.metrics.telemetry);
+        while let Some(chunk) = driver.next_chunk() {
+            let results = parallel_map_indices(chunk.len(), config.threads, |offset| {
+                self.score_slot(chunk.base() + offset, chunk.take(offset))
+            });
+            for (offset, (result, image)) in results.into_iter().enumerate() {
+                if let Some(image) = image {
+                    driver.recycle(image);
+                }
+                consume(chunk.base() + offset, result);
+            }
+            driver.finish_chunk();
+        }
+        driver.summary()
     }
 
     /// Fault-isolated batch scoring: the same single `2 * count` fan-out as
@@ -751,6 +811,11 @@ impl DetectionEngine {
     /// scoring errors and payload panics land in that slot's
     /// [`ScoreError`] while every other image scores normally. The batch
     /// itself never fails and the worker pool keeps serving.
+    ///
+    /// This is now a facade over [`DetectionEngine::score_stream`] with a
+    /// closure-backed source and a single `2 * count` chunk, so eager and
+    /// streamed scoring share one scoring path (and are bit-identical by
+    /// construction).
     pub fn score_corpus_resilient(
         &self,
         benign_of: impl Fn(u64) -> Image + Sync,
@@ -758,14 +823,22 @@ impl DetectionEngine {
         count: usize,
         threads: usize,
     ) -> BatchOutcome {
-        let mut results = parallel_map_indices(2 * count, threads, |i| {
-            self.score_index_resilient(i, || {
-                if i < count {
-                    benign_of(i as u64)
-                } else {
-                    attack_of((i - count) as u64)
-                }
-            })
+        let total = 2 * count;
+        let mut source = FnSource::new(total, |i| {
+            if (i as usize) < count {
+                benign_of(i)
+            } else {
+                attack_of(i - count as u64)
+            }
+        });
+        let config = StreamConfig::default()
+            .with_chunk_size(total.max(1))
+            .with_threads(threads)
+            .with_pool_capacity(0);
+        let mut results = Vec::with_capacity(total);
+        self.score_stream(&mut source, &config, |index, result| {
+            debug_assert_eq!(index, results.len(), "stream consumption is in order");
+            results.push(result);
         });
         let attack = results.split_off(count);
         BatchOutcome { benign: results, attack }

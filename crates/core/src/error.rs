@@ -116,6 +116,13 @@ pub enum ScoreFault {
     },
     /// A [`FaultPlan`](crate::faults::FaultPlan) fired at this index.
     Injected,
+    /// A stream source could not produce this item (e.g. a file that
+    /// failed to decode). The position is quarantined like any other
+    /// scoring failure; the stream keeps flowing.
+    Unreadable {
+        /// Human-readable description of the source failure.
+        message: String,
+    },
 }
 
 impl ScoreFault {
@@ -131,6 +138,7 @@ impl ScoreFault {
             Self::Detect(_) => "detect",
             Self::Panicked { .. } => "panic",
             Self::Injected => "injected",
+            Self::Unreadable { .. } => "unreadable",
         }
     }
 }
@@ -153,6 +161,7 @@ impl fmt::Display for ScoreFault {
             Self::Detect(err) => write!(f, "{err}"),
             Self::Panicked { message } => write!(f, "scoring panicked: {message}"),
             Self::Injected => write!(f, "injected fault"),
+            Self::Unreadable { message } => write!(f, "unreadable source item: {message}"),
         }
     }
 }

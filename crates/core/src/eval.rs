@@ -1,9 +1,11 @@
 //! Detection-quality evaluation: the five measures reported in every table
 //! of the paper (accuracy, precision, recall, FAR, FRR).
 
-use crate::engine::{BatchOutcome, EngineCorpus};
+use crate::engine::{BatchCounts, BatchOutcome, DetectionEngine, EngineCorpus};
 use crate::method::MethodId;
 use crate::persist::ThresholdSet;
+use crate::stream::{ImageSource, StreamConfig};
+use crate::threshold::Threshold;
 use crate::DetectError;
 
 /// Confusion-matrix counts with the paper's orientation: *positive* =
@@ -156,16 +158,70 @@ pub fn evaluate_batch_outcome(
     thresholds
         .iter()
         .map(|(id, t)| {
+            // Borrow the surviving score vectors directly rather than
+            // collecting a column per method.
             let decisions = outcome
-                .benign_column(id)
-                .into_iter()
-                .map(|score| (false, t.is_attack(score)))
+                .benign
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|s| (false, t.is_attack(s.get(id))))
                 .chain(
-                    outcome.attack_column(id).into_iter().map(|score| (true, t.is_attack(score))),
+                    outcome
+                        .attack
+                        .iter()
+                        .filter_map(|r| r.as_ref().ok())
+                        .map(|s| (true, t.is_attack(s.get(id)))),
                 );
             evaluate_decisions(decisions).map(|m| (id, m))
         })
         .collect()
+}
+
+/// Streaming per-method evaluation over arbitrary [`ImageSource`]s with
+/// bounded memory: both streams are scored chunk by chunk
+/// ([`DetectionEngine::score_stream`]) and every surviving score feeds the
+/// per-threshold confusion counts incrementally — no score column is ever
+/// materialised. Quarantined positions are skipped and tallied in the
+/// returned [`BatchCounts`], mirroring [`evaluate_batch_outcome`].
+///
+/// # Errors
+///
+/// Returns [`DetectError::InvalidCalibration`] when every streamed image
+/// was quarantined (no decisions remain).
+pub fn evaluate_engine_sources(
+    engine: &DetectionEngine,
+    thresholds: &ThresholdSet,
+    benign: &mut dyn ImageSource,
+    attacks: &mut dyn ImageSource,
+    config: &StreamConfig,
+) -> Result<(Vec<(MethodId, EvalMetrics)>, BatchCounts), DetectError> {
+    let entries: Vec<(MethodId, Threshold)> = thresholds.iter().collect();
+    let mut confusion = vec![ConfusionCounts::default(); entries.len()];
+    let mut counts = BatchCounts::default();
+    let mut tally = |source: &mut dyn ImageSource, truth: bool, quarantine_slot: &mut usize| {
+        engine.score_stream(source, config, |_, result| match result {
+            Ok(scores) => {
+                counts.scored += 1;
+                for ((id, t), c) in entries.iter().zip(confusion.iter_mut()) {
+                    c.record(truth, t.is_attack(scores.get(*id)));
+                }
+            }
+            Err(_) => *quarantine_slot += 1,
+        });
+    };
+    let mut benign_quarantined = 0;
+    let mut attack_quarantined = 0;
+    tally(benign, false, &mut benign_quarantined);
+    tally(attacks, true, &mut attack_quarantined);
+    counts.benign_quarantined = benign_quarantined;
+    counts.attack_quarantined = attack_quarantined;
+    counts.quarantined = benign_quarantined + attack_quarantined;
+    let rows = entries
+        .iter()
+        .zip(confusion.iter())
+        .map(|((id, _), c)| c.metrics().map(|m| (*id, m)))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((rows, counts))
 }
 
 #[cfg(test)]
@@ -292,6 +348,88 @@ mod tests {
         // Fully quarantined batches cannot be evaluated.
         let empty = BatchOutcome { benign: vec![quarantine()], attack: vec![quarantine()] };
         assert!(evaluate_batch_outcome(&empty, &thresholds).is_err());
+    }
+
+    #[test]
+    fn source_evaluation_matches_the_eager_batch_path() {
+        use crate::stream::SliceSource;
+        use crate::threshold::{Direction, Threshold};
+        use decamouflage_imaging::{Image, Size};
+
+        let benign: Vec<Image> = (0..3)
+            .map(|i| {
+                Image::from_fn_gray(16, 16, move |x, y| {
+                    (120.0 + 40.0 * ((x + y + i) as f64 * 0.06).sin()).round()
+                })
+            })
+            .collect();
+        let attack: Vec<Image> = (0..3)
+            .map(|i| {
+                Image::from_fn_gray(16, 16, move |x, y| ((x * 13 + y * 7 + i * 3) % 251) as f64)
+            })
+            .collect();
+        let mut thresholds = ThresholdSet::new();
+        thresholds.insert(MethodId::ScalingMse, Threshold::new(10.0, Direction::AboveIsAttack));
+        thresholds.insert(MethodId::Csp, Threshold::new(0.5, Direction::AboveIsAttack));
+
+        let engine = DetectionEngine::new(Size::square(8));
+        let config = StreamConfig::default().with_chunk_size(2).with_threads(2);
+        let (rows, counts) = evaluate_engine_sources(
+            &engine,
+            &thresholds,
+            &mut SliceSource::new(&benign),
+            &mut SliceSource::new(&attack),
+            &config,
+        )
+        .unwrap();
+
+        let outcome = engine.score_corpus_resilient(
+            |i| benign[i as usize].clone(),
+            |i| attack[i as usize].clone(),
+            benign.len(),
+            2,
+        );
+        assert_eq!(rows, evaluate_batch_outcome(&outcome, &thresholds).unwrap());
+        assert_eq!(counts.scored, 6);
+        assert_eq!(counts.quarantined, 0);
+    }
+
+    #[test]
+    fn source_evaluation_tallies_quarantined_slots_per_class() {
+        use crate::faults::{FaultKind, FaultPlan};
+        use crate::stream::SliceSource;
+        use crate::threshold::{Direction, Threshold};
+        use decamouflage_imaging::{Image, Size};
+
+        let images: Vec<Image> = (0..3)
+            .map(|i| {
+                Image::from_fn_gray(16, 16, move |x, y| {
+                    (120.0 + 40.0 * ((x + y + i) as f64 * 0.06).sin()).round()
+                })
+            })
+            .collect();
+        let mut thresholds = ThresholdSet::new();
+        thresholds.insert(MethodId::ScalingMse, Threshold::new(10.0, Direction::AboveIsAttack));
+
+        // Stream indices restart per source, so one armed slot quarantines
+        // position 1 of the benign stream *and* position 1 of the attack one.
+        let engine = DetectionEngine::new(Size::square(8))
+            .with_fault_plan(FaultPlan::new().with(1, FaultKind::Error));
+        let config = StreamConfig::default().with_chunk_size(2).with_threads(2);
+        let (rows, counts) = evaluate_engine_sources(
+            &engine,
+            &thresholds,
+            &mut SliceSource::new(&images),
+            &mut SliceSource::new(&images),
+            &config,
+        )
+        .unwrap();
+
+        assert_eq!(rows.len(), 1);
+        assert_eq!(counts.scored, 4);
+        assert_eq!(counts.quarantined, 2);
+        assert_eq!(counts.benign_quarantined, 1);
+        assert_eq!(counts.attack_quarantined, 1);
     }
 
     #[test]

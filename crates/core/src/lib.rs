@@ -67,6 +67,7 @@ pub mod report;
 pub mod roc;
 pub mod scaling;
 pub mod steganalysis;
+pub mod stream;
 pub mod threshold;
 
 pub use config::ModelInputSize;
@@ -78,8 +79,11 @@ pub use ensemble::{DegradePolicy, Ensemble};
 pub use error::{DetectError, ScoreError, ScoreFault};
 pub use eval::{evaluate_batch_outcome, evaluate_decisions, ConfusionCounts, EvalMetrics};
 pub use filtering::FilteringDetector;
-pub use method::{MethodId, MethodSet, ScoreVector};
+pub use method::{MethodId, MethodSet, ScoreColumns, ScoreVector};
 pub use peak_excess::PeakExcessDetector;
 pub use scaling::ScalingDetector;
 pub use steganalysis::SteganalysisDetector;
+pub use stream::{
+    BufferPool, DirectorySource, FnSource, ImageSource, SliceSource, StreamConfig, StreamSummary,
+};
 pub use threshold::{Direction, Threshold};

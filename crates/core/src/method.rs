@@ -375,6 +375,65 @@ impl FromIterator<MethodId> for MethodSet {
     }
 }
 
+/// Per-method score columns, filled in **one pass** over a sequence of
+/// [`ScoreVector`]s. Calibration, ROC and evaluation all need the scores
+/// of a corpus transposed method-wise; collecting a fresh `Vec<f64>` per
+/// method re-walks the corpus [`MethodId::COUNT`] times. A `ScoreColumns`
+/// walks it once — push each vector as it arrives (streamed scoring feeds
+/// it incrementally) and borrow the finished columns.
+#[derive(Debug, Clone)]
+pub struct ScoreColumns {
+    methods: MethodSet,
+    columns: [Vec<f64>; MethodId::COUNT],
+    rows: usize,
+}
+
+impl ScoreColumns {
+    /// Empty columns for the given methods.
+    pub fn new(methods: MethodSet) -> Self {
+        Self { methods, columns: std::array::from_fn(|_| Vec::new()), rows: 0 }
+    }
+
+    /// Transposes an already-materialised slice of score vectors.
+    pub fn from_vectors(methods: MethodSet, vectors: &[ScoreVector]) -> Self {
+        let mut columns = Self::new(methods);
+        for vector in vectors {
+            columns.push(vector);
+        }
+        columns
+    }
+
+    /// Appends one row: each tracked method's score, in a single
+    /// traversal of the vector.
+    pub fn push(&mut self, scores: &ScoreVector) {
+        for id in self.methods.iter() {
+            self.columns[id as usize].push(scores.get(id));
+        }
+        self.rows += 1;
+    }
+
+    /// The tracked methods.
+    pub const fn methods(&self) -> MethodSet {
+        self.methods
+    }
+
+    /// Borrows one method's column, in push order. Columns of untracked
+    /// methods are empty.
+    pub fn column(&self, id: MethodId) -> &[f64] {
+        &self.columns[id as usize]
+    }
+
+    /// Number of rows pushed.
+    pub const fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows were pushed.
+    pub const fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+}
+
 /// Test-only detector behind [`MethodId::DummyMean`]: the image's mean
 /// intensity over all channels. Exists to prove that a new method needs
 /// only a `MethodId` variant and one constructor arm.

@@ -6,11 +6,15 @@
 //! works for synthetic corpora, files on disk, or fixtures in tests. Scores
 //! are computed once per `(detector, corpus)` and reused across threshold
 //! modes, percentiles and the ensemble — mirroring how the paper's offline
-//! calibration amortises work.
+//! calibration amortises work. For corpora that do not fit in memory,
+//! [`score_source`] scores a streaming [`ImageSource`] with bounded
+//! residency, and the engine-level equivalents live in
+//! [`crate::engine::DetectionEngine::score_stream`].
 
 use crate::detector::Detector;
 use crate::eval::{ConfusionCounts, EvalMetrics};
 use crate::parallel::parallel_map_indices;
+use crate::stream::{BufferPool, ImageSource};
 use crate::threshold::{percentile_blackbox, search_whitebox, Direction, SearchPoint, Threshold};
 use crate::DetectError;
 use decamouflage_imaging::Image;
@@ -86,6 +90,31 @@ pub fn score_corpus<D: Detector>(
         }
     }
     Ok(ScoredCorpus { benign, attack })
+}
+
+/// Scores every image pulled from an [`ImageSource`] with one detector,
+/// sequentially and with bounded memory: pixel buffers recycle through a
+/// small [`BufferPool`], so at most one decoded image (plus the pool's
+/// spare buffers) is ever resident. The streaming counterpart of
+/// [`score_corpus`] for corpora that do not fit in memory — the scores
+/// slot directly into [`ScoredCorpus`] halves, [`run_whitebox`] and
+/// [`run_blackbox`].
+///
+/// # Errors
+///
+/// Propagates the first pull or scoring failure in stream order.
+pub fn score_source<D: Detector>(
+    detector: &D,
+    source: &mut dyn ImageSource,
+) -> Result<Vec<f64>, DetectError> {
+    let mut pool = BufferPool::new(4);
+    let mut scores = Vec::with_capacity(source.len_hint().unwrap_or(0));
+    while let Some(item) = source.next_image(&mut pool) {
+        let image = item?;
+        scores.push(detector.score(&image)?);
+        pool.recycle(image);
+    }
+    Ok(scores)
 }
 
 /// Evaluates a fixed threshold against a scored corpus.
@@ -315,6 +344,15 @@ mod tests {
         let s = c.benign_summary().unwrap();
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn score_source_matches_eager_scoring() {
+        use crate::stream::SliceSource;
+        let images: Vec<Image> = (0..5).map(|i| flat(i as f64 * 10.0)).collect();
+        let streamed = score_source(&MeanDetector, &mut SliceSource::new(&images)).unwrap();
+        let eager: Vec<f64> = images.iter().map(|img| MeanDetector.score(img).unwrap()).collect();
+        assert_eq!(streamed, eager);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! the sensitivity ablations.
 
 use crate::engine::EngineCorpus;
-use crate::method::{MethodId, MethodSet};
+use crate::method::{MethodId, MethodSet, ScoreColumns};
 use crate::threshold::Direction;
 use crate::DetectError;
 
@@ -118,12 +118,14 @@ pub fn roc_engine_corpus(
             message: "roc needs at least one method".into(),
         });
     }
+    // One pass over each half builds every requested column at once,
+    // instead of re-walking the corpus per method.
+    let benign = ScoreColumns::from_vectors(methods, &corpus.benign);
+    let attack = ScoreColumns::from_vectors(methods, &corpus.attack);
     methods
         .iter()
         .map(|id| {
-            let benign = corpus.benign_column(id);
-            let attack = corpus.attack_column(id);
-            roc_curve(&benign, &attack, id.direction()).map(|curve| (id, curve))
+            roc_curve(benign.column(id), attack.column(id), id.direction()).map(|curve| (id, curve))
         })
         .collect()
 }

@@ -1,0 +1,689 @@
+//! Streaming corpus sources: bounded-memory image pipelines.
+//!
+//! Every pre-existing corpus entry point materialised the whole corpus as
+//! a `Vec<Image>` before the first score was computed, so peak memory grew
+//! linearly with corpus size. The scaling-attack literature frames
+//! detection as a *screening* step in front of a CNN serving pipeline —
+//! an unbounded stream of untrusted uploads — which is exactly the shape
+//! this module serves:
+//!
+//! * [`ImageSource`] — a pull-based, fallible iterator of images with an
+//!   optional length hint. Adapters exist for in-memory slices
+//!   ([`SliceSource`]), index-driven generators ([`FnSource`]) and
+//!   directory walks ([`DirectorySource`] — the single home of the CLI's
+//!   previously duplicated listing/decode logic).
+//! * [`BufferPool`] — a small bounded store of recycled sample buffers.
+//!   Sources draw construction buffers from it and the chunk driver
+//!   returns scored images to it, killing steady-state allocation once
+//!   the pool is warm.
+//! * [`ChunkDriver`] — pulls up to `chunk_size` items at a time and hands
+//!   each chunk to a caller-supplied fan-out
+//!   ([`DetectionEngine::score_stream`](crate::DetectionEngine::score_stream)
+//!   is the canonical consumer). At no point are more than
+//!   `chunk_size` decoded images plus `pool_capacity` recycled buffers
+//!   resident, regardless of corpus length.
+//!
+//! Items are pulled on the caller thread (sources are `&mut`, not
+//! `Sync`); a panic inside a pull is caught immediately and converted to
+//! the same [`ScoreError::panicked`] a worker-side panic would produce,
+//! so streamed scoring stays bit-identical to the eager batch path — the
+//! eager APIs are now thin facades over a slice- or closure-backed
+//! source, and `stream_equivalence` proves the identity property-wise.
+//!
+//! Telemetry (all resolved once at driver construction):
+//! `decam_stream_chunks_total`, `decam_stream_in_flight_images`,
+//! `decam_stream_peak_chunk`, and the buffer-pool
+//! `decam_stream_buffer_pool_{hits,misses}_total` counters.
+
+use crate::error::{ScoreError, ScoreFault};
+use crate::parallel::default_threads;
+use crate::DetectError;
+use decamouflage_imaging::codec::{read_bmp_file, read_pnm_file};
+use decamouflage_imaging::Image;
+use decamouflage_telemetry::{Counter, Gauge, HistogramHandle, Telemetry};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One pulled stream item: a decoded image, or the structured error that
+/// explains why this position of the stream could not produce one.
+pub type SourceItem = Result<Image, ScoreError>;
+
+/// A pull-based stream of images.
+///
+/// `next_image` returns `None` when the stream is exhausted; before that,
+/// every call yields either a decoded [`Image`] or a [`ScoreError`]
+/// describing why this *position* failed (an unreadable file, a failed
+/// synthesis, …). Failed positions still consume a stream index, so
+/// consumers can account for them precisely.
+///
+/// Sources may draw construction buffers from the passed [`BufferPool`];
+/// sources that cannot reuse buffers (e.g. file decoders that allocate
+/// internally) simply ignore it.
+pub trait ImageSource {
+    /// Pulls the next item, or `None` at end of stream.
+    fn next_image(&mut self, pool: &mut BufferPool) -> Option<SourceItem>;
+
+    /// Number of items remaining, where the source knows it. Unbounded or
+    /// unknown-length sources return `None`.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A small bounded store of recycled `f64` sample buffers.
+///
+/// [`take`](BufferPool::take) pops a warm buffer (resized to the
+/// requested sample count) or allocates on a miss;
+/// [`recycle`](BufferPool::recycle) returns an image's buffer if the pool
+/// is below capacity and drops it otherwise, so the pool can never grow
+/// past `capacity` buffers. Hits and misses are counted on
+/// `decam_stream_buffer_pool_hits_total` /
+/// `decam_stream_buffer_pool_misses_total`.
+#[derive(Debug)]
+pub struct BufferPool {
+    buffers: Vec<Vec<f64>>,
+    capacity: usize,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` recycled buffers,
+    /// counting hits/misses on the process-global telemetry handle.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_telemetry(capacity, &decamouflage_telemetry::global())
+    }
+
+    /// Creates a pool recording its hit/miss counters on `telemetry`.
+    pub fn with_telemetry(capacity: usize, telemetry: &Telemetry) -> Self {
+        Self {
+            buffers: Vec::with_capacity(capacity.min(64)),
+            capacity,
+            hits: telemetry.counter("decam_stream_buffer_pool_hits_total", &[]),
+            misses: telemetry.counter("decam_stream_buffer_pool_misses_total", &[]),
+        }
+    }
+
+    /// A buffer of exactly `samples` zeroed-or-stale `f64`s — recycled
+    /// when the pool has one, freshly allocated otherwise. Callers
+    /// overwrite every sample, so stale contents are fine.
+    pub fn take(&mut self, samples: usize) -> Vec<f64> {
+        match self.buffers.pop() {
+            Some(mut buffer) => {
+                self.hits.inc();
+                buffer.resize(samples, 0.0);
+                buffer
+            }
+            None => {
+                self.misses.inc();
+                vec![0.0; samples]
+            }
+        }
+    }
+
+    /// Returns an image's sample buffer to the pool; a full pool drops it.
+    pub fn recycle(&mut self, image: Image) {
+        if self.buffers.len() < self.capacity {
+            self.buffers.push(image.into_vec());
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether the pool holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Maximum number of buffers the pool retains.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Chunking parameters for streamed scoring.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Images pulled (and resident) per fan-out; the bounded-memory knob.
+    pub chunk_size: usize,
+    /// Worker threads for each chunk's fan-out.
+    pub threads: usize,
+    /// Maximum recycled buffers kept by the driver's [`BufferPool`].
+    pub pool_capacity: usize,
+}
+
+impl Default for StreamConfig {
+    /// 64-image chunks, [`default_threads`] workers, an 8-buffer pool.
+    fn default() -> Self {
+        Self { chunk_size: 64, threads: default_threads(), pool_capacity: 8 }
+    }
+}
+
+impl StreamConfig {
+    /// Builder: overrides the chunk size (clamped to at least 1).
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Builder: overrides the per-chunk worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder: overrides the buffer-pool capacity (0 disables recycling).
+    #[must_use]
+    pub fn with_pool_capacity(mut self, pool_capacity: usize) -> Self {
+        self.pool_capacity = pool_capacity;
+        self
+    }
+}
+
+/// Aggregate result of one streamed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamSummary {
+    /// Total stream items pulled (scored + failed positions).
+    pub items: usize,
+    /// Chunks fanned out.
+    pub chunks: usize,
+    /// Largest chunk pulled — the peak number of decoded images resident
+    /// at once (excluding the bounded buffer pool).
+    pub peak_chunk: usize,
+}
+
+/// Pre-resolved telemetry handles for the streaming path (the
+/// `EngineMetrics` pattern: resolve `(name, labels)` once, keep the hot
+/// loop free of registry lookups).
+#[derive(Debug)]
+struct StreamMetrics {
+    /// `decam_stream_chunks_total`: chunks fanned out.
+    chunks_total: Counter,
+    /// `decam_stream_in_flight_images`: decoded images currently held by
+    /// the driver (pulled but not yet recycled/consumed).
+    in_flight: Gauge,
+    /// `decam_stream_peak_chunk`: largest chunk pulled so far.
+    peak_chunk: Gauge,
+}
+
+impl StreamMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            chunks_total: telemetry.counter("decam_stream_chunks_total", &[]),
+            in_flight: telemetry.gauge("decam_stream_in_flight_images", &[]),
+            peak_chunk: telemetry.gauge("decam_stream_peak_chunk", &[]),
+        }
+    }
+}
+
+/// One pulled chunk, ready for a worker-pool fan-out.
+///
+/// Slots are handed out through interior mutability so a `Fn(usize)`
+/// fan-out closure (shared across workers) can move each pulled item into
+/// exactly one worker: [`Chunk::take`] locks slot `offset`, takes the
+/// item, and drops the lock before any scoring work runs — each slot is
+/// touched exactly once, so there is no contention.
+#[derive(Debug)]
+pub struct Chunk {
+    base: usize,
+    slots: Vec<Mutex<Option<SourceItem>>>,
+}
+
+impl Chunk {
+    /// The stream index of the chunk's first item.
+    pub const fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of items in the chunk.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the chunk holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Moves the item at `offset` out of the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already taken — each offset must be claimed
+    /// by exactly one worker.
+    pub fn take(&self, offset: usize) -> SourceItem {
+        self.slots[offset]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("each chunk slot is taken exactly once")
+    }
+}
+
+/// Pulls an [`ImageSource`] in bounded chunks, owning the buffer pool and
+/// the stream telemetry. The driver is deliberately scoring-agnostic:
+/// [`DetectionEngine::score_stream`](crate::DetectionEngine::score_stream)
+/// and the bench corpus loader both fan chunks out through it.
+pub struct ChunkDriver<'a> {
+    source: &'a mut dyn ImageSource,
+    pool: BufferPool,
+    chunk_size: usize,
+    metrics: StreamMetrics,
+    next_index: usize,
+    chunks: usize,
+    peak_chunk: usize,
+}
+
+impl<'a> ChunkDriver<'a> {
+    /// Wraps `source` with the chunking parameters of `config`, recording
+    /// stream telemetry on `telemetry`.
+    pub fn new(
+        source: &'a mut dyn ImageSource,
+        config: &StreamConfig,
+        telemetry: &Telemetry,
+    ) -> Self {
+        Self {
+            source,
+            pool: BufferPool::with_telemetry(config.pool_capacity, telemetry),
+            chunk_size: config.chunk_size.max(1),
+            metrics: StreamMetrics::new(telemetry),
+            next_index: 0,
+            chunks: 0,
+            peak_chunk: 0,
+        }
+    }
+
+    /// Pulls up to `chunk_size` items, or `None` at end of stream.
+    ///
+    /// A panic inside a source pull is caught here, on the caller thread,
+    /// and stored as the slot's [`ScoreError::panicked`] — exactly the
+    /// error the eager path produces when an image constructor panics
+    /// inside a worker, which is what keeps streamed and eager scoring
+    /// bit-identical under faults.
+    pub fn next_chunk(&mut self) -> Option<Chunk> {
+        let base = self.next_index;
+        let mut slots = Vec::with_capacity(
+            self.chunk_size.min(self.source.len_hint().unwrap_or(self.chunk_size)),
+        );
+        while slots.len() < self.chunk_size {
+            let index = base + slots.len();
+            let pulled =
+                match catch_unwind(AssertUnwindSafe(|| self.source.next_image(&mut self.pool))) {
+                    Ok(None) => break,
+                    Ok(Some(item)) => item.map_err(|err| err.at_index(index)),
+                    Err(payload) => Err(ScoreError::panicked(index, payload)),
+                };
+            slots.push(Mutex::new(Some(pulled)));
+        }
+        if slots.is_empty() {
+            return None;
+        }
+        self.next_index = base + slots.len();
+        self.chunks += 1;
+        self.peak_chunk = self.peak_chunk.max(slots.len());
+        self.metrics.chunks_total.inc();
+        self.metrics.in_flight.set(slots.len() as f64);
+        self.metrics.peak_chunk.set(self.peak_chunk as f64);
+        Some(Chunk { base, slots })
+    }
+
+    /// Returns a scored image's buffer to the pool.
+    pub fn recycle(&mut self, image: Image) {
+        self.pool.recycle(image);
+    }
+
+    /// Marks a fanned-out chunk as fully consumed (drops the in-flight
+    /// gauge back to zero). Call after every slot has been taken and
+    /// either recycled or dropped.
+    pub fn finish_chunk(&mut self) {
+        self.metrics.in_flight.set(0.0);
+    }
+
+    /// The driver's buffer pool (e.g. to check residency bounds).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Aggregate counters of the run so far.
+    pub fn summary(&self) -> StreamSummary {
+        StreamSummary { items: self.next_index, chunks: self.chunks, peak_chunk: self.peak_chunk }
+    }
+}
+
+/// An [`ImageSource`] over an in-memory slice: items are cloned through
+/// the buffer pool in slice order. The adapter behind the eager facades —
+/// scoring it streamed is bit-identical to scoring the slice eagerly.
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    images: &'a [Image],
+    next: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Streams `images` in order.
+    pub fn new(images: &'a [Image]) -> Self {
+        Self { images, next: 0 }
+    }
+}
+
+impl ImageSource for SliceSource<'_> {
+    fn next_image(&mut self, pool: &mut BufferPool) -> Option<SourceItem> {
+        let image = self.images.get(self.next)?;
+        self.next += 1;
+        let mut data = pool.take(image.as_slice().len());
+        data.copy_from_slice(image.as_slice());
+        Some(
+            Image::from_vec(image.width(), image.height(), image.channels(), data)
+                .map_err(|err| ScoreError::new(ScoreFault::Detect(err.into()))),
+        )
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.images.len() - self.next)
+    }
+}
+
+/// An [`ImageSource`] driven by an `index -> Image` closure — the adapter
+/// for synthetic generators (the `datasets` crate wraps its
+/// `SampleGenerator` in one of these) and for the engine's eager
+/// closure-based corpus facades.
+pub struct FnSource<F> {
+    make: F,
+    next: u64,
+    count: usize,
+}
+
+impl<F: FnMut(u64) -> Image> FnSource<F> {
+    /// Streams `make(0), make(1), …, make(count - 1)`.
+    pub fn new(count: usize, make: F) -> Self {
+        Self { make, next: 0, count }
+    }
+}
+
+impl<F> std::fmt::Debug for FnSource<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSource").field("next", &self.next).field("count", &self.count).finish()
+    }
+}
+
+impl<F: FnMut(u64) -> Image> ImageSource for FnSource<F> {
+    fn next_image(&mut self, _pool: &mut BufferPool) -> Option<SourceItem> {
+        if self.next as usize >= self.count {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        Some(Ok((self.make)(index)))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.count - self.next as usize)
+    }
+}
+
+/// Extensions the directory walk admits, lowercased.
+const IMAGE_EXTENSIONS: [&str; 4] = ["pgm", "ppm", "pnm", "bmp"];
+
+/// An [`ImageSource`] over the image files of one directory — the single
+/// home of the listing/decode logic the CLI previously duplicated between
+/// `read_dir_images` and `scan`'s inline walk.
+///
+/// [`open`](DirectorySource::open) lists the directory once, keeps the
+/// `.pgm`/`.ppm`/`.pnm`/`.bmp` entries in sorted path order, and fails on
+/// an unlistable or image-free directory. Decoding happens lazily, one
+/// file per pull; a file that fails to decode yields a
+/// [`ScoreFault::Unreadable`] item (consuming its stream index, so
+/// [`paths`](DirectorySource::paths)`[index]` always names the file an
+/// item came from) instead of aborting the stream. Decode latency is
+/// recorded on `decam_engine_stage_seconds{stage="decode"}`.
+#[derive(Debug)]
+pub struct DirectorySource {
+    paths: Vec<PathBuf>,
+    next: usize,
+    decode_seconds: HistogramHandle,
+}
+
+impl DirectorySource {
+    /// Lists `dir` and prepares a sorted stream over its image files.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidConfig`] when the directory cannot be listed
+    /// or contains no image files with an admitted extension.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, DetectError> {
+        Self::with_telemetry(dir, &decamouflage_telemetry::global())
+    }
+
+    /// [`open`](DirectorySource::open) with an explicit telemetry handle
+    /// for the decode-stage histogram.
+    pub fn with_telemetry(
+        dir: impl AsRef<Path>,
+        telemetry: &Telemetry,
+    ) -> Result<Self, DetectError> {
+        let dir = dir.as_ref();
+        let shown = dir.display();
+        let invalid = |message: String| DetectError::InvalidConfig { message };
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| invalid(format!("cannot list {shown}: {e}")))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension()
+                    .and_then(|e| e.to_str())
+                    .map(str::to_ascii_lowercase)
+                    .is_some_and(|ext| IMAGE_EXTENSIONS.contains(&ext.as_str()))
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(invalid(format!("no .pgm/.ppm/.pnm/.bmp images in {shown}")));
+        }
+        Ok(Self {
+            paths,
+            next: 0,
+            decode_seconds: telemetry
+                .histogram("decam_engine_stage_seconds", &[("stage", "decode")]),
+        })
+    }
+
+    /// The files of the stream, in pull order; stream index `i`
+    /// corresponds to `paths()[i]`.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Number of files in the stream (readable or not).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the stream has no files (never true after `open`).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+impl ImageSource for DirectorySource {
+    fn next_image(&mut self, _pool: &mut BufferPool) -> Option<SourceItem> {
+        let path = self.paths.get(self.next)?;
+        self.next += 1;
+        let _decode = self.decode_seconds.span();
+        let decoded = if path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.eq_ignore_ascii_case("bmp"))
+        {
+            read_bmp_file(path)
+        } else {
+            read_pnm_file(path)
+        };
+        Some(decoded.map_err(|e| {
+            ScoreError::new(ScoreFault::Unreadable {
+                message: format!("cannot read {}: {e}", path.display()),
+            })
+        }))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.paths.len() - self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_imaging::codec::write_pnm_file;
+    use decamouflage_imaging::Channels;
+
+    fn flat(v: f64) -> Image {
+        Image::filled(4, 3, Channels::Gray, v)
+    }
+
+    fn drain(source: &mut dyn ImageSource, pool: &mut BufferPool) -> Vec<SourceItem> {
+        let mut items = Vec::new();
+        while let Some(item) = source.next_image(pool) {
+            items.push(item);
+        }
+        items
+    }
+
+    #[test]
+    fn buffer_pool_recycles_up_to_capacity() {
+        let telemetry = Telemetry::enabled();
+        let mut pool = BufferPool::with_telemetry(2, &telemetry);
+        assert_eq!(pool.capacity(), 2);
+        let miss = pool.take(12);
+        assert_eq!(miss.len(), 12);
+        pool.recycle(flat(1.0));
+        pool.recycle(flat(2.0));
+        pool.recycle(flat(3.0)); // over capacity: dropped
+        assert_eq!(pool.len(), 2);
+        let hit = pool.take(5);
+        assert_eq!(hit.len(), 5, "recycled buffers are resized to the request");
+        assert!(!pool.is_empty());
+        assert_eq!(telemetry.counter("decam_stream_buffer_pool_hits_total", &[]).value(), 1);
+        assert_eq!(telemetry.counter("decam_stream_buffer_pool_misses_total", &[]).value(), 1);
+    }
+
+    #[test]
+    fn slice_source_round_trips_images_through_the_pool() {
+        let images = vec![flat(7.0), flat(9.0)];
+        let mut source = SliceSource::new(&images);
+        assert_eq!(source.len_hint(), Some(2));
+        let mut pool = BufferPool::with_telemetry(4, &Telemetry::disabled());
+        let items = drain(&mut source, &mut pool);
+        assert_eq!(items.len(), 2);
+        for (item, original) in items.iter().zip(&images) {
+            assert_eq!(item.as_ref().unwrap().as_slice(), original.as_slice());
+        }
+        assert_eq!(source.len_hint(), Some(0));
+    }
+
+    #[test]
+    fn fn_source_counts_and_hints() {
+        let mut source = FnSource::new(3, |i| flat(i as f64));
+        assert_eq!(source.len_hint(), Some(3));
+        let mut pool = BufferPool::with_telemetry(0, &Telemetry::disabled());
+        let items = drain(&mut source, &mut pool);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].as_ref().unwrap().as_slice()[0], 2.0);
+        assert!(format!("{source:?}").contains("FnSource"));
+    }
+
+    #[test]
+    fn chunk_driver_bounds_residency_and_counts_chunks() {
+        let telemetry = Telemetry::enabled();
+        let mut source = FnSource::new(7, |i| flat(i as f64));
+        let config = StreamConfig::default().with_chunk_size(3).with_pool_capacity(2);
+        let mut driver = ChunkDriver::new(&mut source, &config, &telemetry);
+        let mut seen = Vec::new();
+        while let Some(chunk) = driver.next_chunk() {
+            assert!(chunk.len() <= 3);
+            assert!(!chunk.is_empty());
+            for offset in 0..chunk.len() {
+                let image = chunk.take(offset).unwrap();
+                seen.push((chunk.base() + offset, image.as_slice()[0]));
+                driver.recycle(image);
+            }
+            driver.finish_chunk();
+        }
+        let summary = driver.summary();
+        assert_eq!(summary.items, 7);
+        assert_eq!(summary.chunks, 3, "7 items in chunks of 3");
+        assert_eq!(summary.peak_chunk, 3);
+        assert_eq!(seen, (0..7).map(|i| (i, i as f64)).collect::<Vec<_>>());
+        assert!(driver.pool().len() <= 2, "pool stays within capacity");
+        assert_eq!(telemetry.counter("decam_stream_chunks_total", &[]).value(), 3);
+        assert_eq!(telemetry.gauge("decam_stream_peak_chunk", &[]).value(), 3.0);
+        assert_eq!(telemetry.gauge("decam_stream_in_flight_images", &[]).value(), 0.0);
+    }
+
+    #[test]
+    fn chunk_driver_converts_pull_panics_into_slot_errors() {
+        let mut source = FnSource::new(3, |i| {
+            if i == 1 {
+                panic!("generator exploded at {i}");
+            }
+            flat(i as f64)
+        });
+        let config = StreamConfig::default().with_chunk_size(8);
+        let mut driver = ChunkDriver::new(&mut source, &config, &Telemetry::disabled());
+        let chunk = driver.next_chunk().unwrap();
+        assert_eq!(chunk.len(), 3, "a pull panic consumes its index, not the stream");
+        assert!(chunk.take(0).is_ok());
+        let err = chunk.take(1).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.is_panic(), "pull panics surface as ScoreError::panicked: {err}");
+        assert!(chunk.take(2).is_ok());
+        driver.finish_chunk();
+        assert!(driver.next_chunk().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "taken exactly once")]
+    fn chunk_slots_are_single_take() {
+        let mut source = FnSource::new(1, |_| flat(0.0));
+        let mut driver =
+            ChunkDriver::new(&mut source, &StreamConfig::default(), &Telemetry::disabled());
+        let chunk = driver.next_chunk().unwrap();
+        let _first = chunk.take(0);
+        let _second = chunk.take(0);
+    }
+
+    #[test]
+    fn directory_source_streams_sorted_decodes_and_flags_unreadables() {
+        let dir = std::env::temp_dir().join(format!("decam-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_pnm_file(&flat(10.0), dir.join("b.pgm")).unwrap();
+        write_pnm_file(&flat(20.0), dir.join("a.pgm")).unwrap();
+        std::fs::write(dir.join("c.bmp"), b"not a bitmap").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+
+        let mut source = DirectorySource::open(&dir).unwrap();
+        assert_eq!(source.len(), 3);
+        assert!(!source.is_empty());
+        let names: Vec<_> =
+            source.paths().iter().map(|p| p.file_name().unwrap().to_owned()).collect();
+        assert_eq!(names, ["a.pgm", "b.pgm", "c.bmp"], "sorted, extension-filtered");
+
+        let mut pool = BufferPool::with_telemetry(0, &Telemetry::disabled());
+        let items = drain(&mut source, &mut pool);
+        assert_eq!(items[0].as_ref().unwrap().as_slice()[0], 20.0, "a.pgm first");
+        assert_eq!(items[1].as_ref().unwrap().as_slice()[0], 10.0);
+        let err = items[2].as_ref().unwrap_err();
+        assert!(matches!(err.cause, ScoreFault::Unreadable { .. }));
+        assert!(err.to_string().contains("c.bmp"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(DirectorySource::open(&dir).is_err(), "unlistable directory");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = DirectorySource::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("no .pgm/.ppm/.pnm/.bmp images"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! Streaming adapters: synthetic corpora as [`ImageSource`]s.
+//!
+//! [`SampleGenerator`] already synthesizes images on demand from
+//! `(seed, index)`; [`GeneratorSource`] exposes that as a pull-based
+//! [`ImageSource`] so the core crate's streaming consumers
+//! ([`DetectionEngine::score_stream`](decamouflage_core::engine::DetectionEngine::score_stream),
+//! streaming calibration and evaluation) can walk thousand-image corpora
+//! with bounded memory — no eager `Vec<Image>` materialisation anywhere
+//! on the path.
+
+use crate::builder::SampleGenerator;
+use decamouflage_core::stream::{BufferPool, ImageSource, SourceItem};
+use decamouflage_core::{ScoreError, ScoreFault};
+
+/// Which half of a labelled corpus a [`GeneratorSource`] yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusClass {
+    /// Clean synthetic natural images ([`SampleGenerator::benign`]).
+    Benign,
+    /// Camouflage attack images ([`SampleGenerator::attack_image`]).
+    Attack,
+}
+
+/// A bounded, pull-based stream of synthetic images from one
+/// [`SampleGenerator`]: `count` images of one [`CorpusClass`], generated
+/// lazily at pull time. Attack-crafting failures surface as quarantinable
+/// [`ScoreFault::Unreadable`] items rather than aborting the stream —
+/// exactly like an unreadable file in a directory source.
+#[derive(Debug)]
+pub struct GeneratorSource<'a> {
+    generator: &'a SampleGenerator,
+    class: CorpusClass,
+    count: u64,
+    next: u64,
+}
+
+impl<'a> GeneratorSource<'a> {
+    /// A stream of `count` images of `class` from `generator`.
+    pub fn new(generator: &'a SampleGenerator, class: CorpusClass, count: u64) -> Self {
+        Self { generator, class, count, next: 0 }
+    }
+
+    /// A benign stream of `count` images.
+    pub fn benign(generator: &'a SampleGenerator, count: u64) -> Self {
+        Self::new(generator, CorpusClass::Benign, count)
+    }
+
+    /// An attack stream of `count` images.
+    pub fn attack(generator: &'a SampleGenerator, count: u64) -> Self {
+        Self::new(generator, CorpusClass::Attack, count)
+    }
+}
+
+impl ImageSource for GeneratorSource<'_> {
+    fn next_image(&mut self, _pool: &mut BufferPool) -> Option<SourceItem> {
+        if self.next >= self.count {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        Some(match self.class {
+            CorpusClass::Benign => Ok(self.generator.benign(index)),
+            CorpusClass::Attack => self.generator.attack_image(index).map_err(|e| {
+                ScoreError::new(ScoreFault::Unreadable {
+                    message: format!("cannot craft attack sample {index}: {e}"),
+                })
+            }),
+        })
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some((self.count - self.next) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+    use decamouflage_imaging::scale::ScaleAlgorithm;
+
+    fn generator() -> SampleGenerator {
+        SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear)
+    }
+
+    #[test]
+    fn benign_stream_matches_eager_generation() {
+        let generator = generator();
+        let mut source = GeneratorSource::benign(&generator, 3);
+        let mut pool = BufferPool::new(2);
+        assert_eq!(source.len_hint(), Some(3));
+        for i in 0..3 {
+            let image = source.next_image(&mut pool).unwrap().unwrap();
+            assert_eq!(image, generator.benign(i), "sample {i} must be bit-identical");
+        }
+        assert!(source.next_image(&mut pool).is_none());
+        assert_eq!(source.len_hint(), Some(0));
+    }
+
+    #[test]
+    fn attack_stream_yields_crafted_images() {
+        let generator = generator();
+        let mut source = GeneratorSource::attack(&generator, 2);
+        let mut pool = BufferPool::new(2);
+        for i in 0..2 {
+            let image = source.next_image(&mut pool).unwrap().unwrap();
+            assert_eq!(image, generator.attack_image(i).unwrap());
+        }
+        assert!(source.next_image(&mut pool).is_none());
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! decamouflage check <image> --target WxH [--thresholds FILE] [--metrics-out FILE]
-//! decamouflage scan <dir> --target WxH [--thresholds FILE] [--metrics-out FILE]
+//! decamouflage scan <dir> --target WxH [--thresholds FILE] [--chunk-size N] [--metrics-out FILE]
 //! decamouflage craft <original> <target-image> -o <attack-out>
 //! decamouflage calibrate --benign DIR --attack DIR --target WxH -o thresholds.txt
 //! decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]
@@ -12,7 +12,10 @@
 //! with status 2 when the image is flagged as an attack, 0 when benign —
 //! scriptable as a pre-ingestion filter. `scan` triages a whole directory
 //! (the paper's offline data-poisoning use case) and exits 2 if anything
-//! was flagged.
+//! was flagged. Directories stream through the bounded-memory
+//! [`DirectorySource`] pipeline: at most `--chunk-size` decoded images
+//! (default 64) are resident at once, so arbitrarily large corpora scan in
+//! constant memory.
 //!
 //! `--metrics-out FILE` enables telemetry for the run and writes the
 //! final metric state to `FILE` on exit — Prometheus text exposition by
@@ -23,8 +26,10 @@
 use decamouflage::detection::calibrate::calibrate_whitebox;
 use decamouflage::detection::ensemble::{DegradePolicy, Ensemble};
 use decamouflage::detection::persist::ThresholdSet;
+use decamouflage::detection::stream::{BufferPool, DirectorySource, ImageSource, StreamConfig};
 use decamouflage::detection::{
-    FilteringDetector, MethodId, MetricKind, ScalingDetector, SteganalysisDetector, Threshold,
+    FilteringDetector, MethodId, MetricKind, ScalingDetector, ScoreFault, SteganalysisDetector,
+    Threshold,
 };
 use decamouflage::imaging::codec::{read_bmp_file, read_pnm_file, write_bmp_file, write_pnm_file};
 use decamouflage::imaging::scale::{ScaleAlgorithm, Scaler};
@@ -60,7 +65,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage:\n  decamouflage check <image> --target WxH [--thresholds FILE] [--degrade MODE] [--metrics-out FILE]\n  \
-         decamouflage scan <dir> --target WxH [--thresholds FILE] [--degrade MODE] [--metrics-out FILE]\n  \
+         decamouflage scan <dir> --target WxH [--thresholds FILE] [--degrade MODE] [--chunk-size N] [--metrics-out FILE]\n  \
          decamouflage craft <original> <target-image> -o <attack-out>\n  \
          decamouflage calibrate --benign DIR --attack DIR --target WxH -o FILE\n  \
          decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]\n\n\
@@ -68,6 +73,8 @@ fn print_usage() {
          --degrade: what to do when an ensemble voter cannot score an image —\n  \
          strict (default: report an error), majority (majority of the remaining voters),\n  \
          fail-closed (flag the image as an attack).\n\
+         --chunk-size: images decoded per scoring chunk during scan (default 64) —\n  \
+         peak memory is bounded by one chunk regardless of directory size.\n\
          --metrics-out: record telemetry during the run and write it to FILE on exit\n  \
          (Prometheus text; JSON when FILE ends in .json).\n\
          stats: run the pipeline on a synthetic corpus and emit its telemetry."
@@ -250,22 +257,29 @@ fn cmd_craft(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Eagerly drains a [`DirectorySource`] into a `Vec` — the one place the
+/// CLI still materialises a whole directory (calibration needs every image
+/// for the threshold search anyway). Listing, extension filtering, sorting
+/// and decoding all live in the shared source.
 fn read_dir_images(dir: &str) -> Result<Vec<Image>, String> {
-    let mut paths: Vec<_> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot list {dir}: {e}"))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| {
-            matches!(
-                p.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase).as_deref(),
-                Some("pgm" | "ppm" | "pnm" | "bmp")
-            )
-        })
-        .collect();
-    paths.sort();
-    if paths.is_empty() {
-        return Err(format!("no .pgm/.ppm/.pnm/.bmp images in {dir}"));
+    let mut source = DirectorySource::open(dir).map_err(|e| e.to_string())?;
+    let mut pool = BufferPool::new(0);
+    let mut images = Vec::with_capacity(source.len_hint().unwrap_or(0));
+    while let Some(item) = source.next_image(&mut pool) {
+        match item {
+            Ok(image) => images.push(image),
+            Err(err) => {
+                // Surface the decode failure alone, matching the old
+                // fail-fast reader ("cannot read <path>: <cause>").
+                let message = match err.cause {
+                    ScoreFault::Unreadable { message } => message,
+                    other => other.to_string(),
+                };
+                return Err(message);
+            }
+        }
     }
-    paths.iter().map(|p| read_image(&p.display().to_string())).collect()
+    Ok(images)
 }
 
 fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
@@ -302,7 +316,18 @@ fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
 /// Batch triage of a directory: the paper's offline data-poisoning
 /// deployment. Prints one line per image and a summary; exits 2 when any
 /// image was flagged.
+///
+/// The directory streams through [`DirectorySource`] into
+/// [`DetectionEngine::score_stream`](decamouflage::detection::engine::DetectionEngine::score_stream):
+/// files decode lazily in chunks of `--chunk-size` (default 64), each
+/// chunk fans out over the worker pool, and decoded buffers recycle —
+/// peak memory is one chunk plus the buffer pool regardless of how many
+/// images the directory holds. The engine scores the same three methods
+/// as `check`'s ensemble and the verdict is the same majority vote.
 fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
+    use decamouflage::detection::engine::DetectionEngine;
+    use decamouflage::detection::MethodSet;
+
     let dir = args
         .iter()
         .find(|a| {
@@ -311,6 +336,7 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
                 && Some(a.as_str()) != flag_value(args, "--thresholds")
                 && Some(a.as_str()) != flag_value(args, "--degrade")
                 && Some(a.as_str()) != flag_value(args, "--metrics-out")
+                && Some(a.as_str()) != flag_value(args, "--chunk-size")
         })
         .ok_or("scan needs a directory path")?;
     let target = parse_size(flag_value(args, "--target").ok_or("scan needs --target WxH")?)?;
@@ -318,57 +344,70 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
         None => default_thresholds(),
     };
-    // Telemetry must be live before the ensemble is built — construction
-    // captures the process-global handle.
+    let chunk_size: usize = match flag_value(args, "--chunk-size") {
+        Some(raw) => match raw.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --chunk-size value {raw:?} (must be >= 1)")),
+        },
+        None => 64,
+    };
+    let policy = parse_degrade(args)?;
+    // Telemetry must be live before the engine and source are built —
+    // construction captures the process-global handle.
     let metrics_out = flag_value(args, "--metrics-out");
     let telemetry = if metrics_out.is_some() { enable_metrics() } else { Telemetry::disabled() };
-    let decode_seconds = telemetry.histogram("decam_engine_stage_seconds", &[("stage", "decode")]);
-    let ensemble = build_ensemble(target, &thresholds, parse_degrade(args)?)?;
 
-    let mut paths: Vec<_> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot list {dir}: {e}"))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| {
-            matches!(
-                p.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase).as_deref(),
-                Some("pgm" | "ppm" | "pnm" | "bmp")
-            )
-        })
-        .collect();
-    paths.sort();
-    if paths.is_empty() {
-        return Err(format!("no .pgm/.ppm/.pnm/.bmp images in {dir}"));
-    }
+    // The same three members as `check`'s default ensemble; the engine's
+    // shared-intermediate scorer computes them in one pass per image.
+    let ids = [MethodId::ScalingMse, MethodId::FilteringSsim, MethodId::Csp];
+    let entries: Vec<(MethodId, Threshold)> =
+        ids.iter()
+            .map(|&id| {
+                thresholds.get(id).map(|t| (id, t)).ok_or_else(|| {
+                    format!("thresholds file is missing an entry for {:?}", id.name())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    let engine = DetectionEngine::new(target).with_methods(MethodSet::of(&ids));
+
+    let mut source = DirectorySource::open(dir).map_err(|e| e.to_string())?;
+    let paths = source.paths().to_vec();
+    let config = StreamConfig::default().with_chunk_size(chunk_size);
 
     let mut flagged = 0usize;
     let mut unreadable = 0usize;
     let mut quarantined = 0usize;
-    for path in &paths {
-        let shown = path.display();
-        let decoded = {
-            let _decode = decode_seconds.span();
-            read_image(&shown.to_string())
-        };
-        match decoded {
-            Err(message) => {
-                unreadable += 1;
-                println!("unreadable  {shown}: {message}");
+    engine.score_stream(&mut source, &config, |index, result| {
+        let shown = paths[index].display();
+        match result {
+            Ok(scores) => {
+                let votes = entries.iter().filter(|(id, t)| t.is_attack(scores.get(*id))).count();
+                if 2 * votes > entries.len() {
+                    flagged += 1;
+                    println!("ATTACK      {shown}");
+                } else {
+                    println!("benign      {shown}");
+                }
             }
-            Ok(img) => match ensemble.is_attack(&img) {
-                Ok(true) => {
+            Err(err) => match err.cause {
+                // The file never decoded.
+                ScoreFault::Unreadable { message } => {
+                    unreadable += 1;
+                    println!("unreadable  {shown}: {message}");
+                }
+                // The file loaded but could not be scored; the degrade
+                // policy decides whether that is suspicious in itself.
+                _ if matches!(policy, DegradePolicy::FailClosed) => {
                     flagged += 1;
                     println!("ATTACK      {shown}");
                 }
-                Ok(false) => println!("benign      {shown}"),
-                // The file loaded but a detector could not score it (and
-                // the degrade policy did not absorb the failure).
-                Err(err) => {
+                _ => {
                     quarantined += 1;
                     println!("quarantined {shown}: {err}");
                 }
             },
         }
-    }
+    });
     println!(
         "scanned {} images: {flagged} flagged, {} accepted, \
          {quarantined} quarantined, {unreadable} unreadable",

@@ -231,19 +231,65 @@ fn scan_metrics_out_round_trips_through_the_parser() {
     let text = std::fs::read_to_string(&metrics).expect("scan must write --metrics-out");
     let parsed = decamouflage::telemetry::parse_prometheus_text(&text)
         .expect("scan exposition must satisfy the strict Prometheus parser");
-    assert!(parsed.has_family("decam_ensemble_decisions_total"), "{text}");
-    assert!(parsed.has_family("decam_ensemble_votes_total"), "{text}");
+    // Scan runs on the streaming engine: one scored sample per fixture,
+    // one chunk (3 < default chunk size), and the in-flight gauge back at
+    // zero once the stream has drained — the bounded-memory invariant.
+    assert!(parsed.has_family("decam_engine_scored_total"), "{text}");
     assert_eq!(
-        parsed.sample_value("decam_ensemble_decisions_total", &[("verdict", "benign")]),
+        parsed.sample_value("decam_engine_scored_total", &[]),
         Some(3.0),
-        "one decision per scanned fixture:\n{text}"
+        "one scored image per scanned fixture:\n{text}"
     );
-    // The decode stage is timed by the CLI itself, once per image.
+    assert_eq!(parsed.sample_value("decam_stream_chunks_total", &[]), Some(1.0), "{text}");
+    assert_eq!(parsed.sample_value("decam_stream_peak_chunk", &[]), Some(3.0), "{text}");
+    assert_eq!(parsed.sample_value("decam_stream_in_flight_images", &[]), Some(0.0), "{text}");
+    // The decode stage is timed by the directory source, once per image.
     let decode = text
         .lines()
         .find(|l| l.starts_with("decam_engine_stage_seconds_count{stage=\"decode\"}"))
         .unwrap_or_else(|| panic!("no decode stage samples:\n{text}"));
     assert!(decode.ends_with(" 3"), "expected 3 decode samples: {decode}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The CI bounded-memory smoke: a 64-image corpus scanned with
+/// `--chunk-size 1` (one decoded image resident at a time) must produce
+/// exactly the same verdict counts and exit code as the default chunked
+/// run.
+#[test]
+fn scan_chunk_size_one_matches_default_chunking() {
+    let root = std::env::temp_dir().join("decamouflage-cli-test-scan-chunked");
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).unwrap();
+    let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
+    for i in 0..32u64 {
+        write_bmp_file(&generator.benign(i), corpus.join(format!("b{i:02}.bmp"))).unwrap();
+        write_bmp_file(&generator.attack_image(i).unwrap(), corpus.join(format!("x{i:02}.bmp")))
+            .unwrap();
+    }
+
+    let scan = |chunk: Option<&str>| {
+        let mut cmd = bin();
+        cmd.arg("scan").arg(&corpus).args(["--target", "16x16"]);
+        if let Some(n) = chunk {
+            cmd.args(["--chunk-size", n]);
+        }
+        run(&mut cmd)
+    };
+    let (eager_code, eager_out, eager_err) = scan(None);
+    let (chunked_code, chunked_out, chunked_err) = scan(Some("1"));
+    assert_eq!(eager_code, chunked_code, "{eager_err} {chunked_err}");
+    let summary = |out: &str| {
+        out.lines()
+            .find(|l| l.starts_with("scanned "))
+            .map(str::to_owned)
+            .unwrap_or_else(|| panic!("no summary line:\n{out}"))
+    };
+    assert_eq!(summary(&eager_out), summary(&chunked_out), "verdict counts must match");
+    assert!(summary(&eager_out).starts_with("scanned 64 images:"), "{eager_out}");
+    // Per-image verdict lines are order- and content-identical too.
+    assert_eq!(eager_out, chunked_out, "scan output must not depend on chunking");
     std::fs::remove_dir_all(&root).ok();
 }
 
