@@ -10,6 +10,14 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== feature matrix: no-default-features / default / simd =="
+# The `simd` feature is a pure throughput knob with a bit-identity contract;
+# every configuration must build and pass the same suite.
+cargo build --workspace --no-default-features
+cargo test -q --workspace --no-default-features
+cargo build --release --workspace --features simd
+cargo test -q --workspace --features simd
+
 echo "== cargo test fault_injection =="
 cargo test -p decamouflage-core --test fault_injection
 
@@ -24,6 +32,13 @@ cargo test --test cli -- stats_emits_a_parseable_prometheus_exposition \
 echo "== bounded-memory smoke: scan --chunk-size 1 over 64 images matches eager =="
 cargo test --test cli -- scan_chunk_size_one_matches_default_chunking
 cargo test -p decamouflage-core --test stream_equivalence
+
+echo "== perf smoke: detector gates + SSIM stage share =="
+# Best-of-N latency gates from the bench harness (engine < 1500 us/image,
+# batch <= 1.05x, streaming <= 1.02x, telemetry <= 1.02x) in smoke mode, then
+# the stage profiler asserting SSIM consumes < 50% of scoring wall-clock.
+BENCH_SMOKE=1 cargo bench -p decamouflage-bench --bench detectors --features simd
+cargo run --release -p decamouflage-bench --bin stage_profile --features simd
 
 echo "== cargo clippy =="
 cargo clippy --all-targets -- -D warnings

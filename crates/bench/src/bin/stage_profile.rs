@@ -1,0 +1,85 @@
+//! Per-stage latency profile of the detection engine, read from its own
+//! telemetry timers over a synthetic corpus.
+//!
+//! Prints µs/image for every shared stage and per-method increment, plus
+//! the SSIM share of total engine time. Used by `ci.sh` as the stage-share
+//! gate: exits non-zero if the SSIM pipeline (reference build + both SSIM
+//! method increments) consumes [`SSIM_SHARE_LIMIT`] or more of an engine
+//! pass — the vectorized-kernel tentpole's promise that SSIM no longer
+//! dominates scoring.
+//!
+//! Usage: `stage_profile [repeats]` (default 5 passes over 64 images).
+
+use decamouflage_bench::corpus::{DetectorSet, MixedAttackGenerator};
+use decamouflage_datasets::DatasetProfile;
+use decamouflage_imaging::{Image, Size};
+use decamouflage_telemetry::Telemetry;
+
+/// Ceiling on the SSIM share of one engine pass.
+const SSIM_SHARE_LIMIT: f64 = 0.50;
+
+/// Images per class (64 images total), mirroring the detectors bench.
+const CORPUS_PER_CLASS: usize = 32;
+
+fn main() {
+    let repeats: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    let mut profile = DatasetProfile::tiny();
+    profile.name = "stage-profile";
+    profile.source_sizes = vec![Size::square(128)];
+    profile.target_size = Size::square(32);
+    let generator = MixedAttackGenerator::new(profile.clone());
+    let detectors = DetectorSet::new(&profile);
+    let telemetry = Telemetry::enabled();
+    let engine = detectors.engine().clone().with_telemetry(telemetry.clone());
+
+    let images: Vec<Image> = (0..CORPUS_PER_CLASS as u64)
+        .flat_map(|i| [generator.benign(i), generator.attack(i)])
+        .collect();
+    for _ in 0..repeats {
+        for image in &images {
+            let _ = engine.score(image).expect("synthetic corpus scores cleanly");
+        }
+    }
+
+    let per_image = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        let snapshot = telemetry.histogram(name, labels).snapshot().expect("telemetry enabled");
+        if snapshot.count() == 0 {
+            0.0
+        } else {
+            snapshot.sum() / (repeats * images.len()) as f64 * 1e6
+        }
+    };
+
+    let total = per_image("decam_engine_score_seconds", &[]);
+    println!("engine total: {total:.1} µs/image over {} images x {repeats} passes", images.len());
+    println!("-- shared stages --");
+    let mut ssim_us = 0.0;
+    for stage in ["validate", "scale_round_trip", "rank_filter", "ssim_reference", "dft"] {
+        let us = per_image("decam_engine_stage_seconds", &[("stage", stage)]);
+        println!("  {stage:<18} {us:8.1} µs/image");
+        if stage == "ssim_reference" {
+            ssim_us += us;
+        }
+    }
+    println!("-- per-method increments --");
+    for method in decamouflage_core::MethodId::ALL {
+        let us = per_image("decam_method_score_seconds", &[("method", method.name())]);
+        println!("  {:<18} {us:8.1} µs/image", method.name());
+        if matches!(method.name(), "scaling/ssim" | "filtering/ssim") {
+            ssim_us += us;
+        }
+    }
+
+    let share = if total > 0.0 { ssim_us / total } else { 0.0 };
+    println!(
+        "SSIM share (reference + scaling/ssim + filtering/ssim): {:.1}% of engine pass \
+         (gate {:.0}%)",
+        share * 100.0,
+        SSIM_SHARE_LIMIT * 100.0
+    );
+    if share >= SSIM_SHARE_LIMIT {
+        eprintln!("FAIL: SSIM stage share exceeds the {SSIM_SHARE_LIMIT:.2} gate");
+        std::process::exit(1);
+    }
+}

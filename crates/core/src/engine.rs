@@ -14,9 +14,10 @@
 //!   scaling *and* filtering SSIM scores, with the blurs on the fast
 //!   scratch-buffer convolution path,
 //! * one planned DFT serves the CSP count (via the fused
-//!   [`count_csp_in_spectrum`] pipeline) **and** the radial peak-excess
-//!   score — with the engine's default rectangular peak window the
-//!   windowing step is the identity, so no second transform runs.
+//!   [`count_csp_in_spectrum_with_mags`] pipeline) **and** the radial
+//!   peak-excess score, which also share one `log(1 + |F|)` buffer — with
+//!   the engine's default rectangular peak window the windowing step is
+//!   the identity, so no second transform runs.
 //!
 //! The methods themselves live in the typed registry
 //! ([`MethodId`]): scores come back as a dense
@@ -50,7 +51,7 @@ use decamouflage_imaging::filter::{rank_filter, RankKind};
 use decamouflage_imaging::scale::{ScaleAlgorithm, ScalerCache};
 use decamouflage_imaging::{Image, Size};
 use decamouflage_metrics::{mse, SsimConfig, SsimReference};
-use decamouflage_spectral::csp::{count_csp_in_spectrum, CspConfig};
+use decamouflage_spectral::csp::{count_csp_in_spectrum_with_mags, CspConfig};
 use decamouflage_spectral::dft2d::dft2_planned;
 use decamouflage_spectral::radial::peak_excess;
 use decamouflage_spectral::window::{apply_window, WindowKind};
@@ -586,16 +587,22 @@ impl DetectionEngine {
 
         let mut centered_spectrum = None;
         if self.methods.contains(MethodId::Csp) || self.methods.contains(MethodId::PeakExcess) {
-            // One planned DFT serves both frequency-domain methods.
-            let spectrum = {
+            // One planned DFT serves both frequency-domain methods, and —
+            // since both start from `log(1 + |F|)` of the same grid — one
+            // log-magnitude buffer serves their fused passes (the logs are
+            // the expensive half of each).
+            let (spectrum, mags) = {
                 let _stage = self.metrics.dft.span();
-                dft2_planned(image)
+                let spectrum = dft2_planned(image);
+                let mags = spectrum.log_magnitudes();
+                (spectrum, mags)
             };
             if self.methods.contains(MethodId::Csp) {
                 let _method = self.metrics.method(MethodId::Csp).span();
                 scores.set(
                     MethodId::Csp,
-                    count_csp_in_spectrum(&spectrum, &self.csp_config).count as f64,
+                    count_csp_in_spectrum_with_mags(&spectrum, &mags, &self.csp_config).count
+                        as f64,
                 );
                 fused.insert(MethodId::Csp);
             }
@@ -606,12 +613,12 @@ impl DetectionEngine {
                 let centred = if self.peak_window == WindowKind::Rectangular {
                     // A rectangular window is the identity, so the CSP
                     // plan's DFT *is* the windowed spectrum — shift and
-                    // log-normalise it instead of transforming again.
-                    spectrum.shifted().log_magnitude()
+                    // log-normalise its shared magnitudes instead of
+                    // transforming again.
+                    spectrum.centered_log_magnitude_from(&mags)
                 } else {
                     dft2_planned(&apply_window(&image.to_gray(), self.peak_window))
-                        .shifted()
-                        .log_magnitude()
+                        .centered_log_magnitude()
                 };
                 let (min_r, max_r) = peak.radii_for(image);
                 scores.set(MethodId::PeakExcess, peak_excess(&centred, min_r.max(1), max_r.max(2)));
@@ -666,8 +673,20 @@ impl DetectionEngine {
         if width == 0 || height == 0 {
             return Err(ScoreError::new(ScoreFault::DegenerateDimensions { width, height }));
         }
-        if let Some(sample) = image.as_slice().iter().position(|v| !v.is_finite()) {
-            return Err(ScoreError::new(ScoreFault::NonFinitePixel { sample }));
+        // Two-phase finite scan: `x * 0.0` is `0.0` exactly when `x` is
+        // finite (NaN/±inf yield NaN), so the blockwise sum is NaN iff the
+        // block holds a non-finite sample. The sum has no early exit and
+        // autovectorizes; the scalar `position` scan runs only on the rare
+        // offending block, and reports the same first index it always did.
+        let pixels = image.as_slice();
+        for (block, samples) in pixels.chunks(1024).enumerate() {
+            let probe: f64 = samples.iter().map(|v| v * 0.0).sum();
+            if !probe.is_finite() {
+                let offset = samples.iter().position(|v| !v.is_finite()).expect("probe found one");
+                return Err(ScoreError::new(ScoreFault::NonFinitePixel {
+                    sample: block * 1024 + offset,
+                }));
+            }
         }
         let min_side = width.min(height);
         let too_small = |required: usize, requirement: &'static str, id: MethodId| {
@@ -790,6 +809,24 @@ impl DetectionEngine {
         mut consume: impl FnMut(usize, Result<ScoreVector, ScoreError>),
     ) -> StreamSummary {
         let mut driver = ChunkDriver::new(source, config, &self.metrics.telemetry);
+        // With a single participant there is no fan-out to stage a chunk
+        // for; score each slot as it is pulled. The per-slot sequence
+        // (pull, fault plan, validation, scoring) and the consume order
+        // are exactly those of the chunked path, so results, errors and
+        // the stream summary are identical — only the staging memory
+        // traffic (which makes every staged image cache-cold before it
+        // scores) is gone.
+        if config.threads <= 1 {
+            while let Some((index, pulled)) = driver.next_item() {
+                let (result, image) = self.score_slot(index, pulled);
+                if let Some(image) = image {
+                    driver.recycle(image);
+                }
+                consume(index, result);
+                driver.item_done();
+            }
+            return driver.summary();
+        }
         while let Some(chunk) = driver.next_chunk() {
             let results = parallel_map_indices(chunk.len(), config.threads, |offset| {
                 self.score_slot(chunk.base() + offset, chunk.take(offset))
@@ -842,6 +879,43 @@ impl DetectionEngine {
         });
         let attack = results.split_off(count);
         BatchOutcome { benign: results, attack }
+    }
+
+    /// Fault-isolated scoring of a resident corpus by reference: each
+    /// slice element scores in place — no staging, no buffer copies — with
+    /// the same per-slot quarantine as the streamed paths (validation
+    /// rejections, scoring errors and payload panics land in that slot's
+    /// [`ScoreError`], addressed by slice index). With `threads > 1` the
+    /// slots fan out over the worker pool.
+    ///
+    /// This is the cheapest batch entry point when the images are already
+    /// in memory: per slot it adds only validation and the unwind guard
+    /// over [`DetectionEngine::score`]. Sources that must materialize
+    /// images (generators, decoders, bounded-memory streams) go through
+    /// [`DetectionEngine::score_corpus_resilient`] /
+    /// [`DetectionEngine::score_stream`] instead.
+    pub fn score_images(
+        &self,
+        images: &[Image],
+        threads: usize,
+    ) -> Vec<Result<ScoreVector, ScoreError>> {
+        parallel_map_indices(images.len(), threads, |index| {
+            // Mirror `score_slot`: validation and scoring both run inside
+            // the unwind boundary, so a panic anywhere quarantines only
+            // this slot.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let image = &images[index];
+                if let Err(err) = self.validate_image(image) {
+                    return Err(err.at_index(index));
+                }
+                self.score(image).map_err(|err| ScoreError::detect(index, err))
+            }));
+            let result = match attempt {
+                Ok(result) => result,
+                Err(payload) => Err(ScoreError::panicked(index, payload)),
+            };
+            result.inspect_err(|err| self.metrics.quarantined(&err.cause))
+        })
     }
 
     /// Majority vote over the thresholded methods, scored in one engine
@@ -1032,6 +1106,24 @@ mod tests {
             assert_eq!(column[2], corpus.benign[2].get(id));
             assert_eq!(corpus.attack_column(id)[1], corpus.attack[1].get(id));
         }
+    }
+
+    #[test]
+    fn score_images_matches_score_and_quarantines_per_slot() {
+        let engine = DetectionEngine::new(Size::square(8));
+        let mut poisoned = smooth(24);
+        poisoned.set(3, 5, 0, f64::NAN);
+        let images = vec![smooth(24), poisoned, smooth(32)];
+        for threads in [1, 3] {
+            let results = engine.score_images(&images, threads);
+            assert_eq!(results.len(), 3);
+            assert_eq!(*results[0].as_ref().unwrap(), engine.score(&images[0]).unwrap());
+            assert_eq!(*results[2].as_ref().unwrap(), engine.score(&images[2]).unwrap());
+            let err = results[1].as_ref().unwrap_err();
+            assert_eq!(err.index, 1);
+            assert!(matches!(err.cause, crate::error::ScoreFault::NonFinitePixel { .. }));
+        }
+        assert!(engine.score_images(&[], 1).is_empty());
     }
 
     #[test]

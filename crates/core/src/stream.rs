@@ -333,6 +333,41 @@ impl<'a> ChunkDriver<'a> {
         Some(Chunk { base, slots })
     }
 
+    /// Pulls a single item — the sequential fast path used when only one
+    /// participant scores the stream. Staging a whole chunk buys nothing
+    /// without workers to fan it out to, and costs real memory traffic:
+    /// every staged image is cache-cold by the time it scores and the
+    /// staged chunk evicts the scorer's working set. Pull panics are
+    /// caught exactly as in [`ChunkDriver::next_chunk`], and the chunk
+    /// accounting (chunk count, peak size, telemetry) advances as if the
+    /// items had been staged `chunk_size` at a time, so
+    /// [`StreamSummary`] is identical between the two drive modes.
+    pub fn next_item(&mut self) -> Option<(usize, Result<Image, ScoreError>)> {
+        let index = self.next_index;
+        let pulled = match catch_unwind(AssertUnwindSafe(|| self.source.next_image(&mut self.pool)))
+        {
+            Ok(None) => return None,
+            Ok(Some(item)) => item.map_err(|err| err.at_index(index)),
+            Err(payload) => Err(ScoreError::panicked(index, payload)),
+        };
+        let position_in_chunk = index % self.chunk_size;
+        if position_in_chunk == 0 {
+            self.chunks += 1;
+            self.metrics.chunks_total.inc();
+        }
+        self.next_index = index + 1;
+        self.peak_chunk = self.peak_chunk.max(position_in_chunk + 1);
+        self.metrics.in_flight.set(1.0);
+        self.metrics.peak_chunk.set(self.peak_chunk as f64);
+        Some((index, pulled))
+    }
+
+    /// Marks the item handed out by [`ChunkDriver::next_item`] as scored
+    /// (drops the in-flight gauge back to zero).
+    pub fn item_done(&mut self) {
+        self.metrics.in_flight.set(0.0);
+    }
+
     /// Returns a scored image's buffer to the pool.
     pub fn recycle(&mut self, image: Image) {
         self.pool.recycle(image);

@@ -1,5 +1,22 @@
 //! Separable convolution with border replication.
+//!
+//! Two implementations are kept deliberately:
+//!
+//! * [`convolve_separable`] — the scalar reference: per-pixel clamped reads,
+//!   easy to audit, used by tests as ground truth.
+//! * [`convolve_separable_with_scratch`] / [`convolve_planes_with_scratch`]
+//!   — the production path: flat, contiguous, row-major passes over
+//!   `&[f64]` buffers with the per-pixel bounds checks hoisted out of the
+//!   inner loops, **bit-identical** to the reference (each output sample
+//!   accumulates the same taps in the same ascending order starting from
+//!   `0.0`, with border clamping applied to exactly the same reads).
+//!
+//! The interior of the horizontal pass and the whole vertical pass run
+//! tap-outer: for each tap, one stride-1 SAXPY over the row
+//! ([`crate::simd::axpy`]), which the autovectorizer turns into packed
+//! mul/add at the SSE2 baseline and the `simd` feature widens to AVX.
 
+use crate::simd::{weighted_sum_rows, WEIGHTED_SUM_MAX_ROWS};
 use crate::{Image, ImagingError};
 
 /// A 1-D convolution kernel with an explicit anchor (centre) position.
@@ -131,13 +148,19 @@ pub fn convolve_separable(
     Ok(out)
 }
 
-/// Reusable buffers for [`convolve_separable_with_scratch`].
+/// Reusable buffers for [`convolve_separable_with_scratch`] and
+/// [`convolve_planes_with_scratch`].
 ///
 /// Holding one of these across calls avoids the intermediate-image
 /// allocation of every convolution; buffers grow to the largest image seen.
 #[derive(Debug, Default)]
 pub struct ConvScratch {
-    mid: Vec<f64>,
+    /// Ring of horizontally convolved rows feeding the vertical pass. Sized
+    /// to the next power of two above the vertical kernel length, so the
+    /// intermediate stays L1-resident instead of a full image plane.
+    ring: Vec<f64>,
+    /// Staging row for [`PlaneSource::Product`] planes (one image row).
+    row: Vec<f64>,
 }
 
 impl ConvScratch {
@@ -145,6 +168,198 @@ impl ConvScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// One input plane of a fused multi-plane convolution.
+///
+/// The SSIM pipeline blurs five maps per image pair — `a`, `b`, `a·a`,
+/// `b·b` and `a·b`. Materialising the three product images costs three
+/// full-size allocations and passes over memory per score;
+/// [`PlaneSource::Product`] instead forms each product row on the fly in a
+/// single staging row while the horizontal sweep consumes it. Because
+/// border handling clamps the *index* before reading, the product of
+/// clamped reads equals the clamped read of the product — the result is
+/// bit-identical to convolving a materialised product image.
+#[derive(Debug, Clone, Copy)]
+pub enum PlaneSource<'a> {
+    /// The image's own samples.
+    Image(&'a Image),
+    /// The elementwise product of two same-shaped images.
+    Product(&'a Image, &'a Image),
+}
+
+impl PlaneSource<'_> {
+    fn shape(&self) -> Result<(usize, usize, usize), ImagingError> {
+        match self {
+            PlaneSource::Image(img) => Ok(img.shape()),
+            PlaneSource::Product(a, b) => {
+                if a.shape() != b.shape() {
+                    return Err(ImagingError::ShapeMismatch { left: a.shape(), right: b.shape() });
+                }
+                Ok(a.shape())
+            }
+        }
+    }
+}
+
+/// Convolves one row (flat, channel-interleaved) with `taps`/`anchor`,
+/// writing into `mid_row`. `int_lo..int_hi` is the pixel range where every
+/// tap lands in bounds; border pixels use the clamped reads of the
+/// reference implementation, interior pixels run tap-outer stride-1 SAXPY.
+/// Both accumulate each output over ascending taps from 0.0, so the float
+/// sums are bit-identical to the reference's sample-outer loop.
+#[allow(clippy::too_many_arguments)]
+fn hconv_row(
+    src_row: &[f64],
+    mid_row: &mut [f64],
+    taps: &[f64],
+    anchor: usize,
+    w: usize,
+    ch: usize,
+    int_lo: usize,
+    int_hi: usize,
+) {
+    let border = |x: usize, mid_row: &mut [f64]| {
+        for c in 0..ch {
+            let mut acc = 0.0;
+            for (k, &wgt) in taps.iter().enumerate() {
+                let sx =
+                    (x as isize + k as isize - anchor as isize).clamp(0, w as isize - 1) as usize;
+                acc += wgt * src_row[sx * ch + c];
+            }
+            mid_row[x * ch + c] = acc;
+        }
+    };
+    for x in 0..int_lo {
+        border(x, mid_row);
+    }
+    if int_hi > int_lo {
+        let dst = &mut mid_row[int_lo * ch..int_hi * ch];
+        let len = dst.len();
+        // All taps of one group fuse into a single register-accumulating
+        // sweep; wider kernels chain groups with `accumulate = true`
+        // (per-element add order stays ascending — bit-identical).
+        let mut srcs: [&[f64]; WEIGHTED_SUM_MAX_ROWS] = [&[]; WEIGHTED_SUM_MAX_ROWS];
+        for (k0, group) in
+            (0..taps.len()).step_by(WEIGHTED_SUM_MAX_ROWS).zip(taps.chunks(WEIGHTED_SUM_MAX_ROWS))
+        {
+            for (s, k) in srcs.iter_mut().zip(k0..k0 + group.len()) {
+                let src_lo = (int_lo + k - anchor) * ch;
+                *s = &src_row[src_lo..src_lo + len];
+            }
+            weighted_sum_rows(dst, &srcs[..group.len()], group, k0 > 0);
+        }
+    }
+    for x in int_hi..w {
+        border(x, mid_row);
+    }
+}
+
+/// Fused separable convolution of several planes of one image shape in one
+/// call: each `planes[i]` is blurred into `outputs[i]` (resized to
+/// `w * h * channels`, row-major interleaved — the layout of
+/// [`Image::as_slice`]).
+///
+/// Results are **bit-identical** to calling [`convolve_separable`] on each
+/// plane (with products materialised via `zip_map`); what the fusion buys
+/// is memory: the horizontal intermediate is a ring of `O(kernel)` rows
+/// streamed just ahead of the vertical window — L1-resident instead of a
+/// full image plane — plus one staging row and caller-reused output buffers
+/// instead of five intermediate images per SSIM score. The vertical pass
+/// reduces each output row as one register-accumulating weighted sum of the
+/// (clamped) ring rows of all taps, grouped by [`WEIGHTED_SUM_MAX_ROWS`].
+///
+/// # Errors
+///
+/// Returns [`ImagingError::ShapeMismatch`] if the planes disagree on shape
+/// (including the two factors of a [`PlaneSource::Product`]) and
+/// [`ImagingError::InvalidParameter`] if `planes` and `outputs` have
+/// different lengths.
+pub fn convolve_planes_with_scratch(
+    planes: &[PlaneSource<'_>],
+    horizontal: &Kernel1D,
+    vertical: &Kernel1D,
+    scratch: &mut ConvScratch,
+    outputs: &mut [&mut Vec<f64>],
+) -> Result<(), ImagingError> {
+    if planes.len() != outputs.len() {
+        return Err(ImagingError::InvalidParameter {
+            message: format!("{} planes but {} outputs", planes.len(), outputs.len()),
+        });
+    }
+    let Some(first) = planes.first() else { return Ok(()) };
+    let (w, h, ch) = first.shape()?;
+    for plane in &planes[1..] {
+        let shape = plane.shape()?;
+        if shape != (w, h, ch) {
+            return Err(ImagingError::ShapeMismatch { left: (w, h, ch), right: shape });
+        }
+    }
+    let samples = w * h * ch;
+    let row_len = w * ch;
+
+    // Interior pixel range of the horizontal pass: every tap in bounds
+    // means x - anchor >= 0 and x + (len - 1 - anchor) <= w - 1, i.e.
+    // x in [anchor, w + anchor - len].
+    let taps_h = horizontal.weights();
+    let anchor_h = horizontal.anchor();
+    let int_lo = anchor_h.min(w);
+    let int_hi = (w + anchor_h + 1).saturating_sub(taps_h.len()).clamp(int_lo, w);
+
+    let taps_v = vertical.weights();
+    let anchor_v = vertical.anchor();
+    // Ring capacity: power of two covering the vertical window, so slot
+    // lookup is `sy % ring_cap` and a row is only overwritten once every
+    // output that reads it has been produced.
+    let ring_cap = taps_v.len().next_power_of_two();
+
+    let ConvScratch { ring, row } = scratch;
+    ring.resize(ring_cap * row_len, 0.0);
+    row.resize(row_len, 0.0);
+
+    for (plane, out) in planes.iter().zip(outputs.iter_mut()) {
+        out.resize(samples, 0.0);
+        // First source row not yet h-convolved into the ring.
+        let mut next_mid = 0usize;
+        for y in 0..h {
+            // Highest source row the vertical window of `y` touches.
+            let hi = (y + taps_v.len() - 1).saturating_sub(anchor_v).min(h - 1);
+            while next_mid <= hi {
+                let slot = next_mid % ring_cap;
+                let mid_row = &mut ring[slot * row_len..(slot + 1) * row_len];
+                let src_row: &[f64] = match plane {
+                    PlaneSource::Image(img) => {
+                        &img.as_slice()[next_mid * row_len..(next_mid + 1) * row_len]
+                    }
+                    PlaneSource::Product(a, b) => {
+                        let a_row = &a.as_slice()[next_mid * row_len..(next_mid + 1) * row_len];
+                        let b_row = &b.as_slice()[next_mid * row_len..(next_mid + 1) * row_len];
+                        for ((r, &av), &bv) in row.iter_mut().zip(a_row).zip(b_row) {
+                            *r = av * bv;
+                        }
+                        row
+                    }
+                };
+                hconv_row(src_row, mid_row, taps_h, anchor_h, w, ch, int_lo, int_hi);
+                next_mid += 1;
+            }
+            let out_row = &mut out[y * row_len..(y + 1) * row_len];
+            let mut srcs: [&[f64]; WEIGHTED_SUM_MAX_ROWS] = [&[]; WEIGHTED_SUM_MAX_ROWS];
+            for (k0, group) in (0..taps_v.len())
+                .step_by(WEIGHTED_SUM_MAX_ROWS)
+                .zip(taps_v.chunks(WEIGHTED_SUM_MAX_ROWS))
+            {
+                for (s, k) in srcs.iter_mut().zip(k0..k0 + group.len()) {
+                    let sy = (y as isize + k as isize - anchor_v as isize).clamp(0, h as isize - 1)
+                        as usize;
+                    let slot = sy % ring_cap;
+                    *s = &ring[slot * row_len..(slot + 1) * row_len];
+                }
+                weighted_sum_rows(out_row, &srcs[..group.len()], group, k0 > 0);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// [`convolve_separable`] with reusable scratch buffers and a fast interior
@@ -166,71 +381,15 @@ pub fn convolve_separable_with_scratch(
     vertical: &Kernel1D,
     scratch: &mut ConvScratch,
 ) -> Result<Image, ImagingError> {
-    let (w, h, ch) = (img.width(), img.height(), img.channel_count());
-    let src = img.as_slice();
-    let samples = w * h * ch;
-    scratch.mid.clear();
-    scratch.mid.resize(samples, 0.0);
-    let mid = &mut scratch.mid;
-
-    // Horizontal pass. A pixel is "interior" when every tap lands in
-    // bounds: x - anchor >= 0 and x + (len - 1 - anchor) <= w - 1, i.e.
-    // x in [anchor, w + anchor - len]. Border pixels fall back to the
-    // clamped reads of the reference implementation.
-    let taps_h = horizontal.weights();
-    let anchor_h = horizontal.anchor();
-    let int_lo = anchor_h.min(w);
-    let int_hi = (w + anchor_h + 1).saturating_sub(taps_h.len()).clamp(int_lo, w);
-    for y in 0..h {
-        for c in 0..ch {
-            let row = y * w * ch + c;
-            for x in 0..int_lo {
-                let mut acc = 0.0;
-                for (k, &wgt) in taps_h.iter().enumerate() {
-                    let sx = x as isize + k as isize - anchor_h as isize;
-                    acc += wgt * img.get_clamped(sx, y as isize, c);
-                }
-                mid[row + x * ch] = acc;
-            }
-            for x in int_lo..int_hi {
-                let base = row + (x - anchor_h) * ch;
-                let mut acc = 0.0;
-                for (k, &wgt) in taps_h.iter().enumerate() {
-                    acc += wgt * src[base + k * ch];
-                }
-                mid[row + x * ch] = acc;
-            }
-            for x in int_hi..w {
-                let mut acc = 0.0;
-                for (k, &wgt) in taps_h.iter().enumerate() {
-                    let sx = x as isize + k as isize - anchor_h as isize;
-                    acc += wgt * img.get_clamped(sx, y as isize, c);
-                }
-                mid[row + x * ch] = acc;
-            }
-        }
-    }
-
-    // Vertical pass, tap-outer over whole rows: each output sample still
-    // accumulates its taps in ascending-k order (starting from 0.0), so the
-    // per-sample float sums match the reference pass exactly, while only
-    // the h * len row lookups need clamping.
-    let taps_v = vertical.weights();
-    let anchor_v = vertical.anchor();
-    let row_len = w * ch;
-    let mut out = vec![0.0; samples];
-    for y in 0..h {
-        let out_row = &mut out[y * row_len..(y + 1) * row_len];
-        for (k, &wgt) in taps_v.iter().enumerate() {
-            let sy =
-                (y as isize + k as isize - anchor_v as isize).clamp(0, h as isize - 1) as usize;
-            let mid_row = &mid[sy * row_len..(sy + 1) * row_len];
-            for (o, &m) in out_row.iter_mut().zip(mid_row.iter()) {
-                *o += wgt * m;
-            }
-        }
-    }
-    Image::from_vec(w, h, img.channels(), out)
+    let mut out = Vec::new();
+    convolve_planes_with_scratch(
+        &[PlaneSource::Image(img)],
+        horizontal,
+        vertical,
+        scratch,
+        &mut [&mut out],
+    )?;
+    Image::from_vec(img.width(), img.height(), img.channels(), out)
 }
 
 #[cfg(test)]
@@ -344,6 +503,86 @@ mod tests {
             let fast = convolve_separable_with_scratch(&img, &k, &k, &mut scratch).unwrap();
             assert_eq!(reference.as_slice(), fast.as_slice(), "side {side}");
         }
+    }
+
+    #[test]
+    fn fused_planes_are_bit_identical_to_staged_reference() {
+        let mut scratch = ConvScratch::new();
+        let a = Image::from_fn_rgb(13, 9, |x, y| {
+            let v = ((x * 31 + y * 17) % 64) as f64 - 12.5;
+            [v, v * 0.5 - 7.0, 255.0 - v]
+        });
+        let b = a.map(|v| (v * 0.9 + 4.0).min(255.0));
+        for kh in [
+            Kernel1D::centered(vec![1.0 / 11.0; 11]).unwrap(),
+            Kernel1D::new(vec![0.3, 0.3, 0.4], 0).unwrap(),
+        ] {
+            let kv = Kernel1D::centered(vec![0.25, 0.5, 0.25]).unwrap();
+            let (mut o0, mut o1, mut o2) = (Vec::new(), Vec::new(), Vec::new());
+            convolve_planes_with_scratch(
+                &[
+                    PlaneSource::Image(&a),
+                    PlaneSource::Product(&a, &a),
+                    PlaneSource::Product(&a, &b),
+                ],
+                &kh,
+                &kv,
+                &mut scratch,
+                &mut [&mut o0, &mut o1, &mut o2],
+            )
+            .unwrap();
+            let staged = |img: &Image| convolve_separable(img, &kh, &kv).unwrap();
+            assert_eq!(o0, staged(&a).as_slice());
+            assert_eq!(o1, staged(&a.zip_map(&a, |x, y| x * y).unwrap()).as_slice());
+            assert_eq!(o2, staged(&a.zip_map(&b, |x, y| x * y).unwrap()).as_slice());
+        }
+    }
+
+    #[test]
+    fn fused_planes_reject_shape_mismatch_and_arity_mismatch() {
+        let mut scratch = ConvScratch::new();
+        let k = Kernel1D::centered(vec![1.0]).unwrap();
+        let a = Image::zeros(4, 4, Channels::Gray);
+        let b = Image::zeros(4, 5, Channels::Gray);
+        let mut out = Vec::new();
+        assert!(convolve_planes_with_scratch(
+            &[PlaneSource::Product(&a, &b)],
+            &k,
+            &k,
+            &mut scratch,
+            &mut [&mut out],
+        )
+        .is_err());
+        assert!(convolve_planes_with_scratch(
+            &[PlaneSource::Image(&a), PlaneSource::Image(&b)],
+            &k,
+            &k,
+            &mut scratch,
+            &mut [&mut out],
+        )
+        .is_err());
+        assert!(convolve_planes_with_scratch(
+            &[PlaneSource::Image(&a)],
+            &k,
+            &k,
+            &mut scratch,
+            &mut [],
+        )
+        .is_err());
+        // Empty call is a no-op.
+        assert!(convolve_planes_with_scratch(&[], &k, &k, &mut scratch, &mut []).is_ok());
+    }
+
+    #[test]
+    fn kernel_wider_than_image_stays_bit_identical() {
+        // radius >= width/2: the interior range is empty, every pixel is a
+        // border pixel.
+        let mut scratch = ConvScratch::new();
+        let img = Image::from_fn_gray(3, 5, |x, y| (x * 7 + y * 3) as f64);
+        let k = Kernel1D::centered(vec![1.0 / 9.0; 9]).unwrap();
+        let reference = convolve_separable(&img, &k, &k).unwrap();
+        let fast = convolve_separable_with_scratch(&img, &k, &k, &mut scratch).unwrap();
+        assert_eq!(reference.as_slice(), fast.as_slice());
     }
 
     #[test]

@@ -1,7 +1,15 @@
 //! Gaussian blur built on separable convolution.
 
-use crate::filter::{convolve_separable, Kernel1D};
+use crate::filter::{convolve_separable_with_scratch, ConvScratch, Kernel1D};
 use crate::{Image, ImagingError};
+
+thread_local! {
+    /// Reused convolution buffers — `gaussian_blur` sits inside dataset
+    /// generation and anti-aliased resize loops, so the intermediate must
+    /// not be reallocated per call.
+    static BLUR_SCRATCH: std::cell::RefCell<ConvScratch> =
+        std::cell::RefCell::new(ConvScratch::new());
+}
 
 /// Builds a normalised 1-D Gaussian kernel of standard deviation `sigma`.
 ///
@@ -48,13 +56,17 @@ pub fn gaussian_kernel(sigma: f64, radius: Option<usize>) -> Result<Kernel1D, Im
 
 /// Blurs an image with an isotropic Gaussian of standard deviation `sigma`.
 ///
+/// Runs on the flat scratch-reusing convolution (bit-identical to
+/// [`crate::filter::convolve_separable`] with the same kernel).
+///
 /// # Errors
 ///
 /// Returns [`ImagingError::InvalidParameter`] if `sigma` is not a positive
 /// finite number.
 pub fn gaussian_blur(img: &Image, sigma: f64) -> Result<Image, ImagingError> {
     let k = gaussian_kernel(sigma, None)?;
-    convolve_separable(img, &k, &k)
+    BLUR_SCRATCH
+        .with(|scratch| convolve_separable_with_scratch(img, &k, &k, &mut scratch.borrow_mut()))
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@ mod gaussian;
 mod integral;
 mod rank;
 
-pub use conv::{convolve_separable, convolve_separable_with_scratch, ConvScratch, Kernel1D};
+pub use conv::{
+    convolve_planes_with_scratch, convolve_separable, convolve_separable_with_scratch, ConvScratch,
+    Kernel1D, PlaneSource,
+};
 pub use gaussian::{gaussian_blur, gaussian_kernel};
 pub use integral::{box_mean, IntegralImage};
 pub use rank::{maximum_filter, median_filter, minimum_filter, rank_filter, RankKind};

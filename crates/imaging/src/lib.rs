@@ -29,7 +29,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for the optional `simd` feature, whose
+// `core::arch` intrinsics live behind `#[allow(unsafe_code)]` in `simd.rs`
+// (forbid cannot be locally overridden, so the crate-level lint degrades
+// to `deny` when the feature is on).
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod error;
@@ -42,6 +47,7 @@ pub mod codec;
 pub mod draw;
 pub mod filter;
 pub mod scale;
+pub mod simd;
 
 pub use error::ImagingError;
 pub use geometry::{Rect, Size};

@@ -159,6 +159,13 @@ impl Scaler {
     /// vertical pass runs first, then the horizontal pass (the result of a
     /// separable linear operator does not depend on pass order).
     ///
+    /// Both passes run over flat interleaved rows: the vertical pass is a
+    /// tap-outer SAXPY of whole source rows into each destination row
+    /// ([`crate::simd::axpy`]), the horizontal pass accumulates each output
+    /// in a register over its ascending taps. Per output sample the taps
+    /// are added in exactly the order [`CoeffMatrix::apply_into`] uses, so
+    /// the result is bit-identical to the per-column gather formulation.
+    ///
     /// # Errors
     ///
     /// Returns [`ImagingError::ShapeMismatch`] if `img` is not of the
@@ -171,41 +178,48 @@ impl Scaler {
             });
         }
         let channels = img.channel_count();
-        let (sw, sh) = (self.src.width, self.src.height);
+        let (sw, _sh) = (self.src.width, self.src.height);
         let (dw, dh) = (self.dst.width, self.dst.height);
+        let src = img.as_slice();
+        let src_row_len = sw * channels;
 
-        // Vertical pass: sw x sh -> sw x dh, per channel.
-        let mut mid = vec![0.0; sw * dh * channels];
-        let mut col = vec![0.0; sh];
-        let mut col_out = vec![0.0; dh];
-        for c in 0..channels {
-            for x in 0..sw {
-                for (y, v) in col.iter_mut().enumerate() {
-                    *v = img.get(x, y, c);
+        // Vertical pass: sw x sh -> sw x dh. Each destination row is one
+        // register-accumulating weighted sum of its source rows in ascending
+        // tap order (grouped by WEIGHTED_SUM_MAX_ROWS; chained groups keep
+        // the add order, so the result is bit-identical to the historical
+        // per-tap SAXPY chain).
+        use crate::simd::{weighted_sum_rows, WEIGHTED_SUM_MAX_ROWS};
+        let mut mid = vec![0.0; src_row_len * dh];
+        let mut srcs: [&[f64]; WEIGHTED_SUM_MAX_ROWS] = [&[]; WEIGHTED_SUM_MAX_ROWS];
+        let mut wbuf = [0.0f64; WEIGHTED_SUM_MAX_ROWS];
+        for (taps, mid_row) in self.vertical.iter_rows().zip(mid.chunks_exact_mut(src_row_len)) {
+            for (g, group) in taps.chunks(WEIGHTED_SUM_MAX_ROWS).enumerate() {
+                for (slot, &(j, weight)) in group.iter().enumerate() {
+                    srcs[slot] = &src[j * src_row_len..(j + 1) * src_row_len];
+                    wbuf[slot] = weight;
                 }
-                self.vertical.apply_into(&col, &mut col_out);
-                for (y, &v) in col_out.iter().enumerate() {
-                    mid[(y * sw + x) * channels + c] = v;
-                }
+                weighted_sum_rows(mid_row, &srcs[..group.len()], &wbuf[..group.len()], g > 0);
             }
         }
 
-        // Horizontal pass: sw x dh -> dw x dh, per channel.
-        let mut out = Image::zeros(dw, dh, img.channels());
-        let mut row = vec![0.0; sw];
-        let mut row_out = vec![0.0; dw];
-        for c in 0..channels {
-            for y in 0..dh {
-                for (x, v) in row.iter_mut().enumerate() {
-                    *v = mid[(y * sw + x) * channels + c];
-                }
-                self.horizontal.apply_into(&row, &mut row_out);
-                for (x, &v) in row_out.iter().enumerate() {
-                    out.set(x, y, c, v);
+        // Horizontal pass: sw x dh -> dw x dh, register accumulation per
+        // output sample over the interleaved intermediate row.
+        let dst_row_len = dw * channels;
+        let mut out = vec![0.0; dst_row_len * dh];
+        for (mid_row, out_row) in
+            mid.chunks_exact(src_row_len).zip(out.chunks_exact_mut(dst_row_len))
+        {
+            for (x, taps) in self.horizontal.iter_rows().enumerate() {
+                for c in 0..channels {
+                    let mut acc = 0.0;
+                    for &(j, weight) in taps {
+                        acc += weight * mid_row[j * channels + c];
+                    }
+                    out_row[x * channels + c] = acc;
                 }
             }
         }
-        Ok(out)
+        Image::from_vec(dw, dh, img.channels(), out)
     }
 }
 
@@ -433,6 +447,64 @@ mod tests {
             "anti-aliased resize must see the comb: mean {}",
             aa.mean_sample()
         );
+    }
+
+    /// Historical per-column/per-row gather formulation of `Scaler::apply`,
+    /// kept as the bit-identity reference for the flat row-major passes.
+    fn apply_reference(scaler: &Scaler, img: &Image) -> Image {
+        let channels = img.channel_count();
+        let (sw, sh) = (scaler.src_size().width, scaler.src_size().height);
+        let (dw, dh) = (scaler.dst_size().width, scaler.dst_size().height);
+        let mut mid = vec![0.0; sw * dh * channels];
+        let mut col = vec![0.0; sh];
+        let mut col_out = vec![0.0; dh];
+        for c in 0..channels {
+            for x in 0..sw {
+                for (y, v) in col.iter_mut().enumerate() {
+                    *v = img.get(x, y, c);
+                }
+                scaler.vertical_coeffs().apply_into(&col, &mut col_out);
+                for (y, &v) in col_out.iter().enumerate() {
+                    mid[(y * sw + x) * channels + c] = v;
+                }
+            }
+        }
+        let mut out = Image::zeros(dw, dh, img.channels());
+        let mut row = vec![0.0; sw];
+        let mut row_out = vec![0.0; dw];
+        for c in 0..channels {
+            for y in 0..dh {
+                for (x, v) in row.iter_mut().enumerate() {
+                    *v = mid[(y * sw + x) * channels + c];
+                }
+                scaler.horizontal_coeffs().apply_into(&row, &mut row_out);
+                for (x, &v) in row_out.iter().enumerate() {
+                    out.set(x, y, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn flat_apply_is_bit_identical_to_gather_reference() {
+        let rgb = Image::from_fn_rgb(13, 9, |x, y| {
+            [((x * 31 + y * 17) % 101) as f64, ((x * 7 + y * 43) % 89) as f64, (x * y % 23) as f64]
+        });
+        let gray = Image::from_fn_gray(9, 13, |x, y| ((x * 53 + y * 29 + x * y) % 97) as f64);
+        for algo in ScaleAlgorithm::ALL {
+            for (img, dst) in [(&rgb, Size::new(5, 17)), (&gray, Size::new(20, 4))] {
+                let scaler = Scaler::new(img.size(), dst, algo).unwrap();
+                let fast = scaler.apply(img).unwrap();
+                let reference = apply_reference(&scaler, img);
+                assert_eq!(
+                    fast.as_slice(),
+                    reference.as_slice(),
+                    "{algo} {:?} -> {dst:?} diverged from the gather reference",
+                    img.size()
+                );
+            }
+        }
     }
 
     #[test]

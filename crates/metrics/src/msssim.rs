@@ -78,38 +78,54 @@ pub fn ms_ssim(a: &Image, b: &Image, config: &SsimConfig) -> Result<f64, MetricE
 
 /// Mean luminance term and mean contrast-structure term of SSIM, averaged
 /// over all window positions and channels (negative CS values clamp to 0).
+///
+/// Runs on the fused multi-plane convolution with per-thread scratch — the
+/// five blurred maps of a level share one intermediate and reuse the output
+/// buffers across pyramid levels instead of allocating five images each.
 fn ssim_components(a: &Image, b: &Image, config: &SsimConfig) -> Result<(f64, f64), MetricError> {
-    use decamouflage_imaging::filter::{convolve_separable, gaussian_kernel};
+    use decamouflage_imaging::filter::{
+        convolve_planes_with_scratch, gaussian_kernel, ConvScratch, PlaneSource,
+    };
+    thread_local! {
+        static MSSSIM_SCRATCH: std::cell::RefCell<(ConvScratch, [Vec<f64>; 5])> =
+            std::cell::RefCell::new((ConvScratch::new(), Default::default()));
+    }
     let kernel = gaussian_kernel(config.sigma, Some(config.radius))
         .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
-    let blur = |img: &Image| {
-        convolve_separable(img, &kernel, &kernel).expect("separable convolution cannot fail")
-    };
     let c1 = (0.01 * config.dynamic_range).powi(2);
     let c2 = (0.03 * config.dynamic_range).powi(2);
 
-    let mu_a = blur(a);
-    let mu_b = blur(b);
-    let a_sq = blur(&a.zip_map(a, |x, y| x * y).expect("same image"));
-    let b_sq = blur(&b.zip_map(b, |x, y| x * y).expect("same image"));
-    let ab = blur(&a.zip_map(b, |x, y| x * y).expect("checked same shape"));
-
     let mut lum = 0.0;
     let mut cs = 0.0;
-    let n = (a.width() * a.height() * a.channel_count()) as f64;
-    for y in 0..a.height() {
-        for x in 0..a.width() {
-            for c in 0..a.channel_count() {
-                let ma = mu_a.get(x, y, c);
-                let mb = mu_b.get(x, y, c);
-                let va = a_sq.get(x, y, c) - ma * ma;
-                let vb = b_sq.get(x, y, c) - mb * mb;
-                let cov = ab.get(x, y, c) - ma * mb;
-                lum += (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
-                cs += ((2.0 * cov + c2) / (va + vb + c2)).max(0.0);
-            }
+    MSSSIM_SCRATCH.with(|scratch| {
+        let (conv, planes) = &mut *scratch.borrow_mut();
+        let [mu_a, mu_b, a_sq, b_sq, ab] = planes;
+        convolve_planes_with_scratch(
+            &[
+                PlaneSource::Image(a),
+                PlaneSource::Image(b),
+                PlaneSource::Product(a, a),
+                PlaneSource::Product(b, b),
+                PlaneSource::Product(a, b),
+            ],
+            &kernel,
+            &kernel,
+            conv,
+            &mut [mu_a, mu_b, a_sq, b_sq, ab],
+        )
+        .expect("separable convolution cannot fail");
+        // Flat sample order equals the historical y/x/channel traversal.
+        for ((((&ma, &mb), &sa), &sb), &sab) in
+            mu_a.iter().zip(mu_b.iter()).zip(a_sq.iter()).zip(b_sq.iter()).zip(ab.iter())
+        {
+            let va = sa - ma * ma;
+            let vb = sb - mb * mb;
+            let cov = sab - ma * mb;
+            lum += (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+            cs += ((2.0 * cov + c2) / (va + vb + c2)).max(0.0);
         }
-    }
+    });
+    let n = (a.width() * a.height() * a.channel_count()) as f64;
     Ok((lum / n, cs / n))
 }
 

@@ -4,14 +4,86 @@
 use crate::error::check_same_shape;
 use crate::MetricError;
 use decamouflage_imaging::filter::{
-    convolve_separable, convolve_separable_with_scratch, gaussian_kernel, ConvScratch, Kernel1D,
+    convolve_planes_with_scratch, gaussian_kernel, ConvScratch, Kernel1D, PlaneSource,
 };
 use decamouflage_imaging::Image;
 
+/// Per-thread buffers for the fused SSIM sweeps: convolution scratch plus
+/// the five blurred-plane outputs (µa, µb, σa-side, σb-side, σab-side).
+struct SsimScratch {
+    conv: ConvScratch,
+    planes: [Vec<f64>; 5],
+}
+
 thread_local! {
-    /// Shared convolution buffers for [`SsimReference`] scoring.
-    static SSIM_SCRATCH: std::cell::RefCell<ConvScratch> =
-        std::cell::RefCell::new(ConvScratch::new());
+    /// Shared buffers for [`ssim_map`] and [`SsimReference`] scoring.
+    static SSIM_SCRATCH: std::cell::RefCell<SsimScratch> =
+        std::cell::RefCell::new(SsimScratch { conv: ConvScratch::new(), planes: Default::default() });
+}
+
+/// The per-pixel SSIM formula over the five flat blurred planes, invoking
+/// `emit(pixel_value)` in flat pixel order — the same y-major / x-major /
+/// channel-inner traversal (flat index order) as the staged map + mean, so
+/// every accumulation is bit-identical to the historical implementation.
+///
+/// Single-channel callers should prefer [`ssim_formula_flat`], which runs
+/// the same arithmetic through the vectorizable
+/// [`decamouflage_imaging::simd::ssim_combine`] primitive.
+#[allow(clippy::too_many_arguments)]
+fn ssim_formula(
+    mu_a: &[f64],
+    mu_b: &[f64],
+    a_sq: &[f64],
+    b_sq: &[f64],
+    ab: &[f64],
+    ch: usize,
+    c1: f64,
+    c2: f64,
+    mut emit: impl FnMut(f64),
+) {
+    let channels = ch as f64;
+    for ((((ma_px, mb_px), sa_px), sb_px), sab_px) in mu_a
+        .chunks_exact(ch)
+        .zip(mu_b.chunks_exact(ch))
+        .zip(a_sq.chunks_exact(ch))
+        .zip(b_sq.chunks_exact(ch))
+        .zip(ab.chunks_exact(ch))
+    {
+        let mut acc = 0.0;
+        for c in 0..ch {
+            let ma = ma_px[c];
+            let mb = mb_px[c];
+            let va = sa_px[c] - ma * ma;
+            let vb = sb_px[c] - mb * mb;
+            let cov = sab_px[c] - ma * mb;
+            let numerator = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
+            let denominator = (ma * ma + mb * mb + c1) * (va + vb + c2);
+            acc += numerator / denominator;
+        }
+        emit(acc / channels);
+    }
+}
+
+/// Single-channel [`ssim_formula`] writing one value per pixel into `dst`
+/// (resized to fit) via the flat [`ssim_combine`] pass. Bit-identical to
+/// the closure form: the primitive replays the per-channel loop's exact
+/// operation sequence, including the accumulator seed and channel average.
+///
+/// [`ssim_combine`]: decamouflage_imaging::simd::ssim_combine
+#[allow(clippy::too_many_arguments)]
+fn ssim_formula_flat(
+    dst: &mut Vec<f64>,
+    mu_a: &[f64],
+    mu_b: &[f64],
+    a_sq: &[f64],
+    b_sq: &[f64],
+    ab: &[f64],
+    c1: f64,
+    c2: f64,
+) {
+    dst.clear();
+    dst.resize(mu_a.len(), 0.0);
+    decamouflage_imaging::simd::ssim_combine(dst, mu_a, mu_b, a_sq, b_sq, ab, c1, c2);
 }
 
 /// SSIM parameters. Defaults follow the reference implementation used by
@@ -101,37 +173,54 @@ pub fn ssim_map(a: &Image, b: &Image, config: &SsimConfig) -> Result<Image, Metr
     config.validate()?;
     let kernel = gaussian_kernel(config.sigma, Some(config.radius))
         .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
-    let blur = |img: &Image| {
-        convolve_separable(img, &kernel, &kernel).expect("separable convolution cannot fail")
-    };
-
-    let c1 = config.c1();
-    let c2 = config.c2();
-
-    let mu_a = blur(a);
-    let mu_b = blur(b);
-    let a_sq = blur(&a.zip_map(a, |x, y| x * y).expect("same image"));
-    let b_sq = blur(&b.zip_map(b, |x, y| x * y).expect("same image"));
-    let ab = blur(&a.zip_map(b, |x, y| x * y).expect("checked same shape"));
 
     let mut map = Image::zeros(a.width(), a.height(), decamouflage_imaging::Channels::Gray);
-    let channels = a.channel_count() as f64;
-    for y in 0..a.height() {
-        for x in 0..a.width() {
-            let mut acc = 0.0;
-            for c in 0..a.channel_count() {
-                let ma = mu_a.get(x, y, c);
-                let mb = mu_b.get(x, y, c);
-                let va = a_sq.get(x, y, c) - ma * ma;
-                let vb = b_sq.get(x, y, c) - mb * mb;
-                let cov = ab.get(x, y, c) - ma * mb;
-                let numerator = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
-                let denominator = (ma * ma + mb * mb + c1) * (va + vb + c2);
-                acc += numerator / denominator;
-            }
-            map.set(x, y, 0, acc / channels);
+    SSIM_SCRATCH.with(|scratch| {
+        let SsimScratch { conv, planes } = &mut *scratch.borrow_mut();
+        let [mu_a, mu_b, a_sq, b_sq, ab] = planes;
+        convolve_planes_with_scratch(
+            &[
+                PlaneSource::Image(a),
+                PlaneSource::Image(b),
+                PlaneSource::Product(a, a),
+                PlaneSource::Product(b, b),
+                PlaneSource::Product(a, b),
+            ],
+            &kernel,
+            &kernel,
+            conv,
+            &mut [mu_a, mu_b, a_sq, b_sq, ab],
+        )
+        .expect("separable convolution cannot fail");
+        if a.channel_count() == 1 {
+            decamouflage_imaging::simd::ssim_combine(
+                map.as_mut_slice(),
+                mu_a,
+                mu_b,
+                a_sq,
+                b_sq,
+                ab,
+                config.c1(),
+                config.c2(),
+            );
+        } else {
+            let out = map.as_mut_slice().iter_mut();
+            let mut out = out;
+            ssim_formula(
+                mu_a,
+                mu_b,
+                a_sq,
+                b_sq,
+                ab,
+                a.channel_count(),
+                config.c1(),
+                config.c2(),
+                |v| {
+                    *out.next().expect("map has one slot per pixel") = v;
+                },
+            );
         }
-    }
+    });
     Ok(map)
 }
 
@@ -145,8 +234,10 @@ pub fn ssim_map(a: &Image, b: &Image, config: &SsimConfig) -> Result<Image, Metr
 /// candidate-side blurs.
 ///
 /// Scores are **bit-identical** to [`ssim`]: the blurs run through
-/// [`convolve_separable_with_scratch`] (exact-equality contract with
-/// [`convolve_separable`]) and the per-pixel SSIM formula and final mean
+/// [`decamouflage_imaging::filter::convolve_separable_with_scratch`]
+/// (exact-equality contract with
+/// [`decamouflage_imaging::filter::convolve_separable`]) and the
+/// per-pixel SSIM formula and final mean
 /// accumulate in the same order as [`ssim_map`] + `mean_sample`.
 ///
 /// # Example
@@ -166,8 +257,10 @@ pub fn ssim_map(a: &Image, b: &Image, config: &SsimConfig) -> Result<Image, Metr
 #[derive(Debug, Clone)]
 pub struct SsimReference {
     a: Image,
-    mu_a: Image,
-    a_sq: Image,
+    /// Blurred reference plane µa, flat row-major interleaved samples.
+    mu_a: Vec<f64>,
+    /// Blurred squared reference plane (σa side), same layout.
+    a_sq: Vec<f64>,
     kernel: Kernel1D,
     config: SsimConfig,
 }
@@ -183,14 +276,18 @@ impl SsimReference {
         config.validate()?;
         let kernel = gaussian_kernel(config.sigma, Some(config.radius))
             .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
-        let (mu_a, a_sq) = SSIM_SCRATCH.with(|scratch| {
-            let scratch = &mut *scratch.borrow_mut();
-            let mu_a = convolve_separable_with_scratch(a, &kernel, &kernel, scratch)
-                .expect("separable convolution cannot fail");
-            let sq = a.zip_map(a, |x, y| x * y).expect("same image");
-            let a_sq = convolve_separable_with_scratch(&sq, &kernel, &kernel, scratch)
-                .expect("separable convolution cannot fail");
-            (mu_a, a_sq)
+        let mut mu_a = Vec::new();
+        let mut a_sq = Vec::new();
+        SSIM_SCRATCH.with(|scratch| {
+            let conv = &mut scratch.borrow_mut().conv;
+            convolve_planes_with_scratch(
+                &[PlaneSource::Image(a), PlaneSource::Product(a, a)],
+                &kernel,
+                &kernel,
+                conv,
+                &mut [&mut mu_a, &mut a_sq],
+            )
+            .expect("separable convolution cannot fail");
         });
         Ok(Self { a: a.clone(), mu_a, a_sq, kernel, config: config.clone() })
     }
@@ -214,42 +311,55 @@ impl SsimReference {
     /// shape than the reference.
     pub fn score_against(&self, b: &Image) -> Result<f64, MetricError> {
         check_same_shape(&self.a, b)?;
-        let (mu_b, b_sq, ab) = SSIM_SCRATCH.with(|scratch| {
-            let scratch = &mut *scratch.borrow_mut();
-            let mu_b = convolve_separable_with_scratch(b, &self.kernel, &self.kernel, scratch)
-                .expect("separable convolution cannot fail");
-            let sq = b.zip_map(b, |x, y| x * y).expect("same image");
-            let b_sq = convolve_separable_with_scratch(&sq, &self.kernel, &self.kernel, scratch)
-                .expect("separable convolution cannot fail");
-            let prod = self.a.zip_map(b, |x, y| x * y).expect("checked same shape");
-            let ab = convolve_separable_with_scratch(&prod, &self.kernel, &self.kernel, scratch)
-                .expect("separable convolution cannot fail");
-            (mu_b, b_sq, ab)
-        });
-
-        let c1 = self.config.c1();
-        let c2 = self.config.c2();
-        let channels = self.a.channel_count() as f64;
         // Same traversal as `ssim_map` followed by `mean_sample`: per-pixel
-        // map values accumulate in y-major order, so the final sum matches
-        // the staged computation bit for bit.
+        // map values accumulate in y-major (flat) order, so the final sum
+        // matches the staged computation bit for bit.
         let mut total = 0.0;
-        for y in 0..self.a.height() {
-            for x in 0..self.a.width() {
-                let mut acc = 0.0;
-                for c in 0..self.a.channel_count() {
-                    let ma = self.mu_a.get(x, y, c);
-                    let mb = mu_b.get(x, y, c);
-                    let va = self.a_sq.get(x, y, c) - ma * ma;
-                    let vb = b_sq.get(x, y, c) - mb * mb;
-                    let cov = ab.get(x, y, c) - ma * mb;
-                    let numerator = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
-                    let denominator = (ma * ma + mb * mb + c1) * (va + vb + c2);
-                    acc += numerator / denominator;
+        SSIM_SCRATCH.with(|scratch| {
+            let SsimScratch { conv, planes } = &mut *scratch.borrow_mut();
+            let [mu_b, b_sq, ab, combined, _] = planes;
+            convolve_planes_with_scratch(
+                &[
+                    PlaneSource::Image(b),
+                    PlaneSource::Product(b, b),
+                    PlaneSource::Product(&self.a, b),
+                ],
+                &self.kernel,
+                &self.kernel,
+                conv,
+                &mut [mu_b, b_sq, ab],
+            )
+            .expect("separable convolution cannot fail");
+            if self.a.channel_count() == 1 {
+                // Materialise the per-pixel values flat, then reduce in the
+                // same ascending order the closure form added them.
+                ssim_formula_flat(
+                    combined,
+                    &self.mu_a,
+                    mu_b,
+                    &self.a_sq,
+                    b_sq,
+                    ab,
+                    self.config.c1(),
+                    self.config.c2(),
+                );
+                for &v in combined.iter() {
+                    total += v;
                 }
-                total += acc / channels;
+            } else {
+                ssim_formula(
+                    &self.mu_a,
+                    mu_b,
+                    &self.a_sq,
+                    b_sq,
+                    ab,
+                    self.a.channel_count(),
+                    self.config.c1(),
+                    self.config.c2(),
+                    |v| total += v,
+                );
             }
-        }
+        });
         Ok(total / (self.a.width() * self.a.height()) as f64)
     }
 }

@@ -113,3 +113,86 @@ proptest! {
         prop_assert_eq!(h.bins().len(), bins);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized-kernel equivalence suite (ISSUE 6): the scratch-reusing
+// `SsimReference` fast path must be bit-identical to the one-shot `ssim`
+// entry point, and poisoned inputs must degrade gracefully, never panic.
+// ---------------------------------------------------------------------------
+
+use decamouflage_metrics::SsimReference;
+
+fn arb_channel_pair() -> impl Strategy<Value = (Image, Image)> {
+    (3usize..=12, 3usize..=12, any::<bool>()).prop_flat_map(|(w, h, rgb)| {
+        let ch = if rgb { Channels::Rgb } else { Channels::Gray };
+        let img = proptest::collection::vec(0u8..=255, w * h * ch.count())
+            .prop_map(move |data| Image::from_u8(w, h, ch, &data).unwrap());
+        (img.clone(), img)
+    })
+}
+
+fn arb_poisoned_sample() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e3f64..1e3,
+        -1e3f64..1e3,
+        -1e3f64..1e3,
+        -1e3f64..1e3,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-0.0f64),
+    ]
+}
+
+fn arb_poisoned_gray_pair() -> impl Strategy<Value = (Image, Image)> {
+    (3usize..=9, 3usize..=9).prop_flat_map(|(w, h)| {
+        (
+            proptest::collection::vec(arb_poisoned_sample(), w * h),
+            proptest::collection::vec(arb_poisoned_sample(), w * h),
+        )
+            .prop_map(move |(da, db)| {
+                (
+                    Image::from_vec(w, h, Channels::Gray, da).unwrap(),
+                    Image::from_vec(w, h, Channels::Gray, db).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ssim_reference_is_bit_identical_to_one_shot_ssim((a, b) in arb_channel_pair()) {
+        let cfg = SsimConfig::default();
+        let reference = SsimReference::new(&a, &cfg).unwrap();
+        let fast = reference.score_against(&b).unwrap();
+        let slow = ssim(&a, &b, &cfg).unwrap();
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
+        // Reuse across calls must not leak state between scores.
+        let again = reference.score_against(&b).unwrap();
+        prop_assert_eq!(again.to_bits(), slow.to_bits());
+    }
+
+    #[test]
+    fn poisoned_metrics_never_panic((a, b) in arb_poisoned_gray_pair()) {
+        // NaN/inf samples must flow through every metric as ordinary IEEE
+        // values (or clean errors) — the fast kernels may not panic or hang.
+        let _ = mse(&a, &b);
+        let _ = mae(&a, &b);
+        let _ = max_abs_diff(&a, &b);
+        let _ = psnr(&a, &b);
+        let cfg = SsimConfig::default();
+        let one_shot = ssim(&a, &b, &cfg);
+        let staged = SsimReference::new(&a, &cfg).unwrap().score_against(&b);
+        match (one_shot, staged) {
+            (Ok(x), Ok(y)) => {
+                prop_assert!(
+                    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                    "ssim {x:?} vs reference {y:?}"
+                );
+            }
+            (a, b) => prop_assert!(a.is_err() == b.is_err()),
+        }
+    }
+}

@@ -15,6 +15,9 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
 /// assert!((Complex64::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
 /// ```
+// repr(C) guarantees the (re, im) field order in memory, which the
+// explicit-SIMD butterfly path relies on to load interleaved lanes.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex64 {
     /// Real component.

@@ -156,10 +156,26 @@ pub fn count_csp_planned(img: &Image, config: &CspConfig) -> CspReport {
 /// methods (CSP counting, radial peak excess) run the transform once and
 /// feed the same coefficients to each consumer.
 pub fn count_csp_in_spectrum(spec: &crate::dft2d::Spectrum2D, config: &CspConfig) -> CspReport {
+    count_csp_in_spectrum_with_mags(spec, &spec.log_magnitudes(), config)
+}
+
+/// [`count_csp_in_spectrum`] given the precomputed
+/// [`crate::dft2d::Spectrum2D::log_magnitudes`] buffer of the spectrum —
+/// the log of every coefficient is the expensive half of the fused pass,
+/// and an engine also scoring peak excess shares one buffer between both.
+///
+/// # Panics
+///
+/// Panics if `mags` does not have one entry per coefficient.
+pub fn count_csp_in_spectrum_with_mags(
+    spec: &crate::dft2d::Spectrum2D,
+    mags: &[f64],
+    config: &CspConfig,
+) -> CspReport {
     let (w, h) = (spec.width(), spec.height());
-    let mags: Vec<f64> = spec.as_slice().iter().map(|c| (1.0 + c.norm()).ln()).collect();
+    assert_eq!(mags.len(), w * h, "log-magnitude buffer shape mismatch");
     let mut max = f64::MIN;
-    for &m in &mags {
+    for &m in mags {
         max = max.max(m);
     }
     let scale = if max > 0.0 { 1.0 / max } else { 0.0 };
@@ -171,17 +187,58 @@ pub fn count_csp_in_spectrum(spec: &crate::dft2d::Spectrum2D, config: &CspConfig
     let (half_w, half_h) = (w / 2, h / 2);
     let mut binary = Image::zeros(w, h, Channels::Gray);
     let out = binary.as_mut_slice();
+    // Inverse fftshift: centred position (x, y) reads the unshifted
+    // coefficient at ((x - w/2) mod w, (y - h/2) mod h). Per row the modulo
+    // splits into exactly two contiguous runs of the source row, so the
+    // inner loops are stride-1 zips with no index arithmetic; the float
+    // operations per pixel are unchanged (bit-identical binarisation).
+    fn fuse_row(
+        out: &mut [f64],
+        mags: &[f64],
+        dx2: &[f64],
+        dy2: f64,
+        r2: f64,
+        scale: f64,
+        threshold: f64,
+    ) {
+        for ((o, &m), &d2) in out.iter_mut().zip(mags).zip(dx2) {
+            let masked = if d2 + dy2 > r2 { 0.0 } else { m * scale };
+            *o = if masked >= threshold { 1.0 } else { 0.0 };
+        }
+    }
+    // dx² depends only on the column, so it is hoisted into a per-width
+    // table (same `(x as f64 - cx)²` operations, just computed once).
+    let dx2: Vec<f64> = (0..w)
+        .map(|x| {
+            let dx = x as f64 - cx;
+            dx * dx
+        })
+        .collect();
+    let split = w - half_w;
     for y in 0..h {
         let dy = y as f64 - cy;
-        // Inverse fftshift: centred position (x, y) reads the unshifted
-        // coefficient at ((x - w/2) mod w, (y - h/2) mod h).
+        let dy2 = dy * dy;
         let sv = (y + h - half_h) % h;
-        for x in 0..w {
-            let dx = x as f64 - cx;
-            let su = (x + w - half_w) % w;
-            let masked = if dx * dx + dy * dy > r2 { 0.0 } else { mags[sv * w + su] * scale };
-            out[y * w + x] = if masked >= config.binarize_threshold { 1.0 } else { 0.0 };
-        }
+        let mags_row = &mags[sv * w..(sv + 1) * w];
+        let (out_lo, out_hi) = out[y * w..(y + 1) * w].split_at_mut(half_w);
+        fuse_row(
+            out_lo,
+            &mags_row[split..],
+            &dx2[..half_w],
+            dy2,
+            r2,
+            scale,
+            config.binarize_threshold,
+        );
+        fuse_row(
+            out_hi,
+            &mags_row[..split],
+            &dx2[half_w..],
+            dy2,
+            r2,
+            scale,
+            config.binarize_threshold,
+        );
     }
     report_from_binary(&binary, config)
 }

@@ -40,17 +40,22 @@ impl Spectrum2D {
 
     /// Applies `fftshift`: swaps quadrants so the DC component moves to the
     /// grid centre. Returns a new spectrum.
+    ///
+    /// The per-pixel index arithmetic `nu = (u + half_w) % w` partitions
+    /// each row into exactly two contiguous runs, so every output row is
+    /// assembled from two flat `copy_from_slice` segments.
     pub fn shifted(&self) -> Spectrum2D {
         let (w, h) = (self.width, self.height);
         let mut out = vec![Complex64::ZERO; w * h];
         let half_w = w / 2;
         let half_h = h / 2;
-        for v in 0..h {
-            for u in 0..w {
-                let nu = (u + half_w) % w;
-                let nv = (v + half_h) % h;
-                out[nv * w + nu] = self.data[v * w + u];
-            }
+        let split = w - half_w;
+        for (v, src_row) in self.data.chunks_exact(w).enumerate() {
+            let nv = (v + half_h) % h;
+            let out_row = &mut out[nv * w..(nv + 1) * w];
+            // u in [0, split) lands at u + half_w; u in [split, w) wraps.
+            out_row[half_w..].copy_from_slice(&src_row[..split]);
+            out_row[..half_w].copy_from_slice(&src_row[split..]);
         }
         Spectrum2D { width: w, height: h, data: out }
     }
@@ -60,19 +65,82 @@ impl Spectrum2D {
     /// This is the paper's "centered spectrum" visualisation when called on
     /// a [`Spectrum2D::shifted`] spectrum.
     pub fn log_magnitude(&self) -> Image {
-        let mut img = Image::zeros(self.width, self.height, Channels::Gray);
-        let mut max = f64::MIN;
-        let mags: Vec<f64> = self.data.iter().map(|c| (1.0 + c.norm()).ln()).collect();
-        for &m in &mags {
-            max = max.max(m);
+        let mut mags: Vec<f64> = self.data.iter().map(|c| (1.0 + c.norm()).ln()).collect();
+        let scale = normalisation_scale(&mags);
+        for m in mags.iter_mut() {
+            *m *= scale;
         }
-        let scale = if max > 0.0 { 1.0 / max } else { 0.0 };
-        for v in 0..self.height {
-            for u in 0..self.width {
-                img.set(u, v, 0, mags[v * self.width + u] * scale);
+        Image::from_vec(self.width, self.height, Channels::Gray, mags)
+            .expect("buffer sized w*h by construction")
+    }
+
+    /// The raw log-magnitudes `log(1 + |F|)` of every coefficient, flat on
+    /// the *unshifted* grid.
+    ///
+    /// This is the shared front half of [`Spectrum2D::centered_log_magnitude`]
+    /// and the fused CSP pass ([`crate::csp::count_csp_in_spectrum`]): an
+    /// engine scoring both methods computes these transcendentals once and
+    /// hands the buffer to each consumer.
+    pub fn log_magnitudes(&self) -> Vec<f64> {
+        self.data.iter().map(|c| (1.0 + c.norm()).ln()).collect()
+    }
+
+    /// Fused `shifted().log_magnitude()` without materialising the shifted
+    /// complex grid.
+    ///
+    /// Magnitudes are computed flat on the *unshifted* grid, the maximum is
+    /// folded there (`f64::max` never rounds, so the fold is exact under
+    /// any traversal order), and the normalised values are placed through
+    /// the same two-contiguous-segment row mapping as [`Spectrum2D::shifted`].
+    /// Output is bit-identical to the staged pipeline; it just skips one
+    /// full-grid `Complex64` clone and the per-pixel scatter.
+    pub fn centered_log_magnitude(&self) -> Image {
+        self.centered_log_magnitude_from(&self.log_magnitudes())
+    }
+
+    /// [`Spectrum2D::centered_log_magnitude`] given the precomputed
+    /// [`Spectrum2D::log_magnitudes`] buffer of this spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mags` does not have one entry per coefficient.
+    pub fn centered_log_magnitude_from(&self, mags: &[f64]) -> Image {
+        let (w, h) = (self.width, self.height);
+        assert_eq!(mags.len(), w * h, "log-magnitude buffer shape mismatch");
+        let scale = normalisation_scale(mags);
+        let half_w = w / 2;
+        let half_h = h / 2;
+        let split = w - half_w;
+        let mut out = vec![0.0f64; w * h];
+        for (y, out_row) in out.chunks_exact_mut(w).enumerate() {
+            // Inverse of `nv = (v + half_h) % h`: this output row reads
+            // source row `sv`.
+            let sv = (y + h - half_h) % h;
+            let mags_row = &mags[sv * w..(sv + 1) * w];
+            let (out_lo, out_hi) = out_row.split_at_mut(half_w);
+            for (o, &m) in out_lo.iter_mut().zip(&mags_row[split..]) {
+                *o = m * scale;
+            }
+            for (o, &m) in out_hi.iter_mut().zip(&mags_row[..split]) {
+                *o = m * scale;
             }
         }
-        img
+        Image::from_vec(w, h, Channels::Gray, out).expect("buffer sized w*h by construction")
+    }
+}
+
+/// `1/max` normalisation factor of the historical `log_magnitude` loop:
+/// a plain `f64::max` fold seeded with `f64::MIN`, zero when nothing is
+/// positive. Order-independent because `max` selects, never rounds.
+fn normalisation_scale(mags: &[f64]) -> f64 {
+    let mut max = f64::MIN;
+    for &m in mags {
+        max = max.max(m);
+    }
+    if max > 0.0 {
+        1.0 / max
+    } else {
+        0.0
     }
 }
 
@@ -235,7 +303,7 @@ pub fn idft2(spec: &Spectrum2D) -> Image {
 /// The paper's *centered spectrum*: `fftshift` of the 2-D DFT followed by
 /// `log(1 + |F|)` normalised to `[0, 1]` (Equation 4 of the paper).
 pub fn centered_spectrum(img: &Image) -> Image {
-    dft2(img).shifted().log_magnitude()
+    dft2(img).centered_log_magnitude()
 }
 
 #[cfg(test)]
@@ -329,6 +397,18 @@ mod tests {
         let mag = dft2(&img).shifted().log_magnitude();
         assert!(mag.min_sample() >= 0.0);
         assert!((mag.max_sample() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_centered_log_magnitude_is_bit_identical_to_staged() {
+        // Even/odd dimensions exercise both segment splits of the shift.
+        for (w, h) in [(8usize, 8usize), (7, 5), (12, 9), (9, 12), (1, 4), (5, 1)] {
+            let img = Image::from_fn_gray(w, h, |x, y| ((x * 13 + y * 7) % 31) as f64 - 4.0);
+            let spec = dft2(&img);
+            let staged = spec.shifted().log_magnitude();
+            let fused = spec.centered_log_magnitude();
+            assert_eq!(staged.as_slice(), fused.as_slice(), "{w}x{h}");
+        }
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! assert_eq!(report.count, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// Without the `simd` feature the crate is entirely safe code. With it, the
+// explicit AVX butterfly path needs `core::arch` intrinsics; `deny` (not
+// `forbid`) lets exactly those audited blocks opt in via `#[allow]`.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod complex;

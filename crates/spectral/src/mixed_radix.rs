@@ -108,19 +108,12 @@ impl MixedRadixPlan {
 
     /// Forward transform (no normalisation), out of place.
     pub fn forward(&self, input: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(input.len(), self.n, "input length mismatch");
-        let mut scratch = input.to_vec();
-        let mut out = vec![Complex64::ZERO; self.n];
-        self.recurse(&mut scratch, &mut out, self.n, 1, 0, true);
-        out
+        self.transform(input, true)
     }
 
     /// Inverse transform including the `1/N` normalisation, out of place.
     pub fn inverse(&self, input: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(input.len(), self.n, "input length mismatch");
-        let mut scratch = input.to_vec();
-        let mut out = vec![Complex64::ZERO; self.n];
-        self.recurse(&mut scratch, &mut out, self.n, 1, 0, false);
+        let mut out = self.transform(input, false);
         let scale = 1.0 / self.n as f64;
         for v in out.iter_mut() {
             *v = *v * scale;
@@ -128,32 +121,60 @@ impl MixedRadixPlan {
         out
     }
 
-    /// Recursive decimation-in-time over `data[offset + i*stride]` of
-    /// logical length `len`; `depth` indexes into the factor list.
+    /// Shared transform body: allocates the output and one scratch buffer
+    /// up front; the recursion ping-pongs between them instead of building
+    /// per-level subsequence vectors.
+    fn transform(&self, input: &[Complex64], forward: bool) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        let mut out = vec![Complex64::ZERO; self.n];
+        let mut scratch = vec![Complex64::ZERO; self.n];
+        self.recurse(input, 0, 1, &mut out, &mut scratch, self.n, 0, forward);
+        out
+    }
+
+    /// Recursive decimation-in-time over the subsequence
+    /// `input[offset + i*stride]` of logical length `len`, writing the
+    /// spectrum contiguously into `out[..len]` with `scratch[..len]` as
+    /// workspace; `depth` indexes into the factor list.
+    ///
+    /// Children write into disjoint `m`-length windows of `scratch`, each
+    /// borrowing the matching window of `out` as its own workspace (the
+    /// roles swap every level), so the whole recursion runs in the two
+    /// buffers allocated by [`Self::transform`]. The combine step reads the
+    /// subsequence spectra from `scratch` in ascending `n1` order starting
+    /// from zero — the same accumulation sequence as the historical
+    /// per-level `Vec<Vec<_>>` formulation, hence bit-identical results.
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         &self,
-        data: &mut [Complex64],
-        out: &mut [Complex64],
-        len: usize,
+        input: &[Complex64],
+        offset: usize,
         stride: usize,
+        out: &mut [Complex64],
+        scratch: &mut [Complex64],
+        len: usize,
         depth: usize,
         forward: bool,
     ) {
         if len == 1 {
-            out[0] = data[0];
+            out[0] = input[offset];
             return;
         }
         let r = self.factors[depth];
         let m = len / r;
 
         // Transform each of the r decimated subsequences of length m.
-        let mut subs: Vec<Vec<Complex64>> = Vec::with_capacity(r);
         for n1 in 0..r {
-            let mut sub_in: Vec<Complex64> = (0..m).map(|i| data[(n1 + i * r) * stride]).collect();
-            let mut sub_out = vec![Complex64::ZERO; m];
-            self.recurse(&mut sub_in, &mut sub_out, m, 1, depth + 1, forward);
-            subs.push(sub_out);
+            self.recurse(
+                input,
+                offset + n1 * stride,
+                stride * r,
+                &mut scratch[n1 * m..(n1 + 1) * m],
+                &mut out[n1 * m..(n1 + 1) * m],
+                m,
+                depth + 1,
+                forward,
+            );
         }
 
         // Combine: X[k1 + m*j] = Σ_{n1} W_N^{n1 (k1 + m j)} · S_{n1}[k1].
@@ -164,11 +185,11 @@ impl MixedRadixPlan {
             for j in 0..r {
                 let k = k1 + m * j;
                 let mut acc = Complex64::ZERO;
-                for (n1, sub) in subs.iter().enumerate() {
+                for n1 in 0..r {
                     let tw = self.twiddle(n1 * k * unit, forward);
-                    acc += sub[k1] * tw;
+                    acc += scratch[n1 * m + k1] * tw;
                 }
-                out[k * stride] = acc;
+                out[k] = acc;
             }
         }
     }

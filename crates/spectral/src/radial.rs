@@ -33,21 +33,78 @@ impl RadialProfile {
     }
 }
 
+/// The integer radius of every pixel of one image shape, row-major, plus
+/// the bin count. Pure geometry — it depends only on the dimensions, so
+/// profiles over a corpus of same-sized spectra reuse one map instead of
+/// re-deriving `sqrt(dx² + dy²).round()` per pixel per image.
+#[derive(Debug)]
+struct RadiusMap {
+    /// `radius[y * w + x] = (dx² + dy²).sqrt().round()` — exactly the
+    /// per-pixel expression of the historical loop, so the binning is
+    /// bit-identical.
+    radius: Vec<u32>,
+    /// Number of radius bins (`max_r`).
+    bins: usize,
+}
+
+impl RadiusMap {
+    fn new(w: usize, h: usize) -> Self {
+        let cx = (w as f64 - 1.0) / 2.0;
+        let cy = (h as f64 - 1.0) / 2.0;
+        let bins = ((cx * cx + cy * cy).sqrt().ceil() as usize) + 1;
+        let mut radius = Vec::with_capacity(w * h);
+        for y in 0..h {
+            let dy = y as f64 - cy;
+            let dy2 = dy * dy;
+            for x in 0..w {
+                let dx = x as f64 - cx;
+                radius.push((dx * dx + dy2).sqrt().round() as u32);
+            }
+        }
+        Self { radius, bins }
+    }
+}
+
+thread_local! {
+    /// Per-shape radius maps (spectra in a corpus share dimensions).
+    static RADIUS_MAPS: std::cell::RefCell<
+        std::collections::HashMap<(usize, usize), std::rc::Rc<RadiusMap>>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
 /// Computes the radial profile of a (centred, grayscale) spectrum image.
 /// RGB inputs use the first channel.
+///
+/// Runs as one flat row-major pass over the raw sample buffer, binning
+/// through the cached per-shape `RadiusMap` — no per-sample accessor,
+/// bounds assertion, or square root.
 pub fn radial_profile(spectrum: &Image) -> RadialProfile {
-    let cx = (spectrum.width() as f64 - 1.0) / 2.0;
-    let cy = (spectrum.height() as f64 - 1.0) / 2.0;
-    let max_r = ((cx * cx + cy * cy).sqrt().ceil() as usize) + 1;
-    let mut sum = vec![0.0f64; max_r];
-    let mut max = vec![0.0f64; max_r];
-    let mut count = vec![0usize; max_r];
-    for y in 0..spectrum.height() {
-        for x in 0..spectrum.width() {
-            let dx = x as f64 - cx;
-            let dy = y as f64 - cy;
-            let r = (dx * dx + dy * dy).sqrt().round() as usize;
-            let v = spectrum.get(x, y, 0);
+    let (w, h) = (spectrum.width(), spectrum.height());
+    let ch = spectrum.channels().count();
+    let map = RADIUS_MAPS.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((w, h))
+            .or_insert_with(|| std::rc::Rc::new(RadiusMap::new(w, h)))
+            .clone()
+    });
+    let mut sum = vec![0.0f64; map.bins];
+    let mut max = vec![0.0f64; map.bins];
+    let mut count = vec![0usize; map.bins];
+    let data = spectrum.as_slice();
+    if ch == 1 {
+        for (&r, &v) in map.radius.iter().zip(data) {
+            let r = r as usize;
+            sum[r] += v;
+            if v > max[r] {
+                max[r] = v;
+            }
+            count[r] += 1;
+        }
+    } else {
+        for (&r, px) in map.radius.iter().zip(data.chunks_exact(ch)) {
+            let r = r as usize;
+            let v = px[0];
             sum[r] += v;
             if v > max[r] {
                 max[r] = v;
@@ -108,6 +165,40 @@ mod tests {
                 v
             }
         })
+    }
+
+    #[test]
+    fn flat_pass_is_bit_identical_to_per_pixel_reference() {
+        let gray = smooth(17);
+        let rgb = Image::from_fn_rgb(9, 13, |x, y| [((x * 5 + y * 3) % 23) as f64, 99.0, -7.0]);
+        for img in [&gray, &rgb] {
+            let cx = (img.width() as f64 - 1.0) / 2.0;
+            let cy = (img.height() as f64 - 1.0) / 2.0;
+            let max_r = ((cx * cx + cy * cy).sqrt().ceil() as usize) + 1;
+            let mut sum = vec![0.0f64; max_r];
+            let mut max = vec![0.0f64; max_r];
+            let mut count = vec![0usize; max_r];
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    let dx = x as f64 - cx;
+                    let dy = y as f64 - cy;
+                    let r = (dx * dx + dy * dy).sqrt().round() as usize;
+                    let v = img.get(x, y, 0);
+                    sum[r] += v;
+                    if v > max[r] {
+                        max[r] = v;
+                    }
+                    count[r] += 1;
+                }
+            }
+            let profile = radial_profile(img);
+            assert_eq!(profile.count, count);
+            assert_eq!(profile.max, max);
+            for (r, (&s, &c)) in sum.iter().zip(&count).enumerate() {
+                let mean = if c > 0 { s / c as f64 } else { 0.0 };
+                assert!(profile.mean[r].to_bits() == mean.to_bits(), "radius {r}");
+            }
+        }
     }
 
     #[test]

@@ -183,3 +183,112 @@ fn planned_paths_match_on_large_bluestein_sizes() {
     let config = CspConfig::default();
     assert_eq!(count_csp_planned(&img, &config).count, count_csp(&img, &config).count);
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized-kernel equivalence suite (ISSUE 6): the dispatching radix-2
+// implementation (twiddle plans + optional AVX butterflies) against the
+// historical scalar loop, including NaN/inf-poisoned signals, and the fused
+// CSP pass on poisoned images.
+// ---------------------------------------------------------------------------
+
+use std::f64::consts::PI;
+
+/// The historical scalar radix-2 loop, kept verbatim as the bit-identity
+/// reference for the dispatching implementation (same copy as the unit test
+/// inside `fft.rs`, duplicated here because that one is crate-private).
+fn radix2_scalar_reference(data: &mut [Complex64]) {
+    let n = data.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let theta = -2.0 * PI / len as f64;
+        let w_len = Complex64::from_polar_unit(theta);
+        for chunk in data.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            let mut w = Complex64::ONE;
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let t = *b * w;
+                let av = *a;
+                *a = av + t;
+                *b = av - t;
+                w *= w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bit equality modulo NaN payloads (see `imaging/src/simd.rs` module docs:
+/// IEEE NaN propagation through commutable `fadd`/`fmul` is not pinned by
+/// the compiler, so when two distinct NaNs meet, either payload may win).
+fn bits_match(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+fn arb_poisoned_component() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-0.0f64),
+    ]
+}
+
+fn arb_poisoned_pow2_signal() -> impl Strategy<Value = Vec<Complex64>> {
+    (1u32..=7).prop_flat_map(|bits| {
+        proptest::collection::vec((arb_poisoned_component(), arb_poisoned_component()), 1 << bits)
+            .prop_map(|pairs| pairs.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    })
+}
+
+fn arb_poisoned_image() -> impl Strategy<Value = Image> {
+    (3usize..=12, 3usize..=12).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(arb_poisoned_component(), w * h)
+            .prop_map(move |data| Image::from_vec(w, h, Channels::Gray, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn radix2_matches_scalar_reference_on_poisoned_signals(
+        input in arb_poisoned_pow2_signal(),
+    ) {
+        let mut reference = input.clone();
+        radix2_scalar_reference(&mut reference);
+        let mut fast = input;
+        fft(&mut fast);
+        for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                bits_match(a.re, b.re) && bits_match(a.im, b.im),
+                "element {}: {:?} vs {:?}",
+                i,
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn csp_on_poisoned_images_never_panics(img in arb_poisoned_image()) {
+        // NaN magnitudes fail every `>= threshold` comparison, so both the
+        // staged and the fused pass must agree and return a sane report.
+        let config = CspConfig::default();
+        let staged = count_csp(&img, &config);
+        let fused = count_csp_planned(&img, &config);
+        prop_assert_eq!(fused.count, staged.count);
+        prop_assert_eq!(fused.components, staged.components);
+        prop_assert!(staged.count <= img.width() * img.height());
+    }
+}
