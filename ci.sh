@@ -33,6 +33,15 @@ echo "== bounded-memory smoke: scan --chunk-size 1 over 64 images matches eager 
 cargo test --test cli -- scan_chunk_size_one_matches_default_chunking
 cargo test -p decamouflage-core --test stream_equivalence
 
+echo "== shard smoke: sharded + resumed + merged scan is bit-identical to unsharded =="
+# CLI end to end: a 64-image corpus scanned as 1 shard and as 3 shards (one
+# killed mid-scan and --resume'd) must merge to byte-identical reports; plus
+# the library-level property test over shard counts x kill points x chunk sizes.
+cargo test --test cli -- sharded_resumed_merged_scan_matches_the_unsharded_report \
+    resume_refuses_a_checkpoint_from_a_different_corpus \
+    unknown_flags_are_rejected_by_every_command
+cargo test -p decamouflage-core --test shard_merge_equivalence
+
 echo "== perf smoke: detector gates + SSIM stage share =="
 # Best-of-N latency gates from the bench harness (engine < 1500 us/image,
 # batch <= 1.05x, streaming <= 1.02x, telemetry <= 1.02x) in smoke mode, then

@@ -23,6 +23,16 @@ pub enum DetectError {
     /// (quarantine causes that have no older [`DetectError`] variant:
     /// validation rejections, recovered panics, injected faults).
     Score(Box<ScoreError>),
+    /// A scan checkpoint is internally valid but does not belong to the
+    /// operation at hand: wrong corpus fingerprint on `--resume`,
+    /// overlapping or missing shards on merge, mismatched method sets, …
+    /// Distinct from [`DetectError::InvalidConfig`] (which covers files
+    /// that fail to *parse*) so callers can tell "corrupt file" from
+    /// "valid file, wrong scan".
+    CheckpointMismatch {
+        /// Human-readable description of what does not line up.
+        message: String,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -33,6 +43,7 @@ impl fmt::Display for DetectError {
             Self::InvalidCalibration { message } => write!(f, "invalid calibration: {message}"),
             Self::InvalidConfig { message } => write!(f, "invalid config: {message}"),
             Self::Score(err) => write!(f, "score error: {err}"),
+            Self::CheckpointMismatch { message } => write!(f, "checkpoint mismatch: {message}"),
         }
     }
 }
@@ -276,6 +287,10 @@ mod tests {
 
         let e = DetectError::InvalidConfig { message: "bad".into() };
         assert!(e.to_string().contains("bad"));
+
+        let e = DetectError::CheckpointMismatch { message: "shard 2/3 appears twice".into() };
+        assert!(e.to_string().contains("checkpoint mismatch: shard 2/3 appears twice"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod prevention;
 pub mod report;
 pub mod roc;
 pub mod scaling;
+pub mod scan;
 pub mod steganalysis;
 pub mod stream;
 pub mod threshold;
@@ -81,9 +82,12 @@ pub use eval::{evaluate_batch_outcome, evaluate_decisions, ConfusionCounts, Eval
 pub use filtering::FilteringDetector;
 pub use method::{MethodId, MethodSet, ScoreColumns, ScoreVector};
 pub use peak_excess::PeakExcessDetector;
+pub use persist::checkpoint::{CorpusFingerprint, QuarantineRecord, ScanCheckpoint};
 pub use scaling::ScalingDetector;
+pub use scan::{scan_shard, ScanReport};
 pub use steganalysis::SteganalysisDetector;
 pub use stream::{
-    BufferPool, DirectorySource, FnSource, ImageSource, SliceSource, StreamConfig, StreamSummary,
+    stable_key_hash, BufferPool, DirectorySource, FnSource, ImageSource, ShardSpec, ShardedSource,
+    SliceSource, StreamConfig, StreamSummary,
 };
 pub use threshold::{Direction, Threshold};

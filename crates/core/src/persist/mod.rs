@@ -1,24 +1,36 @@
-//! Plain-text persistence for calibrated thresholds.
+//! Plain-text persistence: calibrated thresholds and scan checkpoints.
 //!
 //! Offline calibration and online detection usually run in different
-//! processes; the thresholds must survive in between. The format is a
-//! deliberately boring line-oriented text file (no serialisation
-//! dependency, diff-friendly, hand-editable):
+//! processes; the thresholds must survive in between. Likewise a sharded
+//! corpus scan runs across processes and machines and must survive a
+//! crash. Both travel as deliberately boring line-oriented text files
+//! (no serialisation dependency, diff-friendly, hand-editable) sharing
+//! one discipline — versioned header, strict line-numbered parsing,
+//! atomic writes — implemented once in [`textfmt`]:
 //!
-//! ```text
-//! decamouflage-thresholds v1
-//! # comments and blank lines are ignored
-//! scaling/mse above 72.4
-//! filtering/ssim below 0.64
-//! steganalysis/csp above 2
-//! ```
+//! * [`ThresholdSet`] (here) — the `decamouflage-thresholds v1` format:
 //!
-//! In memory the set is keyed by the typed [`MethodId`] registry; the
-//! on-disk names are exactly [`MethodId::name`], so files written before
-//! the registry existed (same strings, free-form keys) load unchanged. A
-//! name that matches no registered method is a parse *error* carrying the
-//! offending line number — never a silent skip — because a typo in a
-//! threshold file must not quietly drop an ensemble member.
+//!   ```text
+//!   decamouflage-thresholds v1
+//!   # comments and blank lines are ignored
+//!   scaling/mse above 72.4
+//!   filtering/ssim below 0.64
+//!   steganalysis/csp above 2
+//!   ```
+//!
+//! * [`checkpoint::ScanCheckpoint`] — the `decamouflage-checkpoint v1`
+//!   format recording one shard's progress through a corpus scan.
+//!
+//! In memory the threshold set is keyed by the typed [`MethodId`]
+//! registry; the on-disk names are exactly [`MethodId::name`], so files
+//! written before the registry existed (same strings, free-form keys)
+//! load unchanged. A name that matches no registered method is a parse
+//! *error* carrying the offending line number — never a silent skip —
+//! because a typo in a threshold file must not quietly drop an ensemble
+//! member.
+
+pub mod checkpoint;
+pub mod textfmt;
 
 use crate::method::MethodId;
 use crate::threshold::{Direction, Threshold};
@@ -97,64 +109,44 @@ impl ThresholdSet {
     /// directions, unparsable values or duplicate methods — each with the
     /// offending line number.
     pub fn from_text(text: &str) -> Result<Self, DetectError> {
-        let bad = |message: String| DetectError::InvalidConfig { message };
-        let mut lines = text.lines();
-        match lines.next().map(str::trim) {
-            Some(HEADER) => {}
-            other => return Err(bad(format!("expected header {HEADER:?}, found {other:?}"))),
-        }
         let mut set = Self::new();
-        for (lineno, raw) in lines.enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
+        for (lineno, line) in textfmt::parse_body(text, HEADER)? {
+            let bad = |message: String| textfmt::line_error(lineno, message);
             let mut parts = line.split_whitespace();
             let (name, dir, value) = match (parts.next(), parts.next(), parts.next(), parts.next())
             {
                 (Some(n), Some(d), Some(v), None) => (n, d, v),
-                _ => {
-                    return Err(bad(format!(
-                        "line {}: expected `name direction value`, got {line:?}",
-                        lineno + 2
-                    )))
-                }
+                _ => return Err(bad(format!("expected `name direction value`, got {line:?}"))),
             };
-            let id = MethodId::from_name(name).ok_or_else(|| {
-                bad(format!("line {}: unknown detection method {name:?}", lineno + 2))
-            })?;
+            let id = MethodId::from_name(name)
+                .ok_or_else(|| bad(format!("unknown detection method {name:?}")))?;
             let direction = match dir {
                 "above" => Direction::AboveIsAttack,
                 "below" => Direction::BelowIsAttack,
                 other => {
-                    return Err(bad(format!(
-                        "line {}: unknown direction {other:?} (expected above/below)",
-                        lineno + 2
-                    )))
+                    return Err(bad(format!("unknown direction {other:?} (expected above/below)")))
                 }
             };
-            let value: f64 = value
-                .parse()
-                .map_err(|_| bad(format!("line {}: unparsable value {value:?}", lineno + 2)))?;
+            let value: f64 =
+                value.parse().map_err(|_| bad(format!("unparsable value {value:?}")))?;
             if !value.is_finite() {
-                return Err(bad(format!("line {}: non-finite threshold", lineno + 2)));
+                return Err(bad("non-finite threshold".into()));
             }
             if set.insert(id, Threshold::new(value, direction)).is_some() {
-                return Err(bad(format!("line {}: duplicate entry {name:?}", lineno + 2)));
+                return Err(bad(format!("duplicate entry {name:?}")));
             }
         }
         Ok(set)
     }
 
-    /// Writes the set to a file.
+    /// Writes the set to a file atomically (temp file + rename, see
+    /// [`textfmt::write_atomic`]).
     ///
     /// # Errors
     ///
     /// Returns [`DetectError::InvalidConfig`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DetectError> {
-        std::fs::write(path, self.to_text()).map_err(|e| DetectError::InvalidConfig {
-            message: format!("failed to write thresholds: {e}"),
-        })
+        textfmt::write_atomic(path, &self.to_text(), "thresholds")
     }
 
     /// Reads a set from a file.
@@ -163,10 +155,7 @@ impl ThresholdSet {
     ///
     /// Returns [`DetectError::InvalidConfig`] for I/O or parse failures.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, DetectError> {
-        let text = std::fs::read_to_string(path).map_err(|e| DetectError::InvalidConfig {
-            message: format!("failed to read thresholds: {e}"),
-        })?;
-        Self::from_text(&text)
+        Self::from_text(&textfmt::read(path, "thresholds")?)
     }
 }
 

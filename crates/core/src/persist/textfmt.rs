@@ -1,0 +1,137 @@
+//! Shared scaffolding for the v1 line-oriented text formats.
+//!
+//! The thresholds file and the scan checkpoint share one on-disk
+//! discipline: a versioned header line, whitespace-separated body lines,
+//! `#` comments and blank lines ignored, strict parsing with 1-based
+//! file line numbers in every error, and atomic writes (temp file +
+//! rename) so a crash never leaves a half-written file behind. This
+//! module is the single home of that discipline.
+
+use crate::DetectError;
+use std::path::Path;
+
+/// Validates the header line of a v1 text file and returns its body as
+/// `(file line number, trimmed line)` pairs, skipping blank lines and
+/// `#` comments. Line numbers are 1-based (the header is line 1), so
+/// they can go straight into error messages.
+///
+/// # Errors
+///
+/// [`DetectError::InvalidConfig`] when the first line is not exactly
+/// `header` (a missing, truncated, or wrong-version header).
+pub fn parse_body<'a>(
+    text: &'a str,
+    header: &str,
+) -> Result<impl Iterator<Item = (usize, &'a str)>, DetectError> {
+    let mut lines = text.lines();
+    let first = lines.next().map(str::trim);
+    if first != Some(header) {
+        return Err(DetectError::InvalidConfig {
+            message: format!("expected header {header:?}, found {first:?}"),
+        });
+    }
+    Ok(lines.enumerate().filter_map(|(offset, raw)| {
+        let line = raw.trim();
+        (!line.is_empty() && !line.starts_with('#')).then_some((offset + 2, line))
+    }))
+}
+
+/// An [`DetectError::InvalidConfig`] carrying the offending 1-based file
+/// line number — the uniform shape of every v1 parse error.
+pub fn line_error(lineno: usize, message: impl std::fmt::Display) -> DetectError {
+    DetectError::InvalidConfig { message: format!("line {lineno}: {message}") }
+}
+
+/// Reads a v1 text file to a string; `what` names the artefact in the
+/// error message (`"thresholds"`, `"checkpoint"`).
+///
+/// # Errors
+///
+/// [`DetectError::InvalidConfig`] wrapping any I/O failure as
+/// `failed to read {what}: …`.
+pub fn read(path: impl AsRef<Path>, what: &str) -> Result<String, DetectError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| DetectError::InvalidConfig { message: format!("failed to read {what}: {e}") })
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// same-directory temp file which is then renamed over `path`, so
+/// readers (and crash recovery) only ever observe the old or the new
+/// complete file, never a truncated one. `what` names the artefact in
+/// the error message.
+///
+/// # Errors
+///
+/// [`DetectError::InvalidConfig`] wrapping any I/O failure as
+/// `failed to write {what}: …`.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str, what: &str) -> Result<(), DetectError> {
+    let path = path.as_ref();
+    let io_error = |e: std::io::Error| DetectError::InvalidConfig {
+        message: format!("failed to write {what}: {e}"),
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents).map_err(io_error)?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_error(e)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_body_yields_file_line_numbers_and_skips_noise() {
+        let text = "hdr v1\n\n# comment\n  payload one  \n\npayload two\n";
+        let lines: Vec<_> = parse_body(text, "hdr v1").unwrap().collect();
+        assert_eq!(lines, vec![(4, "payload one"), (6, "payload two")]);
+    }
+
+    #[test]
+    fn parse_body_rejects_wrong_missing_or_truncated_headers() {
+        for text in ["", "hdr v2\n", "hdr v1 extra\nx\n", "\u{0}binary\n"] {
+            let err = match parse_body(text, "hdr v1") {
+                Err(err) => err,
+                Ok(_) => panic!("header of {text:?} must be rejected"),
+            };
+            assert!(err.to_string().contains("expected header \"hdr v1\""), "{text:?}: {err}");
+        }
+        // The header may carry surrounding whitespace, nothing else.
+        assert!(parse_body("  hdr v1  \nx\n", "hdr v1").is_ok());
+    }
+
+    #[test]
+    fn line_error_formats_uniformly() {
+        let err = line_error(7, "bad token \"x\"");
+        assert_eq!(err.to_string(), "invalid config: line 7: bad token \"x\"");
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("decam-textfmt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artefact.txt");
+        write_atomic(&path, "hdr v1\nfirst\n", "artefact").unwrap();
+        write_atomic(&path, "hdr v1\nsecond\n", "artefact").unwrap();
+        assert_eq!(read(&path, "artefact").unwrap(), "hdr v1\nsecond\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive a successful write");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_into_a_missing_directory_errors_with_what() {
+        let err =
+            write_atomic("/nonexistent/decam/x.txt", "hdr\n", "checkpoint shard").unwrap_err();
+        assert!(err.to_string().contains("failed to write checkpoint shard"), "{err}");
+        let err = read("/nonexistent/decam/x.txt", "checkpoint shard").unwrap_err();
+        assert!(err.to_string().contains("failed to read checkpoint shard"), "{err}");
+    }
+}

@@ -462,6 +462,197 @@ impl<F: FnMut(u64) -> Image> ImageSource for FnSource<F> {
     }
 }
 
+/// Offset basis of the 64-bit FNV-1a hash.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Prime of the 64-bit FNV-1a hash.
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable, dependency-free 64-bit FNV-1a hash of a shard key.
+///
+/// This is the *only* hash the shard partitioner uses. It is fixed for
+/// all time: shard membership is part of the on-disk checkpoint contract
+/// (shard k of N must select the same files on every machine and in
+/// every release), so the function must never be swapped for
+/// `DefaultHasher` or any seed-randomised hasher.
+pub fn stable_key_hash(key: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A deterministic 1-of-N partition of a keyed corpus: shard `index`
+/// owns exactly the keys whose [`stable_key_hash`] lands on it modulo
+/// `count`.
+///
+/// Membership depends only on the key string — not on listing order,
+/// corpus size, or the machine — so N processes given shards `1/N`
+/// through `N/N` of the same directory cover it exactly once, and the
+/// same shard can be re-derived later to resume a checkpoint.
+///
+/// Shards render and parse as `k/N` with a 1-based `k` (the on-disk and
+/// CLI form); in code [`index`](ShardSpec::index) is 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
+
+impl ShardSpec {
+    /// A shard with 0-based `index` out of `count`.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidConfig`] when `count` is zero or `index` is
+    /// out of range.
+    pub fn new(index: usize, count: usize) -> Result<Self, DetectError> {
+        if count == 0 {
+            return Err(DetectError::InvalidConfig {
+                message: "shard count must be at least 1".into(),
+            });
+        }
+        if index >= count {
+            return Err(DetectError::InvalidConfig {
+                message: format!("shard index {index} out of range for {count} shards"),
+            });
+        }
+        Ok(Self { index, count })
+    }
+
+    /// The trivial partition: one shard owning every key (`1/1`).
+    pub const fn full() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Parses the CLI/on-disk form `k/N` (1-based `k`, `1 <= k <= N`).
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidConfig`] on malformed text or out-of-range
+    /// values.
+    pub fn parse(text: &str) -> Result<Self, DetectError> {
+        let invalid = || DetectError::InvalidConfig {
+            message: format!("shard spec {text:?} is not of the form k/N with 1 <= k <= N"),
+        };
+        let (k, n) = text.split_once('/').ok_or_else(invalid)?;
+        let k: usize = k.trim().parse().map_err(|_| invalid())?;
+        let n: usize = n.trim().parse().map_err(|_| invalid())?;
+        if k == 0 || k > n {
+            return Err(invalid());
+        }
+        Self::new(k - 1, n)
+    }
+
+    /// The shard's 0-based index.
+    pub const fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub const fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this is the trivial full partition (`1/1`).
+    pub const fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether `key` belongs to this shard.
+    pub fn admits(&self, key: &str) -> bool {
+        stable_key_hash(key) % self.count as u64 == self.index as u64
+    }
+
+    /// The (0-based, ascending) positions of the admitted keys within
+    /// `keys` — the shard's view of a corpus listed in canonical order.
+    pub fn partition<I>(&self, keys: I) -> Vec<usize>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        keys.into_iter()
+            .enumerate()
+            .filter_map(|(index, key)| self.admits(key.as_ref()).then_some(index))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    /// Renders the 1-based `k/N` form used on disk and on the CLI.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index + 1, self.count)
+    }
+}
+
+/// An [`ImageSource`] adapter restricting any inner source to one
+/// [`ShardSpec`] shard, with optional resume positioning — the generic
+/// counterpart of [`DirectorySource::restrict_to_shard`] so slice/fn
+/// sources shard identically in tests.
+///
+/// Keys come from a caller-supplied `inner index -> key` closure, which
+/// must produce the same canonical keys on every run. Because the inner
+/// source is pull-based, non-admitted items still have to be *pulled*
+/// (then recycled straight into the buffer pool); sources that can cheap
+/// skip by path — [`DirectorySource`] — should restrict their listing
+/// instead.
+pub struct ShardedSource<S, F> {
+    inner: S,
+    spec: ShardSpec,
+    key_of: F,
+    next: usize,
+    skip_admitted: usize,
+}
+
+impl<S: ImageSource, F: FnMut(usize) -> String> ShardedSource<S, F> {
+    /// Restricts `inner` to the keys `spec` admits, keying inner stream
+    /// index `i` as `key_of(i)`.
+    pub fn new(inner: S, spec: ShardSpec, key_of: F) -> Self {
+        Self { inner, spec, key_of, next: 0, skip_admitted: 0 }
+    }
+
+    /// Builder: additionally drops the first `admitted` items *of this
+    /// shard* — resume positioning after a checkpoint recorded that many
+    /// completed positions.
+    #[must_use]
+    pub fn skipping(mut self, admitted: usize) -> Self {
+        self.skip_admitted = admitted;
+        self
+    }
+}
+
+impl<S, F> std::fmt::Debug for ShardedSource<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSource")
+            .field("spec", &self.spec)
+            .field("next", &self.next)
+            .field("skip_admitted", &self.skip_admitted)
+            .finish()
+    }
+}
+
+impl<S: ImageSource, F: FnMut(usize) -> String> ImageSource for ShardedSource<S, F> {
+    fn next_image(&mut self, pool: &mut BufferPool) -> Option<SourceItem> {
+        loop {
+            let index = self.next;
+            let item = self.inner.next_image(pool)?;
+            self.next += 1;
+            let admitted = self.spec.admits(&(self.key_of)(index));
+            let skipped = admitted && self.skip_admitted > 0;
+            if skipped {
+                self.skip_admitted -= 1;
+            }
+            if admitted && !skipped {
+                return Some(item);
+            }
+            if let Ok(image) = item {
+                pool.recycle(image);
+            }
+        }
+    }
+}
+
 /// Extensions the directory walk admits, lowercased.
 const IMAGE_EXTENSIONS: [&str; 4] = ["pgm", "ppm", "pnm", "bmp"];
 
@@ -537,9 +728,57 @@ impl DirectorySource {
         self.paths.len()
     }
 
-    /// Whether the stream has no files (never true after `open`).
+    /// Whether the stream has no files (never true after `open`, but a
+    /// [`restrict_to_shard`](DirectorySource::restrict_to_shard) may own
+    /// no files of a small corpus).
     pub fn is_empty(&self) -> bool {
         self.paths.is_empty()
+    }
+
+    /// The canonical shard key of one listed file: its file name (the
+    /// canonical relative path — listings are single-directory), lossily
+    /// UTF-8 decoded so the key is identical across platforms.
+    fn shard_key(path: &Path) -> String {
+        path.file_name().map(|name| name.to_string_lossy().into_owned()).unwrap_or_default()
+    }
+
+    /// The shard keys of every listed file, in pull order — the corpus
+    /// key list that [`ShardSpec::partition`] and the checkpoint corpus
+    /// fingerprint operate on.
+    pub fn shard_keys(&self) -> Vec<String> {
+        self.paths.iter().map(|path| Self::shard_key(path)).collect()
+    }
+
+    /// Drops every file `spec` does not admit, returning the kept files'
+    /// original (0-based, ascending) listing positions — the map from
+    /// shard-local stream index back to corpus-global index. Unlike the
+    /// generic [`ShardedSource`], this skips by path: non-admitted files
+    /// are never opened or decoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item was already pulled — the shard restriction
+    /// must be applied before streaming starts.
+    pub fn restrict_to_shard(&mut self, spec: ShardSpec) -> Vec<usize> {
+        assert_eq!(self.next, 0, "restrict_to_shard must precede the first pull");
+        let mut kept = Vec::new();
+        self.paths = std::mem::take(&mut self.paths)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(index, path)| {
+                spec.admits(&Self::shard_key(&path)).then(|| {
+                    kept.push(index);
+                    path
+                })
+            })
+            .collect();
+        kept
+    }
+
+    /// Advances the stream past its next `n` files without opening or
+    /// decoding them — resume positioning after a checkpoint reload.
+    pub fn skip(&mut self, n: usize) {
+        self.next = (self.next + n).min(self.paths.len());
     }
 }
 
@@ -719,6 +958,116 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let err = DirectorySource::open(&dir).unwrap_err();
         assert!(err.to_string().contains("no .pgm/.ppm/.pnm/.bmp images"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stable_key_hash_is_pinned() {
+        // The partitioner hash is an on-disk contract; these values must
+        // never change (FNV-1a 64 reference vectors).
+        assert_eq!(stable_key_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_key_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_key_hash("img-00042.bmp"), stable_key_hash("img-00042.bmp"));
+        assert_ne!(stable_key_hash("img-00042.bmp"), stable_key_hash("img-00043.bmp"));
+    }
+
+    #[test]
+    fn shard_spec_parses_renders_and_validates() {
+        let spec = ShardSpec::parse("2/3").unwrap();
+        assert_eq!((spec.index(), spec.count()), (1, 3));
+        assert_eq!(spec.to_string(), "2/3");
+        assert!(!spec.is_full());
+        assert!(ShardSpec::full().is_full());
+        assert_eq!(ShardSpec::full().to_string(), "1/1");
+        assert_eq!(ShardSpec::parse(" 1 / 1 ").unwrap(), ShardSpec::full());
+
+        for bad in ["", "3", "0/3", "4/3", "a/b", "1/0", "-1/3", "1/3/5"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        assert!(ShardSpec::new(3, 3).is_err());
+        assert!(ShardSpec::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn shards_cover_every_key_exactly_once_regardless_of_order() {
+        let keys: Vec<String> = (0..60).map(|i| format!("img-{i:05}.bmp")).collect();
+        for count in [1usize, 2, 3, 7] {
+            let mut owners = vec![0usize; keys.len()];
+            for index in 0..count {
+                let spec = ShardSpec::new(index, count).unwrap();
+                for position in spec.partition(&keys) {
+                    owners[position] += 1;
+                }
+            }
+            assert!(owners.iter().all(|&n| n == 1), "count {count}: exact cover");
+        }
+        // Membership is a pure function of the key string: reversing the
+        // listing order only reverses positions, never membership.
+        let spec = ShardSpec::new(1, 3).unwrap();
+        let forward: Vec<&String> = spec.partition(&keys).into_iter().map(|i| &keys[i]).collect();
+        let reversed: Vec<String> = keys.iter().rev().cloned().collect();
+        let mut backward: Vec<&String> =
+            spec.partition(&reversed).into_iter().map(|i| &reversed[i]).collect();
+        backward.reverse();
+        assert_eq!(forward, backward.iter().map(|k| *k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_source_yields_exactly_the_partition_and_recycles_the_rest() {
+        let key_of = |i: usize| format!("img-{i:05}");
+        let spec = ShardSpec::new(2, 3).unwrap();
+        let expected = spec.partition((0..10).map(key_of));
+        assert!(!expected.is_empty(), "fixture must admit something");
+
+        let mut source = ShardedSource::new(FnSource::new(10, |i| flat(i as f64)), spec, key_of);
+        assert!(format!("{source:?}").contains("ShardedSource"));
+        let mut pool = BufferPool::with_telemetry(16, &Telemetry::disabled());
+        let items = drain(&mut source, &mut pool);
+        let values: Vec<f64> = items.iter().map(|i| i.as_ref().unwrap().as_slice()[0]).collect();
+        assert_eq!(values, expected.iter().map(|&i| i as f64).collect::<Vec<_>>());
+        assert_eq!(pool.len(), 10 - expected.len(), "skipped images are recycled");
+
+        // skipping(n) drops the first n admitted items (resume).
+        let mut resumed =
+            ShardedSource::new(FnSource::new(10, |i| flat(i as f64)), spec, key_of).skipping(1);
+        let rest = drain(&mut resumed, &mut pool);
+        assert_eq!(rest.len(), expected.len() - 1);
+        assert_eq!(rest[0].as_ref().unwrap().as_slice()[0], expected[1] as f64);
+    }
+
+    #[test]
+    fn directory_source_shards_by_file_name_without_decoding() {
+        let dir = std::env::temp_dir().join(format!("decam-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let names: Vec<String> = (0..9).map(|i| format!("s{i}.pgm")).collect();
+        for (i, name) in names.iter().enumerate() {
+            write_pnm_file(&flat(i as f64), dir.join(name)).unwrap();
+        }
+
+        let spec = ShardSpec::new(0, 3).unwrap();
+        let mut source = DirectorySource::open(&dir).unwrap();
+        assert_eq!(source.shard_keys(), names, "keys are bare file names in sorted order");
+        let kept = source.restrict_to_shard(spec);
+        assert_eq!(kept, spec.partition(&names), "path-level restriction matches partition");
+        assert_eq!(source.len(), kept.len());
+
+        let mut pool = BufferPool::with_telemetry(0, &Telemetry::disabled());
+        let values: Vec<f64> = drain(&mut source, &mut pool)
+            .iter()
+            .map(|item| item.as_ref().unwrap().as_slice()[0])
+            .collect();
+        assert_eq!(values, kept.iter().map(|&i| i as f64).collect::<Vec<_>>());
+
+        // skip(n) positions past already-checkpointed files.
+        let mut resumed = DirectorySource::open(&dir).unwrap();
+        resumed.restrict_to_shard(spec);
+        resumed.skip(1);
+        let rest = drain(&mut resumed, &mut pool);
+        assert_eq!(rest.len(), kept.len() - 1);
+        assert_eq!(rest[0].as_ref().unwrap().as_slice()[0], kept[1] as f64);
+        resumed.skip(100); // clamped at end of stream
+        assert_eq!(resumed.len_hint(), Some(0));
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

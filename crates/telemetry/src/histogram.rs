@@ -148,6 +148,29 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Reassembles a snapshot from its serialised parts — the
+    /// deserialisation counterpart of the accessors, used by checkpoint
+    /// files that embed histogram state. Returns `None` unless the parts
+    /// satisfy every [`Histogram`] invariant: non-empty, finite, strictly
+    /// increasing bounds; one bucket per bound plus the `+Inf` overflow
+    /// slot; bucket counts summing to `count`; finite moments.
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        buckets: Vec<u64>,
+        count: u64,
+        sum: f64,
+        sum_sq: f64,
+    ) -> Option<Self> {
+        let valid_bounds = !bounds.is_empty()
+            && bounds.iter().all(|b| b.is_finite())
+            && bounds.windows(2).all(|w| w[0] < w[1]);
+        let consistent = buckets.len() == bounds.len() + 1
+            && buckets.iter().try_fold(0u64, |acc, &b| acc.checked_add(b)) == Some(count)
+            && sum.is_finite()
+            && sum_sq.is_finite();
+        (valid_bounds && consistent).then_some(Self { bounds, buckets, count, sum, sum_sq })
+    }
+
     /// The finite bucket upper bounds (without the implicit `+Inf`).
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
@@ -316,6 +339,37 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn empty_bounds_are_rejected() {
         let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_snapshot_and_rejects_inconsistency() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        for v in [0.5, 1.5, 3.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let rebuilt = HistogramSnapshot::from_parts(
+            s.bounds().to_vec(),
+            s.bucket_counts().to_vec(),
+            s.count(),
+            s.sum(),
+            s.sum_sq(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, s);
+
+        let parts = |bounds: &[f64], buckets: &[u64], count| {
+            HistogramSnapshot::from_parts(bounds.to_vec(), buckets.to_vec(), count, 1.0, 1.0)
+        };
+        assert!(parts(&[], &[1], 1).is_none(), "empty bounds");
+        assert!(parts(&[2.0, 1.0], &[0, 0, 1], 1).is_none(), "unsorted bounds");
+        assert!(parts(&[f64::NAN], &[0, 1], 1).is_none(), "non-finite bound");
+        assert!(parts(&[1.0], &[1], 1).is_none(), "missing overflow bucket");
+        assert!(parts(&[1.0], &[1, 1], 1).is_none(), "buckets must sum to count");
+        assert!(
+            HistogramSnapshot::from_parts(vec![1.0], vec![1, 0], 1, f64::NAN, 1.0).is_none(),
+            "non-finite sum"
+        );
     }
 
     #[test]

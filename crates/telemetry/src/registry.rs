@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::histogram::{Histogram, HistogramSnapshot, DEFAULT_LATENCY_BOUNDS};
+use crate::histogram::{BucketMismatch, Histogram, HistogramSnapshot, DEFAULT_LATENCY_BOUNDS};
 
 /// A label set: key/value pairs kept sorted by key for deterministic
 /// identity and export ordering.
@@ -124,7 +124,7 @@ enum RegisteredMetric {
 
 /// A frozen, export-ready copy of every metric in a registry, already in
 /// deterministic `(name, labels)` order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegistrySnapshot {
     /// Counters as `(name, labels, value)`.
     pub counters: Vec<(String, Labels, u64)>,
@@ -134,10 +134,67 @@ pub struct RegistrySnapshot {
     pub histograms: Vec<(String, Labels, HistogramSnapshot)>,
 }
 
+/// Merge-joins two sorted `(name, labels, value)` series, combining the
+/// values of shared keys and passing unmatched entries through.
+fn merge_series<T: Clone, E>(
+    left: &[(String, Labels, T)],
+    right: &[(String, Labels, T)],
+    mut combine: impl FnMut(&T, &T) -> Result<T, E>,
+) -> Result<Vec<(String, Labels, T)>, E> {
+    let mut out = Vec::with_capacity(left.len().max(right.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        let (a, b) = (&left[i], &right[j]);
+        match (&a.0, &a.1).cmp(&(&b.0, &b.1)) {
+            std::cmp::Ordering::Less => {
+                out.push(a.clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b.clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a.0.clone(), a.1.clone(), combine(&a.2, &b.2)?));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    Ok(out)
+}
+
 impl RegistrySnapshot {
     /// True when the snapshot holds no metrics at all.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Combines two snapshots taken by *independent* processes (e.g. the
+    /// shards of a partitioned corpus scan) into the snapshot one process
+    /// doing all the work would have produced: counters add, histograms
+    /// merge bucket-wise with exact summed moments
+    /// ([`HistogramSnapshot::merge`]), and gauges — point-in-time levels
+    /// with no meaningful sum — keep the maximum observed value. Metrics
+    /// present on one side only pass through unchanged, so shards with
+    /// different lifetimes still merge.
+    ///
+    /// # Errors
+    ///
+    /// [`BucketMismatch`] when both sides hold a histogram under the same
+    /// `(name, labels)` key but with different bucket layouts.
+    pub fn merge(&self, other: &RegistrySnapshot) -> Result<RegistrySnapshot, BucketMismatch> {
+        Ok(RegistrySnapshot {
+            counters: merge_series(&self.counters, &other.counters, |a, b| {
+                Ok::<_, BucketMismatch>(a.saturating_add(*b))
+            })?,
+            gauges: merge_series(&self.gauges, &other.gauges, |a, b| {
+                Ok::<_, BucketMismatch>(a.max(*b))
+            })?,
+            histograms: merge_series(&self.histograms, &other.histograms, |a, b| a.merge(b))?,
+        })
     }
 }
 
@@ -301,5 +358,55 @@ mod tests {
         assert_eq!(cell.value(), u64::MAX);
         cell.inc();
         assert_eq!(cell.value(), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_merge_equals_one_process_doing_all_the_work() {
+        // Two "shard" registries and one reference registry seeing the
+        // union of their workloads.
+        let shard_a = MetricsRegistry::new();
+        let shard_b = MetricsRegistry::new();
+        let reference = MetricsRegistry::new();
+        for (value, shard) in [(0.001, &shard_a), (0.004, &shard_a), (0.02, &shard_b)] {
+            shard.histogram("decam_lat_seconds", &[("stage", "x")]).record(value);
+            reference.histogram("decam_lat_seconds", &[("stage", "x")]).record(value);
+        }
+        shard_a.counter("decam_items_total", &[]).add(2);
+        shard_b.counter("decam_items_total", &[]).add(1);
+        reference.counter("decam_items_total", &[]).add(3);
+        shard_a.gauge("decam_peak", &[]).set(3.0);
+        shard_b.gauge("decam_peak", &[]).set(5.0);
+        reference.gauge("decam_peak", &[]).set(5.0);
+        // A metric only one shard ever touched passes through unchanged.
+        shard_b.counter("decam_only_b_total", &[]).inc();
+        reference.counter("decam_only_b_total", &[]).inc();
+
+        let merged = shard_a.snapshot().merge(&shard_b.snapshot()).unwrap();
+        assert_eq!(merged, reference.snapshot());
+
+        // Exact moments: merged count/sum/sum_sq are the per-shard sums.
+        let a = &shard_a.snapshot().histograms[0].2;
+        let b = &shard_b.snapshot().histograms[0].2;
+        let m = &merged.histograms[0].2;
+        assert_eq!(m.count(), a.count() + b.count());
+        assert_eq!(m.sum(), a.sum() + b.sum());
+        assert_eq!(m.sum_sq(), a.sum_sq() + b.sum_sq());
+    }
+
+    #[test]
+    fn snapshot_merge_rejects_mismatched_bucket_layouts() {
+        let narrow = HistogramSnapshot::from_parts(vec![1.0], vec![1, 0], 1, 0.5, 0.25).unwrap();
+        let wide =
+            HistogramSnapshot::from_parts(vec![1.0, 2.0], vec![1, 0, 0], 1, 0.5, 0.25).unwrap();
+        let a = RegistrySnapshot {
+            histograms: vec![("decam_h".into(), Vec::new(), narrow)],
+            ..Default::default()
+        };
+        let b = RegistrySnapshot {
+            histograms: vec![("decam_h".into(), Vec::new(), wide)],
+            ..Default::default()
+        };
+        assert_eq!(a.merge(&b), Err(BucketMismatch));
+        assert_eq!(a.merge(&a).unwrap().histograms[0].2.count(), 2);
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! decamouflage check <image> --target WxH [--thresholds FILE] [--metrics-out FILE]
-//! decamouflage scan <dir> --target WxH [--thresholds FILE] [--chunk-size N] [--metrics-out FILE]
+//! decamouflage scan <dir> --target WxH [--thresholds FILE] [--chunk-size N]
+//!                   [--shard k/N] [--checkpoint FILE] [--resume] [--metrics-out FILE]
+//! decamouflage merge <checkpoint>... [-o FILE] [--metrics-out FILE]
 //! decamouflage craft <original> <target-image> -o <attack-out>
 //! decamouflage calibrate --benign DIR --attack DIR --target WxH -o thresholds.txt
 //! decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]
@@ -17,6 +19,16 @@
 //! (default 64) are resident at once, so arbitrarily large corpora scan in
 //! constant memory.
 //!
+//! Large corpora also shard: `--shard k/N` scans only the k-th of N
+//! hash-partitions of the directory (membership is a pure function of
+//! each file's name, so shards are stable across machines and listing
+//! orders), `--checkpoint FILE` persists progress at every chunk
+//! boundary, and `--resume` picks a killed scan up from its checkpoint —
+//! refusing if the directory changed underneath it. `merge` combines the
+//! finished shard checkpoints into one corpus-wide report with merged
+//! telemetry, byte-identical to what a single unsharded scan would have
+//! produced.
+//!
 //! `--metrics-out FILE` enables telemetry for the run and writes the
 //! final metric state to `FILE` on exit — Prometheus text exposition by
 //! default, JSON when the path ends in `.json`. `stats` exercises the
@@ -28,13 +40,13 @@ use decamouflage::detection::ensemble::{DegradePolicy, Ensemble};
 use decamouflage::detection::persist::ThresholdSet;
 use decamouflage::detection::stream::{BufferPool, DirectorySource, ImageSource, StreamConfig};
 use decamouflage::detection::{
-    FilteringDetector, MethodId, MetricKind, ScalingDetector, ScoreFault, SteganalysisDetector,
-    Threshold,
+    scan_shard, CorpusFingerprint, FilteringDetector, MethodId, MetricKind, ScalingDetector,
+    ScanCheckpoint, ScanReport, ScoreFault, ShardSpec, SteganalysisDetector, Threshold,
 };
 use decamouflage::imaging::codec::{read_bmp_file, read_pnm_file, write_bmp_file, write_pnm_file};
 use decamouflage::imaging::scale::{ScaleAlgorithm, Scaler};
 use decamouflage::imaging::{Image, Size};
-use decamouflage::telemetry::Telemetry;
+use decamouflage::telemetry::{to_json, to_prometheus_text, Telemetry};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -43,6 +55,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("craft") => cmd_craft(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -65,7 +78,9 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage:\n  decamouflage check <image> --target WxH [--thresholds FILE] [--degrade MODE] [--metrics-out FILE]\n  \
-         decamouflage scan <dir> --target WxH [--thresholds FILE] [--degrade MODE] [--chunk-size N] [--metrics-out FILE]\n  \
+         decamouflage scan <dir> --target WxH [--thresholds FILE] [--degrade MODE] [--chunk-size N]\n    \
+         [--shard k/N] [--checkpoint FILE] [--resume] [--metrics-out FILE]\n  \
+         decamouflage merge <checkpoint>... [-o FILE] [--metrics-out FILE]\n  \
          decamouflage craft <original> <target-image> -o <attack-out>\n  \
          decamouflage calibrate --benign DIR --attack DIR --target WxH -o FILE\n  \
          decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]\n\n\
@@ -75,10 +90,73 @@ fn print_usage() {
          fail-closed (flag the image as an attack).\n\
          --chunk-size: images decoded per scoring chunk during scan (default 64) —\n  \
          peak memory is bounded by one chunk regardless of directory size.\n\
+         --shard k/N: scan only the k-th of N stable hash-partitions of the directory;\n  \
+         --checkpoint FILE persists progress every chunk, --resume continues from it.\n\
+         merge: combine finished shard checkpoints into one corpus-wide report\n  \
+         (stdout or -o FILE; --metrics-out writes the shards' merged telemetry).\n\
          --metrics-out: record telemetry during the run and write it to FILE on exit\n  \
          (Prometheus text; JSON when FILE ends in .json).\n\
          stats: run the pipeline on a synthetic corpus and emit its telemetry."
     );
+}
+
+/// Strictly parsed command arguments: positionals in order, `--flag
+/// value` pairs, and boolean switches. Anything starting with `-` that a
+/// command did not declare is an error — a misspelt flag aborts instead
+/// of silently riding along as a positional.
+struct ParsedArgs {
+    positionals: Vec<String>,
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl ParsedArgs {
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.values.iter().find(|(name, _)| name == flag).map(|(_, value)| value.as_str())
+    }
+
+    /// The value of either spelling of a flag (`-o` / `--out`).
+    fn either(&self, a: &str, b: &str) -> Result<Option<&str>, String> {
+        match (self.value(a), self.value(b)) {
+            (Some(_), Some(_)) => Err(format!("{a} and {b} are the same flag, given twice")),
+            (first, second) => Ok(first.or(second)),
+        }
+    }
+
+    fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|name| name == flag)
+    }
+}
+
+fn parse_args(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<ParsedArgs, String> {
+    let mut parsed =
+        ParsedArgs { positionals: Vec::new(), values: Vec::new(), switches: Vec::new() };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg.len() > 1 && arg.starts_with('-') {
+            if value_flags.contains(&arg.as_str()) {
+                if parsed.value(arg).is_some() {
+                    return Err(format!("flag {arg} given more than once"));
+                }
+                let value = iter.next().ok_or_else(|| format!("flag {arg} needs a value"))?.clone();
+                parsed.values.push((arg.clone(), value));
+            } else if switch_flags.contains(&arg.as_str()) {
+                if parsed.switch(arg) {
+                    return Err(format!("flag {arg} given more than once"));
+                }
+                parsed.switches.push(arg.clone());
+            } else {
+                return Err(format!("unknown flag {arg:?} for this command"));
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+        }
+    }
+    Ok(parsed)
 }
 
 /// Installs (idempotently) and returns the process-global telemetry
@@ -89,16 +167,24 @@ fn enable_metrics() -> Telemetry {
     decamouflage::telemetry::global()
 }
 
-/// Writes the final metric state to `path`: JSON when the extension is
+/// Writes a metric snapshot to `path`: JSON when the extension is
 /// `.json`, Prometheus text exposition otherwise.
-fn write_metrics(telemetry: &Telemetry, path: &str) -> Result<(), String> {
+fn write_snapshot(
+    snapshot: &decamouflage::telemetry::RegistrySnapshot,
+    path: &str,
+) -> Result<(), String> {
     let output = if path.to_ascii_lowercase().ends_with(".json") {
-        telemetry.json()
+        to_json(snapshot)
     } else {
-        telemetry.prometheus_text()
+        to_prometheus_text(snapshot)
     };
-    let output = output.ok_or("telemetry is not enabled")?;
     std::fs::write(path, output).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Writes the final metric state of a live handle to `path`.
+fn write_metrics(telemetry: &Telemetry, path: &str) -> Result<(), String> {
+    let snapshot = telemetry.snapshot().ok_or("telemetry is not enabled")?;
+    write_snapshot(&snapshot, path)
 }
 
 fn read_image(path: &str) -> Result<Image, String> {
@@ -129,10 +215,6 @@ fn parse_size(s: &str) -> Result<Size, String> {
     Ok(Size::new(w, h))
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
-}
-
 /// Default thresholds used by `check` when no calibration file is given:
 /// intentionally conservative generic values; calibrating on in-domain
 /// data is always preferable.
@@ -150,14 +232,21 @@ fn default_thresholds() -> ThresholdSet {
     set
 }
 
-fn parse_degrade(args: &[String]) -> Result<DegradePolicy, String> {
-    match flag_value(args, "--degrade") {
+fn parse_degrade(parsed: &ParsedArgs) -> Result<DegradePolicy, String> {
+    match parsed.value("--degrade") {
         None | Some("strict") => Ok(DegradePolicy::Strict),
         Some("majority") => Ok(DegradePolicy::MajorityOfAvailable),
         Some("fail-closed") => Ok(DegradePolicy::FailClosed),
         Some(other) => {
             Err(format!("unknown --degrade mode {other:?} (strict, majority, fail-closed)"))
         }
+    }
+}
+
+fn load_thresholds(parsed: &ParsedArgs) -> Result<ThresholdSet, String> {
+    match parsed.value("--thresholds") {
+        Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string()),
+        None => Ok(default_thresholds()),
     }
 }
 
@@ -182,30 +271,22 @@ fn build_ensemble(
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let image_path = args
-        .iter()
-        .find(|a| {
-            !a.starts_with('-')
-                && Some(a.as_str()) != flag_value(args, "--target")
-                && Some(a.as_str()) != flag_value(args, "--thresholds")
-                && Some(a.as_str()) != flag_value(args, "--degrade")
-                && Some(a.as_str()) != flag_value(args, "--metrics-out")
-        })
-        .ok_or("check needs an image path")?;
-    let target = parse_size(flag_value(args, "--target").ok_or("check needs --target WxH")?)?;
-    let thresholds = match flag_value(args, "--thresholds") {
-        Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
-        None => default_thresholds(),
+    let parsed =
+        parse_args(args, &["--target", "--thresholds", "--degrade", "--metrics-out"], &[])?;
+    let [image_path] = parsed.positionals.as_slice() else {
+        return Err("check needs exactly one image path".into());
     };
+    let target = parse_size(parsed.value("--target").ok_or("check needs --target WxH")?)?;
+    let thresholds = load_thresholds(&parsed)?;
     // Telemetry must be live before the ensemble is built — construction
     // captures the process-global handle.
-    let metrics_out = flag_value(args, "--metrics-out");
+    let metrics_out = parsed.value("--metrics-out");
     let telemetry = if metrics_out.is_some() { enable_metrics() } else { Telemetry::disabled() };
     let image = {
         let _decode = telemetry.span("decam_engine_stage_seconds", &[("stage", "decode")]);
         read_image(image_path)?
     };
-    let ensemble = build_ensemble(target, &thresholds, parse_degrade(args)?)?;
+    let ensemble = build_ensemble(target, &thresholds, parse_degrade(&parsed)?)?;
     let decision = ensemble.decide(&image).map_err(|e| e.to_string())?;
     for (member, vote) in &decision.votes {
         println!("{member}: {}", if *vote { "ATTACK" } else { "benign" });
@@ -227,20 +308,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_craft(args: &[String]) -> Result<ExitCode, String> {
     use decamouflage::attack::{craft_attack, AttackConfig};
-    let positional: Vec<&String> = {
-        let out_idx = args.iter().position(|a| a == "-o" || a == "--out");
-        args.iter()
-            .enumerate()
-            .filter(|(i, a)| !a.starts_with('-') && out_idx.map(|oi| *i != oi + 1).unwrap_or(true))
-            .map(|(_, a)| a)
-            .collect()
-    };
-    let [original_path, target_path] = positional.as_slice() else {
+    let parsed = parse_args(args, &["-o", "--out"], &[])?;
+    let [original_path, target_path] = parsed.positionals.as_slice() else {
         return Err("craft needs <original> and <target-image>".into());
     };
-    let out = flag_value(args, "-o")
-        .or_else(|| flag_value(args, "--out"))
-        .ok_or("craft needs -o <attack-out>")?;
+    let out = parsed.either("-o", "--out")?.ok_or("craft needs -o <attack-out>")?;
 
     let original = read_image(original_path)?;
     let target = read_image(target_path)?;
@@ -283,12 +355,14 @@ fn read_dir_images(dir: &str) -> Result<Vec<Image>, String> {
 }
 
 fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
-    let benign_dir = flag_value(args, "--benign").ok_or("calibrate needs --benign DIR")?;
-    let attack_dir = flag_value(args, "--attack").ok_or("calibrate needs --attack DIR")?;
-    let target = parse_size(flag_value(args, "--target").ok_or("calibrate needs --target WxH")?)?;
-    let out = flag_value(args, "-o")
-        .or_else(|| flag_value(args, "--out"))
-        .ok_or("calibrate needs -o FILE")?;
+    let parsed = parse_args(args, &["--benign", "--attack", "--target", "-o", "--out"], &[])?;
+    if let Some(stray) = parsed.positionals.first() {
+        return Err(format!("calibrate takes no positional argument, got {stray:?}"));
+    }
+    let benign_dir = parsed.value("--benign").ok_or("calibrate needs --benign DIR")?;
+    let attack_dir = parsed.value("--attack").ok_or("calibrate needs --attack DIR")?;
+    let target = parse_size(parsed.value("--target").ok_or("calibrate needs --target WxH")?)?;
+    let out = parsed.either("-o", "--out")?.ok_or("calibrate needs -o FILE")?;
 
     let benign = read_dir_images(benign_dir)?;
     let attacks = read_dir_images(attack_dir)?;
@@ -318,43 +392,59 @@ fn cmd_calibrate(args: &[String]) -> Result<ExitCode, String> {
 /// image was flagged.
 ///
 /// The directory streams through [`DirectorySource`] into
-/// [`DetectionEngine::score_stream`](decamouflage::detection::engine::DetectionEngine::score_stream):
-/// files decode lazily in chunks of `--chunk-size` (default 64), each
-/// chunk fans out over the worker pool, and decoded buffers recycle —
-/// peak memory is one chunk plus the buffer pool regardless of how many
-/// images the directory holds. The engine scores the same three methods
-/// as `check`'s ensemble and the verdict is the same majority vote.
+/// [`scan_shard`]: files decode lazily in chunks of `--chunk-size`
+/// (default 64), each chunk fans out over the worker pool, and decoded
+/// buffers recycle — peak memory is one chunk plus the buffer pool
+/// regardless of how many images the directory holds. With `--shard k/N`
+/// only the k-th stable hash-partition of the file names is scanned
+/// (skipped files are never decoded); `--checkpoint FILE` persists
+/// progress atomically at every chunk boundary and `--resume` continues
+/// from it. The engine scores the same three methods as `check`'s
+/// ensemble and the verdict is the same majority vote; on resume the
+/// summary covers the whole shard, freshly printed lines only the newly
+/// scanned images.
 fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
     use decamouflage::detection::engine::DetectionEngine;
     use decamouflage::detection::MethodSet;
 
-    let dir = args
-        .iter()
-        .find(|a| {
-            !a.starts_with('-')
-                && Some(a.as_str()) != flag_value(args, "--target")
-                && Some(a.as_str()) != flag_value(args, "--thresholds")
-                && Some(a.as_str()) != flag_value(args, "--degrade")
-                && Some(a.as_str()) != flag_value(args, "--metrics-out")
-                && Some(a.as_str()) != flag_value(args, "--chunk-size")
-        })
-        .ok_or("scan needs a directory path")?;
-    let target = parse_size(flag_value(args, "--target").ok_or("scan needs --target WxH")?)?;
-    let thresholds = match flag_value(args, "--thresholds") {
-        Some(path) => ThresholdSet::load(path).map_err(|e| e.to_string())?,
-        None => default_thresholds(),
+    let parsed = parse_args(
+        args,
+        &[
+            "--target",
+            "--thresholds",
+            "--degrade",
+            "--chunk-size",
+            "--metrics-out",
+            "--shard",
+            "--checkpoint",
+        ],
+        &["--resume"],
+    )?;
+    let [dir] = parsed.positionals.as_slice() else {
+        return Err("scan needs exactly one directory path".into());
     };
-    let chunk_size: usize = match flag_value(args, "--chunk-size") {
+    let target = parse_size(parsed.value("--target").ok_or("scan needs --target WxH")?)?;
+    let thresholds = load_thresholds(&parsed)?;
+    let chunk_size: usize = match parsed.value("--chunk-size") {
         Some(raw) => match raw.parse() {
             Ok(n) if n >= 1 => n,
             _ => return Err(format!("bad --chunk-size value {raw:?} (must be >= 1)")),
         },
         None => 64,
     };
-    let policy = parse_degrade(args)?;
+    let shard = match parsed.value("--shard") {
+        Some(raw) => ShardSpec::parse(raw).map_err(|e| e.to_string())?,
+        None => ShardSpec::full(),
+    };
+    let checkpoint_path = parsed.value("--checkpoint").map(str::to_string);
+    let resume = parsed.switch("--resume");
+    if resume && checkpoint_path.is_none() {
+        return Err("scan --resume needs --checkpoint FILE".into());
+    }
+    let policy = parse_degrade(&parsed)?;
     // Telemetry must be live before the engine and source are built —
     // construction captures the process-global handle.
-    let metrics_out = flag_value(args, "--metrics-out");
+    let metrics_out = parsed.value("--metrics-out");
     let telemetry = if metrics_out.is_some() { enable_metrics() } else { Telemetry::disabled() };
 
     // The same three members as `check`'s default ensemble; the engine's
@@ -370,54 +460,135 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
             .collect::<Result<_, _>>()?;
     let engine = DetectionEngine::new(target).with_methods(MethodSet::of(&ids));
 
+    // Shard membership and the corpus fingerprint are both functions of
+    // the sorted file-name list, so every shard of N agrees on them.
     let mut source = DirectorySource::open(dir).map_err(|e| e.to_string())?;
-    let paths = source.paths().to_vec();
+    let all_paths = source.paths().to_vec();
+    let fingerprint = CorpusFingerprint::of_keys(source.shard_keys());
+    let kept = source.restrict_to_shard(shard);
+    let checkpoint = match (&checkpoint_path, resume) {
+        (Some(path), true) => {
+            let loaded = ScanCheckpoint::load(path).map_err(|e| e.to_string())?;
+            loaded
+                .validate_resume(shard, fingerprint, engine.methods(), &kept)
+                .map_err(|e| e.to_string())?;
+            loaded
+        }
+        _ => ScanCheckpoint::new(shard, fingerprint, engine.methods()),
+    };
+    source.skip(checkpoint.done());
     let config = StreamConfig::default().with_chunk_size(chunk_size);
 
+    let final_checkpoint = scan_shard(
+        &engine,
+        &mut source,
+        &kept,
+        &config,
+        checkpoint,
+        |ckpt| match &checkpoint_path {
+            Some(path) => ckpt.save(path),
+            None => Ok(()),
+        },
+        |global, result| {
+            let shown = all_paths[global].display();
+            match result {
+                Ok(scores) => {
+                    let votes =
+                        entries.iter().filter(|(id, t)| t.is_attack(scores.get(*id))).count();
+                    if 2 * votes > entries.len() {
+                        println!("ATTACK      {shown}");
+                    } else {
+                        println!("benign      {shown}");
+                    }
+                }
+                Err(err) => match &err.cause {
+                    // The file never decoded.
+                    ScoreFault::Unreadable { message } => {
+                        println!("unreadable  {shown}: {message}");
+                    }
+                    // The file loaded but could not be scored; the degrade
+                    // policy decides whether that is suspicious in itself.
+                    _ if matches!(policy, DegradePolicy::FailClosed) => {
+                        println!("ATTACK      {shown}");
+                    }
+                    _ => {
+                        println!("quarantined {shown}: {err}");
+                    }
+                },
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    // The summary covers the whole shard — including rows a previous
+    // (resumed) process completed — so it comes from the checkpoint, not
+    // from this process's print counters.
     let mut flagged = 0usize;
     let mut unreadable = 0usize;
     let mut quarantined = 0usize;
-    engine.score_stream(&mut source, &config, |index, result| {
-        let shown = paths[index].display();
-        match result {
-            Ok(scores) => {
-                let votes = entries.iter().filter(|(id, t)| t.is_attack(scores.get(*id))).count();
-                if 2 * votes > entries.len() {
-                    flagged += 1;
-                    println!("ATTACK      {shown}");
-                } else {
-                    println!("benign      {shown}");
-                }
-            }
-            Err(err) => match err.cause {
-                // The file never decoded.
-                ScoreFault::Unreadable { message } => {
-                    unreadable += 1;
-                    println!("unreadable  {shown}: {message}");
-                }
-                // The file loaded but could not be scored; the degrade
-                // policy decides whether that is suspicious in itself.
-                _ if matches!(policy, DegradePolicy::FailClosed) => {
-                    flagged += 1;
-                    println!("ATTACK      {shown}");
-                }
-                _ => {
-                    quarantined += 1;
-                    println!("quarantined {shown}: {err}");
-                }
-            },
+    for row in 0..final_checkpoint.scored_indices().len() {
+        let scores = final_checkpoint.score_vector_at(row);
+        let votes = entries.iter().filter(|(id, t)| t.is_attack(scores.get(*id))).count();
+        if 2 * votes > entries.len() {
+            flagged += 1;
         }
-    });
+    }
+    for record in final_checkpoint.quarantined() {
+        if record.kind() == "unreadable" {
+            unreadable += 1;
+        } else if matches!(policy, DegradePolicy::FailClosed) {
+            flagged += 1;
+        } else {
+            quarantined += 1;
+        }
+    }
     println!(
         "scanned {} images: {flagged} flagged, {} accepted, \
          {quarantined} quarantined, {unreadable} unreadable",
-        paths.len(),
-        paths.len() - flagged - quarantined - unreadable
+        final_checkpoint.done(),
+        final_checkpoint.done() - flagged - quarantined - unreadable
     );
     if let Some(out) = metrics_out {
         write_metrics(&telemetry, out)?;
     }
     Ok(if flagged > 0 { ExitCode::from(2) } else { ExitCode::SUCCESS })
+}
+
+/// Combines finished shard checkpoints into one corpus-wide report: the
+/// canonical checkpoint-format text (stdout or `-o FILE`), a summary on
+/// stderr, and optionally the shards' merged telemetry. Refuses
+/// checkpoints from different corpora, incomplete shards, or overlapping
+/// rows.
+fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_args(args, &["-o", "--out", "--metrics-out"], &[])?;
+    if parsed.positionals.is_empty() {
+        return Err("merge needs at least one checkpoint file".into());
+    }
+    let checkpoints: Vec<ScanCheckpoint> = parsed
+        .positionals
+        .iter()
+        .map(|path| ScanCheckpoint::load(path).map_err(|e| format!("{path}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let report = ScanReport::merge(&checkpoints).map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} checkpoint(s): {} images, {} scored, {} quarantined",
+        checkpoints.len(),
+        report.corpus_len(),
+        report.scored_indices().len(),
+        report.quarantined().len()
+    );
+    let text = report.to_text().map_err(|e| e.to_string())?;
+    match parsed.either("-o", "--out")? {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    if let Some(path) = parsed.value("--metrics-out") {
+        write_snapshot(report.metrics(), path)?;
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Exercises the full detection pipeline — engine stages, quarantine,
@@ -431,19 +602,23 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     use decamouflage::detection::monitor::DetectionMonitor;
     use decamouflage::detection::Direction;
 
-    let target = match flag_value(args, "--target") {
+    let parsed = parse_args(args, &["--target", "--count", "--format", "-o", "--out"], &[])?;
+    if let Some(stray) = parsed.positionals.first() {
+        return Err(format!("stats takes no positional argument, got {stray:?}"));
+    }
+    let target = match parsed.value("--target") {
         Some(raw) => parse_size(raw)?,
         None => Size::square(16),
     };
-    let count: usize = match flag_value(args, "--count") {
+    let count: usize = match parsed.value("--count") {
         Some(raw) => raw.parse().map_err(|_| format!("bad --count value {raw:?}"))?,
         None => 4,
     };
     if count == 0 {
         return Err("--count must be >= 1".into());
     }
-    let out = flag_value(args, "-o").or_else(|| flag_value(args, "--out"));
-    let format = match flag_value(args, "--format") {
+    let out = parsed.either("-o", "--out")?;
+    let format = match parsed.value("--format") {
         Some(f @ ("prometheus" | "json")) => f,
         Some(other) => return Err(format!("unknown --format {other:?} (prometheus, json)")),
         // With no explicit format the output file's extension decides.

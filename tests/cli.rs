@@ -293,6 +293,158 @@ fn scan_chunk_size_one_matches_default_chunking() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// Strict argument parsing: a misspelt flag must abort with an error
+/// instead of silently riding along, on every command.
+#[test]
+fn unknown_flags_are_rejected_by_every_command() {
+    for command in ["check", "scan", "merge", "craft", "calibrate", "stats"] {
+        let (code, _, stderr) = run(bin().arg(command).arg("--bogus-flag").arg("value"));
+        assert_eq!(code, 1, "{command} accepted an unknown flag: {stderr}");
+        assert!(stderr.contains("unknown flag \"--bogus-flag\""), "{command}: {stderr}");
+    }
+    // Duplicates of a known flag are also rejected.
+    let (code, _, stderr) =
+        run(bin().arg("scan").arg("dir").args(["--target", "16x16", "--target", "8x8"]));
+    assert_eq!(code, 1);
+    assert!(stderr.contains("given more than once"), "{stderr}");
+}
+
+/// The shard/checkpoint/merge smoke mirroring the CI stage: a 64-image
+/// corpus scanned as one shard and as three shards — one of them killed
+/// mid-scan and `--resume`d — must merge to byte-identical reports, and
+/// the single-shard scan output must match a plain unsharded scan.
+#[test]
+fn sharded_resumed_merged_scan_matches_the_unsharded_report() {
+    use decamouflage::detection::ScanCheckpoint;
+
+    let root = std::env::temp_dir().join("decamouflage-cli-test-shard");
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).unwrap();
+    let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
+    for i in 0..32u64 {
+        write_bmp_file(&generator.benign(i), corpus.join(format!("b{i:02}.bmp"))).unwrap();
+        write_bmp_file(&generator.attack_image(i).unwrap(), corpus.join(format!("x{i:02}.bmp")))
+            .unwrap();
+    }
+
+    let scan = |extra: &[&str]| {
+        let mut cmd = bin();
+        cmd.arg("scan").arg(&corpus).args(["--target", "16x16", "--chunk-size", "8"]);
+        cmd.args(extra);
+        run(&mut cmd)
+    };
+
+    // Reference: a plain scan and a single-shard checkpointed scan.
+    let (plain_code, plain_out, _) = scan(&[]);
+    let single = root.join("single.ckpt");
+    let (code, single_out, stderr) = scan(&["--checkpoint", single.to_str().unwrap()]);
+    assert_eq!(code, plain_code, "{stderr}");
+    assert_eq!(single_out, plain_out, "a 1/1 checkpointed scan must not change the output");
+
+    // Three shards; shard 2/3 is killed mid-scan (its finished checkpoint
+    // is rewound to a chunk boundary) and resumed.
+    let shard_files: Vec<std::path::PathBuf> =
+        (1..=3).map(|k| root.join(format!("shard{k}.ckpt"))).collect();
+    let mut shard_outputs = Vec::new();
+    for (k, file) in (1..=3).zip(&shard_files) {
+        let spec = format!("{k}/3");
+        let (code, stdout, stderr) =
+            scan(&["--shard", &spec, "--checkpoint", file.to_str().unwrap()]);
+        assert!(code == 0 || code == 2, "shard {spec} failed: {stderr}");
+        shard_outputs.push(stdout);
+    }
+    let finished = ScanCheckpoint::load(&shard_files[1]).unwrap();
+    assert!(finished.done() > 8, "shard 2/3 owns too few images for a mid-scan rewind");
+    finished.prefix(8).save(&shard_files[1]).unwrap();
+    let (code, resumed_out, stderr) =
+        scan(&["--shard", "2/3", "--checkpoint", shard_files[1].to_str().unwrap(), "--resume"]);
+    assert!(code == 0 || code == 2, "resume failed: {stderr}");
+    // The resumed run prints only the images it scanned itself, but its
+    // summary covers the whole shard.
+    let summary = |out: &str| {
+        out.lines()
+            .find(|l| l.starts_with("scanned "))
+            .map(str::to_owned)
+            .unwrap_or_else(|| panic!("no summary line:\n{out}"))
+    };
+    assert_eq!(summary(&resumed_out), summary(&shard_outputs[1]));
+    assert!(
+        resumed_out.lines().count() < shard_outputs[1].lines().count(),
+        "resume must not rescan finished images"
+    );
+    // Every corpus image was scanned by exactly one shard.
+    let scanned: usize = shard_outputs
+        .iter()
+        .map(|out| {
+            summary(out)
+                .strip_prefix("scanned ")
+                .and_then(|rest| rest.split(' ').next())
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(scanned, 64, "shards must partition the corpus");
+
+    // Merging the single shard and the three shards (with one resumed
+    // mid-crash) yields byte-identical corpus-wide reports.
+    let merged_single = root.join("merged-single.txt");
+    let (code, _, stderr) =
+        run(bin().arg("merge").arg(&single).args(["-o", merged_single.to_str().unwrap()]));
+    assert_eq!(code, 0, "merge of the single shard failed: {stderr}");
+    assert!(stderr.contains("merged 1 checkpoint(s): 64 images"), "{stderr}");
+    let merged_shards = root.join("merged-shards.txt");
+    let (code, _, stderr) =
+        run(bin().arg("merge").args(&shard_files).args(["-o", merged_shards.to_str().unwrap()]));
+    assert_eq!(code, 0, "merge of the three shards failed: {stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&merged_single).unwrap(),
+        std::fs::read_to_string(&merged_shards).unwrap(),
+        "sharding must not change the merged report"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `--resume` refuses a checkpoint taken over a different corpus: adding
+/// a file to the directory changes the fingerprint.
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_corpus() {
+    let root = std::env::temp_dir().join("decamouflage-cli-test-resume-mismatch");
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus = root.join("corpus");
+    std::fs::create_dir_all(&corpus).unwrap();
+    let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
+    for i in 0..4u64 {
+        write_bmp_file(&generator.benign(i), corpus.join(format!("b{i}.bmp"))).unwrap();
+    }
+    let checkpoint = root.join("scan.ckpt");
+    let (code, _, stderr) = run(bin()
+        .arg("scan")
+        .arg(&corpus)
+        .args(["--target", "16x16"])
+        .args(["--checkpoint", checkpoint.to_str().unwrap()]));
+    assert_eq!(code, 0, "initial scan failed: {stderr}");
+
+    // The corpus grows; the old checkpoint no longer describes it.
+    write_bmp_file(&generator.benign(9), corpus.join("late-arrival.bmp")).unwrap();
+    let (code, _, stderr) = run(bin()
+        .arg("scan")
+        .arg(&corpus)
+        .args(["--target", "16x16"])
+        .args(["--checkpoint", checkpoint.to_str().unwrap()])
+        .arg("--resume"));
+    assert_eq!(code, 1, "resume over a changed corpus must be refused");
+    assert!(stderr.contains("checkpoint mismatch"), "{stderr}");
+
+    // --resume without --checkpoint is a usage error.
+    let (code, _, stderr) =
+        run(bin().arg("scan").arg(&corpus).args(["--target", "16x16"]).arg("--resume"));
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--resume needs --checkpoint"), "{stderr}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
 #[test]
 fn scan_rejects_empty_directories() {
     let root = std::env::temp_dir().join("decamouflage-cli-test-scan-empty");
