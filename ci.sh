@@ -42,6 +42,21 @@ cargo test --test cli -- sharded_resumed_merged_scan_matches_the_unsharded_repor
     unknown_flags_are_rejected_by_every_command
 cargo test -p decamouflage-core --test shard_merge_equivalence
 
+echo "== service smoke: serve under mixed traffic + SIGTERM drain =="
+# The real binary on an ephemeral port: concurrent valid/malformed/oversized
+# requests, shed/4xx/5xx accounting asserted in /metrics, then SIGTERM and a
+# clean drained exit inside the drain deadline. Parser fuzz + in-process
+# server e2e ride along from the serve crate's own suite.
+cargo test --test service_smoke
+cargo test -p decamouflage-serve --test http_parser_props --test server_e2e
+
+echo "== service load: overload contract + BENCH_service.json =="
+# Storm an undersized server (2 handlers + queue 2) with 2x+ its capacity of
+# mixed traffic: zero requests may stall past deadline+grace, the in-flight
+# gauge must return to 0 after the drain, and the latency quantiles
+# (p50/p99/p999) land in BENCH_service.json. Exit code is the verdict.
+cargo run --release -p decamouflage-bench --bin loadgen -- -o BENCH_service.json
+
 echo "== perf smoke: detector gates + SSIM stage share =="
 # Best-of-N latency gates from the bench harness (engine < 1500 us/image,
 # batch <= 1.05x, streaming <= 1.02x, telemetry <= 1.02x) in smoke mode, then

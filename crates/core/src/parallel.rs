@@ -143,6 +143,17 @@ impl WorkerPool {
         }
     }
 
+    /// Fire-and-forget: hands `job` to a pool worker. The job runs exactly
+    /// once — on a worker normally, or inline on the calling thread when the
+    /// pool is shut down or every worker is gone (same fallback as the
+    /// fork-join path). Panics inside the job are recovered by the worker
+    /// loop and counted in `decam_pool_panics_recovered_total`; they never
+    /// take a worker down. There is no completion signal — callers that need
+    /// one should close over a channel or atomic.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.submit(Box::new(job));
+    }
+
     /// Maps `f` over `0..n` using the caller plus up to `threads - 1` pool
     /// workers, preserving index order in the output. Work is distributed
     /// dynamically (atomic cursor), so uneven per-item costs balance out.
@@ -481,5 +492,37 @@ mod tests {
         assert!(ran.load(Ordering::SeqCst), "orphaned jobs must run on the caller");
         // map_indices still completes (inline or via fallback submission).
         assert_eq!(pool.map_indices(4, 3, |i| i * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn spawn_runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = mpsc::channel();
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            let done = done_tx.clone();
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                let _ = done.send(());
+            });
+        }
+        for _ in 0..16 {
+            done_rx.recv_timeout(std::time::Duration::from_secs(10)).expect("job completion");
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn spawn_survives_a_panicking_job() {
+        let pool = WorkerPool::new(1);
+        pool.spawn(|| panic!("injected"));
+        let (done_tx, done_rx) = mpsc::channel();
+        pool.spawn(move || {
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker survives a recovered panic");
     }
 }

@@ -43,7 +43,9 @@ use decamouflage_imaging::Image;
 use decamouflage_telemetry::{Counter, Gauge, HistogramHandle, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One pulled stream item: a decoded image, or the structured error that
 /// explains why this position of the stream could not produce one.
@@ -145,6 +147,66 @@ impl BufferPool {
     }
 }
 
+/// A cooperative cancellation/deadline token for streamed scoring.
+///
+/// The token is the deadline hook of the service path: a request handler
+/// arms one with its per-request deadline
+/// ([`CancelToken::expiring_in`]) and passes it through
+/// [`StreamConfig::with_cancel`]; the [`ChunkDriver`] then checks it
+/// **between pipeline stages** — before every chunk (or item) pull — and
+/// stops pulling once it has expired. In-flight work always finishes (a
+/// slot is quarantined or scored, never leaked mid-computation); only
+/// *new* work is refused, and [`StreamSummary::cancelled`] reports that
+/// the stream ended early.
+///
+/// Clones share the cancellation flag, so [`CancelToken::cancel`] from
+/// any thread (e.g. a drain sequence) trips every holder. The deadline is
+/// per-token state fixed at construction.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; it only expires via
+    /// [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that expires at the absolute `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self { cancelled: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn expiring_in(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Trips the token immediately; every clone observes it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token was cancelled or its deadline has passed.
+    pub fn is_expired(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+            || self.deadline.is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Time left before the deadline: `None` without one, zero once past.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+
+    /// The absolute deadline, where one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
 /// Chunking parameters for streamed scoring.
 #[derive(Debug, Clone)]
 pub struct StreamConfig {
@@ -154,12 +216,16 @@ pub struct StreamConfig {
     pub threads: usize,
     /// Maximum recycled buffers kept by the driver's [`BufferPool`].
     pub pool_capacity: usize,
+    /// Cooperative deadline/cancellation checked between stages; `None`
+    /// streams to exhaustion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for StreamConfig {
-    /// 64-image chunks, [`default_threads`] workers, an 8-buffer pool.
+    /// 64-image chunks, [`default_threads`] workers, an 8-buffer pool,
+    /// no deadline.
     fn default() -> Self {
-        Self { chunk_size: 64, threads: default_threads(), pool_capacity: 8 }
+        Self { chunk_size: 64, threads: default_threads(), pool_capacity: 8, cancel: None }
     }
 }
 
@@ -184,6 +250,14 @@ impl StreamConfig {
         self.pool_capacity = pool_capacity;
         self
     }
+
+    /// Builder: arms a cooperative [`CancelToken`] checked between
+    /// pipeline stages (before every chunk/item pull).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
 }
 
 /// Aggregate result of one streamed run.
@@ -196,6 +270,10 @@ pub struct StreamSummary {
     /// Largest chunk pulled — the peak number of decoded images resident
     /// at once (excluding the bounded buffer pool).
     pub peak_chunk: usize,
+    /// Whether the stream stopped early because its
+    /// [`CancelToken`] expired (deadline passed or explicit cancel);
+    /// positions after the cut were never pulled.
+    pub cancelled: bool,
 }
 
 /// Pre-resolved telemetry handles for the streaming path (the
@@ -210,6 +288,9 @@ struct StreamMetrics {
     in_flight: Gauge,
     /// `decam_stream_peak_chunk`: largest chunk pulled so far.
     peak_chunk: Gauge,
+    /// `decam_stream_cancelled_total`: streams that stopped early on an
+    /// expired [`CancelToken`].
+    cancelled_total: Counter,
 }
 
 impl StreamMetrics {
@@ -218,6 +299,7 @@ impl StreamMetrics {
             chunks_total: telemetry.counter("decam_stream_chunks_total", &[]),
             in_flight: telemetry.gauge("decam_stream_in_flight_images", &[]),
             peak_chunk: telemetry.gauge("decam_stream_peak_chunk", &[]),
+            cancelled_total: telemetry.counter("decam_stream_cancelled_total", &[]),
         }
     }
 }
@@ -275,6 +357,8 @@ pub struct ChunkDriver<'a> {
     pool: BufferPool,
     chunk_size: usize,
     metrics: StreamMetrics,
+    cancel: Option<CancelToken>,
+    cancelled: bool,
     next_index: usize,
     chunks: usize,
     peak_chunk: usize,
@@ -293,10 +377,26 @@ impl<'a> ChunkDriver<'a> {
             pool: BufferPool::with_telemetry(config.pool_capacity, telemetry),
             chunk_size: config.chunk_size.max(1),
             metrics: StreamMetrics::new(telemetry),
+            cancel: config.cancel.clone(),
+            cancelled: false,
             next_index: 0,
             chunks: 0,
             peak_chunk: 0,
         }
+    }
+
+    /// The cooperative stage boundary: once the armed [`CancelToken`] has
+    /// expired, every subsequent pull refuses to start (returning `true`
+    /// here) and the stream ends early with
+    /// [`StreamSummary::cancelled`] set. The expiry is latched so the
+    /// clock is read at most once per pull and never again after the
+    /// first trip.
+    fn expired(&mut self) -> bool {
+        if !self.cancelled && self.cancel.as_ref().is_some_and(CancelToken::is_expired) {
+            self.cancelled = true;
+            self.metrics.cancelled_total.inc();
+        }
+        self.cancelled
     }
 
     /// Pulls up to `chunk_size` items, or `None` at end of stream.
@@ -307,6 +407,9 @@ impl<'a> ChunkDriver<'a> {
     /// inside a worker, which is what keeps streamed and eager scoring
     /// bit-identical under faults.
     pub fn next_chunk(&mut self) -> Option<Chunk> {
+        if self.expired() {
+            return None;
+        }
         let base = self.next_index;
         let mut slots = Vec::with_capacity(
             self.chunk_size.min(self.source.len_hint().unwrap_or(self.chunk_size)),
@@ -343,6 +446,9 @@ impl<'a> ChunkDriver<'a> {
     /// items had been staged `chunk_size` at a time, so
     /// [`StreamSummary`] is identical between the two drive modes.
     pub fn next_item(&mut self) -> Option<(usize, Result<Image, ScoreError>)> {
+        if self.expired() {
+            return None;
+        }
         let index = self.next_index;
         let pulled = match catch_unwind(AssertUnwindSafe(|| self.source.next_image(&mut self.pool)))
         {
@@ -387,7 +493,12 @@ impl<'a> ChunkDriver<'a> {
 
     /// Aggregate counters of the run so far.
     pub fn summary(&self) -> StreamSummary {
-        StreamSummary { items: self.next_index, chunks: self.chunks, peak_chunk: self.peak_chunk }
+        StreamSummary {
+            items: self.next_index,
+            chunks: self.chunks,
+            peak_chunk: self.peak_chunk,
+            cancelled: self.cancelled,
+        }
     }
 }
 
@@ -959,6 +1070,83 @@ mod tests {
         let err = DirectorySource::open(&dir).unwrap_err();
         assert!(err.to_string().contains("no .pgm/.ppm/.pnm/.bmp images"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cancel_token_expires_by_deadline_and_by_cancel() {
+        let token = CancelToken::new();
+        assert!(!token.is_expired());
+        assert_eq!(token.remaining(), None);
+        assert_eq!(token.deadline(), None);
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_expired(), "clones share the cancellation flag");
+
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(expired.is_expired());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+
+        let live = CancelToken::expiring_in(Duration::from_secs(3600));
+        assert!(!live.is_expired());
+        assert!(live.remaining().unwrap() > Duration::from_secs(3000));
+        assert!(live.deadline().is_some());
+    }
+
+    #[test]
+    fn expired_token_stops_the_driver_between_chunks() {
+        let telemetry = Telemetry::enabled();
+        let token = CancelToken::new();
+        let mut source = FnSource::new(10, |i| flat(i as f64));
+        let config = StreamConfig::default().with_chunk_size(2).with_cancel(token.clone());
+        let mut driver = ChunkDriver::new(&mut source, &config, &telemetry);
+
+        // First chunk pulls normally; the in-flight chunk is never
+        // interrupted, only the next pull is refused.
+        let chunk = driver.next_chunk().expect("token not yet expired");
+        assert_eq!(chunk.len(), 2);
+        for offset in 0..chunk.len() {
+            let _ = chunk.take(offset);
+        }
+        driver.finish_chunk();
+
+        token.cancel();
+        assert!(driver.next_chunk().is_none(), "cancelled stream refuses new chunks");
+        assert!(driver.next_chunk().is_none(), "the trip latches");
+        let summary = driver.summary();
+        assert!(summary.cancelled);
+        assert_eq!(summary.items, 2, "positions after the cut were never pulled");
+        assert_eq!(telemetry.counter("decam_stream_cancelled_total", &[]).value(), 1);
+    }
+
+    #[test]
+    fn expired_token_stops_the_sequential_driver_between_items() {
+        let token = CancelToken::new();
+        let mut source = FnSource::new(5, |i| flat(i as f64));
+        let config = StreamConfig::default().with_chunk_size(4).with_cancel(token.clone());
+        let mut driver = ChunkDriver::new(&mut source, &config, &Telemetry::disabled());
+        let (index, item) = driver.next_item().expect("first item flows");
+        assert_eq!(index, 0);
+        assert!(item.is_ok());
+        driver.item_done();
+        token.cancel();
+        assert!(driver.next_item().is_none());
+        assert!(driver.summary().cancelled);
+    }
+
+    #[test]
+    fn unarmed_streams_never_report_cancellation() {
+        let mut source = FnSource::new(3, |i| flat(i as f64));
+        let config = StreamConfig::default().with_chunk_size(8);
+        let mut driver = ChunkDriver::new(&mut source, &config, &Telemetry::disabled());
+        while let Some(chunk) = driver.next_chunk() {
+            for offset in 0..chunk.len() {
+                let _ = chunk.take(offset);
+            }
+            driver.finish_chunk();
+        }
+        let summary = driver.summary();
+        assert!(!summary.cancelled);
+        assert_eq!(summary.items, 3);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Shared numeric-flag parsing for the CLI, the `serve` subcommand and
+//! the bench `loadgen` binary.
+//!
+//! Every numeric flag in the tooling funnels through these helpers so
+//! degenerate values — `--chunk-size 0`, a negative `--shard`, an
+//! overflowing `--count` — are rejected uniformly with a message that
+//! names the flag, the accepted range, and the offending input, instead
+//! of each subcommand rolling (and unevenly forgetting) its own checks.
+
+use std::time::Duration;
+
+/// Parses a flag value as a `usize` in `[min, max]`.
+///
+/// # Errors
+///
+/// A message naming the flag, range and offending value for anything
+/// that is not an integer in range — including negative numbers, empty
+/// strings, trailing garbage and values past `usize`/`max`.
+pub fn parse_bounded_usize(flag: &str, raw: &str, min: usize, max: usize) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    let value: usize = trimmed
+        .parse()
+        .map_err(|_| format!("{flag}: expected an integer in [{min}, {max}], got {raw:?}"))?;
+    if value < min || value > max {
+        return Err(format!("{flag}: {value} is out of range [{min}, {max}]"));
+    }
+    Ok(value)
+}
+
+/// Parses a flag value as a millisecond count in `[min_ms, max_ms]`,
+/// returned as a [`Duration`].
+///
+/// # Errors
+///
+/// Same contract as [`parse_bounded_usize`].
+pub fn parse_bounded_ms(
+    flag: &str,
+    raw: &str,
+    min_ms: usize,
+    max_ms: usize,
+) -> Result<Duration, String> {
+    Ok(Duration::from_millis(parse_bounded_usize(flag, raw, min_ms, max_ms)? as u64))
+}
+
+/// Parses a `k/N` shard spec: `0 <= k < N`, `1 <= N <= max_shards`.
+///
+/// # Errors
+///
+/// A flag-named message for a missing `/`, non-integer parts, `N == 0`,
+/// `k >= N`, or `N > max_shards`.
+pub fn parse_shard_spec(
+    flag: &str,
+    raw: &str,
+    max_shards: usize,
+) -> Result<(usize, usize), String> {
+    let (index, count) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("{flag}: expected k/N (e.g. 0/4), got {raw:?}"))?;
+    let count = parse_bounded_usize(flag, count, 1, max_shards)?;
+    let index = parse_bounded_usize(flag, index, 0, count.saturating_sub(1))
+        .map_err(|_| format!("{flag}: shard index must be in [0, {}), got {index:?}", count))?;
+    Ok((index, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_in_range_values_and_trims_whitespace() {
+        assert_eq!(parse_bounded_usize("--chunk-size", "64", 1, 4096), Ok(64));
+        assert_eq!(parse_bounded_usize("--chunk-size", " 1 ", 1, 4096), Ok(1));
+        assert_eq!(
+            parse_bounded_ms("--deadline-ms", "250", 1, 60_000),
+            Ok(Duration::from_millis(250))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_negative_overflow_and_garbage_with_the_flag_name() {
+        for raw in ["0", "-3", "4.5", "", "abc", "99999999999999999999999999"] {
+            let err = parse_bounded_usize("--chunk-size", raw, 1, 4096).unwrap_err();
+            assert!(err.starts_with("--chunk-size:"), "message names the flag: {err}");
+        }
+        let err = parse_bounded_usize("--count", "5000", 1, 4096).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn shard_specs_validate_both_halves() {
+        assert_eq!(parse_shard_spec("--shard", "0/4", 1024), Ok((0, 4)));
+        assert_eq!(parse_shard_spec("--shard", "3/4", 1024), Ok((3, 4)));
+        for raw in ["4/4", "0/0", "-1/4", "x/4", "2", "1/99999999999999999999"] {
+            let err = parse_shard_spec("--shard", raw, 1024).unwrap_err();
+            assert!(err.starts_with("--shard:"), "message names the flag: {err}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Tiny JSON rendering helpers (the workspace is dependency-free; the
+//! response bodies are hand-assembled like the telemetry exporters).
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            control if (control as u32) < 0x20 => {
+                escaped.push_str(&format!("\\u{:04x}", control as u32));
+            }
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+/// Renders an `f64` as a JSON value; non-finite values become strings
+/// (`"NaN"`, `"+Inf"`, `"-Inf"`), matching the telemetry JSON exporter.
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else if value.is_nan() {
+        "\"NaN\"".to_string()
+    } else if value > 0.0 {
+        "\"+Inf\"".to_string()
+    } else {
+        "\"-Inf\"".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_like_the_telemetry_exporter() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "\"NaN\"");
+        assert_eq!(number(f64::INFINITY), "\"+Inf\"");
+        assert_eq!(number(f64::NEG_INFINITY), "\"-Inf\"");
+    }
+}

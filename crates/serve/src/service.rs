@@ -1,0 +1,495 @@
+//! The detection service: engine + calibrated thresholds + degrade
+//! policy, mapped onto typed request outcomes.
+//!
+//! This layer is transport-free — it consumes bytes/[`ImageSource`]s
+//! and a [`CancelToken`], and produces [`CheckOutcome`]/[`ScanOutcome`]
+//! values the server serialises. Keeping it off the socket makes the
+//! status mapping unit-testable without a listener.
+
+use crate::json;
+use decamouflage_core::ensemble::DegradePolicy;
+use decamouflage_core::persist::ThresholdSet;
+use decamouflage_core::{
+    CancelToken, DetectionEngine, ImageSource, MethodId, MethodSet, ScoreFault, ScoreVector,
+    StreamConfig, Threshold,
+};
+use decamouflage_imaging::codec::{decode_bmp, decode_pnm};
+use decamouflage_imaging::{Image, Size};
+use decamouflage_telemetry::Telemetry;
+
+/// The engine methods the service votes with — the paper's three-method
+/// ensemble (scaling/MSE, filtering/SSIM, CSP).
+pub const SERVICE_METHODS: &[MethodId] =
+    &[MethodId::ScalingMse, MethodId::FilteringSsim, MethodId::Csp];
+
+/// Decodes an image body by sniffing its magic bytes: `BM` → 24-bit
+/// BMP, a `P?` header → PNM (PGM/PPM, ASCII or binary).
+///
+/// # Errors
+///
+/// A human-readable description for unsupported magic or a codec
+/// failure — the caller quarantines the input as `unreadable`.
+pub fn decode_image(body: &[u8]) -> Result<Image, String> {
+    if body.starts_with(b"BM") {
+        decode_bmp(body).map_err(|err| err.to_string())
+    } else if body.first() == Some(&b'P') {
+        decode_pnm(body).map_err(|err| err.to_string())
+    } else {
+        Err("unsupported image format (need PGM/PPM/PNM or 24-bit BMP)".into())
+    }
+}
+
+/// One member's abstention reason.
+pub type Unavailable = (MethodId, String);
+
+/// The voting result for one scored image.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Majority verdict (fail-closed rules applied per the policy).
+    pub is_attack: bool,
+    /// Whether any member abstained (always `false` under
+    /// [`DegradePolicy::Strict`], which quarantines instead).
+    pub degraded: bool,
+    /// `(method, voted attack?)` for every member that voted.
+    pub votes: Vec<(MethodId, bool)>,
+    /// Abstaining members and why.
+    pub unavailable: Vec<Unavailable>,
+}
+
+/// The typed outcome of one `/check`, mapped 1:1 onto an HTTP status.
+#[derive(Debug)]
+pub enum CheckOutcome {
+    /// `200` — scored and voted.
+    Verdict {
+        /// The engine's per-method scores.
+        scores: ScoreVector,
+        /// The ensemble decision over [`SERVICE_METHODS`].
+        verdict: Verdict,
+    },
+    /// `422` — the input was quarantined by the [`ScoreFault`] taxonomy
+    /// (`fault` is [`ScoreFault::kind`]; decode failures use
+    /// `unreadable`).
+    Quarantined {
+        /// Stable kebab-case fault tag.
+        fault: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// `500` — scoring panicked; the panic was recovered and the slot
+    /// quarantined, but the failure is the server's, not the input's.
+    Panicked {
+        /// The recovered panic message.
+        detail: String,
+    },
+    /// `504` — the request deadline expired between pipeline stages.
+    Expired,
+}
+
+/// One position's result within a `/scan`.
+#[derive(Debug)]
+pub enum ScanEntry {
+    /// The image scored; the ensemble voted.
+    Scored(Verdict),
+    /// The position was quarantined (`fault` = [`ScoreFault::kind`]).
+    Quarantined {
+        /// Stable kebab-case fault tag.
+        fault: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Aggregate result of one `/scan` stream.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Per-position entries in stream order.
+    pub entries: Vec<ScanEntry>,
+    /// Entries flagged as attacks.
+    pub flagged: usize,
+    /// Entries voted benign.
+    pub benign: usize,
+    /// Entries quarantined.
+    pub quarantined: usize,
+    /// Entries decided with at least one abstaining member.
+    pub degraded: usize,
+    /// Whether the stream stopped early on an expired [`CancelToken`]
+    /// (→ `504`, with the partial counts in the body).
+    pub expired: bool,
+}
+
+/// Engine + thresholds + degrade policy behind the HTTP routes.
+#[derive(Debug)]
+pub struct DetectionService {
+    engine: DetectionEngine,
+    members: Vec<(MethodId, Threshold)>,
+    policy: DegradePolicy,
+    telemetry: Telemetry,
+}
+
+impl DetectionService {
+    /// Builds the service for `target` with calibrated `thresholds`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first of [`SERVICE_METHODS`] missing from
+    /// the threshold set.
+    pub fn new(
+        target: Size,
+        thresholds: &ThresholdSet,
+        policy: DegradePolicy,
+    ) -> Result<Self, String> {
+        let mut members = Vec::with_capacity(SERVICE_METHODS.len());
+        for &id in SERVICE_METHODS {
+            let threshold = thresholds
+                .get(id)
+                .ok_or_else(|| format!("thresholds are missing an entry for {:?}", id.name()))?;
+            members.push((id, threshold));
+        }
+        let engine = DetectionEngine::new(target).with_methods(MethodSet::of(SERVICE_METHODS));
+        Ok(Self { engine, members, policy, telemetry: decamouflage_telemetry::global() })
+    }
+
+    /// The configured degrade policy.
+    pub fn policy(&self) -> DegradePolicy {
+        self.policy
+    }
+
+    /// Applies the member thresholds to one score vector. Mirrors
+    /// `Ensemble::decide` semantics: a non-finite member score never
+    /// votes benign silently — under [`DegradePolicy::Strict`] it
+    /// quarantines the request, otherwise the member abstains and the
+    /// policy decides what the abstention means.
+    fn vote(&self, scores: &ScoreVector) -> CheckOutcome {
+        let mut votes = Vec::with_capacity(self.members.len());
+        let mut unavailable = Vec::new();
+        let mut attack_votes = 0usize;
+        for &(id, threshold) in &self.members {
+            let score = scores.get(id);
+            if score.is_finite() {
+                let vote = threshold.is_attack(score);
+                attack_votes += usize::from(vote);
+                votes.push((id, vote));
+            } else if self.policy == DegradePolicy::Strict {
+                return CheckOutcome::Quarantined {
+                    fault: "non-finite-score",
+                    detail: format!("{} produced non-finite score {score}", id.name()),
+                };
+            } else {
+                unavailable.push((id, format!("non-finite score {score}")));
+            }
+        }
+        let is_attack = match self.policy {
+            DegradePolicy::FailClosed if !unavailable.is_empty() => true,
+            // Nothing could score the image: refuse to accept it.
+            _ if votes.is_empty() => true,
+            _ => 2 * attack_votes > votes.len(),
+        };
+        let verdict = Verdict { is_attack, degraded: !unavailable.is_empty(), votes, unavailable };
+        CheckOutcome::Verdict { scores: scores.clone(), verdict }
+    }
+
+    /// Scores one request body end-to-end: decode → engine →
+    /// threshold vote, with a cooperative deadline check between every
+    /// stage. An expired token never interrupts in-flight work — it
+    /// refuses the *next* stage, so a slot is always either scored or
+    /// quarantined, never leaked.
+    pub fn check_bytes(&self, body: &[u8], cancel: &CancelToken) -> CheckOutcome {
+        if cancel.is_expired() {
+            return CheckOutcome::Expired;
+        }
+        let image = {
+            let _decode = self.telemetry.span("decam_engine_stage_seconds", &[("stage", "decode")]);
+            match decode_image(body) {
+                Ok(image) => image,
+                Err(detail) => return CheckOutcome::Quarantined { fault: "unreadable", detail },
+            }
+        };
+        if cancel.is_expired() {
+            return CheckOutcome::Expired;
+        }
+        let scores = match self.engine.score_resilient(&image) {
+            Ok(scores) => scores,
+            Err(err) => {
+                let detail = err.to_string();
+                return match err.cause {
+                    ScoreFault::Panicked { .. } => CheckOutcome::Panicked { detail },
+                    ref cause => CheckOutcome::Quarantined { fault: cause.kind(), detail },
+                };
+            }
+        };
+        if cancel.is_expired() {
+            return CheckOutcome::Expired;
+        }
+        self.vote(&scores)
+    }
+
+    /// Streams a source through the engine with bounded memory
+    /// (`chunk_size` images resident at most) and the request's
+    /// [`CancelToken`] armed between pipeline stages.
+    ///
+    /// Per-slot failures quarantine the slot — including recovered
+    /// panics, which on the batch path are a position-level fault, not a
+    /// request-level 500.
+    pub fn scan_source(
+        &self,
+        source: &mut dyn ImageSource,
+        cancel: &CancelToken,
+        chunk_size: usize,
+    ) -> ScanOutcome {
+        let config = StreamConfig::default()
+            .with_chunk_size(chunk_size)
+            .with_threads(1)
+            .with_pool_capacity(4)
+            .with_cancel(cancel.clone());
+        let mut entries = Vec::new();
+        let (mut flagged, mut benign, mut quarantined, mut degraded) = (0, 0, 0, 0);
+        let summary = self.engine.score_stream(source, &config, |_index, result| {
+            let entry = match result {
+                Ok(scores) => match self.vote(&scores) {
+                    CheckOutcome::Verdict { verdict, .. } => ScanEntry::Scored(verdict),
+                    CheckOutcome::Quarantined { fault, detail } => {
+                        ScanEntry::Quarantined { fault, detail }
+                    }
+                    // vote() only produces the two arms above.
+                    CheckOutcome::Panicked { detail } => {
+                        ScanEntry::Quarantined { fault: "panic", detail }
+                    }
+                    CheckOutcome::Expired => {
+                        ScanEntry::Quarantined { fault: "injected", detail: "unreachable".into() }
+                    }
+                },
+                Err(err) => {
+                    let detail = err.to_string();
+                    ScanEntry::Quarantined { fault: err.cause.kind(), detail }
+                }
+            };
+            match &entry {
+                ScanEntry::Scored(verdict) => {
+                    if verdict.is_attack {
+                        flagged += 1;
+                    } else {
+                        benign += 1;
+                    }
+                    degraded += usize::from(verdict.degraded);
+                }
+                ScanEntry::Quarantined { .. } => quarantined += 1,
+            }
+            entries.push(entry);
+        });
+        ScanOutcome { entries, flagged, benign, quarantined, degraded, expired: summary.cancelled }
+    }
+}
+
+impl CheckOutcome {
+    /// Renders the `/check` response body.
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::Verdict { scores, verdict } => {
+                let mut body = String::from("{");
+                body.push_str(&format!(
+                    "\"verdict\":\"{}\",\"degraded\":{}",
+                    if verdict.is_attack { "attack" } else { "benign" },
+                    verdict.degraded
+                ));
+                body.push_str(",\"scores\":{");
+                let rendered: Vec<String> = SERVICE_METHODS
+                    .iter()
+                    .map(|&id| format!("\"{}\":{}", id.name(), json::number(scores.get(id))))
+                    .collect();
+                body.push_str(&rendered.join(","));
+                body.push_str("},\"votes\":{");
+                let rendered: Vec<String> = verdict
+                    .votes
+                    .iter()
+                    .map(|(id, vote)| format!("\"{}\":{}", id.name(), vote))
+                    .collect();
+                body.push_str(&rendered.join(","));
+                body.push_str("},\"unavailable\":{");
+                let rendered: Vec<String> = verdict
+                    .unavailable
+                    .iter()
+                    .map(|(id, reason)| format!("\"{}\":\"{}\"", id.name(), json::escape(reason)))
+                    .collect();
+                body.push_str(&rendered.join(","));
+                body.push_str("}}");
+                body
+            }
+            Self::Quarantined { fault, detail } => format!(
+                "{{\"error\":\"quarantined\",\"fault\":\"{fault}\",\"detail\":\"{}\"}}",
+                json::escape(detail)
+            ),
+            Self::Panicked { detail } => {
+                format!("{{\"error\":\"panic\",\"detail\":\"{}\"}}", json::escape(detail))
+            }
+            Self::Expired => "{\"error\":\"deadline-expired\"}".to_string(),
+        }
+    }
+
+    /// The HTTP status this outcome maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::Verdict { .. } => 200,
+            Self::Quarantined { .. } => 422,
+            Self::Panicked { .. } => 500,
+            Self::Expired => 504,
+        }
+    }
+}
+
+impl ScanOutcome {
+    /// Renders the `/scan` response body (also used, with the partial
+    /// counts, for the 504 body when the stream expired mid-way).
+    pub fn to_json(&self) -> String {
+        let mut body = format!(
+            "{{\"images\":{},\"flagged\":{},\"benign\":{},\"quarantined\":{},\
+             \"degraded\":{},\"expired\":{},\"results\":[",
+            self.entries.len(),
+            self.flagged,
+            self.benign,
+            self.quarantined,
+            self.degraded,
+            self.expired
+        );
+        let rendered: Vec<String> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(index, entry)| match entry {
+                ScanEntry::Scored(verdict) => format!(
+                    "{{\"index\":{index},\"verdict\":\"{}\",\"degraded\":{}}}",
+                    if verdict.is_attack { "attack" } else { "benign" },
+                    verdict.degraded
+                ),
+                ScanEntry::Quarantined { fault, detail } => format!(
+                    "{{\"index\":{index},\"quarantined\":\"{fault}\",\"detail\":\"{}\"}}",
+                    json::escape(detail)
+                ),
+            })
+            .collect();
+        body.push_str(&rendered.join(","));
+        body.push_str("]}");
+        body
+    }
+
+    /// The HTTP status this outcome maps to.
+    pub fn status(&self) -> u16 {
+        if self.expired {
+            504
+        } else {
+            200
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decamouflage_core::Direction;
+    use decamouflage_imaging::codec::encode_pgm;
+
+    fn thresholds() -> ThresholdSet {
+        let mut set = ThresholdSet::new();
+        set.insert(MethodId::ScalingMse, Threshold::new(400.0, Direction::AboveIsAttack));
+        set.insert(MethodId::FilteringSsim, Threshold::new(0.55, Direction::BelowIsAttack));
+        set.insert(MethodId::Csp, Threshold::new(10.0, Direction::AboveIsAttack));
+        set
+    }
+
+    fn service(policy: DegradePolicy) -> DetectionService {
+        DetectionService::new(Size::square(16), &thresholds(), policy).unwrap()
+    }
+
+    fn benign_image_bytes() -> Vec<u8> {
+        let image = Image::from_fn_gray(48, 48, |x, y| 40.0 + ((x + y) % 32) as f64);
+        encode_pgm(&image)
+    }
+
+    #[test]
+    fn missing_threshold_entries_are_named() {
+        let mut set = ThresholdSet::new();
+        set.insert(MethodId::ScalingMse, Threshold::new(400.0, Direction::AboveIsAttack));
+        set.insert(MethodId::FilteringSsim, Threshold::new(0.55, Direction::BelowIsAttack));
+        let err = DetectionService::new(Size::square(16), &set, DegradePolicy::Strict).unwrap_err();
+        assert!(err.contains("steganalysis/csp"), "{err}");
+    }
+
+    #[test]
+    fn a_benign_image_scores_and_votes() {
+        let outcome =
+            service(DegradePolicy::Strict).check_bytes(&benign_image_bytes(), &CancelToken::new());
+        let CheckOutcome::Verdict { scores, verdict } = &outcome else {
+            panic!("expected a verdict, got {outcome:?}");
+        };
+        assert_eq!(verdict.votes.len(), 3);
+        assert!(verdict.unavailable.is_empty());
+        assert!(scores.get(MethodId::ScalingMse).is_finite());
+        assert_eq!(outcome.status(), 200);
+        let json = outcome.to_json();
+        assert!(json.contains("\"verdict\":"), "{json}");
+        assert!(json.contains("\"scaling/mse\":"), "{json}");
+    }
+
+    #[test]
+    fn undecodable_bytes_quarantine_as_unreadable() {
+        let outcome =
+            service(DegradePolicy::Strict).check_bytes(b"not an image", &CancelToken::new());
+        let CheckOutcome::Quarantined { fault, .. } = outcome else {
+            panic!("expected quarantine");
+        };
+        assert_eq!(fault, "unreadable");
+    }
+
+    #[test]
+    fn degenerate_images_carry_their_fault_kind() {
+        // 1x1 is below every analysis window: the engine quarantines it.
+        let tiny = encode_pgm(&Image::from_fn_gray(1, 1, |_, _| 1.0));
+        let outcome = service(DegradePolicy::Strict).check_bytes(&tiny, &CancelToken::new());
+        let CheckOutcome::Quarantined { fault, .. } = outcome else {
+            panic!("expected quarantine");
+        };
+        assert!(
+            fault == "below-minimum-size" || fault == "degenerate-dimensions",
+            "unexpected fault {fault}"
+        );
+    }
+
+    #[test]
+    fn an_expired_token_refuses_every_stage() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcome = service(DegradePolicy::Strict).check_bytes(&benign_image_bytes(), &cancel);
+        assert!(matches!(outcome, CheckOutcome::Expired));
+        assert_eq!(outcome.status(), 504);
+    }
+
+    #[test]
+    fn scan_streams_frames_and_counts_quarantines() {
+        use decamouflage_core::stream::SliceSource;
+        let service = service(DegradePolicy::Strict);
+        let good = Image::from_fn_gray(48, 48, |x, y| 40.0 + ((x * y) % 32) as f64);
+        let images = vec![good.clone(), good];
+        let mut source = SliceSource::new(&images);
+        let outcome = service.scan_source(&mut source, &CancelToken::new(), 4);
+        assert_eq!(outcome.entries.len(), 2);
+        assert_eq!(outcome.flagged + outcome.benign, 2);
+        assert!(!outcome.expired);
+        assert_eq!(outcome.status(), 200);
+        let json = outcome.to_json();
+        assert!(json.contains("\"images\":2"), "{json}");
+    }
+
+    #[test]
+    fn scan_with_a_tripped_token_reports_expiry() {
+        use decamouflage_core::stream::SliceSource;
+        let service = service(DegradePolicy::Strict);
+        let good = Image::from_fn_gray(48, 48, |x, y| 40.0 + ((x + y) % 32) as f64);
+        let images = vec![good; 3];
+        let mut source = SliceSource::new(&images);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcome = service.scan_source(&mut source, &cancel, 1);
+        assert!(outcome.expired);
+        assert_eq!(outcome.status(), 504);
+        assert!(outcome.entries.is_empty(), "nothing pulled after expiry");
+    }
+}

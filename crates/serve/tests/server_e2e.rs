@@ -1,0 +1,254 @@
+//! In-process end-to-end tests: a real [`Server`] bound to an
+//! ephemeral loopback port, driven over real `TcpStream`s.
+//!
+//! Telemetry caveat: the server records into the process-global
+//! registry, which accumulates across tests in one binary, so these
+//! tests assert *deltas and presence*, never exact global totals.
+
+use decamouflage_core::persist::ThresholdSet;
+use decamouflage_core::{DegradePolicy, Direction, MethodId, Threshold};
+use decamouflage_imaging::codec::encode_pgm;
+use decamouflage_imaging::{Image, Size};
+use decamouflage_serve::{DetectionService, Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn thresholds() -> ThresholdSet {
+    let mut set = ThresholdSet::new();
+    set.insert(MethodId::ScalingMse, Threshold::new(400.0, Direction::AboveIsAttack));
+    set.insert(MethodId::FilteringSsim, Threshold::new(0.55, Direction::BelowIsAttack));
+    set.insert(MethodId::Csp, Threshold::new(10.0, Direction::AboveIsAttack));
+    set
+}
+
+fn service() -> DetectionService {
+    DetectionService::new(Size::square(16), &thresholds(), DegradePolicy::MajorityOfAvailable)
+        .expect("full threshold set")
+}
+
+/// Starts a server on an ephemeral port and runs it on a background
+/// thread; the join handle resolves when the server drains.
+fn start(config: ServerConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<bool>) {
+    // The server records into the process-global registry; /metrics
+    // needs it live. First install wins, so every test may call this.
+    decamouflage_telemetry::install_global(decamouflage_telemetry::Telemetry::enabled());
+    let server = Server::bind(config, service()).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run").drained);
+    (addr, handle, join)
+}
+
+fn benign_pgm() -> Vec<u8> {
+    let image = Image::from_fn_gray(48, 48, |x, y| ((x * 3 + y * 5) % 61) as f64);
+    encode_pgm(&image)
+}
+
+/// One blocking request/response exchange; returns the raw response.
+fn exchange(addr: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(request).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+fn post(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut request =
+        format!("POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n", body.len())
+            .into_bytes();
+    request.extend_from_slice(body);
+    request
+}
+
+fn get(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").into_bytes()
+}
+
+fn status_of(response: &str) -> &str {
+    response.split_whitespace().nth(1).unwrap_or("<no status>")
+}
+
+#[test]
+fn serves_the_full_route_surface_and_drains_clean() {
+    let (addr, handle, join) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        drain_deadline: Duration::from_secs(5),
+        lame_duck: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+
+    // Readiness and metrics.
+    let health = exchange(addr, &get("/healthz"));
+    assert_eq!(status_of(&health), "200", "{health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    let metrics = exchange(addr, &get("/metrics"));
+    assert_eq!(status_of(&metrics), "200", "{metrics}");
+    assert!(metrics.contains("decam_http_in_flight"), "{metrics}");
+
+    // A valid check verdict.
+    let check = exchange(addr, &post("/check", &benign_pgm()));
+    assert_eq!(status_of(&check), "200", "{check}");
+    assert!(check.contains("\"verdict\":"), "{check}");
+    assert!(check.contains("\"scores\":"), "{check}");
+
+    // Unreadable body → typed 422 quarantine.
+    let garbage = exchange(addr, &post("/check", b"not an image at all"));
+    assert_eq!(status_of(&garbage), "422", "{garbage}");
+    assert!(garbage.contains("\"fault\":\"unreadable\""), "{garbage}");
+
+    // Malformed request line → 400; unknown route → 404; wrong method → 405.
+    let bad = exchange(addr, b"BOGUS\r\n\r\n");
+    assert_eq!(status_of(&bad), "400", "{bad}");
+    let missing = exchange(addr, &get("/nope"));
+    assert_eq!(status_of(&missing), "404", "{missing}");
+    let wrong = exchange(addr, &get("/check"));
+    assert_eq!(status_of(&wrong), "405", "{wrong}");
+
+    // Drain: request shutdown, then confirm the server exits drained.
+    handle.shutdown();
+    assert!(join.join().expect("server thread"), "drain completed");
+    assert_eq!(handle.in_flight(), 0);
+}
+
+#[test]
+fn oversized_and_overlong_requests_get_typed_rejections() {
+    let (addr, handle, join) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_body_bytes: 1024,
+        max_header_bytes: 512,
+        drain_deadline: Duration::from_secs(5),
+        lame_duck: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+
+    // Declared length past the cap → 413 without reading the body.
+    let request = format!(
+        "POST /check HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        64 * 1024 * 1024
+    );
+    let response = exchange(addr, request.as_bytes());
+    assert_eq!(status_of(&response), "413", "{response}");
+
+    // A huge header block → 431.
+    let mut request = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    request.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "p".repeat(2048)).as_bytes());
+    let response = exchange(addr, &request);
+    assert_eq!(status_of(&response), "431", "{response}");
+
+    handle.shutdown();
+    assert!(join.join().expect("server thread"));
+}
+
+#[test]
+fn scan_streams_chunked_bodies_one_image_per_chunk() {
+    let (addr, handle, join) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        drain_deadline: Duration::from_secs(5),
+        lame_duck: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+
+    let image = benign_pgm();
+    let mut request =
+        b"POST /scan HTTP/1.1\r\nHost: test\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+    for body in [image.as_slice(), image.as_slice(), b"broken bytes"] {
+        request.extend_from_slice(format!("{:x}\r\n", body.len()).as_bytes());
+        request.extend_from_slice(body);
+        request.extend_from_slice(b"\r\n");
+    }
+    request.extend_from_slice(b"0\r\n\r\n");
+
+    let response = exchange(addr, &request);
+    assert_eq!(status_of(&response), "200", "{response}");
+    assert!(response.contains("\"images\":3"), "{response}");
+    assert!(response.contains("\"quarantined\":1"), "{response}");
+
+    handle.shutdown();
+    assert!(join.join().expect("server thread"));
+}
+
+#[test]
+fn overload_sheds_with_retry_after_while_a_slow_request_holds_the_only_handler() {
+    // One handler, zero queue: a slow-loris connection occupying the
+    // handler forces the very next connection onto the shed path.
+    let (addr, handle, join) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        handlers: 1,
+        queue_limit: 0,
+        deadline: Duration::from_secs(4),
+        drain_deadline: Duration::from_secs(8),
+        lame_duck: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+
+    // Hold the handler: connect, send a partial request, stay silent.
+    let mut loris = TcpStream::connect(addr).expect("connect loris");
+    loris.write_all(b"POST /check HTTP/1.1\r\n").expect("partial head");
+    // Give the accept loop time to admit the loris into the handler.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let shed = exchange(addr, &get("/healthz"));
+    assert_eq!(status_of(&shed), "503", "{shed}");
+    assert!(shed.contains("Retry-After:"), "{shed}");
+    assert!(shed.contains("\"error\":\"overloaded\""), "{shed}");
+
+    // The loris connection cannot outlive the deadline: the socket
+    // timeout fires and the server answers 408 (peer stalled) or 504
+    // (the request deadline itself expired — the two race at the
+    // boundary), or at worst closes the socket. Either way the handler
+    // slot comes back.
+    loris.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut response = Vec::new();
+    loris.read_to_end(&mut response).expect("loris response");
+    let response = String::from_utf8_lossy(&response);
+    assert!(
+        response.starts_with("HTTP/1.1 408")
+            || response.starts_with("HTTP/1.1 504")
+            || response.is_empty(),
+        "expected timeout rejection or close, got: {response}"
+    );
+
+    // With the loris reaped the server serves again (the admission
+    // slot frees when the handler fully unwinds, so poll briefly).
+    let mut recovered = String::new();
+    for _ in 0..50 {
+        recovered = exchange(addr, &get("/healthz"));
+        if status_of(&recovered) == "200" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(status_of(&recovered), "200", "{recovered}");
+    handle.shutdown();
+    assert!(join.join().expect("server thread"), "drain completed after overload");
+    assert_eq!(handle.in_flight(), 0, "no leaked admission slots");
+}
+
+#[test]
+fn draining_server_flips_healthz_and_sheds_work_before_closing() {
+    let (addr, handle, join) = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        drain_deadline: Duration::from_secs(5),
+        lame_duck: Duration::from_millis(800),
+        ..ServerConfig::default()
+    });
+    // Confirm liveness, then start the drain and probe inside the
+    // lame-duck window.
+    let health = exchange(addr, &get("/healthz"));
+    assert_eq!(status_of(&health), "200", "{health}");
+    handle.shutdown();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let not_ready = exchange(addr, &get("/healthz"));
+    assert_eq!(status_of(&not_ready), "503", "{not_ready}");
+    assert!(not_ready.contains("\"status\":\"draining\""), "{not_ready}");
+
+    let shed = exchange(addr, &post("/check", &benign_pgm()));
+    assert_eq!(status_of(&shed), "503", "{shed}");
+    assert!(shed.contains("\"error\":\"draining\""), "{shed}");
+
+    assert!(join.join().expect("server thread"), "drain completed");
+}

@@ -148,7 +148,7 @@ fn labels_json(labels: &Labels) -> String {
 /// `{"counters":[...],"gauges":[...],"histograms":[...]}` with series in
 /// the snapshot's `(name, labels)` order, no timestamps, and a trailing
 /// newline. Histogram entries carry bounds, per-bucket counts, count,
-/// sum, mean, stddev, and the p50/p90/p99 bucket-bound quantiles.
+/// sum, mean, stddev, and the p50/p90/p99/p999 bucket-bound quantiles.
 pub fn to_json(snapshot: &RegistrySnapshot) -> String {
     let counters: Vec<String> = snapshot
         .counters
@@ -188,7 +188,7 @@ pub fn to_json(snapshot: &RegistrySnapshot) -> String {
                 concat!(
                     "{{\"name\":\"{}\",\"labels\":{},\"bounds\":[{}],\"buckets\":[{}],",
                     "\"count\":{},\"sum\":{},\"mean\":{},\"stddev\":{},",
-                    "\"p50\":{},\"p90\":{},\"p99\":{}}}"
+                    "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}"
                 ),
                 escape_json(name),
                 labels_json(labels),
@@ -201,6 +201,7 @@ pub fn to_json(snapshot: &RegistrySnapshot) -> String {
                 quantile(0.5),
                 quantile(0.9),
                 quantile(0.99),
+                quantile(0.999),
             )
         })
         .collect();
@@ -265,6 +266,7 @@ mod tests {
         assert!(a.contains("\"name\":\"decam_jobs_total\""));
         assert!(a.contains("\"value\":7"));
         assert!(a.contains("\"p50\":0.002"));
+        assert!(a.contains("\"p999\":0.005"), "tail quantile is part of the summary: {a}");
         assert!(a.ends_with('\n'));
     }
 

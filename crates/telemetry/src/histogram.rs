@@ -238,6 +238,26 @@ impl HistogramSnapshot {
         Some(f64::INFINITY)
     }
 
+    /// Median bucket-bound estimate — shorthand for `quantile(0.5)`.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile bucket-bound estimate — `quantile(0.99)`.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile bucket-bound estimate — `quantile(0.999)`.
+    ///
+    /// The tail quantile the service bench and load generator report;
+    /// like every [`HistogramSnapshot::quantile`], it is monotone in `q`
+    /// (p50 ≤ p99 ≤ p999 always holds) and reads off the same cumulative
+    /// bucket scan.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     /// Merges two snapshots of identically-configured histograms:
     /// bucket-wise count addition plus summed moments.
     ///
@@ -327,6 +347,31 @@ mod tests {
         }
         let pairs: Vec<_> = h.snapshot().cumulative().collect();
         assert_eq!(pairs, vec![(1.0, 1), (2.0, 2), (f64::INFINITY, 3)]);
+    }
+
+    #[test]
+    fn named_quantiles_are_monotone_and_match_quantile() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1, 1.0]);
+        // 996 fast samples, 3 slow, 1 very slow: p50 and p99 land in the
+        // fast bucket, p999 must climb into the tail.
+        for _ in 0..996 {
+            h.record(0.0005);
+        }
+        for _ in 0..3 {
+            h.record(0.05);
+        }
+        h.record(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), s.quantile(0.5));
+        assert_eq!(s.p99(), s.quantile(0.99));
+        assert_eq!(s.p999(), s.quantile(0.999));
+        assert_eq!(s.p50(), Some(0.001));
+        assert_eq!(s.p99(), Some(0.001));
+        assert_eq!(s.p999(), Some(0.1), "rank 1000*0.999=999 lands on the 0.05 samples");
+        assert!(s.p50() <= s.p99() && s.p99() <= s.p999(), "quantiles are monotone");
+
+        let empty = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(empty.p999(), None, "empty snapshots have no quantiles");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! decamouflage craft <original> <target-image> -o <attack-out>
 //! decamouflage calibrate --benign DIR --attack DIR --target WxH -o thresholds.txt
 //! decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]
+//! decamouflage serve --target WxH [--addr HOST:PORT] [--thresholds FILE] [--degrade MODE]
+//!                    [--handlers N] [--queue-limit N] [--deadline-ms N] [--drain-ms N]
+//!                    [--max-body-bytes N] [--metrics-out FILE]
 //! ```
 //!
 //! Images are PGM/PPM or 24-bit BMP (chosen by extension). `check` exits
@@ -46,6 +49,8 @@ use decamouflage::detection::{
 use decamouflage::imaging::codec::{read_bmp_file, read_pnm_file, write_bmp_file, write_pnm_file};
 use decamouflage::imaging::scale::{ScaleAlgorithm, Scaler};
 use decamouflage::imaging::{Image, Size};
+use decamouflage::serve::flags::{parse_bounded_ms, parse_bounded_usize};
+use decamouflage::serve::{DetectionService, Server, ServerConfig};
 use decamouflage::telemetry::{to_json, to_prometheus_text, Telemetry};
 use std::path::Path;
 use std::process::ExitCode;
@@ -59,6 +64,7 @@ fn main() -> ExitCode {
         Some("craft") => cmd_craft(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -83,7 +89,10 @@ fn print_usage() {
          decamouflage merge <checkpoint>... [-o FILE] [--metrics-out FILE]\n  \
          decamouflage craft <original> <target-image> -o <attack-out>\n  \
          decamouflage calibrate --benign DIR --attack DIR --target WxH -o FILE\n  \
-         decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]\n\n\
+         decamouflage stats [--target WxH] [--count N] [--format prometheus|json] [-o FILE]\n  \
+         decamouflage serve --target WxH [--addr HOST:PORT] [--thresholds FILE] [--degrade MODE]\n    \
+         [--handlers N] [--queue-limit N] [--deadline-ms N] [--drain-ms N]\n    \
+         [--max-body-bytes N] [--metrics-out FILE]\n\n\
          Images: .pgm/.ppm/.pnm or .bmp. `check`/`scan` exit 0 = benign, 2 = attack(s) found.\n\
          --degrade: what to do when an ensemble voter cannot score an image —\n  \
          strict (default: report an error), majority (majority of the remaining voters),\n  \
@@ -96,7 +105,10 @@ fn print_usage() {
          (stdout or -o FILE; --metrics-out writes the shards' merged telemetry).\n\
          --metrics-out: record telemetry during the run and write it to FILE on exit\n  \
          (Prometheus text; JSON when FILE ends in .json).\n\
-         stats: run the pipeline on a synthetic corpus and emit its telemetry."
+         stats: run the pipeline on a synthetic corpus and emit its telemetry.\n\
+         serve: HTTP detection service (POST /check, POST /scan, GET /metrics, GET /healthz)\n  \
+         with bounded admission (503 + Retry-After past --queue-limit), per-request\n  \
+         deadlines (--deadline-ms, 504 on expiry) and graceful SIGTERM drain (--drain-ms)."
     );
 }
 
@@ -425,15 +437,12 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
     };
     let target = parse_size(parsed.value("--target").ok_or("scan needs --target WxH")?)?;
     let thresholds = load_thresholds(&parsed)?;
-    let chunk_size: usize = match parsed.value("--chunk-size") {
-        Some(raw) => match raw.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => return Err(format!("bad --chunk-size value {raw:?} (must be >= 1)")),
-        },
+    let chunk_size = match parsed.value("--chunk-size") {
+        Some(raw) => parse_bounded_usize("--chunk-size", raw, 1, 1 << 20)?,
         None => 64,
     };
     let shard = match parsed.value("--shard") {
-        Some(raw) => ShardSpec::parse(raw).map_err(|e| e.to_string())?,
+        Some(raw) => ShardSpec::parse(raw).map_err(|e| format!("--shard: {e}"))?,
         None => ShardSpec::full(),
     };
     let checkpoint_path = parsed.value("--checkpoint").map(str::to_string);
@@ -610,13 +619,10 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
         Some(raw) => parse_size(raw)?,
         None => Size::square(16),
     };
-    let count: usize = match parsed.value("--count") {
-        Some(raw) => raw.parse().map_err(|_| format!("bad --count value {raw:?}"))?,
+    let count = match parsed.value("--count") {
+        Some(raw) => parse_bounded_usize("--count", raw, 1, 1 << 20)?,
         None => 4,
     };
-    if count == 0 {
-        return Err("--count must be >= 1".into());
-    }
     let out = parsed.either("-o", "--out")?;
     let format = match parsed.value("--format") {
         Some(f @ ("prometheus" | "json")) => f,
@@ -690,4 +696,92 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
         None => print!("{output}"),
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Runs the HTTP detection service until SIGTERM (or Ctrl-C via the
+/// orchestrator), then drains gracefully. Exits 0 only when every
+/// in-flight request finished inside the drain deadline.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use decamouflage::serve::shutdown_signal;
+    use std::io::Write as _;
+
+    let parsed = parse_args(
+        args,
+        &[
+            "--addr",
+            "--target",
+            "--thresholds",
+            "--degrade",
+            "--handlers",
+            "--queue-limit",
+            "--deadline-ms",
+            "--drain-ms",
+            "--max-body-bytes",
+            "--metrics-out",
+        ],
+        &[],
+    )?;
+    if let Some(stray) = parsed.positionals.first() {
+        return Err(format!("serve takes no positional argument, got {stray:?}"));
+    }
+    let target = parse_size(parsed.value("--target").ok_or("serve needs --target WxH")?)?;
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: parsed.value("--addr").unwrap_or("127.0.0.1:8321").to_string(),
+        handlers: match parsed.value("--handlers") {
+            Some(raw) => parse_bounded_usize("--handlers", raw, 1, 1024)?,
+            None => defaults.handlers,
+        },
+        queue_limit: match parsed.value("--queue-limit") {
+            Some(raw) => parse_bounded_usize("--queue-limit", raw, 0, 1 << 16)?,
+            None => defaults.queue_limit,
+        },
+        deadline: match parsed.value("--deadline-ms") {
+            Some(raw) => parse_bounded_ms("--deadline-ms", raw, 10, 600_000)?,
+            None => defaults.deadline,
+        },
+        drain_deadline: match parsed.value("--drain-ms") {
+            Some(raw) => parse_bounded_ms("--drain-ms", raw, 10, 600_000)?,
+            None => defaults.drain_deadline,
+        },
+        max_body_bytes: match parsed.value("--max-body-bytes") {
+            Some(raw) => parse_bounded_usize("--max-body-bytes", raw, 1024, 1 << 30)?,
+            None => defaults.max_body_bytes,
+        },
+        ..defaults
+    };
+    if config.drain_deadline < config.deadline {
+        return Err(format!(
+            "--drain-ms ({:?}) must be at least --deadline-ms ({:?}) so in-flight \
+             requests can finish during the drain",
+            config.drain_deadline, config.deadline
+        ));
+    }
+
+    // The service records into the process-global registry and serves it
+    // back on GET /metrics, so telemetry is always live here.
+    let telemetry = enable_metrics();
+    let thresholds = load_thresholds(&parsed)?;
+    let service = DetectionService::new(target, &thresholds, parse_degrade(&parsed)?)?;
+    let metrics_out = parsed.value("--metrics-out");
+
+    shutdown_signal::install();
+    let server = Server::bind(config, service).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // The smoke harness parses this line for the ephemeral port; keep the
+    // format stable and flush it before blocking in the accept loop.
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    let report = server.run().map_err(|e| e.to_string())?;
+    if let Some(path) = metrics_out {
+        write_metrics(&telemetry, path)?;
+    }
+    if report.drained {
+        eprintln!("drained clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("drain deadline expired with {} request(s) in flight", report.in_flight_at_exit);
+        Ok(ExitCode::FAILURE)
+    }
 }

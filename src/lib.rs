@@ -17,7 +17,9 @@
 //! * [`detection`] — the Decamouflage framework itself: three detectors,
 //!   threshold calibration, majority-vote ensemble, evaluation pipeline,
 //! * [`telemetry`] — dependency-free metrics: counters, gauges, latency
-//!   histograms, RAII stage timers, deterministic Prometheus/JSON export.
+//!   histograms, RAII stage timers, deterministic Prometheus/JSON export,
+//! * [`serve`] — detection-as-a-service: an overload-safe,
+//!   deadline-bounded HTTP server over the engine.
 //!
 //! # Quickstart
 //!
@@ -56,5 +58,6 @@ pub use decamouflage_core as detection;
 pub use decamouflage_datasets as datasets;
 pub use decamouflage_imaging as imaging;
 pub use decamouflage_metrics as metrics;
+pub use decamouflage_serve as serve;
 pub use decamouflage_spectral as spectral;
 pub use decamouflage_telemetry as telemetry;
