@@ -50,6 +50,22 @@ echo "== service smoke: serve under mixed traffic + SIGTERM drain =="
 cargo test --test service_smoke
 cargo test -p decamouflage-serve --test http_parser_props --test server_e2e
 
+echo "== codec totality: hostile-input property suites + mixed-dir smoke =="
+# The decoders are the trust boundary: truncations, bit flips, spliced
+# garbage and magic-prefixed noise must return typed errors, never panic.
+# The CLI smoke streams a mixed BMP/PNM/PNG/JPEG directory with corrupt
+# files riding along — they quarantine their own slots, nothing crashes —
+# and the container-equivalence test pins BMP-vs-PNG scores bit-identical.
+cargo test -p decamouflage-imaging --test codec_props
+cargo test --test codec_equivalence
+cargo test --test cli -- scan_streams_a_mixed_format_directory_and_quarantines_the_corrupt_file
+
+echo "== codec bench: decode-stage latency per format -> BENCH_codecs.json =="
+# Streams a per-format synthetic corpus through DirectorySource and reads
+# decam_engine_stage_seconds{stage="decode"}; doubles as an encode->decode
+# smoke at corpus scale (non-zero exit on any decode failure).
+cargo run --release -p decamouflage-bench --bin codecs -- 48 3 -o BENCH_codecs.json
+
 echo "== service load: overload contract + BENCH_service.json =="
 # Storm an undersized server (2 handlers + queue 2) with 2x+ its capacity of
 # mixed traffic: zero requests may stall past deadline+grace, the in-flight

@@ -134,6 +134,14 @@ pub enum ScoreFault {
         /// Human-readable description of the source failure.
         message: String,
     },
+    /// A stream source produced bytes no codec claims (unknown magic)
+    /// or a claimed format with an unsupported feature. Distinguished
+    /// from [`ScoreFault::Unreadable`] so clients can tell "wrong file
+    /// type" from "corrupt file".
+    UnsupportedFormat {
+        /// Human-readable description of what was unsupported.
+        message: String,
+    },
 }
 
 impl ScoreFault {
@@ -150,6 +158,7 @@ impl ScoreFault {
             Self::Panicked { .. } => "panic",
             Self::Injected => "injected",
             Self::Unreadable { .. } => "unreadable",
+            Self::UnsupportedFormat { .. } => "unsupported-format",
         }
     }
 }
@@ -173,6 +182,9 @@ impl fmt::Display for ScoreFault {
             Self::Panicked { message } => write!(f, "scoring panicked: {message}"),
             Self::Injected => write!(f, "injected fault"),
             Self::Unreadable { message } => write!(f, "unreadable source item: {message}"),
+            Self::UnsupportedFormat { message } => {
+                write!(f, "unsupported source format: {message}")
+            }
         }
     }
 }

@@ -38,7 +38,7 @@
 use crate::error::{ScoreError, ScoreFault};
 use crate::parallel::default_threads;
 use crate::DetectError;
-use decamouflage_imaging::codec::{read_bmp_file, read_pnm_file};
+use decamouflage_imaging::codec::{decode_auto_into, ImageFormat};
 use decamouflage_imaging::Image;
 use decamouflage_telemetry::{Counter, Gauge, HistogramHandle, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -764,8 +764,59 @@ impl<S: ImageSource, F: FnMut(usize) -> String> ImageSource for ShardedSource<S,
     }
 }
 
-/// Extensions the directory walk admits, lowercased.
-const IMAGE_EXTENSIONS: [&str; 4] = ["pgm", "ppm", "pnm", "bmp"];
+/// Extensions the directory walk admits, lowercased. Dispatch to a
+/// codec happens by magic bytes ([`decamouflage_imaging::codec::sniff`]),
+/// not extension — the extension only gates which files are listed.
+const IMAGE_EXTENSIONS: [&str; 7] = ["pgm", "ppm", "pnm", "bmp", "png", "jpg", "jpeg"];
+
+/// Pre-resolved `decam_codec_decode_total{format, outcome}` counters —
+/// one ok/error pair per sniffable format plus an `unknown` error
+/// counter for bytes no codec claims.
+#[derive(Debug)]
+struct DecodeCounters {
+    ok: [Counter; 4],
+    error: [Counter; 4],
+    unknown: Counter,
+}
+
+impl DecodeCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        let resolve = |format: ImageFormat, outcome: &str| {
+            telemetry.counter(
+                "decam_codec_decode_total",
+                &[("format", format.name()), ("outcome", outcome)],
+            )
+        };
+        Self {
+            ok: ImageFormat::ALL.map(|f| resolve(f, "ok")),
+            error: ImageFormat::ALL.map(|f| resolve(f, "error")),
+            unknown: telemetry.counter(
+                "decam_codec_decode_total",
+                &[("format", "unknown"), ("outcome", "error")],
+            ),
+        }
+    }
+
+    fn record_ok(&self, format: ImageFormat) {
+        self.ok[Self::slot(format)].inc();
+    }
+
+    fn record_error(&self, format: Option<ImageFormat>) {
+        match format {
+            Some(f) => self.error[Self::slot(f)].inc(),
+            None => self.unknown.inc(),
+        }
+    }
+
+    const fn slot(format: ImageFormat) -> usize {
+        match format {
+            ImageFormat::Bmp => 0,
+            ImageFormat::Pnm => 1,
+            ImageFormat::Png => 2,
+            ImageFormat::Jpeg => 3,
+        }
+    }
+}
 
 /// An [`ImageSource`] over the image files of one directory — the single
 /// home of the listing/decode logic the CLI previously duplicated between
@@ -784,6 +835,7 @@ pub struct DirectorySource {
     paths: Vec<PathBuf>,
     next: usize,
     decode_seconds: HistogramHandle,
+    decode_counters: DecodeCounters,
 }
 
 impl DirectorySource {
@@ -818,13 +870,16 @@ impl DirectorySource {
             .collect();
         paths.sort();
         if paths.is_empty() {
-            return Err(invalid(format!("no .pgm/.ppm/.pnm/.bmp images in {shown}")));
+            return Err(invalid(format!(
+                "no .pgm/.ppm/.pnm/.bmp/.png/.jpg/.jpeg images in {shown}"
+            )));
         }
         Ok(Self {
             paths,
             next: 0,
             decode_seconds: telemetry
                 .histogram("decam_engine_stage_seconds", &[("stage", "decode")]),
+            decode_counters: DecodeCounters::new(telemetry),
         })
     }
 
@@ -894,24 +949,42 @@ impl DirectorySource {
 }
 
 impl ImageSource for DirectorySource {
-    fn next_image(&mut self, _pool: &mut BufferPool) -> Option<SourceItem> {
+    fn next_image(&mut self, pool: &mut BufferPool) -> Option<SourceItem> {
         let path = self.paths.get(self.next)?;
         self.next += 1;
         let _decode = self.decode_seconds.span();
-        let decoded = if path
-            .extension()
-            .and_then(|e| e.to_str())
-            .is_some_and(|e| e.eq_ignore_ascii_case("bmp"))
-        {
-            read_bmp_file(path)
-        } else {
-            read_pnm_file(path)
-        };
-        Some(decoded.map_err(|e| {
+        let unreadable = |e: &dyn std::fmt::Display| {
             ScoreError::new(ScoreFault::Unreadable {
                 message: format!("cannot read {}: {e}", path.display()),
             })
-        }))
+        };
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                self.decode_counters.record_error(None);
+                return Some(Err(unreadable(&e)));
+            }
+        };
+        // Dispatch by magic bytes, not extension; decode into a pooled
+        // buffer so steady-state streaming stops allocating.
+        let format = decamouflage_imaging::codec::sniff(&bytes);
+        match decode_auto_into(&bytes, &mut |n| pool.take(n)) {
+            Ok((format, image)) => {
+                self.decode_counters.record_ok(format);
+                Some(Ok(image))
+            }
+            Err(e) => {
+                self.decode_counters.record_error(format);
+                let message = format!("cannot read {}: {e}", path.display());
+                let fault = match e {
+                    decamouflage_imaging::ImagingError::Unsupported { .. } => {
+                        ScoreFault::UnsupportedFormat { message }
+                    }
+                    _ => ScoreFault::Unreadable { message },
+                };
+                Some(Err(ScoreError::new(fault)))
+            }
+        }
     }
 
     fn len_hint(&self) -> Option<usize> {
@@ -1046,29 +1119,35 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         write_pnm_file(&flat(10.0), dir.join("b.pgm")).unwrap();
         write_pnm_file(&flat(20.0), dir.join("a.pgm")).unwrap();
+        // No codec claims these bytes: the typed wrong-file-type fault.
         std::fs::write(dir.join("c.bmp"), b"not a bitmap").unwrap();
+        // A claimed format that is structurally broken: unreadable.
+        std::fs::write(dir.join("d.pgm"), b"P5\nbroken header").unwrap();
         std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
 
         let mut source = DirectorySource::open(&dir).unwrap();
-        assert_eq!(source.len(), 3);
+        assert_eq!(source.len(), 4);
         assert!(!source.is_empty());
         let names: Vec<_> =
             source.paths().iter().map(|p| p.file_name().unwrap().to_owned()).collect();
-        assert_eq!(names, ["a.pgm", "b.pgm", "c.bmp"], "sorted, extension-filtered");
+        assert_eq!(names, ["a.pgm", "b.pgm", "c.bmp", "d.pgm"], "sorted, extension-filtered");
 
         let mut pool = BufferPool::with_telemetry(0, &Telemetry::disabled());
         let items = drain(&mut source, &mut pool);
         assert_eq!(items[0].as_ref().unwrap().as_slice()[0], 20.0, "a.pgm first");
         assert_eq!(items[1].as_ref().unwrap().as_slice()[0], 10.0);
         let err = items[2].as_ref().unwrap_err();
-        assert!(matches!(err.cause, ScoreFault::Unreadable { .. }));
+        assert!(matches!(err.cause, ScoreFault::UnsupportedFormat { .. }), "{err}");
         assert!(err.to_string().contains("c.bmp"), "{err}");
+        let err = items[3].as_ref().unwrap_err();
+        assert!(matches!(err.cause, ScoreFault::Unreadable { .. }), "{err}");
+        assert!(err.to_string().contains("d.pgm"), "{err}");
 
         std::fs::remove_dir_all(&dir).unwrap();
         assert!(DirectorySource::open(&dir).is_err(), "unlistable directory");
         std::fs::create_dir_all(&dir).unwrap();
         let err = DirectorySource::open(&dir).unwrap_err();
-        assert!(err.to_string().contains("no .pgm/.ppm/.pnm/.bmp images"), "{err}");
+        assert!(err.to_string().contains("no .pgm/.ppm/.pnm/.bmp/.png/.jpg/.jpeg images"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

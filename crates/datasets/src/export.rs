@@ -4,25 +4,55 @@
 
 use crate::SampleGenerator;
 use decamouflage_attack::AttackError;
-use decamouflage_imaging::codec::write_bmp_file;
+use decamouflage_imaging::codec::{encode_png, write_bmp_file};
+use decamouflage_imaging::Image;
 use std::path::{Path, PathBuf};
+
+/// The on-disk container exported samples are written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportFormat {
+    /// Uncompressed 24-bit BMP (`.bmp`) — the historical default.
+    #[default]
+    Bmp,
+    /// Losslessly compressed PNG (`.png`), decoded bit-identically by
+    /// the in-house codec; attack pixels survive the round trip exactly.
+    Png,
+}
+
+impl ExportFormat {
+    /// The file extension written for this format (without the dot).
+    pub const fn extension(self) -> &'static str {
+        match self {
+            Self::Bmp => "bmp",
+            Self::Png => "png",
+        }
+    }
+
+    fn write(self, image: &Image, path: &Path) -> Result<(), decamouflage_imaging::ImagingError> {
+        match self {
+            Self::Bmp => write_bmp_file(image, path),
+            Self::Png => Ok(std::fs::write(path, encode_png(image))?),
+        }
+    }
+}
 
 /// Files written for one exported sample.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExportedSample {
-    /// The benign original (`<index>_original.bmp`).
+    /// The benign original (`<index>_original.<ext>`).
     pub original: PathBuf,
-    /// The attack image (`<index>_attack.bmp`).
+    /// The attack image (`<index>_attack.<ext>`).
     pub attack: PathBuf,
-    /// The attacker's target (`<index>_target.bmp`).
+    /// The attacker's target (`<index>_target.<ext>`).
     pub target: PathBuf,
     /// What the CNN sees: the attack image downscaled
-    /// (`<index>_attack_downscaled.bmp`).
+    /// (`<index>_attack_downscaled.<ext>`).
     pub attack_downscaled: PathBuf,
 }
 
 /// Exports samples `0..count` of a generator into `dir` (created if
-/// missing) as 24-bit BMP files.
+/// missing) as 24-bit BMP files. See [`export_samples_as`] to pick the
+/// container.
 ///
 /// # Errors
 ///
@@ -32,8 +62,24 @@ pub fn export_samples(
     dir: impl AsRef<Path>,
     count: u64,
 ) -> Result<Vec<ExportedSample>, AttackError> {
+    export_samples_as(generator, dir, count, ExportFormat::Bmp)
+}
+
+/// Exports samples `0..count` of a generator into `dir` (created if
+/// missing) in the given container format.
+///
+/// # Errors
+///
+/// Propagates attack-crafting and I/O errors.
+pub fn export_samples_as(
+    generator: &SampleGenerator,
+    dir: impl AsRef<Path>,
+    count: u64,
+    format: ExportFormat,
+) -> Result<Vec<ExportedSample>, AttackError> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir).map_err(decamouflage_imaging::ImagingError::from)?;
+    let ext = format.extension();
     let mut out = Vec::with_capacity(count as usize);
     for i in 0..count {
         let original = generator.benign(i);
@@ -42,15 +88,15 @@ pub fn export_samples(
         let downscaled = generator.scaler(i).apply(&crafted.image)?;
 
         let paths = ExportedSample {
-            original: dir.join(format!("{i:04}_original.bmp")),
-            attack: dir.join(format!("{i:04}_attack.bmp")),
-            target: dir.join(format!("{i:04}_target.bmp")),
-            attack_downscaled: dir.join(format!("{i:04}_attack_downscaled.bmp")),
+            original: dir.join(format!("{i:04}_original.{ext}")),
+            attack: dir.join(format!("{i:04}_attack.{ext}")),
+            target: dir.join(format!("{i:04}_target.{ext}")),
+            attack_downscaled: dir.join(format!("{i:04}_attack_downscaled.{ext}")),
         };
-        write_bmp_file(&original, &paths.original)?;
-        write_bmp_file(&crafted.image, &paths.attack)?;
-        write_bmp_file(&target, &paths.target)?;
-        write_bmp_file(&downscaled, &paths.attack_downscaled)?;
+        format.write(&original, &paths.original)?;
+        format.write(&crafted.image, &paths.attack)?;
+        format.write(&target, &paths.target)?;
+        format.write(&downscaled, &paths.attack_downscaled)?;
         out.push(paths);
     }
     Ok(out)
@@ -60,7 +106,7 @@ pub fn export_samples(
 mod tests {
     use super::*;
     use crate::DatasetProfile;
-    use decamouflage_imaging::codec::read_bmp_file;
+    use decamouflage_imaging::codec::{decode_auto, read_bmp_file, ImageFormat};
     use decamouflage_imaging::scale::ScaleAlgorithm;
 
     #[test]
@@ -87,6 +133,24 @@ mod tests {
                 / down.as_slice().len() as f64;
             assert!(mse < 16.0, "downscaled attack far from target: MSE {mse}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn png_export_round_trips_attack_pixels_exactly() {
+        let dir = std::env::temp_dir().join("decamouflage-export-png-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Nearest);
+        let samples = export_samples_as(&generator, &dir, 1, ExportFormat::Png).unwrap();
+        let sample = &samples[0];
+        assert!(sample.attack.extension().is_some_and(|e| e == "png"), "{:?}", sample.attack);
+        // The exported PNG must decode bit-identically to the crafted
+        // attack — a lossy container would destroy the embedded pixels.
+        let crafted = generator.attack(0).unwrap();
+        let bytes = std::fs::read(&sample.attack).unwrap();
+        let (format, decoded) = decode_auto(&bytes).unwrap();
+        assert_eq!(format, ImageFormat::Png);
+        assert_eq!(decoded.as_slice(), crafted.image.as_slice());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

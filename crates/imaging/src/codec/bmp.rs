@@ -60,6 +60,20 @@ pub fn encode_bmp(img: &Image) -> Vec<u8> {
 /// (compressed, paletted, other bit depths, top-down images) or truncated
 /// data.
 pub fn decode_bmp(bytes: &[u8]) -> Result<Image, ImagingError> {
+    decode_bmp_into(bytes, &mut |n| vec![0.0; n])
+}
+
+/// Decodes an uncompressed 24-bit BMP byte stream, obtaining the sample
+/// buffer from `alloc` so streaming callers can recycle `BufferPool`
+/// buffers.
+///
+/// # Errors
+///
+/// Same as [`decode_bmp`].
+pub fn decode_bmp_into(
+    bytes: &[u8],
+    alloc: crate::codec::SampleAlloc<'_>,
+) -> Result<Image, ImagingError> {
     let fail = |message: &str| ImagingError::Decode { message: message.to_string() };
     if bytes.len() < FILE_HEADER_LEN + INFO_HEADER_LEN {
         return Err(fail("file shorter than BMP headers"));
@@ -93,17 +107,20 @@ pub fn decode_bmp(bytes: &[u8]) -> Result<Image, ImagingError> {
         return Err(fail("pixel data truncated"));
     }
 
-    let mut img = Image::zeros(w, h, Channels::Rgb);
+    let samples = w * h * 3;
+    let mut out = alloc(samples);
+    out.resize(samples, 0.0);
     for (row_index, y) in (0..h).rev().enumerate() {
         let row_start = data_offset + row_index * (row_bytes + padding);
         for x in 0..w {
             let p = row_start + x * 3;
-            img.set(x, y, 2, f64::from(bytes[p]));
-            img.set(x, y, 1, f64::from(bytes[p + 1]));
-            img.set(x, y, 0, f64::from(bytes[p + 2]));
+            let dst = (y * w + x) * 3;
+            out[dst] = f64::from(bytes[p + 2]);
+            out[dst + 1] = f64::from(bytes[p + 1]);
+            out[dst + 2] = f64::from(bytes[p]);
         }
     }
-    Ok(img)
+    Image::from_vec(w, h, Channels::Rgb, out)
 }
 
 /// Writes an image to `path` as a 24-bit BMP.

@@ -1,0 +1,114 @@
+//! The two rolling checksums the real-world codecs verify: CRC-32
+//! (ISO-HDLC polynomial, as used by PNG chunks) and Adler-32 (zlib
+//! stream trailer). Both are incremental so chunked inputs — a PNG
+//! chunk's type + data, a streamed zlib body — checksum without
+//! concatenation.
+
+/// The reflected CRC-32 polynomial (0xEDB88320) lookup table, computed
+/// at compile time — no lazy initialisation on the decode path.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// Feeds `data` into a running CRC-32. Start from [`CRC_INIT`] and
+/// finish with [`crc32_finish`]; [`crc32`] wraps the three steps for
+/// one-shot inputs.
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let mut c = crc;
+    for &byte in data {
+        c = CRC_TABLE[((c ^ u32::from(byte)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// Initial value of a running CRC-32.
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Finalises a running CRC-32.
+pub const fn crc32_finish(crc: u32) -> u32 {
+    crc ^ 0xFFFF_FFFF
+}
+
+/// One-shot CRC-32 of `data` (the value PNG stores after each chunk).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC_INIT, data))
+}
+
+/// Largest prime below 2^16 — the Adler-32 modulus.
+const ADLER_MOD: u32 = 65_521;
+
+/// Feeds `data` into a running Adler-32 (start from [`ADLER_INIT`]).
+pub fn adler32_update(adler: u32, data: &[u8]) -> u32 {
+    let mut a = adler & 0xFFFF;
+    let mut b = adler >> 16;
+    // 5552 is the largest n with 255*n*(n+1)/2 + (n+1)*(65520) < 2^32:
+    // sums stay in u32 between reductions.
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= ADLER_MOD;
+        b %= ADLER_MOD;
+    }
+    (b << 16) | a
+}
+
+/// Initial value of a running Adler-32.
+pub const ADLER_INIT: u32 = 1;
+
+/// One-shot Adler-32 of `data` (the value zlib stores after the
+/// compressed stream).
+pub fn adler32(data: &[u8]) -> u32 {
+    adler32_update(ADLER_INIT, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_reference_vectors() {
+        // Pinned reference values (ISO-HDLC CRC-32, i.e. zlib's crc32()).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082, "the CRC every PNG ends with");
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_is_incremental() {
+        let whole = crc32(b"IHDRwidtheight");
+        let split = crc32_finish(crc32_update(crc32_update(CRC_INIT, b"IHDR"), b"widtheight"));
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn adler32_reference_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b"123456789"), 0x091E_01DE);
+    }
+
+    #[test]
+    fn adler32_is_incremental_and_handles_long_runs() {
+        let data = vec![0xFFu8; 20_000];
+        let whole = adler32(&data);
+        let split = adler32_update(adler32_update(ADLER_INIT, &data[..7_001]), &data[7_001..]);
+        assert_eq!(whole, split);
+    }
+}

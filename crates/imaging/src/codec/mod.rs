@@ -1,11 +1,34 @@
-//! Minimal image codecs: binary PGM (grayscale), PPM (RGB) and 24-bit BMP.
+//! Dependency-free image codecs.
 //!
-//! These Netpbm formats are enough to persist every artefact the framework
-//! produces (attack images, spectra, filtered images) in a form any external
-//! viewer understands, without pulling in a compression dependency.
+//! Two tiers. The *artefact* formats — binary PGM/PPM and 24-bit BMP —
+//! persist everything the framework produces (attack images, spectra,
+//! filtered images) in a form any external viewer understands. The
+//! *real-world* formats — PNG (full from-scratch inflate underneath)
+//! and baseline JPEG — are what production traffic actually ships, so
+//! `scan` and `serve` can ingest genuine corpora.
+//!
+//! Entry points: [`sniff`] identifies a byte buffer by magic number,
+//! [`decode_auto`]/[`decode_auto_into`] dispatch on it. The `*_into`
+//! decoders take an allocator closure so streaming callers can hand
+//! out recycled `BufferPool` buffers instead of fresh allocations.
 
 mod bmp;
+mod checksum;
+mod inflate;
+mod jpeg;
+mod png;
 mod pnm;
+mod sniff;
 
-pub use bmp::{decode_bmp, encode_bmp, read_bmp_file, write_bmp_file};
-pub use pnm::{decode_pnm, encode_pgm, encode_ppm, read_pnm_file, write_pnm_file};
+pub use bmp::{decode_bmp, decode_bmp_into, encode_bmp, read_bmp_file, write_bmp_file};
+pub use checksum::{adler32, crc32};
+pub use inflate::{inflate, zlib_compress, zlib_decompress};
+pub use jpeg::{decode_jpeg, decode_jpeg_into, encode_jpeg};
+pub use png::{decode_png, decode_png_into, encode_png};
+pub use pnm::{decode_pnm, decode_pnm_into, encode_pgm, encode_ppm, read_pnm_file, write_pnm_file};
+pub use sniff::{decode_auto, decode_auto_into, sniff, ImageFormat};
+
+/// Allocator handed to the `*_into` decoders: given a sample count,
+/// return a `Vec<f64>` with at least that capacity (contents ignored —
+/// decoders overwrite). Streaming callers pass `&mut |n| pool.take(n)`.
+pub type SampleAlloc<'a> = &'a mut dyn FnMut(usize) -> Vec<f64>;

@@ -1,0 +1,587 @@
+//! From-scratch PNG codec on top of the in-house zlib.
+//!
+//! Decode walks the chunk stream verifying every CRC-32, inflates the
+//! concatenated IDAT payload through [`zlib_decompress`] with the
+//! exact expected raw size (so a forged IDAT cannot balloon memory),
+//! reverses all five scanline filters, and handles 8-bit grayscale,
+//! RGB, palette, gray+alpha and RGBA, interlaced (Adam7) or not. Alpha
+//! is stripped on output — the detection engine consumes opaque
+//! [`Channels::Gray`]/[`Channels::Rgb`] images. Anything the format
+//! allows but we deliberately don't speak (1/2/4/16-bit depths, other
+//! color types) is a typed [`ImagingError::Unsupported`]; anything
+//! structurally broken is [`ImagingError::Decode`]. Neither path may
+//! panic: the totality suites feed this decoder truncations, bit
+//! flips, and raw garbage.
+//!
+//! Encode writes non-interlaced 8-bit grayscale or RGB with the Paeth
+//! filter on every row — round-tripping through the decoder therefore
+//! exercises the hardest unfilter path, not just filter type 0.
+
+use crate::codec::checksum::{crc32_finish, crc32_update, CRC_INIT};
+use crate::codec::inflate::{zlib_compress, zlib_decompress};
+use crate::codec::SampleAlloc;
+use crate::{Channels, Image, ImagingError};
+
+const SIGNATURE: [u8; 8] = [137, 80, 78, 71, 13, 10, 26, 10];
+
+/// Decoded-pixel budget: 64 Mpx (a 8192x8192 image) — far above any
+/// corpus image, far below what a hostile IHDR could declare.
+const MAX_PIXELS: u64 = 1 << 26;
+
+fn corrupt(message: impl Into<String>) -> ImagingError {
+    ImagingError::Decode { message: message.into() }
+}
+
+fn unsupported(message: impl Into<String>) -> ImagingError {
+    ImagingError::Unsupported { message: message.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Header / chunk model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ColorType {
+    Gray,
+    Rgb,
+    Palette,
+    GrayAlpha,
+    RgbAlpha,
+}
+
+impl ColorType {
+    fn from_code(code: u8) -> Result<Self, ImagingError> {
+        match code {
+            0 => Ok(Self::Gray),
+            2 => Ok(Self::Rgb),
+            3 => Ok(Self::Palette),
+            4 => Ok(Self::GrayAlpha),
+            6 => Ok(Self::RgbAlpha),
+            other => Err(corrupt(format!("invalid png color type {other}"))),
+        }
+    }
+
+    /// Bytes per pixel in the raw (filtered) scanlines at bit depth 8.
+    fn raw_channels(self) -> usize {
+        match self {
+            Self::Gray | Self::Palette => 1,
+            Self::GrayAlpha => 2,
+            Self::Rgb => 3,
+            Self::RgbAlpha => 4,
+        }
+    }
+
+    /// Channel layout after palette expansion / alpha stripping.
+    fn output_channels(self) -> Channels {
+        match self {
+            Self::Gray | Self::GrayAlpha => Channels::Gray,
+            Self::Rgb | Self::Palette | Self::RgbAlpha => Channels::Rgb,
+        }
+    }
+}
+
+struct Header {
+    width: usize,
+    height: usize,
+    color: ColorType,
+    interlaced: bool,
+}
+
+fn parse_ihdr(data: &[u8]) -> Result<Header, ImagingError> {
+    if data.len() != 13 {
+        return Err(corrupt(format!("IHDR must be 13 bytes, got {}", data.len())));
+    }
+    let width = u32::from_be_bytes(data[0..4].try_into().expect("sliced"));
+    let height = u32::from_be_bytes(data[4..8].try_into().expect("sliced"));
+    if width == 0 || height == 0 {
+        return Err(corrupt(format!("png declares zero dimension {width}x{height}")));
+    }
+    if u64::from(width) * u64::from(height) > MAX_PIXELS {
+        return Err(corrupt(format!(
+            "png declares {width}x{height}, past the {MAX_PIXELS}-pixel budget"
+        )));
+    }
+    let bit_depth = data[8];
+    let color = ColorType::from_code(data[9])?;
+    if bit_depth != 8 {
+        return Err(unsupported(format!("png bit depth {bit_depth} (only 8 is supported)")));
+    }
+    if data[10] != 0 {
+        return Err(corrupt(format!("invalid png compression method {}", data[10])));
+    }
+    if data[11] != 0 {
+        return Err(corrupt(format!("invalid png filter method {}", data[11])));
+    }
+    let interlaced = match data[12] {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(format!("invalid png interlace method {other}"))),
+    };
+    Ok(Header { width: width as usize, height: height as usize, color, interlaced })
+}
+
+// ---------------------------------------------------------------------------
+// Adam7 interlace geometry
+// ---------------------------------------------------------------------------
+
+const ADAM7_X_START: [usize; 7] = [0, 4, 0, 2, 0, 1, 0];
+const ADAM7_Y_START: [usize; 7] = [0, 0, 4, 0, 2, 0, 1];
+const ADAM7_X_STEP: [usize; 7] = [8, 8, 4, 4, 2, 2, 1];
+const ADAM7_Y_STEP: [usize; 7] = [8, 8, 8, 4, 4, 2, 2];
+
+/// Width and height (in pixels) of one Adam7 pass; (0, 0) if empty.
+fn pass_size(pass: usize, width: usize, height: usize) -> (usize, usize) {
+    let w = (width + ADAM7_X_STEP[pass] - 1 - ADAM7_X_START[pass]) / ADAM7_X_STEP[pass];
+    let h = (height + ADAM7_Y_STEP[pass] - 1 - ADAM7_Y_START[pass]) / ADAM7_Y_STEP[pass];
+    if width > ADAM7_X_START[pass] && height > ADAM7_Y_START[pass] {
+        (w, h)
+    } else {
+        (0, 0)
+    }
+}
+
+/// Total raw (filter byte + filtered scanline) size across all passes.
+fn expected_raw_len(header: &Header) -> usize {
+    let bpp = header.color.raw_channels();
+    if header.interlaced {
+        (0..7)
+            .map(|pass| {
+                let (w, h) = pass_size(pass, header.width, header.height);
+                if w == 0 {
+                    0
+                } else {
+                    (1 + w * bpp) * h
+                }
+            })
+            .sum()
+    } else {
+        (1 + header.width * bpp) * header.height
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scanline unfiltering
+// ---------------------------------------------------------------------------
+
+fn paeth(a: u8, b: u8, c: u8) -> u8 {
+    let p = i32::from(a) + i32::from(b) - i32::from(c);
+    let pa = (p - i32::from(a)).abs();
+    let pb = (p - i32::from(b)).abs();
+    let pc = (p - i32::from(c)).abs();
+    if pa <= pb && pa <= pc {
+        a
+    } else if pb <= pc {
+        b
+    } else {
+        c
+    }
+}
+
+/// Reverses one sub-image's filters in place. `raw` is
+/// `(1 + stride) * rows` bytes: each row is a filter-type byte followed
+/// by `stride` filtered bytes. On return the pixel bytes of row `y`
+/// live at `raw[y * (1 + stride) + 1 ..][..stride]`.
+fn unfilter(raw: &mut [u8], rows: usize, stride: usize, bpp: usize) -> Result<(), ImagingError> {
+    let line = 1 + stride;
+    for y in 0..rows {
+        let (before, current) = raw.split_at_mut(y * line);
+        let prior =
+            if y == 0 { &[][..] } else { &before[(y - 1) * line + 1..(y - 1) * line + 1 + stride] };
+        let filter = current[0];
+        let row = &mut current[1..1 + stride];
+        match filter {
+            0 => {}
+            1 => {
+                for i in bpp..stride {
+                    row[i] = row[i].wrapping_add(row[i - bpp]);
+                }
+            }
+            2 => {
+                for (i, byte) in row.iter_mut().enumerate().take(stride) {
+                    let up = prior.get(i).copied().unwrap_or(0);
+                    *byte = byte.wrapping_add(up);
+                }
+            }
+            3 => {
+                for i in 0..stride {
+                    let left = if i >= bpp { u16::from(row[i - bpp]) } else { 0 };
+                    let up = u16::from(prior.get(i).copied().unwrap_or(0));
+                    row[i] = row[i].wrapping_add(((left + up) / 2) as u8);
+                }
+            }
+            4 => {
+                for i in 0..stride {
+                    let left = if i >= bpp { row[i - bpp] } else { 0 };
+                    let up = prior.get(i).copied().unwrap_or(0);
+                    let up_left =
+                        if i >= bpp { prior.get(i - bpp).copied().unwrap_or(0) } else { 0 };
+                    row[i] = row[i].wrapping_add(paeth(left, up, up_left));
+                }
+            }
+            other => return Err(corrupt(format!("invalid png filter type {other}"))),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+/// Decodes a PNG into a fresh allocation. See [`decode_png_into`].
+///
+/// # Errors
+///
+/// [`ImagingError::Decode`] for structural corruption,
+/// [`ImagingError::Unsupported`] for valid-but-unspoken features.
+pub fn decode_png(bytes: &[u8]) -> Result<Image, ImagingError> {
+    decode_png_into(bytes, &mut |n| vec![0.0; n])
+}
+
+/// Decodes a PNG, obtaining the final sample buffer from `alloc` so
+/// streaming callers can recycle `BufferPool` buffers.
+///
+/// # Errors
+///
+/// [`ImagingError::Decode`] for structural corruption (bad signature,
+/// chunk CRC mismatch, zlib errors, filter violations, size lies),
+/// [`ImagingError::Unsupported`] for non-8-bit depths.
+pub fn decode_png_into(bytes: &[u8], alloc: SampleAlloc<'_>) -> Result<Image, ImagingError> {
+    if bytes.len() < SIGNATURE.len() || bytes[..SIGNATURE.len()] != SIGNATURE {
+        return Err(corrupt("missing png signature"));
+    }
+    let mut at = SIGNATURE.len();
+    let mut header: Option<Header> = None;
+    let mut palette: Option<Vec<[u8; 3]>> = None;
+    let mut idat: Vec<u8> = Vec::new();
+    let mut seen_iend = false;
+
+    while at < bytes.len() {
+        if bytes.len() - at < 12 {
+            return Err(corrupt("truncated png chunk header"));
+        }
+        let length = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("sliced")) as usize;
+        let kind = &bytes[at + 4..at + 8];
+        if bytes.len() - at - 12 < length {
+            return Err(corrupt(format!(
+                "png chunk {} declares {length} bytes past the end of input",
+                String::from_utf8_lossy(kind)
+            )));
+        }
+        let data = &bytes[at + 8..at + 8 + length];
+        let stored_crc = u32::from_be_bytes(
+            bytes[at + 8 + length..at + 12 + length].try_into().expect("sliced"),
+        );
+        let actual_crc = crc32_finish(crc32_update(crc32_update(CRC_INIT, kind), data));
+        if stored_crc != actual_crc {
+            return Err(corrupt(format!(
+                "png chunk {} crc mismatch (stored {stored_crc:08x}, computed {actual_crc:08x})",
+                String::from_utf8_lossy(kind)
+            )));
+        }
+        at += 12 + length;
+
+        match kind {
+            b"IHDR" => {
+                if header.is_some() {
+                    return Err(corrupt("duplicate IHDR chunk"));
+                }
+                header = Some(parse_ihdr(data)?);
+            }
+            b"PLTE" => {
+                if length == 0 || !length.is_multiple_of(3) || length > 256 * 3 {
+                    return Err(corrupt(format!("PLTE length {length} is not a palette")));
+                }
+                palette = Some(data.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect());
+            }
+            b"IDAT" => {
+                if header.is_none() {
+                    return Err(corrupt("IDAT before IHDR"));
+                }
+                idat.extend_from_slice(data);
+            }
+            b"IEND" => {
+                seen_iend = true;
+                break;
+            }
+            _ => {
+                // Ancillary chunks (lowercase first letter) are skippable;
+                // an unknown *critical* chunk means we cannot render.
+                if kind[0] & 0x20 == 0 {
+                    return Err(unsupported(format!(
+                        "critical png chunk {}",
+                        String::from_utf8_lossy(kind)
+                    )));
+                }
+            }
+        }
+    }
+    if !seen_iend {
+        return Err(corrupt("png ended without IEND"));
+    }
+    let header = header.ok_or_else(|| corrupt("png has no IHDR"))?;
+    if idat.is_empty() {
+        return Err(corrupt("png has no IDAT data"));
+    }
+    if header.color == ColorType::Palette && palette.is_none() {
+        return Err(corrupt("palette png has no PLTE chunk"));
+    }
+
+    let raw_len = expected_raw_len(&header);
+    let mut raw = zlib_decompress(&idat, raw_len)?;
+    if raw.len() != raw_len {
+        return Err(corrupt(format!("png pixel data is {} bytes, expected {raw_len}", raw.len())));
+    }
+
+    let bpp = header.color.raw_channels();
+    // Unfiltered interleaved bytes of the full image, `bpp` per pixel.
+    let mut pixels = vec![0u8; header.width * header.height * bpp];
+    if header.interlaced {
+        let mut offset = 0;
+        for pass in 0..7 {
+            let (w, h) = pass_size(pass, header.width, header.height);
+            if w == 0 {
+                continue;
+            }
+            let stride = w * bpp;
+            let sub = &mut raw[offset..offset + (1 + stride) * h];
+            unfilter(sub, h, stride, bpp)?;
+            for y in 0..h {
+                let row = &sub[y * (1 + stride) + 1..y * (1 + stride) + 1 + stride];
+                let target_y = ADAM7_Y_START[pass] + y * ADAM7_Y_STEP[pass];
+                for x in 0..w {
+                    let target_x = ADAM7_X_START[pass] + x * ADAM7_X_STEP[pass];
+                    let dst = (target_y * header.width + target_x) * bpp;
+                    pixels[dst..dst + bpp].copy_from_slice(&row[x * bpp..(x + 1) * bpp]);
+                }
+            }
+            offset += (1 + stride) * h;
+        }
+    } else {
+        let stride = header.width * bpp;
+        unfilter(&mut raw, header.height, stride, bpp)?;
+        for y in 0..header.height {
+            let row = &raw[y * (1 + stride) + 1..y * (1 + stride) + 1 + stride];
+            pixels[y * stride..(y + 1) * stride].copy_from_slice(row);
+        }
+    }
+
+    // Expand to the output layout inside a recycled buffer.
+    let channels = header.color.output_channels();
+    let samples = header.width * header.height * channels.count();
+    let mut out = alloc(samples);
+    out.resize(samples, 0.0);
+    match header.color {
+        ColorType::Gray => {
+            for (dst, &byte) in out.iter_mut().zip(pixels.iter()) {
+                *dst = f64::from(byte);
+            }
+        }
+        ColorType::Rgb => {
+            for (dst, &byte) in out.iter_mut().zip(pixels.iter()) {
+                *dst = f64::from(byte);
+            }
+        }
+        ColorType::GrayAlpha => {
+            for (dst, pair) in out.iter_mut().zip(pixels.chunks_exact(2)) {
+                *dst = f64::from(pair[0]);
+            }
+        }
+        ColorType::RgbAlpha => {
+            for (dst, quad) in out.chunks_exact_mut(3).zip(pixels.chunks_exact(4)) {
+                dst[0] = f64::from(quad[0]);
+                dst[1] = f64::from(quad[1]);
+                dst[2] = f64::from(quad[2]);
+            }
+        }
+        ColorType::Palette => {
+            let palette = palette.expect("checked above");
+            for (dst, &index) in out.chunks_exact_mut(3).zip(pixels.iter()) {
+                let entry = palette.get(index as usize).ok_or_else(|| {
+                    corrupt(format!(
+                        "palette index {index} out of range ({} entries)",
+                        palette.len()
+                    ))
+                })?;
+                dst[0] = f64::from(entry[0]);
+                dst[1] = f64::from(entry[1]);
+                dst[2] = f64::from(entry[2]);
+            }
+        }
+    }
+    Image::from_vec(header.width, header.height, channels, out)
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+fn chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(data);
+    let crc = crc32_finish(crc32_update(crc32_update(CRC_INIT, kind), data));
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// Encodes an image as a non-interlaced 8-bit PNG (color type 0 for
+/// grayscale, 2 for RGB), Paeth-filtering every scanline. Samples are
+/// rounded and clamped to `[0, 255]` exactly as [`Image::to_u8_vec`].
+pub fn encode_png(image: &Image) -> Vec<u8> {
+    let bpp = image.channels().count();
+    let color_type: u8 = match image.channels() {
+        Channels::Gray => 0,
+        Channels::Rgb => 2,
+    };
+    let bytes = image.to_u8_vec();
+    let stride = image.width() * bpp;
+
+    // Paeth-filter every row (filter type 4).
+    let mut raw = Vec::with_capacity((1 + stride) * image.height());
+    let zero_row = vec![0u8; stride];
+    for y in 0..image.height() {
+        let row = &bytes[y * stride..(y + 1) * stride];
+        let prior: &[u8] = if y == 0 { &zero_row } else { &bytes[(y - 1) * stride..y * stride] };
+        raw.push(4u8);
+        for i in 0..stride {
+            let left = if i >= bpp { row[i - bpp] } else { 0 };
+            let up = prior[i];
+            let up_left = if i >= bpp { prior[i - bpp] } else { 0 };
+            raw.push(row[i].wrapping_sub(paeth(left, up, up_left)));
+        }
+    }
+
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(image.width() as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(image.height() as u32).to_be_bytes());
+    ihdr.extend_from_slice(&[8, color_type, 0, 0, 0]);
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&SIGNATURE);
+    chunk(&mut out, b"IHDR", &ihdr);
+    chunk(&mut out, b"IDAT", &zlib_compress(&raw));
+    chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_rgb(width: usize, height: usize) -> Image {
+        let mut data = Vec::with_capacity(width * height * 3);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(((x * 37 + y * 11) % 256) as f64);
+                data.push(((x * 5 + y * 71) % 256) as f64);
+                data.push(((x * 13 + y * 29 + 97) % 256) as f64);
+            }
+        }
+        Image::from_vec(width, height, Channels::Rgb, data).unwrap()
+    }
+
+    fn gradient_gray(width: usize, height: usize) -> Image {
+        let data = (0..width * height).map(|i| ((i * 97 + 13) % 256) as f64).collect::<Vec<_>>();
+        Image::from_vec(width, height, Channels::Gray, data).unwrap()
+    }
+
+    #[test]
+    fn round_trips_rgb_and_gray() {
+        for image in [gradient_rgb(17, 9), gradient_rgb(1, 1), gradient_rgb(64, 64)] {
+            let decoded = decode_png(&encode_png(&image)).unwrap();
+            assert_eq!(decoded.width(), image.width());
+            assert_eq!(decoded.height(), image.height());
+            assert_eq!(decoded.channels(), Channels::Rgb);
+            assert_eq!(decoded.as_slice(), image.as_slice());
+        }
+        for image in [gradient_gray(5, 31), gradient_gray(8, 8)] {
+            let decoded = decode_png(&encode_png(&image)).unwrap();
+            assert_eq!(decoded.channels(), Channels::Gray);
+            assert_eq!(decoded.as_slice(), image.as_slice());
+        }
+    }
+
+    #[test]
+    fn decode_into_uses_the_provided_allocator() {
+        let image = gradient_rgb(6, 4);
+        let png = encode_png(&image);
+        let mut calls = 0usize;
+        let decoded = decode_png_into(&png, &mut |n| {
+            calls += 1;
+            Vec::with_capacity(n)
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(decoded.as_slice(), image.as_slice());
+    }
+
+    #[test]
+    fn signature_and_crc_are_enforced() {
+        let png = encode_png(&gradient_gray(4, 4));
+        assert!(matches!(
+            decode_png(b"not a png at all").unwrap_err(),
+            ImagingError::Decode { .. }
+        ));
+        // Flip one bit inside the IHDR payload: its CRC must catch it.
+        let mut bad = png.clone();
+        bad[SIGNATURE.len() + 8] ^= 0x01;
+        let err = decode_png(&bad).unwrap_err();
+        assert!(err.to_string().contains("crc mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let png = encode_png(&gradient_rgb(9, 7));
+        for cut in 0..png.len() {
+            assert!(decode_png(&png[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn unsupported_features_are_typed() {
+        // Patch the encoder's IHDR to declare 16-bit depth and fix up
+        // the CRC so the error is Unsupported, not a CRC failure.
+        let mut png = encode_png(&gradient_gray(4, 4));
+        let ihdr_data = SIGNATURE.len() + 8;
+        png[ihdr_data + 8] = 16;
+        let crc = crc32_finish(crc32_update(
+            crc32_update(CRC_INIT, b"IHDR"),
+            &png[ihdr_data..ihdr_data + 13],
+        ));
+        png[ihdr_data + 13..ihdr_data + 17].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(decode_png(&png).unwrap_err(), ImagingError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_before_allocation() {
+        let mut png = encode_png(&gradient_gray(4, 4));
+        let ihdr_data = SIGNATURE.len() + 8;
+        png[ihdr_data..ihdr_data + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        png[ihdr_data + 4..ihdr_data + 8].copy_from_slice(&u32::MAX.to_be_bytes());
+        let crc = crc32_finish(crc32_update(
+            crc32_update(CRC_INIT, b"IHDR"),
+            &png[ihdr_data..ihdr_data + 13],
+        ));
+        png[ihdr_data + 13..ihdr_data + 17].copy_from_slice(&crc.to_be_bytes());
+        let err = decode_png(&png).unwrap_err();
+        assert!(err.to_string().contains("pixel budget"), "{err}");
+    }
+
+    #[test]
+    fn adam7_pass_geometry_matches_the_spec() {
+        // An 8x8 image: pass sizes from the PNG specification's figure.
+        let sizes: Vec<(usize, usize)> = (0..7).map(|p| pass_size(p, 8, 8)).collect();
+        assert_eq!(sizes, vec![(1, 1), (1, 1), (2, 1), (2, 2), (4, 2), (4, 4), (8, 4)]);
+        // Degenerate 1x1: only pass 0 is non-empty.
+        let tiny: Vec<(usize, usize)> = (0..7).map(|p| pass_size(p, 1, 1)).collect();
+        assert_eq!(tiny, vec![(1, 1), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0)]);
+        let raw = expected_raw_len(&Header {
+            width: 8,
+            height: 8,
+            color: ColorType::Gray,
+            interlaced: true,
+        });
+        // Sum over passes of (1 + w) * h for the sizes above.
+        assert_eq!(raw, 2 + 2 + 3 + 6 + 10 + 20 + 36);
+    }
+}

@@ -50,6 +50,19 @@ pub fn encode_ppm(img: &Image) -> Vec<u8> {
 /// Returns [`ImagingError::Decode`] for malformed headers, unsupported
 /// formats or truncated pixel data.
 pub fn decode_pnm(bytes: &[u8]) -> Result<Image, ImagingError> {
+    decode_pnm_into(bytes, &mut |n| vec![0.0; n])
+}
+
+/// Decodes a PGM/PPM byte stream, obtaining the sample buffer from
+/// `alloc` so streaming callers can recycle `BufferPool` buffers.
+///
+/// # Errors
+///
+/// Same as [`decode_pnm`].
+pub fn decode_pnm_into(
+    bytes: &[u8],
+    alloc: crate::codec::SampleAlloc<'_>,
+) -> Result<Image, ImagingError> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.token()?;
     let (channels, ascii) = match magic.as_str() {
@@ -67,20 +80,28 @@ pub fn decode_pnm(bytes: &[u8]) -> Result<Image, ImagingError> {
     if maxval != 255 {
         return Err(ImagingError::Decode { message: format!("unsupported maxval {maxval}") });
     }
+    // Same decoded-pixel budget as the PNG/JPEG decoders: a hostile
+    // header must not drive a huge allocation.
+    if (width as u64).saturating_mul(height as u64) > (1 << 26) {
+        return Err(ImagingError::Decode {
+            message: format!("pnm declares {width}x{height}, past the pixel budget"),
+        });
+    }
     let expected = width * height * channels.count();
     if ascii {
         // Plain (ASCII) variant: whitespace-separated decimal samples.
-        let mut data = Vec::with_capacity(expected);
-        for _ in 0..expected {
+        let mut out = alloc(expected);
+        out.resize(expected, 0.0);
+        for dst in out.iter_mut() {
             let v: usize = cursor.number()?;
             if v > 255 {
                 return Err(ImagingError::Decode {
                     message: format!("sample {v} exceeds maxval 255"),
                 });
             }
-            data.push(v as u8);
+            *dst = v as f64;
         }
-        return Image::from_u8(width, height, channels, &data);
+        return Image::from_vec(width, height, channels, out);
     }
     // Exactly one whitespace byte separates the header from pixel data.
     cursor.expect_single_whitespace()?;
@@ -90,7 +111,12 @@ pub fn decode_pnm(bytes: &[u8]) -> Result<Image, ImagingError> {
             message: format!("pixel data truncated: have {} bytes, need {expected}", data.len()),
         });
     }
-    Image::from_u8(width, height, channels, &data[..expected])
+    let mut out = alloc(expected);
+    out.resize(expected, 0.0);
+    for (dst, &byte) in out.iter_mut().zip(&data[..expected]) {
+        *dst = f64::from(byte);
+    }
+    Image::from_vec(width, height, channels, out)
 }
 
 /// Writes an image to `path`, picking PGM for grayscale and PPM for RGB.

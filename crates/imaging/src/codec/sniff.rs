@@ -1,0 +1,148 @@
+//! Magic-byte format identification and one-call auto-decoding.
+//!
+//! [`sniff`] is the single source of truth for "what format is this
+//! buffer" — `DirectorySource`, the serve body path, and the CLI all
+//! dispatch through it instead of trusting file extensions.
+
+use crate::codec::SampleAlloc;
+use crate::codec::{decode_bmp_into, decode_jpeg_into, decode_png_into, decode_pnm_into};
+use crate::{Image, ImagingError};
+
+/// A decodable image container, identified by magic bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageFormat {
+    /// Uncompressed 24-bit Windows BMP.
+    Bmp,
+    /// Netpbm (binary or ASCII PGM/PPM).
+    Pnm,
+    /// PNG (8-bit gray/RGB/palette/alpha, via the in-house inflate).
+    Png,
+    /// Baseline sequential JPEG.
+    Jpeg,
+}
+
+impl ImageFormat {
+    /// Stable lowercase name, used as a telemetry label and in CLI
+    /// output ("bmp", "pnm", "png", "jpeg").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Bmp => "bmp",
+            Self::Pnm => "pnm",
+            Self::Png => "png",
+            Self::Jpeg => "jpeg",
+        }
+    }
+
+    /// Every format, in sniff-dispatch order.
+    pub const ALL: [ImageFormat; 4] = [Self::Bmp, Self::Pnm, Self::Png, Self::Jpeg];
+}
+
+/// Identifies the image format of `bytes` by magic number. Returns
+/// `None` when no known codec claims the buffer.
+pub fn sniff(bytes: &[u8]) -> Option<ImageFormat> {
+    if bytes.len() >= 8 && bytes[..8] == [137, 80, 78, 71, 13, 10, 26, 10] {
+        return Some(ImageFormat::Png);
+    }
+    if bytes.len() >= 2 && bytes[0] == 0xFF && bytes[1] == 0xD8 {
+        return Some(ImageFormat::Jpeg);
+    }
+    if bytes.len() >= 2 && &bytes[..2] == b"BM" {
+        return Some(ImageFormat::Bmp);
+    }
+    if bytes.len() >= 2 && bytes[0] == b'P' && (b'1'..=b'6').contains(&bytes[1]) {
+        return Some(ImageFormat::Pnm);
+    }
+    None
+}
+
+/// Sniffs and decodes in one call. See [`decode_auto_into`].
+///
+/// # Errors
+///
+/// Same as [`decode_auto_into`].
+pub fn decode_auto(bytes: &[u8]) -> Result<(ImageFormat, Image), ImagingError> {
+    decode_auto_into(bytes, &mut |n| vec![0.0; n])
+}
+
+/// Sniffs `bytes` and decodes with the matching codec, obtaining the
+/// sample buffer from `alloc` so streaming callers can recycle
+/// `BufferPool` buffers. Returns the sniffed format alongside the
+/// image so callers can label telemetry per format.
+///
+/// # Errors
+///
+/// [`ImagingError::Unsupported`] when no codec claims the magic bytes
+/// (or a claimed format uses an unsupported feature);
+/// [`ImagingError::Decode`] when the claimed format is structurally
+/// broken.
+pub fn decode_auto_into(
+    bytes: &[u8],
+    alloc: SampleAlloc<'_>,
+) -> Result<(ImageFormat, Image), ImagingError> {
+    let format = sniff(bytes).ok_or_else(|| ImagingError::Unsupported {
+        message: "no known image magic bytes".to_string(),
+    })?;
+    let image = match format {
+        ImageFormat::Bmp => decode_bmp_into(bytes, alloc)?,
+        ImageFormat::Pnm => decode_pnm_into(bytes, alloc)?,
+        ImageFormat::Png => decode_png_into(bytes, alloc)?,
+        ImageFormat::Jpeg => decode_jpeg_into(bytes, alloc)?,
+    };
+    Ok((format, image))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_bmp, encode_jpeg, encode_pgm, encode_png, encode_ppm};
+    use crate::Image;
+
+    fn sample() -> Image {
+        Image::from_fn_rgb(9, 6, |x, y| {
+            [(x * 30 % 256) as f64, (y * 40 % 256) as f64, ((x + y) * 20 % 256) as f64]
+        })
+    }
+
+    #[test]
+    fn sniff_identifies_every_encoder_output() {
+        let image = sample();
+        assert_eq!(sniff(&encode_bmp(&image)), Some(ImageFormat::Bmp));
+        assert_eq!(sniff(&encode_ppm(&image)), Some(ImageFormat::Pnm));
+        assert_eq!(sniff(&encode_pgm(&image)), Some(ImageFormat::Pnm));
+        assert_eq!(sniff(&encode_png(&image)), Some(ImageFormat::Png));
+        assert_eq!(sniff(&encode_jpeg(&image, 90)), Some(ImageFormat::Jpeg));
+    }
+
+    #[test]
+    fn sniff_rejects_non_images() {
+        assert_eq!(sniff(b""), None);
+        assert_eq!(sniff(b"GIF89a"), None);
+        assert_eq!(sniff(b"Pq"), None);
+        assert_eq!(sniff(&[0x00, 0x01, 0x02]), None);
+        // A PNG signature cut short is not a PNG.
+        assert_eq!(sniff(&[137, 80, 78]), None);
+    }
+
+    #[test]
+    fn decode_auto_round_trips_lossless_formats() {
+        let image = sample();
+        let (format, decoded) = decode_auto(&encode_png(&image)).unwrap();
+        assert_eq!(format, ImageFormat::Png);
+        assert_eq!(decoded.as_slice(), image.as_slice());
+        let (format, decoded) = decode_auto(&encode_bmp(&image)).unwrap();
+        assert_eq!(format, ImageFormat::Bmp);
+        assert_eq!(decoded.as_slice(), image.as_slice());
+    }
+
+    #[test]
+    fn unknown_magic_is_a_typed_unsupported_error() {
+        let err = decode_auto(b"definitely not an image").unwrap_err();
+        assert!(matches!(err, ImagingError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn names_are_stable_labels() {
+        let names: Vec<&str> = ImageFormat::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names, vec!["bmp", "pnm", "png", "jpeg"]);
+    }
+}

@@ -41,6 +41,16 @@ pub enum ImagingError {
         /// Human-readable description of the parse failure.
         message: String,
     },
+    /// The input is a recognised format (or feature of one) that this
+    /// crate deliberately does not decode — e.g. 16-bit PNG, progressive
+    /// JPEG, or bytes whose magic matches no codec at all. Distinct from
+    /// [`ImagingError::Decode`] so callers can surface "we don't speak
+    /// this" (HTTP 422 `unsupported-format`) separately from "this file
+    /// is broken".
+    Unsupported {
+        /// Human-readable description of the unsupported input.
+        message: String,
+    },
     /// An underlying I/O operation failed.
     Io(std::io::Error),
 }
@@ -64,6 +74,7 @@ impl fmt::Display for ImagingError {
             }
             Self::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
             Self::Decode { message } => write!(f, "decode error: {message}"),
+            Self::Unsupported { message } => write!(f, "unsupported format: {message}"),
             Self::Io(err) => write!(f, "i/o error: {err}"),
         }
     }
@@ -97,6 +108,7 @@ mod tests {
             ImagingError::ChannelMismatch { expected: "grayscale" },
             ImagingError::InvalidParameter { message: "window size 0".into() },
             ImagingError::Decode { message: "bad magic".into() },
+            ImagingError::Unsupported { message: "16-bit png".into() },
             ImagingError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom")),
         ];
         for v in variants {

@@ -12,7 +12,10 @@
 //!   matrices (the form the image-scaling attack consumes),
 //! * [`filter`] — rank filters (minimum / median / maximum), separable
 //!   convolution and Gaussian blur,
-//! * [`codec`] — plain and binary PGM/PPM encoding and decoding,
+//! * [`codec`] — image containers: PGM/PPM and 24-bit BMP for artefacts,
+//!   plus from-scratch PNG (full DEFLATE/zlib inflater underneath) and
+//!   baseline JPEG for real-world corpora, with magic-byte sniffing and
+//!   `decode_into` variants that fill recycled buffers,
 //! * [`draw`] — simple shape rasterisation used by the synthetic dataset
 //!   generator.
 //!

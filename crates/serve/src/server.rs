@@ -36,7 +36,7 @@ use crate::http::{
     Response,
 };
 use crate::metrics::ServiceMetrics;
-use crate::service::{decode_image, DetectionService};
+use crate::service::{decode_image_into, record_decode, DecodeFailure, DetectionService};
 use crate::shutdown_signal;
 use decamouflage_core::parallel::WorkerPool;
 use decamouflage_core::stream::{BufferPool, SourceItem};
@@ -484,6 +484,7 @@ struct BodyImageSource<'a, R: BufRead> {
     budget: usize,
     transport_error: Option<HttpError>,
     index: usize,
+    telemetry: decamouflage_telemetry::Telemetry,
 }
 
 enum BodyMode {
@@ -497,7 +498,14 @@ impl<'a, R: BufRead> BodyImageSource<'a, R> {
             BodyPlan::Sized(length) => BodyMode::Single(Some(length)),
             BodyPlan::Chunked => BodyMode::Chunked,
         };
-        Self { reader, mode, budget: max_body_bytes, transport_error: None, index: 0 }
+        Self {
+            reader,
+            mode,
+            budget: max_body_bytes,
+            transport_error: None,
+            index: 0,
+            telemetry: decamouflage_telemetry::global(),
+        }
     }
 
     fn next_frame(&mut self) -> Result<Option<Vec<u8>>, HttpError> {
@@ -521,7 +529,7 @@ impl<'a, R: BufRead> BodyImageSource<'a, R> {
 }
 
 impl<R: BufRead> ImageSource for BodyImageSource<'_, R> {
-    fn next_image(&mut self, _pool: &mut BufferPool) -> Option<SourceItem> {
+    fn next_image(&mut self, pool: &mut BufferPool) -> Option<SourceItem> {
         if self.transport_error.is_some() {
             return None;
         }
@@ -535,10 +543,18 @@ impl<R: BufRead> ImageSource for BodyImageSource<'_, R> {
         };
         let index = self.index;
         self.index += 1;
-        Some(match decode_image(&frame) {
-            Ok(image) => Ok(image),
-            Err(message) => {
-                Err(ScoreError::new(ScoreFault::Unreadable { message }).at_index(index))
+        let decoded = decode_image_into(&frame, &mut |n| pool.take(n));
+        record_decode(&self.telemetry, &frame, decoded.is_ok());
+        Some(match decoded {
+            Ok((_, image)) => Ok(image),
+            Err(failure) => {
+                let fault = match failure {
+                    DecodeFailure::Unsupported(message) => {
+                        ScoreFault::UnsupportedFormat { message }
+                    }
+                    DecodeFailure::Unreadable(message) => ScoreFault::Unreadable { message },
+                };
+                Err(ScoreError::new(fault).at_index(index))
             }
         })
     }

@@ -13,8 +13,8 @@ use decamouflage_core::{
     CancelToken, DetectionEngine, ImageSource, MethodId, MethodSet, ScoreFault, ScoreVector,
     StreamConfig, Threshold,
 };
-use decamouflage_imaging::codec::{decode_bmp, decode_pnm};
-use decamouflage_imaging::{Image, Size};
+use decamouflage_imaging::codec::{decode_auto_into, sniff, ImageFormat, SampleAlloc};
+use decamouflage_imaging::{Image, ImagingError, Size};
 use decamouflage_telemetry::Telemetry;
 
 /// The engine methods the service votes with — the paper's three-method
@@ -22,21 +22,77 @@ use decamouflage_telemetry::Telemetry;
 pub const SERVICE_METHODS: &[MethodId] =
     &[MethodId::ScalingMse, MethodId::FilteringSsim, MethodId::Csp];
 
-/// Decodes an image body by sniffing its magic bytes: `BM` → 24-bit
-/// BMP, a `P?` header → PNM (PGM/PPM, ASCII or binary).
+/// Why a request body failed to decode, split along the `422` fault
+/// taxonomy: a body no codec claims (or a claimed-but-unsupported
+/// feature) is a different client error from a structurally broken
+/// file in a supported format.
+#[derive(Debug)]
+pub enum DecodeFailure {
+    /// No codec claims the magic bytes, or the claimed format uses an
+    /// unsupported feature (fault kind `unsupported-format`).
+    Unsupported(String),
+    /// A supported format that is structurally broken — truncated,
+    /// checksum mismatch, bad header (fault kind `unreadable`).
+    Unreadable(String),
+}
+
+impl DecodeFailure {
+    /// The stable kebab-case fault tag this failure quarantines under.
+    pub fn fault(&self) -> &'static str {
+        match self {
+            Self::Unsupported(_) => "unsupported-format",
+            Self::Unreadable(_) => "unreadable",
+        }
+    }
+
+    /// Consumes the failure, yielding the human-readable detail.
+    pub fn into_detail(self) -> String {
+        match self {
+            Self::Unsupported(detail) | Self::Unreadable(detail) => detail,
+        }
+    }
+}
+
+/// Decodes an image body by sniffing its magic bytes (PNG, JPEG, BMP,
+/// PNM), allocating the sample buffer on the heap. Streaming callers
+/// should use [`decode_image_into`] with a `BufferPool` allocator.
 ///
 /// # Errors
 ///
-/// A human-readable description for unsupported magic or a codec
-/// failure — the caller quarantines the input as `unreadable`.
-pub fn decode_image(body: &[u8]) -> Result<Image, String> {
-    if body.starts_with(b"BM") {
-        decode_bmp(body).map_err(|err| err.to_string())
-    } else if body.first() == Some(&b'P') {
-        decode_pnm(body).map_err(|err| err.to_string())
-    } else {
-        Err("unsupported image format (need PGM/PPM/PNM or 24-bit BMP)".into())
-    }
+/// See [`decode_image_into`].
+pub fn decode_image(body: &[u8]) -> Result<(ImageFormat, Image), DecodeFailure> {
+    decode_image_into(body, &mut |n| vec![0.0; n])
+}
+
+/// Decodes an image body by sniffing its magic bytes, obtaining the
+/// sample buffer from `alloc` so streaming callers recycle pool
+/// buffers. Returns the sniffed format for per-format telemetry.
+///
+/// # Errors
+///
+/// [`DecodeFailure::Unsupported`] when no codec claims the body (or a
+/// claimed format uses an unsupported feature), [`DecodeFailure::Unreadable`]
+/// when a supported format is structurally broken.
+pub fn decode_image_into(
+    body: &[u8],
+    alloc: SampleAlloc<'_>,
+) -> Result<(ImageFormat, Image), DecodeFailure> {
+    decode_auto_into(body, alloc).map_err(|err| match err {
+        ImagingError::Unsupported { .. } => DecodeFailure::Unsupported(err.to_string()),
+        other => DecodeFailure::Unreadable(other.to_string()),
+    })
+}
+
+/// Counts one body decode on `decam_codec_decode_total{format,outcome}`
+/// — the same family `DirectorySource` uses, so `/metrics` reports
+/// filesystem and HTTP decodes uniformly. Failed sniffs count under
+/// `format="unknown"`.
+pub(crate) fn record_decode(telemetry: &Telemetry, body: &[u8], ok: bool) {
+    let format = sniff(body).map_or("unknown", ImageFormat::name);
+    let outcome = if ok { "ok" } else { "error" };
+    telemetry
+        .counter("decam_codec_decode_total", &[("format", format), ("outcome", outcome)])
+        .inc();
 }
 
 /// One member's abstention reason.
@@ -68,7 +124,8 @@ pub enum CheckOutcome {
     },
     /// `422` — the input was quarantined by the [`ScoreFault`] taxonomy
     /// (`fault` is [`ScoreFault::kind`]; decode failures use
-    /// `unreadable`).
+    /// `unsupported-format` for bodies no codec claims and `unreadable`
+    /// for structurally broken files, per [`DecodeFailure`]).
     Quarantined {
         /// Stable kebab-case fault tag.
         fault: &'static str,
@@ -199,9 +256,16 @@ impl DetectionService {
         }
         let image = {
             let _decode = self.telemetry.span("decam_engine_stage_seconds", &[("stage", "decode")]);
-            match decode_image(body) {
-                Ok(image) => image,
-                Err(detail) => return CheckOutcome::Quarantined { fault: "unreadable", detail },
+            let decoded = decode_image(body);
+            record_decode(&self.telemetry, body, decoded.is_ok());
+            match decoded {
+                Ok((_, image)) => image,
+                Err(failure) => {
+                    return CheckOutcome::Quarantined {
+                        fault: failure.fault(),
+                        detail: failure.into_detail(),
+                    }
+                }
             }
         };
         if cancel.is_expired() {
@@ -430,13 +494,43 @@ mod tests {
     }
 
     #[test]
-    fn undecodable_bytes_quarantine_as_unreadable() {
+    fn unknown_magic_quarantines_as_unsupported_format() {
         let outcome =
             service(DegradePolicy::Strict).check_bytes(b"not an image", &CancelToken::new());
         let CheckOutcome::Quarantined { fault, .. } = outcome else {
             panic!("expected quarantine");
         };
+        assert_eq!(fault, "unsupported-format");
+    }
+
+    #[test]
+    fn broken_supported_format_quarantines_as_unreadable() {
+        // A real PNG signature followed by garbage: the codec claims it,
+        // then fails structurally.
+        let mut body = vec![137, 80, 78, 71, 13, 10, 26, 10];
+        body.extend_from_slice(b"garbage after the signature");
+        let outcome = service(DegradePolicy::Strict).check_bytes(&body, &CancelToken::new());
+        let CheckOutcome::Quarantined { fault, .. } = outcome else {
+            panic!("expected quarantine");
+        };
         assert_eq!(fault, "unreadable");
+    }
+
+    #[test]
+    fn a_png_body_scores_like_its_pgm_twin() {
+        use decamouflage_imaging::codec::encode_png;
+        let image = Image::from_fn_gray(48, 48, |x, y| 40.0 + ((x * y) % 32) as f64);
+        let service = service(DegradePolicy::Strict);
+        let from_png = service.check_bytes(&encode_png(&image), &CancelToken::new());
+        let from_pgm = service.check_bytes(&encode_pgm(&image), &CancelToken::new());
+        let (CheckOutcome::Verdict { scores: a, .. }, CheckOutcome::Verdict { scores: b, .. }) =
+            (&from_png, &from_pgm)
+        else {
+            panic!("expected verdicts, got {from_png:?} / {from_pgm:?}");
+        };
+        for &method in SERVICE_METHODS {
+            assert_eq!(a.get(method).to_bits(), b.get(method).to_bits(), "{method:?}");
+        }
     }
 
     #[test]

@@ -94,10 +94,31 @@ fn serves_the_full_route_surface_and_drains_clean() {
     assert!(check.contains("\"verdict\":"), "{check}");
     assert!(check.contains("\"scores\":"), "{check}");
 
-    // Unreadable body → typed 422 quarantine.
+    // Unknown magic → typed 422 quarantine with the unsupported-format
+    // fault kind; a claimed-but-broken PNG quarantines as unreadable.
     let garbage = exchange(addr, &post("/check", b"not an image at all"));
     assert_eq!(status_of(&garbage), "422", "{garbage}");
-    assert!(garbage.contains("\"fault\":\"unreadable\""), "{garbage}");
+    assert!(garbage.contains("\"fault\":\"unsupported-format\""), "{garbage}");
+    let mut broken_png = vec![137u8, 80, 78, 71, 13, 10, 26, 10];
+    broken_png.extend_from_slice(b"truncated chunk soup");
+    let broken = exchange(addr, &post("/check", &broken_png));
+    assert_eq!(status_of(&broken), "422", "{broken}");
+    assert!(broken.contains("\"fault\":\"unreadable\""), "{broken}");
+
+    // The decode counter surfaces per-format labels on /metrics.
+    let metrics = exchange(addr, &get("/metrics"));
+    assert!(
+        metrics.contains("decam_codec_decode_total{format=\"unknown\",outcome=\"error\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("decam_codec_decode_total{format=\"png\",outcome=\"error\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("decam_codec_decode_total{format=\"pnm\",outcome=\"ok\"}"),
+        "{metrics}"
+    );
 
     // Malformed request line → 400; unknown route → 404; wrong method → 405.
     let bad = exchange(addr, b"BOGUS\r\n\r\n");

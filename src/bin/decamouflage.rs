@@ -13,7 +13,8 @@
 //!                    [--max-body-bytes N] [--metrics-out FILE]
 //! ```
 //!
-//! Images are PGM/PPM or 24-bit BMP (chosen by extension). `check` exits
+//! Images are PGM/PPM, 24-bit BMP, PNG or baseline JPEG (sniffed by magic
+//! bytes on read, chosen by extension on write). `check` exits
 //! with status 2 when the image is flagged as an attack, 0 when benign —
 //! scriptable as a pre-ingestion filter. `scan` triages a whole directory
 //! (the paper's offline data-poisoning use case) and exits 2 if anything
@@ -46,7 +47,9 @@ use decamouflage::detection::{
     scan_shard, CorpusFingerprint, FilteringDetector, MethodId, MetricKind, ScalingDetector,
     ScanCheckpoint, ScanReport, ScoreFault, ShardSpec, SteganalysisDetector, Threshold,
 };
-use decamouflage::imaging::codec::{read_bmp_file, read_pnm_file, write_bmp_file, write_pnm_file};
+use decamouflage::imaging::codec::{
+    decode_auto, encode_jpeg, encode_png, write_bmp_file, write_pnm_file,
+};
 use decamouflage::imaging::scale::{ScaleAlgorithm, Scaler};
 use decamouflage::imaging::{Image, Size};
 use decamouflage::serve::flags::{parse_bounded_ms, parse_bounded_usize};
@@ -93,7 +96,8 @@ fn print_usage() {
          decamouflage serve --target WxH [--addr HOST:PORT] [--thresholds FILE] [--degrade MODE]\n    \
          [--handlers N] [--queue-limit N] [--deadline-ms N] [--drain-ms N]\n    \
          [--max-body-bytes N] [--metrics-out FILE]\n\n\
-         Images: .pgm/.ppm/.pnm or .bmp. `check`/`scan` exit 0 = benign, 2 = attack(s) found.\n\
+         Images: .pgm/.ppm/.pnm, .bmp, .png or .jpg/.jpeg — read by magic bytes,\n  \
+         written by extension. `check`/`scan` exit 0 = benign, 2 = attack(s) found.\n\
          --degrade: what to do when an ensemble voter cannot score an image —\n  \
          strict (default: report an error), majority (majority of the remaining voters),\n  \
          fail-closed (flag the image as an attack).\n\
@@ -200,17 +204,20 @@ fn write_metrics(telemetry: &Telemetry, path: &str) -> Result<(), String> {
 }
 
 fn read_image(path: &str) -> Result<Image, String> {
-    let result = if path.to_ascii_lowercase().ends_with(".bmp") {
-        read_bmp_file(path)
-    } else {
-        read_pnm_file(path)
-    };
-    result.map_err(|e| format!("cannot read {path}: {e}"))
+    // Decode by magic bytes, not extension — a mislabelled file decodes
+    // with whatever codec actually claims it.
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    decode_auto(&bytes).map(|(_, image)| image).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
 fn write_image(img: &Image, path: &str) -> Result<(), String> {
-    let result = if path.to_ascii_lowercase().ends_with(".bmp") {
+    let lower = path.to_ascii_lowercase();
+    let result = if lower.ends_with(".bmp") {
         write_bmp_file(img, path)
+    } else if lower.ends_with(".png") {
+        std::fs::write(path, encode_png(img)).map_err(Into::into)
+    } else if lower.ends_with(".jpg") || lower.ends_with(".jpeg") {
+        std::fs::write(path, encode_jpeg(img, 90)).map_err(Into::into)
     } else {
         write_pnm_file(img, path)
     };
@@ -515,6 +522,11 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
                     ScoreFault::Unreadable { message } => {
                         println!("unreadable  {shown}: {message}");
                     }
+                    // No codec claims the bytes — a wrong file type, not
+                    // a suspicious image, so it never feeds fail-closed.
+                    ScoreFault::UnsupportedFormat { message } => {
+                        println!("unsupported {shown}: {message}");
+                    }
                     // The file loaded but could not be scored; the degrade
                     // policy decides whether that is suspicious in itself.
                     _ if matches!(policy, DegradePolicy::FailClosed) => {
@@ -543,7 +555,9 @@ fn cmd_scan(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     for record in final_checkpoint.quarantined() {
-        if record.kind() == "unreadable" {
+        // Decode-level failures (corrupt file, wrong file type) never
+        // feed fail-closed — they are not suspicious scoring.
+        if matches!(record.kind(), "unreadable" | "unsupported-format") {
             unreadable += 1;
         } else if matches!(policy, DegradePolicy::FailClosed) {
             flagged += 1;

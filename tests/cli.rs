@@ -170,6 +170,55 @@ fn scan_triages_a_directory_and_exits_nonzero_on_findings() {
 }
 
 #[test]
+fn scan_streams_a_mixed_format_directory_and_quarantines_the_corrupt_file() {
+    use decamouflage::imaging::codec::{encode_jpeg, encode_pgm, encode_png};
+    let root = fixtures("scan-mixed");
+    let thresholds = calibrate(&root);
+    let generator = SampleGenerator::new(DatasetProfile::tiny(), ScaleAlgorithm::Bilinear);
+    let mixed = root.join("mixed-formats");
+    std::fs::create_dir_all(&mixed).unwrap();
+    // One benign image per container, plus one corrupt PNG and one file
+    // whose extension lies about non-image bytes.
+    std::fs::copy(root.join("holdout_benign.bmp"), mixed.join("a.bmp")).unwrap();
+    std::fs::write(mixed.join("b.png"), encode_png(&generator.benign(9))).unwrap();
+    std::fs::write(mixed.join("c.pgm"), encode_pgm(&generator.benign(9))).unwrap();
+    std::fs::write(mixed.join("d.jpg"), encode_jpeg(&generator.benign(9), 95)).unwrap();
+    let mut broken = vec![137u8, 80, 78, 71, 13, 10, 26, 10];
+    broken.extend_from_slice(b"this is not a chunk stream");
+    std::fs::write(mixed.join("e_corrupt.png"), &broken).unwrap();
+    std::fs::write(mixed.join("f_lying.jpeg"), b"plain text, no magic").unwrap();
+
+    let (code, stdout, stderr) = run(bin()
+        .arg("scan")
+        .arg(&mixed)
+        .args(["--target", "16x16"])
+        .args(["--thresholds", thresholds.to_str().unwrap()]));
+    // The corrupt files must quarantine their own slots, not abort the
+    // scan: every healthy container still gets a verdict line.
+    assert!(code == 0 || code == 2, "scan crashed on the mixed dir: {code} {stdout} {stderr}");
+    for name in ["a.bmp", "b.png", "c.pgm", "d.jpg"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.contains(name))
+            .unwrap_or_else(|| panic!("no verdict line for {name}: {stdout}"));
+        assert!(
+            line.starts_with("ATTACK") || line.starts_with("benign"),
+            "{name} did not score: {line}"
+        );
+    }
+    assert!(
+        stdout.lines().any(|l| l.starts_with("unreadable") && l.contains("e_corrupt.png")),
+        "{stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.starts_with("unsupported") && l.contains("f_lying.jpeg")),
+        "{stdout}"
+    );
+    assert!(stdout.contains("2 unreadable"), "{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn stats_emits_a_parseable_prometheus_exposition() {
     let (code, stdout, stderr) = run(bin().arg("stats").args(["--target", "8x8", "--count", "2"]));
     assert_eq!(code, 0, "stats failed: {stderr}");
