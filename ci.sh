@@ -60,11 +60,40 @@ cargo test -p decamouflage-imaging --test codec_props
 cargo test --test codec_equivalence
 cargo test --test cli -- scan_streams_a_mixed_format_directory_and_quarantines_the_corrupt_file
 
+echo "== planar equivalence: golden engine scores + interleaved<->planar round-trips =="
+# The planar-layout contract: engine ScoreVectors bit-identical to the
+# interleaved seed fixture (tests/golden_scores_v1.txt), exact round-trip
+# properties over from_interleaved/to_interleaved and from_planes/into_planes,
+# and borrow-only luma. Runs inside `cargo test --workspace` too; pinned here
+# so a fixture regression fails loudly under its own heading.
+cargo test --test planar_equivalence
+cargo test --release --test planar_equivalence --features simd
+
 echo "== codec bench: decode-stage latency per format -> BENCH_codecs.json =="
 # Streams a per-format synthetic corpus through DirectorySource and reads
 # decam_engine_stage_seconds{stage="decode"}; doubles as an encode->decode
 # smoke at corpus scale (non-zero exit on any decode failure).
 cargo run --release -p decamouflage-bench --bin codecs -- 48 3 -o BENCH_codecs.json
+
+echo "== codec latency gate: png/jpeg decode budgets from BENCH_codecs.json =="
+# Regression gate over the numbers just written: budgets sit ~2x above the
+# recorded planar baseline (png ~780 us, jpeg ~775 us at 128x128/48 images)
+# so shared-runner noise passes but an accidental O(n) regression in the
+# defilter/IDCT/plane-scatter path does not.
+PNG_BUDGET_US=1500 JPEG_BUDGET_US=1500 awk '
+    /"png"/  { if ($0 ~ /decode_us_per_image/) { split($0, a, /[:,]/); png  = a[3] } }
+    /"jpeg"/ { if ($0 ~ /decode_us_per_image/) { split($0, a, /[:,]/); jpeg = a[3] } }
+    END {
+        png_budget  = ENVIRON["PNG_BUDGET_US"]  + 0
+        jpeg_budget = ENVIRON["JPEG_BUDGET_US"] + 0
+        if (png == "" || jpeg == "") { print "codec gate: missing png/jpeg entries in BENCH_codecs.json"; exit 1 }
+        printf "png  %8.1f us/image (budget %d)\n", png,  png_budget
+        printf "jpeg %8.1f us/image (budget %d)\n", jpeg, jpeg_budget
+        bad = 0
+        if (png  + 0 > png_budget)  { print "FAIL: png decode over budget";  bad = 1 }
+        if (jpeg + 0 > jpeg_budget) { print "FAIL: jpeg decode over budget"; bad = 1 }
+        exit bad
+    }' BENCH_codecs.json
 
 echo "== service load: overload contract + BENCH_service.json =="
 # Storm an undersized server (2 handlers + queue 2) with 2x+ its capacity of

@@ -179,7 +179,13 @@ mod tests {
         let t = target(8);
         let mid = blend_target(&o, &t, &s, 0.5).unwrap();
         let benign = s.apply(&o).unwrap();
-        for ((m, tv), bv) in mid.as_slice().iter().zip(t.as_slice()).zip(benign.as_slice()) {
+        for ((m, tv), bv) in mid
+            .planes()
+            .iter()
+            .flatten()
+            .zip(t.planes().iter().flatten())
+            .zip(benign.planes().iter().flatten())
+        {
             assert!((m - 0.5 * (tv + bv)).abs() < 1e-12);
         }
     }

@@ -190,13 +190,13 @@ pub fn craft_attack(
     // Measure the end-to-end result on the final image.
     let downscaled = scaler.apply(&attack)?;
     let mut deviation = 0.0f64;
-    for (d, t) in downscaled.as_slice().iter().zip(target.as_slice()) {
+    for (d, t) in downscaled.planes().iter().flatten().zip(target.planes().iter().flatten()) {
         deviation = deviation.max((d - t).abs());
     }
-    let n = attack.as_slice().len() as f64;
+    let n = (attack.plane_len() * attack.channel_count()) as f64;
     let mut perturbation_sq = 0.0;
     let mut perturbed = 0usize;
-    for (a, o) in attack.as_slice().iter().zip(original.as_slice()) {
+    for (a, o) in attack.planes().iter().flatten().zip(original.planes().iter().flatten()) {
         let d = a - o;
         perturbation_sq += d * d;
         if d.abs() > 1e-9 {
@@ -268,7 +268,7 @@ mod tests {
     #[test]
     fn attack_image_is_quantised_and_in_range() {
         let out = craft(ScaleAlgorithm::Bilinear, 32, 8, &AttackConfig::default());
-        for &v in out.image.as_slice() {
+        for &v in out.image.planes().iter().flatten() {
             assert!((0.0..=255.0).contains(&v));
             assert_eq!(v, v.round());
         }
@@ -293,9 +293,10 @@ mod tests {
         assert!(out.stats.perturbation_mse < 2500.0, "{:?}", out.stats);
         let unchanged = out
             .image
-            .as_slice()
+            .planes()
             .iter()
-            .zip(original.as_slice())
+            .flatten()
+            .zip(original.planes().iter().flatten())
             .filter(|(a, o)| (**a - o.round()).abs() < 1.0)
             .count();
         assert!(unchanged * 2 > 64 * 64, "too few unchanged pixels: {unchanged}");

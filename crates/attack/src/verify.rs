@@ -96,19 +96,19 @@ pub fn verify_attack(
     let downscaled = scaler.apply(attack)?;
     let mut deviation_linf = 0.0f64;
     let mut deviation_sq = 0.0f64;
-    for (d, t) in downscaled.as_slice().iter().zip(target.as_slice()) {
+    for (d, t) in downscaled.planes().iter().flatten().zip(target.planes().iter().flatten()) {
         let e = (d - t).abs();
         deviation_linf = deviation_linf.max(e);
         deviation_sq += e * e;
     }
-    let target_mse = deviation_sq / target.as_slice().len() as f64;
+    let target_mse = deviation_sq / (target.plane_len() * target.channel_count()) as f64;
 
     let mut perturbation_sq = 0.0f64;
-    for (a, o) in attack.as_slice().iter().zip(original.as_slice()) {
+    for (a, o) in attack.planes().iter().flatten().zip(original.planes().iter().flatten()) {
         let e = a - o;
         perturbation_sq += e * e;
     }
-    let perturbation_mse = perturbation_sq / attack.as_slice().len() as f64;
+    let perturbation_mse = perturbation_sq / (attack.plane_len() * attack.channel_count()) as f64;
 
     Ok(AttackVerification {
         target_deviation_linf: deviation_linf,

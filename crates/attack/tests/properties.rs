@@ -71,7 +71,7 @@ proptest! {
         });
         let scaler = Scaler::new(Size::square(24), Size::square(6), algo).unwrap();
         let crafted = craft_attack(&original, &target, &scaler, &AttackConfig::default()).unwrap();
-        for &v in crafted.image.as_slice() {
+        for &v in crafted.image.planes().iter().flatten() {
             prop_assert!((0.0..=255.0).contains(&v));
             prop_assert_eq!(v, v.round());
         }
@@ -113,7 +113,7 @@ proptest! {
         // Each RGB channel equals the gray solution.
         prop_assert_eq!(rgb_attack.image.channels(), Channels::Rgb);
         for c in 0..3 {
-            let plane = rgb_attack.image.plane(c).unwrap();
+            let plane = rgb_attack.image.channel_image(c).unwrap();
             prop_assert!(plane.approx_eq(&gray_attack.image, 1e-9));
         }
     }

@@ -581,9 +581,10 @@ fn ablate_robust_scaler(ctx: &ExperimentContext) -> String {
             )
             .expect("profile sizes are valid");
             let linf = down
-                .as_slice()
+                .planes()
                 .iter()
-                .zip(target.as_slice())
+                .flatten()
+                .zip(target.planes().iter().flatten())
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
             survives += usize::from(linf <= VerifyConfig::default().target_tolerance_linf);

@@ -587,13 +587,28 @@ impl DetectionEngine {
 
         let mut centered_spectrum = None;
         if self.methods.contains(MethodId::Csp) || self.methods.contains(MethodId::PeakExcess) {
+            // One shared gray view serves both frequency-domain methods:
+            // Gray inputs are borrowed as-is (zero copies), RGB inputs pay
+            // for exactly one fused luma pass — never one per method.
+            let gray: std::borrow::Cow<'_, Image> = if image.channel_count() == 1 {
+                std::borrow::Cow::Borrowed(image)
+            } else {
+                std::borrow::Cow::Owned(
+                    Image::from_gray_plane(
+                        image.width(),
+                        image.height(),
+                        image.luma().into_owned(),
+                    )
+                    .expect("luma plane is sized width*height"),
+                )
+            };
             // One planned DFT serves both frequency-domain methods, and —
             // since both start from `log(1 + |F|)` of the same grid — one
             // log-magnitude buffer serves their fused passes (the logs are
             // the expensive half of each).
             let (spectrum, mags) = {
                 let _stage = self.metrics.dft.span();
-                let spectrum = dft2_planned(image);
+                let spectrum = dft2_planned(&gray);
                 let mags = spectrum.log_magnitudes();
                 (spectrum, mags)
             };
@@ -617,8 +632,7 @@ impl DetectionEngine {
                     // transforming again.
                     spectrum.centered_log_magnitude_from(&mags)
                 } else {
-                    dft2_planned(&apply_window(&image.to_gray(), self.peak_window))
-                        .centered_log_magnitude()
+                    dft2_planned(&apply_window(&gray, self.peak_window)).centered_log_magnitude()
                 };
                 let (min_r, max_r) = peak.radii_for(image);
                 scores.set(MethodId::PeakExcess, peak_excess(&centred, min_r.max(1), max_r.max(2)));
@@ -673,19 +687,25 @@ impl DetectionEngine {
         if width == 0 || height == 0 {
             return Err(ScoreError::new(ScoreFault::DegenerateDimensions { width, height }));
         }
-        // Two-phase finite scan: `x * 0.0` is `0.0` exactly when `x` is
-        // finite (NaN/±inf yield NaN), so the blockwise sum is NaN iff the
-        // block holds a non-finite sample. The sum has no early exit and
-        // autovectorizes; the scalar `position` scan runs only on the rare
-        // offending block, and reports the same first index it always did.
-        let pixels = image.as_slice();
-        for (block, samples) in pixels.chunks(1024).enumerate() {
-            let probe: f64 = samples.iter().map(|v| v * 0.0).sum();
-            if !probe.is_finite() {
-                let offset = samples.iter().position(|v| !v.is_finite()).expect("probe found one");
-                return Err(ScoreError::new(ScoreFault::NonFinitePixel {
-                    sample: block * 1024 + offset,
-                }));
+        // Two-phase finite scan, one pass per channel plane: `x * 0.0` is
+        // `0.0` exactly when `x` is finite (NaN/±inf yield NaN), so the
+        // blockwise sum is NaN iff the block holds a non-finite sample.
+        // The sum has no early exit and autovectorizes; the scalar
+        // `position` scan runs only on the rare offending block. The
+        // reported `sample` stays in interleaved units
+        // (`pixel_index * channels + channel`), so single-channel callers
+        // see the same index they always did.
+        let ch = image.channel_count();
+        for (c, plane) in image.planes().iter().enumerate() {
+            for (block, samples) in plane.chunks(1024).enumerate() {
+                let probe: f64 = samples.iter().map(|v| v * 0.0).sum();
+                if !probe.is_finite() {
+                    let offset =
+                        samples.iter().position(|v| !v.is_finite()).expect("probe found one");
+                    return Err(ScoreError::new(ScoreFault::NonFinitePixel {
+                        sample: (block * 1024 + offset) * ch + c,
+                    }));
+                }
             }
         }
         let min_side = width.min(height);
@@ -1040,19 +1060,13 @@ mod tests {
         let detectors = engine.detectors();
         let image = smooth(48);
         let artifacts = engine.score_with_artifacts(&image).unwrap();
-        assert_eq!(
-            artifacts.round_tripped.as_slice(),
-            detectors.scaling_mse.round_tripped(&image).unwrap().as_slice()
-        );
-        assert_eq!(
-            artifacts.filtered.as_slice(),
-            detectors.filtering_mse.filtered(&image).unwrap().as_slice()
-        );
+        assert_eq!(artifacts.round_tripped, detectors.scaling_mse.round_tripped(&image).unwrap());
+        assert_eq!(artifacts.filtered, detectors.filtering_mse.filtered(&image).unwrap());
         assert_eq!(artifacts.downscaled.size(), Size::square(16));
         // The rectangular peak window shares the CSP spectrum, and the
         // shared spectrum equals the staged centered_spectrum bit-for-bit.
         let centred = artifacts.centered_spectrum.expect("peak excess enabled by default");
-        assert_eq!(centred.as_slice(), centered_spectrum(&image).as_slice());
+        assert_eq!(centred, centered_spectrum(&image));
     }
 
     #[test]
@@ -1359,7 +1373,7 @@ mod tests {
         let engine = DetectionEngine::new(Size::square(8));
         let image = smooth(24);
         let scores = engine.score(&image).unwrap();
-        let mean = image.as_slice().iter().sum::<f64>() / image.as_slice().len() as f64;
+        let mean = image.mean_sample();
         assert_eq!(scores.get(MethodId::DummyMean), mean, "generic fallback scored the dummy");
 
         // Votes under its registry name, together with a paper method.

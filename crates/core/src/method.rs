@@ -444,11 +444,10 @@ pub struct DummyMeanDetector;
 #[cfg(test)]
 impl crate::detector::Detector for DummyMeanDetector {
     fn score(&self, image: &decamouflage_imaging::Image) -> Result<f64, crate::DetectError> {
-        let data = image.as_slice();
-        if data.is_empty() {
+        if image.plane_len() == 0 {
             return Ok(0.0);
         }
-        Ok(data.iter().sum::<f64>() / data.len() as f64)
+        Ok(image.mean_sample())
     }
 
     fn direction(&self) -> Direction {

@@ -79,7 +79,16 @@ impl Default for PeakExcessDetector {
 
 impl Detector for PeakExcessDetector {
     fn score(&self, image: &Image) -> Result<f64, DetectError> {
-        let windowed = apply_window(&image.to_gray(), self.window);
+        // Gray inputs are windowed in place — no luma copy; RGB pays one
+        // fused luma pass.
+        let gray_storage;
+        let gray = if image.channel_count() == 1 {
+            image
+        } else {
+            gray_storage = image.to_gray();
+            &gray_storage
+        };
+        let windowed = apply_window(gray, self.window);
         let spectrum = centered_spectrum(&windowed);
         let (min_r, max_r) = self.radii_for(image);
         Ok(peak_excess(&spectrum, min_r.max(1), max_r.max(2)))

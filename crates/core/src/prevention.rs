@@ -146,9 +146,10 @@ mod tests {
         // Before prevention: downscale hits the target.
         let before = scaler.apply(&attack).unwrap();
         let dev_before: f64 = before
-            .as_slice()
+            .planes()
             .iter()
-            .zip(target.as_slice())
+            .flatten()
+            .zip(target.planes().iter().flatten())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
         assert!(dev_before <= 4.0, "attack should work before prevention");
@@ -157,23 +158,25 @@ mod tests {
         let sanitised = reconstruct_sampled_pixels(&attack, &scaler, 2).unwrap();
         let after = scaler.apply(&sanitised).unwrap();
         let mse_after: f64 = after
-            .as_slice()
+            .planes()
             .iter()
-            .zip(target.as_slice())
+            .flatten()
+            .zip(target.planes().iter().flatten())
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
-            / target.as_slice().len() as f64;
+            / (target.plane_len() * target.channel_count()) as f64;
         assert!(mse_after > 500.0, "downscale still close to the attack target (MSE {mse_after})");
 
         // And the sanitised downscale resembles the benign downscale.
         let benign_down = scaler.apply(&original).unwrap();
         let mse_vs_benign: f64 = after
-            .as_slice()
+            .planes()
             .iter()
-            .zip(benign_down.as_slice())
+            .flatten()
+            .zip(benign_down.planes().iter().flatten())
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
-            / benign_down.as_slice().len() as f64;
+            / (benign_down.plane_len() * benign_down.channel_count()) as f64;
         assert!(mse_vs_benign < mse_after, "sanitised output should look benign");
     }
 

@@ -124,10 +124,16 @@ impl BufferPool {
         }
     }
 
-    /// Returns an image's sample buffer to the pool; a full pool drops it.
+    /// Returns an image's plane buffers to the pool; planes past the
+    /// capacity are dropped. Each plane is recycled individually, so a
+    /// retired RGB image can later serve three Gray decodes (or one RGB
+    /// decode requesting three planes).
     pub fn recycle(&mut self, image: Image) {
-        if self.buffers.len() < self.capacity {
-            self.buffers.push(image.into_vec());
+        for plane in image.into_planes() {
+            if self.buffers.len() >= self.capacity {
+                break;
+            }
+            self.buffers.push(plane);
         }
     }
 
@@ -522,10 +528,17 @@ impl ImageSource for SliceSource<'_> {
     fn next_image(&mut self, pool: &mut BufferPool) -> Option<SourceItem> {
         let image = self.images.get(self.next)?;
         self.next += 1;
-        let mut data = pool.take(image.as_slice().len());
-        data.copy_from_slice(image.as_slice());
+        let planes: Vec<Vec<f64>> = image
+            .planes()
+            .iter()
+            .map(|src| {
+                let mut data = pool.take(src.len());
+                data.copy_from_slice(src);
+                data
+            })
+            .collect();
         Some(
-            Image::from_vec(image.width(), image.height(), image.channels(), data)
+            Image::from_planes(image.width(), image.height(), image.channels(), planes)
                 .map_err(|err| ScoreError::new(ScoreFault::Detect(err.into()))),
         )
     }
@@ -1037,7 +1050,7 @@ mod tests {
         let items = drain(&mut source, &mut pool);
         assert_eq!(items.len(), 2);
         for (item, original) in items.iter().zip(&images) {
-            assert_eq!(item.as_ref().unwrap().as_slice(), original.as_slice());
+            assert_eq!(item.as_ref().unwrap().planes(), original.planes());
         }
         assert_eq!(source.len_hint(), Some(0));
     }
@@ -1049,7 +1062,7 @@ mod tests {
         let mut pool = BufferPool::with_telemetry(0, &Telemetry::disabled());
         let items = drain(&mut source, &mut pool);
         assert_eq!(items.len(), 3);
-        assert_eq!(items[2].as_ref().unwrap().as_slice()[0], 2.0);
+        assert_eq!(items[2].as_ref().unwrap().plane(0)[0], 2.0);
         assert!(format!("{source:?}").contains("FnSource"));
     }
 
@@ -1065,7 +1078,7 @@ mod tests {
             assert!(!chunk.is_empty());
             for offset in 0..chunk.len() {
                 let image = chunk.take(offset).unwrap();
-                seen.push((chunk.base() + offset, image.as_slice()[0]));
+                seen.push((chunk.base() + offset, image.plane(0)[0]));
                 driver.recycle(image);
             }
             driver.finish_chunk();
@@ -1134,8 +1147,8 @@ mod tests {
 
         let mut pool = BufferPool::with_telemetry(0, &Telemetry::disabled());
         let items = drain(&mut source, &mut pool);
-        assert_eq!(items[0].as_ref().unwrap().as_slice()[0], 20.0, "a.pgm first");
-        assert_eq!(items[1].as_ref().unwrap().as_slice()[0], 10.0);
+        assert_eq!(items[0].as_ref().unwrap().plane(0)[0], 20.0, "a.pgm first");
+        assert_eq!(items[1].as_ref().unwrap().plane(0)[0], 10.0);
         let err = items[2].as_ref().unwrap_err();
         assert!(matches!(err.cause, ScoreFault::UnsupportedFormat { .. }), "{err}");
         assert!(err.to_string().contains("c.bmp"), "{err}");
@@ -1290,7 +1303,7 @@ mod tests {
         assert!(format!("{source:?}").contains("ShardedSource"));
         let mut pool = BufferPool::with_telemetry(16, &Telemetry::disabled());
         let items = drain(&mut source, &mut pool);
-        let values: Vec<f64> = items.iter().map(|i| i.as_ref().unwrap().as_slice()[0]).collect();
+        let values: Vec<f64> = items.iter().map(|i| i.as_ref().unwrap().plane(0)[0]).collect();
         assert_eq!(values, expected.iter().map(|&i| i as f64).collect::<Vec<_>>());
         assert_eq!(pool.len(), 10 - expected.len(), "skipped images are recycled");
 
@@ -1299,7 +1312,7 @@ mod tests {
             ShardedSource::new(FnSource::new(10, |i| flat(i as f64)), spec, key_of).skipping(1);
         let rest = drain(&mut resumed, &mut pool);
         assert_eq!(rest.len(), expected.len() - 1);
-        assert_eq!(rest[0].as_ref().unwrap().as_slice()[0], expected[1] as f64);
+        assert_eq!(rest[0].as_ref().unwrap().plane(0)[0], expected[1] as f64);
     }
 
     #[test]
@@ -1321,7 +1334,7 @@ mod tests {
         let mut pool = BufferPool::with_telemetry(0, &Telemetry::disabled());
         let values: Vec<f64> = drain(&mut source, &mut pool)
             .iter()
-            .map(|item| item.as_ref().unwrap().as_slice()[0])
+            .map(|item| item.as_ref().unwrap().plane(0)[0])
             .collect();
         assert_eq!(values, kept.iter().map(|&i| i as f64).collect::<Vec<_>>());
 
@@ -1331,7 +1344,7 @@ mod tests {
         resumed.skip(1);
         let rest = drain(&mut resumed, &mut pool);
         assert_eq!(rest.len(), kept.len() - 1);
-        assert_eq!(rest[0].as_ref().unwrap().as_slice()[0], kept[1] as f64);
+        assert_eq!(rest[0].as_ref().unwrap().plane(0)[0], kept[1] as f64);
         resumed.skip(100); // clamped at end of stream
         assert_eq!(resumed.len_hint(), Some(0));
 

@@ -115,7 +115,7 @@ fn quarantines_count_by_fault_kind() {
     // Single-image path: a NaN pixel and an undersized grid.
     let engine = engine().with_telemetry(telemetry.clone());
     let mut poisoned = benign_image(0);
-    poisoned.as_mut_slice()[7] = f64::NAN;
+    poisoned.plane_mut(0)[7] = f64::NAN;
     assert!(engine.score_resilient(&poisoned).is_err());
     assert!(engine.score_resilient(&Image::from_fn_gray(4, 4, |_, _| 10.0)).is_err());
     assert_eq!(quarantined("non-finite-pixel"), 1);
@@ -237,7 +237,7 @@ fn monitor_mirrors_counters_and_window_gauges() {
         monitor.screen(&benign_image(index)).expect("screened");
     }
     let mut poisoned = benign_image(0);
-    poisoned.as_mut_slice()[3] = f64::INFINITY;
+    poisoned.plane_mut(0)[3] = f64::INFINITY;
     assert!(monitor.screen(&poisoned).is_err());
 
     let counter = |name: &str| telemetry.counter(name, label).value();

@@ -125,12 +125,13 @@ mod tests {
             let target = read_bmp_file(&s.target).unwrap();
             assert_eq!(down.size(), target.size());
             let mse: f64 = down
-                .as_slice()
+                .planes()
                 .iter()
-                .zip(target.as_slice())
+                .flatten()
+                .zip(target.planes().iter().flatten())
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum::<f64>()
-                / down.as_slice().len() as f64;
+                / (down.plane_len() * down.channel_count()) as f64;
             assert!(mse < 16.0, "downscaled attack far from target: MSE {mse}");
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -150,7 +151,7 @@ mod tests {
         let bytes = std::fs::read(&sample.attack).unwrap();
         let (format, decoded) = decode_auto(&bytes).unwrap();
         assert_eq!(format, ImageFormat::Png);
-        assert_eq!(decoded.as_slice(), crafted.image.as_slice());
+        assert_eq!(decoded.planes(), crafted.image.planes());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

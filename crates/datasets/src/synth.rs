@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn output_is_quantised_8bit() {
         let img = synthesize(&small_params(), &mut rng(3));
-        for &v in img.as_slice() {
+        for &v in img.planes().iter().flatten() {
             assert!((0.0..=255.0).contains(&v));
             assert_eq!(v, v.round());
         }
@@ -247,8 +247,8 @@ mod tests {
     fn images_are_not_flat() {
         let img = synthesize(&small_params(), &mut rng(11));
         let mean = img.mean_sample();
-        let var: f64 = img.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / img.as_slice().len() as f64;
+        let var: f64 = img.planes().iter().flatten().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (img.plane_len() * img.channel_count()) as f64;
         assert!(var > 100.0, "variance too small: {var}");
     }
 

@@ -28,7 +28,7 @@ proptest! {
         let a = synthesize(&params, &mut StdRng::seed_from_u64(seed));
         let b = synthesize(&params, &mut StdRng::seed_from_u64(seed));
         prop_assert_eq!(&a, &b);
-        for &v in a.as_slice() {
+        for &v in a.planes().iter().flatten() {
             prop_assert!((0.0..=255.0).contains(&v));
             prop_assert_eq!(v, v.round());
         }
@@ -50,9 +50,10 @@ proptest! {
         let down = g.scaler(i).apply(&attack).unwrap();
         let target = g.target(i);
         let linf = down
-            .as_slice()
+            .planes()
             .iter()
-            .zip(target.as_slice())
+            .flatten()
+            .zip(target.planes().iter().flatten())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         prop_assert!(linf <= 1.0, "L-inf deviation {linf}");

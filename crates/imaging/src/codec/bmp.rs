@@ -107,20 +107,25 @@ pub fn decode_bmp_into(
         return Err(fail("pixel data truncated"));
     }
 
-    let samples = w * h * 3;
-    let mut out = alloc(samples);
-    out.resize(samples, 0.0);
+    let n = w * h;
+    let mut planes: Vec<Vec<f64>> = (0..3)
+        .map(|_| {
+            let mut p = alloc(n);
+            p.resize(n, 0.0);
+            p
+        })
+        .collect();
     for (row_index, y) in (0..h).rev().enumerate() {
         let row_start = data_offset + row_index * (row_bytes + padding);
         for x in 0..w {
             let p = row_start + x * 3;
-            let dst = (y * w + x) * 3;
-            out[dst] = f64::from(bytes[p + 2]);
-            out[dst + 1] = f64::from(bytes[p + 1]);
-            out[dst + 2] = f64::from(bytes[p]);
+            let dst = y * w + x;
+            planes[0][dst] = f64::from(bytes[p + 2]);
+            planes[1][dst] = f64::from(bytes[p + 1]);
+            planes[2][dst] = f64::from(bytes[p]);
         }
     }
-    Image::from_vec(w, h, Channels::Rgb, out)
+    Image::from_planes(w, h, Channels::Rgb, planes)
 }
 
 /// Writes an image to `path` as a 24-bit BMP.

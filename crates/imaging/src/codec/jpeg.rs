@@ -633,35 +633,55 @@ fn assemble(
     let v_max = components.iter().map(|(_, c)| c.v).max().expect("ncomp >= 1");
     if components.len() == 1 {
         let plane = &components[0].1;
-        let samples = width * height;
-        let mut out = alloc(samples);
-        out.resize(samples, 0.0);
+        let n = width * height;
+        let mut out = alloc(n);
+        out.resize(n, 0.0);
         for y in 0..height {
             for x in 0..width {
                 out[y * width + x] = f64::from(plane.plane[y * plane.plane_w + x]);
             }
         }
-        return Image::from_vec(width, height, Channels::Gray, out);
+        return Image::from_gray_plane(width, height, out);
     }
-    let samples = width * height * 3;
-    let mut out = alloc(samples);
-    out.resize(samples, 0.0);
-    for y in 0..height {
-        for x in 0..width {
-            let mut ycc = [0.0f64; 3];
-            for (i, (_, component)) in components.iter().enumerate() {
-                let sx = x * component.h / h_max;
-                let sy = y * component.v / v_max;
-                ycc[i] = f64::from(component.plane[sy * component.plane_w + sx]);
+    // Upsample each YCbCr component to full resolution as a per-plane
+    // nearest-neighbour pass (trivial for 4:4:4, row/column doubling for
+    // 4:2:0), then convert the three stride-1 planes to RGB planes.
+    let n = width * height;
+    let mut ycc_planes: Vec<Vec<f64>> = Vec::with_capacity(3);
+    for (_, component) in components.iter() {
+        let mut full = vec![0.0f64; n];
+        for y in 0..height {
+            let sy = y * component.v / v_max;
+            let src_row = sy * component.plane_w;
+            let dst_row = y * width;
+            if component.h == h_max {
+                for x in 0..width {
+                    full[dst_row + x] = f64::from(component.plane[src_row + x]);
+                }
+            } else {
+                for x in 0..width {
+                    let sx = x * component.h / h_max;
+                    full[dst_row + x] = f64::from(component.plane[src_row + sx]);
+                }
             }
-            let (luma, cb, cr) = (ycc[0], ycc[1] - 128.0, ycc[2] - 128.0);
-            let dst = (y * width + x) * 3;
-            out[dst] = (luma + 1.402 * cr).round().clamp(0.0, 255.0);
-            out[dst + 1] = (luma - 0.344_136 * cb - 0.714_136 * cr).round().clamp(0.0, 255.0);
-            out[dst + 2] = (luma + 1.772 * cb).round().clamp(0.0, 255.0);
         }
+        ycc_planes.push(full);
     }
-    Image::from_vec(width, height, Channels::Rgb, out)
+    let mut planes: Vec<Vec<f64>> = (0..3)
+        .map(|_| {
+            let mut p = alloc(n);
+            p.resize(n, 0.0);
+            p
+        })
+        .collect();
+    let (yp, cbp, crp) = (&ycc_planes[0], &ycc_planes[1], &ycc_planes[2]);
+    for i in 0..n {
+        let (luma, cb, cr) = (yp[i], cbp[i] - 128.0, crp[i] - 128.0);
+        planes[0][i] = (luma + 1.402 * cr).round().clamp(0.0, 255.0);
+        planes[1][i] = (luma - 0.344_136 * cb - 0.714_136 * cr).round().clamp(0.0, 255.0);
+        planes[2][i] = (luma + 1.772 * cb).round().clamp(0.0, 255.0);
+    }
+    Image::from_planes(width, height, Channels::Rgb, planes)
 }
 
 // ---------------------------------------------------------------------------
@@ -881,16 +901,17 @@ pub fn encode_jpeg(image: &Image, quality: u8) -> Vec<u8> {
     // Color conversion into planes (luma only for grayscale input).
     let mut planes: Vec<Vec<f64>> = Vec::new();
     if gray {
-        planes.push(image.as_slice().iter().map(|&v| v.round().clamp(0.0, 255.0)).collect());
+        planes.push(image.plane(0).iter().map(|&v| v.round().clamp(0.0, 255.0)).collect());
     } else {
         let mut y_plane = vec![0.0; width * height];
         let mut cb_plane = vec![0.0; width * height];
         let mut cr_plane = vec![0.0; width * height];
-        for (i, rgb) in image.as_slice().chunks_exact(3).enumerate() {
+        let (rp, gp, bp) = (image.plane(0), image.plane(1), image.plane(2));
+        for i in 0..width * height {
             let (r, g, b) = (
-                rgb[0].round().clamp(0.0, 255.0),
-                rgb[1].round().clamp(0.0, 255.0),
-                rgb[2].round().clamp(0.0, 255.0),
+                rp[i].round().clamp(0.0, 255.0),
+                gp[i].round().clamp(0.0, 255.0),
+                bp[i].round().clamp(0.0, 255.0),
             );
             y_plane[i] = 0.299 * r + 0.587 * g + 0.114 * b;
             cb_plane[i] = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
@@ -978,7 +999,7 @@ mod tests {
                 data.push(((x * 5 + y * 2 + 120) % 256) as f64);
             }
         }
-        Image::from_vec(width, height, Channels::Rgb, data).unwrap()
+        Image::from_interleaved(width, height, Channels::Rgb, data).unwrap()
     }
 
     /// Test-side bit packer: MSB-first with FF stuffing, pad with 1s.
@@ -1043,7 +1064,7 @@ mod tests {
         let image = decode_jpeg(&jpeg).unwrap();
         assert_eq!((image.width(), image.height()), (8, 8));
         assert_eq!(image.channels(), Channels::Gray);
-        assert!(image.as_slice().iter().all(|&v| v == 168.0), "{:?}", &image.as_slice()[..8]);
+        assert!(image.plane(0).iter().all(|&v| v == 168.0), "{:?}", &image.plane(0)[..8]);
     }
 
     /// Hand-assembled 16x16 4:2:0 color, flat: Y=120, Cb=148, Cr=108.
@@ -1087,8 +1108,8 @@ mod tests {
             (y - 0.344_136 * cb - 0.714_136 * cr).round(),
             (y + 1.772 * cb).round(),
         ];
-        for pixel in image.as_slice().chunks_exact(3) {
-            assert_eq!(pixel, expected);
+        for c in 0..3 {
+            assert!(image.plane(c).iter().all(|&v| v == expected[c]), "channel {c}");
         }
     }
 
@@ -1098,17 +1119,23 @@ mod tests {
         let decoded = decode_jpeg(&encode_jpeg(&image, 95)).unwrap();
         assert_eq!((decoded.width(), decoded.height()), (24, 17));
         let max_err = image
-            .as_slice()
+            .planes()
             .iter()
-            .zip(decoded.as_slice())
+            .flatten()
+            .zip(decoded.planes().iter().flatten())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         assert!(max_err <= 24.0, "quality-95 error {max_err} too large");
         // Lower quality loses more but must still be in the ballpark.
         let rough = decode_jpeg(&encode_jpeg(&image, 30)).unwrap();
-        let mean_err =
-            image.as_slice().iter().zip(rough.as_slice()).map(|(a, b)| (a - b).abs()).sum::<f64>()
-                / image.as_slice().len() as f64;
+        let mean_err = image
+            .planes()
+            .iter()
+            .flatten()
+            .zip(rough.planes().iter().flatten())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / (image.plane_len() * image.channel_count()) as f64;
         assert!(mean_err <= 30.0, "quality-30 mean error {mean_err}");
     }
 
@@ -1118,7 +1145,7 @@ mod tests {
             let image = Image::filled(16, 16, Channels::Gray, value);
             let decoded = decode_jpeg(&encode_jpeg(&image, 90)).unwrap();
             assert_eq!(decoded.channels(), Channels::Gray);
-            for &sample in decoded.as_slice() {
+            for &sample in decoded.plane(0) {
                 assert!((sample - value).abs() <= 1.0, "flat {value} decoded as {sample}");
             }
         }
@@ -1131,10 +1158,11 @@ mod tests {
         let mut calls = 0usize;
         let decoded = decode_jpeg_into(&jpeg, &mut |n| {
             calls += 1;
+            assert_eq!(n, 8 * 8, "one request per plane, each w*h samples");
             Vec::with_capacity(n)
         })
         .unwrap();
-        assert_eq!(calls, 1);
+        assert_eq!(calls, 3);
         assert_eq!((decoded.width(), decoded.height()), (8, 8));
     }
 

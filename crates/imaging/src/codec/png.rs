@@ -366,50 +366,58 @@ pub fn decode_png_into(bytes: &[u8], alloc: SampleAlloc<'_>) -> Result<Image, Im
         }
     }
 
-    // Expand to the output layout inside a recycled buffer.
+    // Expand to planes inside recycled buffers: one per-plane scatter pass
+    // over the unfiltered wire bytes.
     let channels = header.color.output_channels();
-    let samples = header.width * header.height * channels.count();
-    let mut out = alloc(samples);
-    out.resize(samples, 0.0);
+    let n = header.width * header.height;
+    let mut planes: Vec<Vec<f64>> = (0..channels.count())
+        .map(|_| {
+            let mut p = alloc(n);
+            p.resize(n, 0.0);
+            p
+        })
+        .collect();
     match header.color {
         ColorType::Gray => {
-            for (dst, &byte) in out.iter_mut().zip(pixels.iter()) {
+            for (dst, &byte) in planes[0].iter_mut().zip(pixels.iter()) {
                 *dst = f64::from(byte);
             }
         }
         ColorType::Rgb => {
-            for (dst, &byte) in out.iter_mut().zip(pixels.iter()) {
-                *dst = f64::from(byte);
+            for (i, px) in pixels.chunks_exact(3).enumerate() {
+                planes[0][i] = f64::from(px[0]);
+                planes[1][i] = f64::from(px[1]);
+                planes[2][i] = f64::from(px[2]);
             }
         }
         ColorType::GrayAlpha => {
-            for (dst, pair) in out.iter_mut().zip(pixels.chunks_exact(2)) {
+            for (dst, pair) in planes[0].iter_mut().zip(pixels.chunks_exact(2)) {
                 *dst = f64::from(pair[0]);
             }
         }
         ColorType::RgbAlpha => {
-            for (dst, quad) in out.chunks_exact_mut(3).zip(pixels.chunks_exact(4)) {
-                dst[0] = f64::from(quad[0]);
-                dst[1] = f64::from(quad[1]);
-                dst[2] = f64::from(quad[2]);
+            for (i, quad) in pixels.chunks_exact(4).enumerate() {
+                planes[0][i] = f64::from(quad[0]);
+                planes[1][i] = f64::from(quad[1]);
+                planes[2][i] = f64::from(quad[2]);
             }
         }
         ColorType::Palette => {
             let palette = palette.expect("checked above");
-            for (dst, &index) in out.chunks_exact_mut(3).zip(pixels.iter()) {
+            for (i, &index) in pixels.iter().enumerate() {
                 let entry = palette.get(index as usize).ok_or_else(|| {
                     corrupt(format!(
                         "palette index {index} out of range ({} entries)",
                         palette.len()
                     ))
                 })?;
-                dst[0] = f64::from(entry[0]);
-                dst[1] = f64::from(entry[1]);
-                dst[2] = f64::from(entry[2]);
+                planes[0][i] = f64::from(entry[0]);
+                planes[1][i] = f64::from(entry[1]);
+                planes[2][i] = f64::from(entry[2]);
             }
         }
     }
-    Image::from_vec(header.width, header.height, channels, out)
+    Image::from_planes(header.width, header.height, channels, planes)
 }
 
 // ---------------------------------------------------------------------------
@@ -477,12 +485,12 @@ mod tests {
                 data.push(((x * 13 + y * 29 + 97) % 256) as f64);
             }
         }
-        Image::from_vec(width, height, Channels::Rgb, data).unwrap()
+        Image::from_interleaved(width, height, Channels::Rgb, data).unwrap()
     }
 
     fn gradient_gray(width: usize, height: usize) -> Image {
         let data = (0..width * height).map(|i| ((i * 97 + 13) % 256) as f64).collect::<Vec<_>>();
-        Image::from_vec(width, height, Channels::Gray, data).unwrap()
+        Image::from_gray_plane(width, height, data).unwrap()
     }
 
     #[test]
@@ -492,12 +500,12 @@ mod tests {
             assert_eq!(decoded.width(), image.width());
             assert_eq!(decoded.height(), image.height());
             assert_eq!(decoded.channels(), Channels::Rgb);
-            assert_eq!(decoded.as_slice(), image.as_slice());
+            assert_eq!(decoded.planes(), image.planes());
         }
         for image in [gradient_gray(5, 31), gradient_gray(8, 8)] {
             let decoded = decode_png(&encode_png(&image)).unwrap();
             assert_eq!(decoded.channels(), Channels::Gray);
-            assert_eq!(decoded.as_slice(), image.as_slice());
+            assert_eq!(decoded.planes(), image.planes());
         }
     }
 
@@ -508,11 +516,12 @@ mod tests {
         let mut calls = 0usize;
         let decoded = decode_png_into(&png, &mut |n| {
             calls += 1;
+            assert_eq!(n, 6 * 4, "one request per plane, each w*h samples");
             Vec::with_capacity(n)
         })
         .unwrap();
-        assert_eq!(calls, 1);
-        assert_eq!(decoded.as_slice(), image.as_slice());
+        assert_eq!(calls, 3);
+        assert_eq!(decoded.planes(), image.planes());
     }
 
     #[test]

@@ -87,21 +87,29 @@ pub fn decode_pnm_into(
             message: format!("pnm declares {width}x{height}, past the pixel budget"),
         });
     }
-    let expected = width * height * channels.count();
+    let ch = channels.count();
+    let n = width * height;
+    let expected = n * ch;
+    let mut planes: Vec<Vec<f64>> = (0..ch)
+        .map(|_| {
+            let mut p = alloc(n);
+            p.resize(n, 0.0);
+            p
+        })
+        .collect();
     if ascii {
-        // Plain (ASCII) variant: whitespace-separated decimal samples.
-        let mut out = alloc(expected);
-        out.resize(expected, 0.0);
-        for dst in out.iter_mut() {
+        // Plain (ASCII) variant: whitespace-separated decimal samples in
+        // pixel-major (interleaved) wire order, scattered into planes.
+        for i in 0..expected {
             let v: usize = cursor.number()?;
             if v > 255 {
                 return Err(ImagingError::Decode {
                     message: format!("sample {v} exceeds maxval 255"),
                 });
             }
-            *dst = v as f64;
+            planes[i % ch][i / ch] = v as f64;
         }
-        return Image::from_vec(width, height, channels, out);
+        return Image::from_planes(width, height, channels, planes);
     }
     // Exactly one whitespace byte separates the header from pixel data.
     cursor.expect_single_whitespace()?;
@@ -111,12 +119,21 @@ pub fn decode_pnm_into(
             message: format!("pixel data truncated: have {} bytes, need {expected}", data.len()),
         });
     }
-    let mut out = alloc(expected);
-    out.resize(expected, 0.0);
-    for (dst, &byte) in out.iter_mut().zip(&data[..expected]) {
-        *dst = f64::from(byte);
+    match channels {
+        Channels::Gray => {
+            for (dst, &byte) in planes[0].iter_mut().zip(&data[..expected]) {
+                *dst = f64::from(byte);
+            }
+        }
+        Channels::Rgb => {
+            for (i, px) in data[..expected].chunks_exact(3).enumerate() {
+                planes[0][i] = f64::from(px[0]);
+                planes[1][i] = f64::from(px[1]);
+                planes[2][i] = f64::from(px[2]);
+            }
+        }
     }
-    Image::from_vec(width, height, channels, out)
+    Image::from_planes(width, height, channels, planes)
 }
 
 /// Writes an image to `path`, picking PGM for grayscale and PPM for RGB.
@@ -234,21 +251,21 @@ mod tests {
         let mut bytes = b"P5\n# a comment\n2 1\n# another\n255\n".to_vec();
         bytes.extend_from_slice(&[7u8, 9u8]);
         let img = decode_pnm(&bytes).unwrap();
-        assert_eq!(img.as_slice(), &[7.0, 9.0]);
+        assert_eq!(img.plane(0), &[7.0, 9.0]);
     }
 
     #[test]
     fn ascii_p2_decodes() {
         let img = decode_pnm(b"P2\n# plain gray\n3 2\n255\n0 10 20\n30 40 255\n").unwrap();
         assert_eq!(img.channels(), Channels::Gray);
-        assert_eq!(img.as_slice(), &[0.0, 10.0, 20.0, 30.0, 40.0, 255.0]);
+        assert_eq!(img.plane(0), &[0.0, 10.0, 20.0, 30.0, 40.0, 255.0]);
     }
 
     #[test]
     fn ascii_p3_decodes() {
         let img = decode_pnm(b"P3\n1 2\n255\n1 2 3  4 5 6\n").unwrap();
         assert_eq!(img.channels(), Channels::Rgb);
-        assert_eq!(img.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(img.to_interleaved(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 
     #[test]

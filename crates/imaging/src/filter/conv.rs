@@ -172,69 +172,68 @@ impl ConvScratch {
 
 /// One input plane of a fused multi-plane convolution.
 ///
-/// The SSIM pipeline blurs five maps per image pair — `a`, `b`, `a·a`,
-/// `b·b` and `a·b`. Materialising the three product images costs three
-/// full-size allocations and passes over memory per score;
-/// [`PlaneSource::Product`] instead forms each product row on the fly in a
-/// single staging row while the horizontal sweep consumes it. Because
-/// border handling clamps the *index* before reading, the product of
-/// clamped reads equals the clamped read of the product — the result is
-/// bit-identical to convolving a materialised product image.
+/// A plane is a contiguous row-major `width * height` buffer — exactly
+/// what [`Image::plane`] lends. The SSIM pipeline blurs five maps per
+/// image pair — `a`, `b`, `a·a`, `b·b` and `a·b`. Materialising the three
+/// product planes costs three full-size allocations and passes over memory
+/// per score; [`PlaneSource::Product`] instead forms each product row on
+/// the fly in a single staging row while the horizontal sweep consumes it.
+/// Because border handling clamps the *index* before reading, the product
+/// of clamped reads equals the clamped read of the product — the result is
+/// bit-identical to convolving a materialised product plane.
 #[derive(Debug, Clone, Copy)]
 pub enum PlaneSource<'a> {
-    /// The image's own samples.
-    Image(&'a Image),
-    /// The elementwise product of two same-shaped images.
-    Product(&'a Image, &'a Image),
+    /// A plane's own samples.
+    Plane(&'a [f64]),
+    /// The elementwise product of two equally long planes.
+    Product(&'a [f64], &'a [f64]),
 }
 
 impl PlaneSource<'_> {
-    fn shape(&self) -> Result<(usize, usize, usize), ImagingError> {
+    fn len(&self) -> Result<usize, ImagingError> {
         match self {
-            PlaneSource::Image(img) => Ok(img.shape()),
+            PlaneSource::Plane(p) => Ok(p.len()),
             PlaneSource::Product(a, b) => {
-                if a.shape() != b.shape() {
-                    return Err(ImagingError::ShapeMismatch { left: a.shape(), right: b.shape() });
+                if a.len() != b.len() {
+                    return Err(ImagingError::BufferSizeMismatch {
+                        expected: a.len(),
+                        actual: b.len(),
+                    });
                 }
-                Ok(a.shape())
+                Ok(a.len())
             }
         }
     }
 }
 
-/// Convolves one row (flat, channel-interleaved) with `taps`/`anchor`,
-/// writing into `mid_row`. `int_lo..int_hi` is the pixel range where every
-/// tap lands in bounds; border pixels use the clamped reads of the
-/// reference implementation, interior pixels run tap-outer stride-1 SAXPY.
-/// Both accumulate each output over ascending taps from 0.0, so the float
-/// sums are bit-identical to the reference's sample-outer loop.
-#[allow(clippy::too_many_arguments)]
+/// Convolves one flat stride-1 plane row with `taps`/`anchor`, writing
+/// into `mid_row`. `int_lo..int_hi` is the pixel range where every tap
+/// lands in bounds; border pixels use the clamped reads of the reference
+/// implementation, interior pixels run tap-outer stride-1 SAXPY. Both
+/// accumulate each output over ascending taps from 0.0, so the float sums
+/// are bit-identical to the reference's sample-outer loop.
 fn hconv_row(
     src_row: &[f64],
     mid_row: &mut [f64],
     taps: &[f64],
     anchor: usize,
     w: usize,
-    ch: usize,
     int_lo: usize,
     int_hi: usize,
 ) {
     let border = |x: usize, mid_row: &mut [f64]| {
-        for c in 0..ch {
-            let mut acc = 0.0;
-            for (k, &wgt) in taps.iter().enumerate() {
-                let sx =
-                    (x as isize + k as isize - anchor as isize).clamp(0, w as isize - 1) as usize;
-                acc += wgt * src_row[sx * ch + c];
-            }
-            mid_row[x * ch + c] = acc;
+        let mut acc = 0.0;
+        for (k, &wgt) in taps.iter().enumerate() {
+            let sx = (x as isize + k as isize - anchor as isize).clamp(0, w as isize - 1) as usize;
+            acc += wgt * src_row[sx];
         }
+        mid_row[x] = acc;
     };
     for x in 0..int_lo {
         border(x, mid_row);
     }
     if int_hi > int_lo {
-        let dst = &mut mid_row[int_lo * ch..int_hi * ch];
+        let dst = &mut mid_row[int_lo..int_hi];
         let len = dst.len();
         // All taps of one group fuse into a single register-accumulating
         // sweep; wider kernels chain groups with `accumulate = true`
@@ -244,7 +243,7 @@ fn hconv_row(
             (0..taps.len()).step_by(WEIGHTED_SUM_MAX_ROWS).zip(taps.chunks(WEIGHTED_SUM_MAX_ROWS))
         {
             for (s, k) in srcs.iter_mut().zip(k0..k0 + group.len()) {
-                let src_lo = (int_lo + k - anchor) * ch;
+                let src_lo = int_lo + k - anchor;
                 *s = &src_row[src_lo..src_lo + len];
             }
             weighted_sum_rows(dst, &srcs[..group.len()], group, k0 > 0);
@@ -255,10 +254,10 @@ fn hconv_row(
     }
 }
 
-/// Fused separable convolution of several planes of one image shape in one
-/// call: each `planes[i]` is blurred into `outputs[i]` (resized to
-/// `w * h * channels`, row-major interleaved — the layout of
-/// [`Image::as_slice`]).
+/// Fused separable convolution of several equally shaped `width * height`
+/// planes in one call: each `planes[i]` is blurred into `outputs[i]`
+/// (resized to `width * height`, row-major — the layout of
+/// [`Image::plane`]).
 ///
 /// Results are **bit-identical** to calling [`convolve_separable`] on each
 /// plane (with products materialised via `zip_map`); what the fusion buys
@@ -271,12 +270,14 @@ fn hconv_row(
 ///
 /// # Errors
 ///
-/// Returns [`ImagingError::ShapeMismatch`] if the planes disagree on shape
-/// (including the two factors of a [`PlaneSource::Product`]) and
-/// [`ImagingError::InvalidParameter`] if `planes` and `outputs` have
-/// different lengths.
+/// Returns [`ImagingError::BufferSizeMismatch`] if any plane's length
+/// differs from `width * height` (including the two factors of a
+/// [`PlaneSource::Product`]) and [`ImagingError::InvalidParameter`] if
+/// `planes` and `outputs` have different lengths.
 pub fn convolve_planes_with_scratch(
     planes: &[PlaneSource<'_>],
+    width: usize,
+    height: usize,
     horizontal: &Kernel1D,
     vertical: &Kernel1D,
     scratch: &mut ConvScratch,
@@ -287,16 +288,18 @@ pub fn convolve_planes_with_scratch(
             message: format!("{} planes but {} outputs", planes.len(), outputs.len()),
         });
     }
-    let Some(first) = planes.first() else { return Ok(()) };
-    let (w, h, ch) = first.shape()?;
-    for plane in &planes[1..] {
-        let shape = plane.shape()?;
-        if shape != (w, h, ch) {
-            return Err(ImagingError::ShapeMismatch { left: (w, h, ch), right: shape });
+    if planes.is_empty() {
+        return Ok(());
+    }
+    let (w, h) = (width, height);
+    for plane in planes {
+        let len = plane.len()?;
+        if len != w * h {
+            return Err(ImagingError::BufferSizeMismatch { expected: w * h, actual: len });
         }
     }
-    let samples = w * h * ch;
-    let row_len = w * ch;
+    let samples = w * h;
+    let row_len = w;
 
     // Interior pixel range of the horizontal pass: every tap in bounds
     // means x - anchor >= 0 and x + (len - 1 - anchor) <= w - 1, i.e.
@@ -328,19 +331,17 @@ pub fn convolve_planes_with_scratch(
                 let slot = next_mid % ring_cap;
                 let mid_row = &mut ring[slot * row_len..(slot + 1) * row_len];
                 let src_row: &[f64] = match plane {
-                    PlaneSource::Image(img) => {
-                        &img.as_slice()[next_mid * row_len..(next_mid + 1) * row_len]
-                    }
+                    PlaneSource::Plane(p) => &p[next_mid * row_len..(next_mid + 1) * row_len],
                     PlaneSource::Product(a, b) => {
-                        let a_row = &a.as_slice()[next_mid * row_len..(next_mid + 1) * row_len];
-                        let b_row = &b.as_slice()[next_mid * row_len..(next_mid + 1) * row_len];
+                        let a_row = &a[next_mid * row_len..(next_mid + 1) * row_len];
+                        let b_row = &b[next_mid * row_len..(next_mid + 1) * row_len];
                         for ((r, &av), &bv) in row.iter_mut().zip(a_row).zip(b_row) {
                             *r = av * bv;
                         }
                         row
                     }
                 };
-                hconv_row(src_row, mid_row, taps_h, anchor_h, w, ch, int_lo, int_hi);
+                hconv_row(src_row, mid_row, taps_h, anchor_h, w, int_lo, int_hi);
                 next_mid += 1;
             }
             let out_row = &mut out[y * row_len..(y + 1) * row_len];
@@ -381,15 +382,20 @@ pub fn convolve_separable_with_scratch(
     vertical: &Kernel1D,
     scratch: &mut ConvScratch,
 ) -> Result<Image, ImagingError> {
-    let mut out = Vec::new();
+    let sources: Vec<PlaneSource<'_>> =
+        img.planes().iter().map(|p| PlaneSource::Plane(p)).collect();
+    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); img.channel_count()];
+    let mut out_refs: Vec<&mut Vec<f64>> = outs.iter_mut().collect();
     convolve_planes_with_scratch(
-        &[PlaneSource::Image(img)],
+        &sources,
+        img.width(),
+        img.height(),
         horizontal,
         vertical,
         scratch,
-        &mut [&mut out],
+        &mut out_refs,
     )?;
-    Image::from_vec(img.width(), img.height(), img.channels(), out)
+    Image::from_planes(img.width(), img.height(), img.channels(), outs)
 }
 
 #[cfg(test)]
@@ -441,7 +447,7 @@ mod tests {
         let id = Kernel1D::centered(vec![1.0]).unwrap();
         let img = Image::from_fn_gray(4, 1, |x, _| x as f64);
         let out = convolve_separable(&img, &shift, &id).unwrap();
-        assert_eq!(out.as_slice(), &[0.0, 0.0, 1.0, 2.0]);
+        assert_eq!(out.plane(0), &[0.0, 0.0, 1.0, 2.0]);
     }
 
     #[test]
@@ -480,8 +486,8 @@ mod tests {
                     let reference = convolve_separable(img, kh, kv).unwrap();
                     let fast = convolve_separable_with_scratch(img, kh, kv, &mut scratch).unwrap();
                     assert_eq!(
-                        reference.as_slice(),
-                        fast.as_slice(),
+                        reference,
+                        fast,
                         "{}x{} kernels {}/{}",
                         img.width(),
                         img.height(),
@@ -501,7 +507,7 @@ mod tests {
             let img = Image::from_fn_gray(side, side, |x, y| (x * y) as f64);
             let reference = convolve_separable(&img, &k, &k).unwrap();
             let fast = convolve_separable_with_scratch(&img, &k, &k, &mut scratch).unwrap();
-            assert_eq!(reference.as_slice(), fast.as_slice(), "side {side}");
+            assert_eq!(reference, fast, "side {side}");
         }
     }
 
@@ -518,23 +524,32 @@ mod tests {
             Kernel1D::new(vec![0.3, 0.3, 0.4], 0).unwrap(),
         ] {
             let kv = Kernel1D::centered(vec![0.25, 0.5, 0.25]).unwrap();
-            let (mut o0, mut o1, mut o2) = (Vec::new(), Vec::new(), Vec::new());
+            let mut sources = Vec::new();
+            for c in 0..3 {
+                sources.push(PlaneSource::Plane(a.plane(c)));
+                sources.push(PlaneSource::Product(a.plane(c), a.plane(c)));
+                sources.push(PlaneSource::Product(a.plane(c), b.plane(c)));
+            }
+            let mut outs: Vec<Vec<f64>> = vec![Vec::new(); 9];
+            let mut out_refs: Vec<&mut Vec<f64>> = outs.iter_mut().collect();
             convolve_planes_with_scratch(
-                &[
-                    PlaneSource::Image(&a),
-                    PlaneSource::Product(&a, &a),
-                    PlaneSource::Product(&a, &b),
-                ],
+                &sources,
+                a.width(),
+                a.height(),
                 &kh,
                 &kv,
                 &mut scratch,
-                &mut [&mut o0, &mut o1, &mut o2],
+                &mut out_refs,
             )
             .unwrap();
             let staged = |img: &Image| convolve_separable(img, &kh, &kv).unwrap();
-            assert_eq!(o0, staged(&a).as_slice());
-            assert_eq!(o1, staged(&a.zip_map(&a, |x, y| x * y).unwrap()).as_slice());
-            assert_eq!(o2, staged(&a.zip_map(&b, |x, y| x * y).unwrap()).as_slice());
+            let aa = a.zip_map(&a, |x, y| x * y).unwrap();
+            let ab = a.zip_map(&b, |x, y| x * y).unwrap();
+            for c in 0..3 {
+                assert_eq!(outs[3 * c], staged(&a).plane(c), "plane {c}");
+                assert_eq!(outs[3 * c + 1], staged(&aa).plane(c), "a*a plane {c}");
+                assert_eq!(outs[3 * c + 2], staged(&ab).plane(c), "a*b plane {c}");
+            }
         }
     }
 
@@ -546,7 +561,9 @@ mod tests {
         let b = Image::zeros(4, 5, Channels::Gray);
         let mut out = Vec::new();
         assert!(convolve_planes_with_scratch(
-            &[PlaneSource::Product(&a, &b)],
+            &[PlaneSource::Product(a.plane(0), b.plane(0))],
+            4,
+            4,
             &k,
             &k,
             &mut scratch,
@@ -554,7 +571,9 @@ mod tests {
         )
         .is_err());
         assert!(convolve_planes_with_scratch(
-            &[PlaneSource::Image(&a), PlaneSource::Image(&b)],
+            &[PlaneSource::Plane(a.plane(0)), PlaneSource::Plane(b.plane(0))],
+            4,
+            4,
             &k,
             &k,
             &mut scratch,
@@ -562,7 +581,9 @@ mod tests {
         )
         .is_err());
         assert!(convolve_planes_with_scratch(
-            &[PlaneSource::Image(&a)],
+            &[PlaneSource::Plane(a.plane(0))],
+            4,
+            4,
             &k,
             &k,
             &mut scratch,
@@ -570,7 +591,7 @@ mod tests {
         )
         .is_err());
         // Empty call is a no-op.
-        assert!(convolve_planes_with_scratch(&[], &k, &k, &mut scratch, &mut []).is_ok());
+        assert!(convolve_planes_with_scratch(&[], 4, 4, &k, &k, &mut scratch, &mut []).is_ok());
     }
 
     #[test]
@@ -582,7 +603,7 @@ mod tests {
         let k = Kernel1D::centered(vec![1.0 / 9.0; 9]).unwrap();
         let reference = convolve_separable(&img, &k, &k).unwrap();
         let fast = convolve_separable_with_scratch(&img, &k, &k, &mut scratch).unwrap();
-        assert_eq!(reference.as_slice(), fast.as_slice());
+        assert_eq!(reference, fast);
     }
 
     #[test]

@@ -122,7 +122,7 @@ mod tests {
     fn full_rect_sum_equals_total() {
         let img = ramp(5, 4);
         let integral = IntegralImage::new(&img);
-        let total: f64 = img.as_slice().iter().sum();
+        let total: f64 = img.plane(0).iter().sum();
         assert_eq!(integral.rect_sum(Rect::new(0, 0, 5, 4), 0), total);
         assert_eq!(integral.width(), 5);
         assert_eq!(integral.height(), 4);

@@ -183,79 +183,66 @@ fn line_extremum_fold(line: &[f64], out: &mut [f64], lo: isize, hi: isize, take_
     }
 }
 
-/// Separable min/max filter: a horizontal pass into a flat intermediate,
-/// then a vertical pass that folds whole interleaved rows elementwise.
+/// Separable min/max filter: per plane, a horizontal pass over stride-1
+/// rows into a flat intermediate, then a vertical pass that folds whole
+/// rows elementwise.
 fn separable_extremum(img: &Image, window: usize, kind: RankKind) -> Image {
     let lo = -((window as isize - 1) / 2);
     let hi = window as isize / 2;
     let take_min = kind == RankKind::Minimum;
-    let (w, h, channels) = img.shape();
-    let row_len = w * channels;
-    let src = img.as_slice();
+    let (w, h, _) = img.shape();
 
-    // Horizontal pass: gray rows are processed in place as flat slices; RGB
-    // rows gather each channel into a stride-1 line first.
-    let mut mid = vec![0.0; src.len()];
-    if window <= WEDGE_THRESHOLD && channels == 1 {
-        for (src_row, mid_row) in src.chunks_exact(row_len).zip(mid.chunks_exact_mut(row_len)) {
-            line_extremum_fold(src_row, mid_row, lo, hi, take_min);
-        }
-    } else {
-        let mut line = vec![0.0; w];
-        let mut line_out = vec![0.0; w];
-        let mut deque = VecDeque::new();
-        for (src_row, mid_row) in src.chunks_exact(row_len).zip(mid.chunks_exact_mut(row_len)) {
-            for c in 0..channels {
-                for (x, v) in line.iter_mut().enumerate() {
-                    *v = src_row[x * channels + c];
-                }
-                if window <= WEDGE_THRESHOLD {
-                    line_extremum_fold(&line, &mut line_out, lo, hi, take_min);
-                } else {
-                    sliding_extremum_into(&line, lo, hi, take_min, &mut deque, &mut line_out);
-                }
-                for (x, &v) in line_out.iter().enumerate() {
-                    mid_row[x * channels + c] = v;
-                }
+    let mut mid = vec![0.0; w * h];
+    let mut out_planes = Vec::with_capacity(img.channel_count());
+    let mut deque = VecDeque::new();
+    for src in img.planes() {
+        // Horizontal pass: every plane row is already a stride-1 line.
+        if window <= WEDGE_THRESHOLD {
+            for (src_row, mid_row) in src.chunks_exact(w).zip(mid.chunks_exact_mut(w)) {
+                line_extremum_fold(src_row, mid_row, lo, hi, take_min);
+            }
+        } else {
+            for (src_row, mid_row) in src.chunks_exact(w).zip(mid.chunks_exact_mut(w)) {
+                sliding_extremum_into(src_row, lo, hi, take_min, &mut deque, mid_row);
             }
         }
-    }
 
-    // Vertical pass. Narrow windows fold the clamped row range elementwise
-    // (channel-agnostic: interleaved rows line up sample for sample); wide
-    // windows fall back to the per-column wedge.
-    let mut out = vec![0.0; src.len()];
-    if window <= WEDGE_THRESHOLD {
-        let init = if take_min { f64::INFINITY } else { f64::NEG_INFINITY };
-        for y in 0..h {
-            let start = (y as isize + lo).max(0) as usize;
-            let end = (y as isize + hi).min(h as isize - 1) as usize;
-            let out_row = &mut out[y * row_len..(y + 1) * row_len];
-            out_row.fill(init);
-            for sy in start..=end {
-                let mid_row = &mid[sy * row_len..(sy + 1) * row_len];
-                if take_min {
-                    fold_min(out_row, mid_row);
-                } else {
-                    fold_max(out_row, mid_row);
+        // Vertical pass. Narrow windows fold the clamped row range
+        // elementwise; wide windows fall back to the per-column wedge.
+        let mut out = vec![0.0; w * h];
+        if window <= WEDGE_THRESHOLD {
+            let init = if take_min { f64::INFINITY } else { f64::NEG_INFINITY };
+            for y in 0..h {
+                let start = (y as isize + lo).max(0) as usize;
+                let end = (y as isize + hi).min(h as isize - 1) as usize;
+                let out_row = &mut out[y * w..(y + 1) * w];
+                out_row.fill(init);
+                for sy in start..=end {
+                    let mid_row = &mid[sy * w..(sy + 1) * w];
+                    if take_min {
+                        fold_min(out_row, mid_row);
+                    } else {
+                        fold_max(out_row, mid_row);
+                    }
+                }
+            }
+        } else {
+            let mut col = vec![0.0; h];
+            let mut col_out = vec![0.0; h];
+            for x in 0..w {
+                for (y, v) in col.iter_mut().enumerate() {
+                    *v = mid[y * w + x];
+                }
+                sliding_extremum_into(&col, lo, hi, take_min, &mut deque, &mut col_out);
+                for (y, &v) in col_out.iter().enumerate() {
+                    out[y * w + x] = v;
                 }
             }
         }
-    } else {
-        let mut col = vec![0.0; h];
-        let mut col_out = vec![0.0; h];
-        let mut deque = VecDeque::new();
-        for xc in 0..row_len {
-            for (y, v) in col.iter_mut().enumerate() {
-                *v = mid[y * row_len + xc];
-            }
-            sliding_extremum_into(&col, lo, hi, take_min, &mut deque, &mut col_out);
-            for (y, &v) in col_out.iter().enumerate() {
-                out[y * row_len + xc] = v;
-            }
-        }
+        out_planes.push(out);
     }
-    Image::from_vec(w, h, img.channels(), out).expect("output buffer matches the input shape")
+    Image::from_planes(w, h, img.channels(), out_planes)
+        .expect("output planes match the input shape")
 }
 
 /// Minimum filter (erosion) over a `window x window` neighbourhood — the
@@ -314,7 +301,7 @@ mod tests {
         let mut img = Image::filled(5, 5, Channels::Gray, 10.0);
         img.set(2, 2, 0, 200.0);
         let out = minimum_filter(&img, 3).unwrap();
-        for &v in out.as_slice() {
+        for &v in out.planes().iter().flatten() {
             assert_eq!(v, 10.0);
         }
     }
@@ -373,7 +360,13 @@ mod tests {
         let img = Image::from_fn_gray(6, 6, |x, y| ((x * 31 + y * 17) % 97) as f64);
         let mn = minimum_filter(&img, 3).unwrap();
         let mx = maximum_filter(&img, 3).unwrap();
-        for ((&a, &lo), &hi) in img.as_slice().iter().zip(mn.as_slice()).zip(mx.as_slice()) {
+        for ((&a, &lo), &hi) in img
+            .planes()
+            .iter()
+            .flatten()
+            .zip(mn.planes().iter().flatten())
+            .zip(mx.planes().iter().flatten())
+        {
             assert!(lo <= a && a <= hi);
         }
     }

@@ -155,16 +155,17 @@ impl Scaler {
         &self.vertical
     }
 
-    /// Resamples an image. Channels are processed independently; the
+    /// Resamples an image. Each plane is processed independently; the
     /// vertical pass runs first, then the horizontal pass (the result of a
     /// separable linear operator does not depend on pass order).
     ///
-    /// Both passes run over flat interleaved rows: the vertical pass is a
-    /// tap-outer SAXPY of whole source rows into each destination row
-    /// ([`crate::simd::axpy`]), the horizontal pass accumulates each output
-    /// in a register over its ascending taps. Per output sample the taps
-    /// are added in exactly the order [`CoeffMatrix::apply_into`] uses, so
-    /// the result is bit-identical to the per-column gather formulation.
+    /// Both passes run over flat stride-1 plane rows: the vertical pass is
+    /// one register-accumulating weighted sum of whole source rows per
+    /// destination row ([`crate::simd::weighted_sum_rows`]), the horizontal
+    /// pass accumulates each output in a register over its ascending taps.
+    /// Per output sample the taps are added in exactly the order
+    /// [`CoeffMatrix::apply_into`] uses, so the result is bit-identical to
+    /// the per-column gather formulation.
     ///
     /// # Errors
     ///
@@ -177,49 +178,47 @@ impl Scaler {
                 right: (self.src.width, self.src.height, img.channel_count()),
             });
         }
-        let channels = img.channel_count();
-        let (sw, _sh) = (self.src.width, self.src.height);
+        let sw = self.src.width;
         let (dw, dh) = (self.dst.width, self.dst.height);
-        let src = img.as_slice();
-        let src_row_len = sw * channels;
 
-        // Vertical pass: sw x sh -> sw x dh. Each destination row is one
-        // register-accumulating weighted sum of its source rows in ascending
-        // tap order (grouped by WEIGHTED_SUM_MAX_ROWS; chained groups keep
-        // the add order, so the result is bit-identical to the historical
-        // per-tap SAXPY chain).
         use crate::simd::{weighted_sum_rows, WEIGHTED_SUM_MAX_ROWS};
-        let mut mid = vec![0.0; src_row_len * dh];
-        let mut srcs: [&[f64]; WEIGHTED_SUM_MAX_ROWS] = [&[]; WEIGHTED_SUM_MAX_ROWS];
-        let mut wbuf = [0.0f64; WEIGHTED_SUM_MAX_ROWS];
-        for (taps, mid_row) in self.vertical.iter_rows().zip(mid.chunks_exact_mut(src_row_len)) {
-            for (g, group) in taps.chunks(WEIGHTED_SUM_MAX_ROWS).enumerate() {
-                for (slot, &(j, weight)) in group.iter().enumerate() {
-                    srcs[slot] = &src[j * src_row_len..(j + 1) * src_row_len];
-                    wbuf[slot] = weight;
-                }
-                weighted_sum_rows(mid_row, &srcs[..group.len()], &wbuf[..group.len()], g > 0);
-            }
-        }
+        let mut mid = vec![0.0; sw * dh];
+        let mut out_planes = Vec::with_capacity(img.channel_count());
+        for c in 0..img.channel_count() {
+            let src = img.plane(c);
 
-        // Horizontal pass: sw x dh -> dw x dh, register accumulation per
-        // output sample over the interleaved intermediate row.
-        let dst_row_len = dw * channels;
-        let mut out = vec![0.0; dst_row_len * dh];
-        for (mid_row, out_row) in
-            mid.chunks_exact(src_row_len).zip(out.chunks_exact_mut(dst_row_len))
-        {
-            for (x, taps) in self.horizontal.iter_rows().enumerate() {
-                for c in 0..channels {
+            // Vertical pass: sw x sh -> sw x dh. Each destination row is one
+            // register-accumulating weighted sum of its source rows in
+            // ascending tap order (grouped by WEIGHTED_SUM_MAX_ROWS; chained
+            // groups keep the add order, so the result is bit-identical to
+            // the historical per-tap SAXPY chain).
+            let mut srcs: [&[f64]; WEIGHTED_SUM_MAX_ROWS] = [&[]; WEIGHTED_SUM_MAX_ROWS];
+            let mut wbuf = [0.0f64; WEIGHTED_SUM_MAX_ROWS];
+            for (taps, mid_row) in self.vertical.iter_rows().zip(mid.chunks_exact_mut(sw)) {
+                for (g, group) in taps.chunks(WEIGHTED_SUM_MAX_ROWS).enumerate() {
+                    for (slot, &(j, weight)) in group.iter().enumerate() {
+                        srcs[slot] = &src[j * sw..(j + 1) * sw];
+                        wbuf[slot] = weight;
+                    }
+                    weighted_sum_rows(mid_row, &srcs[..group.len()], &wbuf[..group.len()], g > 0);
+                }
+            }
+
+            // Horizontal pass: sw x dh -> dw x dh, register accumulation per
+            // output sample over the stride-1 intermediate row.
+            let mut out = vec![0.0; dw * dh];
+            for (mid_row, out_row) in mid.chunks_exact(sw).zip(out.chunks_exact_mut(dw)) {
+                for (x, taps) in self.horizontal.iter_rows().enumerate() {
                     let mut acc = 0.0;
                     for &(j, weight) in taps {
-                        acc += weight * mid_row[j * channels + c];
+                        acc += weight * mid_row[j];
                     }
-                    out_row[x * channels + c] = acc;
+                    out_row[x] = acc;
                 }
             }
+            out_planes.push(out);
         }
-        Image::from_vec(dw, dh, img.channels(), out)
+        Image::from_planes(dw, dh, img.channels(), out_planes)
     }
 }
 
@@ -325,7 +324,7 @@ mod tests {
         let img = Image::filled(13, 9, Channels::Rgb, 77.0);
         for algo in ScaleAlgorithm::ALL {
             let out = resize(&img, 5, 4, algo).unwrap();
-            for &v in out.as_slice() {
+            for &v in out.planes().iter().flatten() {
                 assert!((v - 77.0).abs() < 1e-9, "{algo} produced {v}");
             }
         }
@@ -336,14 +335,14 @@ mod tests {
         let img = Image::from_fn_gray(4, 4, |x, y| (y * 4 + x) as f64);
         let out = resize(&img, 2, 2, ScaleAlgorithm::Nearest).unwrap();
         // floor(i * 2): picks pixels 0 and 2 on each axis.
-        assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+        assert_eq!(out.plane(0), &[0.0, 2.0, 8.0, 10.0]);
     }
 
     #[test]
     fn bilinear_downscale_by_two_is_2x2_mean() {
         let img = Image::from_fn_gray(4, 4, |x, y| (y * 4 + x) as f64);
         let out = resize(&img, 2, 2, ScaleAlgorithm::Bilinear).unwrap();
-        assert_eq!(out.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+        assert_eq!(out.plane(0), &[2.5, 4.5, 10.5, 12.5]);
     }
 
     #[test]
@@ -408,7 +407,7 @@ mod tests {
         });
         let (_, up) = round_trip(&img, Size::new(16, 16), ScaleAlgorithm::Bilinear).unwrap();
         let mse: f64 =
-            img.as_slice().iter().zip(up.as_slice()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            img.plane(0).iter().zip(up.plane(0)).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
                 / (32.0 * 32.0);
         assert!(mse < 30.0, "round-trip MSE too large: {mse}");
     }
@@ -498,8 +497,8 @@ mod tests {
                 let fast = scaler.apply(img).unwrap();
                 let reference = apply_reference(&scaler, img);
                 assert_eq!(
-                    fast.as_slice(),
-                    reference.as_slice(),
+                    fast,
+                    reference,
                     "{algo} {:?} -> {dst:?} diverged from the gather reference",
                     img.size()
                 );

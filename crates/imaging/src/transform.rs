@@ -76,13 +76,13 @@ mod tests {
     #[test]
     fn flip_horizontal_mirrors_rows() {
         let out = flip_horizontal(&sample());
-        assert_eq!(out.as_slice(), &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0]);
+        assert_eq!(out.plane(0), &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0]);
     }
 
     #[test]
     fn flip_vertical_mirrors_columns() {
         let out = flip_vertical(&sample());
-        assert_eq!(out.as_slice(), &[3.0, 4.0, 5.0, 0.0, 1.0, 2.0]);
+        assert_eq!(out.plane(0), &[3.0, 4.0, 5.0, 0.0, 1.0, 2.0]);
     }
 
     #[test]
@@ -110,7 +110,7 @@ mod tests {
         let out = rotate90_cw(&sample());
         assert_eq!(out.width(), 2);
         assert_eq!(out.height(), 3);
-        assert_eq!(out.as_slice(), &[3.0, 0.0, 4.0, 1.0, 5.0, 2.0]);
+        assert_eq!(out.plane(0), &[3.0, 0.0, 4.0, 1.0, 5.0, 2.0]);
     }
 
     #[test]

@@ -103,7 +103,7 @@ proptest! {
     fn repeated_erosion_never_grows(img in arb_image()) {
         let once = minimum_filter(&img, 3).unwrap();
         let twice = minimum_filter(&once, 3).unwrap();
-        for (a, b) in twice.as_slice().iter().zip(once.as_slice()) {
+        for (a, b) in twice.planes().iter().flatten().zip(once.planes().iter().flatten()) {
             prop_assert!(a <= b);
         }
     }
@@ -113,7 +113,13 @@ proptest! {
         let lo = minimum_filter(&img, window).unwrap();
         let mid = rank_filter(&img, window, RankKind::Median).unwrap();
         let hi = maximum_filter(&img, window).unwrap();
-        for ((l, m), h) in lo.as_slice().iter().zip(mid.as_slice()).zip(hi.as_slice()) {
+        for ((l, m), h) in lo
+            .planes()
+            .iter()
+            .flatten()
+            .zip(mid.planes().iter().flatten())
+            .zip(hi.planes().iter().flatten())
+        {
             prop_assert!(l <= m && m <= h);
         }
     }
@@ -162,8 +168,8 @@ proptest! {
         let cache = ScalerCache::new();
         let miss = cache.get(img.size(), dst, algo).unwrap().apply(&img).unwrap();
         let hit = cache.get(img.size(), dst, algo).unwrap().apply(&img).unwrap();
-        prop_assert_eq!(miss.as_slice(), cold.as_slice());
-        prop_assert_eq!(hit.as_slice(), cold.as_slice());
+        prop_assert_eq!(&miss, &cold);
+        prop_assert_eq!(&hit, &cold);
         prop_assert_eq!(cache.len(), 1);
     }
 
@@ -181,14 +187,14 @@ proptest! {
         let mut scratch = ConvScratch::default();
         let fast =
             convolve_separable_with_scratch(&img, &horizontal, &vertical, &mut scratch).unwrap();
-        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+        prop_assert_eq!(&fast, &reference);
     }
 
     #[test]
     fn quantized_images_are_integral_and_bounded(img in arb_image()) {
         let noisy = img.map(|v| v * 1.3 - 20.0);
         let q = noisy.quantized();
-        for &v in q.as_slice() {
+        for &v in q.planes().iter().flatten() {
             prop_assert!((0.0..=255.0).contains(&v));
             prop_assert_eq!(v, v.round());
         }
@@ -233,7 +239,7 @@ fn arb_poisoned(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> 
 fn arb_poisoned_image() -> impl Strategy<Value = Image> {
     (3usize..=9, 3usize..=9).prop_flat_map(|(w, h)| {
         arb_poisoned(w * h..w * h + 1)
-            .prop_map(move |data| Image::from_vec(w, h, Channels::Gray, data).unwrap())
+            .prop_map(move |data| Image::from_gray_plane(w, h, data).unwrap())
     })
 }
 
@@ -364,7 +370,7 @@ proptest! {
         let mut scratch = ConvScratch::default();
         let fast =
             convolve_separable_with_scratch(&img, &kernel, &kernel, &mut scratch).unwrap();
-        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+        prop_assert_eq!(&fast, &reference);
     }
 
     #[test]
@@ -388,7 +394,7 @@ proptest! {
         let mut scratch = ConvScratch::default();
         let fast =
             convolve_separable_with_scratch(&img, &kernel, &kernel, &mut scratch).unwrap();
-        for (&a, &b) in fast.as_slice().iter().zip(reference.as_slice()) {
+        for (&a, &b) in fast.planes().iter().flatten().zip(reference.planes().iter().flatten()) {
             prop_assert!(bits_match(a, b), "conv: {a:?} vs {b:?}");
         }
     }

@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn out_of_range_samples_are_clamped() {
-        let img = Image::from_vec(2, 1, Channels::Gray, vec![-10.0, 300.0]).unwrap();
+        let img = Image::from_gray_plane(2, 1, vec![-10.0, 300.0]).unwrap();
         let h = color_histogram(&img, 4).unwrap();
         assert_eq!(h.channel(0)[0], 0.5);
         assert_eq!(h.channel(0)[3], 0.5);

@@ -5,6 +5,24 @@ use crate::error::check_same_shape;
 use crate::MetricError;
 use decamouflage_imaging::Image;
 
+/// Sums `f(a_sample, b_sample)` over every sample in pixel-major order —
+/// r0, g0, b0, r1, … — exactly the order the old interleaved buffer was
+/// reduced in, so planar storage cannot perturb the floating-point result.
+fn sum_pixel_major(a: &Image, b: &Image, f: impl Fn(f64, f64) -> f64) -> f64 {
+    if a.channel_count() == 1 {
+        return a.plane(0).iter().zip(b.plane(0)).map(|(&x, &y)| f(x, y)).sum();
+    }
+    let (ar, ag, ab) = (a.plane(0), a.plane(1), a.plane(2));
+    let (br, bg, bb) = (b.plane(0), b.plane(1), b.plane(2));
+    let mut sum = 0.0;
+    for i in 0..a.plane_len() {
+        sum += f(ar[i], br[i]);
+        sum += f(ag[i], bg[i]);
+        sum += f(ab[i], bb[i]);
+    }
+    sum
+}
+
 /// Mean squared error between two images of identical shape.
 ///
 /// This is the paper's Equation 5: the average of squared sample
@@ -29,8 +47,8 @@ use decamouflage_imaging::Image;
 /// ```
 pub fn mse(a: &Image, b: &Image) -> Result<f64, MetricError> {
     check_same_shape(a, b)?;
-    let sum: f64 = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y) * (x - y)).sum();
-    Ok(sum / a.as_slice().len() as f64)
+    let sum = sum_pixel_major(a, b, |x, y| (x - y) * (x - y));
+    Ok(sum / (a.plane_len() * a.channel_count()) as f64)
 }
 
 /// Mean absolute error between two images of identical shape.
@@ -40,8 +58,8 @@ pub fn mse(a: &Image, b: &Image) -> Result<f64, MetricError> {
 /// Returns [`MetricError::ShapeMismatch`] when the shapes differ.
 pub fn mae(a: &Image, b: &Image) -> Result<f64, MetricError> {
     check_same_shape(a, b)?;
-    let sum: f64 = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).sum();
-    Ok(sum / a.as_slice().len() as f64)
+    let sum = sum_pixel_major(a, b, |x, y| (x - y).abs());
+    Ok(sum / (a.plane_len() * a.channel_count()) as f64)
 }
 
 /// Largest absolute sample difference (`L∞` distance) between two images.
@@ -54,7 +72,14 @@ pub fn mae(a: &Image, b: &Image) -> Result<f64, MetricError> {
 /// Returns [`MetricError::ShapeMismatch`] when the shapes differ.
 pub fn max_abs_diff(a: &Image, b: &Image) -> Result<f64, MetricError> {
     check_same_shape(a, b)?;
-    Ok(a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max))
+    // A max fold is order-independent, so plane-major traversal is exact.
+    let mut peak = 0.0f64;
+    for (pa, pb) in a.planes().iter().zip(b.planes()) {
+        for (x, y) in pa.iter().zip(pb) {
+            peak = peak.max((x - y).abs());
+        }
+    }
+    Ok(peak)
 }
 
 /// Peak signal-to-noise ratio in decibels, with `L = 256` intensity levels
@@ -80,7 +105,7 @@ mod tests {
     use decamouflage_imaging::Channels;
 
     fn img(values: &[f64]) -> Image {
-        Image::from_vec(values.len(), 1, Channels::Gray, values.to_vec()).unwrap()
+        Image::from_gray_plane(values.len(), 1, values.to_vec()).unwrap()
     }
 
     #[test]

@@ -87,8 +87,8 @@ fn ssim_components(a: &Image, b: &Image, config: &SsimConfig) -> Result<(f64, f6
         convolve_planes_with_scratch, gaussian_kernel, ConvScratch, PlaneSource,
     };
     thread_local! {
-        static MSSSIM_SCRATCH: std::cell::RefCell<(ConvScratch, [Vec<f64>; 5])> =
-            std::cell::RefCell::new((ConvScratch::new(), Default::default()));
+        static MSSSIM_SCRATCH: std::cell::RefCell<(ConvScratch, Vec<Vec<f64>>)> =
+            std::cell::RefCell::new((ConvScratch::new(), Vec::new()));
     }
     let kernel = gaussian_kernel(config.sigma, Some(config.radius))
         .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
@@ -97,32 +97,59 @@ fn ssim_components(a: &Image, b: &Image, config: &SsimConfig) -> Result<(f64, f6
 
     let mut lum = 0.0;
     let mut cs = 0.0;
+    let ch = a.channel_count();
     MSSSIM_SCRATCH.with(|scratch| {
         let (conv, planes) = &mut *scratch.borrow_mut();
-        let [mu_a, mu_b, a_sq, b_sq, ab] = planes;
-        convolve_planes_with_scratch(
-            &[
-                PlaneSource::Image(a),
-                PlaneSource::Image(b),
-                PlaneSource::Product(a, a),
-                PlaneSource::Product(b, b),
-                PlaneSource::Product(a, b),
-            ],
-            &kernel,
-            &kernel,
-            conv,
-            &mut [mu_a, mu_b, a_sq, b_sq, ab],
-        )
-        .expect("separable convolution cannot fail");
-        // Flat sample order equals the historical y/x/channel traversal.
-        for ((((&ma, &mb), &sa), &sb), &sab) in
-            mu_a.iter().zip(mu_b.iter()).zip(a_sq.iter()).zip(b_sq.iter()).zip(ab.iter())
+        if planes.len() < 5 * ch {
+            planes.resize_with(5 * ch, Vec::new);
+        }
+        // Statistic-major layout: planes[s * ch + c] is statistic `s` of
+        // channel `c`.
+        let mut sources = Vec::with_capacity(5 * ch);
+        for c in 0..ch {
+            sources.push(PlaneSource::Plane(a.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Plane(b.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Product(a.plane(c), a.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Product(b.plane(c), b.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Product(a.plane(c), b.plane(c)));
+        }
         {
-            let va = sa - ma * ma;
-            let vb = sb - mb * mb;
-            let cov = sab - ma * mb;
-            lum += (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
-            cs += ((2.0 * cov + c2) / (va + vb + c2)).max(0.0);
+            let mut outs: Vec<&mut Vec<f64>> = planes.iter_mut().take(5 * ch).collect();
+            convolve_planes_with_scratch(
+                &sources,
+                a.width(),
+                a.height(),
+                &kernel,
+                &kernel,
+                conv,
+                &mut outs,
+            )
+            .expect("separable convolution cannot fail");
+        }
+        // Pixel-major, channel-inner traversal — the historical interleaved
+        // sample order, so both running sums stay bit-identical.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..a.plane_len() {
+            for c in 0..ch {
+                let ma = planes[c][i];
+                let mb = planes[ch + c][i];
+                let sa = planes[2 * ch + c][i];
+                let sb = planes[3 * ch + c][i];
+                let sab = planes[4 * ch + c][i];
+                let va = sa - ma * ma;
+                let vb = sb - mb * mb;
+                let cov = sab - ma * mb;
+                lum += (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+                cs += ((2.0 * cov + c2) / (va + vb + c2)).max(0.0);
+            }
         }
     });
     let n = (a.width() * a.height() * a.channel_count()) as f64;

@@ -9,53 +9,49 @@ use decamouflage_imaging::filter::{
 use decamouflage_imaging::Image;
 
 /// Per-thread buffers for the fused SSIM sweeps: convolution scratch plus
-/// the five blurred-plane outputs (µa, µb, σa-side, σb-side, σab-side).
+/// the blurred-plane outputs — one buffer per (statistic, channel) pair,
+/// grown on demand (five statistics: µa, µb, σa-side, σb-side, σab-side).
 struct SsimScratch {
     conv: ConvScratch,
-    planes: [Vec<f64>; 5],
+    planes: Vec<Vec<f64>>,
 }
 
 thread_local! {
     /// Shared buffers for [`ssim_map`] and [`SsimReference`] scoring.
     static SSIM_SCRATCH: std::cell::RefCell<SsimScratch> =
-        std::cell::RefCell::new(SsimScratch { conv: ConvScratch::new(), planes: Default::default() });
+        std::cell::RefCell::new(SsimScratch { conv: ConvScratch::new(), planes: Vec::new() });
 }
 
-/// The per-pixel SSIM formula over the five flat blurred planes, invoking
-/// `emit(pixel_value)` in flat pixel order — the same y-major / x-major /
-/// channel-inner traversal (flat index order) as the staged map + mean, so
-/// every accumulation is bit-identical to the historical implementation.
+/// The per-pixel SSIM formula over per-channel blurred planes, invoking
+/// `emit(pixel_value)` in flat pixel order. Each statistic is a slice of
+/// `ch` plane slices; the inner loop walks channels in ascending order per
+/// pixel — the same per-sample, channel-inner accumulation order as the
+/// historical interleaved implementation, so every sum is bit-identical.
 ///
 /// Single-channel callers should prefer [`ssim_formula_flat`], which runs
 /// the same arithmetic through the vectorizable
 /// [`decamouflage_imaging::simd::ssim_combine`] primitive.
 #[allow(clippy::too_many_arguments)]
 fn ssim_formula(
-    mu_a: &[f64],
-    mu_b: &[f64],
-    a_sq: &[f64],
-    b_sq: &[f64],
-    ab: &[f64],
-    ch: usize,
+    mu_a: &[&[f64]],
+    mu_b: &[&[f64]],
+    a_sq: &[&[f64]],
+    b_sq: &[&[f64]],
+    ab: &[&[f64]],
     c1: f64,
     c2: f64,
     mut emit: impl FnMut(f64),
 ) {
+    let ch = mu_a.len();
     let channels = ch as f64;
-    for ((((ma_px, mb_px), sa_px), sb_px), sab_px) in mu_a
-        .chunks_exact(ch)
-        .zip(mu_b.chunks_exact(ch))
-        .zip(a_sq.chunks_exact(ch))
-        .zip(b_sq.chunks_exact(ch))
-        .zip(ab.chunks_exact(ch))
-    {
+    for i in 0..mu_a[0].len() {
         let mut acc = 0.0;
         for c in 0..ch {
-            let ma = ma_px[c];
-            let mb = mb_px[c];
-            let va = sa_px[c] - ma * ma;
-            let vb = sb_px[c] - mb * mb;
-            let cov = sab_px[c] - ma * mb;
+            let ma = mu_a[c][i];
+            let mb = mu_b[c][i];
+            let va = a_sq[c][i] - ma * ma;
+            let vb = b_sq[c][i] - mb * mb;
+            let cov = ab[c][i] - ma * mb;
             let numerator = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
             let denominator = (ma * ma + mb * mb + c1) * (va + vb + c2);
             acc += numerator / denominator;
@@ -174,51 +170,63 @@ pub fn ssim_map(a: &Image, b: &Image, config: &SsimConfig) -> Result<Image, Metr
     let kernel = gaussian_kernel(config.sigma, Some(config.radius))
         .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
 
+    let ch = a.channel_count();
     let mut map = Image::zeros(a.width(), a.height(), decamouflage_imaging::Channels::Gray);
     SSIM_SCRATCH.with(|scratch| {
         let SsimScratch { conv, planes } = &mut *scratch.borrow_mut();
-        let [mu_a, mu_b, a_sq, b_sq, ab] = planes;
-        convolve_planes_with_scratch(
-            &[
-                PlaneSource::Image(a),
-                PlaneSource::Image(b),
-                PlaneSource::Product(a, a),
-                PlaneSource::Product(b, b),
-                PlaneSource::Product(a, b),
-            ],
-            &kernel,
-            &kernel,
-            conv,
-            &mut [mu_a, mu_b, a_sq, b_sq, ab],
-        )
-        .expect("separable convolution cannot fail");
-        if a.channel_count() == 1 {
+        if planes.len() < 5 * ch {
+            planes.resize_with(5 * ch, Vec::new);
+        }
+        // Sources in statistic-major order: outs[s * ch + c] holds statistic
+        // `s` of channel `c`.
+        let mut sources = Vec::with_capacity(5 * ch);
+        for c in 0..ch {
+            sources.push(PlaneSource::Plane(a.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Plane(b.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Product(a.plane(c), a.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Product(b.plane(c), b.plane(c)));
+        }
+        for c in 0..ch {
+            sources.push(PlaneSource::Product(a.plane(c), b.plane(c)));
+        }
+        {
+            let mut outs: Vec<&mut Vec<f64>> = planes.iter_mut().take(5 * ch).collect();
+            convolve_planes_with_scratch(
+                &sources,
+                a.width(),
+                a.height(),
+                &kernel,
+                &kernel,
+                conv,
+                &mut outs,
+            )
+            .expect("separable convolution cannot fail");
+        }
+        if ch == 1 {
             decamouflage_imaging::simd::ssim_combine(
-                map.as_mut_slice(),
-                mu_a,
-                mu_b,
-                a_sq,
-                b_sq,
-                ab,
+                map.plane_mut(0),
+                &planes[0],
+                &planes[1],
+                &planes[2],
+                &planes[3],
+                &planes[4],
                 config.c1(),
                 config.c2(),
             );
         } else {
-            let out = map.as_mut_slice().iter_mut();
-            let mut out = out;
-            ssim_formula(
-                mu_a,
-                mu_b,
-                a_sq,
-                b_sq,
-                ab,
-                a.channel_count(),
-                config.c1(),
-                config.c2(),
-                |v| {
-                    *out.next().expect("map has one slot per pixel") = v;
-                },
-            );
+            let stat =
+                |s: usize| (0..ch).map(|c| planes[s * ch + c].as_slice()).collect::<Vec<_>>();
+            let (mu_a, mu_b, a_sq, b_sq, ab) = (stat(0), stat(1), stat(2), stat(3), stat(4));
+            let mut out = map.plane_mut(0).iter_mut();
+            ssim_formula(&mu_a, &mu_b, &a_sq, &b_sq, &ab, config.c1(), config.c2(), |v| {
+                *out.next().expect("map has one slot per pixel") = v;
+            });
         }
     });
     Ok(map)
@@ -257,10 +265,10 @@ pub fn ssim_map(a: &Image, b: &Image, config: &SsimConfig) -> Result<Image, Metr
 #[derive(Debug, Clone)]
 pub struct SsimReference {
     a: Image,
-    /// Blurred reference plane µa, flat row-major interleaved samples.
-    mu_a: Vec<f64>,
-    /// Blurred squared reference plane (σa side), same layout.
-    a_sq: Vec<f64>,
+    /// Blurred reference planes µa, one flat row-major plane per channel.
+    mu_a: Vec<Vec<f64>>,
+    /// Blurred squared reference planes (σa side), same layout.
+    a_sq: Vec<Vec<f64>>,
     kernel: Kernel1D,
     config: SsimConfig,
 }
@@ -276,16 +284,27 @@ impl SsimReference {
         config.validate()?;
         let kernel = gaussian_kernel(config.sigma, Some(config.radius))
             .map_err(|e| MetricError::InvalidParameter { message: e.to_string() })?;
-        let mut mu_a = Vec::new();
-        let mut a_sq = Vec::new();
+        let ch = a.channel_count();
+        let mut mu_a: Vec<Vec<f64>> = vec![Vec::new(); ch];
+        let mut a_sq: Vec<Vec<f64>> = vec![Vec::new(); ch];
         SSIM_SCRATCH.with(|scratch| {
             let conv = &mut scratch.borrow_mut().conv;
+            let mut sources = Vec::with_capacity(2 * ch);
+            for c in 0..ch {
+                sources.push(PlaneSource::Plane(a.plane(c)));
+            }
+            for c in 0..ch {
+                sources.push(PlaneSource::Product(a.plane(c), a.plane(c)));
+            }
+            let mut outs: Vec<&mut Vec<f64>> = mu_a.iter_mut().chain(a_sq.iter_mut()).collect();
             convolve_planes_with_scratch(
-                &[PlaneSource::Image(a), PlaneSource::Product(a, a)],
+                &sources,
+                a.width(),
+                a.height(),
                 &kernel,
                 &kernel,
                 conv,
-                &mut [&mut mu_a, &mut a_sq],
+                &mut outs,
             )
             .expect("separable convolution cannot fail");
         });
@@ -314,32 +333,51 @@ impl SsimReference {
         // Same traversal as `ssim_map` followed by `mean_sample`: per-pixel
         // map values accumulate in y-major (flat) order, so the final sum
         // matches the staged computation bit for bit.
+        let ch = self.a.channel_count();
         let mut total = 0.0;
         SSIM_SCRATCH.with(|scratch| {
             let SsimScratch { conv, planes } = &mut *scratch.borrow_mut();
-            let [mu_b, b_sq, ab, combined, _] = planes;
-            convolve_planes_with_scratch(
-                &[
-                    PlaneSource::Image(b),
-                    PlaneSource::Product(b, b),
-                    PlaneSource::Product(&self.a, b),
-                ],
-                &self.kernel,
-                &self.kernel,
-                conv,
-                &mut [mu_b, b_sq, ab],
-            )
-            .expect("separable convolution cannot fail");
-            if self.a.channel_count() == 1 {
+            if planes.len() < 3 * ch + 1 {
+                planes.resize_with(3 * ch + 1, Vec::new);
+            }
+            // Candidate-side statistics in statistic-major order:
+            // planes[s * ch + c]; the last scratch plane holds the combined
+            // single-channel map.
+            let mut sources = Vec::with_capacity(3 * ch);
+            for c in 0..ch {
+                sources.push(PlaneSource::Plane(b.plane(c)));
+            }
+            for c in 0..ch {
+                sources.push(PlaneSource::Product(b.plane(c), b.plane(c)));
+            }
+            for c in 0..ch {
+                sources.push(PlaneSource::Product(self.a.plane(c), b.plane(c)));
+            }
+            {
+                let mut outs: Vec<&mut Vec<f64>> = planes.iter_mut().take(3 * ch).collect();
+                convolve_planes_with_scratch(
+                    &sources,
+                    self.a.width(),
+                    self.a.height(),
+                    &self.kernel,
+                    &self.kernel,
+                    conv,
+                    &mut outs,
+                )
+                .expect("separable convolution cannot fail");
+            }
+            if ch == 1 {
                 // Materialise the per-pixel values flat, then reduce in the
                 // same ascending order the closure form added them.
+                let (stats, tail) = planes.split_at_mut(3);
+                let combined = &mut tail[0];
                 ssim_formula_flat(
                     combined,
-                    &self.mu_a,
-                    mu_b,
-                    &self.a_sq,
-                    b_sq,
-                    ab,
+                    &self.mu_a[0],
+                    &stats[0],
+                    &self.a_sq[0],
+                    &stats[1],
+                    &stats[2],
                     self.config.c1(),
                     self.config.c2(),
                 );
@@ -347,13 +385,17 @@ impl SsimReference {
                     total += v;
                 }
             } else {
+                let stat =
+                    |s: usize| (0..ch).map(|c| planes[s * ch + c].as_slice()).collect::<Vec<_>>();
+                let (mu_b, b_sq, ab) = (stat(0), stat(1), stat(2));
+                let mu_a: Vec<&[f64]> = self.mu_a.iter().map(Vec::as_slice).collect();
+                let a_sq: Vec<&[f64]> = self.a_sq.iter().map(Vec::as_slice).collect();
                 ssim_formula(
-                    &self.mu_a,
-                    mu_b,
-                    &self.a_sq,
-                    b_sq,
-                    ab,
-                    self.a.channel_count(),
+                    &mu_a,
+                    &mu_b,
+                    &a_sq,
+                    &b_sq,
+                    &ab,
                     self.config.c1(),
                     self.config.c2(),
                     |v| total += v,
@@ -435,7 +477,7 @@ mod tests {
         let map = ssim_map(&a, &b, &SsimConfig::default()).unwrap();
         assert_eq!(map.width(), 20);
         assert_eq!(map.height(), 20);
-        for &v in map.as_slice() {
+        for &v in map.plane(0) {
             assert!((-1.0..=1.0).contains(&v));
         }
     }

@@ -152,8 +152,8 @@ fn arb_poisoned_gray_pair() -> impl Strategy<Value = (Image, Image)> {
         )
             .prop_map(move |(da, db)| {
                 (
-                    Image::from_vec(w, h, Channels::Gray, da).unwrap(),
-                    Image::from_vec(w, h, Channels::Gray, db).unwrap(),
+                    Image::from_gray_plane(w, h, da).unwrap(),
+                    Image::from_gray_plane(w, h, db).unwrap(),
                 )
             })
     })

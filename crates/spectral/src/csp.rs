@@ -186,7 +186,7 @@ pub fn count_csp_in_spectrum_with_mags(
     let cy = (h as f64 - 1.0) / 2.0;
     let (half_w, half_h) = (w / 2, h / 2);
     let mut binary = Image::zeros(w, h, Channels::Gray);
-    let out = binary.as_mut_slice();
+    let out = binary.plane_mut(0);
     // Inverse fftshift: centred position (x, y) reads the unshifted
     // coefficient at ((x - w/2) mod w, (y - h/2) mod h). Per row the modulo
     // splits into exactly two contiguous runs of the source row, so the
@@ -342,7 +342,7 @@ mod tests {
         assert_eq!(art.binary.size().width, 32);
         assert_eq!(art.report.count, 1);
         // Binary image is strictly 0/1.
-        for &v in art.binary.as_slice() {
+        for &v in art.binary.plane(0) {
             assert!(v == 0.0 || v == 1.0);
         }
     }

@@ -70,7 +70,7 @@ impl Spectrum2D {
         for m in mags.iter_mut() {
             *m *= scale;
         }
-        Image::from_vec(self.width, self.height, Channels::Gray, mags)
+        Image::from_gray_plane(self.width, self.height, mags)
             .expect("buffer sized w*h by construction")
     }
 
@@ -125,7 +125,7 @@ impl Spectrum2D {
                 *o = m * scale;
             }
         }
-        Image::from_vec(w, h, Channels::Gray, out).expect("buffer sized w*h by construction")
+        Image::from_gray_plane(w, h, out).expect("buffer sized w*h by construction")
     }
 }
 
@@ -152,10 +152,11 @@ fn normalisation_scale(mags: &[f64]) -> f64 {
 /// conjugate symmetry `A[k] = (Z[k] + conj(Z[N-k]))/2`,
 /// `B[k] = (Z[k] - conj(Z[N-k]))/(2i)` — halving the row-pass cost.
 pub fn dft2(img: &Image) -> Spectrum2D {
-    let gray = img.to_gray();
-    let (w, h) = (gray.width(), gray.height());
-    let mut grid: Vec<Complex64> =
-        gray.as_slice().iter().map(|&v| Complex64::from_real(v)).collect();
+    // Borrow the luma plane: for Gray inputs this is the stored plane
+    // itself — no copy between the image and the transform.
+    let luma = img.luma();
+    let (w, h) = (img.width(), img.height());
+    let mut grid: Vec<Complex64> = luma.iter().map(|&v| Complex64::from_real(v)).collect();
 
     // Rows: two real rows per complex FFT.
     let mut pair = 0;
@@ -221,10 +222,9 @@ struct Dft2Scratch {
 pub fn dft2_planned(img: &Image) -> Spectrum2D {
     DFT2_SCRATCH.with(|scratch| {
         let scratch = &mut *scratch.borrow_mut();
-        let gray = img.to_gray();
-        let (w, h) = (gray.width(), gray.height());
-        let mut grid: Vec<Complex64> =
-            gray.as_slice().iter().map(|&v| Complex64::from_real(v)).collect();
+        let luma = img.luma();
+        let (w, h) = (img.width(), img.height());
+        let mut grid: Vec<Complex64> = luma.iter().map(|&v| Complex64::from_real(v)).collect();
 
         // Rows: two real rows per complex FFT, as in `dft2`.
         let packed = &mut scratch.packed;
@@ -314,7 +314,7 @@ mod tests {
     fn dc_coefficient_is_sample_sum() {
         let img = Image::from_fn_gray(4, 3, |x, y| (x + y) as f64);
         let spec = dft2(&img);
-        let sum: f64 = img.as_slice().iter().sum();
+        let sum: f64 = img.plane(0).iter().sum();
         assert!((spec.get(0, 0).re - sum).abs() < 1e-9);
         assert!(spec.get(0, 0).im.abs() < 1e-9);
     }
@@ -326,7 +326,7 @@ mod tests {
             let img = Image::from_fn_gray(w, h, |x, y| ((x * 7 + y * 13) % 53) as f64);
             let fast = dft2(&img);
             let mut grid: Vec<crate::Complex64> =
-                img.as_slice().iter().map(|&v| crate::Complex64::from_real(v)).collect();
+                img.plane(0).iter().map(|&v| crate::Complex64::from_real(v)).collect();
             for y in 0..h {
                 let mut row: Vec<crate::Complex64> = grid[y * w..(y + 1) * w].to_vec();
                 crate::fft::fft(&mut row);
@@ -407,7 +407,7 @@ mod tests {
             let spec = dft2(&img);
             let staged = spec.shifted().log_magnitude();
             let fused = spec.centered_log_magnitude();
-            assert_eq!(staged.as_slice(), fused.as_slice(), "{w}x{h}");
+            assert_eq!(staged, fused, "{w}x{h}");
         }
     }
 

@@ -80,7 +80,6 @@ thread_local! {
 /// bounds assertion, or square root.
 pub fn radial_profile(spectrum: &Image) -> RadialProfile {
     let (w, h) = (spectrum.width(), spectrum.height());
-    let ch = spectrum.channels().count();
     let map = RADIUS_MAPS.with(|cache| {
         cache
             .borrow_mut()
@@ -91,26 +90,15 @@ pub fn radial_profile(spectrum: &Image) -> RadialProfile {
     let mut sum = vec![0.0f64; map.bins];
     let mut max = vec![0.0f64; map.bins];
     let mut count = vec![0usize; map.bins];
-    let data = spectrum.as_slice();
-    if ch == 1 {
-        for (&r, &v) in map.radius.iter().zip(data) {
-            let r = r as usize;
-            sum[r] += v;
-            if v > max[r] {
-                max[r] = v;
-            }
-            count[r] += 1;
+    // Channel 0 is a contiguous plane for Gray and RGB alike, so one
+    // stride-1 pass covers both cases.
+    for (&r, &v) in map.radius.iter().zip(spectrum.plane(0)) {
+        let r = r as usize;
+        sum[r] += v;
+        if v > max[r] {
+            max[r] = v;
         }
-    } else {
-        for (&r, px) in map.radius.iter().zip(data.chunks_exact(ch)) {
-            let r = r as usize;
-            let v = px[0];
-            sum[r] += v;
-            if v > max[r] {
-                max[r] = v;
-            }
-            count[r] += 1;
-        }
+        count[r] += 1;
     }
     let mean =
         sum.iter().zip(&count).map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect();

@@ -52,8 +52,8 @@ pub fn binarize(spectrum: &Image, threshold: f64) -> BinaryImage {
 
 /// Fraction of samples that are set in a binary image.
 pub fn fill_ratio(binary: &BinaryImage) -> f64 {
-    let total = binary.as_slice().len() as f64;
-    binary.as_slice().iter().filter(|&&v| v != 0.0).count() as f64 / total
+    let total = binary.plane_len() as f64;
+    binary.plane(0).iter().filter(|&&v| v != 0.0).count() as f64 / total
 }
 
 #[cfg(test)]
@@ -84,21 +84,21 @@ mod tests {
 
     #[test]
     fn binarize_thresholds_inclusively() {
-        let img = Image::from_vec(3, 1, Channels::Gray, vec![0.2, 0.5, 0.9]).unwrap();
+        let img = Image::from_gray_plane(3, 1, vec![0.2, 0.5, 0.9]).unwrap();
         let b = binarize(&img, 0.5);
-        assert_eq!(b.as_slice(), &[0.0, 1.0, 1.0]);
+        assert_eq!(b.plane(0), &[0.0, 1.0, 1.0]);
     }
 
     #[test]
     fn binarize_extremes() {
-        let img = Image::from_vec(2, 1, Channels::Gray, vec![0.0, 1.0]).unwrap();
-        assert_eq!(binarize(&img, 0.0).as_slice(), &[1.0, 1.0]);
-        assert_eq!(binarize(&img, 1.1).as_slice(), &[0.0, 0.0]);
+        let img = Image::from_gray_plane(2, 1, vec![0.0, 1.0]).unwrap();
+        assert_eq!(binarize(&img, 0.0).plane(0), &[1.0, 1.0]);
+        assert_eq!(binarize(&img, 1.1).plane(0), &[0.0, 0.0]);
     }
 
     #[test]
     fn fill_ratio_counts_set_fraction() {
-        let img = Image::from_vec(4, 1, Channels::Gray, vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        let img = Image::from_gray_plane(4, 1, vec![1.0, 0.0, 1.0, 0.0]).unwrap();
         assert_eq!(fill_ratio(&img), 0.5);
         assert_eq!(fill_ratio(&Image::zeros(3, 3, Channels::Gray)), 0.0);
     }

@@ -28,8 +28,7 @@ fn arb_image() -> impl Strategy<Value = Image> {
 fn arb_binary_image() -> impl Strategy<Value = Image> {
     (2usize..=12, 2usize..=12).prop_flat_map(|(w, h)| {
         proptest::collection::vec(0u8..=1, w * h).prop_map(move |data| {
-            Image::from_vec(w, h, Channels::Gray, data.into_iter().map(f64::from).collect())
-                .unwrap()
+            Image::from_gray_plane(w, h, data.into_iter().map(f64::from).collect()).unwrap()
         })
     })
 }
@@ -97,7 +96,7 @@ proptest! {
 
     #[test]
     fn component_count_bounded_by_set_pixels(img in arb_binary_image()) {
-        let set = img.as_slice().iter().filter(|&&v| v != 0.0).count();
+        let set = img.plane(0).iter().filter(|&&v| v != 0.0).count();
         let count = count_components(&img, Connectivity::Eight, 1);
         prop_assert!(count <= set);
         // Eight-connectivity merges at least as much as four.
@@ -107,7 +106,7 @@ proptest! {
 
     #[test]
     fn component_areas_sum_to_set_pixels(img in arb_binary_image()) {
-        let set = img.as_slice().iter().filter(|&&v| v != 0.0).count();
+        let set = img.plane(0).iter().filter(|&&v| v != 0.0).count();
         let total: usize = label_components(&img, Connectivity::Eight)
             .iter()
             .map(|c| c.area)
@@ -119,7 +118,7 @@ proptest! {
     fn low_pass_mask_only_removes(img in arb_image(), radius in 0.0f64..20.0) {
         let spec = centered_spectrum(&img);
         let masked = low_pass_mask(&spec, radius);
-        for (m, s) in masked.as_slice().iter().zip(spec.as_slice()) {
+        for (m, s) in masked.plane(0).iter().zip(spec.plane(0)) {
             prop_assert!(*m == 0.0 || (*m - *s).abs() < 1e-12);
         }
     }
@@ -254,7 +253,7 @@ fn arb_poisoned_pow2_signal() -> impl Strategy<Value = Vec<Complex64>> {
 fn arb_poisoned_image() -> impl Strategy<Value = Image> {
     (3usize..=12, 3usize..=12).prop_flat_map(|(w, h)| {
         proptest::collection::vec(arb_poisoned_component(), w * h)
-            .prop_map(move |data| Image::from_vec(w, h, Channels::Gray, data).unwrap())
+            .prop_map(move |data| Image::from_gray_plane(w, h, data).unwrap())
     })
 }
 

@@ -1,0 +1,248 @@
+//! Planar-layout equivalence suite.
+//!
+//! The planar refactor moved `Image` from interleaved to per-channel
+//! plane storage under a bit-identity contract: every engine score over
+//! any input must be unchanged down to the last f64 bit.
+//!
+//! `tests/golden_scores_v1.txt` pins the exact score bits produced by
+//! the interleaved seed path over a deterministic mixed Gray/RGB corpus
+//! (odd and even dimensions). Regenerate with
+//! `GOLDEN_CAPTURE=1 cargo test --test planar_equivalence` — but only
+//! ever from a commit whose scores are themselves verified; the fixture
+//! is the contract.
+
+use decamouflage::detection::{DetectionEngine, ScoreFault, ScoreVector};
+use decamouflage::imaging::{Channels, Image, Size};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_scores_v1.txt");
+
+/// SplitMix64 finalizer: a pure function of the input, so corpus pixels
+/// depend only on (seed, x, y, c) — never on iteration order.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn sample(seed: u64, x: usize, y: usize, c: usize) -> f64 {
+    let h = mix(seed
+        .wrapping_add((x as u64).wrapping_mul(0x517c_c1b7_2722_0a95))
+        .wrapping_add((y as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+        .wrapping_add((c as u64).wrapping_mul(0xda94_2042_e4dd_58b5)));
+    (h % 256) as f64
+}
+
+fn gray_case(seed: u64, w: usize, h: usize) -> Image {
+    Image::from_fn_gray(w, h, |x, y| sample(seed, x, y, 0))
+}
+
+fn rgb_case(seed: u64, w: usize, h: usize) -> Image {
+    Image::from_fn_rgb(w, h, |x, y| {
+        [sample(seed, x, y, 0), sample(seed, x, y, 1), sample(seed, x, y, 2)]
+    })
+}
+
+/// The golden corpus: deterministic, mixed Gray/RGB, odd and even dims,
+/// plus a flat image (degenerate SSIM variance) and a smooth ramp.
+fn corpus() -> Vec<(String, Image)> {
+    let mut cases = Vec::new();
+    for (i, &(w, h)) in [(16, 16), (17, 13), (31, 7), (40, 40), (23, 29)].iter().enumerate() {
+        cases.push((format!("gray-{w}x{h}"), gray_case(0x1000 + i as u64, w, h)));
+    }
+    for (i, &(w, h)) in [(16, 16), (13, 17), (24, 8), (33, 21), (19, 19)].iter().enumerate() {
+        cases.push((format!("rgb-{w}x{h}"), rgb_case(0x2000 + i as u64, w, h)));
+    }
+    cases.push(("gray-flat-20x20".into(), Image::from_fn_gray(20, 20, |_, _| 128.0)));
+    cases.push((
+        "rgb-ramp-22x18".into(),
+        Image::from_fn_rgb(22, 18, |x, y| [x as f64, y as f64, (x + y) as f64]),
+    ));
+    cases
+}
+
+fn engines() -> Vec<(String, DetectionEngine)> {
+    vec![
+        ("sq16".into(), DetectionEngine::new(Size::square(16))),
+        ("12x10".into(), DetectionEngine::new(Size { width: 12, height: 10 })),
+    ]
+}
+
+/// Renders one corpus scoring pass as stable fixture lines:
+/// `engine<TAB>case<TAB>method<TAB>bits-hex<TAB>display-value`.
+fn render_scores() -> String {
+    let mut out = String::new();
+    for (ename, engine) in engines() {
+        for (cname, image) in corpus() {
+            let scores: ScoreVector = engine.score(&image).expect("golden corpus must score");
+            for (id, value) in scores.iter() {
+                writeln!(
+                    out,
+                    "{ename}\t{cname}\t{}\t{:016x}\t{value:e}",
+                    id.name(),
+                    value.to_bits()
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn engine_scores_bit_identical_to_interleaved_seed() {
+    let current = render_scores();
+    if std::env::var_os("GOLDEN_CAPTURE").is_some() {
+        std::fs::write(GOLDEN_PATH, &current).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(Path::new(GOLDEN_PATH)).expect(
+        "golden fixture missing: run GOLDEN_CAPTURE=1 cargo test --test planar_equivalence",
+    );
+    let mut mismatches = Vec::new();
+    for (g, c) in golden.lines().zip(current.lines()) {
+        if g != c {
+            mismatches.push(format!("golden: {g}\n  now:    {c}"));
+        }
+    }
+    assert_eq!(
+        golden.lines().count(),
+        current.lines().count(),
+        "fixture line count changed — corpus or method set drifted"
+    );
+    assert!(
+        mismatches.is_empty(),
+        "{} score(s) changed bits vs the interleaved seed:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn nan_poisoned_inputs_still_fault_identically() {
+    let engine = DetectionEngine::new(Size::square(16));
+    // Gray: the pinned sample index is plane-local and unchanged by the
+    // planar refactor.
+    let mut gray = gray_case(7, 24, 24);
+    gray.set(3, 5, 0, f64::NAN);
+    let err = engine.score_resilient(&gray).unwrap_err();
+    match err.cause {
+        ScoreFault::NonFinitePixel { sample } => assert_eq!(sample, 5 * 24 + 3),
+        other => panic!("expected NonFinitePixel, got {other:?}"),
+    }
+    // RGB: poison one channel of one pixel; the scan must still refuse
+    // the image with the same fault kind.
+    let mut rgb = rgb_case(8, 20, 20);
+    rgb.set(4, 9, 1, f64::INFINITY);
+    let err = engine.score_resilient(&rgb).unwrap_err();
+    assert!(
+        matches!(err.cause, ScoreFault::NonFinitePixel { .. }),
+        "expected NonFinitePixel, got {:?}",
+        err.cause
+    );
+}
+
+mod roundtrips {
+    use super::*;
+    use proptest::prelude::*;
+    use std::borrow::Cow;
+
+    /// Arbitrary shape plus interleaved samples, including exact
+    /// non-integral values so round-trips are tested bit-for-bit, not
+    /// just to u8 precision.
+    fn arb_interleaved() -> impl Strategy<Value = (usize, usize, Channels, Vec<f64>)> {
+        (1usize..=9, 1usize..=9, prop_oneof![Just(Channels::Gray), Just(Channels::Rgb)])
+            .prop_flat_map(|(w, h, ch)| {
+                proptest::collection::vec(0u32..=(255 << 8), w * h * ch.count()).prop_map(
+                    move |raw| {
+                        let data = raw.iter().map(|&v| f64::from(v) / 256.0).collect();
+                        (w, h, ch, data)
+                    },
+                )
+            })
+    }
+
+    proptest! {
+        /// Interleaved wire order survives the planar representation
+        /// exactly: every sample lands in its plane and comes back in
+        /// the same position with the same bits.
+        #[test]
+        fn interleaved_planar_roundtrip_is_exact(
+            (w, h, ch, data) in arb_interleaved()
+        ) {
+            let img = Image::from_interleaved(w, h, ch, data.clone()).unwrap();
+            prop_assert_eq!(img.to_interleaved(), data.clone());
+            // Spot-check the scatter itself, not just the gather.
+            let n = w * h;
+            for c in 0..ch.count() {
+                let plane = img.plane(c);
+                prop_assert_eq!(plane.len(), n);
+                for i in 0..n {
+                    prop_assert_eq!(plane[i].to_bits(), data[i * ch.count() + c].to_bits());
+                }
+            }
+        }
+
+        /// `from_planes` ∘ `into_planes` is the identity on plane
+        /// storage, and the planes it exposes are the ones handed in.
+        #[test]
+        fn planes_roundtrip_is_exact((w, h, ch, data) in arb_interleaved()) {
+            let n = w * h;
+            let planes: Vec<Vec<f64>> = (0..ch.count())
+                .map(|c| (0..n).map(|i| data[i * ch.count() + c]).collect())
+                .collect();
+            let img = Image::from_planes(w, h, ch, planes.clone()).unwrap();
+            for (c, plane) in planes.iter().enumerate() {
+                prop_assert_eq!(img.plane(c), plane.as_slice());
+            }
+            prop_assert_eq!(img.into_planes(), planes);
+        }
+
+        /// `luma()` borrows the gray plane (no copy) and computes the
+        /// same BT.601 combination `to_gray()` stores, bit for bit.
+        #[test]
+        fn luma_borrows_gray_and_matches_to_gray((w, h, ch, data) in arb_interleaved()) {
+            let img = Image::from_interleaved(w, h, ch, data).unwrap();
+            let luma = img.luma();
+            if ch == Channels::Gray {
+                prop_assert!(matches!(luma, Cow::Borrowed(_)));
+                prop_assert!(std::ptr::eq(luma.as_ref(), img.plane(0)));
+            }
+            let gray = img.to_gray();
+            prop_assert_eq!(luma.len(), gray.plane_len());
+            for (a, b) in luma.iter().zip(gray.plane(0)) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        /// Extracting a channel as a standalone image preserves the
+        /// plane exactly.
+        #[test]
+        fn channel_image_extracts_exact_planes((w, h, ch, data) in arb_interleaved()) {
+            let img = Image::from_interleaved(w, h, ch, data).unwrap();
+            for c in 0..ch.count() {
+                let single = img.channel_image(c).unwrap();
+                prop_assert_eq!(single.channels(), Channels::Gray);
+                prop_assert_eq!(single.plane(0), img.plane(c));
+            }
+        }
+    }
+}
+
+#[test]
+fn u8_roundtrip_is_layout_independent() {
+    // `from_u8` takes interleaved bytes (the codec wire order) and
+    // `to_u8_vec` emits them back; the internal layout must not leak.
+    let bytes: Vec<u8> = (0..5 * 4 * 3).map(|i| (i * 37 % 256) as u8).collect();
+    let img = Image::from_u8(5, 4, Channels::Rgb, &bytes).unwrap();
+    assert_eq!(img.to_u8_vec(), bytes);
+    for y in 0..4 {
+        for x in 0..5 {
+            for c in 0..3 {
+                assert_eq!(img.get(x, y, c), bytes[(y * 5 + x) * 3 + c] as f64);
+            }
+        }
+    }
+}

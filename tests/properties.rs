@@ -89,7 +89,9 @@ proptest! {
     fn rank_filters_bracket_the_image(img in arb_gray_image(16)) {
         let lo = minimum_filter(&img, 2).unwrap();
         let hi = maximum_filter(&img, 2).unwrap();
-        for ((l, v), h) in lo.as_slice().iter().zip(img.as_slice()).zip(hi.as_slice()) {
+        for ((l, v), h) in
+            lo.plane(0).iter().zip(img.plane(0)).zip(hi.plane(0))
+        {
             prop_assert!(l <= v && v <= h);
         }
     }
